@@ -1,0 +1,448 @@
+//! Timeout-based failure detection (design technique #1 of Section 7.1).
+//!
+//! A monitored node emits heartbeats every `period`; a monitor suspects it
+//! once no heartbeat has arrived for `timeout`. The detector is designed
+//! and verified in the **timed model**; the paper's first design technique
+//! then says: to survive the clock transformation, budget the timeout
+//! against the *widened* delay bounds `[max(0, d₁−2ε), d₂+2ε]` — the
+//! transformed detector solves `P_ε`, i.e. it keeps its accuracy and its
+//! completeness with every event allowed to move by `ε`, which is exactly
+//! what a timeout-based detector can tolerate.
+//!
+//! [`FdParams::timeout_for`] computes the correct budget;
+//! `tests/design_techniques.rs` demonstrates both the guarantee and the
+//! failure mode of skipping the widening (false suspicions under
+//! adversarial clocks).
+
+use psync_automata::{Action, ActionKind, TimedComponent};
+use psync_net::{Envelope, MsgId, NodeId, SysAction};
+use psync_time::{DelayBounds, Duration, Time};
+
+/// Heartbeat payload: just a sequence number (unique per message together
+/// with the sender id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Heartbeat {
+    /// Sequence number.
+    pub seq: u32,
+}
+
+/// Application actions of the failure-detection system.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FdOp {
+    /// Environment crashes the monitored node (input to it).
+    Crash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// The monitor declares the target suspected (output, irrevocable).
+    Suspect {
+        /// The monitoring node.
+        monitor: NodeId,
+        /// The node being suspected.
+        target: NodeId,
+    },
+}
+
+impl Action for FdOp {
+    fn name(&self) -> &'static str {
+        match self {
+            FdOp::Crash { .. } => "CRASH",
+            FdOp::Suspect { .. } => "SUSPECT",
+        }
+    }
+}
+
+/// The action alphabet of the failure-detection system.
+pub type FdAction = SysAction<Heartbeat, FdOp>;
+
+/// Detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FdParams {
+    /// Heartbeat period.
+    pub period: Duration,
+    /// Monitor timeout: suspect after this long without a heartbeat.
+    pub timeout: Duration,
+}
+
+impl FdParams {
+    /// The correct timeout budget for heartbeats with the given `period`
+    /// travelling over links with (possibly widened) bounds: the worst
+    /// inter-arrival gap `period + d₂ − d₁`, plus `slack`.
+    ///
+    /// For a clock-model deployment pass
+    /// [`DelayBounds::widen_for_skew`]\(ε) — the paper's technique #1.
+    /// Passing the raw physical bounds yields a detector that is correct
+    /// in the timed model but *inaccurate* (false suspicions) once clocks
+    /// skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` or `slack` is not strictly positive.
+    #[must_use]
+    pub fn timeout_for(period: Duration, bounds: DelayBounds, slack: Duration) -> FdParams {
+        assert!(period.is_positive(), "period must be positive");
+        assert!(slack.is_positive(), "slack must be positive");
+        FdParams {
+            period,
+            timeout: period + bounds.width() + slack,
+        }
+    }
+
+    /// Worst-case detection latency after a crash, in the model the
+    /// bounds describe: the last pre-crash heartbeat takes at most `d₂`,
+    /// then the timeout runs out.
+    #[must_use]
+    pub fn detection_bound(&self, bounds: DelayBounds) -> Duration {
+        bounds.max() + self.timeout
+    }
+}
+
+/// State of a [`Heartbeater`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeartbeaterState {
+    /// Next heartbeat send time (irrelevant once crashed).
+    pub next: Time,
+    /// Next sequence number.
+    pub seq: u32,
+    /// Crashed nodes send nothing, forever.
+    pub crashed: bool,
+}
+
+/// The monitored node: sends a heartbeat to the monitor every `period`
+/// until crashed by the environment.
+#[derive(Debug, Clone)]
+pub struct Heartbeater {
+    node: NodeId,
+    monitor: NodeId,
+    period: Duration,
+}
+
+impl Heartbeater {
+    /// Creates the monitored node.
+    #[must_use]
+    pub fn new(node: NodeId, monitor: NodeId, period: Duration) -> Self {
+        assert!(period.is_positive(), "period must be positive");
+        Heartbeater {
+            node,
+            monitor,
+            period,
+        }
+    }
+}
+
+impl TimedComponent for Heartbeater {
+    type Action = FdAction;
+    type State = HeartbeaterState;
+
+    fn name(&self) -> String {
+        format!("heartbeater({})", self.node)
+    }
+
+    fn initial(&self) -> HeartbeaterState {
+        HeartbeaterState {
+            next: Time::ZERO + self.period,
+            seq: 0,
+            crashed: false,
+        }
+    }
+
+    fn classify(&self, a: &FdAction) -> Option<ActionKind> {
+        match a {
+            SysAction::App(FdOp::Crash { node }) if *node == self.node => Some(ActionKind::Input),
+            SysAction::Send(env) if env.src == self.node => Some(ActionKind::Output),
+            _ => None,
+        }
+    }
+
+    fn step(&self, s: &HeartbeaterState, a: &FdAction, now: Time) -> Option<HeartbeaterState> {
+        match a {
+            SysAction::App(FdOp::Crash { node }) if *node == self.node => {
+                let mut next = s.clone();
+                next.crashed = true;
+                Some(next)
+            }
+            SysAction::Send(env) if env.src == self.node => {
+                if s.crashed
+                    || now < s.next
+                    || env.dst != self.monitor
+                    || env.id != MsgId::from_parts(self.node, s.seq)
+                    || env.payload != (Heartbeat { seq: s.seq })
+                {
+                    return None;
+                }
+                Some(HeartbeaterState {
+                    next: s.next + self.period,
+                    seq: s.seq + 1,
+                    crashed: false,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn enabled(&self, s: &HeartbeaterState, now: Time) -> Vec<FdAction> {
+        if !s.crashed && now >= s.next {
+            vec![SysAction::Send(Envelope {
+                src: self.node,
+                dst: self.monitor,
+                id: MsgId::from_parts(self.node, s.seq),
+                payload: Heartbeat { seq: s.seq },
+            })]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn deadline(&self, s: &HeartbeaterState, _now: Time) -> Option<Time> {
+        (!s.crashed).then_some(s.next)
+    }
+}
+
+/// State of a [`Monitor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorState {
+    /// When the timeout fires if no heartbeat arrives first.
+    pub expires: Time,
+    /// Suspicion is irrevocable.
+    pub suspected: bool,
+}
+
+/// The monitoring node: resets its timer on every heartbeat, suspects the
+/// target when it expires.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    node: NodeId,
+    target: NodeId,
+    params: FdParams,
+}
+
+impl Monitor {
+    /// Creates the monitor.
+    #[must_use]
+    pub fn new(node: NodeId, target: NodeId, params: FdParams) -> Self {
+        Monitor {
+            node,
+            target,
+            params,
+        }
+    }
+
+    /// The parameters in force.
+    #[must_use]
+    pub fn params(&self) -> FdParams {
+        self.params
+    }
+}
+
+impl TimedComponent for Monitor {
+    type Action = FdAction;
+    type State = MonitorState;
+
+    fn name(&self) -> String {
+        format!("monitor({} watches {})", self.node, self.target)
+    }
+
+    fn initial(&self) -> MonitorState {
+        MonitorState {
+            // Initial grace: one period for the first heartbeat plus the
+            // normal timeout.
+            expires: Time::ZERO + self.params.timeout + self.params.period,
+            suspected: false,
+        }
+    }
+
+    fn classify(&self, a: &FdAction) -> Option<ActionKind> {
+        match a {
+            SysAction::Recv(env) if env.dst == self.node && env.src == self.target => {
+                Some(ActionKind::Input)
+            }
+            SysAction::App(FdOp::Suspect { monitor, target })
+                if *monitor == self.node && *target == self.target =>
+            {
+                Some(ActionKind::Output)
+            }
+            _ => None,
+        }
+    }
+
+    fn step(&self, s: &MonitorState, a: &FdAction, now: Time) -> Option<MonitorState> {
+        match a {
+            SysAction::Recv(env) if env.dst == self.node && env.src == self.target => {
+                let mut next = s.clone();
+                if !s.suspected {
+                    next.expires = now + self.params.timeout;
+                }
+                Some(next)
+            }
+            SysAction::App(FdOp::Suspect { monitor, target })
+                if *monitor == self.node && *target == self.target =>
+            {
+                if s.suspected || now < s.expires {
+                    return None;
+                }
+                Some(MonitorState {
+                    expires: s.expires,
+                    suspected: true,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn enabled(&self, s: &MonitorState, now: Time) -> Vec<FdAction> {
+        if !s.suspected && now >= s.expires {
+            vec![SysAction::App(FdOp::Suspect {
+                monitor: self.node,
+                target: self.target,
+            })]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn deadline(&self, s: &MonitorState, _now: Time) -> Option<Time> {
+        (!s.suspected).then_some(s.expires)
+    }
+}
+
+/// The observable outcome of a failure-detection run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FdOutcome {
+    /// When the environment crashed the target, if it did.
+    pub crashed_at: Option<Time>,
+    /// When the monitor suspected the target, if it did.
+    pub suspected_at: Option<Time>,
+}
+
+impl FdOutcome {
+    /// A suspicion strictly before the crash (or with no crash at all) is
+    /// a *false* suspicion — an accuracy violation.
+    #[must_use]
+    pub fn false_suspicion(&self) -> bool {
+        match (self.suspected_at, self.crashed_at) {
+            (Some(s), Some(c)) => s < c,
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+
+    /// Detection latency, when the crash was detected.
+    #[must_use]
+    pub fn detection_latency(&self) -> Option<Duration> {
+        Some(self.suspected_at? - self.crashed_at?)
+    }
+}
+
+/// Extracts the outcome from an application trace.
+#[must_use]
+pub fn outcome(trace: &psync_automata::TimedTrace<FdAction>) -> FdOutcome {
+    let mut out = FdOutcome {
+        crashed_at: None,
+        suspected_at: None,
+    };
+    for (a, t) in trace.iter() {
+        match a {
+            SysAction::App(FdOp::Crash { .. }) if out.crashed_at.is_none() => {
+                out.crashed_at = Some(t);
+            }
+            SysAction::App(FdOp::Suspect { .. }) if out.suspected_at.is_none() => {
+                out.suspected_at = Some(t);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + ms(n)
+    }
+
+    #[test]
+    fn timeout_budget_formula() {
+        let bounds = DelayBounds::new(ms(2), ms(6)).unwrap();
+        let p = FdParams::timeout_for(ms(10), bounds, ms(1));
+        assert_eq!(p.timeout, ms(15)); // 10 + (6−2) + 1
+        assert_eq!(p.detection_bound(bounds), ms(21));
+    }
+
+    #[test]
+    fn heartbeater_sends_until_crashed() {
+        let h = Heartbeater::new(NodeId(0), NodeId(1), ms(10));
+        let s0 = h.initial();
+        assert_eq!(h.deadline(&s0, Time::ZERO), Some(at(10)));
+        let sends = h.enabled(&s0, at(10));
+        assert_eq!(sends.len(), 1);
+        let s1 = h.step(&s0, &sends[0], at(10)).unwrap();
+        assert_eq!(s1.seq, 1);
+        let s2 = h
+            .step(
+                &s1,
+                &SysAction::App(FdOp::Crash { node: NodeId(0) }),
+                at(15),
+            )
+            .unwrap();
+        assert!(s2.crashed);
+        assert_eq!(h.deadline(&s2, at(15)), None);
+        assert!(h.enabled(&s2, at(100)).is_empty());
+    }
+
+    #[test]
+    fn monitor_resets_and_eventually_suspects() {
+        let params = FdParams {
+            period: ms(10),
+            timeout: ms(15),
+        };
+        let m = Monitor::new(NodeId(1), NodeId(0), params);
+        let s0 = m.initial();
+        assert_eq!(s0.expires, at(25)); // period + timeout grace
+        let hb = SysAction::Recv(Envelope {
+            src: NodeId(0),
+            dst: NodeId(1),
+            id: MsgId::from_parts(NodeId(0), 0),
+            payload: Heartbeat { seq: 0 },
+        });
+        let s1 = m.step(&s0, &hb, at(12)).unwrap();
+        assert_eq!(s1.expires, at(27));
+        // No heartbeat again: suspicion fires exactly at the expiry.
+        assert!(m.enabled(&s1, at(26)).is_empty());
+        let sus = m.enabled(&s1, at(27));
+        assert_eq!(sus.len(), 1);
+        let s2 = m.step(&s1, &sus[0], at(27)).unwrap();
+        assert!(s2.suspected);
+        // Irrevocable: later heartbeats change nothing.
+        let s3 = m.step(&s2, &hb, at(30)).unwrap();
+        assert!(s3.suspected);
+        assert_eq!(m.deadline(&s3, at(30)), None);
+    }
+
+    #[test]
+    fn outcome_extraction_and_classification() {
+        use psync_automata::TimedTrace;
+        let crash = SysAction::App(FdOp::Crash { node: NodeId(0) });
+        let suspect = SysAction::App(FdOp::Suspect {
+            monitor: NodeId(1),
+            target: NodeId(0),
+        });
+        let good: TimedTrace<FdAction> =
+            TimedTrace::from_pairs(vec![(crash.clone(), at(5)), (suspect.clone(), at(20))]);
+        let o = outcome(&good);
+        assert!(!o.false_suspicion());
+        assert_eq!(o.detection_latency(), Some(ms(15)));
+
+        let bad: TimedTrace<FdAction> =
+            TimedTrace::from_pairs(vec![(suspect.clone(), at(5)), (crash, at(20))]);
+        assert!(outcome(&bad).false_suspicion());
+
+        let no_crash: TimedTrace<FdAction> = TimedTrace::from_pairs(vec![(suspect, at(5))]);
+        assert!(outcome(&no_crash).false_suspicion());
+    }
+}

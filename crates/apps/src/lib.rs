@@ -1,0 +1,30 @@
+//! Applications of the paper's design techniques beyond the register.
+//!
+//! Section 7.1 describes two ways to use the simulation results in
+//! practice, and Section 1 motivates the whole enterprise with concrete
+//! uses of time information — "to estimate the time at which system or
+//! environment events occur, to detect process failures, to schedule the
+//! use of resources, and to synchronize activities". This crate implements
+//! two of those uses, one per design technique:
+//!
+//! * [`heartbeat`] — **timeout-based failure detection** via the *first*
+//!   technique ("it is often sufficient to solve `P_ε` instead of `P`"):
+//!   design the monitor in the timed model against the widened delay
+//!   bounds `[max(0, d₁−2ε), d₂+2ε]`; the transformed detector's
+//!   suspicions move by at most `ε` — harmless for a detector, *provided
+//!   the timeout was budgeted for the widened bounds*. The module also
+//!   shows the failure mode: a timeout budgeted only for the physical
+//!   bounds produces false suspicions under skewed clocks.
+//! * [`mutex`] — **time-division mutual exclusion** via the *second*
+//!   technique ("design a problem `Q` such that `Q_ε ⊆ P`"): mutual
+//!   exclusion is a real-time property that `ε` perturbation can break, so
+//!   the timed-model algorithm must solve the *stronger* `Q` — slots
+//!   shrunk by guard bands of `ε` on each side — whose ε-perturbation
+//!   still excludes overlap. The module shows both the guarded algorithm
+//!   (safe) and the unguarded one (overlaps under adversarial clocks).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod heartbeat;
+pub mod mutex;

@@ -1,0 +1,365 @@
+//! Time-division mutual exclusion (design technique #2 of Section 7.1).
+//!
+//! `n` nodes share a resource by taking turns in fixed time slots of
+//! length `slot`: node `i` owns the slots `≡ i (mod n)`. With perfect
+//! clocks, entering at each slot start and exiting at its end gives
+//! mutual exclusion with full utilization. But mutual exclusion is a
+//! *real-time* property: the `ε` perturbation of Theorem 4.7 can slide
+//! one node's exit past another's entry and break it — solving `P_ε` is
+//! **not** sufficient.
+//!
+//! The paper's second design technique applies: design the timed-model
+//! algorithm to solve a *stronger* problem `Q` whose ε-perturbation still
+//! implies `P`. Here `Q` = "occupancies are separated by at least `2g`"
+//! (guard bands of `g` at each slot edge); `Q_ε ⊆ P` exactly when
+//! `g ≥ ε`. [`SlotUser::guarded`] builds the `Q`-solving automaton;
+//! `tests/design_techniques.rs` shows the unguarded version overlapping
+//! under adversarial clocks and the guarded one staying exclusive, with
+//! the utilization price `(slot − 2g)/slot`.
+
+use psync_automata::{Action, ActionKind, TimedComponent, TimedTrace};
+use psync_net::{NodeId, SysAction};
+use psync_time::{Duration, Time};
+
+/// Application actions of the mutual-exclusion system. There are no
+/// messages at all — coordination is purely temporal, which is what makes
+/// this the sharpest illustration of the `ε` perturbation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MutexOp {
+    /// The node starts using the resource.
+    Enter {
+        /// Which node.
+        node: NodeId,
+        /// Which of its turns (0-based).
+        round: u64,
+    },
+    /// The node stops using the resource.
+    Exit {
+        /// Which node.
+        node: NodeId,
+        /// Which of its turns.
+        round: u64,
+    },
+}
+
+impl Action for MutexOp {
+    fn name(&self) -> &'static str {
+        match self {
+            MutexOp::Enter { .. } => "ENTER",
+            MutexOp::Exit { .. } => "EXIT",
+        }
+    }
+}
+
+/// The action alphabet of the mutual-exclusion system (message type is
+/// `()` — there are none).
+pub type MutexAction = SysAction<(), MutexOp>;
+
+/// State of a [`SlotUser`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotUserState {
+    /// Completed turns.
+    pub round: u64,
+    /// Currently inside the critical section?
+    pub in_cs: bool,
+}
+
+/// One node of the time-division mutual exclusion protocol.
+#[derive(Debug, Clone)]
+pub struct SlotUser {
+    node: NodeId,
+    n: usize,
+    slot: Duration,
+    guard: Duration,
+    rounds: u64,
+}
+
+impl SlotUser {
+    /// The *unguarded* protocol: enter at the slot start, exit at its end.
+    /// Solves mutual exclusion in the timed model, but its ε-perturbation
+    /// does not — see the module docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters.
+    #[must_use]
+    pub fn unguarded(node: NodeId, n: usize, slot: Duration, rounds: u64) -> Self {
+        SlotUser::guarded(node, n, slot, Duration::ZERO, rounds)
+    }
+
+    /// The `Q`-solving protocol: keep `guard` clear at each slot edge, so
+    /// consecutive occupancies are separated by `2·guard`. With
+    /// `guard ≥ ε`, the transformed protocol is exclusive under every
+    /// clock behavior in `C_ε`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot ≤ 2·guard`, `n == 0`, or a negative duration is
+    /// passed.
+    #[must_use]
+    pub fn guarded(node: NodeId, n: usize, slot: Duration, guard: Duration, rounds: u64) -> Self {
+        assert!(n > 0, "at least one node");
+        assert!(node.0 < n, "node id out of range");
+        assert!(!guard.is_negative(), "guard must be non-negative");
+        assert!(
+            slot > guard * 2,
+            "slot {slot} leaves no usable time inside guards {guard}"
+        );
+        SlotUser {
+            node,
+            n,
+            slot,
+            guard,
+            rounds,
+        }
+    }
+
+    /// Start of this node's `round`-th occupancy.
+    fn enter_at(&self, round: u64) -> Time {
+        let cycle = self.slot * (self.n as i64);
+        Time::ZERO + cycle * (round as i64) + self.slot * (self.node.0 as i64) + self.guard
+    }
+
+    /// End of this node's `round`-th occupancy.
+    fn exit_at(&self, round: u64) -> Time {
+        let cycle = self.slot * (self.n as i64);
+        Time::ZERO + cycle * (round as i64) + self.slot * (self.node.0 as i64 + 1) - self.guard
+    }
+
+    /// Fraction of each slot actually usable: `(slot − 2g) / slot`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        (self.slot - self.guard * 2).as_secs_f64() / self.slot.as_secs_f64()
+    }
+}
+
+impl TimedComponent for SlotUser {
+    type Action = MutexAction;
+    type State = SlotUserState;
+
+    fn name(&self) -> String {
+        format!("slot-user({}/{})", self.node, self.n)
+    }
+
+    fn initial(&self) -> SlotUserState {
+        SlotUserState {
+            round: 0,
+            in_cs: false,
+        }
+    }
+
+    fn classify(&self, a: &MutexAction) -> Option<ActionKind> {
+        match a {
+            SysAction::App(op) => match op {
+                MutexOp::Enter { node, .. } | MutexOp::Exit { node, .. } if *node == self.node => {
+                    Some(ActionKind::Output)
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn step(&self, s: &SlotUserState, a: &MutexAction, now: Time) -> Option<SlotUserState> {
+        match a {
+            SysAction::App(MutexOp::Enter { node, round })
+                if *node == self.node
+                    && !s.in_cs
+                    && *round == s.round
+                    && s.round < self.rounds
+                    && now >= self.enter_at(s.round) =>
+            {
+                Some(SlotUserState {
+                    round: s.round,
+                    in_cs: true,
+                })
+            }
+            SysAction::App(MutexOp::Exit { node, round })
+                if *node == self.node
+                    && s.in_cs
+                    && *round == s.round
+                    && now >= self.exit_at(s.round) =>
+            {
+                Some(SlotUserState {
+                    round: s.round + 1,
+                    in_cs: false,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn enabled(&self, s: &SlotUserState, now: Time) -> Vec<MutexAction> {
+        if s.in_cs {
+            if now >= self.exit_at(s.round) {
+                return vec![SysAction::App(MutexOp::Exit {
+                    node: self.node,
+                    round: s.round,
+                })];
+            }
+        } else if s.round < self.rounds && now >= self.enter_at(s.round) {
+            return vec![SysAction::App(MutexOp::Enter {
+                node: self.node,
+                round: s.round,
+            })];
+        }
+        Vec::new()
+    }
+
+    fn deadline(&self, s: &SlotUserState, _now: Time) -> Option<Time> {
+        if s.in_cs {
+            Some(self.exit_at(s.round))
+        } else if s.round < self.rounds {
+            Some(self.enter_at(s.round))
+        } else {
+            None
+        }
+    }
+}
+
+/// An observed violation: two nodes inside the critical section at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overlap {
+    /// The node already inside.
+    pub holder: NodeId,
+    /// The node that entered on top of it.
+    pub intruder: NodeId,
+    /// When the overlap began.
+    pub at: Time,
+}
+
+/// Scans a trace for mutual-exclusion violations.
+///
+/// # Panics
+///
+/// Panics on malformed traces (exit without enter, double enter by one
+/// node).
+#[must_use]
+pub fn overlaps(trace: &TimedTrace<MutexAction>) -> Vec<Overlap> {
+    let mut inside: Option<NodeId> = None;
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut found = Vec::new();
+    for (a, t) in trace.iter() {
+        match a {
+            SysAction::App(MutexOp::Enter { node, .. }) => {
+                assert!(
+                    !stack.contains(node),
+                    "node {node} entered twice without exiting"
+                );
+                if let Some(holder) = inside {
+                    found.push(Overlap {
+                        holder,
+                        intruder: *node,
+                        at: t,
+                    });
+                }
+                stack.push(*node);
+                inside = Some(*node);
+            }
+            SysAction::App(MutexOp::Exit { node, .. }) => {
+                let pos = stack
+                    .iter()
+                    .position(|n| n == node)
+                    .expect("exit without matching enter");
+                stack.remove(pos);
+                inside = stack.last().copied();
+            }
+            _ => {}
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + ms(n)
+    }
+
+    #[test]
+    fn schedule_arithmetic() {
+        // 3 nodes, 10 ms slots, 2 ms guard. Node 1's first turn:
+        // enter 10+2 = 12, exit 20−2 = 18; second turn: 42, 48.
+        let u = SlotUser::guarded(NodeId(1), 3, ms(10), ms(2), 5);
+        assert_eq!(u.enter_at(0), at(12));
+        assert_eq!(u.exit_at(0), at(18));
+        assert_eq!(u.enter_at(1), at(42));
+        assert_eq!(u.exit_at(1), at(48));
+        assert!((u.utilization() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifecycle_through_component_calls() {
+        let u = SlotUser::guarded(NodeId(0), 2, ms(10), ms(1), 2);
+        let s0 = u.initial();
+        assert_eq!(u.deadline(&s0, Time::ZERO), Some(at(1)));
+        let enter = u.enabled(&s0, at(1));
+        assert_eq!(enter.len(), 1);
+        let s1 = u.step(&s0, &enter[0], at(1)).unwrap();
+        assert!(s1.in_cs);
+        assert_eq!(u.deadline(&s1, at(1)), Some(at(9)));
+        let exit = u.enabled(&s1, at(9));
+        let s2 = u.step(&s1, &exit[0], at(9)).unwrap();
+        assert!(!s2.in_cs);
+        assert_eq!(s2.round, 1);
+        // Next turn starts a full cycle later (2 nodes × 10 ms).
+        assert_eq!(u.deadline(&s2, at(9)), Some(at(21)));
+    }
+
+    #[test]
+    fn finishes_after_rounds() {
+        let u = SlotUser::guarded(NodeId(0), 1, ms(10), ms(1), 1);
+        let mut s = u.initial();
+        s = u.step(&s, &u.enabled(&s, at(1))[0], at(1)).unwrap();
+        s = u.step(&s, &u.enabled(&s, at(9))[0], at(9)).unwrap();
+        assert_eq!(u.deadline(&s, at(9)), None);
+        assert!(u.enabled(&s, at(100)).is_empty());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let e = |n: usize, r: u64| {
+            SysAction::App(MutexOp::Enter {
+                node: NodeId(n),
+                round: r,
+            })
+        };
+        let x = |n: usize, r: u64| {
+            SysAction::App(MutexOp::Exit {
+                node: NodeId(n),
+                round: r,
+            })
+        };
+        let clean: TimedTrace<MutexAction> = TimedTrace::from_pairs(vec![
+            (e(0, 0), at(0)),
+            (x(0, 0), at(5)),
+            (e(1, 0), at(6)),
+            (x(1, 0), at(9)),
+        ]);
+        assert!(overlaps(&clean).is_empty());
+
+        let dirty: TimedTrace<MutexAction> = TimedTrace::from_pairs(vec![
+            (e(0, 0), at(0)),
+            (e(1, 0), at(3)), // intrusion
+            (x(0, 0), at(5)),
+            (x(1, 0), at(9)),
+        ]);
+        let v = overlaps(&dirty);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].holder, NodeId(0));
+        assert_eq!(v[0].intruder, NodeId(1));
+        assert_eq!(v[0].at, at(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no usable time")]
+    fn oversized_guard_rejected() {
+        let _ = SlotUser::guarded(NodeId(0), 2, ms(4), ms(2), 1);
+    }
+}

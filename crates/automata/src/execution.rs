@@ -1,0 +1,294 @@
+//! Recorded executions and their projections (Section 2.1).
+
+use core::fmt;
+
+use psync_time::Time;
+
+use crate::{Action, ActionKind, TimedTrace};
+
+/// One non-time-passage action occurrence in a recorded execution.
+///
+/// `now` is the real time at which the action occurred (the `now` component
+/// of the pre-state, matching the paper's `t_i = s_{i−1}.now`). For actions
+/// performed by a node of a *clock-model* system, `clock` carries that
+/// node's clock reading at the same moment (`c_i = s_{i−1}.clock`,
+/// Section 4.3); it is `None` for actions of plain timed components such as
+/// channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEvent<A> {
+    /// The action that occurred.
+    pub action: A,
+    /// The action's classification in the composed system's signature
+    /// (after hiding).
+    pub kind: ActionKind,
+    /// Real time of occurrence.
+    pub now: Time,
+    /// Clock reading of the performing node, when one exists.
+    pub clock: Option<Time>,
+}
+
+/// A recorded execution of a composed system: the sequence of
+/// non-time-passage events together with how far time advanced.
+///
+/// Time-passage steps are not stored individually — by axioms S4/S5 they
+/// can always be merged/split, so only the event times matter. The paper's
+/// projections are provided as methods:
+///
+/// * [`Execution::t_sched`] — the timed schedule (all non-`ν` actions).
+/// * [`Execution::t_trace`] — the timed trace (visible actions only).
+/// * [`Execution::clock_sched`] — the per-node *clock-time* schedule used
+///   to build `γ'_α` in Definition 4.2.
+///
+/// An execution is *admissible* when time grows without bound; recorded
+/// executions are necessarily finite, so [`Execution::ltime`] reports how
+/// far the run got and callers decide whether that horizon suffices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution<A> {
+    events: Vec<TimedEvent<A>>,
+    ltime: Time,
+}
+
+impl<A: Action> Execution<A> {
+    /// Creates an execution record from events and the final time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if event times are not non-decreasing or exceed `ltime`.
+    #[must_use]
+    pub fn new(events: Vec<TimedEvent<A>>, ltime: Time) -> Self {
+        let mut prev = Time::ZERO;
+        for e in &events {
+            assert!(
+                e.now >= prev,
+                "event times must be non-decreasing ({} after {})",
+                e.now,
+                prev
+            );
+            prev = e.now;
+        }
+        assert!(
+            prev <= ltime,
+            "ltime {ltime} precedes the last event at {prev}"
+        );
+        Execution { events, ltime }
+    }
+
+    /// The recorded events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[TimedEvent<A>] {
+        &self.events
+    }
+
+    /// The supremum of `now` over the execution (`α.ltime`).
+    #[must_use]
+    pub fn ltime(&self) -> Time {
+        self.ltime
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The timed schedule `t-sched(α)`: every non-time-passage action with
+    /// its real time of occurrence.
+    #[must_use]
+    pub fn t_sched(&self) -> TimedTrace<A> {
+        self.events
+            .iter()
+            .map(|e| (e.action.clone(), e.now))
+            .collect()
+    }
+
+    /// The timed trace `t-trace(α)`: the visible (input and output) actions
+    /// with their real times.
+    #[must_use]
+    pub fn t_trace(&self) -> TimedTrace<A> {
+        self.events
+            .iter()
+            .filter(|e| e.kind.is_visible())
+            .map(|e| (e.action.clone(), e.now))
+            .collect()
+    }
+
+    /// The raw `(action, clock-time)` pairs of all events that carry a
+    /// clock reading, in execution order — the sequence `γ'_α` of
+    /// Definition 4.2 before reordering. Clock times from different nodes
+    /// need not be monotone, so this returns a plain `Vec`; feed it to
+    /// [`crate::reorder_by_time`] to obtain `γ_α`.
+    #[must_use]
+    pub fn clock_sched(&self) -> Vec<(A, Time)> {
+        self.events
+            .iter()
+            .filter_map(|e| e.clock.map(|c| (e.action.clone(), c)))
+            .collect()
+    }
+
+    /// Projects onto events satisfying `keep`, retaining times.
+    #[must_use]
+    pub fn project(&self, mut keep: impl FnMut(&TimedEvent<A>) -> bool) -> Execution<A> {
+        Execution {
+            events: self.events.iter().filter(|e| keep(e)).cloned().collect(),
+            ltime: self.ltime,
+        }
+    }
+}
+
+impl<A: Action> fmt::Display for Execution<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "execution ({} events, ltime {}):",
+            self.events.len(),
+            self.ltime
+        )?;
+        for e in &self.events {
+            match e.clock {
+                Some(c) => writeln!(
+                    f,
+                    "  {} [clock t={}] {:?} ({:?})",
+                    e.now,
+                    c.elapsed(),
+                    e.action,
+                    e.kind
+                )?,
+                None => writeln!(f, "  {} {:?} ({:?})", e.now, e.action, e.kind)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_time::Duration;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum Act {
+        In,
+        Out,
+        Int,
+    }
+
+    impl Action for Act {
+        fn name(&self) -> &'static str {
+            match self {
+                Act::In => "IN",
+                Act::Out => "OUT",
+                Act::Int => "INT",
+            }
+        }
+    }
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + Duration::from_millis(n)
+    }
+
+    fn sample() -> Execution<Act> {
+        Execution::new(
+            vec![
+                TimedEvent {
+                    action: Act::In,
+                    kind: ActionKind::Input,
+                    now: at(1),
+                    clock: Some(at(2)),
+                },
+                TimedEvent {
+                    action: Act::Int,
+                    kind: ActionKind::Internal,
+                    now: at(2),
+                    clock: None,
+                },
+                TimedEvent {
+                    action: Act::Out,
+                    kind: ActionKind::Output,
+                    now: at(3),
+                    clock: Some(at(2)),
+                },
+            ],
+            at(10),
+        )
+    }
+
+    #[test]
+    fn t_sched_keeps_all_events() {
+        let e = sample();
+        assert_eq!(e.t_sched().len(), 3);
+        assert_eq!(e.ltime(), at(10));
+    }
+
+    #[test]
+    fn t_trace_drops_internal() {
+        let e = sample();
+        let tr = e.t_trace();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.get(0), Some((&Act::In, at(1))));
+        assert_eq!(tr.get(1), Some((&Act::Out, at(3))));
+    }
+
+    #[test]
+    fn clock_sched_keeps_only_clocked_events() {
+        let e = sample();
+        let cs = e.clock_sched();
+        assert_eq!(cs, vec![(Act::In, at(2)), (Act::Out, at(2))]);
+    }
+
+    #[test]
+    fn project_filters() {
+        let e = sample();
+        let outs = e.project(|ev| ev.kind == ActionKind::Output);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs.ltime(), at(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_unsorted_events() {
+        let _ = Execution::new(
+            vec![
+                TimedEvent {
+                    action: Act::In,
+                    kind: ActionKind::Input,
+                    now: at(5),
+                    clock: None,
+                },
+                TimedEvent {
+                    action: Act::Out,
+                    kind: ActionKind::Output,
+                    now: at(4),
+                    clock: None,
+                },
+            ],
+            at(10),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ltime")]
+    fn rejects_ltime_before_last_event() {
+        let _ = Execution::new(
+            vec![TimedEvent {
+                action: Act::In,
+                kind: ActionKind::Input,
+                now: at(5),
+                clock: None,
+            }],
+            at(4),
+        );
+    }
+
+    #[test]
+    fn display_contains_events() {
+        let rendered = sample().to_string();
+        assert!(rendered.contains("3 events"));
+        assert!(rendered.contains("Out"));
+    }
+}

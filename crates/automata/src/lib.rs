@@ -1,0 +1,76 @@
+//! Timed automaton and clock automaton models for partially synchronized
+//! clocks.
+//!
+//! This crate implements Sections 2 and 3 of Chaudhuri, Gawlick and Lynch,
+//! *Designing Algorithms for Distributed Systems with Partially Synchronized
+//! Clocks* (PODC 1993):
+//!
+//! * [`TimedComponent`] — the **timed automaton** model (Definition 2.1,
+//!   axioms S1–S5). A timed automaton has a `now` state component, a
+//!   time-passage action `ν`, and classified input/output/internal actions.
+//!   In this crate the `now` component is owned by the execution engine and
+//!   handed to the component on every call, which makes axioms S1/S2
+//!   (actions do not change `now`) and S3 (`ν` strictly increases `now`)
+//!   hold *by construction*; S4/S5 (time-passage composability/density) are
+//!   discharged by the deadline discipline described on the trait.
+//! * [`ClockComponent`] — the **clock automaton** model (Definition 2.3,
+//!   axioms C1–C4) with a `clock` state component. The trait cannot observe
+//!   `now` at all, which makes every implementation *ε-time independent*
+//!   (Definition 2.6) by construction.
+//! * [`ClockPredicate`] — clock predicates, with [`ClockPredicate::skew`]
+//!   constructing the paper's `C_ε` (`|now − clock| ≤ ε`, Definition 2.5).
+//! * [`TimedTrace`], [`Execution`] — timed sequences, timed schedules and
+//!   timed traces of executions (Section 2.1), including admissibility
+//!   bookkeeping and projections.
+//! * [`relations`] — the equivalences `=_{ε,κ}` (Definition 2.8) and the
+//!   shift preorder `≤_{δ,K}` (Definition 2.9) as executable matchers.
+//! * [`problem`] — problems `P` as timed-trace predicates, the
+//!   generalizations `P_ε` (Definition 2.11) and `P^δ` (Definition 2.12),
+//!   and the `solve` relation (Definition 2.10) as a conformance check over
+//!   recorded executions.
+//!
+//! The crate is purely *model*: executing compositions of components lives
+//! in `psync-executor`, network plumbing in `psync-net`, and the paper's two
+//! simulations in `psync-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use psync_automata::toys::{Beeper, BeepAction};
+//! use psync_automata::{ActionKind, TimedComponent};
+//! use psync_time::{Duration, Time};
+//!
+//! // A timed automaton that beeps every 5 ms.
+//! let beeper = Beeper::new(Duration::from_millis(5));
+//! let s0 = beeper.initial();
+//! // Nothing is enabled before the period elapses…
+//! assert!(beeper.enabled(&s0, Time::ZERO).is_empty());
+//! // …and ν may not pass the 5 ms deadline.
+//! assert_eq!(beeper.deadline(&s0, Time::ZERO), Some(Time::ZERO + Duration::from_millis(5)));
+//! assert_eq!(beeper.classify(&BeepAction::Beep { src: 0, seq: 0 }), Some(ActionKind::Output));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod clock;
+mod component;
+mod execution;
+mod pair;
+pub mod problem;
+mod relabel;
+pub mod relations;
+pub mod toys;
+mod trace;
+
+pub use action::{Action, ActionKind};
+pub use clock::{
+    ClockComponent, ClockComponentBox, ClockComposite, ClockPredicate, CompositeState, HiddenClock,
+};
+pub use component::{ComponentBox, DynState, Hidden, TimedComponent};
+pub use execution::{Execution, TimedEvent};
+pub use pair::{Pair, PairState};
+pub use problem::{Problem, Verdict};
+pub use relabel::Relabel;
+pub use trace::{reorder_by_time, TimedTrace};

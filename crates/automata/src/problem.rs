@@ -1,0 +1,295 @@
+//! Problems and the `solve` relation (Section 2.4).
+//!
+//! A *problem* `P` is a set of timed sequences over visible actions
+//! (`tseq(P)`), together with a signature and a partition associating
+//! actions with nodes. A system *solves* `P` when every admissible timed
+//! trace it produces is in `tseq(P)` (Definition 2.10).
+//!
+//! Membership in the generalizations `P_ε` (Definition 2.11) and `P^δ`
+//! (Definition 2.12) is existential — `α ∈ tseq(P_ε)` iff *some*
+//! `α' ∈ tseq(P)` satisfies `α' =_{ε,κ} α` — so it cannot be decided from a
+//! membership test for `P` alone. The simulation theorems, however, are
+//! proved *constructively*: Theorem 4.6 builds the witness `α'` (via the
+//! `γ_α` clock-time reordering) for every clock-model execution. The
+//! checkers here therefore take the witness explicitly:
+//! [`check_in_p_eps`] verifies `witness ∈ P ∧ witness =_{ε,κ} trace`, which
+//! certifies `trace ∈ tseq(P_ε)`.
+
+use core::fmt;
+
+use psync_time::Duration;
+
+use crate::relations::{delta_shifted, eps_equivalent, ClassMap, RelationError, Witness};
+use crate::{Action, TimedTrace};
+
+/// The outcome of checking a timed trace against a problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The trace is in `tseq(P)`.
+    Holds,
+    /// The trace is not in `tseq(P)`; the string explains why.
+    Violated(String),
+}
+
+impl Verdict {
+    /// `true` when the trace satisfied the problem.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Holds)
+    }
+
+    /// Builds a violation verdict from a displayable reason.
+    #[must_use]
+    pub fn violated(reason: impl fmt::Display) -> Verdict {
+        Verdict::Violated(reason.to_string())
+    }
+
+    /// Converts to `Result`, for use with `?` in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation reason when the verdict is
+    /// [`Verdict::Violated`].
+    pub fn into_result(self) -> Result<(), String> {
+        match self {
+            Verdict::Holds => Ok(()),
+            Verdict::Violated(why) => Err(why),
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Holds => write!(f, "holds"),
+            Verdict::Violated(why) => write!(f, "violated: {why}"),
+        }
+    }
+}
+
+/// A problem `P`: a decidable membership test for `tseq(P)`.
+///
+/// # Examples
+///
+/// ```
+/// use psync_automata::problem::{Problem, Verdict};
+/// use psync_automata::TimedTrace;
+///
+/// struct AtMostOne;
+///
+/// impl Problem<&'static str> for AtMostOne {
+///     fn name(&self) -> &str { "at most one action" }
+///     fn contains(&self, trace: &TimedTrace<&'static str>) -> Verdict {
+///         if trace.len() <= 1 { Verdict::Holds } else {
+///             Verdict::violated(format!("{} actions", trace.len()))
+///         }
+///     }
+/// }
+/// ```
+pub trait Problem<A: Action> {
+    /// The problem's name, for reporting.
+    fn name(&self) -> &str;
+
+    /// Decides `trace ∈ tseq(P)`.
+    fn contains(&self, trace: &TimedTrace<A>) -> Verdict;
+}
+
+/// A problem built from a closure.
+pub struct FnProblem<A> {
+    name: String,
+    #[allow(clippy::type_complexity)]
+    f: Box<dyn Fn(&TimedTrace<A>) -> Verdict>,
+}
+
+impl<A> FnProblem<A> {
+    /// Wraps a membership function as a [`Problem`].
+    #[must_use]
+    pub fn new(name: impl Into<String>, f: impl Fn(&TimedTrace<A>) -> Verdict + 'static) -> Self {
+        FnProblem {
+            name: name.into(),
+            f: Box::new(f),
+        }
+    }
+}
+
+impl<A: Action> Problem<A> for FnProblem<A> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn contains(&self, trace: &TimedTrace<A>) -> Verdict {
+        (self.f)(trace)
+    }
+}
+
+impl<A> fmt::Debug for FnProblem<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnProblem")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// Certifies `trace ∈ tseq(P_ε)` (Definition 2.11) from an explicit witness:
+/// checks `witness ∈ tseq(P)` and `witness =_{ε,κ} trace`.
+///
+/// On success returns the relation witness, whose
+/// [`max_deviation`](Witness::max_deviation) is the experimentally
+/// interesting quantity (Theorem 4.6 promises it is `≤ ε`).
+///
+/// # Errors
+///
+/// Returns [`PeErrors::NotInP`] when the witness fails `P`, or
+/// [`PeErrors::NotRelated`] when the relation fails.
+pub fn check_in_p_eps<A: Action>(
+    problem: &dyn Problem<A>,
+    trace: &TimedTrace<A>,
+    witness: &TimedTrace<A>,
+    eps: Duration,
+    classes: &ClassMap<A>,
+) -> Result<Witness, PeErrors<A>> {
+    if let Verdict::Violated(why) = problem.contains(witness) {
+        return Err(PeErrors::NotInP(why));
+    }
+    eps_equivalent(witness, trace, eps, classes).map_err(PeErrors::NotRelated)
+}
+
+/// Certifies `trace ∈ tseq(P^δ)` (Definition 2.12) from an explicit witness:
+/// checks `witness ∈ tseq(P)` and `witness ≤_{δ,K} trace`.
+///
+/// # Errors
+///
+/// Returns [`PeErrors::NotInP`] when the witness fails `P`, or
+/// [`PeErrors::NotRelated`] when the relation fails.
+pub fn check_in_p_delta<A: Action>(
+    problem: &dyn Problem<A>,
+    trace: &TimedTrace<A>,
+    witness: &TimedTrace<A>,
+    delta: Duration,
+    classes: &ClassMap<A>,
+) -> Result<Witness, PeErrors<A>> {
+    if let Verdict::Violated(why) = problem.contains(witness) {
+        return Err(PeErrors::NotInP(why));
+    }
+    delta_shifted(witness, trace, delta, classes).map_err(PeErrors::NotRelated)
+}
+
+/// Failure modes of the generalized-problem checkers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeErrors<A> {
+    /// The supplied witness is not itself in `tseq(P)`.
+    NotInP(String),
+    /// The witness and the trace are not related.
+    NotRelated(RelationError<A>),
+}
+
+impl<A: fmt::Debug> fmt::Display for PeErrors<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeErrors::NotInP(why) => write!(f, "witness not in P: {why}"),
+            PeErrors::NotRelated(err) => write!(f, "witness not related to trace: {err}"),
+        }
+    }
+}
+
+impl<A: fmt::Debug> std::error::Error for PeErrors<A> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_time::Time;
+
+    fn t(n: i64) -> Time {
+        Time::ZERO + Duration::from_millis(n)
+    }
+
+    fn alternation() -> FnProblem<&'static str> {
+        FnProblem::new("strict ab alternation", |tr: &TimedTrace<&'static str>| {
+            let mut expect_a = true;
+            for (a, _) in tr.iter() {
+                let ok = if expect_a { *a == "a" } else { *a == "b" };
+                if !ok {
+                    return Verdict::violated(format!("unexpected {a}"));
+                }
+                expect_a = !expect_a;
+            }
+            Verdict::Holds
+        })
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert!(Verdict::Holds.holds());
+        assert!(!Verdict::violated("nope").holds());
+        assert_eq!(Verdict::Holds.into_result(), Ok(()));
+        assert_eq!(
+            Verdict::violated("nope").into_result(),
+            Err("nope".to_string())
+        );
+        assert_eq!(Verdict::Holds.to_string(), "holds");
+    }
+
+    #[test]
+    fn fn_problem_membership() {
+        let p = alternation();
+        assert_eq!(p.name(), "strict ab alternation");
+        let good = TimedTrace::from_pairs(vec![("a", t(0)), ("b", t(1))]);
+        let bad = TimedTrace::from_pairs(vec![("b", t(0))]);
+        assert!(p.contains(&good).holds());
+        assert!(!p.contains(&bad).holds());
+    }
+
+    #[test]
+    fn p_eps_accepts_perturbed_trace_with_witness() {
+        let p = alternation();
+        let witness = TimedTrace::from_pairs(vec![("a", t(10)), ("b", t(20))]);
+        let trace = TimedTrace::from_pairs(vec![("a", t(11)), ("b", t(19))]);
+        let w = check_in_p_eps(
+            &p,
+            &trace,
+            &witness,
+            Duration::from_millis(1),
+            &ClassMap::single(),
+        )
+        .unwrap();
+        assert_eq!(w.max_deviation, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn p_eps_rejects_bad_witness() {
+        let p = alternation();
+        let witness = TimedTrace::from_pairs(vec![("b", t(10))]);
+        let trace = TimedTrace::from_pairs(vec![("b", t(10))]);
+        let err = check_in_p_eps(
+            &p,
+            &trace,
+            &witness,
+            Duration::from_millis(1),
+            &ClassMap::single(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PeErrors::NotInP(_)));
+    }
+
+    #[test]
+    fn p_delta_accepts_shifted_outputs() {
+        let p = alternation();
+        // Outputs ("b") may shift forward by δ; "a" is unclassified.
+        let classes = ClassMap::by(|a: &&str| if *a == "b" { Some(0) } else { None });
+        let witness = TimedTrace::from_pairs(vec![("a", t(0)), ("b", t(5))]);
+        let trace = TimedTrace::from_pairs(vec![("a", t(0)), ("b", t(7))]);
+        let w = check_in_p_delta(&p, &trace, &witness, Duration::from_millis(3), &classes).unwrap();
+        assert_eq!(w.max_deviation, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn p_delta_rejects_excessive_shift() {
+        let p = alternation();
+        let classes = ClassMap::by(|a: &&str| if *a == "b" { Some(0) } else { None });
+        let witness = TimedTrace::from_pairs(vec![("a", t(0)), ("b", t(5))]);
+        let trace = TimedTrace::from_pairs(vec![("a", t(0)), ("b", t(9))]);
+        let err =
+            check_in_p_delta(&p, &trace, &witness, Duration::from_millis(3), &classes).unwrap_err();
+        assert!(matches!(err, PeErrors::NotRelated(_)));
+    }
+}

@@ -1,0 +1,650 @@
+//! The trace relations `=_{ε,κ}` (Definition 2.8) and `≤_{δ,K}`
+//! (Definition 2.9) as executable matchers.
+//!
+//! Both relations assert the existence of a bijection `f` between the
+//! indices of two timed sequences that preserves action values and certain
+//! orders, while perturbing times in a bounded way. The matchers here
+//! exploit the structure of the definitions to avoid general bipartite
+//! matching:
+//!
+//! * Within any class of `κ` (or `K`) the bijection must preserve relative
+//!   order, and a monotone bijection between two finite index sets is
+//!   unique — so the matching is *forced*: the `i`-th class-`k` action of
+//!   one sequence must map to the `i`-th class-`k` action of the other.
+//! * Actions outside every class of `κ` carry no order constraint in
+//!   `=_{ε,κ}`; there the matcher greedily pairs equal action values in
+//!   time order, which is optimal for the interval constraint
+//!   `|t − t'| ≤ ε` (the classic exchange argument for matching two sorted
+//!   sequences).
+//! * Actions outside every class of `K` in `≤_{δ,K}` must preserve order
+//!   *among themselves* and keep exact times, so that matching is forced
+//!   too.
+//!
+//! On success the matchers return a *witness* carrying the worst observed
+//! time deviation — the quantity the reproduction experiments (E3/E4)
+//! compare against the paper's bounds `ε` and `kℓ + 2ε + 3ℓ`.
+
+use core::fmt;
+
+use psync_time::{Duration, Time};
+
+use crate::{Action, TimedTrace};
+
+type Classifier<A> = Box<dyn Fn(&A) -> Option<usize>>;
+
+/// Assigns each action to at most one class of a partition `κ` (or `K`).
+///
+/// In the paper's uses, `κ = {uacts(A_1), …, uacts(A_n)}` (the actions of
+/// each node, Section 4.3) and `K = {out(p_1), …, out(p_n)}` (the output
+/// actions of each node, Definition 2.12); classes are identified here by
+/// `usize` indices.
+pub struct ClassMap<A> {
+    f: Classifier<A>,
+}
+
+impl<A> ClassMap<A> {
+    /// Builds a class map from a classifying function.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use psync_automata::relations::ClassMap;
+    ///
+    /// // Two classes: even and odd numbers.
+    /// let classes = ClassMap::by(|n: &u32| Some((n % 2) as usize));
+    /// assert_eq!(classes.class_of(&4), Some(0));
+    /// ```
+    #[must_use]
+    pub fn by(f: impl Fn(&A) -> Option<usize> + 'static) -> Self {
+        ClassMap { f: Box::new(f) }
+    }
+
+    /// A single class containing every action (useful for whole-trace
+    /// comparisons where only global order matters).
+    #[must_use]
+    pub fn single() -> Self {
+        ClassMap {
+            f: Box::new(|_| Some(0)),
+        }
+    }
+
+    /// The class of `a`, or `None` when `a` is in no class.
+    #[must_use]
+    pub fn class_of(&self, a: &A) -> Option<usize> {
+        (self.f)(a)
+    }
+}
+
+impl<A> fmt::Debug for ClassMap<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClassMap").finish_non_exhaustive()
+    }
+}
+
+/// Successful match: the bijection exists, and this is what it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Witness {
+    /// The largest `|t_{f(i)} − t_i|` over all matched pairs.
+    pub max_deviation: Duration,
+    /// Number of matched pairs.
+    pub matched: usize,
+}
+
+/// Why two timed sequences failed to be related.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError<A> {
+    /// A class (or the unclassified remainder) has different sizes in the
+    /// two sequences.
+    CardinalityMismatch {
+        /// Class index, or `None` for the unclassified remainder.
+        class: Option<usize>,
+        /// Count in the left sequence.
+        left: usize,
+        /// Count in the right sequence.
+        right: usize,
+    },
+    /// The forced matching paired two different actions.
+    ActionMismatch {
+        /// Class index, or `None` for the unclassified remainder.
+        class: Option<usize>,
+        /// Position within the class.
+        position: usize,
+        /// Action from the left sequence.
+        left: A,
+        /// Action from the right sequence.
+        right: A,
+    },
+    /// A matched pair violated the time constraint.
+    TimeBound {
+        /// The offending action.
+        action: A,
+        /// Its time in the left sequence.
+        left_time: Time,
+        /// Its time in the right sequence.
+        right_time: Time,
+        /// The bound that was exceeded (`ε` or `δ`).
+        bound: Duration,
+    },
+    /// In `≤_{δ,K}`, an action moved *backwards* in time (the shift must be
+    /// into the future), or an unclassified action changed time at all.
+    IllegalShift {
+        /// The offending action.
+        action: A,
+        /// Its time in the left sequence.
+        left_time: Time,
+        /// Its time in the right sequence.
+        right_time: Time,
+    },
+}
+
+impl<A: fmt::Debug> fmt::Display for RelationError<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::CardinalityMismatch { class, left, right } => write!(
+                f,
+                "class {class:?} has {left} actions on the left but {right} on the right"
+            ),
+            RelationError::ActionMismatch {
+                class,
+                position,
+                left,
+                right,
+            } => write!(
+                f,
+                "forced matching in class {class:?} pairs {left:?} with {right:?} at position {position}"
+            ),
+            RelationError::TimeBound {
+                action,
+                left_time,
+                right_time,
+                bound,
+            } => write!(
+                f,
+                "{action:?} moved from {left_time} to {right_time}, exceeding bound {bound}"
+            ),
+            RelationError::IllegalShift {
+                action,
+                left_time,
+                right_time,
+            } => write!(
+                f,
+                "{action:?} illegally moved from {left_time} to {right_time}"
+            ),
+        }
+    }
+}
+
+impl<A: fmt::Debug> std::error::Error for RelationError<A> {}
+
+/// Splits trace indices into per-class index lists plus the unclassified
+/// remainder, preserving order.
+fn partition_indices<A>(
+    trace: &TimedTrace<A>,
+    classes: &ClassMap<A>,
+) -> (Vec<(usize, Vec<usize>)>, Vec<usize>) {
+    let mut by_class: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut rest = Vec::new();
+    for (i, (a, _)) in trace.iter().enumerate() {
+        match classes.class_of(a) {
+            Some(c) => match by_class.iter_mut().find(|(k, _)| *k == c) {
+                Some((_, v)) => v.push(i),
+                None => by_class.push((c, vec![i])),
+            },
+            None => rest.push(i),
+        }
+    }
+    by_class.sort_by_key(|(k, _)| *k);
+    (by_class, rest)
+}
+
+/// Checks `left =_{ε,κ} right` (Definition 2.8): a bijection exists that
+/// preserves action values, preserves order within every class of `κ`, and
+/// moves each action's time by at most `ε`.
+///
+/// # Errors
+///
+/// Returns the first violation found; see [`RelationError`].
+///
+/// # Examples
+///
+/// ```
+/// use psync_automata::relations::{eps_equivalent, ClassMap};
+/// use psync_automata::TimedTrace;
+/// use psync_time::{Duration, Time};
+///
+/// let t = |n| Time::ZERO + Duration::from_millis(n);
+/// let left = TimedTrace::from_pairs(vec![("a", t(10)), ("b", t(20))]);
+/// let right = TimedTrace::from_pairs(vec![("a", t(11)), ("b", t(19))]);
+/// let w = eps_equivalent(&left, &right, Duration::from_millis(2), &ClassMap::single())?;
+/// assert_eq!(w.max_deviation, Duration::from_millis(1));
+/// # Ok::<(), psync_automata::relations::RelationError<&'static str>>(())
+/// ```
+pub fn eps_equivalent<A: Action>(
+    left: &TimedTrace<A>,
+    right: &TimedTrace<A>,
+    eps: Duration,
+    classes: &ClassMap<A>,
+) -> Result<Witness, RelationError<A>> {
+    assert!(!eps.is_negative(), "ε must be non-negative");
+    let (lc, lrest) = partition_indices(left, classes);
+    let (rc, rrest) = partition_indices(right, classes);
+
+    let mut max_dev = Duration::ZERO;
+    let mut matched = 0usize;
+
+    // Classified actions: the matching is forced (order-preserving within
+    // each class), so walk the class index lists in lockstep.
+    let mut li = lc.iter();
+    let mut ri = rc.iter();
+    loop {
+        match (li.next(), ri.next()) {
+            (None, None) => break,
+            (Some((ck, lv)), Some((dk, rv))) if ck == dk => {
+                if lv.len() != rv.len() {
+                    return Err(RelationError::CardinalityMismatch {
+                        class: Some(*ck),
+                        left: lv.len(),
+                        right: rv.len(),
+                    });
+                }
+                for (pos, (&i, &j)) in lv.iter().zip(rv.iter()).enumerate() {
+                    let (la, lt) = left.get(i).expect("index in range");
+                    let (ra, rt) = right.get(j).expect("index in range");
+                    if la != ra {
+                        return Err(RelationError::ActionMismatch {
+                            class: Some(*ck),
+                            position: pos,
+                            left: la.clone(),
+                            right: ra.clone(),
+                        });
+                    }
+                    let dev = lt.skew(rt);
+                    if dev > eps {
+                        return Err(RelationError::TimeBound {
+                            action: la.clone(),
+                            left_time: lt,
+                            right_time: rt,
+                            bound: eps,
+                        });
+                    }
+                    max_dev = max_dev.max(dev);
+                    matched += 1;
+                }
+            }
+            (l, r) => {
+                let (class, left_n, right_n) = match (l, r) {
+                    (Some((ck, lv)), _) => (Some(*ck), lv.len(), 0),
+                    (_, Some((dk, rv))) => (Some(*dk), 0, rv.len()),
+                    _ => unreachable!(),
+                };
+                return Err(RelationError::CardinalityMismatch {
+                    class,
+                    left: left_n,
+                    right: right_n,
+                });
+            }
+        }
+    }
+
+    // Unclassified actions: no order constraint, so greedily pair equal
+    // action values in time order (optimal for a symmetric interval bound).
+    match_unclassified(left, right, &lrest, &rrest, |la, lt, rt| {
+        let dev = lt.skew(rt);
+        if dev > eps {
+            return Err(RelationError::TimeBound {
+                action: la.clone(),
+                left_time: lt,
+                right_time: rt,
+                bound: eps,
+            });
+        }
+        Ok(dev)
+    })
+    .map(|(dev, n)| Witness {
+        max_deviation: max_dev.max(dev),
+        matched: matched + n,
+    })
+}
+
+/// Checks `left ≤_{δ,K} right` (Definition 2.9): actions in classes of `K`
+/// may be shifted up to `δ` into the future (keeping their order relative
+/// to each other); all other actions keep their exact times and their order
+/// among themselves.
+///
+/// # Errors
+///
+/// Returns the first violation found; see [`RelationError`].
+///
+/// # Examples
+///
+/// ```
+/// use psync_automata::relations::{delta_shifted, ClassMap};
+/// use psync_automata::TimedTrace;
+/// use psync_time::{Duration, Time};
+///
+/// let t = |n| Time::ZERO + Duration::from_millis(n);
+/// // "out" actions (class 0) may slide forward, "in" actions may not move.
+/// let classes = ClassMap::by(|a: &&str| if *a == "out" { Some(0) } else { None });
+/// let left = TimedTrace::from_pairs(vec![("in", t(1)), ("out", t(2))]);
+/// let right = TimedTrace::from_pairs(vec![("in", t(1)), ("out", t(4))]);
+/// let w = delta_shifted(&left, &right, Duration::from_millis(3), &classes)?;
+/// assert_eq!(w.max_deviation, Duration::from_millis(2));
+/// # Ok::<(), psync_automata::relations::RelationError<&'static str>>(())
+/// ```
+pub fn delta_shifted<A: Action>(
+    left: &TimedTrace<A>,
+    right: &TimedTrace<A>,
+    delta: Duration,
+    classes: &ClassMap<A>,
+) -> Result<Witness, RelationError<A>> {
+    assert!(!delta.is_negative(), "δ must be non-negative");
+    let (lc, lrest) = partition_indices(left, classes);
+    let (rc, rrest) = partition_indices(right, classes);
+
+    let mut max_dev = Duration::ZERO;
+    let mut matched = 0usize;
+
+    // Class actions: forced order-preserving matching; times may only move
+    // forward, by at most δ.
+    let mut li = lc.iter();
+    let mut ri = rc.iter();
+    loop {
+        match (li.next(), ri.next()) {
+            (None, None) => break,
+            (Some((ck, lv)), Some((dk, rv))) if ck == dk => {
+                if lv.len() != rv.len() {
+                    return Err(RelationError::CardinalityMismatch {
+                        class: Some(*ck),
+                        left: lv.len(),
+                        right: rv.len(),
+                    });
+                }
+                for (pos, (&i, &j)) in lv.iter().zip(rv.iter()).enumerate() {
+                    let (la, lt) = left.get(i).expect("index in range");
+                    let (ra, rt) = right.get(j).expect("index in range");
+                    if la != ra {
+                        return Err(RelationError::ActionMismatch {
+                            class: Some(*ck),
+                            position: pos,
+                            left: la.clone(),
+                            right: ra.clone(),
+                        });
+                    }
+                    if rt < lt {
+                        return Err(RelationError::IllegalShift {
+                            action: la.clone(),
+                            left_time: lt,
+                            right_time: rt,
+                        });
+                    }
+                    let dev = rt - lt;
+                    if dev > delta {
+                        return Err(RelationError::TimeBound {
+                            action: la.clone(),
+                            left_time: lt,
+                            right_time: rt,
+                            bound: delta,
+                        });
+                    }
+                    max_dev = max_dev.max(dev);
+                    matched += 1;
+                }
+            }
+            (l, r) => {
+                let (class, left_n, right_n) = match (l, r) {
+                    (Some((ck, lv)), _) => (Some(*ck), lv.len(), 0),
+                    (_, Some((dk, rv))) => (Some(*dk), 0, rv.len()),
+                    _ => unreachable!(),
+                };
+                return Err(RelationError::CardinalityMismatch {
+                    class,
+                    left: left_n,
+                    right: right_n,
+                });
+            }
+        }
+    }
+
+    // Non-class actions: forced matching (order preserved among
+    // themselves), times must be identical.
+    if lrest.len() != rrest.len() {
+        return Err(RelationError::CardinalityMismatch {
+            class: None,
+            left: lrest.len(),
+            right: rrest.len(),
+        });
+    }
+    for (pos, (&i, &j)) in lrest.iter().zip(rrest.iter()).enumerate() {
+        let (la, lt) = left.get(i).expect("index in range");
+        let (ra, rt) = right.get(j).expect("index in range");
+        if la != ra {
+            return Err(RelationError::ActionMismatch {
+                class: None,
+                position: pos,
+                left: la.clone(),
+                right: ra.clone(),
+            });
+        }
+        if lt != rt {
+            return Err(RelationError::IllegalShift {
+                action: la.clone(),
+                left_time: lt,
+                right_time: rt,
+            });
+        }
+        matched += 1;
+    }
+
+    Ok(Witness {
+        max_deviation: max_dev,
+        matched,
+    })
+}
+
+/// Greedy per-action-value matching of the unclassified remainders. Calls
+/// `check(action, left_time, right_time)` on each pair, accumulating the
+/// maximum deviation it returns.
+fn match_unclassified<A: Action>(
+    left: &TimedTrace<A>,
+    right: &TimedTrace<A>,
+    lrest: &[usize],
+    rrest: &[usize],
+    mut check: impl FnMut(&A, Time, Time) -> Result<Duration, RelationError<A>>,
+) -> Result<(Duration, usize), RelationError<A>> {
+    if lrest.len() != rrest.len() {
+        return Err(RelationError::CardinalityMismatch {
+            class: None,
+            left: lrest.len(),
+            right: rrest.len(),
+        });
+    }
+    // Group by identical action value, preserving time order.
+    let mut groups: Vec<(&A, Vec<usize>, Vec<usize>)> = Vec::new();
+    for &i in lrest {
+        let (a, _) = left.get(i).expect("index in range");
+        match groups.iter_mut().find(|(g, _, _)| *g == a) {
+            Some((_, lv, _)) => lv.push(i),
+            None => groups.push((a, vec![i], Vec::new())),
+        }
+    }
+    for &j in rrest {
+        let (a, _) = right.get(j).expect("index in range");
+        match groups.iter_mut().find(|(g, _, _)| *g == a) {
+            Some((_, _, rv)) => rv.push(j),
+            None => {
+                return Err(RelationError::ActionMismatch {
+                    class: None,
+                    position: j,
+                    left: a.clone(),
+                    right: a.clone(),
+                })
+            }
+        }
+    }
+    let mut max_dev = Duration::ZERO;
+    let mut matched = 0usize;
+    for (a, lv, rv) in groups {
+        if lv.len() != rv.len() {
+            return Err(RelationError::CardinalityMismatch {
+                class: None,
+                left: lv.len(),
+                right: rv.len(),
+            });
+        }
+        for (&i, &j) in lv.iter().zip(rv.iter()) {
+            let (_, lt) = left.get(i).expect("index in range");
+            let (_, rt) = right.get(j).expect("index in range");
+            max_dev = max_dev.max(check(a, lt, rt)?);
+            matched += 1;
+        }
+    }
+    Ok((max_dev, matched))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: i64) -> Time {
+        Time::ZERO + Duration::from_millis(n)
+    }
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    type Tr = TimedTrace<&'static str>;
+
+    fn per_node() -> ClassMap<&'static str> {
+        // Actions "aX" belong to node 0, "bX" to node 1.
+        ClassMap::by(|a: &&str| match a.chars().next() {
+            Some('a') => Some(0),
+            Some('b') => Some(1),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn identical_traces_are_eps_equivalent_at_zero() {
+        let tr = Tr::from_pairs(vec![("a1", t(0)), ("b1", t(1)), ("a2", t(2))]);
+        let w = eps_equivalent(&tr, &tr, Duration::ZERO, &per_node()).unwrap();
+        assert_eq!(w.max_deviation, Duration::ZERO);
+        assert_eq!(w.matched, 3);
+    }
+
+    #[test]
+    fn cross_class_reordering_is_allowed() {
+        // Node-a and node-b actions swap global order but keep per-class order.
+        let left = Tr::from_pairs(vec![("a1", t(10)), ("b1", t(11))]);
+        let right = Tr::from_pairs(vec![("b1", t(10)), ("a1", t(11))]);
+        let w = eps_equivalent(&left, &right, ms(1), &per_node()).unwrap();
+        assert_eq!(w.max_deviation, ms(1));
+    }
+
+    #[test]
+    fn within_class_reordering_is_rejected() {
+        let left = Tr::from_pairs(vec![("a1", t(10)), ("a2", t(11))]);
+        let right = Tr::from_pairs(vec![("a2", t(10)), ("a1", t(11))]);
+        let err = eps_equivalent(&left, &right, ms(5), &per_node()).unwrap_err();
+        assert!(matches!(
+            err,
+            RelationError::ActionMismatch { class: Some(0), .. }
+        ));
+    }
+
+    #[test]
+    fn eps_bound_is_tight() {
+        let left = Tr::from_pairs(vec![("a1", t(10))]);
+        let right = Tr::from_pairs(vec![("a1", t(13))]);
+        assert!(eps_equivalent(&left, &right, ms(3), &per_node()).is_ok());
+        let err = eps_equivalent(&left, &right, ms(2), &per_node()).unwrap_err();
+        assert!(matches!(err, RelationError::TimeBound { .. }));
+    }
+
+    #[test]
+    fn cardinality_mismatch_detected() {
+        let left = Tr::from_pairs(vec![("a1", t(10)), ("a2", t(11))]);
+        let right = Tr::from_pairs(vec![("a1", t(10))]);
+        let err = eps_equivalent(&left, &right, ms(5), &per_node()).unwrap_err();
+        assert!(matches!(
+            err,
+            RelationError::CardinalityMismatch {
+                class: Some(0),
+                left: 2,
+                right: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn unclassified_actions_match_greedily() {
+        let classes: ClassMap<&'static str> = ClassMap::by(|_| None);
+        let left = Tr::from_pairs(vec![("x", t(0)), ("x", t(10))]);
+        let right = Tr::from_pairs(vec![("x", t(1)), ("x", t(9))]);
+        let w = eps_equivalent(&left, &right, ms(1), &classes).unwrap();
+        assert_eq!(w.max_deviation, ms(1));
+    }
+
+    #[test]
+    fn delta_shift_forward_within_bound() {
+        let classes = per_node();
+        let left = Tr::from_pairs(vec![("a1", t(5))]);
+        let right = Tr::from_pairs(vec![("a1", t(7))]);
+        let w = delta_shifted(&left, &right, ms(2), &classes).unwrap();
+        assert_eq!(w.max_deviation, ms(2));
+    }
+
+    #[test]
+    fn delta_shift_backward_rejected() {
+        let classes = per_node();
+        let left = Tr::from_pairs(vec![("a1", t(5))]);
+        let right = Tr::from_pairs(vec![("a1", t(4))]);
+        let err = delta_shifted(&left, &right, ms(2), &classes).unwrap_err();
+        assert!(matches!(err, RelationError::IllegalShift { .. }));
+    }
+
+    #[test]
+    fn delta_shift_beyond_bound_rejected() {
+        let classes = per_node();
+        let left = Tr::from_pairs(vec![("a1", t(5))]);
+        let right = Tr::from_pairs(vec![("a1", t(8))]);
+        let err = delta_shifted(&left, &right, ms(2), &classes).unwrap_err();
+        assert!(matches!(err, RelationError::TimeBound { .. }));
+    }
+
+    #[test]
+    fn delta_unclassified_must_keep_exact_time() {
+        let classes = per_node();
+        let left = Tr::from_pairs(vec![("x", t(5)), ("a1", t(6))]);
+        let right = Tr::from_pairs(vec![("x", t(5)), ("a1", t(6))]);
+        assert!(delta_shifted(&left, &right, ms(0), &classes).is_ok());
+
+        let moved = Tr::from_pairs(vec![("x", t(6)), ("a1", t(6))]);
+        let err = delta_shifted(&left, &moved, ms(2), &classes).unwrap_err();
+        assert!(matches!(err, RelationError::IllegalShift { .. }));
+    }
+
+    #[test]
+    fn delta_shift_lets_outputs_pass_inputs() {
+        // The shifted output overtakes a later unclassified input — allowed,
+        // because mixed pairs carry no order constraint.
+        let classes = per_node();
+        let left = Tr::from_pairs(vec![("a1", t(5)), ("x", t(6))]);
+        let right = Tr::from_pairs(vec![("x", t(6)), ("a1", t(7))]);
+        let w = delta_shifted(&left, &right, ms(2), &classes).unwrap();
+        assert_eq!(w.max_deviation, ms(2));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err: RelationError<&'static str> = RelationError::TimeBound {
+            action: "a1",
+            left_time: t(1),
+            right_time: t(5),
+            bound: ms(2),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("a1"));
+        assert!(msg.contains("2ms"));
+    }
+}

@@ -1,0 +1,420 @@
+//! Small example automata used in documentation, tests and benchmarks.
+//!
+//! These are not part of the paper; they exist so that the model crates can
+//! be exercised without pulling in the full network substrate. They are
+//! deliberately tiny but fully honest implementations of the component
+//! traits, and double as templates for writing your own components.
+
+use psync_time::{Duration, Time};
+
+use crate::{Action, ActionKind, ClockComponent, TimedComponent};
+
+/// Actions of the [`Beeper`] and [`ClockBeeper`] toys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BeepAction {
+    /// The `seq`-th beep of beeper `src`.
+    Beep {
+        /// Which beeper emitted it (distinguishes beepers composed in one
+        /// system; compositions may not share output actions).
+        src: u32,
+        /// Sequence number, starting at 0.
+        seq: u64,
+    },
+}
+
+impl Action for BeepAction {
+    fn name(&self) -> &'static str {
+        "BEEP"
+    }
+}
+
+/// State of a [`Beeper`]: when the next beep is due and its sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeeperState {
+    /// Absolute (real or clock) time of the next beep.
+    pub next: Time,
+    /// Sequence number of the next beep.
+    pub seq: u64,
+}
+
+/// A timed automaton that outputs `BEEP(seq)` at exactly `period`,
+/// `2·period`, `3·period`, … of *real* time.
+///
+/// Its `ν` precondition forbids passing a beep deadline, so an execution
+/// engine is forced to stop time exactly at each multiple of the period and
+/// fire — the same "urgent deadline" idiom Algorithm S uses for its
+/// `mintime` (Figure 3 of the paper).
+#[derive(Debug, Clone)]
+pub struct Beeper {
+    period: Duration,
+    src: u32,
+}
+
+impl Beeper {
+    /// Creates a beeper with the given strictly positive period and
+    /// source id 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive.
+    #[must_use]
+    pub fn new(period: Duration) -> Self {
+        Beeper::with_src(period, 0)
+    }
+
+    /// Creates a beeper with an explicit source id, so several beepers can
+    /// be composed without sharing output actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive.
+    #[must_use]
+    pub fn with_src(period: Duration, src: u32) -> Self {
+        assert!(period.is_positive(), "beeper period must be positive");
+        Beeper { period, src }
+    }
+}
+
+impl TimedComponent for Beeper {
+    type Action = BeepAction;
+    type State = BeeperState;
+
+    fn name(&self) -> String {
+        format!("beeper({})", self.period)
+    }
+
+    fn initial(&self) -> BeeperState {
+        BeeperState {
+            next: Time::ZERO + self.period,
+            seq: 0,
+        }
+    }
+
+    fn classify(&self, a: &BeepAction) -> Option<ActionKind> {
+        match a {
+            BeepAction::Beep { src, .. } if *src == self.src => Some(ActionKind::Output),
+            _ => None,
+        }
+    }
+
+    fn step(&self, s: &BeeperState, a: &BeepAction, now: Time) -> Option<BeeperState> {
+        match a {
+            BeepAction::Beep { src, seq } if *src == self.src && *seq == s.seq && now >= s.next => {
+                Some(BeeperState {
+                    next: s.next + self.period,
+                    seq: s.seq + 1,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn enabled(&self, s: &BeeperState, now: Time) -> Vec<BeepAction> {
+        if now >= s.next {
+            vec![BeepAction::Beep {
+                src: self.src,
+                seq: s.seq,
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn deadline(&self, s: &BeeperState, _now: Time) -> Option<Time> {
+        Some(s.next)
+    }
+}
+
+/// The clock-model sibling of [`Beeper`]: beeps at multiples of the node
+/// *clock* instead of real time.
+///
+/// Because [`ClockComponent`] implementations never see `now`, this
+/// automaton is ε-time independent by construction; under a skewed clock
+/// strategy its beeps drift from real multiples of the period by up to the
+/// skew bound — exactly the `=_{ε,κ}` perturbation Theorem 4.7 predicts.
+#[derive(Debug, Clone)]
+pub struct ClockBeeper {
+    period: Duration,
+    src: u32,
+}
+
+impl ClockBeeper {
+    /// Creates a clock-driven beeper with the given strictly positive
+    /// period and source id 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive.
+    #[must_use]
+    pub fn new(period: Duration) -> Self {
+        ClockBeeper::with_src(period, 0)
+    }
+
+    /// Creates a clock-driven beeper with an explicit source id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive.
+    #[must_use]
+    pub fn with_src(period: Duration, src: u32) -> Self {
+        assert!(period.is_positive(), "beeper period must be positive");
+        ClockBeeper { period, src }
+    }
+}
+
+impl ClockComponent for ClockBeeper {
+    type Action = BeepAction;
+    type State = BeeperState;
+
+    fn name(&self) -> String {
+        format!("clock-beeper({})", self.period)
+    }
+
+    fn initial(&self) -> BeeperState {
+        BeeperState {
+            next: Time::ZERO + self.period,
+            seq: 0,
+        }
+    }
+
+    fn classify(&self, a: &BeepAction) -> Option<ActionKind> {
+        match a {
+            BeepAction::Beep { src, .. } if *src == self.src => Some(ActionKind::Output),
+            _ => None,
+        }
+    }
+
+    fn step(&self, s: &BeeperState, a: &BeepAction, clock: Time) -> Option<BeeperState> {
+        match a {
+            BeepAction::Beep { src, seq }
+                if *src == self.src && *seq == s.seq && clock >= s.next =>
+            {
+                Some(BeeperState {
+                    next: s.next + self.period,
+                    seq: s.seq + 1,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn enabled(&self, s: &BeeperState, clock: Time) -> Vec<BeepAction> {
+        if clock >= s.next {
+            vec![BeepAction::Beep {
+                src: self.src,
+                seq: s.seq,
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn clock_deadline(&self, s: &BeeperState, _clock: Time) -> Option<Time> {
+        Some(s.next)
+    }
+}
+
+/// Actions of the [`Echo`] toy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EchoAction {
+    /// Environment stimulus (input).
+    Ping {
+        /// Caller-chosen identifier echoed back in the pong.
+        id: u64,
+    },
+    /// Response emitted exactly `latency` after the matching ping (output).
+    Pong {
+        /// Identifier of the ping being answered.
+        id: u64,
+    },
+}
+
+impl Action for EchoAction {
+    fn name(&self) -> &'static str {
+        match self {
+            EchoAction::Ping { .. } => "PING",
+            EchoAction::Pong { .. } => "PONG",
+        }
+    }
+}
+
+/// State of an [`Echo`]: pongs scheduled but not yet emitted.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EchoState {
+    /// Pending `(id, due-time)` pairs in arrival order.
+    pub pending: Vec<(u64, Time)>,
+}
+
+/// A timed automaton that answers every `PING(id)` with a `PONG(id)` exactly
+/// `latency` later — a minimal input-enabled component with urgent
+/// deadlines, used to exercise input handling in the engine.
+#[derive(Debug, Clone)]
+pub struct Echo {
+    latency: Duration,
+}
+
+impl Echo {
+    /// Creates an echo with the given non-negative response latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is negative.
+    #[must_use]
+    pub fn new(latency: Duration) -> Self {
+        assert!(!latency.is_negative(), "echo latency must be non-negative");
+        Echo { latency }
+    }
+}
+
+impl TimedComponent for Echo {
+    type Action = EchoAction;
+    type State = EchoState;
+
+    fn name(&self) -> String {
+        format!("echo({})", self.latency)
+    }
+
+    fn initial(&self) -> EchoState {
+        EchoState::default()
+    }
+
+    fn classify(&self, a: &EchoAction) -> Option<ActionKind> {
+        match a {
+            EchoAction::Ping { .. } => Some(ActionKind::Input),
+            EchoAction::Pong { .. } => Some(ActionKind::Output),
+        }
+    }
+
+    fn step(&self, s: &EchoState, a: &EchoAction, now: Time) -> Option<EchoState> {
+        match a {
+            EchoAction::Ping { id } => {
+                let mut next = s.clone();
+                next.pending.push((*id, now + self.latency));
+                Some(next)
+            }
+            EchoAction::Pong { id } => {
+                let pos = s
+                    .pending
+                    .iter()
+                    .position(|(pid, due)| pid == id && *due <= now)?;
+                let mut next = s.clone();
+                next.pending.remove(pos);
+                Some(next)
+            }
+        }
+    }
+
+    fn enabled(&self, s: &EchoState, now: Time) -> Vec<EchoAction> {
+        s.pending
+            .iter()
+            .filter(|(_, due)| *due <= now)
+            .map(|(id, _)| EchoAction::Pong { id: *id })
+            .collect()
+    }
+
+    fn deadline(&self, s: &EchoState, _now: Time) -> Option<Time> {
+        s.pending.iter().map(|(_, due)| *due).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn beeper_fires_at_exact_multiples() {
+        let b = Beeper::new(ms(5));
+        let s0 = b.initial();
+        assert_eq!(b.deadline(&s0, Time::ZERO), Some(Time::ZERO + ms(5)));
+        let at = Time::ZERO + ms(5);
+        let acts = b.enabled(&s0, at);
+        assert_eq!(acts, vec![BeepAction::Beep { src: 0, seq: 0 }]);
+        let s1 = b.step(&s0, &acts[0], at).unwrap();
+        assert_eq!(s1.seq, 1);
+        assert_eq!(s1.next, Time::ZERO + ms(10));
+    }
+
+    #[test]
+    fn beeper_rejects_early_or_wrong_seq() {
+        let b = Beeper::new(ms(5));
+        let s0 = b.initial();
+        assert!(b
+            .step(
+                &s0,
+                &BeepAction::Beep { src: 0, seq: 0 },
+                Time::ZERO + ms(4)
+            )
+            .is_none());
+        assert!(b
+            .step(
+                &s0,
+                &BeepAction::Beep { src: 0, seq: 1 },
+                Time::ZERO + ms(5)
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn clock_beeper_mirrors_beeper_in_clock_time() {
+        let b = ClockBeeper::new(ms(5));
+        let s0 = b.initial();
+        assert_eq!(b.clock_deadline(&s0, Time::ZERO), Some(Time::ZERO + ms(5)));
+        let s1 = b
+            .step(
+                &s0,
+                &BeepAction::Beep { src: 0, seq: 0 },
+                Time::ZERO + ms(5),
+            )
+            .unwrap();
+        assert_eq!(s1.next, Time::ZERO + ms(10));
+    }
+
+    #[test]
+    fn echo_answers_after_latency() {
+        let e = Echo::new(ms(3));
+        let s0 = e.initial();
+        let t0 = Time::ZERO + ms(1);
+        let s1 = e.step(&s0, &EchoAction::Ping { id: 7 }, t0).unwrap();
+        assert_eq!(e.deadline(&s1, t0), Some(t0 + ms(3)));
+        assert!(e.enabled(&s1, t0).is_empty());
+        let due = t0 + ms(3);
+        assert_eq!(e.enabled(&s1, due), vec![EchoAction::Pong { id: 7 }]);
+        let s2 = e.step(&s1, &EchoAction::Pong { id: 7 }, due).unwrap();
+        assert!(s2.pending.is_empty());
+    }
+
+    #[test]
+    fn echo_is_input_enabled_even_when_busy() {
+        let e = Echo::new(ms(3));
+        let mut s = e.initial();
+        let t0 = Time::ZERO;
+        for id in 0..4 {
+            s = e.step(&s, &EchoAction::Ping { id }, t0).unwrap();
+        }
+        assert_eq!(s.pending.len(), 4);
+        // All four pongs due at the same time; all enabled.
+        let due = t0 + ms(3);
+        assert_eq!(e.enabled(&s, due).len(), 4);
+    }
+
+    #[test]
+    fn echo_pong_requires_due_pending() {
+        let e = Echo::new(ms(3));
+        let s0 = e.initial();
+        assert!(e
+            .step(&s0, &EchoAction::Pong { id: 1 }, Time::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn default_advance_respects_deadline() {
+        let b = Beeper::new(ms(5));
+        let s0 = b.initial();
+        assert!(b.advance(&s0, Time::ZERO, Time::ZERO + ms(5)).is_some());
+        assert!(b.advance(&s0, Time::ZERO, Time::ZERO + ms(6)).is_none());
+    }
+}

@@ -1,0 +1,293 @@
+//! Timed sequences and timed traces (Section 2.1).
+
+use core::fmt;
+
+use psync_time::Time;
+
+use crate::Action;
+
+/// A *timed sequence* over a set of actions: a sequence of `(action, time)`
+/// pairs with non-decreasing times (Section 2.1 of the paper).
+///
+/// Both *timed schedules* (`t-sched(α)`, all non-time-passage actions of an
+/// execution) and *timed traces* (`t-trace(α)`, the visible actions only)
+/// are values of this type; which one you hold depends on which projection
+/// of an [`Execution`](crate::Execution) produced it.
+///
+/// # Examples
+///
+/// ```
+/// use psync_automata::TimedTrace;
+/// use psync_time::{Duration, Time};
+///
+/// let mut trace: TimedTrace<&'static str> = TimedTrace::new();
+/// trace.push("a", Time::ZERO);
+/// trace.push("b", Time::ZERO + Duration::from_millis(1));
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.get(1), Some((&"b", Time::ZERO + Duration::from_millis(1))));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedTrace<A> {
+    entries: Vec<(A, Time)>,
+}
+
+impl<A> Default for TimedTrace<A> {
+    fn default() -> Self {
+        TimedTrace::new()
+    }
+}
+
+impl<A> TimedTrace<A> {
+    /// The empty timed sequence.
+    #[must_use]
+    pub const fn new() -> Self {
+        TimedTrace {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends an `(action, time)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is smaller than the time of the last entry (timed
+    /// sequences have non-decreasing times).
+    pub fn push(&mut self, action: A, time: Time) {
+        if let Some((_, last)) = self.entries.last() {
+            assert!(
+                time >= *last,
+                "timed sequence times must be non-decreasing ({time} after {last})"
+            );
+        }
+        self.entries.push((action, time));
+    }
+
+    /// Number of action-time pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the sequence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `i`-th pair (0-based), if present.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<(&A, Time)> {
+        self.entries.get(i).map(|(a, t)| (a, *t))
+    }
+
+    /// Iterates over `(action, time)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&A, Time)> + '_ {
+        self.entries.iter().map(|(a, t)| (a, *t))
+    }
+
+    /// The time of the last pair, if any.
+    #[must_use]
+    pub fn last_time(&self) -> Option<Time> {
+        self.entries.last().map(|(_, t)| *t)
+    }
+
+    /// The projection of this sequence onto the actions satisfying `keep`
+    /// (the paper's `β|(B × ℜ⁺)` notation).
+    #[must_use]
+    pub fn project(&self, mut keep: impl FnMut(&A) -> bool) -> TimedTrace<A>
+    where
+        A: Clone,
+    {
+        TimedTrace {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(a, _)| keep(a))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Applies `f` to every action, keeping the times (used when relabelling
+    /// between models, e.g. stripping clock tags from `ESENDMSG` to compare
+    /// against `SENDMSG` traces).
+    #[must_use]
+    pub fn map<B>(&self, mut f: impl FnMut(&A) -> B) -> TimedTrace<B>
+    where
+        A: Clone,
+    {
+        TimedTrace {
+            entries: self.entries.iter().map(|(a, t)| (f(a), *t)).collect(),
+        }
+    }
+
+    /// Consumes the sequence, yielding its pairs.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<(A, Time)> {
+        self.entries
+    }
+
+    /// Borrows the underlying pairs.
+    #[must_use]
+    pub fn as_slice(&self) -> &[(A, Time)] {
+        &self.entries
+    }
+}
+
+impl<A: Clone> TimedTrace<A> {
+    /// Builds a timed sequence from pairs, validating monotonicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if times are not non-decreasing.
+    #[must_use]
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (A, Time)>) -> Self {
+        let mut t = TimedTrace::new();
+        for (a, time) in pairs {
+            t.push(a, time);
+        }
+        t
+    }
+}
+
+impl<A: Action> fmt::Display for TimedTrace<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (a, t)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({a:?}, {t})")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<A> FromIterator<(A, Time)> for TimedTrace<A> {
+    /// # Panics
+    ///
+    /// Panics if times are not non-decreasing.
+    fn from_iter<I: IntoIterator<Item = (A, Time)>>(iter: I) -> Self {
+        let mut t = TimedTrace::new();
+        for (a, time) in iter {
+            t.push(a, time);
+        }
+        t
+    }
+}
+
+/// Stably reorders `(action, time)` pairs into non-decreasing time order,
+/// *retaining the original order of pairs with equal times* — the `γ_α`
+/// construction of Definition 4.2.
+///
+/// The input need not be monotone (in the proof of Theorem 4.6 the pairs
+/// carry per-node *clock* values, which different nodes report out of
+/// order); the output is a valid [`TimedTrace`].
+///
+/// # Examples
+///
+/// ```
+/// use psync_automata::reorder_by_time;
+/// use psync_time::{Duration, Time};
+///
+/// let t0 = Time::ZERO;
+/// let t1 = Time::ZERO + Duration::from_millis(1);
+/// let gamma = reorder_by_time(vec![("b", t1), ("a", t0), ("c", t1)]);
+/// assert_eq!(gamma.as_slice(), &[("a", t0), ("b", t1), ("c", t1)]);
+/// ```
+#[must_use]
+pub fn reorder_by_time<A: Clone>(pairs: Vec<(A, Time)>) -> TimedTrace<A> {
+    let mut indexed: Vec<(usize, (A, Time))> = pairs.into_iter().enumerate().collect();
+    // Stable by construction: sort_by_key on (time, original index).
+    indexed.sort_by_key(|(i, (_, t))| (*t, *i));
+    TimedTrace {
+        entries: indexed.into_iter().map(|(_, p)| p).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_time::Duration;
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + Duration::from_millis(n)
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let mut tr = TimedTrace::new();
+        tr.push("x", at(0));
+        tr.push("y", at(0));
+        tr.push("z", at(2));
+        assert_eq!(tr.len(), 3);
+        let collected: Vec<_> = tr.iter().map(|(a, t)| (*a, t)).collect();
+        assert_eq!(collected, vec![("x", at(0)), ("y", at(0)), ("z", at(2))]);
+        assert_eq!(tr.last_time(), Some(at(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn push_rejects_time_regression() {
+        let mut tr = TimedTrace::new();
+        tr.push("x", at(5));
+        tr.push("y", at(4));
+    }
+
+    #[test]
+    fn projection_keeps_subsequence() {
+        let tr = TimedTrace::from_pairs(vec![("a", at(0)), ("b", at(1)), ("a", at(2))]);
+        let only_a = tr.project(|a| *a == "a");
+        assert_eq!(only_a.as_slice(), &[("a", at(0)), ("a", at(2))]);
+    }
+
+    #[test]
+    fn map_relabels() {
+        let tr = TimedTrace::from_pairs(vec![("a", at(0)), ("b", at(1))]);
+        let upper = tr.map(|a| a.to_uppercase());
+        assert_eq!(
+            upper.as_slice(),
+            &[("A".to_string(), at(0)), ("B".to_string(), at(1))]
+        );
+    }
+
+    #[test]
+    fn reorder_is_stable_on_ties() {
+        let gamma = reorder_by_time(vec![
+            ("late", at(3)),
+            ("first-tie", at(1)),
+            ("second-tie", at(1)),
+            ("early", at(0)),
+        ]);
+        assert_eq!(
+            gamma.as_slice(),
+            &[
+                ("early", at(0)),
+                ("first-tie", at(1)),
+                ("second-tie", at(1)),
+                ("late", at(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn reorder_of_sorted_input_is_identity() {
+        let pairs = vec![("a", at(0)), ("b", at(1)), ("c", at(1))];
+        let gamma = reorder_by_time(pairs.clone());
+        assert_eq!(gamma.as_slice(), pairs.as_slice());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let tr: TimedTrace<&str> = vec![("a", at(0)), ("b", at(1))].into_iter().collect();
+        assert_eq!(tr.len(), 2);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let tr: TimedTrace<&str> = TimedTrace::new();
+        assert!(tr.is_empty());
+        assert_eq!(tr.last_time(), None);
+        assert_eq!(tr.get(0), None);
+    }
+}

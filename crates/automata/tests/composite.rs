@@ -1,0 +1,105 @@
+//! Tests for `ClockComposite` — the clock-automaton composition of
+//! Definition 2.7 as a single component.
+
+use psync_automata::toys::{BeepAction, ClockBeeper};
+use psync_automata::{ActionKind, ClockComponent, ClockComponentBox, ClockComposite, HiddenClock};
+use psync_time::{Duration, Time};
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+fn at(n: i64) -> Time {
+    Time::ZERO + ms(n)
+}
+
+fn two_beepers() -> ClockComposite<BeepAction> {
+    ClockComposite::new(
+        "pair",
+        vec![
+            ClockComponentBox::new(ClockBeeper::with_src(ms(5), 0)),
+            ClockComponentBox::new(ClockBeeper::with_src(ms(7), 1)),
+        ],
+    )
+}
+
+#[test]
+fn composite_unions_enabled_actions() {
+    let c = two_beepers();
+    let s0 = c.initial();
+    assert!(c.enabled(&s0, at(4)).is_empty());
+    assert_eq!(
+        c.enabled(&s0, at(5)),
+        vec![BeepAction::Beep { src: 0, seq: 0 }]
+    );
+    // At 7 ms (without firing) both are pending… but the deadline would
+    // have stopped time at 5 ms; query hypothetically:
+    let both = c.enabled(&s0, at(7));
+    assert_eq!(both.len(), 2);
+}
+
+#[test]
+fn composite_deadline_is_min_of_parts() {
+    let c = two_beepers();
+    let s0 = c.initial();
+    assert_eq!(c.clock_deadline(&s0, Time::ZERO), Some(at(5)));
+    // Fire the 5 ms beep: deadline moves to the 7 ms part.
+    let s1 = c
+        .step(&s0, &BeepAction::Beep { src: 0, seq: 0 }, at(5))
+        .unwrap();
+    assert_eq!(c.clock_deadline(&s1, at(5)), Some(at(7)));
+}
+
+#[test]
+fn composite_steps_only_touch_owning_parts() {
+    let c = two_beepers();
+    let s0 = c.initial();
+    let s1 = c
+        .step(&s0, &BeepAction::Beep { src: 0, seq: 0 }, at(5))
+        .unwrap();
+    // Part 1 (src 1) untouched: its first beep is still seq 0 at 7 ms.
+    let en = c.enabled(&s1, at(7));
+    assert_eq!(en, vec![BeepAction::Beep { src: 1, seq: 0 }]);
+    // An action of neither part is out of signature.
+    assert!(c
+        .step(&s0, &BeepAction::Beep { src: 9, seq: 0 }, at(5))
+        .is_none());
+    assert_eq!(c.classify(&BeepAction::Beep { src: 9, seq: 0 }), None);
+}
+
+#[test]
+fn composite_advance_moves_every_part() {
+    let c = two_beepers();
+    let s0 = c.initial();
+    let s1 = c.advance(&s0, Time::ZERO, at(5)).expect("within deadline");
+    // Advancing beyond the earliest part's deadline is refused.
+    assert!(c.advance(&s0, Time::ZERO, at(6)).is_none());
+    // After the first beep the composite advances to the next deadline.
+    let s2 = c
+        .step(&s1, &BeepAction::Beep { src: 0, seq: 0 }, at(5))
+        .unwrap();
+    assert!(c.advance(&s2, at(5), at(7)).is_some());
+}
+
+#[test]
+fn composite_classification_prefers_controllers() {
+    // A hidden part's output is internal; the composite reports it so.
+    let c = ClockComposite::new(
+        "mixed",
+        vec![ClockComponentBox::new(HiddenClock::new(
+            ClockBeeper::with_src(ms(5), 0),
+            |_: &BeepAction| true,
+        ))],
+    );
+    assert_eq!(
+        c.classify(&BeepAction::Beep { src: 0, seq: 0 }),
+        Some(ActionKind::Internal)
+    );
+}
+
+#[test]
+fn composite_exposes_parts() {
+    let c = two_beepers();
+    assert_eq!(c.parts().len(), 2);
+    assert_eq!(ClockComponent::name(&c), "pair");
+}

@@ -1,0 +1,71 @@
+//! Criterion bench: the history checkers (linearizability and
+//! ε-superlinearizability) on histories of growing size and concurrency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psync_net::NodeId;
+use psync_register::history::{OpKind, Operation};
+use psync_register::Value;
+use psync_time::{Duration, Time};
+use psync_verify::{check_linearizable, check_superlinearizable};
+
+fn t(n: i64) -> Time {
+    Time::ZERO + Duration::from_millis(n)
+}
+
+/// A concurrent but linearizable history: `nodes` writers/readers doing
+/// `per_node` overlapping operations.
+fn make_history(nodes: usize, per_node: usize) -> Vec<Operation> {
+    let mut ops = Vec::new();
+    for k in 0..per_node {
+        let base = (k as i64) * 20;
+        for node in 0..nodes {
+            let off = node as i64;
+            if node == 0 {
+                ops.push(Operation {
+                    node: NodeId(node),
+                    kind: OpKind::Write {
+                        value: Value((k + 1) as u64),
+                    },
+                    invoked: t(base + off),
+                    responded: Some(t(base + 15 + off)),
+                });
+            } else {
+                // Readers overlapping the write may see old or new; use
+                // the *previous* value so both orders stay feasible.
+                let seen = if k == 0 { Value(0) } else { Value(k as u64) };
+                ops.push(Operation {
+                    node: NodeId(node),
+                    kind: OpKind::Read { returned: seen },
+                    invoked: t(base + off),
+                    responded: Some(t(base + 10 + off)),
+                });
+            }
+        }
+    }
+    ops.sort_by_key(|o| o.invoked);
+    ops
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linearizability_checker");
+    for (nodes, per_node) in [(3usize, 50usize), (5, 50), (5, 200)] {
+        let ops = make_history(nodes, per_node);
+        assert!(check_linearizable(&ops, Value(0)).holds());
+        group.bench_with_input(
+            BenchmarkId::new("linearizable", format!("{nodes}x{per_node}")),
+            &ops,
+            |b, ops| b.iter(|| check_linearizable(ops, Value(0)).holds()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("superlinearizable", format!("{nodes}x{per_node}")),
+            &ops,
+            |b, ops| {
+                b.iter(|| check_superlinearizable(ops, Value(0), Duration::from_millis(1)).holds())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: engine throughput on the D_C register scenario as the
+//! node count grows (experiment E9's timing half).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psync_bench::Scenario;
+
+fn bench_dc_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dc_register_run");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let scenario = Scenario {
+                n,
+                ops_per_node: 5,
+                ..Scenario::default_with(17)
+            };
+            b.iter(|| {
+                let exec = scenario.run_dc();
+                assert!(!exec.is_empty());
+                exec.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dc_run);
+criterion_main!(benches);

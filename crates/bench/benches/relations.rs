@@ -1,0 +1,72 @@
+//! Criterion bench: the `=_{ε,κ}` and `≤_{δ,K}` trace matchers on traces
+//! of growing length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psync_automata::relations::{delta_shifted, eps_equivalent, ClassMap};
+use psync_automata::TimedTrace;
+use psync_time::{Duration, Time};
+
+fn make_traces(len: usize) -> (TimedTrace<&'static str>, TimedTrace<&'static str>) {
+    const ACTIONS: [&str; 4] = ["a", "b", "c", "d"];
+    let base: TimedTrace<&'static str> = (0..len)
+        .map(|i| {
+            (
+                ACTIONS[i % 4],
+                Time::ZERO + Duration::from_millis(i as i64 * 3),
+            )
+        })
+        .collect();
+    // Perturb each action by ±1 ms deterministically (preserving per-class
+    // order because actions of one class are 12 ms apart).
+    let perturbed: TimedTrace<&'static str> = (0..len)
+        .map(|i| {
+            let jitter = if i % 2 == 0 { 1 } else { -1 };
+            (
+                ACTIONS[i % 4],
+                Time::ZERO + Duration::from_millis(i as i64 * 3 + jitter),
+            )
+        })
+        .collect();
+    (base, perturbed)
+}
+
+fn classes() -> ClassMap<&'static str> {
+    ClassMap::by(|a: &&str| match *a {
+        "a" => Some(0),
+        "b" => Some(1),
+        "c" => Some(2),
+        _ => Some(3),
+    })
+}
+
+fn bench_relations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_relations");
+    for len in [100usize, 1_000, 10_000] {
+        let (base, perturbed) = make_traces(len);
+        let cls = classes();
+        group.bench_with_input(BenchmarkId::new("eps_equivalent", len), &len, |b, _| {
+            b.iter(|| {
+                eps_equivalent(&base, &perturbed, Duration::from_millis(1), &cls)
+                    .expect("related")
+                    .matched
+            })
+        });
+        // For ≤_δ the right trace must only move forward: reuse base vs a
+        // +1 ms uniformly shifted copy.
+        let shifted: TimedTrace<&'static str> = base
+            .iter()
+            .map(|(a, t)| (*a, t + Duration::from_millis(1)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("delta_shifted", len), &len, |b, _| {
+            b.iter(|| {
+                delta_shifted(&base, &shifted, Duration::from_millis(1), &cls)
+                    .expect("related")
+                    .matched
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relations);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Criterion bench: the runtime cost of each model tier — the same
+//! register workload executed in `D_T`, `D_C` and `D_M`.
+//!
+//! The paper's pipeline trades latency bounds for realism; this bench
+//! measures what the *simulator* pays for each tier (the MMT tier's τ/TICK
+//! machinery dominates).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psync_core::{build_dc, build_dm, build_dt, DmNodeConfig, NodeSpec};
+use psync_executor::{ClockStrategy, PerfectClock};
+use psync_mmt::{StepPolicy, TickConfig};
+use psync_net::{MaxDelay, Script, Topology};
+use psync_register::{AlgorithmS, RegMsg, RegisterOp, RegisterParams, Value};
+use psync_time::{DelayBounds, Duration, Time};
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+fn us(n: i64) -> Duration {
+    Duration::from_micros(n)
+}
+
+struct Fixture {
+    topo: Topology,
+    physical: DelayBounds,
+    eps: Duration,
+    ell: Duration,
+    params: RegisterParams,
+    script: Vec<(Time, RegisterOp)>,
+    horizon: Time,
+}
+
+fn fixture() -> Fixture {
+    let n = 3;
+    let topo = Topology::complete(n);
+    let physical = DelayBounds::new(ms(1), ms(5)).unwrap();
+    let eps = ms(1);
+    let ell = us(200);
+    let params = RegisterParams {
+        peers: topo.nodes().collect(),
+        d2_virtual: physical.widen_composed(eps, n as i64, ell).max(),
+        c: ms(2),
+        delta: us(100),
+        read_slack: eps * 2,
+    };
+    let mut script = Vec::new();
+    let mut t = Time::ZERO + ms(10);
+    for round in 0..4u32 {
+        for i in topo.nodes() {
+            let op = if (round + i.0 as u32).is_multiple_of(2) {
+                RegisterOp::Write {
+                    node: i,
+                    value: Value::unique(i, round),
+                }
+            } else {
+                RegisterOp::Read { node: i }
+            };
+            script.push((t, op));
+            t += ms(30);
+        }
+    }
+    let horizon = t + ms(50);
+    Fixture {
+        topo,
+        physical,
+        eps,
+        ell,
+        params,
+        script,
+        horizon,
+    }
+}
+
+impl Fixture {
+    fn algorithms(&self) -> Vec<NodeSpec<RegMsg, RegisterOp>> {
+        self.topo
+            .nodes()
+            .map(|i| NodeSpec::new(i, AlgorithmS::new(i, self.params.clone())))
+            .collect()
+    }
+
+    fn workload(&self) -> Script<RegMsg, RegisterOp> {
+        Script::new(self.script.clone(), |op: &RegisterOp| op.is_response())
+    }
+}
+
+fn bench_models(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("model_tier");
+    group.sample_size(20);
+
+    group.bench_function("dt", |b| {
+        b.iter(|| {
+            let mut engine = build_dt(&f.topo, f.physical, f.algorithms(), |_, _| {
+                Box::new(MaxDelay)
+            })
+            .timed(f.workload())
+            .horizon(f.horizon)
+            .build();
+            engine.run().unwrap().execution.len()
+        });
+    });
+
+    group.bench_function("dc", |b| {
+        b.iter(|| {
+            let strategies = f
+                .topo
+                .nodes()
+                .map(|_| Box::new(PerfectClock) as Box<dyn ClockStrategy>)
+                .collect();
+            let mut engine = build_dc(
+                &f.topo,
+                f.physical,
+                f.eps,
+                f.algorithms(),
+                strategies,
+                |_, _| Box::new(MaxDelay),
+            )
+            .timed(f.workload())
+            .horizon(f.horizon)
+            .build();
+            engine.run().unwrap().execution.len()
+        });
+    });
+
+    group.bench_function("dm", |b| {
+        b.iter(|| {
+            let configs = f
+                .topo
+                .nodes()
+                .map(|_| DmNodeConfig {
+                    ell: f.ell,
+                    step_policy: StepPolicy::Lazy,
+                    tick: TickConfig::honest(f.eps, f.ell),
+                })
+                .collect();
+            let mut engine = build_dm(&f.topo, f.physical, f.algorithms(), configs, |_, _| {
+                Box::new(MaxDelay)
+            })
+            .timed(f.workload())
+            .horizon(f.horizon)
+            .build();
+            engine.run().unwrap().execution.len()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

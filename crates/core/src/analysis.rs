@@ -1,0 +1,227 @@
+//! Per-message flight analysis: the measurable quantities behind
+//! Lemma 4.5 (clock-time delay envelope) and Section 7.2 (when the receive
+//! buffering actually engages).
+
+use core::fmt::Debug;
+use core::hash::Hash;
+use std::collections::BTreeMap;
+
+use psync_automata::{Action, Execution};
+use psync_net::{MsgId, NodeId, SysAction};
+use psync_time::{Duration, Time};
+
+/// Everything observable about one message's journey through a clock-model
+/// (or MMT-model) system.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Flight {
+    /// Sending node.
+    pub src: Option<NodeId>,
+    /// Receiving node.
+    pub dst: Option<NodeId>,
+    /// Real time of the algorithm's `SENDMSG` (hand-off to the send
+    /// buffer).
+    pub send_real: Option<Time>,
+    /// Real time of `ESENDMSG` (entry into the channel).
+    pub esend_real: Option<Time>,
+    /// The clock stamp `c` the send buffer attached.
+    pub stamp: Option<Time>,
+    /// Real time of `ERECVMSG` (arrival at the receive buffer).
+    pub erecv_real: Option<Time>,
+    /// Real time of `RECVMSG` (release to the algorithm).
+    pub recv_real: Option<Time>,
+    /// Receiver's clock at release.
+    pub recv_clock: Option<Time>,
+}
+
+impl Flight {
+    /// Real-time delay through the channel (`ESENDMSG → ERECVMSG`), the
+    /// quantity the channel automaton confines to `[d₁, d₂]`.
+    #[must_use]
+    pub fn channel_delay(&self) -> Option<Duration> {
+        Some(self.erecv_real? - self.esend_real?)
+    }
+
+    /// Clock-time delay as the nodes see it: receiver's release clock
+    /// minus the send stamp. Lemma 4.5 confines this to
+    /// `[max(0, d₁ − 2ε), d₂ + 2ε]`.
+    #[must_use]
+    pub fn clock_delay(&self) -> Option<Duration> {
+        Some(self.recv_clock? - self.stamp?)
+    }
+
+    /// How long the receive buffer held the message
+    /// (`ERECVMSG → RECVMSG`). Zero when the buffering never engaged —
+    /// which Section 7.2 predicts whenever `d₁ > 2ε`.
+    #[must_use]
+    pub fn hold_time(&self) -> Option<Duration> {
+        Some(self.recv_real? - self.erecv_real?)
+    }
+
+    /// `true` when every stage of the journey was observed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.esend_real.is_some()
+            && self.stamp.is_some()
+            && self.erecv_real.is_some()
+            && self.recv_real.is_some()
+            && self.recv_clock.is_some()
+    }
+}
+
+/// Extracts the flight record of every message in an execution, keyed by
+/// message id. Works on `D_C` and `D_M` executions (all interface actions
+/// are recorded even when hidden — hiding affects only visibility, not
+/// recording).
+#[must_use]
+pub fn flights<M, A>(exec: &Execution<SysAction<M, A>>) -> BTreeMap<MsgId, Flight>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    let mut out: BTreeMap<MsgId, Flight> = BTreeMap::new();
+    for e in exec.events() {
+        match &e.action {
+            SysAction::Send(env) => {
+                let f = out.entry(env.id).or_default();
+                f.src = Some(env.src);
+                f.dst = Some(env.dst);
+                f.send_real = Some(e.now);
+            }
+            SysAction::ESend(env, c) => {
+                let f = out.entry(env.id).or_default();
+                f.src = Some(env.src);
+                f.dst = Some(env.dst);
+                f.esend_real = Some(e.now);
+                f.stamp = Some(*c);
+            }
+            SysAction::ERecv(env, _) => {
+                let f = out.entry(env.id).or_default();
+                f.erecv_real = Some(e.now);
+            }
+            SysAction::Recv(env) => {
+                let f = out.entry(env.id).or_default();
+                f.recv_real = Some(e.now);
+                f.recv_clock = e.clock;
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Summary statistics over a set of durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurationStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum.
+    pub min: Duration,
+    /// Maximum.
+    pub max: Duration,
+    /// Mean (integer nanoseconds).
+    pub mean: Duration,
+}
+
+/// Computes summary statistics; `None` for an empty sample.
+#[must_use]
+pub fn duration_stats(samples: impl IntoIterator<Item = Duration>) -> Option<DurationStats> {
+    let mut count = 0usize;
+    let mut min = Duration::MAX;
+    let mut max = Duration::MIN;
+    let mut total: i128 = 0;
+    for d in samples {
+        count += 1;
+        min = min.min(d);
+        max = max.max(d);
+        total += i128::from(d.as_nanos());
+    }
+    if count == 0 {
+        return None;
+    }
+    Some(DurationStats {
+        count,
+        min,
+        max,
+        mean: Duration::from_nanos((total / count as i128) as i64),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_automata::{ActionKind, TimedEvent};
+    use psync_net::Envelope;
+
+    type S = SysAction<u32, &'static str>;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + ms(n)
+    }
+
+    fn env(id: u64) -> Envelope<u32> {
+        Envelope {
+            src: NodeId(0),
+            dst: NodeId(1),
+            id: MsgId(id),
+            payload: 7,
+        }
+    }
+
+    fn exec_with_one_flight() -> Execution<S> {
+        let mk = |action: S, now: Time, clock: Option<Time>| TimedEvent {
+            action,
+            kind: ActionKind::Internal,
+            now,
+            clock,
+        };
+        Execution::new(
+            vec![
+                mk(S::Send(env(1)), at(1), Some(at(2))),
+                mk(S::ESend(env(1), at(2)), at(1), Some(at(2))),
+                mk(S::ERecv(env(1), at(2)), at(4), Some(at(3))),
+                mk(S::Recv(env(1)), at(5), Some(at(4))),
+            ],
+            at(10),
+        )
+    }
+
+    #[test]
+    fn flight_extraction_covers_all_stages() {
+        let f = &flights(&exec_with_one_flight())[&MsgId(1)];
+        assert!(f.is_complete());
+        assert_eq!(f.src, Some(NodeId(0)));
+        assert_eq!(f.dst, Some(NodeId(1)));
+        assert_eq!(f.channel_delay(), Some(ms(3)));
+        assert_eq!(f.clock_delay(), Some(ms(2)));
+        assert_eq!(f.hold_time(), Some(ms(1)));
+    }
+
+    #[test]
+    fn incomplete_flight_reports_none() {
+        let mk = |action: S, now: Time| TimedEvent {
+            action,
+            kind: ActionKind::Internal,
+            now,
+            clock: None,
+        };
+        let exec = Execution::new(vec![mk(S::ESend(env(1), at(2)), at(1))], at(10));
+        let f = &flights(&exec)[&MsgId(1)];
+        assert!(!f.is_complete());
+        assert_eq!(f.channel_delay(), None);
+        assert_eq!(f.hold_time(), None);
+    }
+
+    #[test]
+    fn stats_computation() {
+        let s = duration_stats([ms(1), ms(2), ms(6)]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, ms(1));
+        assert_eq!(s.max, ms(6));
+        assert_eq!(s.mean, ms(3));
+        assert_eq!(duration_stats([]), None);
+    }
+}

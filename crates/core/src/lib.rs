@@ -1,0 +1,67 @@
+//! The two clock simulations of Chaudhuri, Gawlick and Lynch (PODC 1993) —
+//! the paper's primary contribution.
+//!
+//! An algorithm author designs and verifies node automata `A_i` in the
+//! *timed automaton* model, where `now` is directly readable and actions
+//! can be scheduled at exact real times (Section 3). This crate transforms
+//! those automata mechanically to run in progressively more realistic
+//! models:
+//!
+//! 1. **Simulation 1** (Section 4): [`ClockSim`] reinterprets `A_i` over
+//!    the node clock (`C(A_i, ε)`, Definition 4.1); [`SendBuffer`] tags
+//!    outgoing messages with the sending clock (`S_{ij,ε}`, Figure 2
+//!    left); [`RecvBuffer`] holds incoming messages until the local clock
+//!    reaches the send stamp (`R_{ji,ε}`, Figure 2 right); and
+//!    [`transform_node`] assembles the full node `A^c_{i,ε}`.
+//!    **Theorem 4.7**: if `D_T` solves `P` over links `[max(d₁−2ε,0),
+//!    d₂+2ε]`, the transformed `D_C` solves `P_ε` over physical links
+//!    `[d₁, d₂]`. [`check_sim1`] verifies this constructively on recorded
+//!    executions via the `γ_α` construction (Definition 4.2).
+//! 2. **Simulation 2** (Section 5): [`MmtSim`] turns the whole clock node
+//!    into an MMT automaton (`M(A^c_{i,ε}, ℓ)`, Definition 5.1) that
+//!    *catches up* with its clock lazily — replaying the clock automaton
+//!    up to each `TICK` reading and queuing the outputs it owes in a
+//!    `pending` buffer. **Theorem 5.1**: `D_M` solves `P^{kℓ+2ε+3ℓ}`;
+//!    [`sim2_shift_bound`] computes the bound, [`check_sim2`] verifies a
+//!    run against it.
+//!
+//! System assembly helpers [`build_dt`], [`build_dc`] and [`build_dm`]
+//! produce ready-to-extend engine builders for all three models, and
+//! [`analysis`] extracts per-message flight data (the quantities behind
+//! Lemma 4.5 and the buffering discussion of Section 7.2).
+//!
+//! # The full pipeline
+//!
+//! ```text
+//! A_i  (timed automaton, designed against [max(d₁−2ε,0), d₂+2ε+kℓ])
+//!  │ ClockSim + SendBuffer/RecvBuffer        — Simulation 1 (Thm 4.7)
+//!  ▼
+//! A^c_{i,ε}  (clock automaton node, solves P_ε over [d₁, d₂+kℓ])
+//!  │ MmtSim + TickSource + MmtAsTimed        — Simulation 2 (Thm 5.1)
+//!  ▼
+//! A^m_{i,ε,ℓ}  (MMT automaton, solves (P_ε)^{kℓ+2ε+3ℓ} over [d₁, d₂])
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod clock_sim;
+mod mmt_sim;
+mod node;
+mod recv_buffer;
+mod send_buffer;
+mod system;
+mod theorem4;
+mod theorem5;
+
+pub use clock_sim::ClockSim;
+pub use mmt_sim::{MmtSim, MmtSimState};
+pub use node::{transform_node, NodeSpec};
+pub use recv_buffer::{RecvBuffer, RecvBufferState};
+pub use send_buffer::{SendBuffer, SendBufferState};
+pub use system::{build_dc, build_dm, build_dt, DmNodeConfig};
+pub use theorem4::{app_trace, check_sim1, node_classes, sim1_witness};
+pub use theorem5::{
+    check_sim2, max_outputs_per_window, output_classes, outputs_of_node, sim2_shift_bound,
+};

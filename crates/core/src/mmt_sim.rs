@@ -1,0 +1,472 @@
+//! The transformation `M(A^c_{i,ε}, ℓ)` (Definition 5.1).
+
+use core::fmt::Debug;
+use core::hash::Hash;
+use std::collections::VecDeque;
+
+use psync_automata::{Action, ActionKind, ClockComponent, ClockComponentBox, DynState};
+use psync_mmt::{Boundmap, MmtComponent, TaskId};
+use psync_net::{NodeId, SysAction};
+use psync_time::{Duration, Time};
+
+/// Safety cap on the number of inner steps one catch-up may take; hitting
+/// it means the wrapped clock automaton fires actions forever at one clock
+/// instant (a Zeno component).
+const MAX_FRAG_STEPS: usize = 100_000;
+
+/// The state of an [`MmtSim`] (Definition 5.1's `states(M(A^c, ℓ))`).
+#[derive(Debug, Clone)]
+pub struct MmtSimState<M, A> {
+    /// `simstate`: the simulated clock-automaton state.
+    pub sim: DynState,
+    /// The clock value `simstate` has been caught up to.
+    pub simclock: Time,
+    /// `mmtclock`: the latest `TICK(c)` reading.
+    pub mmtclock: Time,
+    /// `pending`: output actions owed to the environment, in order.
+    pub pending: VecDeque<SysAction<M, A>>,
+}
+
+/// `M(A^c_{i,ε}, ℓ)`: the MMT automaton that simulates a clock-automaton
+/// node in the realistic model (Definition 5.1 of the paper).
+///
+/// The MMT automaton cannot see the clock continuously — only through
+/// `TICK(c)` inputs — and cannot act at exact clock values. It therefore
+/// performs a **delayed simulation**: on every step it *catches up* the
+/// simulated node from its last simulated clock value to the latest tick
+/// reading, replaying the node's execution fragment (the derived `frag` of
+/// Definition 5.1) — internal actions apply silently, output actions apply
+/// to the simulated state *and* are appended to the `pending` buffer to be
+/// emitted later, one per MMT step. With step bound `ℓ` and at most `k`
+/// outputs per `kℓ` clock window (Lemma 4.3), every output is emitted at
+/// most `kℓ + 2ε + 3ℓ` after the clock automaton would have emitted it —
+/// Theorem 5.1.
+///
+/// The choice of fragment is deterministic here: enabled locally
+/// controlled actions fire eagerly (first-enabled order) at each clock
+/// instant, and the clock advances deadline-to-deadline. This is one of
+/// the fragments Definition 5.1 permits.
+pub struct MmtSim<M, A>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    node: NodeId,
+    inner: ClockComponentBox<SysAction<M, A>>,
+    ell: Duration,
+}
+
+impl<M, A> MmtSim<M, A>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    /// Wraps the (composed) clock node `inner` as an MMT automaton with
+    /// step bound `ℓ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ell` is not strictly positive.
+    #[must_use]
+    pub fn new(
+        node: NodeId,
+        inner: impl ClockComponent<Action = SysAction<M, A>>,
+        ell: Duration,
+    ) -> Self {
+        assert!(ell.is_positive(), "step bound ℓ must be strictly positive");
+        MmtSim {
+            node,
+            inner: ClockComponentBox::new(inner),
+            ell,
+        }
+    }
+
+    /// The step bound `ℓ`.
+    #[must_use]
+    pub fn ell(&self) -> Duration {
+        self.ell
+    }
+
+    /// Computes the derived `frag`: replays the inner clock automaton from
+    /// `(s.sim, s.simclock)` up to clock `s.mmtclock`, returning the final
+    /// state (`fragstate`) and the outputs performed along the way
+    /// (`fragoutputs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner automaton is Zeno (more than `MAX_FRAG_STEPS`
+    /// actions at one instant) or stops time (a clock deadline falls due
+    /// with nothing enabled) — both are model errors in the wrapped
+    /// component.
+    fn frag(&self, s: &MmtSimState<M, A>) -> (DynState, Vec<SysAction<M, A>>) {
+        let mut st = s.sim.clone();
+        let mut clock = s.simclock;
+        let mut outs = Vec::new();
+        let mut steps = 0usize;
+        loop {
+            // Fire everything enabled at this clock instant, eagerly.
+            loop {
+                let enabled = self.inner.enabled(&st, clock);
+                let Some(a) = enabled.first() else { break };
+                let kind = self
+                    .inner
+                    .classify(a)
+                    .expect("enabled action must be in signature");
+                st = self
+                    .inner
+                    .step(&st, a, clock)
+                    .expect("enabled action must step");
+                if kind == ActionKind::Output {
+                    outs.push(a.clone());
+                }
+                steps += 1;
+                assert!(
+                    steps <= MAX_FRAG_STEPS,
+                    "Zeno clock component inside M({}): >{MAX_FRAG_STEPS} steps at clock {clock}",
+                    self.node
+                );
+            }
+            if clock >= s.mmtclock {
+                break;
+            }
+            let target = match self.inner.clock_deadline(&st, clock) {
+                Some(d) => {
+                    assert!(
+                        d > clock,
+                        "clock component inside M({}) stopped time at clock {clock} (deadline {d})",
+                        self.node
+                    );
+                    d.min(s.mmtclock)
+                }
+                None => s.mmtclock,
+            };
+            st = self
+                .inner
+                .advance(&st, clock, target)
+                .expect("advance within deadline must succeed");
+            clock = target;
+        }
+        (st, outs)
+    }
+}
+
+impl<M, A> MmtComponent for MmtSim<M, A>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    type Action = SysAction<M, A>;
+    type State = MmtSimState<M, A>;
+
+    fn name(&self) -> String {
+        format!("M({}, ℓ={})", self.node, self.ell)
+    }
+
+    fn initial(&self) -> Self::State {
+        MmtSimState {
+            sim: self.inner.initial(),
+            simclock: Time::ZERO,
+            mmtclock: Time::ZERO,
+            pending: VecDeque::new(),
+        }
+    }
+
+    fn classify(&self, a: &Self::Action) -> Option<ActionKind> {
+        match a {
+            SysAction::Tick { node, .. } if *node == self.node => Some(ActionKind::Input),
+            SysAction::Tau { node } if *node == self.node => Some(ActionKind::Internal),
+            _ => match self.inner.classify(a)? {
+                // The inner automaton's internal actions happen silently
+                // inside `frag`; they are not actions of M (Definition 5.1
+                // has signature (in ∪ {TICK}, out, {τ})).
+                ActionKind::Internal => None,
+                k => Some(k),
+            },
+        }
+    }
+
+    fn step(&self, s: &Self::State, a: &Self::Action) -> Option<Self::State> {
+        match a {
+            SysAction::Tick { node, clock } if *node == self.node => {
+                // TICK(c): only the known clock value changes.
+                if *clock < s.mmtclock {
+                    return None; // tick sources emit non-decreasing readings
+                }
+                let mut next = s.clone();
+                next.mmtclock = *clock;
+                Some(next)
+            }
+            SysAction::Tau { node } if *node == self.node => {
+                // τ: catch up; allowed only with an empty pending buffer.
+                if !s.pending.is_empty() {
+                    return None;
+                }
+                let (sim, outs) = self.frag(s);
+                Some(MmtSimState {
+                    sim,
+                    simclock: s.mmtclock,
+                    mmtclock: s.mmtclock,
+                    pending: outs.into(),
+                })
+            }
+            _ => match self.inner.classify(a)? {
+                ActionKind::Input => {
+                    // Catch up, then apply the input at the caught-up state.
+                    let (frag_state, outs) = self.frag(s);
+                    let sim = self.inner.step(&frag_state, a, s.mmtclock)?;
+                    let mut pending = s.pending.clone();
+                    pending.extend(outs);
+                    Some(MmtSimState {
+                        sim,
+                        simclock: s.mmtclock,
+                        mmtclock: s.mmtclock,
+                        pending,
+                    })
+                }
+                ActionKind::Output => {
+                    // Emit the first owed output; its effect on the
+                    // simulated state was already applied during a frag.
+                    if s.pending.front() != Some(a) {
+                        return None;
+                    }
+                    let (sim, outs) = self.frag(s);
+                    let mut pending = s.pending.clone();
+                    pending.pop_front();
+                    pending.extend(outs);
+                    Some(MmtSimState {
+                        sim,
+                        simclock: s.mmtclock,
+                        mmtclock: s.mmtclock,
+                        pending,
+                    })
+                }
+                ActionKind::Internal => None,
+            },
+        }
+    }
+
+    fn tasks(&self) -> Vec<Boundmap> {
+        // part(M) = {out ∪ {τ}} with boundmap [0, ℓ] (Definition 5.1).
+        vec![Boundmap::at_most(self.ell)]
+    }
+
+    fn task_of(&self, a: &Self::Action) -> Option<TaskId> {
+        match a {
+            SysAction::Tau { node } if *node == self.node => Some(TaskId(0)),
+            _ => match self.inner.classify(a) {
+                Some(ActionKind::Output) => Some(TaskId(0)),
+                _ => None,
+            },
+        }
+    }
+
+    fn enabled(&self, s: &Self::State) -> Vec<Self::Action> {
+        // Exactly one locally controlled action is enabled at any time:
+        // the head of pending, or τ when pending is empty.
+        match s.pending.front() {
+            Some(a) => vec![a.clone()],
+            None => vec![SysAction::Tau { node: self.node }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClockSim;
+    use psync_automata::toys::{BeepAction, Beeper};
+    use psync_net::SysAction;
+
+    type S = SysAction<u32, BeepAction>;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + ms(n)
+    }
+
+    /// Adapts the Beeper toy into the SysAction alphabet.
+    #[derive(Debug, Clone)]
+    struct AppBeeper(Beeper);
+
+    impl psync_automata::TimedComponent for AppBeeper {
+        type Action = S;
+        type State = psync_automata::toys::BeeperState;
+
+        fn name(&self) -> String {
+            self.0.name()
+        }
+        fn initial(&self) -> Self::State {
+            psync_automata::TimedComponent::initial(&self.0)
+        }
+        fn classify(&self, a: &S) -> Option<ActionKind> {
+            match a {
+                SysAction::App(b) => self.0.classify(b),
+                _ => None,
+            }
+        }
+        fn step(&self, s: &Self::State, a: &S, now: Time) -> Option<Self::State> {
+            match a {
+                SysAction::App(b) => self.0.step(s, b, now),
+                _ => None,
+            }
+        }
+        fn enabled(&self, s: &Self::State, now: Time) -> Vec<S> {
+            self.0
+                .enabled(s, now)
+                .into_iter()
+                .map(SysAction::App)
+                .collect()
+        }
+        fn deadline(&self, s: &Self::State, now: Time) -> Option<Time> {
+            self.0.deadline(s, now)
+        }
+    }
+
+    fn beeper_sim() -> MmtSim<u32, BeepAction> {
+        MmtSim::new(
+            NodeId(0),
+            ClockSim::new(AppBeeper(Beeper::new(ms(10)))),
+            ms(1),
+        )
+    }
+
+    #[test]
+    fn tau_with_stale_clock_does_nothing() {
+        let m = beeper_sim();
+        let s0 = m.initial();
+        assert_eq!(m.enabled(&s0), vec![S::Tau { node: NodeId(0) }]);
+        let s1 = m.step(&s0, &S::Tau { node: NodeId(0) }).unwrap();
+        assert!(s1.pending.is_empty());
+        assert_eq!(s1.simclock, Time::ZERO);
+    }
+
+    #[test]
+    fn tick_then_tau_catches_up_and_queues_outputs() {
+        let m = beeper_sim();
+        let s0 = m.initial();
+        // The clock jumps straight to 25 ms: the simulated beeper owes two
+        // beeps (at clock 10 and 20).
+        let s1 = m
+            .step(
+                &s0,
+                &S::Tick {
+                    node: NodeId(0),
+                    clock: at(25),
+                },
+            )
+            .unwrap();
+        assert_eq!(s1.mmtclock, at(25));
+        assert_eq!(s1.simclock, Time::ZERO, "TICK alone does not catch up");
+        let s2 = m.step(&s1, &S::Tau { node: NodeId(0) }).unwrap();
+        assert_eq!(s2.simclock, at(25));
+        assert_eq!(
+            Vec::from(s2.pending.clone()),
+            vec![
+                S::App(BeepAction::Beep { src: 0, seq: 0 }),
+                S::App(BeepAction::Beep { src: 0, seq: 1 }),
+            ]
+        );
+        // Pending outputs now emit one per step, in order.
+        let front = s2.pending.front().unwrap().clone();
+        assert_eq!(m.enabled(&s2), vec![front.clone()]);
+        let s3 = m.step(&s2, &front).unwrap();
+        assert_eq!(s3.pending.len(), 1);
+        // τ is refused while outputs are owed.
+        assert!(m.step(&s2, &S::Tau { node: NodeId(0) }).is_none());
+    }
+
+    #[test]
+    fn regressing_tick_is_refused() {
+        let m = beeper_sim();
+        let s0 = m.initial();
+        let s1 = m
+            .step(
+                &s0,
+                &S::Tick {
+                    node: NodeId(0),
+                    clock: at(5),
+                },
+            )
+            .unwrap();
+        assert!(m
+            .step(
+                &s1,
+                &S::Tick {
+                    node: NodeId(0),
+                    clock: at(4),
+                },
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn emitting_wrong_output_is_refused() {
+        let m = beeper_sim();
+        let s0 = m.initial();
+        let s1 = m
+            .step(
+                &s0,
+                &S::Tick {
+                    node: NodeId(0),
+                    clock: at(25),
+                },
+            )
+            .unwrap();
+        let s2 = m.step(&s1, &S::Tau { node: NodeId(0) }).unwrap();
+        // The second owed beep may not jump the queue.
+        assert!(m
+            .step(&s2, &S::App(BeepAction::Beep { src: 0, seq: 1 }))
+            .is_none());
+    }
+
+    #[test]
+    fn single_task_class_with_ell_bound() {
+        let m = beeper_sim();
+        let tasks = m.tasks();
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].upper(), ms(1));
+        assert_eq!(m.task_of(&S::Tau { node: NodeId(0) }), Some(TaskId(0)));
+        assert_eq!(
+            m.task_of(&S::App(BeepAction::Beep { src: 0, seq: 0 })),
+            Some(TaskId(0))
+        );
+        assert_eq!(
+            m.task_of(&S::Tick {
+                node: NodeId(0),
+                clock: at(0)
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn classification_follows_definition_5_1() {
+        let m = beeper_sim();
+        assert_eq!(
+            m.classify(&S::Tick {
+                node: NodeId(0),
+                clock: at(0)
+            }),
+            Some(ActionKind::Input)
+        );
+        assert_eq!(
+            m.classify(&S::Tau { node: NodeId(0) }),
+            Some(ActionKind::Internal)
+        );
+        assert_eq!(
+            m.classify(&S::App(BeepAction::Beep { src: 0, seq: 0 })),
+            Some(ActionKind::Output)
+        );
+        // Other nodes' ticks are not ours.
+        assert_eq!(
+            m.classify(&S::Tick {
+                node: NodeId(1),
+                clock: at(0)
+            }),
+            None
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Assembling the transformed node `A^c_{i,ε}` (Section 4.2).
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+use psync_automata::{Action, ClockComponentBox, ComponentBox, HiddenClock, TimedComponent};
+use psync_executor::{ClockNode, ClockStrategy};
+use psync_net::{NodeId, SysAction, Topology};
+use psync_time::Duration;
+
+use crate::{ClockSim, RecvBuffer, SendBuffer};
+
+/// One node of a distributed system: its id and the (timed-model) node
+/// algorithm `A_i`, written against the network interface of Section 3.1
+/// (`SENDMSG_i` outputs, `RECVMSG_i` inputs, plus arbitrary application
+/// actions).
+pub struct NodeSpec<M, A>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    /// The node's id in the topology.
+    pub id: NodeId,
+    /// The node algorithm `A_i`.
+    pub algorithm: ComponentBox<SysAction<M, A>>,
+}
+
+impl<M, A> NodeSpec<M, A>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    /// Creates a spec from a concrete algorithm component.
+    #[must_use]
+    pub fn new<C: TimedComponent<Action = SysAction<M, A>>>(id: NodeId, algorithm: C) -> Self {
+        NodeSpec {
+            id,
+            algorithm: ComponentBox::new(algorithm),
+        }
+    }
+}
+
+/// The parts of the transformed node `A^c_{i,ε}`, before they are attached
+/// to a clock: `C(A_i, ε)` plus one `S_{ij,ε}` per outgoing edge and one
+/// `R_{ji,ε}` per incoming edge, with the internal `SENDMSG_i`/`RECVMSG_i`
+/// hand-off actions hidden, exactly as in Section 4.2 ("…and the
+/// subsequent hiding of the SENDMSG and RECVMSG actions").
+pub(crate) fn node_parts<M, A>(
+    spec: NodeSpec<M, A>,
+    topo: &Topology,
+) -> Vec<ClockComponentBox<SysAction<M, A>>>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    let i = spec.id;
+    let mut parts: Vec<ClockComponentBox<SysAction<M, A>>> = vec![ClockComponentBox::new(
+        HiddenClock::new(ClockSim::from_box(spec.algorithm), |a: &SysAction<M, A>| {
+            matches!(a, SysAction::Send(_))
+        }),
+    )];
+    for j in topo.out_neighbors(i) {
+        parts.push(ClockComponentBox::new(SendBuffer::<M, A>::new(i, j)));
+    }
+    for j in topo.in_neighbors(i) {
+        parts.push(ClockComponentBox::new(HiddenClock::new(
+            RecvBuffer::<M, A>::new(j, i),
+            |a: &SysAction<M, A>| matches!(a, SysAction::Recv(_)),
+        )));
+    }
+    parts
+}
+
+/// Transforms a timed-model node algorithm into the clock-model node
+/// `A^c_{i,ε} = C(A_i, ε) ∥ (∥_j S_{ij,ε}) ∥ (∥_j R_{ji,ε})` of
+/// Section 4.2, attached to a node clock with skew bound `eps` driven by
+/// `strategy`.
+///
+/// This is the per-node half of Theorem 4.7; [`crate::build_dc`] applies
+/// it to a whole system.
+#[must_use]
+pub fn transform_node<M, A>(
+    spec: NodeSpec<M, A>,
+    topo: &Topology,
+    eps: Duration,
+    strategy: impl ClockStrategy + 'static,
+) -> ClockNode<SysAction<M, A>>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    let name = format!("A^c({})", spec.id);
+    let parts = node_parts(spec, topo);
+    let mut node = ClockNode::new(name, eps, strategy);
+    for p in parts {
+        node = node.with_boxed(p);
+    }
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_net::Script;
+
+    type M = u32;
+    type App = &'static str;
+
+    #[test]
+    fn node_parts_cover_all_edges() {
+        let topo = Topology::complete(3);
+        // Any timed component with the right action type works as a stand-in
+        // algorithm here; the script never fires.
+        let alg: Script<M, App> = Script::new([], |_| false);
+        let spec = NodeSpec::new(NodeId(1), alg);
+        let parts = node_parts(spec, &topo);
+        // 1 algorithm + 2 send buffers + 2 receive buffers.
+        assert_eq!(parts.len(), 5);
+        let names: Vec<String> = parts.iter().map(ClockComponentBox::name).collect();
+        assert!(names[0].starts_with("hide(C("));
+        assert!(names.iter().any(|n| n == "S(n1→n0)"));
+        assert!(names.iter().any(|n| n == "S(n1→n2)"));
+        assert!(names.iter().any(|n| n == "hide(R(n0→n1))"));
+        assert!(names.iter().any(|n| n == "hide(R(n2→n1))"));
+    }
+
+    #[test]
+    fn line_topology_gives_fewer_buffers() {
+        let topo = Topology::line(3);
+        let alg: Script<M, App> = Script::new([], |_| false);
+        let parts = node_parts(NodeSpec::new(NodeId(0), alg), &topo);
+        // Node 0 has a single neighbor in a line.
+        assert_eq!(parts.len(), 3);
+    }
+}

@@ -1,0 +1,260 @@
+//! Whole-system assembly: `D_T`, `D_C` and `D_M` (Sections 3.3, 4.1, 5.2).
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+use psync_automata::{Action, ClockComposite};
+use psync_executor::{ClockStrategy, EngineBuilder};
+use psync_mmt::{MmtAsTimed, StepPolicy, TickConfig, TickSource};
+use psync_net::{Channel, ClockChannel, DelayPolicy, SysAction, Topology};
+use psync_time::{DelayBounds, Duration};
+
+use crate::mmt_sim::MmtSim;
+use crate::node::{node_parts, transform_node, NodeSpec};
+
+/// Builds the timed-model system `D_T(G, A, E_{[d₁,d₂]})` (Section 3.3):
+/// each node algorithm as a timed component plus one channel automaton per
+/// edge. Extend the returned builder with a workload, scheduler and
+/// horizon, then `build()` and `run()`.
+///
+/// `policy` creates the delay adversary for each edge.
+#[must_use]
+pub fn build_dt<M, A>(
+    topo: &Topology,
+    bounds: DelayBounds,
+    algorithms: Vec<NodeSpec<M, A>>,
+    policy: impl Fn(psync_net::NodeId, psync_net::NodeId) -> Box<dyn DelayPolicy>,
+) -> EngineBuilder<SysAction<M, A>>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    let mut builder = EngineBuilder::default();
+    for spec in algorithms {
+        builder = builder.timed_boxed(spec.algorithm);
+    }
+    for &(i, j) in topo.edges() {
+        builder = builder.timed(Channel::<M, A>::new(i, j, bounds, policy(i, j)));
+    }
+    builder
+}
+
+/// Builds the clock-model system `D_C(G, A^c_ε, E^c_{[d₁,d₂]})`
+/// (Theorem 4.7): every node algorithm is transformed by Simulation 1
+/// (`C(A_i, ε)` + send/receive buffers) and attached to its own clock;
+/// edges become clock channels carrying `(m, c)` pairs.
+///
+/// `bounds` are the **physical** delay bounds `[d₁, d₂]`; per Theorem 4.7
+/// the algorithms should have been designed against
+/// `bounds.widen_for_skew(eps)`.
+///
+/// `strategies` supplies one clock behavior per node, in node order.
+///
+/// # Panics
+///
+/// Panics if `algorithms` and `strategies` lengths differ from the
+/// topology's node count.
+#[must_use]
+pub fn build_dc<M, A>(
+    topo: &Topology,
+    bounds: DelayBounds,
+    eps: Duration,
+    algorithms: Vec<NodeSpec<M, A>>,
+    strategies: Vec<Box<dyn ClockStrategy>>,
+    policy: impl Fn(psync_net::NodeId, psync_net::NodeId) -> Box<dyn DelayPolicy>,
+) -> EngineBuilder<SysAction<M, A>>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    assert_eq!(
+        algorithms.len(),
+        topo.len(),
+        "one algorithm per node required"
+    );
+    assert_eq!(
+        strategies.len(),
+        topo.len(),
+        "one clock strategy per node required"
+    );
+    let mut builder = EngineBuilder::default();
+    for (spec, strategy) in algorithms.into_iter().zip(strategies) {
+        builder = builder.clock_node(transform_node(spec, topo, eps, strategy));
+    }
+    for &(i, j) in topo.edges() {
+        builder = builder.timed(ClockChannel::<M, A>::new(i, j, bounds, policy(i, j)));
+    }
+    builder
+}
+
+/// Per-node configuration for the MMT-model system.
+pub struct DmNodeConfig {
+    /// The step bound `ℓ` of the node's single task class.
+    pub ell: Duration,
+    /// How the boundmap nondeterminism is resolved (when in `[0, ℓ]` each
+    /// step actually happens).
+    pub step_policy: StepPolicy,
+    /// The node's clock subsystem configuration (`TICK` accuracy, period,
+    /// granularity, skew).
+    pub tick: TickConfig,
+}
+
+/// Builds the realistic MMT-model system
+/// `D_M(G, A^m_{ε,ℓ}, E^m_{[d₁,d₂]})` (Theorem 5.2): each node is the full
+/// two-simulation pipeline `T(M(A^c_{i,ε}, ℓ))` composed with its `TICK`
+/// clock subsystem; edges are clock channels.
+///
+/// Per Theorem 5.2 the algorithms should have been designed against
+/// `bounds.widen_composed(eps, k, ell)` where `k` bounds their output rate
+/// (Lemma 4.3).
+///
+/// # Panics
+///
+/// Panics if `algorithms` and `configs` lengths differ from the topology's
+/// node count.
+#[must_use]
+pub fn build_dm<M, A>(
+    topo: &Topology,
+    bounds: DelayBounds,
+    algorithms: Vec<NodeSpec<M, A>>,
+    configs: Vec<DmNodeConfig>,
+    policy: impl Fn(psync_net::NodeId, psync_net::NodeId) -> Box<dyn DelayPolicy>,
+) -> EngineBuilder<SysAction<M, A>>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    assert_eq!(
+        algorithms.len(),
+        topo.len(),
+        "one algorithm per node required"
+    );
+    assert_eq!(configs.len(), topo.len(), "one config per node required");
+    let mut builder = EngineBuilder::default();
+    for (spec, cfg) in algorithms.into_iter().zip(configs) {
+        let id = spec.id;
+        // The whole clock node A^c_{i,ε} as one clock automaton…
+        let composite = ClockComposite::new(format!("A^c({id})"), node_parts(spec, topo));
+        // …simulated by an MMT automaton (Definition 5.1)…
+        let mmt = MmtSim::new(id, composite, cfg.ell);
+        // …executed as a timed automaton via T (Section 5.2)…
+        builder = builder.timed(MmtAsTimed::new(mmt, cfg.step_policy));
+        // …fed by its clock subsystem C^m. The TICK interface is internal
+        // to the node (the paper composes T(A^m) with T(C^m) into one node
+        // automaton), so it is hidden.
+        builder = builder.timed(psync_automata::Hidden::new(
+            TickSource::<M, A>::new(id, cfg.tick),
+            |a: &SysAction<M, A>| matches!(a, SysAction::Tick { .. }),
+        ));
+    }
+    for &(i, j) in topo.edges() {
+        builder = builder.timed(ClockChannel::<M, A>::new(i, j, bounds, policy(i, j)));
+    }
+    builder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_executor::PerfectClock;
+    use psync_net::{MaxDelay, NodeId, Script};
+    use psync_time::Time;
+
+    type M = u32;
+    type App = &'static str;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn silent_node(id: usize) -> NodeSpec<M, App> {
+        NodeSpec::new(NodeId(id), Script::<M, App>::new([], |_| false))
+    }
+
+    fn policy() -> impl Fn(NodeId, NodeId) -> Box<dyn DelayPolicy> {
+        |_, _| Box::new(MaxDelay)
+    }
+
+    #[test]
+    fn dt_system_runs_quiescent() {
+        let topo = Topology::complete(2);
+        let bounds = DelayBounds::new(ms(1), ms(3)).unwrap();
+        let mut engine = build_dt(
+            &topo,
+            bounds,
+            vec![silent_node(0), silent_node(1)],
+            policy(),
+        )
+        .build();
+        let run = engine.run().unwrap();
+        assert!(run.execution.is_empty());
+    }
+
+    #[test]
+    fn dc_system_runs_quiescent() {
+        let topo = Topology::complete(2);
+        let bounds = DelayBounds::new(ms(1), ms(3)).unwrap();
+        let strategies: Vec<Box<dyn ClockStrategy>> =
+            vec![Box::new(PerfectClock), Box::new(PerfectClock)];
+        let mut engine = build_dc(
+            &topo,
+            bounds,
+            ms(1),
+            vec![silent_node(0), silent_node(1)],
+            strategies,
+            policy(),
+        )
+        .build();
+        let run = engine.run().unwrap();
+        assert!(run.execution.is_empty());
+    }
+
+    #[test]
+    fn dm_system_ticks_and_taus_until_horizon() {
+        let topo = Topology::complete(2);
+        let bounds = DelayBounds::new(ms(1), ms(3)).unwrap();
+        let cfg = || DmNodeConfig {
+            ell: ms(1),
+            step_policy: StepPolicy::Lazy,
+            tick: TickConfig::honest(ms(2), ms(1)),
+        };
+        let mut engine = build_dm(
+            &topo,
+            bounds,
+            vec![silent_node(0), silent_node(1)],
+            vec![cfg(), cfg()],
+            policy(),
+        )
+        .horizon(Time::ZERO + ms(10))
+        .build();
+        let run = engine.run().unwrap();
+        // Nothing visible (no workload), but ticks and τ keep the MMT
+        // machinery alive.
+        assert!(run.execution.t_trace().is_empty());
+        assert!(run
+            .execution
+            .events()
+            .iter()
+            .any(|e| matches!(e.action, SysAction::Tau { .. })));
+        assert!(run
+            .execution
+            .events()
+            .iter()
+            .any(|e| matches!(e.action, SysAction::Tick { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "one algorithm per node")]
+    fn wrong_node_count_rejected() {
+        let topo = Topology::complete(3);
+        let bounds = DelayBounds::new(ms(1), ms(3)).unwrap();
+        let _ = build_dc(
+            &topo,
+            bounds,
+            ms(1),
+            vec![silent_node(0)],
+            vec![Box::new(PerfectClock)],
+            policy(),
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Constructive verification of Theorem 4.6/4.7: the `γ_α` construction.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+use psync_automata::problem::{check_in_p_eps, PeErrors, Problem};
+use psync_automata::relations::{ClassMap, Witness};
+use psync_automata::{reorder_by_time, Action, Execution, TimedTrace};
+use psync_net::{NodeId, SysAction};
+use psync_time::Duration;
+
+/// The per-node class map `κ = {uacts(A_1), …, uacts(A_n)}` used by the
+/// `=_{ε,κ}` relation in Section 4.3: every action is classed by the node
+/// it belongs to. `app_node` resolves application actions to their node.
+#[must_use]
+pub fn node_classes<M, A>(
+    app_node: impl Fn(&A) -> Option<NodeId> + 'static,
+) -> ClassMap<SysAction<M, A>>
+where
+    M: 'static,
+    A: 'static,
+{
+    ClassMap::by(move |a: &SysAction<M, A>| a.node(&app_node).map(|n| n.0))
+}
+
+/// The application-level timed trace of an execution: the visible `App`
+/// actions with their *real* occurrence times. This is the trace that
+/// problems (linearizability etc.) judge.
+#[must_use]
+pub fn app_trace<M, A>(exec: &Execution<SysAction<M, A>>) -> TimedTrace<SysAction<M, A>>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    exec.events()
+        .iter()
+        .filter(|e| e.kind.is_visible() && matches!(e.action, SysAction::App(_)))
+        .map(|e| (e.action.clone(), e.now))
+        .collect()
+}
+
+/// The witness trace of Theorem 4.6: the visible application actions with
+/// their per-node **clock** times, stably reordered into time order — the
+/// visible projection of `γ_α` (Definition 4.2).
+///
+/// Theorem 4.6 proves this is the timed trace of some admissible execution
+/// `β` of the *timed-model* system `D_T`, and that
+/// `t-trace(α) =_ε t-trace(β)`.
+///
+/// Visible actions that touch no clock node (none exist in a well-formed
+/// `D_C`) fall back to their real times.
+#[must_use]
+pub fn sim1_witness<M, A>(exec: &Execution<SysAction<M, A>>) -> TimedTrace<SysAction<M, A>>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    let pairs: Vec<(SysAction<M, A>, psync_time::Time)> = exec
+        .events()
+        .iter()
+        .filter(|e| e.kind.is_visible() && matches!(e.action, SysAction::App(_)))
+        .map(|e| (e.action.clone(), e.clock.unwrap_or(e.now)))
+        .collect();
+    reorder_by_time(pairs)
+}
+
+/// Checks Theorem 4.7 on a recorded `D_C` execution: constructs the
+/// witness `γ_α`, verifies it satisfies `P`, and verifies the recorded
+/// trace is `=_{ε,κ}` the witness — which certifies the trace is in
+/// `tseq(P_ε)`.
+///
+/// Returns the relation witness; its `max_deviation` is the measured trace
+/// distortion, which Theorem 4.6 bounds by `ε` (experiment E3).
+///
+/// # Errors
+///
+/// [`PeErrors::NotInP`] if the witness violates `P` (the simulation or the
+/// algorithm is broken), [`PeErrors::NotRelated`] if the distortion
+/// exceeds `ε`.
+pub fn check_sim1<M, A>(
+    exec: &Execution<SysAction<M, A>>,
+    problem: &dyn Problem<SysAction<M, A>>,
+    eps: Duration,
+    classes: &ClassMap<SysAction<M, A>>,
+) -> Result<Witness, PeErrors<SysAction<M, A>>>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    let witness = sim1_witness(exec);
+    let trace = app_trace(exec);
+    check_in_p_eps(problem, &trace, &witness, eps, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_automata::problem::{FnProblem, Verdict};
+    use psync_automata::{ActionKind, TimedEvent};
+    use psync_time::Time;
+
+    type S = SysAction<u32, &'static str>;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + ms(n)
+    }
+
+    fn ev(action: S, kind: ActionKind, now: Time, clock: Option<Time>) -> TimedEvent<S> {
+        TimedEvent {
+            action,
+            kind,
+            now,
+            clock,
+        }
+    }
+
+    fn app(a: &'static str) -> S {
+        SysAction::App(a)
+    }
+
+    #[test]
+    fn app_trace_filters_to_visible_app_actions() {
+        let exec = Execution::new(
+            vec![
+                ev(app("x"), ActionKind::Output, at(1), Some(at(2))),
+                ev(app("hidden"), ActionKind::Internal, at(2), None),
+                ev(
+                    SysAction::Tau { node: NodeId(0) },
+                    ActionKind::Internal,
+                    at(3),
+                    None,
+                ),
+                ev(app("y"), ActionKind::Input, at(4), Some(at(3))),
+            ],
+            at(10),
+        );
+        let tr = app_trace(&exec);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.get(0), Some((&app("x"), at(1))));
+        assert_eq!(tr.get(1), Some((&app("y"), at(4))));
+    }
+
+    #[test]
+    fn witness_uses_clock_times_and_reorders() {
+        // Node 0's clock runs fast, node 1's slow: real order y-then-x,
+        // clock order x-then-y.
+        let exec = Execution::new(
+            vec![
+                ev(app("y"), ActionKind::Output, at(1), Some(at(5))),
+                ev(app("x"), ActionKind::Output, at(2), Some(at(3))),
+            ],
+            at(10),
+        );
+        let w = sim1_witness(&exec);
+        assert_eq!(w.get(0), Some((&app("x"), at(3))));
+        assert_eq!(w.get(1), Some((&app("y"), at(5))));
+    }
+
+    #[test]
+    fn check_sim1_certifies_p_eps_membership() {
+        // P: "x happens at or before 3 ms". In real time it happened at
+        // 4 ms — only the clock-time witness satisfies P.
+        let p = FnProblem::new("x by 3ms", |tr: &TimedTrace<S>| {
+            match tr.iter().find(|(a, _)| **a == app("x")) {
+                Some((_, t)) if t <= at(3) => Verdict::Holds,
+                Some((_, t)) => Verdict::violated(format!("x at {t}")),
+                None => Verdict::violated("no x"),
+            }
+        });
+        let exec = Execution::new(
+            vec![ev(app("x"), ActionKind::Output, at(4), Some(at(3)))],
+            at(10),
+        );
+        let classes = node_classes::<u32, &'static str>(|_| Some(NodeId(0)));
+        let w = check_sim1(&exec, &p, ms(1), &classes).unwrap();
+        assert_eq!(w.max_deviation, ms(1));
+
+        // With a tighter ε the relation fails.
+        let err = check_sim1(&exec, &p, Duration::from_micros(500), &classes).unwrap_err();
+        assert!(matches!(err, PeErrors::NotRelated(_)));
+    }
+
+    #[test]
+    fn node_classes_distinguish_nodes() {
+        let classes = node_classes::<u32, &'static str>(|a| {
+            if *a == "x" {
+                Some(NodeId(0))
+            } else {
+                Some(NodeId(1))
+            }
+        });
+        assert_eq!(classes.class_of(&app("x")), Some(0));
+        assert_eq!(classes.class_of(&app("y")), Some(1));
+        assert_eq!(
+            classes.class_of(&SysAction::Tau { node: NodeId(7) }),
+            Some(7)
+        );
+    }
+}

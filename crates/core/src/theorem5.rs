@@ -1,0 +1,214 @@
+//! Verification helpers for Theorem 5.1/5.2: the output-shift bound.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+use psync_automata::relations::{delta_shifted, ClassMap, RelationError, Witness};
+use psync_automata::{Action, ActionKind, TimedTrace};
+use psync_net::{NodeId, SysAction};
+use psync_time::Duration;
+
+/// The shift bound of Theorem 5.1: outputs of the MMT-model system lag the
+/// clock-model system by at most `kℓ + 2ε + 3ℓ`, where `ℓ` bounds step
+/// times, `ε` the clock skew, and `k` the algorithm's output rate
+/// (Lemma 4.3: at most `k` outputs per clock window of length `kℓ`).
+///
+/// # Examples
+///
+/// ```
+/// use psync_core::sim2_shift_bound;
+/// use psync_time::Duration;
+///
+/// let bound = sim2_shift_bound(2, Duration::from_millis(1), Duration::from_micros(100));
+/// // 2·0.1ms + 2·1ms + 3·0.1ms = 2.5ms
+/// assert_eq!(bound, Duration::from_micros(2500));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k` is negative or either duration is negative.
+#[must_use]
+pub fn sim2_shift_bound(k: i64, eps: Duration, ell: Duration) -> Duration {
+    assert!(k >= 0, "output rate k must be non-negative");
+    assert!(!eps.is_negative() && !ell.is_negative(), "negative bound");
+    ell * k + eps * 2 + ell * 3
+}
+
+/// The class map `K = {out(p_1), …, out(p_n)}` of Definition 2.12: only
+/// *output* application actions are classed (by node); everything else —
+/// in particular the environment's input actions — is unclassified and so
+/// must keep its exact time under `≤_{δ,K}`.
+///
+/// `app_out` resolves an application action to its node *if it is an
+/// output of that node*, `None` otherwise.
+#[must_use]
+pub fn output_classes<M, A>(
+    app_out: impl Fn(&A) -> Option<NodeId> + 'static,
+) -> ClassMap<SysAction<M, A>>
+where
+    M: 'static,
+    A: 'static,
+{
+    ClassMap::by(move |a: &SysAction<M, A>| match a {
+        SysAction::App(app) => app_out(app).map(|n| n.0),
+        _ => None,
+    })
+}
+
+/// Checks the Theorem 5.1 relation on a pair of application traces:
+/// `dm_trace` (from the realistic `D_M` run) must be `≤_{δ,K}` above
+/// `dc_trace` (from the clock-model `D_C` run under the same adversary) —
+/// node outputs shifted into the future by at most
+/// `δ = kℓ + 2ε + 3ℓ`, inputs at identical times.
+///
+/// Returns the relation witness; `max_deviation` is the measured worst
+/// shift (experiment E4).
+///
+/// # Errors
+///
+/// The underlying [`RelationError`] when the traces differ structurally or
+/// the shift bound is exceeded.
+pub fn check_sim2<M, A>(
+    dc_trace: &TimedTrace<SysAction<M, A>>,
+    dm_trace: &TimedTrace<SysAction<M, A>>,
+    delta: Duration,
+    classes: &ClassMap<SysAction<M, A>>,
+) -> Result<Witness, RelationError<SysAction<M, A>>>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    delta_shifted(dc_trace, dm_trace, delta, classes)
+}
+
+/// Measures the empirical output rate `k` of Lemma 4.3 from the clock
+/// times of a node's output actions: the maximum number of outputs in any
+/// clock window of length `window`.
+///
+/// Both half-open readings of the lemma's window (`(c, c+kℓ]` and
+/// `[c, c+kℓ)`) are covered by taking the max over closed windows anchored
+/// at each output.
+#[must_use]
+pub fn max_outputs_per_window(output_clock_times: &[psync_time::Time], window: Duration) -> usize {
+    let mut sorted: Vec<_> = output_clock_times.to_vec();
+    sorted.sort();
+    let mut best = 0;
+    for (i, &start) in sorted.iter().enumerate() {
+        let end = start + window;
+        let count = sorted[i..].iter().take_while(|&&t| t <= end).count();
+        best = best.max(count);
+    }
+    best
+}
+
+/// Extracts per-node output application actions from a trace — the inputs
+/// to [`max_outputs_per_window`].
+#[must_use]
+pub fn outputs_of_node<M, A>(
+    trace: &TimedTrace<SysAction<M, A>>,
+    node: NodeId,
+    app_out: impl Fn(&A) -> Option<NodeId>,
+    kinds: impl Fn(&A) -> ActionKind,
+) -> Vec<psync_time::Time>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    trace
+        .iter()
+        .filter_map(|(a, t)| match a {
+            SysAction::App(app)
+                if app_out(app) == Some(node) && kinds(app) == ActionKind::Output =>
+            {
+                Some(t)
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_time::Time;
+
+    type S = SysAction<u32, &'static str>;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + ms(n)
+    }
+
+    #[test]
+    fn shift_bound_formula() {
+        assert_eq!(sim2_shift_bound(0, ms(0), ms(1)), ms(3));
+        assert_eq!(sim2_shift_bound(1, ms(2), ms(1)), ms(8));
+        assert_eq!(sim2_shift_bound(3, ms(1), ms(2)), ms(14));
+    }
+
+    #[test]
+    fn check_sim2_accepts_forward_shifted_outputs() {
+        let classes = output_classes::<u32, &'static str>(|a| {
+            if a.starts_with("out") {
+                Some(NodeId(0))
+            } else {
+                None
+            }
+        });
+        let dc = TimedTrace::from_pairs(vec![(S::App("in"), at(1)), (S::App("out"), at(2))]);
+        let dm = TimedTrace::from_pairs(vec![(S::App("in"), at(1)), (S::App("out"), at(5))]);
+        let w = check_sim2(&dc, &dm, ms(3), &classes).unwrap();
+        assert_eq!(w.max_deviation, ms(3));
+        assert!(check_sim2(&dc, &dm, ms(2), &classes).is_err());
+    }
+
+    #[test]
+    fn inputs_must_not_move() {
+        let classes = output_classes::<u32, &'static str>(|_| None);
+        let dc = TimedTrace::from_pairs(vec![(S::App("in"), at(1))]);
+        let dm = TimedTrace::from_pairs(vec![(S::App("in"), at(2))]);
+        assert!(check_sim2(&dc, &dm, ms(10), &classes).is_err());
+    }
+
+    #[test]
+    fn window_rate_measurement() {
+        let times = vec![at(0), at(1), at(2), at(10), at(11)];
+        assert_eq!(max_outputs_per_window(&times, ms(2)), 3);
+        assert_eq!(max_outputs_per_window(&times, ms(1)), 2);
+        assert_eq!(max_outputs_per_window(&times, ms(0)), 1);
+        assert_eq!(max_outputs_per_window(&times, ms(100)), 5);
+        assert_eq!(max_outputs_per_window(&[], ms(5)), 0);
+    }
+
+    #[test]
+    fn outputs_of_node_filters_correctly() {
+        let trace: TimedTrace<S> = TimedTrace::from_pairs(vec![
+            (S::App("out0"), at(1)),
+            (S::App("in0"), at(2)),
+            (S::App("out1"), at(3)),
+            (S::Tau { node: NodeId(0) }, at(4)),
+        ]);
+        let times = outputs_of_node(
+            &trace,
+            NodeId(0),
+            |a| {
+                if a.ends_with('0') {
+                    Some(NodeId(0))
+                } else {
+                    Some(NodeId(1))
+                }
+            },
+            |a| {
+                if a.starts_with("out") {
+                    ActionKind::Output
+                } else {
+                    ActionKind::Input
+                }
+            },
+        );
+        assert_eq!(times, vec![at(1)]);
+    }
+}

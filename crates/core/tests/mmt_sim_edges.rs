@@ -1,0 +1,158 @@
+//! Edge cases of the `M(A^c, ℓ)` transformation: Zeno and time-stopping
+//! inner components are diagnosed, and catch-up handles bursts.
+
+use psync_automata::{ActionKind, ClockComponent};
+use psync_core::MmtSim;
+use psync_mmt::MmtComponent;
+use psync_net::{NodeId, SysAction};
+use psync_time::{Duration, Time};
+
+type A = SysAction<u32, &'static str>;
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+fn at(n: i64) -> Time {
+    Time::ZERO + ms(n)
+}
+
+/// Fires forever at one clock instant.
+#[derive(Debug, Clone)]
+struct ZenoClock;
+
+impl ClockComponent for ZenoClock {
+    type Action = A;
+    type State = u64;
+
+    fn name(&self) -> String {
+        "zeno".into()
+    }
+    fn initial(&self) -> u64 {
+        0
+    }
+    fn classify(&self, _: &A) -> Option<ActionKind> {
+        Some(ActionKind::Output)
+    }
+    fn step(&self, s: &u64, _: &A, _: Time) -> Option<u64> {
+        Some(s + 1)
+    }
+    fn enabled(&self, _: &u64, _: Time) -> Vec<A> {
+        vec![SysAction::App("go")]
+    }
+    fn clock_deadline(&self, _: &u64, _: Time) -> Option<Time> {
+        None
+    }
+}
+
+#[test]
+#[should_panic(expected = "Zeno")]
+fn zeno_inner_component_is_diagnosed_during_catch_up() {
+    let m = MmtSim::new(NodeId(0), ZenoClock, ms(1));
+    let s0 = m.initial();
+    // Any catch-up (even to clock 0) hits the eager-firing cap.
+    let _ = m.step(&s0, &SysAction::Tau { node: NodeId(0) });
+}
+
+/// Demands an action at clock 5 ms but never enables one.
+#[derive(Debug, Clone)]
+struct StuckClock;
+
+impl ClockComponent for StuckClock {
+    type Action = A;
+    type State = ();
+
+    fn name(&self) -> String {
+        "stuck".into()
+    }
+    fn initial(&self) {}
+    fn classify(&self, _: &A) -> Option<ActionKind> {
+        Some(ActionKind::Output)
+    }
+    fn step(&self, _: &(), _: &A, _: Time) -> Option<()> {
+        None
+    }
+    fn enabled(&self, _: &(), _: Time) -> Vec<A> {
+        Vec::new()
+    }
+    fn clock_deadline(&self, _: &(), _: Time) -> Option<Time> {
+        Some(at(5))
+    }
+}
+
+#[test]
+#[should_panic(expected = "stopped time")]
+fn time_stopping_inner_component_is_diagnosed() {
+    let m = MmtSim::new(NodeId(0), StuckClock, ms(1));
+    let s0 = m.initial();
+    // Catch up past the dead deadline.
+    let s1 = m
+        .step(
+            &s0,
+            &SysAction::Tick {
+                node: NodeId(0),
+                clock: at(10),
+            },
+        )
+        .unwrap();
+    let _ = m.step(&s1, &SysAction::Tau { node: NodeId(0) });
+}
+
+/// Emits one output at each multiple of 1 ms of clock time.
+#[derive(Debug, Clone)]
+struct BurstClock;
+
+impl ClockComponent for BurstClock {
+    type Action = A;
+    type State = i64; // next due millisecond
+
+    fn name(&self) -> String {
+        "burst".into()
+    }
+    fn initial(&self) -> i64 {
+        1
+    }
+    fn classify(&self, a: &A) -> Option<ActionKind> {
+        matches!(a, SysAction::App(_)).then_some(ActionKind::Output)
+    }
+    fn step(&self, s: &i64, a: &A, clock: Time) -> Option<i64> {
+        (matches!(a, SysAction::App("tick")) && clock >= at(*s)).then(|| s + 1)
+    }
+    fn enabled(&self, s: &i64, clock: Time) -> Vec<A> {
+        if clock >= at(*s) {
+            vec![SysAction::App("tick")]
+        } else {
+            Vec::new()
+        }
+    }
+    fn clock_deadline(&self, s: &i64, _: Time) -> Option<Time> {
+        Some(at(*s))
+    }
+}
+
+#[test]
+fn catch_up_replays_every_missed_deadline_in_order() {
+    let m = MmtSim::new(NodeId(0), BurstClock, ms(1));
+    let s0 = m.initial();
+    // One giant tick: the simulated component owes 10 outputs (clock
+    // deadlines at 1..=10 ms).
+    let s1 = m
+        .step(
+            &s0,
+            &SysAction::Tick {
+                node: NodeId(0),
+                clock: at(10),
+            },
+        )
+        .unwrap();
+    let s2 = m.step(&s1, &SysAction::Tau { node: NodeId(0) }).unwrap();
+    assert_eq!(s2.pending.len(), 10);
+    assert!(s2.pending.iter().all(|a| *a == SysAction::App("tick")));
+    // They drain one per MMT step, in order.
+    let mut s = s2;
+    for remaining in (0..10).rev() {
+        let front = s.pending.front().unwrap().clone();
+        s = m.step(&s, &front).unwrap();
+        assert_eq!(s.pending.len(), remaining);
+    }
+}

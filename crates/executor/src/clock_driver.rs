@@ -1,0 +1,410 @@
+//! Clock strategies: how a node's clock moves within the `C_ε` envelope.
+//!
+//! The paper quantifies over *all* clock behaviors satisfying the clock
+//! predicate `C_ε` (`|now − clock| ≤ ε`, Definition 2.5). A
+//! [`ClockStrategy`] instantiates one such behavior; the engine validates
+//! every choice, so a buggy strategy is diagnosed rather than silently
+//! producing an out-of-model run. This substitutes for the paper's assumed
+//! physical clock subsystem (NTP / Digital Time Service, Sections 1 and
+//! 7.2): adversarial strategies here stress the `ε` bound harder than a
+//! real time service would.
+
+use psync_time::{Duration, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Everything a strategy may look at when choosing the next clock value.
+#[derive(Debug, Clone, Copy)]
+pub struct AdvanceCtx {
+    /// Real time before the advance.
+    pub now: Time,
+    /// The node clock before the advance.
+    pub clock: Time,
+    /// Real time after the advance (`target > now`).
+    pub target: Time,
+    /// Latest clock value any component of the node permits (`ν`
+    /// precondition), if bounded. Always `> clock` when the strategy is
+    /// consulted.
+    pub max_clock: Option<Time>,
+    /// The skew bound `ε` of the node's clock predicate.
+    pub eps: Duration,
+}
+
+impl AdvanceCtx {
+    /// The window of legal clock values for this advance:
+    /// `[max(target − ε, clock + 1ns), min(target + ε, max_clock)]`.
+    ///
+    /// Non-empty whenever the engine's target computation is correct; the
+    /// convenience [`AdvanceCtx::fit`] clamps a desired value into it.
+    #[must_use]
+    pub fn window(&self) -> (Time, Time) {
+        let lo_pred = self
+            .target
+            .checked_sub_duration(self.eps)
+            .unwrap_or(Time::ZERO);
+        let lo = lo_pred.max(self.clock + Duration::NANOSECOND);
+        let hi_pred = self.target + self.eps;
+        let hi = match self.max_clock {
+            Some(m) => hi_pred.min(m),
+            None => hi_pred,
+        };
+        (lo, hi)
+    }
+
+    /// Clamps `desired` into the legal window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty (an engine invariant violation).
+    #[must_use]
+    pub fn fit(&self, desired: Time) -> Time {
+        let (lo, hi) = self.window();
+        assert!(
+            lo <= hi,
+            "empty clock window [{lo}, {hi}] (engine target computation bug)"
+        );
+        desired.max(lo).min(hi)
+    }
+}
+
+/// A behavior of one node's clock, consulted on every time-passage step.
+///
+/// Implementations must return a value in [`AdvanceCtx::window`]; the
+/// easiest way is to compute a *desired* reading and pass it through
+/// [`AdvanceCtx::fit`].
+pub trait ClockStrategy {
+    /// The clock value after real time advances to `ctx.target`.
+    fn next_clock(&mut self, ctx: AdvanceCtx) -> Time;
+
+    /// An *estimate* of the earliest real time at which this clock would
+    /// read `target_clock`, given the current `(now, clock)` pair.
+    ///
+    /// The engine uses the estimate to decide how far to advance time when
+    /// the next forcing event is a clock deadline: without it, a fast clock
+    /// (reading ahead of real time) would have its early action fired as
+    /// late as the `C_ε` envelope allows instead of as early as the clock
+    /// actually reaches the deadline. The estimate does not have to be
+    /// exact — the engine iterates and independently caps the advance at
+    /// `target_clock + ε` — but better estimates converge in fewer steps.
+    ///
+    /// The default assumes a rate-1 clock: `now + (target_clock − clock)`.
+    fn when_reaches(&self, now: Time, clock: Time, target_clock: Time) -> Time {
+        if target_clock <= clock {
+            now
+        } else {
+            now + (target_clock - clock)
+        }
+    }
+}
+
+impl ClockStrategy for Box<dyn ClockStrategy> {
+    fn next_clock(&mut self, ctx: AdvanceCtx) -> Time {
+        (**self).next_clock(ctx)
+    }
+
+    fn when_reaches(&self, now: Time, clock: Time, target_clock: Time) -> Time {
+        (**self).when_reaches(now, clock, target_clock)
+    }
+}
+
+/// The clock tracks real time exactly (up to deadline clamping):
+/// `clock = now` whenever possible. With this strategy the clock model
+/// degenerates to the timed model — useful as a baseline in experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectClock;
+
+impl ClockStrategy for PerfectClock {
+    fn next_clock(&mut self, ctx: AdvanceCtx) -> Time {
+        ctx.fit(ctx.target)
+    }
+}
+
+/// The clock runs at rate 1 with a constant offset from real time:
+/// `clock = now + offset`. The extreme offsets `±ε` are the adversarial
+/// corners of the `C_ε` envelope.
+///
+/// # Examples
+///
+/// ```
+/// use psync_executor::OffsetClock;
+/// use psync_time::Duration;
+///
+/// // A clock permanently fast by the full skew budget.
+/// let eps = Duration::from_millis(2);
+/// let fast = OffsetClock::new(eps, eps);
+/// let _ = fast;
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct OffsetClock {
+    offset: Duration,
+}
+
+impl OffsetClock {
+    /// Creates a clock with the given constant offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|offset| > eps` — such a clock could never satisfy `C_ε`.
+    #[must_use]
+    pub fn new(offset: Duration, eps: Duration) -> Self {
+        assert!(
+            offset.abs() <= eps,
+            "offset {offset} exceeds the skew bound {eps}"
+        );
+        OffsetClock { offset }
+    }
+}
+
+impl ClockStrategy for OffsetClock {
+    fn next_clock(&mut self, ctx: AdvanceCtx) -> Time {
+        ctx.fit(ctx.target.saturating_add_duration(self.offset))
+    }
+
+    fn when_reaches(&self, now: Time, clock: Time, target_clock: Time) -> Time {
+        if target_clock <= clock {
+            return now;
+        }
+        // clock(t) = t + offset, so the hit is at target_clock − offset.
+        target_clock
+            .checked_sub_duration(self.offset)
+            .unwrap_or(Time::ZERO)
+            .max(now)
+    }
+}
+
+/// The clock drifts at a constant rate (in parts-per-million) and snaps
+/// back to zero offset whenever the drift would exceed the skew bound —
+/// the sawtooth shape of an NTP-disciplined clock that periodically
+/// resynchronizes to its reference.
+#[derive(Debug, Clone)]
+pub struct DriftClock {
+    rate_ppm: i64,
+    offset: Duration,
+}
+
+impl DriftClock {
+    /// Creates a drifting clock. `rate_ppm` is the drift rate in parts per
+    /// million of elapsed real time; positive runs fast, negative slow.
+    #[must_use]
+    pub fn new(rate_ppm: i64) -> Self {
+        DriftClock {
+            rate_ppm,
+            offset: Duration::ZERO,
+        }
+    }
+}
+
+impl ClockStrategy for DriftClock {
+    fn next_clock(&mut self, ctx: AdvanceCtx) -> Time {
+        let dt = ctx.target - ctx.now;
+        let drift = Duration::from_nanos(dt.as_nanos().saturating_mul(self.rate_ppm) / 1_000_000);
+        let mut offset = self.offset + drift;
+        if offset.abs() > ctx.eps {
+            // NTP-style step resynchronization.
+            offset = Duration::ZERO;
+        }
+        let chosen = ctx.fit(ctx.target.saturating_add_duration(offset));
+        // Record the offset actually achieved, so clamping feeds back.
+        self.offset = chosen - ctx.target;
+        chosen
+    }
+}
+
+/// The clock offset performs a seeded bounded random walk inside
+/// `[−ε, +ε]` — a reproducible "jittery clock" adversary.
+#[derive(Debug, Clone)]
+pub struct RandomWalkClock {
+    rng: StdRng,
+    step: Duration,
+    offset: Duration,
+}
+
+impl RandomWalkClock {
+    /// Creates a random-walk clock taking offset steps of at most `step`
+    /// per advance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is negative.
+    #[must_use]
+    pub fn new(seed: u64, step: Duration) -> Self {
+        assert!(!step.is_negative(), "walk step must be non-negative");
+        RandomWalkClock {
+            rng: StdRng::seed_from_u64(seed),
+            step,
+            offset: Duration::ZERO,
+        }
+    }
+}
+
+impl ClockStrategy for RandomWalkClock {
+    fn next_clock(&mut self, ctx: AdvanceCtx) -> Time {
+        let delta = if self.step.is_zero() {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(
+                self.rng
+                    .gen_range(-self.step.as_nanos()..=self.step.as_nanos()),
+            )
+        };
+        let mut offset = self.offset + delta;
+        if offset > ctx.eps {
+            offset = ctx.eps;
+        } else if offset < -ctx.eps {
+            offset = -ctx.eps;
+        }
+        let chosen = ctx.fit(ctx.target.saturating_add_duration(offset));
+        self.offset = chosen - ctx.target;
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn ctx(now_ms: i64, clock_ms: i64, target_ms: i64, max_clock: Option<i64>) -> AdvanceCtx {
+        AdvanceCtx {
+            now: Time::ZERO + ms(now_ms),
+            clock: Time::ZERO + ms(clock_ms),
+            target: Time::ZERO + ms(target_ms),
+            max_clock: max_clock.map(|m| Time::ZERO + ms(m)),
+            eps: ms(2),
+        }
+    }
+
+    fn check_window(strategy: &mut dyn ClockStrategy, c: AdvanceCtx) -> Time {
+        let v = strategy.next_clock(c);
+        let (lo, hi) = c.window();
+        assert!(
+            v >= lo && v <= hi,
+            "strategy left the window: {v} not in [{lo}, {hi}]"
+        );
+        assert!(v > c.clock, "axiom C3: clock must strictly increase");
+        v
+    }
+
+    #[test]
+    fn perfect_clock_tracks_now() {
+        let v = check_window(&mut PerfectClock, ctx(0, 0, 10, None));
+        assert_eq!(v, Time::ZERO + ms(10));
+    }
+
+    #[test]
+    fn perfect_clock_clamps_to_deadline() {
+        let v = check_window(&mut PerfectClock, ctx(0, 0, 10, Some(9)));
+        assert_eq!(v, Time::ZERO + ms(9));
+    }
+
+    #[test]
+    fn perfect_clock_recovers_from_fast_start() {
+        // Clock ahead of now (e.g. handed over from a fast strategy): the
+        // perfect clock still advances strictly but no faster than allowed.
+        let v = check_window(&mut PerfectClock, ctx(10, 12, 11, None));
+        assert!(v > Time::ZERO + ms(12));
+        assert!(v <= Time::ZERO + ms(13)); // target + eps
+    }
+
+    #[test]
+    fn offset_clock_holds_its_offset() {
+        let mut fast = OffsetClock::new(ms(2), ms(2));
+        let v = check_window(&mut fast, ctx(0, 0, 10, None));
+        assert_eq!(v, Time::ZERO + ms(12));
+
+        let mut slow = OffsetClock::new(ms(-2), ms(2));
+        let v = check_window(&mut slow, ctx(0, 0, 10, None));
+        assert_eq!(v, Time::ZERO + ms(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the skew bound")]
+    fn offset_beyond_eps_rejected() {
+        let _ = OffsetClock::new(ms(3), ms(2));
+    }
+
+    #[test]
+    fn drift_clock_accumulates_and_resyncs() {
+        // 1000 ppm = 1 ms of drift per second of real time.
+        let mut d = DriftClock::new(1000);
+        let v1 = check_window(&mut d, ctx(0, 0, 1000, None));
+        assert_eq!(v1, Time::ZERO + Duration::from_secs(1) + ms(1));
+        // After another second the accumulated 2 ms hits ε = 2 ms; one more
+        // advance resynchronizes to zero offset.
+        let c2 = AdvanceCtx {
+            now: Time::ZERO + Duration::from_secs(1),
+            clock: v1,
+            target: Time::ZERO + Duration::from_secs(2),
+            max_clock: None,
+            eps: ms(2),
+        };
+        let v2 = check_window(&mut d, c2);
+        assert_eq!(v2, Time::ZERO + Duration::from_secs(2) + ms(2));
+        let c3 = AdvanceCtx {
+            now: Time::ZERO + Duration::from_secs(2),
+            clock: v2,
+            target: Time::ZERO + Duration::from_secs(3),
+            max_clock: None,
+            eps: ms(2),
+        };
+        let v3 = check_window(&mut d, c3);
+        // Offset would be 3 ms > ε, so the clock steps back to offset 0.
+        assert_eq!(v3, Time::ZERO + Duration::from_secs(3));
+    }
+
+    #[test]
+    fn random_walk_stays_in_envelope() {
+        let mut w = RandomWalkClock::new(7, Duration::from_micros(500));
+        let mut clock = Time::ZERO;
+        let mut now = Time::ZERO;
+        for i in 1..200 {
+            let target = Time::ZERO + ms(i);
+            let c = AdvanceCtx {
+                now,
+                clock,
+                target,
+                max_clock: None,
+                eps: ms(2),
+            };
+            clock = check_window(&mut w, c);
+            assert!(target.skew(clock) <= ms(2));
+            now = target;
+        }
+    }
+
+    #[test]
+    fn random_walk_is_reproducible() {
+        let run = |seed| {
+            let mut w = RandomWalkClock::new(seed, Duration::from_micros(500));
+            let mut clock = Time::ZERO;
+            let mut now = Time::ZERO;
+            let mut out = Vec::new();
+            for i in 1..50 {
+                let target = Time::ZERO + ms(i);
+                clock = w.next_clock(AdvanceCtx {
+                    now,
+                    clock,
+                    target,
+                    max_clock: None,
+                    eps: ms(2),
+                });
+                now = target;
+                out.push(clock);
+            }
+            out
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn window_respects_all_constraints() {
+        let c = ctx(0, 9, 10, Some(11));
+        let (lo, hi) = c.window();
+        assert_eq!(lo, Time::ZERO + ms(9) + Duration::NANOSECOND);
+        assert_eq!(hi, Time::ZERO + ms(11));
+    }
+}

@@ -1,0 +1,930 @@
+//! The execution engine: composition + run loop.
+
+use psync_automata::ClockComponent;
+use psync_automata::{
+    Action, ClockComponentBox, ClockPredicate, ComponentBox, DynState, Execution, TimedComponent,
+    TimedEvent,
+};
+use psync_time::{Duration, Time};
+
+use crate::clock_driver::{AdvanceCtx, ClockStrategy};
+use crate::error::EngineError;
+use crate::scheduler::{FifoScheduler, Scheduler};
+
+/// Default cap on recorded events, guarding against Zeno compositions.
+const DEFAULT_MAX_EVENTS: usize = 1_000_000;
+
+/// After this many consecutive estimate-guided advances with no event, the
+/// engine falls back to the `Dc + ε` hard cap to guarantee progress.
+const IDLE_ADVANCE_FALLBACK: u32 = 8;
+
+struct TimedRuntime<A: Action> {
+    comp: ComponentBox<A>,
+    state: DynState,
+}
+
+struct NodeRuntime<A: Action> {
+    name: String,
+    comps: Vec<(ClockComponentBox<A>, DynState)>,
+    clock: Time,
+    strategy: Box<dyn ClockStrategy>,
+    pred: ClockPredicate,
+}
+
+/// A group of clock components sharing one node clock — the clock-automaton
+/// composition of Definition 2.7, plus the clock *behavior* (strategy) and
+/// envelope (`ε`) that the paper's clock subsystem would provide.
+///
+/// # Examples
+///
+/// ```
+/// use psync_automata::toys::ClockBeeper;
+/// use psync_executor::{ClockNode, PerfectClock};
+/// use psync_time::Duration;
+///
+/// let node = ClockNode::new("n0", Duration::from_millis(2), PerfectClock)
+///     .with(ClockBeeper::new(Duration::from_millis(10)));
+/// ```
+pub struct ClockNode<A: Action> {
+    name: String,
+    eps: Duration,
+    strategy: Box<dyn ClockStrategy>,
+    comps: Vec<ClockComponentBox<A>>,
+}
+
+impl<A: Action> ClockNode<A> {
+    /// Creates an empty node with skew bound `eps` and a clock strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is negative.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        eps: Duration,
+        strategy: impl ClockStrategy + 'static,
+    ) -> Self {
+        assert!(!eps.is_negative(), "skew bound must be non-negative");
+        ClockNode {
+            name: name.into(),
+            eps,
+            strategy: Box::new(strategy),
+            comps: Vec::new(),
+        }
+    }
+
+    /// Adds a clock component to the node.
+    #[must_use]
+    pub fn with<C: ClockComponent<Action = A>>(mut self, comp: C) -> Self {
+        self.comps.push(ClockComponentBox::new(comp));
+        self
+    }
+
+    /// Adds an already-boxed clock component to the node.
+    #[must_use]
+    pub fn with_boxed(mut self, comp: ClockComponentBox<A>) -> Self {
+        self.comps.push(comp);
+        self
+    }
+
+    /// The node's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The time horizon was reached.
+    Horizon,
+    /// No component had anything left to do and no deadline was pending.
+    Quiescent,
+}
+
+/// The result of a completed run: the recorded execution and why it ended.
+#[derive(Debug, Clone)]
+pub struct Run<A> {
+    /// The recorded execution.
+    pub execution: Execution<A>,
+    /// Why the run ended.
+    pub stop: StopReason,
+}
+
+/// Builds an [`Engine`] from components, nodes and policies.
+pub struct EngineBuilder<A: Action> {
+    timed: Vec<ComponentBox<A>>,
+    nodes: Vec<ClockNode<A>>,
+    scheduler: Box<dyn Scheduler<A>>,
+    horizon: Option<Time>,
+    max_events: usize,
+}
+
+impl<A: Action> Default for EngineBuilder<A> {
+    fn default() -> Self {
+        EngineBuilder {
+            timed: Vec::new(),
+            nodes: Vec::new(),
+            scheduler: Box::new(FifoScheduler),
+            horizon: None,
+            max_events: DEFAULT_MAX_EVENTS,
+        }
+    }
+}
+
+impl<A: Action> EngineBuilder<A> {
+    /// Adds a timed component (channel, environment, workload, node
+    /// algorithm in the timed model…).
+    #[must_use]
+    pub fn timed<C: TimedComponent<Action = A>>(mut self, comp: C) -> Self {
+        self.timed.push(ComponentBox::new(comp));
+        self
+    }
+
+    /// Adds an already-boxed timed component.
+    #[must_use]
+    pub fn timed_boxed(mut self, comp: ComponentBox<A>) -> Self {
+        self.timed.push(comp);
+        self
+    }
+
+    /// Adds a clock node (a group of clock components sharing one clock).
+    #[must_use]
+    pub fn clock_node(mut self, node: ClockNode<A>) -> Self {
+        self.nodes.push(node);
+        self
+    }
+
+    /// Sets the scheduler (default: [`FifoScheduler`]).
+    #[must_use]
+    pub fn scheduler(mut self, s: impl Scheduler<A> + 'static) -> Self {
+        self.scheduler = Box::new(s);
+        self
+    }
+
+    /// Stops the run when real time reaches `horizon`.
+    #[must_use]
+    pub fn horizon(mut self, horizon: Time) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Caps the number of recorded events (default 1 000 000).
+    #[must_use]
+    pub fn max_events(mut self, max: usize) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    /// Builds the engine with all components in their start states and
+    /// `now = clock = 0` (axioms S1 and C1).
+    #[must_use]
+    pub fn build(self) -> Engine<A> {
+        let timed = self
+            .timed
+            .into_iter()
+            .map(|comp| {
+                let state = comp.initial();
+                TimedRuntime { comp, state }
+            })
+            .collect();
+        let nodes = self
+            .nodes
+            .into_iter()
+            .map(|n| NodeRuntime {
+                name: n.name,
+                comps: n
+                    .comps
+                    .into_iter()
+                    .map(|c| {
+                        let s = c.initial();
+                        (c, s)
+                    })
+                    .collect(),
+                clock: Time::ZERO,
+                strategy: n.strategy,
+                pred: ClockPredicate::skew(n.eps),
+            })
+            .collect();
+        Engine {
+            timed,
+            nodes,
+            now: Time::ZERO,
+            scheduler: self.scheduler,
+            events: Vec::new(),
+            horizon: self.horizon,
+            max_events: self.max_events,
+            idle_advances: 0,
+        }
+    }
+}
+
+/// Where an enabled action came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    Timed(usize),
+    Node(usize, usize),
+}
+
+/// The composed system plus its run state.
+///
+/// See the [crate docs](crate) for the execution semantics and the
+/// crate-level example for typical use.
+pub struct Engine<A: Action> {
+    timed: Vec<TimedRuntime<A>>,
+    nodes: Vec<NodeRuntime<A>>,
+    now: Time,
+    scheduler: Box<dyn Scheduler<A>>,
+    events: Vec<TimedEvent<A>>,
+    horizon: Option<Time>,
+    max_events: usize,
+    idle_advances: u32,
+}
+
+impl<A: Action> Engine<A> {
+    /// Starts building an engine.
+    #[must_use]
+    pub fn builder() -> EngineBuilder<A> {
+        EngineBuilder::default()
+    }
+
+    /// The current real time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The current clock of node `idx` (in insertion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn node_clock(&self, idx: usize) -> Time {
+        self.nodes[idx].clock
+    }
+
+    /// Views the state of timed component `idx` as a concrete type, for
+    /// tests and diagnostics.
+    #[must_use]
+    pub fn timed_state<S: 'static>(&self, idx: usize) -> Option<&S> {
+        self.timed.get(idx)?.state.downcast_ref::<S>()
+    }
+
+    /// The events recorded so far.
+    #[must_use]
+    pub fn events(&self) -> &[TimedEvent<A>] {
+        &self.events
+    }
+
+    /// Extends (or sets) the horizon and continues the run — incremental
+    /// driving for interactive exploration. The returned execution always
+    /// contains *all* events since the start, so a sequence of
+    /// `run_until` calls observes the same execution a single `run` with
+    /// the final horizon would have produced (the engine's state persists
+    /// between calls).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use psync_automata::toys::Beeper;
+    /// use psync_executor::Engine;
+    /// use psync_time::{Duration, Time};
+    ///
+    /// let ms = Duration::from_millis;
+    /// let mut engine = Engine::builder().timed(Beeper::new(ms(7))).build();
+    /// let first = engine.run_until(Time::ZERO + ms(10))?;
+    /// assert_eq!(first.execution.len(), 1); // the 7 ms beep
+    /// let second = engine.run_until(Time::ZERO + ms(20))?;
+    /// assert_eq!(second.execution.len(), 2); // 7 ms and 14 ms
+    /// # Ok::<(), psync_executor::EngineError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is earlier than the current time (time cannot
+    /// run backwards).
+    pub fn run_until(&mut self, horizon: Time) -> Result<Run<A>, EngineError> {
+        assert!(
+            horizon >= self.now,
+            "horizon {horizon} is before the current time {}",
+            self.now
+        );
+        self.horizon = Some(horizon);
+        self.run()
+    }
+
+    /// Runs to quiescence or the horizon, consuming the engine's current
+    /// state and returning the recorded execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] when the composition is ill-formed (see
+    /// the error type for the catalogue); the partial event history is
+    /// available through [`Engine::events`] afterwards.
+    pub fn run(&mut self) -> Result<Run<A>, EngineError> {
+        loop {
+            if self.events.len() >= self.max_events {
+                return Err(EngineError::EventLimitExceeded {
+                    limit: self.max_events,
+                    now: self.now,
+                });
+            }
+            if let Some(h) = self.horizon {
+                if self.now >= h {
+                    return Ok(self.finish(StopReason::Horizon, h));
+                }
+            }
+
+            let candidates = self.candidates()?;
+            if !candidates.is_empty() {
+                let actions: Vec<A> = candidates.iter().map(|(a, _)| a.clone()).collect();
+                let idx = self.scheduler.pick(self.now, &actions);
+                assert!(
+                    idx < candidates.len(),
+                    "scheduler returned out-of-range index"
+                );
+                let (action, origin) = candidates.into_iter().nth(idx).expect("index checked");
+                self.fire(&action, origin)?;
+                self.idle_advances = 0;
+                continue;
+            }
+
+            match self.compute_target(self.idle_advances >= IDLE_ADVANCE_FALLBACK)? {
+                None => {
+                    let ltime = self.horizon.unwrap_or(self.now).max(self.now);
+                    return Ok(self.finish(StopReason::Quiescent, ltime));
+                }
+                Some(target) => {
+                    debug_assert!(target > self.now);
+                    let capped = match self.horizon {
+                        Some(h) if target > h => h,
+                        _ => target,
+                    };
+                    if capped > self.now {
+                        self.advance_to(capped)?;
+                        self.idle_advances += 1;
+                    }
+                    if Some(capped) == self.horizon && capped < target {
+                        return Ok(self.finish(StopReason::Horizon, capped));
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, stop: StopReason, ltime: Time) -> Run<A> {
+        Run {
+            execution: Execution::new(self.events.clone(), ltime.max(self.now)),
+            stop,
+        }
+    }
+
+    /// Collects all enabled locally controlled actions with their origins.
+    fn candidates(&self) -> Result<Vec<(A, Origin)>, EngineError> {
+        let mut out: Vec<(A, Origin)> = Vec::new();
+        for (i, rt) in self.timed.iter().enumerate() {
+            for a in rt.comp.enabled(&rt.state, self.now) {
+                out.push((a, Origin::Timed(i)));
+            }
+        }
+        for (n, node) in self.nodes.iter().enumerate() {
+            for (j, (comp, state)) in node.comps.iter().enumerate() {
+                for a in comp.enabled(state, node.clock) {
+                    out.push((a, Origin::Node(n, j)));
+                }
+            }
+        }
+        // Two distinct components offering the same action means two
+        // controllers: the composition is incompatible (Definition 2.2).
+        for (i, (a, o1)) in out.iter().enumerate() {
+            for (b, o2) in out.iter().skip(i + 1) {
+                if a == b && o1 != o2 {
+                    return Err(EngineError::IncompatibleControllers {
+                        first: self.origin_name(*o1),
+                        second: self.origin_name(*o2),
+                        action: format!("{a:?}"),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn origin_name(&self, o: Origin) -> String {
+        match o {
+            Origin::Timed(i) => self.timed[i].comp.name(),
+            Origin::Node(n, j) => {
+                format!("{}/{}", self.nodes[n].name, self.nodes[n].comps[j].0.name())
+            }
+        }
+    }
+
+    /// Applies `action` to every component having it in signature.
+    fn fire(&mut self, action: &A, origin: Origin) -> Result<(), EngineError> {
+        let kind = match origin {
+            Origin::Timed(i) => self.timed[i].comp.classify(action),
+            Origin::Node(n, j) => self.nodes[n].comps[j].0.classify(action),
+        }
+        .expect("origin component must have the action in its signature");
+        debug_assert!(kind.is_locally_controlled());
+
+        // The clock recorded with the event is the clock of the (unique)
+        // node that has the action in its signature — the `c_i(α)` of
+        // Section 4.3. Actions touching no clock node carry no clock.
+        let mut event_clock: Option<Time> = None;
+
+        let now = self.now;
+        for (i, rt) in self.timed.iter_mut().enumerate() {
+            let Some(k) = rt.comp.classify(action) else {
+                continue;
+            };
+            if k.is_locally_controlled() && Origin::Timed(i) != origin {
+                return Err(EngineError::IncompatibleControllers {
+                    first: rt.comp.name(),
+                    second: String::from("<origin>"),
+                    action: format!("{action:?}"),
+                });
+            }
+            match rt.comp.step(&rt.state, action, now) {
+                Some(next) => rt.state = next,
+                None if Origin::Timed(i) == origin => {
+                    return Err(EngineError::EnabledButRefused {
+                        component: rt.comp.name(),
+                        action: format!("{action:?}"),
+                        now,
+                    })
+                }
+                None => {
+                    return Err(EngineError::InputNotEnabled {
+                        component: rt.comp.name(),
+                        action: format!("{action:?}"),
+                        now,
+                    })
+                }
+            }
+        }
+
+        for (n, node) in self.nodes.iter_mut().enumerate() {
+            let clock = node.clock;
+            let mut touched = false;
+            for (j, (comp, state)) in node.comps.iter_mut().enumerate() {
+                let Some(k) = comp.classify(action) else {
+                    continue;
+                };
+                touched = true;
+                if k.is_locally_controlled() && Origin::Node(n, j) != origin {
+                    return Err(EngineError::IncompatibleControllers {
+                        first: format!("{}/{}", node.name, comp.name()),
+                        second: String::from("<origin>"),
+                        action: format!("{action:?}"),
+                    });
+                }
+                match comp.step(state, action, clock) {
+                    Some(next) => *state = next,
+                    None if Origin::Node(n, j) == origin => {
+                        return Err(EngineError::EnabledButRefused {
+                            component: format!("{}/{}", node.name, comp.name()),
+                            action: format!("{action:?}"),
+                            now,
+                        })
+                    }
+                    None => {
+                        return Err(EngineError::InputNotEnabled {
+                            component: format!("{}/{}", node.name, comp.name()),
+                            action: format!("{action:?}"),
+                            now,
+                        })
+                    }
+                }
+            }
+            if touched && event_clock.is_none() {
+                event_clock = Some(clock);
+            }
+        }
+
+        self.events.push(TimedEvent {
+            action: action.clone(),
+            kind,
+            now,
+            clock: event_clock,
+        });
+        Ok(())
+    }
+
+    /// The earliest time any component forces an action, or `None` when
+    /// time may pass forever.
+    ///
+    /// Real-time deadlines are taken as-is. A *clock* deadline `Dc` forces
+    /// the node clock to stop at `Dc`, which can happen no later than real
+    /// time `Dc + ε` (clock predicate `C_ε`); the engine normally aims for
+    /// the strategy's own estimate of when its clock reaches `Dc`, so that
+    /// fast clocks really do act early. When several estimate-guided
+    /// advances in a row produce no event (`pessimistic`), it falls back to
+    /// the hard cap to guarantee progress.
+    ///
+    /// # Errors
+    ///
+    /// Detects stopped time: a deadline at or before `now` with nothing
+    /// enabled (the caller guarantees no candidates exist).
+    fn compute_target(&self, pessimistic: bool) -> Result<Option<Time>, EngineError> {
+        let mut target: Option<(Time, String)> = None;
+        let mut consider = |t: Time, who: String| match &target {
+            Some((best, _)) if *best <= t => {}
+            _ => target = Some((t, who)),
+        };
+        for rt in &self.timed {
+            if let Some(d) = rt.comp.deadline(&rt.state, self.now) {
+                if d <= self.now {
+                    return Err(EngineError::TimeStopped {
+                        component: rt.comp.name(),
+                        now: self.now,
+                        deadline: d,
+                    });
+                }
+                consider(d, rt.comp.name());
+            }
+        }
+        for node in &self.nodes {
+            for (comp, state) in &node.comps {
+                if let Some(dc) = comp.clock_deadline(state, node.clock) {
+                    let cap = node.pred.latest_now_for(dc);
+                    if cap <= self.now {
+                        return Err(EngineError::TimeStopped {
+                            component: format!("{}/{}", node.name, comp.name()),
+                            now: self.now,
+                            deadline: cap,
+                        });
+                    }
+                    let aim = if pessimistic {
+                        cap
+                    } else {
+                        node.strategy
+                            .when_reaches(self.now, node.clock, dc)
+                            .max(self.now + Duration::NANOSECOND)
+                            .min(cap)
+                    };
+                    consider(aim, format!("{}/{}", node.name, comp.name()));
+                }
+            }
+        }
+        Ok(target.map(|(t, _)| t))
+    }
+
+    /// Performs `ν` for every component, moving real time to `target` and
+    /// each node clock along its strategy.
+    fn advance_to(&mut self, target: Time) -> Result<(), EngineError> {
+        debug_assert!(target > self.now);
+        for rt in &mut self.timed {
+            match rt.comp.advance(&rt.state, self.now, target) {
+                Some(next) => rt.state = next,
+                None => {
+                    return Err(EngineError::AdvanceRefused {
+                        component: rt.comp.name(),
+                        now: self.now,
+                        target,
+                    })
+                }
+            }
+        }
+        for node in &mut self.nodes {
+            let max_clock = node
+                .comps
+                .iter()
+                .filter_map(|(c, s)| c.clock_deadline(s, node.clock))
+                .min();
+            if let Some(mc) = max_clock {
+                if mc <= node.clock {
+                    // A clock deadline is due but nothing fired: the node
+                    // has stopped time.
+                    return Err(EngineError::TimeStopped {
+                        component: node.name.clone(),
+                        now: self.now,
+                        deadline: node.pred.latest_now_for(mc),
+                    });
+                }
+            }
+            let ctx = AdvanceCtx {
+                now: self.now,
+                clock: node.clock,
+                target,
+                max_clock,
+                eps: node.pred.eps(),
+            };
+            let next_clock = node.strategy.next_clock(ctx);
+            if next_clock <= node.clock {
+                return Err(EngineError::StrategyViolation {
+                    node: node.name.clone(),
+                    reason: format!(
+                        "clock moved from {} to {next_clock}: axiom C3 requires strict increase",
+                        node.clock
+                    ),
+                });
+            }
+            if !node.pred.holds(target, next_clock) {
+                return Err(EngineError::StrategyViolation {
+                    node: node.name.clone(),
+                    reason: format!(
+                        "clock {next_clock} at real time {target} violates C_ε (ε = {})",
+                        node.pred.eps()
+                    ),
+                });
+            }
+            if let Some(mc) = max_clock {
+                if next_clock > mc {
+                    return Err(EngineError::StrategyViolation {
+                        node: node.name.clone(),
+                        reason: format!("clock {next_clock} passed the deadline {mc}"),
+                    });
+                }
+            }
+            for (comp, state) in &mut node.comps {
+                match comp.advance(state, node.clock, next_clock) {
+                    Some(next) => *state = next,
+                    None => {
+                        return Err(EngineError::AdvanceRefused {
+                            component: format!("{}/{}", node.name, comp.name()),
+                            now: self.now,
+                            target,
+                        })
+                    }
+                }
+            }
+            node.clock = next_clock;
+        }
+        self.now = target;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock_driver::{OffsetClock, PerfectClock};
+    use crate::scheduler::RandomScheduler;
+    use psync_automata::toys::{BeepAction, Beeper, ClockBeeper, Echo, EchoAction};
+    use psync_automata::ActionKind;
+    use psync_automata::TimedTrace;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + ms(n)
+    }
+
+    #[test]
+    fn beeper_fires_at_exact_times() {
+        let mut engine = Engine::builder()
+            .timed(Beeper::new(ms(10)))
+            .horizon(at(35))
+            .build();
+        let run = engine.run().unwrap();
+        assert_eq!(run.stop, StopReason::Horizon);
+        let trace = run.execution.t_trace();
+        assert_eq!(
+            trace.as_slice(),
+            &[
+                (BeepAction::Beep { src: 0, seq: 0 }, at(10)),
+                (BeepAction::Beep { src: 0, seq: 1 }, at(20)),
+                (BeepAction::Beep { src: 0, seq: 2 }, at(30)),
+            ]
+        );
+        assert_eq!(run.execution.ltime(), at(35));
+    }
+
+    #[test]
+    fn quiescent_system_stops() {
+        let mut engine = Engine::builder().timed(Echo::new(ms(1))).build();
+        let run = engine.run().unwrap();
+        assert_eq!(run.stop, StopReason::Quiescent);
+        assert!(run.execution.is_empty());
+    }
+
+    #[test]
+    fn clock_beeper_with_perfect_clock_matches_real_time() {
+        let node = ClockNode::new("n0", ms(2), PerfectClock).with(ClockBeeper::new(ms(10)));
+        let mut engine = Engine::builder().clock_node(node).horizon(at(25)).build();
+        let run = engine.run().unwrap();
+        let trace = run.execution.t_trace();
+        assert_eq!(
+            trace.as_slice(),
+            &[
+                (BeepAction::Beep { src: 0, seq: 0 }, at(10)),
+                (BeepAction::Beep { src: 0, seq: 1 }, at(20)),
+            ]
+        );
+        // Events carry the node clock.
+        assert_eq!(run.execution.events()[0].clock, Some(at(10)));
+    }
+
+    #[test]
+    fn slow_clock_delays_beeps_by_eps() {
+        // A clock slow by the full ε = 2 ms reads 10 ms only when real time
+        // is 12 ms: the beep moves to 12 ms of real time but 10 ms of clock.
+        let node = ClockNode::new("n0", ms(2), OffsetClock::new(ms(-2), ms(2)))
+            .with(ClockBeeper::new(ms(10)));
+        let mut engine = Engine::builder().clock_node(node).horizon(at(25)).build();
+        let run = engine.run().unwrap();
+        let ev = &run.execution.events()[0];
+        assert_eq!(ev.now, at(12));
+        assert_eq!(ev.clock, Some(at(10)));
+    }
+
+    #[test]
+    fn fast_clock_advances_beeps_by_eps() {
+        let node = ClockNode::new("n0", ms(2), OffsetClock::new(ms(2), ms(2)))
+            .with(ClockBeeper::new(ms(10)));
+        let mut engine = Engine::builder().clock_node(node).horizon(at(25)).build();
+        let run = engine.run().unwrap();
+        let ev = &run.execution.events()[0];
+        assert_eq!(ev.now, at(8));
+        assert_eq!(ev.clock, Some(at(10)));
+    }
+
+    #[test]
+    fn clock_trace_eps_close_to_timed_trace() {
+        // The clock-model beeper's trace is =_{ε} the timed beeper's trace —
+        // a miniature of Theorem 4.7.
+        let mut timed_engine = Engine::builder()
+            .timed(Beeper::new(ms(10)))
+            .horizon(at(100))
+            .build();
+        let timed_trace = timed_engine.run().unwrap().execution.t_trace();
+
+        let node = ClockNode::new("n0", ms(2), OffsetClock::new(ms(-2), ms(2)))
+            .with(ClockBeeper::new(ms(10)));
+        let mut clock_engine = Engine::builder().clock_node(node).horizon(at(100)).build();
+        let clock_trace = clock_engine.run().unwrap().execution.t_trace();
+
+        use psync_automata::relations::{eps_equivalent, ClassMap};
+        let w = eps_equivalent(&timed_trace, &clock_trace, ms(2), &ClassMap::single()).unwrap();
+        assert_eq!(w.max_deviation, ms(2));
+    }
+
+    #[test]
+    fn echo_round_trip_through_engine() {
+        // A beeper's beeps drive nothing; pair an Echo with a driver that
+        // pings at a fixed time instead.
+        #[derive(Debug, Clone)]
+        struct PingOnce;
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        struct PingState {
+            fired: bool,
+        }
+        impl TimedComponent for PingOnce {
+            type Action = EchoAction;
+            type State = PingState;
+            fn name(&self) -> String {
+                "ping-once".into()
+            }
+            fn initial(&self) -> PingState {
+                PingState { fired: false }
+            }
+            fn classify(&self, a: &EchoAction) -> Option<ActionKind> {
+                match a {
+                    EchoAction::Ping { .. } => Some(ActionKind::Output),
+                    EchoAction::Pong { .. } => Some(ActionKind::Input),
+                }
+            }
+            fn step(&self, s: &PingState, a: &EchoAction, now: Time) -> Option<PingState> {
+                match a {
+                    EchoAction::Ping { .. } if !s.fired && now >= at(5) => {
+                        Some(PingState { fired: true })
+                    }
+                    EchoAction::Pong { .. } => Some(s.clone()),
+                    _ => None,
+                }
+            }
+            fn enabled(&self, s: &PingState, now: Time) -> Vec<EchoAction> {
+                if !s.fired && now >= at(5) {
+                    vec![EchoAction::Ping { id: 1 }]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn deadline(&self, s: &PingState, _now: Time) -> Option<Time> {
+                if s.fired {
+                    None
+                } else {
+                    Some(at(5))
+                }
+            }
+        }
+
+        let mut engine = Engine::builder()
+            .timed(PingOnce)
+            .timed(Echo::new(ms(3)))
+            .build();
+        let run = engine.run().unwrap();
+        assert_eq!(run.stop, StopReason::Quiescent);
+        let trace = run.execution.t_trace();
+        assert_eq!(
+            trace.as_slice(),
+            &[
+                (EchoAction::Ping { id: 1 }, at(5)),
+                (EchoAction::Pong { id: 1 }, at(8)),
+            ]
+        );
+    }
+
+    #[test]
+    fn random_scheduler_is_reproducible() {
+        let run_with_seed = |seed: u64| -> TimedTrace<BeepAction> {
+            let mut engine = Engine::builder()
+                .timed(Beeper::with_src(ms(5), 0))
+                .timed(Beeper::with_src(ms(5), 1))
+                .scheduler(RandomScheduler::new(seed))
+                .horizon(at(50))
+                .build();
+            engine.run().unwrap().execution.t_trace()
+        };
+        assert_eq!(run_with_seed(11), run_with_seed(11));
+    }
+
+    #[test]
+    fn duplicate_controllers_are_rejected() {
+        // Two identical beepers offer the *same* action value — an
+        // incompatible composition (shared output action).
+        let mut engine = Engine::builder()
+            .timed(Beeper::new(ms(5)))
+            .timed(Beeper::new(ms(5)))
+            .horizon(at(20))
+            .build();
+        let err = engine.run().unwrap_err();
+        assert!(matches!(err, EngineError::IncompatibleControllers { .. }));
+    }
+
+    #[test]
+    fn event_limit_guards_against_zeno() {
+        #[derive(Debug, Clone)]
+        struct Zeno;
+        impl TimedComponent for Zeno {
+            type Action = BeepAction;
+            type State = u64;
+            fn name(&self) -> String {
+                "zeno".into()
+            }
+            fn initial(&self) -> u64 {
+                0
+            }
+            fn classify(&self, _a: &BeepAction) -> Option<ActionKind> {
+                Some(ActionKind::Output)
+            }
+            fn step(&self, s: &u64, _a: &BeepAction, _now: Time) -> Option<u64> {
+                Some(s + 1)
+            }
+            fn enabled(&self, s: &u64, _now: Time) -> Vec<BeepAction> {
+                vec![BeepAction::Beep { src: 0, seq: *s }]
+            }
+            fn deadline(&self, _s: &u64, _now: Time) -> Option<Time> {
+                None
+            }
+        }
+        let mut engine = Engine::builder().timed(Zeno).max_events(100).build();
+        let err = engine.run().unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::EventLimitExceeded { limit: 100, .. }
+        ));
+    }
+
+    #[test]
+    fn horizon_before_first_event_yields_empty_run() {
+        let mut engine = Engine::builder()
+            .timed(Beeper::new(ms(10)))
+            .horizon(at(5))
+            .build();
+        let run = engine.run().unwrap();
+        assert_eq!(run.stop, StopReason::Horizon);
+        assert!(run.execution.is_empty());
+        assert_eq!(run.execution.ltime(), at(5));
+    }
+
+    #[test]
+    fn two_nodes_keep_independent_clocks() {
+        let n0 = ClockNode::new("n0", ms(2), OffsetClock::new(ms(2), ms(2)))
+            .with(ClockBeeper::with_src(ms(10), 0));
+        let n1 = ClockNode::new("n1", ms(2), OffsetClock::new(ms(-2), ms(2)))
+            .with(ClockBeeper::with_src(ms(10), 1));
+        let mut engine = Engine::builder()
+            .clock_node(n0)
+            .clock_node(n1)
+            .horizon(at(15))
+            .build();
+        let run = engine.run().unwrap();
+        let evs = run.execution.events();
+        assert_eq!(evs.len(), 2);
+        // Fast node beeps at real 8, slow node at real 12; both at clock 10.
+        assert_eq!(evs[0].now, at(8));
+        assert_eq!(evs[1].now, at(12));
+        assert_eq!(evs[0].clock, Some(at(10)));
+        assert_eq!(evs[1].clock, Some(at(10)));
+    }
+}

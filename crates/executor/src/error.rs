@@ -1,0 +1,161 @@
+//! Engine failure modes.
+
+use core::fmt;
+
+use psync_time::Time;
+
+/// Why a run could not proceed.
+///
+/// These are *model* errors: a correct composition of correct components
+/// never produces one. They exist so that bugs in user components surface
+/// as diagnoses instead of silently-wrong executions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A component classified an action as input but refused the step —
+    /// a violation of input-enabledness (Definition 2.1 requires each state
+    /// to have a transition for each input action).
+    InputNotEnabled {
+        /// The refusing component.
+        component: String,
+        /// Debug rendering of the action.
+        action: String,
+        /// Time of the attempted step.
+        now: Time,
+    },
+    /// A component reported an action as enabled but then refused to
+    /// perform it.
+    EnabledButRefused {
+        /// The inconsistent component.
+        component: String,
+        /// Debug rendering of the action.
+        action: String,
+        /// Time of the attempted step.
+        now: Time,
+    },
+    /// Two components both claim to control (output or internal) the same
+    /// action — the compositions of Definition 2.2 require
+    /// `out(A_i) ∩ out(A_j) = ∅` and `int(A_i) ∩ acts(A_j) = ∅`.
+    IncompatibleControllers {
+        /// First claiming component.
+        first: String,
+        /// Second claiming component.
+        second: String,
+        /// Debug rendering of the action.
+        action: String,
+    },
+    /// Time cannot pass (a deadline is due) but no action is enabled: the
+    /// composition has "stopped time", which a feasible automaton must not
+    /// do.
+    TimeStopped {
+        /// The component whose deadline is due.
+        component: String,
+        /// Current time.
+        now: Time,
+        /// The due deadline.
+        deadline: Time,
+    },
+    /// A component refused a `ν` advance that its own deadline permitted.
+    AdvanceRefused {
+        /// The refusing component.
+        component: String,
+        /// Current time.
+        now: Time,
+        /// Attempted target.
+        target: Time,
+    },
+    /// A clock strategy produced a clock value violating axiom C3
+    /// (strict increase), the clock predicate `C_ε`, or a clock deadline.
+    StrategyViolation {
+        /// The offending node.
+        node: String,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// The event limit was reached, which usually indicates a Zeno
+    /// composition (infinitely many actions at one time point).
+    EventLimitExceeded {
+        /// The limit that was hit.
+        limit: usize,
+        /// Time at which it was hit.
+        now: Time,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InputNotEnabled {
+                component,
+                action,
+                now,
+            } => write!(
+                f,
+                "component `{component}` is not input-enabled for {action} at {now}"
+            ),
+            EngineError::EnabledButRefused {
+                component,
+                action,
+                now,
+            } => write!(
+                f,
+                "component `{component}` reported {action} enabled at {now} but refused the step"
+            ),
+            EngineError::IncompatibleControllers {
+                first,
+                second,
+                action,
+            } => write!(
+                f,
+                "components `{first}` and `{second}` both control {action}: composition is incompatible"
+            ),
+            EngineError::TimeStopped {
+                component,
+                now,
+                deadline,
+            } => write!(
+                f,
+                "time stopped at {now}: `{component}` has deadline {deadline} but nothing is enabled"
+            ),
+            EngineError::AdvanceRefused {
+                component,
+                now,
+                target,
+            } => write!(
+                f,
+                "component `{component}` refused ν from {now} to {target} within its own deadline"
+            ),
+            EngineError::StrategyViolation { node, reason } => {
+                write!(f, "clock strategy for node `{node}` misbehaved: {reason}")
+            }
+            EngineError::EventLimitExceeded { limit, now } => write!(
+                f,
+                "event limit {limit} exceeded at {now}: composition is likely Zeno"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_culprit() {
+        let e = EngineError::InputNotEnabled {
+            component: "node-3".into(),
+            action: "RECV".into(),
+            now: Time::ZERO,
+        };
+        assert!(e.to_string().contains("node-3"));
+        assert!(e.to_string().contains("RECV"));
+
+        let e = EngineError::TimeStopped {
+            component: "channel".into(),
+            now: Time::ZERO,
+            deadline: Time::ZERO,
+        };
+        assert!(e.to_string().contains("time stopped"));
+    }
+}

@@ -1,0 +1,133 @@
+//! The MMT automaton model: untimed transitions + boundmap task classes.
+
+use core::fmt::Debug;
+
+use psync_automata::{Action, ActionKind};
+use psync_time::Duration;
+
+/// Identifies a task class of an MMT automaton's partition (an index into
+/// [`MmtComponent::tasks`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+/// The timing bounds of one task class: the boundmap value `b(C) = [l, u]`
+/// (Section 5.1).
+///
+/// While some action of the class is continuously enabled, an action of the
+/// class must fire no earlier than `l` and no later than `u` after the
+/// class (re-)became enabled. The paper's node automata use `[0, ℓ]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Boundmap {
+    lower: Duration,
+    upper: Duration,
+}
+
+impl Boundmap {
+    /// Creates the bound `[lower, upper]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower` is negative, `upper` is not strictly positive, or
+    /// `lower > upper`. (A zero upper bound would force infinitely many
+    /// actions in zero time.)
+    #[must_use]
+    pub fn new(lower: Duration, upper: Duration) -> Self {
+        assert!(!lower.is_negative(), "lower bound must be non-negative");
+        assert!(upper.is_positive(), "upper bound must be strictly positive");
+        assert!(lower <= upper, "lower bound {lower} exceeds upper {upper}");
+        Boundmap { lower, upper }
+    }
+
+    /// The paper's `[0, ℓ]` bound: steps take at most `step` time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not strictly positive.
+    #[must_use]
+    pub fn at_most(step: Duration) -> Self {
+        Boundmap::new(Duration::ZERO, step)
+    }
+
+    /// The lower bound `l`.
+    #[must_use]
+    pub const fn lower(&self) -> Duration {
+        self.lower
+    }
+
+    /// The upper bound `u`.
+    #[must_use]
+    pub const fn upper(&self) -> Duration {
+        self.upper
+    }
+}
+
+/// An MMT automaton (Section 5.1): an I/O automaton — *no* `now`, *no*
+/// time-passage action — whose locally controlled actions are partitioned
+/// into task classes with [`Boundmap`] timing.
+///
+/// Execute one by wrapping it in [`MmtAsTimed`](crate::MmtAsTimed) (the
+/// transformation `T` of \[7\]) and composing on the `psync-executor`
+/// engine.
+pub trait MmtComponent: 'static {
+    /// The action alphabet of the system this component is part of.
+    type Action: Action;
+    /// The component's state.
+    type State: Clone + Debug + 'static;
+
+    /// A human-readable name for diagnostics.
+    fn name(&self) -> String;
+
+    /// The start state.
+    fn initial(&self) -> Self::State;
+
+    /// Classifies `a` in this component's signature.
+    fn classify(&self, a: &Self::Action) -> Option<ActionKind>;
+
+    /// Applies action `a` — note: *no* time parameter. MMT automata are
+    /// untimed; all timing comes from the boundmap.
+    fn step(&self, s: &Self::State, a: &Self::Action) -> Option<Self::State>;
+
+    /// The task classes and their bounds. The partition is fixed (it does
+    /// not depend on the state).
+    fn tasks(&self) -> Vec<Boundmap>;
+
+    /// The class of a locally controlled action, or `None` for inputs /
+    /// out-of-signature actions. Every locally controlled action must
+    /// belong to exactly one class.
+    fn task_of(&self, a: &Self::Action) -> Option<TaskId>;
+
+    /// The locally controlled actions enabled in `s` (all classes).
+    fn enabled(&self, s: &Self::State) -> Vec<Self::Action>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundmap_validation() {
+        let b = Boundmap::new(Duration::from_millis(1), Duration::from_millis(2));
+        assert_eq!(b.lower(), Duration::from_millis(1));
+        assert_eq!(b.upper(), Duration::from_millis(2));
+        let z = Boundmap::at_most(Duration::from_micros(100));
+        assert_eq!(z.lower(), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper")]
+    fn inverted_bounds_rejected() {
+        let _ = Boundmap::new(Duration::from_millis(3), Duration::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_upper_rejected() {
+        let _ = Boundmap::new(Duration::ZERO, Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_lower_rejected() {
+        let _ = Boundmap::new(Duration::from_millis(-1), Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,41 @@
+//! The MMT automaton model (Section 5 of the paper).
+//!
+//! MMT automata — named for Merritt, Modugno and Tuttle \[11\], as used by
+//! Lynch and Attiya \[7\] — are I/O automata with *boundmap* timing: the
+//! locally controlled actions are partitioned into task classes, and each
+//! class maps to an interval `[l, u]` constraining how long the class may
+//! stay enabled before one of its actions fires. The model is "realistic"
+//! in the paper's sense: it has **no** `now` state component and **no**
+//! ability to schedule an action at an exact time — a node learns the time
+//! only through `TICK(c)` inputs from a clock subsystem, and its steps take
+//! up to `ℓ` time each.
+//!
+//! This crate provides:
+//!
+//! * [`MmtComponent`] — the model: untimed transitions plus
+//!   [`Boundmap`]-timed task classes (Section 5.1).
+//! * [`MmtAsTimed`] — the trace-preserving transformation `T` from MMT
+//!   automata to timed automata (from \[7\], used in Section 5.2 so MMT
+//!   nodes can be composed with channel automata and executed on the
+//!   `psync-executor` engine). The residual nondeterminism — *when* inside
+//!   `[l, u]` each class fires — is resolved by a [`StepPolicy`].
+//! * [`TickSource`] — the clock subsystem `C^m_{i,ε,ℓ}` whose sole output
+//!   is `TICK(c)` with `c` always within `ε` of real time (Section 5.2),
+//!   with configurable tick period, reading granularity and skew. This is
+//!   where the paper's "clock may jump discretely, so particular values
+//!   can be missed" realism lives.
+//!
+//! The transformation `M(A^c_{i,ε}, ℓ)` from clock automata to MMT automata
+//! (Definition 5.1) lives in `psync-core`, next to its Theorem 5.1/5.2
+//! checkers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod component;
+mod tick;
+mod to_timed;
+
+pub use component::{Boundmap, MmtComponent, TaskId};
+pub use tick::{TickConfig, TickSource, TickState};
+pub use to_timed::{MmtAsTimed, StepPolicy, TimedMmtState};

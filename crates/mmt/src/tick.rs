@@ -1,0 +1,314 @@
+//! The clock subsystem `C^m_{i,ε,ℓ}` (Section 5.2).
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+use psync_automata::{Action, ActionKind, TimedComponent};
+use psync_net::{NodeId, SysAction};
+use psync_time::{Duration, Time};
+
+/// Configuration of a [`TickSource`].
+///
+/// * `eps` — the accuracy bound: every emitted `TICK(c)` satisfies
+///   `|c − now| ≤ ε`.
+/// * `period` — real time between ticks. Between ticks the node's knowledge
+///   of the clock is stale, which is exactly the "might miss seeing a
+///   particular clock value" realism of the MMT model (Section 1).
+/// * `granularity` — clock readings are multiples of this quantum
+///   (`granularity ≤ eps` required so a rounded reading still satisfies
+///   `C_ε`; the paper's clocks have "finite granularity").
+/// * `offset` — a constant skew applied before quantization, modeling a
+///   consistently fast or slow hardware clock
+///   (`|offset| + granularity ≤ eps` required).
+#[derive(Debug, Clone, Copy)]
+pub struct TickConfig {
+    /// Accuracy bound `ε`.
+    pub eps: Duration,
+    /// Real time between ticks.
+    pub period: Duration,
+    /// Quantum of clock readings.
+    pub granularity: Duration,
+    /// Constant skew before quantization.
+    pub offset: Duration,
+}
+
+impl TickConfig {
+    /// A perfectly honest tick source: zero offset, 1 ns granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent (see type docs).
+    #[must_use]
+    pub fn honest(eps: Duration, period: Duration) -> Self {
+        TickConfig {
+            eps,
+            period,
+            granularity: Duration::NANOSECOND,
+            offset: Duration::ZERO,
+        }
+        .validated()
+    }
+
+    /// Validates the configuration constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any constraint from the type documentation is violated.
+    #[must_use]
+    pub fn validated(self) -> Self {
+        assert!(!self.eps.is_negative(), "eps must be non-negative");
+        assert!(self.period.is_positive(), "tick period must be positive");
+        assert!(
+            self.granularity.is_positive(),
+            "granularity must be positive"
+        );
+        assert!(
+            self.offset.abs() + self.granularity <= self.eps.max(self.granularity),
+            "offset {} + granularity {} exceed eps {}",
+            self.offset,
+            self.granularity,
+            self.eps
+        );
+        self
+    }
+}
+
+/// State of a [`TickSource`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickState {
+    /// When the next tick is due.
+    pub next_due: Time,
+    /// The last emitted reading (readings are non-decreasing).
+    pub last_reading: Time,
+    /// Whether the initial tick has been emitted.
+    pub started: bool,
+}
+
+/// The clock subsystem of the MMT model: a timed automaton whose only
+/// output is `TICK(c)` with `c` within `ε` of real time (Section 5.2).
+///
+/// The tick source is a *timed* component — it models the hardware clock,
+/// which is the one thing in the realistic model that genuinely moves with
+/// real time. Everything the node learns about time flows through these
+/// ticks: stale by up to `period`, quantized to `granularity`, skewed by
+/// `offset`, and never decreasing.
+pub struct TickSource<M, A> {
+    node: NodeId,
+    config: TickConfig,
+    _marker: core::marker::PhantomData<fn() -> (M, A)>,
+}
+
+impl<M, A> TickSource<M, A> {
+    /// Creates the tick source for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    #[must_use]
+    pub fn new(node: NodeId, config: TickConfig) -> Self {
+        TickSource {
+            node,
+            config: config.validated(),
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    /// The reading emitted at real time `now`: quantized, skewed, clamped
+    /// into the `C_ε` band, and never below `floor`.
+    fn reading(&self, now: Time, floor: Time) -> Time {
+        let g = self.config.granularity.as_nanos();
+        let skewed = now.saturating_add_duration(self.config.offset);
+        let quantized = Time::from_nanos((skewed.as_nanos() / g) * g).expect("non-negative");
+        // Clamp into [now − ε, now + ε] (quantization may undershoot).
+        let lo = now
+            .checked_sub_duration(self.config.eps)
+            .unwrap_or(Time::ZERO);
+        let hi = now + self.config.eps;
+        quantized.max(lo).min(hi).max(floor)
+    }
+}
+
+impl<M, A> TimedComponent for TickSource<M, A>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    type Action = SysAction<M, A>;
+    type State = TickState;
+
+    fn name(&self) -> String {
+        format!("tick-source({})", self.node)
+    }
+
+    fn initial(&self) -> TickState {
+        TickState {
+            next_due: Time::ZERO,
+            last_reading: Time::ZERO,
+            started: false,
+        }
+    }
+
+    fn classify(&self, a: &Self::Action) -> Option<ActionKind> {
+        match a {
+            SysAction::Tick { node, .. } if *node == self.node => Some(ActionKind::Output),
+            _ => None,
+        }
+    }
+
+    fn step(&self, s: &TickState, a: &Self::Action, now: Time) -> Option<TickState> {
+        match a {
+            SysAction::Tick { node, clock } if *node == self.node => {
+                if now < s.next_due {
+                    return None;
+                }
+                let expected = self.reading(now, s.last_reading);
+                if *clock != expected {
+                    return None;
+                }
+                Some(TickState {
+                    next_due: now + self.config.period,
+                    last_reading: expected,
+                    started: true,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn enabled(&self, s: &TickState, now: Time) -> Vec<Self::Action> {
+        if now >= s.next_due {
+            vec![SysAction::Tick {
+                node: self.node,
+                clock: self.reading(now, s.last_reading),
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn deadline(&self, s: &TickState, _now: Time) -> Option<Time> {
+        Some(s.next_due)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Src = TickSource<u32, &'static str>;
+    type A = SysAction<u32, &'static str>;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + ms(n)
+    }
+
+    fn drive(src: &Src, horizon: Time) -> Vec<(Time, Time)> {
+        // (real time, reading) pairs, firing exactly at each deadline.
+        let mut s = src.initial();
+        let mut out = Vec::new();
+        loop {
+            let due = src.deadline(&s, Time::ZERO).unwrap();
+            if due > horizon {
+                break;
+            }
+            let acts = src.enabled(&s, due);
+            assert_eq!(acts.len(), 1);
+            let A::Tick { clock, .. } = acts[0] else {
+                unreachable!()
+            };
+            s = src.step(&s, &acts[0], due).unwrap();
+            out.push((due, clock));
+        }
+        out
+    }
+
+    #[test]
+    fn honest_source_ticks_on_schedule() {
+        let src = Src::new(NodeId(0), TickConfig::honest(ms(2), ms(10)));
+        let ticks = drive(&src, at(35));
+        let times: Vec<Time> = ticks.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![at(0), at(10), at(20), at(30)]);
+        for (t, c) in ticks {
+            assert!(t.skew(c) <= ms(2));
+            assert_eq!(c, t); // honest: reading equals real time
+        }
+    }
+
+    #[test]
+    fn readings_are_monotone_and_accurate_under_skew() {
+        let cfg = TickConfig {
+            eps: ms(2),
+            period: ms(7),
+            granularity: Duration::from_micros(500),
+            offset: ms(-1),
+        };
+        let src = Src::new(NodeId(0), cfg);
+        let ticks = drive(&src, at(100));
+        let mut prev = Time::ZERO;
+        for (t, c) in ticks {
+            assert!(t.skew(c) <= ms(2), "reading {c} too far from {t}");
+            assert!(c >= prev, "readings must be non-decreasing");
+            assert_eq!(c.as_nanos() % 500_000, 0, "reading not quantized");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn granularity_rounds_down() {
+        let cfg = TickConfig {
+            eps: ms(5),
+            period: ms(3),
+            granularity: ms(2),
+            offset: Duration::ZERO,
+        };
+        let src = Src::new(NodeId(0), cfg);
+        let ticks = drive(&src, at(10));
+        // At t=3 the reading is floor(3/2)*2 = 2; at t=6 it is 6; at t=9, 8.
+        assert_eq!(
+            ticks,
+            vec![
+                (at(0), at(0)),
+                (at(3), at(2)),
+                (at(6), at(6)),
+                (at(9), at(8)),
+            ]
+        );
+    }
+
+    #[test]
+    fn wrong_reading_is_refused() {
+        let src = Src::new(NodeId(0), TickConfig::honest(ms(2), ms(10)));
+        let s = src.initial();
+        let bogus = A::Tick {
+            node: NodeId(0),
+            clock: at(99),
+        };
+        assert!(src.step(&s, &bogus, at(0)).is_none());
+    }
+
+    #[test]
+    fn other_nodes_ticks_not_in_signature() {
+        let src = Src::new(NodeId(0), TickConfig::honest(ms(2), ms(10)));
+        let other = A::Tick {
+            node: NodeId(1),
+            clock: at(0),
+        };
+        assert_eq!(src.classify(&other), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed eps")]
+    fn inconsistent_config_rejected() {
+        let _ = TickConfig {
+            eps: ms(1),
+            period: ms(5),
+            granularity: ms(1),
+            offset: ms(1),
+        }
+        .validated();
+    }
+}

@@ -1,0 +1,420 @@
+//! The transformation `T` from MMT automata to timed automata.
+//!
+//! Section 5.2 of the paper uses the transformation of Lynch–Attiya \[7\]
+//! so that MMT node automata can be composed with (timed) channel automata.
+//! `T` adds, for every task class `C` with bound `[l, u]`, deadline state:
+//! while some action of `C` is enabled, an action of `C` must occur within
+//! real time `[t_enabled + l, t_enabled + u]`. `T` is trace-preserving, so
+//! nothing realistic is lost (Section 5.2).
+
+use psync_automata::{ActionKind, TimedComponent};
+use psync_time::{Duration, Time};
+
+use crate::{Boundmap, MmtComponent, TaskId};
+
+/// Resolves the residual nondeterminism of a boundmap: *when* inside
+/// `[first, last]` an enabled class actually fires.
+///
+/// With the paper's `[0, ℓ]` bounds, always firing at the lower bound would
+/// let the engine execute infinitely many zero-time steps; the policies
+/// here therefore never pick the exact enabling instant.
+#[derive(Debug, Clone, Copy)]
+pub enum StepPolicy {
+    /// Fire at the upper bound — the *slowest* legal processor, the
+    /// adversary that maximizes the `kℓ + 2ε + 3ℓ` output shift of
+    /// Theorem 5.1. The default.
+    Lazy,
+    /// Fire a fixed fraction (in percent, `1..=100`) of the way from the
+    /// enabling instant to the upper bound (but never before the lower
+    /// bound and never at the enabling instant itself).
+    Fraction(u8),
+    /// Fire at a per-(class, round) pseudo-random point in `(0, u]`,
+    /// seeded — a reproducible jittery processor.
+    Seeded(u64),
+}
+
+impl StepPolicy {
+    /// The chosen fire time for a class (re-)enabled at `enabled_at` with
+    /// bound `b`, for the `round`-th firing of class `task`.
+    fn fire_at(self, enabled_at: Time, b: Boundmap, task: TaskId, round: u64) -> Time {
+        let span = b.upper().as_nanos();
+        let offset_ns = match self {
+            StepPolicy::Lazy => span,
+            StepPolicy::Fraction(pct) => {
+                let pct = i64::from(pct.clamp(1, 100));
+                (span * pct) / 100
+            }
+            StepPolicy::Seeded(seed) => {
+                let h = splitmix64(seed ^ (task.0 as u64) << 32 ^ round);
+                1 + (h % span.unsigned_abs()) as i64
+            }
+        };
+        let offset = Duration::from_nanos(offset_ns.max(1)).max(b.lower());
+        enabled_at + offset
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-class deadline bookkeeping added by `T`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TaskTimer {
+    /// When the class (re-)became enabled, if currently enabled.
+    fire_at: Option<Time>,
+    /// How many times the class has fired (feeds the seeded policy).
+    round: u64,
+}
+
+/// The state of [`MmtAsTimed`]: the MMT state plus per-class timers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedMmtState<S> {
+    /// The wrapped MMT automaton's state.
+    pub inner: S,
+    timers: Vec<TaskTimer>,
+}
+
+/// `T(A)`: the timed automaton simulating MMT automaton `A` (Section 5.2).
+///
+/// # Examples
+///
+/// See the crate-level documentation of `psync-core` for the full
+/// `A → C(A,ε) → M(·, ℓ) → T(·)` pipeline.
+pub struct MmtAsTimed<C: MmtComponent> {
+    inner: C,
+    bounds: Vec<Boundmap>,
+    policy: StepPolicy,
+}
+
+impl<C: MmtComponent> MmtAsTimed<C> {
+    /// Wraps an MMT automaton, resolving its boundmap nondeterminism with
+    /// `policy`.
+    #[must_use]
+    pub fn new(inner: C, policy: StepPolicy) -> Self {
+        let bounds = inner.tasks();
+        MmtAsTimed {
+            inner,
+            bounds,
+            policy,
+        }
+    }
+
+    /// Which classes currently have an enabled action.
+    fn enabled_classes(&self, s: &C::State) -> Vec<bool> {
+        let mut flags = vec![false; self.bounds.len()];
+        for a in self.inner.enabled(s) {
+            let t = self
+                .inner
+                .task_of(&a)
+                .expect("enabled locally-controlled action must have a task");
+            flags[t.0] = true;
+        }
+        flags
+    }
+
+    /// Recomputes timers after `fired` (if any) was performed at `now`.
+    fn retime(
+        &self,
+        old: &TimedMmtState<C::State>,
+        new_inner: &C::State,
+        fired: Option<TaskId>,
+        now: Time,
+    ) -> Vec<TaskTimer> {
+        let enabled_now = self.enabled_classes(new_inner);
+        old.timers
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let task = TaskId(i);
+                let was_running = t.fire_at.is_some();
+                let round = if fired == Some(task) {
+                    t.round + 1
+                } else {
+                    t.round
+                };
+                let fire_at = if !enabled_now[i] {
+                    // Disabled classes carry no obligation.
+                    None
+                } else if fired == Some(task) || !was_running {
+                    // (Re-)armed: the class fired, or just became enabled.
+                    Some(self.policy.fire_at(now, self.bounds[i], task, round))
+                } else {
+                    // Still enabled, not fired: obligation persists.
+                    t.fire_at
+                };
+                TaskTimer { fire_at, round }
+            })
+            .collect()
+    }
+}
+
+impl<C: MmtComponent> TimedComponent for MmtAsTimed<C> {
+    type Action = C::Action;
+    type State = TimedMmtState<C::State>;
+
+    fn name(&self) -> String {
+        format!("T({})", self.inner.name())
+    }
+
+    fn initial(&self) -> Self::State {
+        let inner = self.inner.initial();
+        let enabled = self.enabled_classes(&inner);
+        let timers = enabled
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| TaskTimer {
+                fire_at: e.then(|| {
+                    self.policy
+                        .fire_at(Time::ZERO, self.bounds[i], TaskId(i), 0)
+                }),
+                round: 0,
+            })
+            .collect();
+        TimedMmtState { inner, timers }
+    }
+
+    fn classify(&self, a: &Self::Action) -> Option<ActionKind> {
+        self.inner.classify(a)
+    }
+
+    fn step(&self, s: &Self::State, a: &Self::Action, now: Time) -> Option<Self::State> {
+        let kind = self.inner.classify(a)?;
+        if kind.is_locally_controlled() {
+            // Locally controlled actions wait for their class's chosen
+            // fire time.
+            let task = self.inner.task_of(a)?;
+            let fire_at = s.timers[task.0].fire_at?;
+            if now < fire_at {
+                return None;
+            }
+            let new_inner = self.inner.step(&s.inner, a)?;
+            let timers = self.retime(s, &new_inner, Some(task), now);
+            Some(TimedMmtState {
+                inner: new_inner,
+                timers,
+            })
+        } else {
+            let new_inner = self.inner.step(&s.inner, a)?;
+            let timers = self.retime(s, &new_inner, None, now);
+            Some(TimedMmtState {
+                inner: new_inner,
+                timers,
+            })
+        }
+    }
+
+    fn enabled(&self, s: &Self::State, now: Time) -> Vec<Self::Action> {
+        self.inner
+            .enabled(&s.inner)
+            .into_iter()
+            .filter(|a| {
+                let Some(task) = self.inner.task_of(a) else {
+                    return false;
+                };
+                matches!(s.timers[task.0].fire_at, Some(f) if now >= f)
+            })
+            .collect()
+    }
+
+    fn deadline(&self, s: &Self::State, _now: Time) -> Option<Time> {
+        s.timers.iter().filter_map(|t| t.fire_at).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_automata::Action;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + ms(n)
+    }
+
+    /// A counter that emits `Emit(n)` forever, one task class.
+    #[derive(Debug, Clone)]
+    struct Counter;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum CAct {
+        Emit(u64),
+        Pause,
+        Resume,
+    }
+
+    impl Action for CAct {
+        fn name(&self) -> &'static str {
+            match self {
+                CAct::Emit(_) => "EMIT",
+                CAct::Pause => "PAUSE",
+                CAct::Resume => "RESUME",
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct CState {
+        n: u64,
+        paused: bool,
+    }
+
+    impl MmtComponent for Counter {
+        type Action = CAct;
+        type State = CState;
+
+        fn name(&self) -> String {
+            "counter".into()
+        }
+
+        fn initial(&self) -> CState {
+            CState {
+                n: 0,
+                paused: false,
+            }
+        }
+
+        fn classify(&self, a: &CAct) -> Option<ActionKind> {
+            match a {
+                CAct::Emit(_) => Some(ActionKind::Output),
+                CAct::Pause | CAct::Resume => Some(ActionKind::Input),
+            }
+        }
+
+        fn step(&self, s: &CState, a: &CAct) -> Option<CState> {
+            match a {
+                CAct::Emit(n) if *n == s.n && !s.paused => Some(CState {
+                    n: s.n + 1,
+                    paused: false,
+                }),
+                CAct::Emit(_) => None,
+                CAct::Pause => Some(CState {
+                    paused: true,
+                    ..s.clone()
+                }),
+                CAct::Resume => Some(CState {
+                    paused: false,
+                    ..s.clone()
+                }),
+            }
+        }
+
+        fn tasks(&self) -> Vec<Boundmap> {
+            vec![Boundmap::at_most(ms(5))]
+        }
+
+        fn task_of(&self, a: &CAct) -> Option<TaskId> {
+            matches!(a, CAct::Emit(_)).then_some(TaskId(0))
+        }
+
+        fn enabled(&self, s: &CState) -> Vec<CAct> {
+            if s.paused {
+                Vec::new()
+            } else {
+                vec![CAct::Emit(s.n)]
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_policy_fires_at_upper_bound() {
+        let t = MmtAsTimed::new(Counter, StepPolicy::Lazy);
+        let s0 = t.initial();
+        assert_eq!(t.deadline(&s0, Time::ZERO), Some(at(5)));
+        assert!(t.enabled(&s0, at(4)).is_empty());
+        assert_eq!(t.enabled(&s0, at(5)), vec![CAct::Emit(0)]);
+        let s1 = t.step(&s0, &CAct::Emit(0), at(5)).unwrap();
+        // Re-armed for the next window.
+        assert_eq!(t.deadline(&s1, at(5)), Some(at(10)));
+    }
+
+    #[test]
+    fn early_fire_is_refused() {
+        let t = MmtAsTimed::new(Counter, StepPolicy::Lazy);
+        let s0 = t.initial();
+        assert!(t.step(&s0, &CAct::Emit(0), at(4)).is_none());
+    }
+
+    #[test]
+    fn disable_clears_obligation_and_reenable_rearms() {
+        let t = MmtAsTimed::new(Counter, StepPolicy::Lazy);
+        let s0 = t.initial();
+        // Pause at 2 ms: the class disables, its deadline disappears.
+        let s1 = t.step(&s0, &CAct::Pause, at(2)).unwrap();
+        assert_eq!(t.deadline(&s1, at(2)), None);
+        assert!(t.enabled(&s1, at(100)).is_empty());
+        // Resume at 7 ms: fresh window [7, 12].
+        let s2 = t.step(&s1, &CAct::Resume, at(7)).unwrap();
+        assert_eq!(t.deadline(&s2, at(7)), Some(at(12)));
+    }
+
+    #[test]
+    fn obligation_persists_across_unrelated_inputs() {
+        let t = MmtAsTimed::new(Counter, StepPolicy::Lazy);
+        let s0 = t.initial();
+        // Resume (no-op while running) must not reset the timer.
+        let s1 = t.step(&s0, &CAct::Resume, at(3)).unwrap();
+        assert_eq!(t.deadline(&s1, at(3)), Some(at(5)));
+    }
+
+    #[test]
+    fn fraction_policy_fires_part_way() {
+        let t = MmtAsTimed::new(Counter, StepPolicy::Fraction(40));
+        let s0 = t.initial();
+        assert_eq!(t.deadline(&s0, Time::ZERO), Some(at(2)));
+    }
+
+    #[test]
+    fn seeded_policy_is_reproducible_and_in_window() {
+        let fire_times = |seed| {
+            let t = MmtAsTimed::new(Counter, StepPolicy::Seeded(seed));
+            let mut s = t.initial();
+            let mut out = Vec::new();
+            for _ in 0..20 {
+                let f = t.deadline(&s, Time::ZERO).unwrap();
+                let acts = t.enabled(&s, f);
+                assert_eq!(acts.len(), 1);
+                s = t.step(&s, &acts[0], f).unwrap();
+                out.push(f);
+            }
+            out
+        };
+        let a = fire_times(1);
+        assert_eq!(a, fire_times(1));
+        assert_ne!(a, fire_times(2));
+        // Windows respected: consecutive fires at most 5 ms apart, strictly
+        // increasing.
+        for w in a.windows(2) {
+            assert!(w[1] > w[0]);
+            assert!(w[1] - w[0] <= ms(5));
+        }
+    }
+
+    #[test]
+    fn trace_preservation_smoke() {
+        // T(Counter) on the engine emits 0,1,2,… — the MMT automaton's
+        // trace with legal times.
+        use psync_executor::Engine;
+        let mut engine = Engine::builder()
+            .timed(MmtAsTimed::new(Counter, StepPolicy::Lazy))
+            .horizon(at(26))
+            .build();
+        let run = engine.run().unwrap();
+        let emitted: Vec<u64> = run
+            .execution
+            .t_trace()
+            .iter()
+            .map(|(a, _)| match a {
+                CAct::Emit(n) => *n,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(emitted, vec![0, 1, 2, 3, 4]);
+    }
+}

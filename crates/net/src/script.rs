@@ -1,0 +1,173 @@
+//! A scripted environment automaton.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+use psync_automata::{Action, ActionKind, TimedComponent};
+use psync_time::Time;
+
+use crate::SysAction;
+
+/// An environment automaton that emits predetermined application actions at
+/// predetermined times.
+///
+/// The paper's systems are *closed*: the environment is just more automata
+/// (problems constrain the traces, not a magic external driver). `Script`
+/// is the simplest such environment — a fixed test scenario: it outputs
+/// `App(aₖ)` at time `tₖ` for a given schedule, and silently accepts (as
+/// inputs) any application actions matched by an `absorb` predicate, such
+/// as the responses to its invocations.
+///
+/// # Examples
+///
+/// ```
+/// use psync_net::Script;
+/// use psync_time::{Duration, Time};
+///
+/// let t = |n| Time::ZERO + Duration::from_millis(n);
+/// // Invoke "go" at 5 ms, absorb any "done" response.
+/// let script: Script<u32, &'static str> =
+///     Script::new([(t(5), "go")], |a: &&'static str| *a == "done");
+/// ```
+pub struct Script<M, A> {
+    schedule: Vec<(Time, A)>,
+    absorb: Box<dyn Fn(&A) -> bool>,
+    _marker: core::marker::PhantomData<fn() -> M>,
+}
+
+impl<M, A: Clone> Script<M, A> {
+    /// Creates a script from `(time, action)` pairs (sorted internally) and
+    /// an absorption predicate for expected input actions.
+    #[must_use]
+    pub fn new(
+        schedule: impl IntoIterator<Item = (Time, A)>,
+        absorb: impl Fn(&A) -> bool + 'static,
+    ) -> Self {
+        let mut schedule: Vec<(Time, A)> = schedule.into_iter().collect();
+        schedule.sort_by_key(|(t, _)| *t);
+        Script {
+            schedule,
+            absorb: Box::new(absorb),
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+/// How many scripted actions have been emitted.
+pub type ScriptState = usize;
+
+impl<M, A> TimedComponent for Script<M, A>
+where
+    M: Clone + Eq + Hash + Debug + 'static,
+    A: Action,
+{
+    type Action = SysAction<M, A>;
+    type State = ScriptState;
+
+    fn name(&self) -> String {
+        format!("script({} actions)", self.schedule.len())
+    }
+
+    fn initial(&self) -> ScriptState {
+        0
+    }
+
+    fn classify(&self, a: &Self::Action) -> Option<ActionKind> {
+        match a {
+            SysAction::App(app) => {
+                if self.schedule.iter().any(|(_, s)| s == app) {
+                    Some(ActionKind::Output)
+                } else if (self.absorb)(app) {
+                    Some(ActionKind::Input)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn step(&self, s: &ScriptState, a: &Self::Action, now: Time) -> Option<ScriptState> {
+        match a {
+            SysAction::App(app) => {
+                if let Some((due, next)) = self.schedule.get(*s) {
+                    if next == app && now >= *due {
+                        return Some(s + 1);
+                    }
+                }
+                if (self.absorb)(app) {
+                    Some(*s)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn enabled(&self, s: &ScriptState, now: Time) -> Vec<Self::Action> {
+        match self.schedule.get(*s) {
+            Some((due, a)) if now >= *due => vec![SysAction::App(a.clone())],
+            _ => Vec::new(),
+        }
+    }
+
+    fn deadline(&self, s: &ScriptState, _now: Time) -> Option<Time> {
+        self.schedule.get(*s).map(|(due, _)| *due)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_time::Duration;
+
+    type S = Script<u32, &'static str>;
+    type A = SysAction<u32, &'static str>;
+
+    fn t(n: i64) -> Time {
+        Time::ZERO + Duration::from_millis(n)
+    }
+
+    #[test]
+    fn emits_in_time_order() {
+        // Deliberately unsorted input.
+        let s: S = Script::new([(t(9), "b"), (t(3), "a")], |_| false);
+        assert_eq!(s.deadline(&0, Time::ZERO), Some(t(3)));
+        assert!(s.enabled(&0, t(2)).is_empty());
+        assert_eq!(s.enabled(&0, t(3)), vec![A::App("a")]);
+        let s1 = s.step(&0, &A::App("a"), t(3)).unwrap();
+        assert_eq!(s1, 1);
+        assert_eq!(s.deadline(&s1, t(3)), Some(t(9)));
+        let s2 = s.step(&s1, &A::App("b"), t(9)).unwrap();
+        assert_eq!(s.deadline(&s2, t(9)), None);
+        assert!(s.enabled(&s2, t(100)).is_empty());
+    }
+
+    #[test]
+    fn absorbs_responses_without_advancing() {
+        let s: S = Script::new([(t(3), "go")], |a| *a == "done");
+        assert_eq!(s.classify(&A::App("done")), Some(ActionKind::Input));
+        assert_eq!(s.step(&0, &A::App("done"), t(1)), Some(0));
+        assert_eq!(s.classify(&A::App("unrelated")), None);
+        assert_eq!(s.step(&0, &A::App("unrelated"), t(1)), None);
+    }
+
+    #[test]
+    fn early_emission_refused() {
+        let s: S = Script::new([(t(3), "go")], |_| false);
+        assert!(s.step(&0, &A::App("go"), t(2)).is_none());
+    }
+
+    #[test]
+    fn scripted_actions_classified_as_outputs() {
+        let s: S = Script::new([(t(3), "go")], |_| false);
+        assert_eq!(s.classify(&A::App("go")), Some(ActionKind::Output));
+        assert_eq!(
+            s.classify(&A::Tau {
+                node: crate::NodeId(0)
+            }),
+            None
+        );
+    }
+}

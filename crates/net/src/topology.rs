@@ -1,0 +1,232 @@
+//! Distributed-system topologies: the graph `(V, E)` of Section 2.4.
+
+use crate::NodeId;
+
+/// The topology of a distributed system: `n` nodes and a set of directed
+/// edges. An edge `(i, j)` means node `i` can send to node `j` over a
+/// dedicated unidirectional link (Section 2.4 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Topology {
+    /// Builds a topology from explicit directed edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, endpoints out of range, or duplicate edges.
+    #[must_use]
+    pub fn new(n: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let edges: Vec<(NodeId, NodeId)> = edges.into_iter().collect();
+        for &(a, b) in &edges {
+            assert!(
+                a.0 < n && b.0 < n,
+                "edge ({a}, {b}) out of range for {n} nodes"
+            );
+            assert_ne!(
+                a, b,
+                "self-loop at {a}: nodes do not message themselves via links"
+            );
+        }
+        for (i, e) in edges.iter().enumerate() {
+            assert!(
+                !edges[i + 1..].contains(e),
+                "duplicate edge ({}, {})",
+                e.0,
+                e.1
+            );
+        }
+        Topology { n, edges }
+    }
+
+    /// The complete directed graph on `n` nodes — the topology the register
+    /// algorithms of Section 6 assume (every node broadcasts updates to
+    /// every other).
+    #[must_use]
+    pub fn complete(n: usize) -> Self {
+        let mut edges = Vec::with_capacity(n * n.saturating_sub(1));
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    edges.push((NodeId(i), NodeId(j)));
+                }
+            }
+        }
+        Topology { n, edges }
+    }
+
+    /// A bidirectional ring: each node linked to its successor and
+    /// predecessor modulo `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 2, "a ring needs at least two nodes");
+        let mut edges = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            let j = (i + 1) % n;
+            edges.push((NodeId(i), NodeId(j)));
+            edges.push((NodeId(j), NodeId(i)));
+        }
+        if n == 2 {
+            edges.truncate(2); // avoid duplicate (0,1)/(1,0) pairs
+        }
+        Topology { n, edges }
+    }
+
+    /// A bidirectional line `0 ↔ 1 ↔ … ↔ n−1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn line(n: usize) -> Self {
+        assert!(n >= 2, "a line needs at least two nodes");
+        let mut edges = Vec::with_capacity(2 * (n - 1));
+        for i in 0..n - 1 {
+            edges.push((NodeId(i), NodeId(i + 1)));
+            edges.push((NodeId(i + 1), NodeId(i)));
+        }
+        Topology { n, edges }
+    }
+
+    /// A bidirectional star with node 0 at the center.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 2, "a star needs at least two nodes");
+        let mut edges = Vec::with_capacity(2 * (n - 1));
+        for i in 1..n {
+            edges.push((NodeId(0), NodeId(i)));
+            edges.push((NodeId(i), NodeId(0)));
+        }
+        Topology { n, edges }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when there are no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n).map(NodeId)
+    }
+
+    /// The directed edges.
+    #[must_use]
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// `true` when the edge `from → to` exists.
+    #[must_use]
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.edges.contains(&(from, to))
+    }
+
+    /// Nodes that `from` can send to.
+    pub fn out_neighbors(&self, from: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |(a, _)| *a == from)
+            .map(|(_, b)| *b)
+    }
+
+    /// Nodes that can send to `to`.
+    pub fn in_neighbors(&self, to: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |(_, b)| *b == to)
+            .map(|(a, _)| *a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_has_all_ordered_pairs() {
+        let t = Topology::complete(3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.edges().len(), 6);
+        assert!(t.has_edge(NodeId(0), NodeId(2)));
+        assert!(t.has_edge(NodeId(2), NodeId(0)));
+        assert!(!t.has_edge(NodeId(1), NodeId(1)));
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let t = Topology::ring(4);
+        assert!(t.has_edge(NodeId(3), NodeId(0)));
+        assert!(t.has_edge(NodeId(0), NodeId(3)));
+        assert_eq!(t.edges().len(), 8);
+    }
+
+    #[test]
+    fn two_node_ring_has_two_edges() {
+        let t = Topology::ring(2);
+        assert_eq!(t.edges().len(), 2);
+        assert!(t.has_edge(NodeId(0), NodeId(1)));
+        assert!(t.has_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn line_has_no_wraparound() {
+        let t = Topology::line(3);
+        assert!(t.has_edge(NodeId(0), NodeId(1)));
+        assert!(t.has_edge(NodeId(1), NodeId(2)));
+        assert!(!t.has_edge(NodeId(0), NodeId(2)));
+        assert!(!t.has_edge(NodeId(2), NodeId(0)));
+    }
+
+    #[test]
+    fn star_routes_through_center() {
+        let t = Topology::star(4);
+        assert_eq!(t.out_neighbors(NodeId(0)).count(), 3);
+        assert_eq!(t.out_neighbors(NodeId(2)).count(), 1);
+        assert_eq!(t.in_neighbors(NodeId(0)).count(), 3);
+    }
+
+    #[test]
+    fn neighbors_enumerate_correctly() {
+        let t = Topology::complete(3);
+        let outs: Vec<NodeId> = t.out_neighbors(NodeId(1)).collect();
+        assert_eq!(outs, vec![NodeId(0), NodeId(2)]);
+        let ins: Vec<NodeId> = t.in_neighbors(NodeId(1)).collect();
+        assert_eq!(ins, vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let _ = Topology::new(2, [(NodeId(0), NodeId(0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = Topology::new(2, [(NodeId(0), NodeId(5))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_edges_rejected() {
+        let _ = Topology::new(2, [(NodeId(0), NodeId(1)), (NodeId(0), NodeId(1))]);
+    }
+}

@@ -1,0 +1,614 @@
+//! The generalized Figure 3 automaton: Algorithm S for any
+//! [`ObjectSpec`] — the "other shared memory objects" extension the paper
+//! defers to its full version (end of Section 6).
+//!
+//! Identical skeleton and latency formulas as [`AlgorithmS`]
+//! (read/query `read_slack + c + δ`, update `d'₂ − c`), with one semantic
+//! generalization documented at [`crate::object`]: *all* same-instant
+//! updates apply, in writer-id order, instead of last-writer-wins.
+//!
+//! [`AlgorithmS`]: crate::AlgorithmS
+
+use core::fmt;
+use core::hash::{Hash, Hasher};
+
+use psync_automata::{Action, ActionKind, TimedComponent};
+use psync_net::{Envelope, MsgId, NodeId, SysAction};
+use psync_time::Time;
+
+use crate::object::ObjectSpec;
+use crate::RegisterParams;
+
+/// Application actions of a generalized object node.
+pub enum ObjOp<O: ObjectSpec> {
+    /// `DO_i(u)` — update invocation (input).
+    Do {
+        /// Invoked node.
+        node: NodeId,
+        /// The blind update.
+        update: O::Update,
+    },
+    /// `DONE_i` — update response (output).
+    Done {
+        /// Responding node.
+        node: NodeId,
+    },
+    /// `QUERY_i` — query invocation (input).
+    Query {
+        /// Invoked node.
+        node: NodeId,
+    },
+    /// `ANSWER_i(o)` — query response (output).
+    Answer {
+        /// Responding node.
+        node: NodeId,
+        /// The query result.
+        output: O::Output,
+    },
+    /// Internal application of the update scheduled at `(due, proc)`.
+    Apply {
+        /// Applying node.
+        node: NodeId,
+        /// Scheduled application time.
+        due: Time,
+        /// Originating writer (the canonical same-instant order).
+        proc: NodeId,
+    },
+}
+
+impl<O: ObjectSpec> ObjOp<O> {
+    /// The node the action belongs to.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        match self {
+            ObjOp::Do { node, .. }
+            | ObjOp::Done { node }
+            | ObjOp::Query { node }
+            | ObjOp::Answer { node, .. }
+            | ObjOp::Apply { node, .. } => *node,
+        }
+    }
+
+    /// `true` for `DO`/`QUERY`.
+    #[must_use]
+    pub fn is_invocation(&self) -> bool {
+        matches!(self, ObjOp::Do { .. } | ObjOp::Query { .. })
+    }
+
+    /// `true` for `DONE`/`ANSWER`.
+    #[must_use]
+    pub fn is_response(&self) -> bool {
+        matches!(self, ObjOp::Done { .. } | ObjOp::Answer { .. })
+    }
+}
+
+// Manual impls: derives would demand `O: Clone + Eq + …` instead of
+// bounding the associated types.
+impl<O: ObjectSpec> Clone for ObjOp<O> {
+    fn clone(&self) -> Self {
+        match self {
+            ObjOp::Do { node, update } => ObjOp::Do {
+                node: *node,
+                update: update.clone(),
+            },
+            ObjOp::Done { node } => ObjOp::Done { node: *node },
+            ObjOp::Query { node } => ObjOp::Query { node: *node },
+            ObjOp::Answer { node, output } => ObjOp::Answer {
+                node: *node,
+                output: output.clone(),
+            },
+            ObjOp::Apply { node, due, proc } => ObjOp::Apply {
+                node: *node,
+                due: *due,
+                proc: *proc,
+            },
+        }
+    }
+}
+
+impl<O: ObjectSpec> PartialEq for ObjOp<O> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ObjOp::Do { node: a, update: u }, ObjOp::Do { node: b, update: v }) => {
+                a == b && u == v
+            }
+            (ObjOp::Done { node: a }, ObjOp::Done { node: b }) => a == b,
+            (ObjOp::Query { node: a }, ObjOp::Query { node: b }) => a == b,
+            (ObjOp::Answer { node: a, output: u }, ObjOp::Answer { node: b, output: v }) => {
+                a == b && u == v
+            }
+            (
+                ObjOp::Apply {
+                    node: a,
+                    due: d1,
+                    proc: p1,
+                },
+                ObjOp::Apply {
+                    node: b,
+                    due: d2,
+                    proc: p2,
+                },
+            ) => a == b && d1 == d2 && p1 == p2,
+            _ => false,
+        }
+    }
+}
+
+impl<O: ObjectSpec> Eq for ObjOp<O> {}
+
+impl<O: ObjectSpec> Hash for ObjOp<O> {
+    fn hash<H: Hasher>(&self, h: &mut H) {
+        match self {
+            ObjOp::Do { node, update } => {
+                0u8.hash(h);
+                node.hash(h);
+                update.hash(h);
+            }
+            ObjOp::Done { node } => {
+                1u8.hash(h);
+                node.hash(h);
+            }
+            ObjOp::Query { node } => {
+                2u8.hash(h);
+                node.hash(h);
+            }
+            ObjOp::Answer { node, output } => {
+                3u8.hash(h);
+                node.hash(h);
+                output.hash(h);
+            }
+            ObjOp::Apply { node, due, proc } => {
+                4u8.hash(h);
+                node.hash(h);
+                due.hash(h);
+                proc.hash(h);
+            }
+        }
+    }
+}
+
+impl<O: ObjectSpec> fmt::Debug for ObjOp<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjOp::Do { node, update } => write!(f, "Do({node}, {update:?})"),
+            ObjOp::Done { node } => write!(f, "Done({node})"),
+            ObjOp::Query { node } => write!(f, "Query({node})"),
+            ObjOp::Answer { node, output } => write!(f, "Answer({node}, {output:?})"),
+            ObjOp::Apply { node, due, proc } => write!(f, "Apply({node}, {due}, {proc})"),
+        }
+    }
+}
+
+impl<O: ObjectSpec> Action for ObjOp<O> {
+    fn name(&self) -> &'static str {
+        match self {
+            ObjOp::Do { .. } => "DO",
+            ObjOp::Done { .. } => "DONE",
+            ObjOp::Query { .. } => "QUERY",
+            ObjOp::Answer { .. } => "ANSWER",
+            ObjOp::Apply { .. } => "APPLY",
+        }
+    }
+}
+
+/// The `UPDATE(u, t)` message payload of the generalized algorithm.
+pub struct ObjMsg<O: ObjectSpec> {
+    /// The update.
+    pub update: O::Update,
+    /// The scheduled application base `t = send + d'₂`.
+    pub base: Time,
+}
+
+impl<O: ObjectSpec> Clone for ObjMsg<O> {
+    fn clone(&self) -> Self {
+        ObjMsg {
+            update: self.update.clone(),
+            base: self.base,
+        }
+    }
+}
+
+impl<O: ObjectSpec> PartialEq for ObjMsg<O> {
+    fn eq(&self, other: &Self) -> bool {
+        self.update == other.update && self.base == other.base
+    }
+}
+
+impl<O: ObjectSpec> Eq for ObjMsg<O> {}
+
+impl<O: ObjectSpec> Hash for ObjMsg<O> {
+    fn hash<H: Hasher>(&self, h: &mut H) {
+        self.update.hash(h);
+        self.base.hash(h);
+    }
+}
+
+impl<O: ObjectSpec> fmt::Debug for ObjMsg<O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjMsg({:?}, {})", self.update, self.base)
+    }
+}
+
+/// The action alphabet of a generalized-object system.
+pub type ObjAction<O> = SysAction<ObjMsg<O>, ObjOp<O>>;
+
+/// An in-progress update operation.
+#[derive(Debug, Clone)]
+pub struct DoingState<O: ObjectSpec> {
+    update: O::Update,
+    remaining: Vec<NodeId>,
+    send_time: Option<Time>,
+    ack_time: Time,
+}
+
+/// A replicated update awaiting its scheduled instant, ordered by
+/// `(due, proc)`.
+#[derive(Debug, Clone)]
+pub struct ScheduledUpdate<O: ObjectSpec> {
+    /// Application time (`t + δ`).
+    pub due: Time,
+    /// Originating writer.
+    pub proc: NodeId,
+    /// The update.
+    pub update: O::Update,
+}
+
+/// State of an [`AlgorithmSObj`] node.
+#[derive(Debug, Clone)]
+pub struct ObjState<O: ObjectSpec> {
+    /// The local replica.
+    pub state: O::State,
+    /// Active query's answer time.
+    pub query: Option<Time>,
+    /// Active update operation.
+    pub doing: Option<DoingState<O>>,
+    /// Scheduled updates, sorted by `(due, proc)`.
+    pub updates: Vec<ScheduledUpdate<O>>,
+    msg_seq: u32,
+}
+
+/// The generalized Algorithm S node for object type `O`.
+pub struct AlgorithmSObj<O: ObjectSpec> {
+    node: NodeId,
+    spec: O,
+    params: RegisterParams,
+}
+
+impl<O: ObjectSpec> AlgorithmSObj<O> {
+    /// Creates node `i`'s automaton for the given object.
+    #[must_use]
+    pub fn new(node: NodeId, spec: O, params: RegisterParams) -> Self {
+        AlgorithmSObj { node, spec, params }
+    }
+
+    fn mintime(&self, s: &ObjState<O>) -> Option<Time> {
+        let mut m: Option<Time> = s.query;
+        let mut consider = |t: Time| {
+            m = Some(match m {
+                Some(cur) => cur.min(t),
+                None => t,
+            });
+        };
+        if let Some(d) = &s.doing {
+            if let Some(st) = d.send_time {
+                consider(st);
+            }
+            consider(d.ack_time);
+        }
+        if let Some(u) = s.updates.first() {
+            consider(u.due);
+        }
+        m
+    }
+
+    fn schedule(updates: &mut Vec<ScheduledUpdate<O>>, rec: ScheduledUpdate<O>) {
+        let pos = updates.partition_point(|r| (r.due, r.proc) <= (rec.due, rec.proc));
+        updates.insert(pos, rec);
+    }
+}
+
+impl<O: ObjectSpec> TimedComponent for AlgorithmSObj<O> {
+    type Action = ObjAction<O>;
+    type State = ObjState<O>;
+
+    fn name(&self) -> String {
+        format!("S-obj({})", self.node)
+    }
+
+    fn initial(&self) -> ObjState<O> {
+        ObjState {
+            state: self.spec.initial(),
+            query: None,
+            doing: None,
+            updates: Vec::new(),
+            msg_seq: 0,
+        }
+    }
+
+    fn classify(&self, a: &ObjAction<O>) -> Option<ActionKind> {
+        match a {
+            SysAction::App(op) if op.node() == self.node => Some(match op {
+                ObjOp::Do { .. } | ObjOp::Query { .. } => ActionKind::Input,
+                ObjOp::Done { .. } | ObjOp::Answer { .. } => ActionKind::Output,
+                ObjOp::Apply { .. } => ActionKind::Internal,
+            }),
+            SysAction::Send(env) if env.src == self.node => Some(ActionKind::Output),
+            SysAction::Recv(env) if env.dst == self.node => Some(ActionKind::Input),
+            _ => None,
+        }
+    }
+
+    fn step(&self, s: &ObjState<O>, a: &ObjAction<O>, now: Time) -> Option<ObjState<O>> {
+        match a {
+            SysAction::App(ObjOp::Query { node }) if *node == self.node => {
+                let mut next = s.clone();
+                next.query = Some(now + self.params.read_slack + self.params.c + self.params.delta);
+                Some(next)
+            }
+            SysAction::App(ObjOp::Do { node, update }) if *node == self.node => {
+                let mut next = s.clone();
+                let remaining: Vec<NodeId> = self
+                    .params
+                    .peers
+                    .iter()
+                    .copied()
+                    .filter(|p| *p != self.node)
+                    .collect();
+                let send_time = (!remaining.is_empty()).then_some(now);
+                next.doing = Some(DoingState {
+                    update: update.clone(),
+                    remaining,
+                    send_time,
+                    ack_time: now + (self.params.d2_virtual - self.params.c),
+                });
+                Self::schedule(
+                    &mut next.updates,
+                    ScheduledUpdate {
+                        due: now + self.params.d2_virtual + self.params.delta,
+                        proc: self.node,
+                        update: update.clone(),
+                    },
+                );
+                Some(next)
+            }
+            SysAction::App(ObjOp::Answer { node, output }) if *node == self.node => {
+                if s.query != Some(now) || self.spec.query(&s.state) != *output {
+                    return None;
+                }
+                if s.updates.first().is_some_and(|u| u.due == now) {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.query = None;
+                Some(next)
+            }
+            SysAction::App(ObjOp::Done { node }) if *node == self.node => {
+                let d = s.doing.as_ref()?;
+                if !d.remaining.is_empty() || d.ack_time != now {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.doing = None;
+                Some(next)
+            }
+            SysAction::App(ObjOp::Apply { node, due, proc }) if *node == self.node => {
+                let first = s.updates.first()?;
+                if first.due != now || first.due != *due || first.proc != *proc {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.state = self.spec.apply(&s.state, &first.update);
+                next.updates.remove(0);
+                Some(next)
+            }
+            SysAction::Send(env) if env.src == self.node => {
+                let d = s.doing.as_ref()?;
+                if d.send_time != Some(now)
+                    || env.payload.update != d.update
+                    || env.payload.base != now + self.params.d2_virtual
+                    || env.id != MsgId::from_parts(self.node, s.msg_seq)
+                    || !d.remaining.contains(&env.dst)
+                {
+                    return None;
+                }
+                let mut next = s.clone();
+                let nd = next.doing.as_mut().expect("checked above");
+                nd.remaining.retain(|p| *p != env.dst);
+                if nd.remaining.is_empty() {
+                    nd.send_time = None;
+                }
+                next.msg_seq += 1;
+                Some(next)
+            }
+            SysAction::Recv(env) if env.dst == self.node => {
+                let mut next = s.clone();
+                Self::schedule(
+                    &mut next.updates,
+                    ScheduledUpdate {
+                        due: env.payload.base + self.params.delta,
+                        proc: env.src,
+                        update: env.payload.update.clone(),
+                    },
+                );
+                Some(next)
+            }
+            _ => None,
+        }
+    }
+
+    fn enabled(&self, s: &ObjState<O>, now: Time) -> Vec<ObjAction<O>> {
+        let mut out = Vec::new();
+        if let Some(first) = s.updates.first() {
+            if first.due == now {
+                out.push(SysAction::App(ObjOp::Apply {
+                    node: self.node,
+                    due: first.due,
+                    proc: first.proc,
+                }));
+            }
+        }
+        if let Some(d) = &s.doing {
+            if d.send_time == Some(now) {
+                for &j in &d.remaining {
+                    out.push(SysAction::Send(Envelope {
+                        src: self.node,
+                        dst: j,
+                        id: MsgId::from_parts(self.node, s.msg_seq),
+                        payload: ObjMsg {
+                            update: d.update.clone(),
+                            base: now + self.params.d2_virtual,
+                        },
+                    }));
+                }
+            }
+            if d.remaining.is_empty() && d.ack_time == now {
+                out.push(SysAction::App(ObjOp::Done { node: self.node }));
+            }
+        }
+        if s.query == Some(now) && s.updates.first().is_none_or(|u| u.due != now) {
+            out.push(SysAction::App(ObjOp::Answer {
+                node: self.node,
+                output: self.spec.query(&s.state),
+            }));
+        }
+        out
+    }
+
+    fn deadline(&self, s: &ObjState<O>, _now: Time) -> Option<Time> {
+        self.mintime(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Counter;
+    use psync_net::Topology;
+    use psync_time::{DelayBounds, Duration};
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + ms(n)
+    }
+
+    fn alg() -> AlgorithmSObj<Counter> {
+        let params = RegisterParams::for_timed_model(
+            &Topology::complete(3),
+            DelayBounds::new(ms(1), ms(10)).unwrap(),
+            ms(3),
+            ms(1),
+        );
+        AlgorithmSObj::new(NodeId(0), Counter, params)
+    }
+
+    #[test]
+    fn do_broadcasts_and_schedules_self_update() {
+        let a = alg();
+        let s1 = a
+            .step(
+                &a.initial(),
+                &SysAction::App(ObjOp::Do {
+                    node: NodeId(0),
+                    update: 5,
+                }),
+                at(2),
+            )
+            .unwrap();
+        assert_eq!(s1.updates.len(), 1);
+        assert_eq!(s1.updates[0].due, at(13)); // 2 + 10 + 1
+        let sends = a.enabled(&s1, at(2));
+        assert_eq!(sends.len(), 2);
+    }
+
+    #[test]
+    fn same_instant_updates_all_apply_in_proc_order() {
+        // Unlike the register, a counter must not drop same-due updates.
+        let a = alg();
+        let mut s = a.initial();
+        for (src, amount) in [(2usize, 10i64), (1, 100)] {
+            s = a
+                .step(
+                    &s,
+                    &SysAction::Recv(Envelope {
+                        src: NodeId(src),
+                        dst: NodeId(0),
+                        id: MsgId::from_parts(NodeId(src), 0),
+                        payload: ObjMsg {
+                            update: amount,
+                            base: at(12),
+                        },
+                    }),
+                    at(5),
+                )
+                .unwrap();
+        }
+        assert_eq!(s.updates.len(), 2);
+        // Sorted by (due, proc): node 1 first.
+        assert_eq!(s.updates[0].proc, NodeId(1));
+        let e1 = a.enabled(&s, at(13));
+        assert_eq!(e1.len(), 1);
+        s = a.step(&s, &e1[0], at(13)).unwrap();
+        assert_eq!(s.state, 100);
+        let e2 = a.enabled(&s, at(13));
+        s = a.step(&s, &e2[0], at(13)).unwrap();
+        assert_eq!(s.state, 110, "both increments must survive");
+    }
+
+    #[test]
+    fn query_waits_and_answers_current_total() {
+        let a = alg();
+        let mut s = a.initial();
+        s = a
+            .step(&s, &SysAction::App(ObjOp::Query { node: NodeId(0) }), at(1))
+            .unwrap();
+        // answer time = 1 + 0 + 3 + 1 = 5.
+        assert_eq!(s.query, Some(at(5)));
+        let en = a.enabled(&s, at(5));
+        assert_eq!(
+            en,
+            vec![SysAction::App(ObjOp::Answer {
+                node: NodeId(0),
+                output: 0
+            })]
+        );
+    }
+
+    #[test]
+    fn answer_blocked_by_due_update() {
+        let a = alg();
+        let mut s = a.initial();
+        s = a
+            .step(&s, &SysAction::App(ObjOp::Query { node: NodeId(0) }), at(9))
+            .unwrap(); // answers at 13
+        s = a
+            .step(
+                &s,
+                &SysAction::Recv(Envelope {
+                    src: NodeId(1),
+                    dst: NodeId(0),
+                    id: MsgId::from_parts(NodeId(1), 0),
+                    payload: ObjMsg {
+                        update: 7,
+                        base: at(12),
+                    },
+                }),
+                at(10),
+            )
+            .unwrap(); // applies at 13
+        let en = a.enabled(&s, at(13));
+        assert_eq!(en.len(), 1);
+        assert!(matches!(en[0], SysAction::App(ObjOp::Apply { .. })));
+        s = a.step(&s, &en[0], at(13)).unwrap();
+        let en2 = a.enabled(&s, at(13));
+        assert_eq!(
+            en2,
+            vec![SysAction::App(ObjOp::Answer {
+                node: NodeId(0),
+                output: 7
+            })]
+        );
+    }
+}

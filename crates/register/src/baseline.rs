@@ -1,0 +1,579 @@
+//! A reconstruction of the clock-model register algorithm of
+//! Mavronicolas \[10\] — the comparator of Section 6.3.
+
+use psync_automata::{ActionKind, ClockComponent};
+use psync_net::{Envelope, MsgId, NodeId, SysAction};
+use psync_time::{Duration, Time};
+
+use crate::{RegAction, RegMsg, RegisterOp, Value};
+
+/// Parameters of the [`BaselineRegister`].
+///
+/// The model of \[10\] keeps clocks within `u` of *each other* at rate 1;
+/// the paper maps it onto its own model with `u = 2ε` (Section 6.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineParams {
+    /// All nodes (the broadcast set).
+    pub peers: Vec<NodeId>,
+    /// The inter-clock skew bound `u` (`= 2ε` in the paper's mapping).
+    pub u: Duration,
+    /// The physical upper message delay `d₂`.
+    pub d2: Duration,
+}
+
+impl BaselineParams {
+    /// Creates the parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not strictly positive (the time-sliced algorithm
+    /// needs a skew margin), `d2` is negative, or `peers` is empty.
+    #[must_use]
+    pub fn new(peers: Vec<NodeId>, u: Duration, d2: Duration) -> Self {
+        assert!(u.is_positive(), "skew bound u must be strictly positive");
+        assert!(!d2.is_negative(), "d2 must be non-negative");
+        assert!(!peers.is_empty(), "at least one node required");
+        BaselineParams { peers, u, d2 }
+    }
+
+    /// The baseline's read time complexity: `4u` (Section 6.3).
+    #[must_use]
+    pub fn read_latency(&self) -> Duration {
+        self.u * 4
+    }
+
+    /// The baseline's write time complexity: `d₂ + 3u` (Section 6.3).
+    #[must_use]
+    pub fn write_latency(&self) -> Duration {
+        self.d2 + self.u * 3
+    }
+
+    /// The clock time at which every node applies the update keyed
+    /// `(w, _)`: `w + d₂ + 2u`. By then the update has arrived everywhere
+    /// (arrival clock `≤ w + u + d₂`) and every smaller-keyed update is
+    /// already present.
+    fn apply_threshold(&self, w: Time) -> Time {
+        w + self.d2 + self.u * 2
+    }
+}
+
+/// A buffered remote update, ordered by key `(writer clock, writer id)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PendingUpdate {
+    /// Writer's clock at the write — the slot key's time component.
+    pub key_time: Time,
+    /// Writer id — the slot key's tie-break component.
+    pub key_node: NodeId,
+    /// The written value.
+    pub value: Value,
+}
+
+/// An in-progress write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineWrite {
+    value: Value,
+    remaining: Vec<NodeId>,
+    send_clock: Option<Time>,
+    ack_clock: Time,
+}
+
+/// State of a [`BaselineRegister`] node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineState {
+    /// Local register copy.
+    pub value: Value,
+    /// Active read's return clock time.
+    pub read_due: Option<Time>,
+    /// Active write.
+    pub write: Option<BaselineWrite>,
+    /// Buffered updates, sorted by key.
+    pub pending: Vec<PendingUpdate>,
+    msg_seq: u32,
+}
+
+/// The clock-model register of \[10\], reconstructed.
+///
+/// The thesis itself is unavailable; the paper pins down the algorithm's
+/// observable contract — "complicated time-slicing", read time `4u`, write
+/// time `d₂ + 3u`, linearizable in a model where clocks stay within `u` of
+/// each other at rate 1 (Section 6.3). This reconstruction realizes that
+/// contract with the natural time-sliced scheme:
+///
+/// * `WRITE_i(v)` at local clock `w` broadcasts `UPDATE(v, key=(w, i))`
+///   and acknowledges at local clock `w + d₂ + 3u`.
+/// * Every node (including the writer) applies buffered updates in global
+///   key order, each exactly when its local clock reaches the update's
+///   *slot end* `w + d₂ + 2u` — by which time the update and every
+///   smaller-keyed update has provably arrived.
+/// * `READ_i` at local clock `r` waits `4u` and returns the local copy;
+///   the `4u` settle time makes sequentially-ordered reads observe
+///   monotonically growing key prefixes even across maximally skewed
+///   clocks.
+///
+/// It is a *clock automaton* built directly against the tagged channel
+/// interface (`ESENDMSG`/`ERECVMSG`) — no Simulation 1 buffers — which is
+/// exactly what makes it the paper's foil: a hand-crafted clock-model
+/// algorithm versus the mechanically transformed Algorithm S.
+pub struct BaselineRegister {
+    node: NodeId,
+    params: BaselineParams,
+}
+
+impl BaselineRegister {
+    /// Creates node `i`'s automaton.
+    #[must_use]
+    pub fn new(node: NodeId, params: BaselineParams) -> Self {
+        BaselineRegister { node, params }
+    }
+
+    /// The parameters in force.
+    #[must_use]
+    pub fn params(&self) -> &BaselineParams {
+        &self.params
+    }
+
+    fn first_due(&self, s: &BaselineState, clock: Time) -> Option<PendingUpdate> {
+        s.pending
+            .first()
+            .filter(|p| self.params.apply_threshold(p.key_time) <= clock)
+            .copied()
+    }
+
+    fn insert(pending: &mut Vec<PendingUpdate>, p: PendingUpdate) {
+        let pos = pending.partition_point(|q| *q <= p);
+        pending.insert(pos, p);
+    }
+}
+
+impl ClockComponent for BaselineRegister {
+    type Action = RegAction;
+    type State = BaselineState;
+
+    fn name(&self) -> String {
+        format!("baseline({})", self.node)
+    }
+
+    fn initial(&self) -> BaselineState {
+        BaselineState {
+            value: Value::INITIAL,
+            read_due: None,
+            write: None,
+            pending: Vec::new(),
+            msg_seq: 0,
+        }
+    }
+
+    fn classify(&self, a: &RegAction) -> Option<ActionKind> {
+        match a {
+            SysAction::App(op) if op.node() == self.node => Some(match op {
+                RegisterOp::Read { .. } | RegisterOp::Write { .. } => ActionKind::Input,
+                RegisterOp::Return { .. } | RegisterOp::Ack { .. } => ActionKind::Output,
+                RegisterOp::Update { .. } => ActionKind::Internal,
+            }),
+            SysAction::ESend(env, _) if env.src == self.node => Some(ActionKind::Output),
+            SysAction::ERecv(env, _) if env.dst == self.node => Some(ActionKind::Input),
+            _ => None,
+        }
+    }
+
+    fn step(&self, s: &BaselineState, a: &RegAction, clock: Time) -> Option<BaselineState> {
+        match a {
+            SysAction::App(RegisterOp::Read { node }) if *node == self.node => {
+                let mut next = s.clone();
+                next.read_due = Some(clock + self.params.read_latency());
+                Some(next)
+            }
+            SysAction::App(RegisterOp::Write { node, value }) if *node == self.node => {
+                let mut next = s.clone();
+                let remaining: Vec<NodeId> = self
+                    .params
+                    .peers
+                    .iter()
+                    .copied()
+                    .filter(|p| *p != self.node)
+                    .collect();
+                let send_clock = (!remaining.is_empty()).then_some(clock);
+                next.write = Some(BaselineWrite {
+                    value: *value,
+                    remaining,
+                    send_clock,
+                    ack_clock: clock + self.params.write_latency(),
+                });
+                Self::insert(
+                    &mut next.pending,
+                    PendingUpdate {
+                        key_time: clock,
+                        key_node: self.node,
+                        value: *value,
+                    },
+                );
+                Some(next)
+            }
+            SysAction::App(RegisterOp::Return { node, value }) if *node == self.node => {
+                if s.read_due != Some(clock)
+                    || s.value != *value
+                    || self.first_due(s, clock).is_some()
+                {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.read_due = None;
+                Some(next)
+            }
+            SysAction::App(RegisterOp::Ack { node }) if *node == self.node => {
+                let w = s.write.as_ref()?;
+                if !w.remaining.is_empty() || w.ack_clock != clock {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.write = None;
+                Some(next)
+            }
+            SysAction::App(RegisterOp::Update { node, due }) if *node == self.node => {
+                let first = self.first_due(s, clock)?;
+                if self.params.apply_threshold(first.key_time) != *due {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.value = first.value;
+                next.pending.remove(0);
+                Some(next)
+            }
+            SysAction::ESend(env, stamp) if env.src == self.node => {
+                let w = s.write.as_ref()?;
+                if w.send_clock != Some(clock)
+                    || *stamp != clock
+                    || env.payload.value != w.value
+                    || env.payload.base != clock
+                    || env.id != MsgId::from_parts(self.node, s.msg_seq)
+                    || !w.remaining.contains(&env.dst)
+                {
+                    return None;
+                }
+                let mut next = s.clone();
+                let nw = next.write.as_mut().expect("checked above");
+                nw.remaining.retain(|p| *p != env.dst);
+                if nw.remaining.is_empty() {
+                    nw.send_clock = None;
+                }
+                next.msg_seq += 1;
+                Some(next)
+            }
+            SysAction::ERecv(env, _) if env.dst == self.node => {
+                let mut next = s.clone();
+                Self::insert(
+                    &mut next.pending,
+                    PendingUpdate {
+                        key_time: env.payload.base,
+                        key_node: env.src,
+                        value: env.payload.value,
+                    },
+                );
+                Some(next)
+            }
+            _ => None,
+        }
+    }
+
+    fn enabled(&self, s: &BaselineState, clock: Time) -> Vec<RegAction> {
+        let mut out = Vec::new();
+        if let Some(first) = self.first_due(s, clock) {
+            out.push(SysAction::App(RegisterOp::Update {
+                node: self.node,
+                due: self.params.apply_threshold(first.key_time),
+            }));
+        }
+        if let Some(w) = &s.write {
+            if w.send_clock == Some(clock) {
+                for &j in &w.remaining {
+                    out.push(SysAction::ESend(
+                        Envelope {
+                            src: self.node,
+                            dst: j,
+                            id: MsgId::from_parts(self.node, s.msg_seq),
+                            payload: RegMsg {
+                                value: w.value,
+                                base: clock,
+                            },
+                        },
+                        clock,
+                    ));
+                }
+            }
+            if w.remaining.is_empty() && w.ack_clock == clock {
+                out.push(SysAction::App(RegisterOp::Ack { node: self.node }));
+            }
+        }
+        if s.read_due == Some(clock) && self.first_due(s, clock).is_none() {
+            out.push(SysAction::App(RegisterOp::Return {
+                node: self.node,
+                value: s.value,
+            }));
+        }
+        out
+    }
+
+    fn clock_deadline(&self, s: &BaselineState, _clock: Time) -> Option<Time> {
+        let mut m: Option<Time> = s.read_due;
+        let mut consider = |t: Time| {
+            m = Some(match m {
+                Some(cur) => cur.min(t),
+                None => t,
+            });
+        };
+        if let Some(w) = &s.write {
+            if let Some(sc) = w.send_clock {
+                consider(sc);
+            }
+            consider(w.ack_clock);
+        }
+        if let Some(p) = s.pending.first() {
+            consider(self.params.apply_threshold(p.key_time));
+        }
+        m
+    }
+}
+
+/// Assembles the baseline's clock-model system: one
+/// [`BaselineRegister`] per node on its own clock, clock channels on every
+/// edge. The counterpart of [`psync_core::build_dc`] for the hand-crafted
+/// algorithm (which needs no Simulation 1 buffers).
+///
+/// # Panics
+///
+/// Panics if `strategies` does not provide one strategy per node.
+#[must_use]
+pub fn build_baseline(
+    topo: &psync_net::Topology,
+    physical: psync_time::DelayBounds,
+    eps: Duration,
+    strategies: Vec<Box<dyn psync_executor::ClockStrategy>>,
+    policy: impl Fn(NodeId, NodeId) -> Box<dyn psync_net::DelayPolicy>,
+) -> psync_executor::EngineBuilder<RegAction> {
+    assert_eq!(
+        strategies.len(),
+        topo.len(),
+        "one clock strategy per node required"
+    );
+    let params = BaselineParams::new(topo.nodes().collect(), eps * 2, physical.max());
+    let mut builder = psync_executor::EngineBuilder::default();
+    for (i, strategy) in topo.nodes().zip(strategies) {
+        builder = builder.clock_node(
+            psync_executor::ClockNode::new(format!("baseline({i})"), eps, strategy)
+                .with(BaselineRegister::new(i, params.clone())),
+        );
+    }
+    for &(i, j) in topo.edges() {
+        builder = builder.timed(
+            psync_net::ClockChannel::<crate::RegMsg, crate::RegisterOp>::new(
+                i,
+                j,
+                physical,
+                policy(i, j),
+            ),
+        );
+    }
+    builder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + ms(n)
+    }
+
+    fn params() -> BaselineParams {
+        // u = 2 ms, d2 = 10 ms → read 8 ms, write 16 ms.
+        BaselineParams::new(vec![NodeId(0), NodeId(1), NodeId(2)], ms(2), ms(10))
+    }
+
+    fn alg() -> BaselineRegister {
+        BaselineRegister::new(NodeId(0), params())
+    }
+
+    #[test]
+    fn latency_formulas_match_section_6_3() {
+        let p = params();
+        assert_eq!(p.read_latency(), ms(8)); // 4u
+        assert_eq!(p.write_latency(), ms(16)); // d2 + 3u
+    }
+
+    #[test]
+    fn read_waits_4u() {
+        let a = alg();
+        let s1 = a
+            .step(
+                &a.initial(),
+                &SysAction::App(RegisterOp::Read { node: NodeId(0) }),
+                at(5),
+            )
+            .unwrap();
+        assert_eq!(s1.read_due, Some(at(13)));
+        assert!(a.enabled(&s1, at(12)).is_empty());
+        assert_eq!(
+            a.enabled(&s1, at(13)),
+            vec![SysAction::App(RegisterOp::Return {
+                node: NodeId(0),
+                value: Value::INITIAL
+            })]
+        );
+    }
+
+    #[test]
+    fn write_broadcasts_keyed_updates_and_acks_at_d2_plus_3u() {
+        let a = alg();
+        let mut s = a
+            .step(
+                &a.initial(),
+                &SysAction::App(RegisterOp::Write {
+                    node: NodeId(0),
+                    value: Value(9),
+                }),
+                at(4),
+            )
+            .unwrap();
+        // Own update buffered with key (4ms, n0); applies at 4+10+4 = 18ms.
+        assert_eq!(s.pending.len(), 1);
+        assert_eq!(a.clock_deadline(&s, at(4)), Some(at(4))); // sends pinned
+        let sends = a.enabled(&s, at(4));
+        assert_eq!(sends.len(), 2);
+        let SysAction::ESend(env, stamp) = &sends[0] else {
+            panic!("expected esend")
+        };
+        assert_eq!(*stamp, at(4));
+        assert_eq!(env.payload.base, at(4));
+        for send in &sends.clone() {
+            if a.step(&s, send, at(4)).is_some() {
+                s = a.step(&s, send, at(4)).unwrap();
+            }
+        }
+        // One send consumed; the other regenerates with the next msg id.
+        let sends2 = a.enabled(&s, at(4));
+        assert_eq!(sends2.len(), 1);
+        s = a.step(&s, &sends2[0], at(4)).unwrap();
+        assert!(s.write.as_ref().unwrap().remaining.is_empty());
+        // Update applies at 18 ms, ack at 4 + 16 = 20 ms.
+        let upd = a.enabled(&s, at(18));
+        assert_eq!(upd.len(), 1);
+        s = a.step(&s, &upd[0], at(18)).unwrap();
+        assert_eq!(s.value, Value(9));
+        assert_eq!(
+            a.enabled(&s, at(20)),
+            vec![SysAction::App(RegisterOp::Ack { node: NodeId(0) })]
+        );
+    }
+
+    #[test]
+    fn updates_apply_in_key_order() {
+        let a = alg();
+        let mk = |src: usize, key_ms: i64, v: u64| {
+            SysAction::ERecv(
+                Envelope {
+                    src: NodeId(src),
+                    dst: NodeId(0),
+                    id: MsgId::from_parts(NodeId(src), v as u32),
+                    payload: RegMsg {
+                        value: Value(v),
+                        base: at(key_ms),
+                    },
+                },
+                at(key_ms),
+            )
+        };
+        let mut s = a.initial();
+        // Later-keyed update arrives first.
+        s = a.step(&s, &mk(2, 6, 22), at(7)).unwrap();
+        s = a.step(&s, &mk(1, 5, 11), at(7)).unwrap();
+        assert_eq!(s.pending[0].value, Value(11));
+        // Thresholds: 5+14=19 and 6+14=20.
+        assert_eq!(a.clock_deadline(&s, at(7)), Some(at(19)));
+        let u1 = a.enabled(&s, at(19));
+        assert_eq!(u1.len(), 1);
+        s = a.step(&s, &u1[0], at(19)).unwrap();
+        assert_eq!(s.value, Value(11));
+        let u2 = a.enabled(&s, at(20));
+        s = a.step(&s, &u2[0], at(20)).unwrap();
+        assert_eq!(s.value, Value(22));
+    }
+
+    #[test]
+    fn equal_key_times_tie_break_by_node_id() {
+        let a = alg();
+        let mk = |src: usize, v: u64| {
+            SysAction::ERecv(
+                Envelope {
+                    src: NodeId(src),
+                    dst: NodeId(0),
+                    id: MsgId::from_parts(NodeId(src), 0),
+                    payload: RegMsg {
+                        value: Value(v),
+                        base: at(5),
+                    },
+                },
+                at(5),
+            )
+        };
+        let mut s = a.initial();
+        s = a.step(&s, &mk(2, 22), at(6)).unwrap();
+        s = a.step(&s, &mk(1, 11), at(6)).unwrap();
+        // Applies n1's then n2's: final value from the larger node id.
+        let t = at(19);
+        s = a.step(&s, &a.enabled(&s, t)[0], t).unwrap();
+        assert_eq!(s.value, Value(11));
+        s = a.step(&s, &a.enabled(&s, t)[0], t).unwrap();
+        assert_eq!(s.value, Value(22));
+    }
+
+    #[test]
+    fn due_updates_block_return() {
+        let a = alg();
+        let mut s = a
+            .step(
+                &a.initial(),
+                &SysAction::App(RegisterOp::Read { node: NodeId(0) }),
+                at(11),
+            )
+            .unwrap(); // returns at 19
+        s = a
+            .step(
+                &s,
+                &SysAction::ERecv(
+                    Envelope {
+                        src: NodeId(1),
+                        dst: NodeId(0),
+                        id: MsgId::from_parts(NodeId(1), 0),
+                        payload: RegMsg {
+                            value: Value(5),
+                            base: at(5),
+                        },
+                    },
+                    at(5),
+                ),
+                at(12),
+            )
+            .unwrap(); // threshold 19 too
+        let en = a.enabled(&s, at(19));
+        assert_eq!(en.len(), 1);
+        assert!(matches!(en[0], SysAction::App(RegisterOp::Update { .. })));
+        s = a.step(&s, &en[0], at(19)).unwrap();
+        assert_eq!(
+            a.enabled(&s, at(19)),
+            vec![SysAction::App(RegisterOp::Return {
+                node: NodeId(0),
+                value: Value(5)
+            })]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_u_rejected() {
+        let _ = BaselineParams::new(vec![NodeId(0)], Duration::ZERO, ms(1));
+    }
+}

@@ -1,0 +1,336 @@
+//! Operation histories: extracting invocation/response intervals from
+//! recorded traces.
+
+use core::fmt;
+
+use psync_automata::TimedTrace;
+use psync_net::{NodeId, SysAction};
+use psync_time::{Duration, Time};
+
+use crate::{RegAction, RegisterOp, Value};
+
+/// What an operation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A read that returned `returned`.
+    Read {
+        /// The value the read returned (known only for completed reads).
+        returned: Value,
+    },
+    /// A write of `value`.
+    Write {
+        /// The written value.
+        value: Value,
+    },
+}
+
+/// One operation interval: invocation to response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Operation {
+    /// The invoking node.
+    pub node: NodeId,
+    /// Read or write, with its value.
+    pub kind: OpKind,
+    /// Invocation time.
+    pub invoked: Time,
+    /// Response time; `None` when the run's horizon cut the operation off
+    /// (it may or may not have taken effect).
+    pub responded: Option<Time>,
+}
+
+impl Operation {
+    /// The operation's latency, for completed operations.
+    #[must_use]
+    pub fn latency(&self) -> Option<Duration> {
+        Some(self.responded? - self.invoked)
+    }
+
+    /// `true` if this is a read.
+    #[must_use]
+    pub fn is_read(&self) -> bool {
+        matches!(self.kind, OpKind::Read { .. })
+    }
+}
+
+/// Why a trace could not be parsed into a well-formed history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// The *environment* violated the alternation condition: a second
+    /// invocation at a node with one outstanding. Per Section 6.1 such
+    /// traces are vacuously in the problem (`P` contains every trace in
+    /// which the environment is first to violate alternation).
+    EnvironmentViolation {
+        /// The offending node.
+        node: NodeId,
+        /// When the second invocation occurred.
+        at: Time,
+    },
+    /// The *system* produced a response with no matching invocation, or a
+    /// response of the wrong kind — an algorithm bug, never acceptable.
+    SystemViolation {
+        /// The offending node.
+        node: NodeId,
+        /// When the bogus response occurred.
+        at: Time,
+        /// Description of the mismatch.
+        what: String,
+    },
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::EnvironmentViolation { node, at } => {
+                write!(f, "environment violated alternation at {node}, {at}")
+            }
+            ExtractError::SystemViolation { node, at, what } => {
+                write!(f, "system violated well-formedness at {node}, {at}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Parses the application trace of a register system into a history of
+/// operations, enforcing the alternation condition of Section 6.1.
+///
+/// Operations still outstanding when the trace ends get
+/// `responded = None`.
+///
+/// # Errors
+///
+/// See [`ExtractError`] — note the asymmetry: an environment violation
+/// means the trace is vacuously correct, a system violation means the
+/// algorithm is broken.
+pub fn extract(trace: &TimedTrace<RegAction>, n: usize) -> Result<Vec<Operation>, ExtractError> {
+    // Per-node outstanding invocation: (kind-of-invocation, time).
+    let mut outstanding: Vec<Option<(RegisterOp, Time)>> = vec![None; n];
+    let mut ops = Vec::new();
+    for (a, t) in trace.iter() {
+        let SysAction::App(op) = a else { continue };
+        let node = op.node();
+        assert!(node.0 < n, "trace mentions node {node} outside 0..{n}");
+        match op {
+            RegisterOp::Read { .. } | RegisterOp::Write { .. } => {
+                if outstanding[node.0].is_some() {
+                    return Err(ExtractError::EnvironmentViolation { node, at: t });
+                }
+                outstanding[node.0] = Some((op.clone(), t));
+            }
+            RegisterOp::Return { value, .. } => match outstanding[node.0].take() {
+                Some((RegisterOp::Read { .. }, inv)) => ops.push(Operation {
+                    node,
+                    kind: OpKind::Read { returned: *value },
+                    invoked: inv,
+                    responded: Some(t),
+                }),
+                Some((other, _)) => {
+                    return Err(ExtractError::SystemViolation {
+                        node,
+                        at: t,
+                        what: format!("RETURN answering {other:?}"),
+                    })
+                }
+                None => {
+                    return Err(ExtractError::SystemViolation {
+                        node,
+                        at: t,
+                        what: "RETURN with no outstanding invocation".into(),
+                    })
+                }
+            },
+            RegisterOp::Ack { .. } => match outstanding[node.0].take() {
+                Some((RegisterOp::Write { value, .. }, inv)) => ops.push(Operation {
+                    node,
+                    kind: OpKind::Write { value },
+                    invoked: inv,
+                    responded: Some(t),
+                }),
+                Some((other, _)) => {
+                    return Err(ExtractError::SystemViolation {
+                        node,
+                        at: t,
+                        what: format!("ACK answering {other:?}"),
+                    })
+                }
+                None => {
+                    return Err(ExtractError::SystemViolation {
+                        node,
+                        at: t,
+                        what: "ACK with no outstanding invocation".into(),
+                    })
+                }
+            },
+            RegisterOp::Update { .. } => {}
+        }
+    }
+    // Outstanding invocations become open operations. Open reads carry no
+    // returned value and cannot constrain linearizability; we record open
+    // writes (they may have taken effect) and drop open reads.
+    for slot in outstanding.into_iter().flatten() {
+        match slot {
+            (RegisterOp::Write { node, value }, inv) => ops.push(Operation {
+                node,
+                kind: OpKind::Write { value },
+                invoked: inv,
+                responded: None,
+            }),
+            (RegisterOp::Read { .. }, _) => {}
+            _ => unreachable!("only invocations are stored"),
+        }
+    }
+    ops.sort_by_key(|o| o.invoked);
+    Ok(ops)
+}
+
+/// Latency statistics for the completed operations of a history, split by
+/// kind: `(reads, writes)`.
+#[must_use]
+pub fn latency_split(ops: &[Operation]) -> (Vec<Duration>, Vec<Duration>) {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for o in ops {
+        if let Some(l) = o.latency() {
+            if o.is_read() {
+                reads.push(l);
+            } else {
+                writes.push(l);
+            }
+        }
+    }
+    (reads, writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_automata::TimedTrace;
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + Duration::from_millis(n)
+    }
+
+    fn app(op: RegisterOp, t: Time) -> (RegAction, Time) {
+        (SysAction::App(op), t)
+    }
+
+    #[test]
+    fn extracts_interleaved_operations() {
+        let n0 = NodeId(0);
+        let n1 = NodeId(1);
+        let trace: TimedTrace<RegAction> = TimedTrace::from_pairs(vec![
+            app(
+                RegisterOp::Write {
+                    node: n0,
+                    value: Value(1),
+                },
+                at(0),
+            ),
+            app(RegisterOp::Read { node: n1 }, at(1)),
+            app(
+                RegisterOp::Return {
+                    node: n1,
+                    value: Value(0),
+                },
+                at(3),
+            ),
+            app(RegisterOp::Ack { node: n0 }, at(5)),
+        ]);
+        let ops = extract(&trace, 2).unwrap();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].kind, OpKind::Write { value: Value(1) });
+        assert_eq!(ops[0].latency(), Some(Duration::from_millis(5)));
+        assert_eq!(ops[1].kind, OpKind::Read { returned: Value(0) });
+        assert_eq!(ops[1].latency(), Some(Duration::from_millis(2)));
+    }
+
+    #[test]
+    fn environment_violation_detected() {
+        let n0 = NodeId(0);
+        let trace: TimedTrace<RegAction> = TimedTrace::from_pairs(vec![
+            app(RegisterOp::Read { node: n0 }, at(0)),
+            app(RegisterOp::Read { node: n0 }, at(1)),
+        ]);
+        assert_eq!(
+            extract(&trace, 1),
+            Err(ExtractError::EnvironmentViolation {
+                node: n0,
+                at: at(1)
+            })
+        );
+    }
+
+    #[test]
+    fn system_violation_detected() {
+        let n0 = NodeId(0);
+        let unsolicited: TimedTrace<RegAction> =
+            TimedTrace::from_pairs(vec![app(RegisterOp::Ack { node: n0 }, at(0))]);
+        assert!(matches!(
+            extract(&unsolicited, 1),
+            Err(ExtractError::SystemViolation { .. })
+        ));
+
+        let wrong_kind: TimedTrace<RegAction> = TimedTrace::from_pairs(vec![
+            app(RegisterOp::Read { node: n0 }, at(0)),
+            app(RegisterOp::Ack { node: n0 }, at(1)),
+        ]);
+        assert!(matches!(
+            extract(&wrong_kind, 1),
+            Err(ExtractError::SystemViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn open_write_kept_open_read_dropped() {
+        let trace: TimedTrace<RegAction> = TimedTrace::from_pairs(vec![
+            app(
+                RegisterOp::Write {
+                    node: NodeId(0),
+                    value: Value(9),
+                },
+                at(0),
+            ),
+            app(RegisterOp::Read { node: NodeId(1) }, at(1)),
+        ]);
+        let ops = extract(&trace, 2).unwrap();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].kind, OpKind::Write { value: Value(9) });
+        assert_eq!(ops[0].responded, None);
+        assert_eq!(ops[0].latency(), None);
+    }
+
+    #[test]
+    fn latency_split_by_kind() {
+        let ops = vec![
+            Operation {
+                node: NodeId(0),
+                kind: OpKind::Read { returned: Value(0) },
+                invoked: at(0),
+                responded: Some(at(2)),
+            },
+            Operation {
+                node: NodeId(0),
+                kind: OpKind::Write { value: Value(1) },
+                invoked: at(3),
+                responded: Some(at(8)),
+            },
+            Operation {
+                node: NodeId(1),
+                kind: OpKind::Write { value: Value(2) },
+                invoked: at(4),
+                responded: None,
+            },
+        ];
+        let (r, w) = latency_split(&ops);
+        assert_eq!(r, vec![Duration::from_millis(2)]);
+        assert_eq!(w, vec![Duration::from_millis(5)]);
+    }
+
+    #[test]
+    fn non_app_actions_ignored() {
+        let trace: TimedTrace<RegAction> =
+            TimedTrace::from_pairs(vec![(SysAction::Tau { node: NodeId(0) }, at(0))]);
+        assert_eq!(extract(&trace, 1).unwrap(), Vec::new());
+    }
+}

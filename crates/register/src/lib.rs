@@ -1,0 +1,94 @@
+//! Linearizable read-write registers (Section 6 of the paper).
+//!
+//! The paper's application of its simulation machinery: distributed shared
+//! read-write objects with linearizability. Node `i` accepts `READ_i` and
+//! `WRITE_i(v)` invocations and produces `RETURN_i(v)` / `ACK_i`
+//! responses; a concurrent execution must look as if every operation took
+//! effect instantaneously at some point between its invocation and
+//! response.
+//!
+//! This crate provides:
+//!
+//! * [`AlgorithmS`] — the timed-automaton algorithm of Figure 3, in two
+//!   flavors controlled by [`RegisterParams::read_slack`]:
+//!   **Algorithm L** (`read_slack = 0`, from Mavronicolas \[10\],
+//!   generalizing Attiya–Welch \[2\]) solves plain linearizability in the
+//!   timed model with read time `c + δ` and write time `d'₂ − c`
+//!   (Lemma 6.1); **Algorithm S** (`read_slack = 2ε`) solves
+//!   *ε-superlinearizability* (Lemma 6.2), which survives the clock
+//!   transformation: by Theorem 6.5 the transformed `S^c_ε` solves plain
+//!   linearizability in the clock model with read time `2ε + δ + c` and
+//!   write time `d₂ + 2ε − c`.
+//! * [`BaselineRegister`] — a reconstruction of the clock-model algorithm
+//!   of \[10\] (the unpublished thesis' "complicated time-slicing"
+//!   algorithm) with the latencies the paper reports for it: read `4u`,
+//!   write `d₂ + 3u`, where `u = 2ε` is the inter-clock skew bound.
+//! * [`AlgorithmSObj`] — the generalization to arbitrary blind-update /
+//!   query objects ([`object::ObjectSpec`]: counters, grow-sets, …) that
+//!   the paper defers to its full version (end of Section 6), with the
+//!   same latency formulas.
+//! * [`ClosedLoopWorkload`] — a seeded closed-loop client per node.
+//! * [`history`] — extraction of operation intervals from recorded traces
+//!   (the input to the linearizability checkers in `psync-verify`) and
+//!   latency statistics.
+//!
+//! # Quick start
+//!
+//! ```
+//! use psync_core::{build_dc, app_trace, NodeSpec};
+//! use psync_executor::{ClockStrategy, PerfectClock, StopReason};
+//! use psync_net::{MaxDelay, NodeId, Topology};
+//! use psync_register::{AlgorithmS, ClosedLoopWorkload, RegisterParams};
+//! use psync_time::{DelayBounds, Duration, Time};
+//!
+//! let ms = Duration::from_millis;
+//! let topo = Topology::complete(2);
+//! let physical = DelayBounds::new(ms(1), ms(5))?;
+//! let eps = ms(1);
+//! let params = RegisterParams::for_clock_model(&topo, physical, eps, ms(2), Duration::from_micros(10));
+//!
+//! let algorithms = topo
+//!     .nodes()
+//!     .map(|i| NodeSpec::new(i, AlgorithmS::new(i, params.clone())))
+//!     .collect();
+//! let strategies: Vec<Box<dyn ClockStrategy>> =
+//!     vec![Box::new(PerfectClock), Box::new(PerfectClock)];
+//! let workload = ClosedLoopWorkload::new(&topo, 7, DelayBounds::exact(ms(1)), 3);
+//!
+//! let mut engine = build_dc(&topo, physical, eps, algorithms, strategies, |_, _| {
+//!     Box::new(MaxDelay)
+//! })
+//! .timed(workload)
+//! .horizon(Time::ZERO + ms(200))
+//! .build();
+//! let run = engine.run().expect("well-formed composition");
+//! // All six operations complete before the horizon.
+//! assert_eq!(run.stop, StopReason::Quiescent);
+//! let history = psync_register::history::extract(&app_trace(&run.execution), topo.len()).unwrap();
+//! assert_eq!(history.len(), 6);
+//! # Ok::<(), psync_time::TimeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm_obj;
+mod algorithm_s;
+mod baseline;
+pub mod history;
+mod obj_workload;
+pub mod object;
+mod ops;
+mod params;
+mod workload;
+
+pub use algorithm_obj::{AlgorithmSObj, ObjAction, ObjMsg, ObjOp, ObjState, ScheduledUpdate};
+pub use algorithm_s::AlgorithmS;
+pub use baseline::{build_baseline, BaselineParams, BaselineRegister};
+pub use obj_workload::ObjWorkload;
+pub use ops::{RegMsg, RegisterOp, Value};
+pub use params::RegisterParams;
+pub use workload::ClosedLoopWorkload;
+
+/// The action alphabet of every register system in this crate.
+pub type RegAction = psync_net::SysAction<RegMsg, RegisterOp>;

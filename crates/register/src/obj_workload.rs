@@ -1,0 +1,242 @@
+//! A seeded closed-loop client for generalized objects.
+
+use psync_automata::{ActionKind, TimedComponent};
+use psync_net::{NodeId, SysAction, Topology};
+use psync_time::{DelayBounds, Duration, Time};
+
+use crate::object::ObjectSpec;
+use crate::{ObjAction, ObjOp};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle(Time),
+    Waiting,
+    Done,
+}
+
+/// State of an [`ObjWorkload`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjWorkloadState {
+    phases: Vec<Phase>,
+    done_ops: Vec<u32>,
+}
+
+/// The generalized-object sibling of
+/// [`ClosedLoopWorkload`](crate::ClosedLoopWorkload): per node, issue an
+/// operation, await the response, think, repeat. The update/query mix is
+/// seeded 50/50; update payloads come from a caller-supplied generator
+/// (which should make them distinguishable per `(node, index)` when the
+/// object benefits from it).
+pub struct ObjWorkload<O: ObjectSpec> {
+    nodes: usize,
+    seed: u64,
+    think: DelayBounds,
+    ops_per_node: u32,
+    #[allow(clippy::type_complexity)]
+    gen_update: Box<dyn Fn(NodeId, u32) -> O::Update>,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl<O: ObjectSpec> ObjWorkload<O> {
+    /// Creates a workload for every node of `topo` with the given update
+    /// generator.
+    #[must_use]
+    pub fn new(
+        topo: &Topology,
+        seed: u64,
+        think: DelayBounds,
+        ops_per_node: u32,
+        gen_update: impl Fn(NodeId, u32) -> O::Update + 'static,
+    ) -> Self {
+        ObjWorkload {
+            nodes: topo.len(),
+            seed,
+            think,
+            ops_per_node,
+            gen_update: Box::new(gen_update),
+        }
+    }
+
+    fn rng(&self, node: usize, op: u32, salt: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64((node as u64) << 32 | u64::from(op)) ^ salt)
+    }
+
+    fn op_for(&self, node: usize, op: u32) -> ObjOp<O> {
+        if self.rng(node, op, 0xAB) & 1 == 0 {
+            ObjOp::Query { node: NodeId(node) }
+        } else {
+            ObjOp::Do {
+                node: NodeId(node),
+                update: (self.gen_update)(NodeId(node), op),
+            }
+        }
+    }
+
+    fn think_for(&self, node: usize, op: u32) -> Duration {
+        let width = self.think.width().as_nanos();
+        if width == 0 {
+            return self.think.min();
+        }
+        let off = (self.rng(node, op, 0xCD) % (width as u64 + 1)) as i64;
+        self.think.min() + Duration::from_nanos(off)
+    }
+}
+
+impl<O: ObjectSpec> TimedComponent for ObjWorkload<O> {
+    type Action = ObjAction<O>;
+    type State = ObjWorkloadState;
+
+    fn name(&self) -> String {
+        format!("obj-workload({} nodes, seed {})", self.nodes, self.seed)
+    }
+
+    fn initial(&self) -> ObjWorkloadState {
+        ObjWorkloadState {
+            phases: (0..self.nodes)
+                .map(|i| {
+                    if self.ops_per_node == 0 {
+                        Phase::Done
+                    } else {
+                        Phase::Idle(Time::ZERO + self.think_for(i, 0))
+                    }
+                })
+                .collect(),
+            done_ops: vec![0; self.nodes],
+        }
+    }
+
+    fn classify(&self, a: &ObjAction<O>) -> Option<ActionKind> {
+        match a {
+            SysAction::App(op) if op.node().0 < self.nodes => {
+                if op.is_invocation() {
+                    Some(ActionKind::Output)
+                } else if op.is_response() {
+                    Some(ActionKind::Input)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn step(&self, s: &ObjWorkloadState, a: &ObjAction<O>, now: Time) -> Option<ObjWorkloadState> {
+        let SysAction::App(op) = a else { return None };
+        let i = op.node().0;
+        if i >= self.nodes {
+            return None;
+        }
+        if op.is_invocation() {
+            let Phase::Idle(due) = s.phases[i] else {
+                return None;
+            };
+            if now < due || *op != self.op_for(i, s.done_ops[i]) {
+                return None;
+            }
+            let mut next = s.clone();
+            next.phases[i] = Phase::Waiting;
+            Some(next)
+        } else if op.is_response() {
+            let mut next = s.clone();
+            if s.phases[i] == Phase::Waiting {
+                let done = s.done_ops[i] + 1;
+                next.done_ops[i] = done;
+                next.phases[i] = if done >= self.ops_per_node {
+                    Phase::Done
+                } else {
+                    Phase::Idle(now + self.think_for(i, done))
+                };
+            }
+            Some(next)
+        } else {
+            None
+        }
+    }
+
+    fn enabled(&self, s: &ObjWorkloadState, now: Time) -> Vec<ObjAction<O>> {
+        let mut out = Vec::new();
+        for (i, phase) in s.phases.iter().enumerate() {
+            if let Phase::Idle(due) = phase {
+                if now >= *due {
+                    out.push(SysAction::App(self.op_for(i, s.done_ops[i])));
+                }
+            }
+        }
+        out
+    }
+
+    fn deadline(&self, s: &ObjWorkloadState, _now: Time) -> Option<Time> {
+        s.phases
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Idle(due) => Some(*due),
+                _ => None,
+            })
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Counter;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn wl(seed: u64) -> ObjWorkload<Counter> {
+        ObjWorkload::new(
+            &Topology::complete(2),
+            seed,
+            DelayBounds::new(ms(1), ms(3)).unwrap(),
+            4,
+            |node, k| (node.0 as i64 + 1) * 100 + i64::from(k),
+        )
+    }
+
+    #[test]
+    fn mix_contains_both_op_kinds() {
+        let w = wl(3);
+        let ops: Vec<ObjOp<Counter>> = (0..32).map(|k| w.op_for(0, k)).collect();
+        assert!(ops.iter().any(|o| matches!(o, ObjOp::Do { .. })));
+        assert!(ops.iter().any(|o| matches!(o, ObjOp::Query { .. })));
+    }
+
+    #[test]
+    fn closed_loop_discipline() {
+        let w = wl(5);
+        let mut s = w.initial();
+        let due = match s.phases[0] {
+            Phase::Idle(d) => d,
+            _ => panic!(),
+        };
+        let op = w.op_for(0, 0);
+        s = w.step(&s, &SysAction::App(op.clone()), due).unwrap();
+        assert_eq!(s.phases[0], Phase::Waiting);
+        // Respond.
+        let resp = match op {
+            ObjOp::Do { node, .. } => ObjOp::Done { node },
+            ObjOp::Query { node } => ObjOp::Answer { node, output: 0 },
+            _ => unreachable!(),
+        };
+        s = w.step(&s, &SysAction::App(resp), due + ms(5)).unwrap();
+        assert_eq!(s.done_ops[0], 1);
+    }
+
+    #[test]
+    fn update_payloads_come_from_generator() {
+        let w = wl(7);
+        for k in 0..16 {
+            if let ObjOp::Do { update, .. } = w.op_for(1, k) {
+                assert_eq!(update, 200 + i64::from(k));
+            }
+        }
+    }
+}

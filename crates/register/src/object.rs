@@ -1,0 +1,169 @@
+//! Generalized shared objects — the "other shared memory objects" the
+//! paper defers to its full version (end of Section 6).
+//!
+//! Algorithm S never inspects the *value* it replicates: writes broadcast
+//! an opaque update applied at the same scheduled instant `t + d'₂ + δ` on
+//! every replica, and reads return the local copy after a fixed wait. That
+//! structure works verbatim for any object whose operations split into
+//! **blind updates** (no return value — their effect is a pure state
+//! transformation) and **queries** (no effect — they report a function of
+//! the state): counters, sets, append logs, … — with one adjustment: where
+//! the register drops all but one same-instant update (last-writer-wins),
+//! a general object must apply *all* same-instant updates in a canonical
+//! (writer id) order, or increments would be lost.
+//!
+//! [`ObjectSpec`] captures such an object; [`Register`], [`Counter`] and
+//! [`GrowSet`] are instances; [`AlgorithmSObj`](crate::AlgorithmSObj) is
+//! the generalized Figure 3 automaton with the same latency formulas as
+//! Theorem 6.5.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+/// A replicated-object type: state, blind updates, and a query.
+///
+/// `apply` must be a pure function — every replica applies the same
+/// updates in the same order at the same scheduled times, which is the
+/// whole linearizability argument of Section 6.1 ("all local memories are
+/// always consistent after each real time").
+pub trait ObjectSpec: Clone + Debug + 'static {
+    /// Replica state.
+    type State: Clone + Eq + Hash + Debug + 'static;
+    /// A blind update (the generalized "written value").
+    type Update: Clone + Eq + Hash + Debug + 'static;
+    /// What a query returns.
+    type Output: Clone + Eq + Hash + Debug + 'static;
+
+    /// The initial state (the generalized `v₀`).
+    fn initial(&self) -> Self::State;
+
+    /// Applies an update.
+    fn apply(&self, state: &Self::State, update: &Self::Update) -> Self::State;
+
+    /// Answers a query.
+    fn query(&self, state: &Self::State) -> Self::Output;
+}
+
+/// The read-write register as an [`ObjectSpec`] — recovering Section 6
+/// exactly (an update overwrites, a query reads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Register;
+
+impl ObjectSpec for Register {
+    type State = crate::Value;
+    type Update = crate::Value;
+    type Output = crate::Value;
+
+    fn initial(&self) -> Self::State {
+        crate::Value::INITIAL
+    }
+
+    fn apply(&self, _state: &Self::State, update: &Self::Update) -> Self::State {
+        *update
+    }
+
+    fn query(&self, state: &Self::State) -> Self::Output {
+        *state
+    }
+}
+
+/// A counter: updates add a signed amount, queries read the total.
+/// Updates commute, but the framework does not rely on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter;
+
+impl ObjectSpec for Counter {
+    type State = i64;
+    type Update = i64;
+    type Output = i64;
+
+    fn initial(&self) -> Self::State {
+        0
+    }
+
+    fn apply(&self, state: &Self::State, update: &Self::Update) -> Self::State {
+        state + update
+    }
+
+    fn query(&self, state: &Self::State) -> Self::Output {
+        *state
+    }
+}
+
+/// A grow-only set over small integers, state packed into a bitmask (so it
+/// stays `Copy + Hash` for the checker's memoization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GrowSet;
+
+impl ObjectSpec for GrowSet {
+    /// Bitmask of present elements `0..128`.
+    type State = u128;
+    /// The element to insert (`< 128`).
+    type Update = u8;
+    /// The full membership bitmask.
+    type Output = u128;
+
+    fn initial(&self) -> Self::State {
+        0
+    }
+
+    fn apply(&self, state: &Self::State, update: &Self::Update) -> Self::State {
+        assert!(*update < 128, "GrowSet elements must be < 128");
+        state | (1u128 << update)
+    }
+
+    fn query(&self, state: &Self::State) -> Self::Output {
+        *state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn register_spec_overwrites() {
+        let r = Register;
+        let s0 = r.initial();
+        assert_eq!(s0, Value::INITIAL);
+        let s1 = r.apply(&s0, &Value(7));
+        let s2 = r.apply(&s1, &Value(9));
+        assert_eq!(r.query(&s2), Value(9));
+    }
+
+    #[test]
+    fn counter_spec_accumulates() {
+        let c = Counter;
+        let mut s = c.initial();
+        for d in [5i64, -2, 10] {
+            s = c.apply(&s, &d);
+        }
+        assert_eq!(c.query(&s), 13);
+    }
+
+    #[test]
+    fn counter_updates_commute_but_order_is_still_canonical() {
+        let c = Counter;
+        let ab = c.apply(&c.apply(&c.initial(), &3), &4);
+        let ba = c.apply(&c.apply(&c.initial(), &4), &3);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn grow_set_accumulates_membership() {
+        let g = GrowSet;
+        let mut s = g.initial();
+        for e in [3u8, 64, 3] {
+            s = g.apply(&s, &e);
+        }
+        assert_eq!(g.query(&s), (1u128 << 3) | (1u128 << 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be < 128")]
+    fn grow_set_range_checked() {
+        let g = GrowSet;
+        let _ = g.apply(&g.initial(), &200);
+    }
+}

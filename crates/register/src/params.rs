@@ -1,0 +1,178 @@
+//! Tuning parameters of Algorithms L and S.
+
+use psync_net::{NodeId, Topology};
+use psync_time::{DelayBounds, Duration};
+
+/// Parameters of [`AlgorithmS`](crate::AlgorithmS) (Figure 3 of the
+/// paper), which subsumes Algorithm L.
+///
+/// * `d2_virtual` — the `d'₂` the algorithm is designed against: the upper
+///   message delay of the *model the automaton runs in*. For a pure
+///   timed-model deployment this is the link's `d₂`; for a clock-model
+///   deployment via Theorem 4.7 it is `d₂ + 2ε`
+///   ([`DelayBounds::widen_for_skew`]); for an MMT deployment via
+///   Theorem 5.2, `d₂ + 2ε + kℓ`.
+/// * `c` — the read/write trade-off knob: read time grows with `c`, write
+///   time shrinks (`0 ≤ c ≤ d'₂ − 2ε`, Section 6.1).
+/// * `delta` — the settling slack `δ`: an arbitrarily small extra wait
+///   ensuring outputs at a time `t` see all inputs at `t` (Section 6.1's
+///   adaptation of \[10\] to the timed automaton model).
+/// * `read_slack` — `0` for Algorithm L (plain linearizability in the
+///   timed model), `2ε` for Algorithm S (ε-superlinearizability, the
+///   property that survives the clock transformation, Section 6.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterParams {
+    /// All nodes that receive updates (the broadcast set `P`).
+    pub peers: Vec<NodeId>,
+    /// The design-model upper message delay `d'₂`.
+    pub d2_virtual: Duration,
+    /// The read/write trade-off `c`.
+    pub c: Duration,
+    /// The settling slack `δ`.
+    pub delta: Duration,
+    /// Extra read delay: `0` (Algorithm L) or `2ε` (Algorithm S).
+    pub read_slack: Duration,
+}
+
+impl RegisterParams {
+    /// Parameters for Algorithm L in the **timed model** over links with
+    /// the given bounds: read `c + δ`, write `d₂ − c` (Lemma 6.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` or `delta` is negative or `c > d₂`.
+    #[must_use]
+    pub fn for_timed_model(
+        topo: &Topology,
+        bounds: DelayBounds,
+        c: Duration,
+        delta: Duration,
+    ) -> Self {
+        let p = RegisterParams {
+            peers: topo.nodes().collect(),
+            d2_virtual: bounds.max(),
+            c,
+            delta,
+            read_slack: Duration::ZERO,
+        };
+        p.validate();
+        p
+    }
+
+    /// Parameters for Algorithm S destined for the **clock model** via
+    /// Theorem 4.7: designed against `d'₂ = d₂ + 2ε` with read slack `2ε`.
+    /// By Theorem 6.5 the transformed algorithm solves linearizability
+    /// with read time `2ε + δ + c` and write time `d₂ + 2ε − c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent (`c > d'₂ − 2ε`, negative
+    /// durations).
+    #[must_use]
+    pub fn for_clock_model(
+        topo: &Topology,
+        physical: DelayBounds,
+        eps: Duration,
+        c: Duration,
+        delta: Duration,
+    ) -> Self {
+        assert!(!eps.is_negative(), "eps must be non-negative");
+        let virtual_bounds = physical.widen_for_skew(eps);
+        assert!(
+            c <= virtual_bounds.max() - eps * 2,
+            "c must be at most d'₂ − 2ε (Section 6.1)"
+        );
+        let p = RegisterParams {
+            peers: topo.nodes().collect(),
+            d2_virtual: virtual_bounds.max(),
+            c,
+            delta,
+            read_slack: eps * 2,
+        };
+        p.validate();
+        p
+    }
+
+    fn validate(&self) {
+        assert!(!self.c.is_negative(), "c must be non-negative");
+        assert!(
+            self.delta.is_positive(),
+            "delta must be strictly positive: updates are applied exactly δ after \
+             their scheduled base, and δ = 0 would race update application \
+             against message arrival"
+        );
+        assert!(
+            !self.read_slack.is_negative(),
+            "read slack must be non-negative"
+        );
+        assert!(
+            self.c <= self.d2_virtual,
+            "c={} exceeds d'₂={}",
+            self.c,
+            self.d2_virtual
+        );
+        assert!(!self.peers.is_empty(), "at least one node required");
+    }
+
+    /// The algorithm's read time complexity: `read_slack + c + δ`
+    /// (Lemma 6.1 / 6.2 / Theorem 6.5).
+    #[must_use]
+    pub fn read_latency(&self) -> Duration {
+        self.read_slack + self.c + self.delta
+    }
+
+    /// The algorithm's write time complexity: `d'₂ − c` (Lemma 6.1 / 6.2;
+    /// equals `d₂ + 2ε − c` for clock-model parameters, Theorem 6.5).
+    #[must_use]
+    pub fn write_latency(&self) -> Duration {
+        self.d2_virtual - self.c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn timed_model_latencies_match_lemma_6_1() {
+        let topo = Topology::complete(3);
+        let bounds = DelayBounds::new(ms(1), ms(10)).unwrap();
+        let p = RegisterParams::for_timed_model(&topo, bounds, ms(4), Duration::from_micros(1));
+        assert_eq!(p.read_latency(), ms(4) + Duration::from_micros(1));
+        assert_eq!(p.write_latency(), ms(6));
+        assert_eq!(p.read_slack, Duration::ZERO);
+        assert_eq!(p.peers.len(), 3);
+    }
+
+    #[test]
+    fn clock_model_latencies_match_theorem_6_5() {
+        let topo = Topology::complete(2);
+        let physical = DelayBounds::new(ms(1), ms(10)).unwrap();
+        let eps = ms(1);
+        let p = RegisterParams::for_clock_model(&topo, physical, eps, ms(3), ms(1));
+        // d'₂ = d₂ + 2ε = 12; read = 2ε + c + δ = 2+3+1; write = d'₂ − c = 9.
+        assert_eq!(p.d2_virtual, ms(12));
+        assert_eq!(p.read_latency(), ms(6));
+        assert_eq!(p.write_latency(), ms(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "c must be at most")]
+    fn c_beyond_trade_off_range_rejected() {
+        let topo = Topology::complete(2);
+        let physical = DelayBounds::new(ms(1), ms(10)).unwrap();
+        let _ = RegisterParams::for_clock_model(&topo, physical, ms(1), ms(11), ms(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn c_beyond_d2_rejected() {
+        let topo = Topology::complete(2);
+        let bounds = DelayBounds::new(ms(1), ms(10)).unwrap();
+        let _ = RegisterParams::for_timed_model(&topo, bounds, ms(11), ms(1));
+    }
+}

@@ -1,0 +1,319 @@
+//! A seeded closed-loop client per node.
+
+use psync_automata::{ActionKind, TimedComponent};
+use psync_net::{NodeId, SysAction, Topology};
+use psync_time::{DelayBounds, Duration, Time};
+
+use crate::{RegAction, RegisterOp, Value};
+
+/// Per-node client phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Thinking; will invoke at the given time.
+    Idle(Time),
+    /// An operation is outstanding.
+    Waiting,
+    /// All operations issued and answered.
+    Done,
+}
+
+/// State of a [`ClosedLoopWorkload`]: per node, the phase and how many
+/// operations completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadState {
+    phases: Vec<Phase>,
+    done_ops: Vec<u32>,
+}
+
+/// A closed-loop workload: each node's client issues `ops_per_node`
+/// operations, one at a time — invoke, await the response, think, repeat.
+/// Closed-loop clients respect the *alternation condition* of Section 6.1
+/// by construction, so every trace they drive is judged by the
+/// linearizability clause of the problem.
+///
+/// The operation mix (read/write, 50/50), written values (globally
+/// unique) and think times (uniform in `think`) are a pure function of
+/// `(seed, node, op index)` — reproducible load.
+pub struct ClosedLoopWorkload {
+    nodes: usize,
+    seed: u64,
+    think: DelayBounds,
+    ops_per_node: u32,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ClosedLoopWorkload {
+    /// Creates a workload for every node of `topo`.
+    #[must_use]
+    pub fn new(topo: &Topology, seed: u64, think: DelayBounds, ops_per_node: u32) -> Self {
+        ClosedLoopWorkload {
+            nodes: topo.len(),
+            seed,
+            think,
+            ops_per_node,
+        }
+    }
+
+    fn rng(&self, node: usize, op: u32, salt: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64((node as u64) << 32 | u64::from(op)) ^ salt)
+    }
+
+    /// The `op`-th invocation of `node`.
+    fn op_for(&self, node: usize, op: u32) -> RegisterOp {
+        if self.rng(node, op, 0xAB) & 1 == 0 {
+            RegisterOp::Read { node: NodeId(node) }
+        } else {
+            RegisterOp::Write {
+                node: NodeId(node),
+                value: Value::unique(NodeId(node), op),
+            }
+        }
+    }
+
+    /// Think time before the `op`-th invocation of `node`.
+    fn think_for(&self, node: usize, op: u32) -> Duration {
+        let width = self.think.width().as_nanos();
+        if width == 0 {
+            return self.think.min();
+        }
+        let off = (self.rng(node, op, 0xCD) % (width as u64 + 1)) as i64;
+        self.think.min() + Duration::from_nanos(off)
+    }
+}
+
+impl TimedComponent for ClosedLoopWorkload {
+    type Action = RegAction;
+    type State = WorkloadState;
+
+    fn name(&self) -> String {
+        format!(
+            "workload({} nodes × {} ops, seed {})",
+            self.nodes, self.ops_per_node, self.seed
+        )
+    }
+
+    fn initial(&self) -> WorkloadState {
+        WorkloadState {
+            phases: (0..self.nodes)
+                .map(|i| {
+                    if self.ops_per_node == 0 {
+                        Phase::Done
+                    } else {
+                        Phase::Idle(Time::ZERO + self.think_for(i, 0))
+                    }
+                })
+                .collect(),
+            done_ops: vec![0; self.nodes],
+        }
+    }
+
+    fn classify(&self, a: &RegAction) -> Option<ActionKind> {
+        match a {
+            SysAction::App(op) if op.node().0 < self.nodes => {
+                if op.is_invocation() {
+                    Some(ActionKind::Output)
+                } else if op.is_response() {
+                    Some(ActionKind::Input)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn step(&self, s: &WorkloadState, a: &RegAction, now: Time) -> Option<WorkloadState> {
+        let SysAction::App(op) = a else { return None };
+        let i = op.node().0;
+        if i >= self.nodes {
+            return None;
+        }
+        if op.is_invocation() {
+            let Phase::Idle(due) = s.phases[i] else {
+                return None;
+            };
+            if now < due || *op != self.op_for(i, s.done_ops[i]) {
+                return None;
+            }
+            let mut next = s.clone();
+            next.phases[i] = Phase::Waiting;
+            Some(next)
+        } else if op.is_response() {
+            // Input-enabled: absorb any response; only a Waiting client
+            // advances.
+            let mut next = s.clone();
+            if s.phases[i] == Phase::Waiting {
+                let done = s.done_ops[i] + 1;
+                next.done_ops[i] = done;
+                next.phases[i] = if done >= self.ops_per_node {
+                    Phase::Done
+                } else {
+                    Phase::Idle(now + self.think_for(i, done))
+                };
+            }
+            Some(next)
+        } else {
+            None
+        }
+    }
+
+    fn enabled(&self, s: &WorkloadState, now: Time) -> Vec<RegAction> {
+        let mut out = Vec::new();
+        for (i, phase) in s.phases.iter().enumerate() {
+            if let Phase::Idle(due) = phase {
+                if now >= *due {
+                    out.push(SysAction::App(self.op_for(i, s.done_ops[i])));
+                }
+            }
+        }
+        out
+    }
+
+    fn deadline(&self, s: &WorkloadState, _now: Time) -> Option<Time> {
+        s.phases
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Idle(due) => Some(*due),
+                _ => None,
+            })
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn wl(seed: u64) -> ClosedLoopWorkload {
+        ClosedLoopWorkload::new(
+            &Topology::complete(2),
+            seed,
+            DelayBounds::new(ms(1), ms(3)).unwrap(),
+            2,
+        )
+    }
+
+    #[test]
+    fn issues_one_op_at_a_time_per_node() {
+        let w = wl(5);
+        let s0 = w.initial();
+        let due = w.deadline(&s0, Time::ZERO).unwrap();
+        let en = w.enabled(&s0, due + ms(10)); // both nodes due by now
+        assert!(!en.is_empty());
+        let SysAction::App(op) = &en[0] else { panic!() };
+        let node = op.node().0;
+        let s1 = w.step(&s0, &en[0], due + ms(10)).unwrap();
+        // That node is now waiting and offers nothing.
+        assert!(w
+            .enabled(&s1, due + ms(10))
+            .iter()
+            .all(|a| a.as_app().map(RegisterOp::node) != Some(NodeId(node))));
+    }
+
+    #[test]
+    fn response_triggers_next_op_after_think() {
+        let w = wl(5);
+        let mut s = w.initial();
+        let due = match s.phases[0] {
+            Phase::Idle(d) => d,
+            _ => panic!(),
+        };
+        let first = w.op_for(0, 0);
+        s = w.step(&s, &SysAction::App(first.clone()), due).unwrap();
+        // Answer it.
+        let resp = match first {
+            RegisterOp::Read { node } => RegisterOp::Return {
+                node,
+                value: Value::INITIAL,
+            },
+            RegisterOp::Write { node, .. } => RegisterOp::Ack { node },
+            _ => unreachable!(),
+        };
+        let t_resp = due + ms(4);
+        s = w.step(&s, &SysAction::App(resp), t_resp).unwrap();
+        assert_eq!(s.done_ops[0], 1);
+        match s.phases[0] {
+            Phase::Idle(next) => {
+                assert!(next >= t_resp + ms(1) && next <= t_resp + ms(3));
+            }
+            other => panic!("expected idle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stops_after_ops_per_node() {
+        let w = wl(9);
+        let mut s = w.initial();
+        let mut answered = 0;
+        let mut t = Time::ZERO;
+        while answered < 4 {
+            t += ms(5);
+            let en = w.enabled(&s, t);
+            if let Some(a) = en.first() {
+                s = w.step(&s, a, t).unwrap();
+                let SysAction::App(op) = a else { panic!() };
+                let resp = match op {
+                    RegisterOp::Read { node } => RegisterOp::Return {
+                        node: *node,
+                        value: Value::INITIAL,
+                    },
+                    RegisterOp::Write { node, .. } => RegisterOp::Ack { node: *node },
+                    _ => unreachable!(),
+                };
+                s = w.step(&s, &SysAction::App(resp), t).unwrap();
+                answered += 1;
+            }
+        }
+        assert!(s.phases.iter().all(|p| *p == Phase::Done));
+        assert_eq!(w.deadline(&s, t), None);
+        assert!(w.enabled(&s, t + ms(100)).is_empty());
+    }
+
+    #[test]
+    fn op_mix_is_seeded_and_varied() {
+        let w = wl(7);
+        let ops: Vec<RegisterOp> = (0..32).map(|k| w.op_for(0, k)).collect();
+        assert!(ops.iter().any(|o| matches!(o, RegisterOp::Read { .. })));
+        assert!(ops.iter().any(|o| matches!(o, RegisterOp::Write { .. })));
+        // Deterministic per seed.
+        let w2 = wl(7);
+        let ops2: Vec<RegisterOp> = (0..32).map(|k| w2.op_for(0, k)).collect();
+        assert_eq!(ops, ops2);
+    }
+
+    #[test]
+    fn written_values_are_globally_unique() {
+        let w = wl(7);
+        let mut values = std::collections::HashSet::new();
+        for node in 0..2 {
+            for k in 0..16 {
+                if let RegisterOp::Write { value, .. } = w.op_for(node, k) {
+                    assert!(values.insert(value), "duplicate value {value}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_actions_not_in_signature() {
+        let w = wl(1);
+        assert_eq!(
+            w.classify(&SysAction::App(RegisterOp::Update {
+                node: NodeId(0),
+                due: Time::ZERO
+            })),
+            None
+        );
+        assert_eq!(w.classify(&SysAction::Tau { node: NodeId(0) }), None);
+    }
+}

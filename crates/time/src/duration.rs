@@ -1,0 +1,369 @@
+//! Signed spans of time.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A signed span of time, counted in exact nanoseconds.
+///
+/// `Duration` models every "amount of time" in the paper: clock skews `ε`,
+/// message delay bounds `d₁`/`d₂`, the tuning knob `c`, the settling slack
+/// `δ`, MMT step bounds `ℓ`, and differences of [`Time`](crate::Time)s.
+/// Unlike [`std::time::Duration`] it is signed, because the difference
+/// `clock − now` that the clock predicate `C_ε` constrains
+/// (`|now − clock| ≤ ε`, Definition 2.5) can be negative.
+///
+/// # Examples
+///
+/// ```
+/// use psync_time::Duration;
+///
+/// let eps = Duration::from_millis(2);
+/// let skew = Duration::from_micros(-1500);
+/// assert!(skew.abs() <= eps, "within the C_eps envelope");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(i64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable duration.
+    pub const MAX: Duration = Duration(i64::MAX);
+    /// The most negative representable duration.
+    pub const MIN: Duration = Duration(i64::MIN);
+    /// One nanosecond.
+    pub const NANOSECOND: Duration = Duration(1);
+
+    /// Creates a duration from a signed count of nanoseconds.
+    ///
+    /// ```
+    /// use psync_time::Duration;
+    /// assert_eq!(Duration::from_nanos(1_000).as_nanos(), 1_000);
+    /// ```
+    #[must_use]
+    pub const fn from_nanos(ns: i64) -> Self {
+        Duration(ns)
+    }
+
+    /// Creates a duration from a signed count of microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    #[must_use]
+    pub const fn from_micros(us: i64) -> Self {
+        match us.checked_mul(1_000) {
+            Some(ns) => Duration(ns),
+            None => panic!("Duration::from_micros overflowed"),
+        }
+    }
+
+    /// Creates a duration from a signed count of milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    #[must_use]
+    pub const fn from_millis(ms: i64) -> Self {
+        match ms.checked_mul(1_000_000) {
+            Some(ns) => Duration(ns),
+            None => panic!("Duration::from_millis overflowed"),
+        }
+    }
+
+    /// Creates a duration from a signed count of whole seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    #[must_use]
+    pub const fn from_secs(s: i64) -> Self {
+        match s.checked_mul(1_000_000_000) {
+            Some(ns) => Duration(ns),
+            None => panic!("Duration::from_secs overflowed"),
+        }
+    }
+
+    /// Returns the exact nanosecond count.
+    #[must_use]
+    pub const fn as_nanos(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the duration as (possibly fractional) seconds, for reporting.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the absolute value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is [`Duration::MIN`].
+    #[must_use]
+    pub fn abs(self) -> Duration {
+        Duration(self.0.checked_abs().expect("Duration::abs overflowed"))
+    }
+
+    /// `true` when the duration is exactly zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` when the duration is strictly positive.
+    #[must_use]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// `true` when the duration is strictly negative.
+    #[must_use]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[must_use]
+    pub const fn checked_add(self, rhs: Duration) -> Option<Duration> {
+        match self.0.checked_add(rhs.0) {
+            Some(ns) => Some(Duration(ns)),
+            None => None,
+        }
+    }
+
+    /// Checked subtraction; `None` on overflow.
+    #[must_use]
+    pub const fn checked_sub(self, rhs: Duration) -> Option<Duration> {
+        match self.0.checked_sub(rhs.0) {
+            Some(ns) => Some(Duration(ns)),
+            None => None,
+        }
+    }
+
+    /// Checked scalar multiplication; `None` on overflow.
+    #[must_use]
+    pub const fn checked_mul(self, k: i64) -> Option<Duration> {
+        match self.0.checked_mul(k) {
+            Some(ns) => Some(Duration(ns)),
+            None => None,
+        }
+    }
+
+    /// Clamps to be at least [`Duration::ZERO`] — the paper's
+    /// `max(d₁ − 2ε, 0)` idiom from Theorem 4.7.
+    #[must_use]
+    pub fn max_zero(self) -> Duration {
+        if self.0 < 0 {
+            Duration::ZERO
+        } else {
+            self
+        }
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    #[must_use]
+    pub fn min(self, other: Duration) -> Duration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: Duration) -> Duration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+
+    fn add(self, rhs: Duration) -> Duration {
+        self.checked_add(rhs).expect("Duration addition overflowed")
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+
+    fn sub(self, rhs: Duration) -> Duration {
+        self.checked_sub(rhs)
+            .expect("Duration subtraction overflowed")
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Duration {
+    type Output = Duration;
+
+    fn neg(self) -> Duration {
+        Duration(self.0.checked_neg().expect("Duration negation overflowed"))
+    }
+}
+
+impl Mul<i64> for Duration {
+    type Output = Duration;
+
+    fn mul(self, k: i64) -> Duration {
+        self.checked_mul(k)
+            .expect("Duration multiplication overflowed")
+    }
+}
+
+impl Mul<Duration> for i64 {
+    type Output = Duration;
+
+    fn mul(self, d: Duration) -> Duration {
+        d * self
+    }
+}
+
+impl Div<i64> for Duration {
+    type Output = Duration;
+
+    fn div(self, k: i64) -> Duration {
+        Duration(self.0 / k)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        let (sign, mag) = if ns < 0 {
+            ("-", ns.unsigned_abs())
+        } else {
+            ("", ns.unsigned_abs())
+        };
+        if mag == 0 {
+            write!(f, "0s")
+        } else if mag % 1_000_000_000 == 0 {
+            write!(f, "{sign}{}s", mag / 1_000_000_000)
+        } else if mag % 1_000_000 == 0 {
+            write!(f, "{sign}{}ms", mag / 1_000_000)
+        } else if mag % 1_000 == 0 {
+            write!(f, "{sign}{}us", mag / 1_000)
+        } else {
+            write!(f, "{sign}{mag}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Duration::from_secs(1), Duration::from_nanos(1_000_000_000));
+        assert_eq!(Duration::from_millis(1), Duration::from_nanos(1_000_000));
+        assert_eq!(Duration::from_micros(1), Duration::from_nanos(1_000));
+        assert_eq!(Duration::from_millis(-3), Duration::from_nanos(-3_000_000));
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let a = Duration::from_nanos(7);
+        let b = Duration::from_nanos(5);
+        assert_eq!(a + b, Duration::from_nanos(12));
+        assert_eq!(a - b, Duration::from_nanos(2));
+        assert_eq!(b - a, Duration::from_nanos(-2));
+        assert_eq!(a * 3, Duration::from_nanos(21));
+        assert_eq!(-a, Duration::from_nanos(-7));
+        assert_eq!(a / 2, Duration::from_nanos(3));
+    }
+
+    #[test]
+    fn max_zero_clamps_negative() {
+        assert_eq!(Duration::from_nanos(-5).max_zero(), Duration::ZERO);
+        assert_eq!(Duration::from_nanos(5).max_zero(), Duration::from_nanos(5));
+        assert_eq!(Duration::ZERO.max_zero(), Duration::ZERO);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Duration::ZERO.is_zero());
+        assert!(Duration::from_nanos(1).is_positive());
+        assert!(Duration::from_nanos(-1).is_negative());
+        assert!(!Duration::from_nanos(-1).is_positive());
+    }
+
+    #[test]
+    fn abs_and_ordering() {
+        assert_eq!(Duration::from_nanos(-9).abs(), Duration::from_nanos(9));
+        assert!(Duration::from_nanos(-9) < Duration::ZERO);
+        assert!(Duration::from_millis(1) < Duration::from_millis(2));
+        assert_eq!(
+            Duration::from_millis(1).max(Duration::from_millis(2)),
+            Duration::from_millis(2)
+        );
+        assert_eq!(
+            Duration::from_millis(1).min(Duration::from_millis(2)),
+            Duration::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn checked_ops_catch_overflow() {
+        assert_eq!(Duration::MAX.checked_add(Duration::NANOSECOND), None);
+        assert_eq!(Duration::MIN.checked_sub(Duration::NANOSECOND), None);
+        assert_eq!(Duration::MAX.checked_mul(2), None);
+        assert_eq!(
+            Duration::from_nanos(2).checked_mul(3),
+            Some(Duration::from_nanos(6))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed")]
+    fn unchecked_add_panics_on_overflow() {
+        let _ = Duration::MAX + Duration::NANOSECOND;
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = [1, 2, 3].iter().map(|&n| Duration::from_nanos(n)).sum();
+        assert_eq!(total, Duration::from_nanos(6));
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(Duration::ZERO.to_string(), "0s");
+        assert_eq!(Duration::from_secs(2).to_string(), "2s");
+        assert_eq!(Duration::from_millis(2).to_string(), "2ms");
+        assert_eq!(Duration::from_micros(2).to_string(), "2us");
+        assert_eq!(Duration::from_nanos(2).to_string(), "2ns");
+        assert_eq!(Duration::from_millis(-2).to_string(), "-2ms");
+        assert_eq!(Duration::from_nanos(1_500).to_string(), "1500ns");
+    }
+
+    #[test]
+    fn as_secs_f64_for_reporting() {
+        assert!((Duration::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+}

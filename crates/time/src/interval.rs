@@ -1,0 +1,231 @@
+//! Message-delay intervals `[d₁, d₂]`.
+
+use core::fmt;
+
+use crate::{Duration, TimeError};
+
+/// A closed interval `[d₁, d₂]` of message delays.
+///
+/// The paper characterizes every communication link by such an interval
+/// (`E_{ij,[d₁,d₂]}`, Section 3.2): a message sent at real time `t` is
+/// delivered at some real time in `[t + d₁, t + d₂]`. `DelayBounds` also
+/// carries the interval arithmetic of the two simulation theorems:
+///
+/// * [`DelayBounds::widen_for_skew`] — Theorem 4.7's
+///   `d'₁ = max(d₁ − 2ε, 0)`, `d'₂ = d₂ + 2ε`: the *virtual* delay an
+///   algorithm designed in the timed-automaton model must tolerate so that
+///   its clock-model transform runs over a physical `[d₁, d₂]` link.
+/// * [`DelayBounds::widen_for_steps`] — Theorem 5.1's `d'₂ = d₂ + kℓ`
+///   widening for the MMT simulation's output buffering.
+///
+/// # Examples
+///
+/// ```
+/// use psync_time::{DelayBounds, Duration};
+///
+/// let physical = DelayBounds::new(Duration::from_millis(2), Duration::from_millis(9))?;
+/// let eps = Duration::from_millis(3);
+/// let virtual_link = physical.widen_for_skew(eps);
+/// assert_eq!(virtual_link.min(), Duration::ZERO);
+/// assert_eq!(virtual_link.max(), Duration::from_millis(15));
+/// # Ok::<(), psync_time::TimeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DelayBounds {
+    min: Duration,
+    max: Duration,
+}
+
+impl DelayBounds {
+    /// Creates the interval `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::NegativeDelay`] if either bound is negative and
+    /// [`TimeError::EmptyInterval`] if `min > max`.
+    pub fn new(min: Duration, max: Duration) -> Result<Self, TimeError> {
+        if min.is_negative() {
+            return Err(TimeError::NegativeDelay(min));
+        }
+        if max.is_negative() {
+            return Err(TimeError::NegativeDelay(max));
+        }
+        if min > max {
+            return Err(TimeError::EmptyInterval { min, max });
+        }
+        Ok(DelayBounds { min, max })
+    }
+
+    /// The interval `[d, d]`: a link with a fixed, known delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is negative.
+    #[must_use]
+    pub fn exact(d: Duration) -> Self {
+        DelayBounds::new(d, d).expect("exact delay must be non-negative")
+    }
+
+    /// The lower delay bound `d₁`.
+    #[must_use]
+    pub const fn min(&self) -> Duration {
+        self.min
+    }
+
+    /// The upper delay bound `d₂`.
+    #[must_use]
+    pub const fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// The interval width `d₂ − d₁` (the link's delay *uncertainty*).
+    #[must_use]
+    pub fn width(&self) -> Duration {
+        self.max - self.min
+    }
+
+    /// `true` when `d` lies in `[d₁, d₂]`.
+    #[must_use]
+    pub fn contains(&self, d: Duration) -> bool {
+        self.min <= d && d <= self.max
+    }
+
+    /// Theorem 4.7 widening: the virtual interval
+    /// `[max(d₁ − 2ε, 0), d₂ + 2ε]` that the timed-automaton algorithm must
+    /// be designed against so that the transformed algorithm is correct over
+    /// this physical interval with clock skew `ε`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is negative.
+    #[must_use]
+    pub fn widen_for_skew(&self, eps: Duration) -> DelayBounds {
+        assert!(!eps.is_negative(), "clock skew must be non-negative");
+        let two_eps = eps * 2;
+        DelayBounds {
+            min: (self.min - two_eps).max_zero(),
+            max: self.max + two_eps,
+        }
+    }
+
+    /// Theorem 5.1 widening: `[d₁, d₂ + kℓ]`, accounting for the MMT
+    /// transformation's pending-output buffer holding an output for at most
+    /// `kℓ` time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is negative or `k < 0`.
+    #[must_use]
+    pub fn widen_for_steps(&self, k: i64, step: Duration) -> DelayBounds {
+        assert!(!step.is_negative(), "step bound must be non-negative");
+        assert!(k >= 0, "output rate k must be non-negative");
+        DelayBounds {
+            min: self.min,
+            max: self.max + step * k,
+        }
+    }
+
+    /// The composed widening of Theorem 5.2:
+    /// `[max(d₁ − 2ε, 0), d₂ + 2ε + kℓ]`.
+    #[must_use]
+    pub fn widen_composed(&self, eps: Duration, k: i64, step: Duration) -> DelayBounds {
+        self.widen_for_skew(eps).widen_for_steps(k, step)
+    }
+}
+
+impl fmt::Display for DelayBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(DelayBounds::new(ms(1), ms(2)).is_ok());
+        assert!(DelayBounds::new(ms(2), ms(2)).is_ok());
+        assert_eq!(
+            DelayBounds::new(ms(3), ms(2)),
+            Err(TimeError::EmptyInterval {
+                min: ms(3),
+                max: ms(2)
+            })
+        );
+        assert_eq!(
+            DelayBounds::new(ms(-1), ms(2)),
+            Err(TimeError::NegativeDelay(ms(-1)))
+        );
+        assert_eq!(
+            DelayBounds::new(ms(0), ms(-2)),
+            Err(TimeError::NegativeDelay(ms(-2)))
+        );
+    }
+
+    #[test]
+    fn exact_interval() {
+        let b = DelayBounds::exact(ms(4));
+        assert_eq!(b.min(), ms(4));
+        assert_eq!(b.max(), ms(4));
+        assert_eq!(b.width(), Duration::ZERO);
+    }
+
+    #[test]
+    fn contains_is_closed() {
+        let b = DelayBounds::new(ms(1), ms(3)).unwrap();
+        assert!(b.contains(ms(1)));
+        assert!(b.contains(ms(2)));
+        assert!(b.contains(ms(3)));
+        assert!(!b.contains(ms(0)));
+        assert!(!b.contains(ms(4)));
+    }
+
+    #[test]
+    fn widen_for_skew_matches_theorem_4_7() {
+        let b = DelayBounds::new(ms(2), ms(9)).unwrap();
+        let w = b.widen_for_skew(ms(3));
+        // d1' = max(2 - 6, 0) = 0; d2' = 9 + 6 = 15.
+        assert_eq!(w.min(), Duration::ZERO);
+        assert_eq!(w.max(), ms(15));
+
+        let w2 = b.widen_for_skew(Duration::from_micros(500));
+        assert_eq!(w2.min(), ms(1));
+        assert_eq!(w2.max(), ms(10));
+    }
+
+    #[test]
+    fn widen_for_steps_matches_theorem_5_1() {
+        let b = DelayBounds::new(ms(1), ms(5)).unwrap();
+        let w = b.widen_for_steps(3, Duration::from_micros(100));
+        assert_eq!(w.min(), ms(1));
+        assert_eq!(w.max(), ms(5) + Duration::from_micros(300));
+    }
+
+    #[test]
+    fn widen_composed_matches_theorem_5_2() {
+        let b = DelayBounds::new(ms(2), ms(9)).unwrap();
+        let w = b.widen_composed(ms(3), 2, Duration::from_micros(100));
+        assert_eq!(w.min(), Duration::ZERO);
+        assert_eq!(w.max(), ms(15) + Duration::from_micros(200));
+    }
+
+    #[test]
+    fn zero_skew_is_identity() {
+        let b = DelayBounds::new(ms(2), ms(9)).unwrap();
+        assert_eq!(b.widen_for_skew(Duration::ZERO), b);
+        assert_eq!(b.widen_for_steps(0, ms(1)), b);
+        assert_eq!(b.widen_for_steps(5, Duration::ZERO), b);
+    }
+
+    #[test]
+    fn display_format() {
+        let b = DelayBounds::new(ms(1), ms(2)).unwrap();
+        assert_eq!(b.to_string(), "[1ms, 2ms]");
+    }
+}

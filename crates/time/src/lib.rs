@@ -1,0 +1,77 @@
+//! Exact discrete time arithmetic for the `psync` workspace.
+//!
+//! The algorithms of Chaudhuri, Gawlick and Lynch (PODC 1993) contain
+//! transition preconditions that compare times for *exact equality* — for
+//! example, Algorithm S applies a pending update when `now = t + d'₂ + δ`
+//! (Figure 3 of the paper) and the send buffer `S_{ij,ε}` forwards a message
+//! only when `c = clock` (Figure 2). Floating point time would silently break
+//! those preconditions, so every quantity of time in this workspace is an
+//! exact signed 64-bit count of **nanoseconds**:
+//!
+//! * [`Time`] — a point on the real-time or clock-time axis (the paper's
+//!   `now` and `clock` components). Always non-negative, mirroring the
+//!   paper's domain `ℜ⁺`.
+//! * [`Duration`] — a signed difference of two [`Time`]s (the paper's `Δt`,
+//!   `Δc`, `ε`, `d₁`, `d₂`, `c`, `δ`, `ℓ`, …).
+//! * [`DelayBounds`] — a closed interval `[d₁, d₂]` of message delays, with
+//!   the widening arithmetic of Theorem 4.7 (`d'₁ = max(d₁ − 2ε, 0)`,
+//!   `d'₂ = d₂ + 2ε`) and Theorem 5.2 (`d'₂ = d₂ + 2ε + kℓ`).
+//!
+//! All arithmetic is checked: overflow panics rather than wrapping, because a
+//! wrapped time would corrupt a simulation silently.
+//!
+//! # Examples
+//!
+//! ```
+//! use psync_time::{Duration, Time, DelayBounds};
+//!
+//! let eps = Duration::from_micros(500);
+//! let net = DelayBounds::new(Duration::from_millis(1), Duration::from_millis(5)).unwrap();
+//! let widened = net.widen_for_skew(eps);
+//! assert_eq!(widened.min(), Duration::ZERO); // max(1ms − 2·0.5ms, 0)
+//! assert_eq!(widened.max(), Duration::from_millis(6));
+//!
+//! let t = Time::ZERO + Duration::from_millis(3);
+//! assert_eq!(t - Time::ZERO, Duration::from_millis(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod duration;
+mod interval;
+mod time;
+
+pub use duration::Duration;
+pub use interval::DelayBounds;
+pub use time::Time;
+
+/// Error returned when constructing an invalid interval or negative time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeError {
+    /// The interval's lower bound exceeded its upper bound.
+    EmptyInterval {
+        /// Offending lower bound.
+        min: Duration,
+        /// Offending upper bound.
+        max: Duration,
+    },
+    /// A delay bound was negative.
+    NegativeDelay(Duration),
+    /// A [`Time`] would have been negative.
+    NegativeTime(i64),
+}
+
+impl core::fmt::Display for TimeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TimeError::EmptyInterval { min, max } => {
+                write!(f, "empty delay interval: min {min} exceeds max {max}")
+            }
+            TimeError::NegativeDelay(d) => write!(f, "negative delay bound: {d}"),
+            TimeError::NegativeTime(ns) => write!(f, "negative time: {ns} ns"),
+        }
+    }
+}
+
+impl std::error::Error for TimeError {}

@@ -1,0 +1,267 @@
+//! Points on the (real or clock) time axis.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+use crate::{Duration, TimeError};
+
+/// A point on the real-time or clock-time axis, in exact nanoseconds since
+/// the start of the execution.
+///
+/// `Time` models the paper's `now` and `clock` state components. Its domain
+/// is the non-negative reals `ℜ⁺` (Definition 2.1), so `Time` is always
+/// `≥ Time::ZERO`; arithmetic that would produce a negative time panics (or
+/// returns `None`/`Err` in the checked variants).
+///
+/// # Examples
+///
+/// ```
+/// use psync_time::{Duration, Time};
+///
+/// let send = Time::ZERO + Duration::from_millis(10);
+/// let recv = send + Duration::from_millis(3);
+/// assert_eq!(recv - send, Duration::from_millis(3));
+/// assert!(recv.checked_sub_duration(Duration::from_secs(1)).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(i64);
+
+impl Time {
+    /// The start of every execution (`now = 0` in every start state, axiom S1).
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time.
+    pub const MAX: Time = Time(i64::MAX);
+
+    /// Creates a time from a non-negative nanosecond count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::NegativeTime`] if `ns < 0`.
+    pub const fn from_nanos(ns: i64) -> Result<Self, TimeError> {
+        if ns < 0 {
+            Err(TimeError::NegativeTime(ns))
+        } else {
+            Ok(Time(ns))
+        }
+    }
+
+    /// Returns the nanosecond count.
+    #[must_use]
+    pub const fn as_nanos(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the time as fractional seconds, for reporting only.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The duration since the start of the execution.
+    #[must_use]
+    pub const fn elapsed(self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+
+    /// Checked addition of a (possibly negative) duration.
+    ///
+    /// Returns `None` if the result would be negative or overflow.
+    #[must_use]
+    pub const fn checked_add_duration(self, d: Duration) -> Option<Time> {
+        match self.0.checked_add(d.as_nanos()) {
+            Some(ns) if ns >= 0 => Some(Time(ns)),
+            _ => None,
+        }
+    }
+
+    /// Checked subtraction of a duration.
+    ///
+    /// Returns `None` if the result would be negative or overflow.
+    #[must_use]
+    pub const fn checked_sub_duration(self, d: Duration) -> Option<Time> {
+        match self.0.checked_sub(d.as_nanos()) {
+            Some(ns) if ns >= 0 => Some(Time(ns)),
+            _ => None,
+        }
+    }
+
+    /// Saturating addition: clamps at [`Time::ZERO`] and [`Time::MAX`].
+    #[must_use]
+    pub const fn saturating_add_duration(self, d: Duration) -> Time {
+        match self.0.checked_add(d.as_nanos()) {
+            Some(ns) if ns >= 0 => Time(ns),
+            Some(_) => Time::ZERO,
+            None => {
+                if d.as_nanos() > 0 {
+                    Time::MAX
+                } else {
+                    Time::ZERO
+                }
+            }
+        }
+    }
+
+    /// The absolute skew `|self − other|`, as used by the clock predicate
+    /// `C_ε`: `|now − clock| ≤ ε` (Definition 2.5).
+    #[must_use]
+    pub fn skew(self, other: Time) -> Duration {
+        (self - other).abs()
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    #[must_use]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+
+    /// # Panics
+    ///
+    /// Panics if the result would be negative or overflow.
+    fn add(self, d: Duration) -> Time {
+        self.checked_add_duration(d)
+            .expect("Time + Duration out of range")
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+
+    /// # Panics
+    ///
+    /// Panics if the result would be negative or overflow.
+    fn sub(self, d: Duration) -> Time {
+        self.checked_sub_duration(d)
+            .expect("Time - Duration out of range")
+    }
+}
+
+impl SubAssign<Duration> for Time {
+    fn sub_assign(&mut self, d: Duration) {
+        *self = *self - d;
+    }
+}
+
+impl Sub for Time {
+    type Output = Duration;
+
+    fn sub(self, rhs: Time) -> Duration {
+        Duration::from_nanos(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Time difference overflowed"),
+        )
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_execution_start() {
+        assert_eq!(Time::ZERO.as_nanos(), 0);
+        assert_eq!(Time::default(), Time::ZERO);
+    }
+
+    #[test]
+    fn from_nanos_rejects_negative() {
+        assert_eq!(Time::from_nanos(-1), Err(TimeError::NegativeTime(-1)));
+        assert_eq!(Time::from_nanos(5).unwrap().as_nanos(), 5);
+    }
+
+    #[test]
+    fn add_sub_duration_roundtrip() {
+        let t = Time::ZERO + Duration::from_millis(10);
+        assert_eq!((t - Duration::from_millis(4)).as_nanos(), 6_000_000);
+        assert_eq!(t - Time::ZERO, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn negative_duration_addition_moves_backwards() {
+        let t = Time::ZERO + Duration::from_millis(10);
+        assert_eq!(
+            t + Duration::from_millis(-3),
+            Time::ZERO + Duration::from_millis(7)
+        );
+    }
+
+    #[test]
+    fn checked_ops_guard_domain() {
+        assert_eq!(Time::ZERO.checked_sub_duration(Duration::NANOSECOND), None);
+        assert_eq!(
+            Time::ZERO.checked_add_duration(Duration::from_nanos(-1)),
+            None
+        );
+        assert_eq!(Time::MAX.checked_add_duration(Duration::NANOSECOND), None);
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        assert_eq!(
+            Time::ZERO.saturating_add_duration(Duration::from_nanos(-5)),
+            Time::ZERO
+        );
+        assert_eq!(
+            Time::MAX.saturating_add_duration(Duration::NANOSECOND),
+            Time::MAX
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sub_below_zero_panics() {
+        let _ = Time::ZERO - Duration::NANOSECOND;
+    }
+
+    #[test]
+    fn skew_is_symmetric_abs() {
+        let a = Time::ZERO + Duration::from_millis(5);
+        let b = Time::ZERO + Duration::from_millis(8);
+        assert_eq!(a.skew(b), Duration::from_millis(3));
+        assert_eq!(b.skew(a), Duration::from_millis(3));
+        assert_eq!(a.skew(a), Duration::ZERO);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Time::ZERO + Duration::from_millis(5);
+        let b = Time::ZERO + Duration::from_millis(8);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!((Time::ZERO + Duration::from_millis(3)).to_string(), "t=3ms");
+    }
+}

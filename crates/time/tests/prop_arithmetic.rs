@@ -1,0 +1,116 @@
+//! Property tests for the exact time arithmetic: the algebraic laws the
+//! algorithms silently rely on (preconditions like `now = t + d'₂ + δ`
+//! demand that arithmetic is exact, associative and order-compatible).
+
+use proptest::prelude::*;
+use psync_time::{DelayBounds, Duration, Time};
+
+/// Durations small enough that triple sums cannot overflow.
+fn dur() -> impl Strategy<Value = Duration> {
+    (-1_000_000_000_000i64..1_000_000_000_000).prop_map(Duration::from_nanos)
+}
+
+fn pos_dur() -> impl Strategy<Value = Duration> {
+    (0i64..1_000_000_000_000).prop_map(Duration::from_nanos)
+}
+
+fn time() -> impl Strategy<Value = Time> {
+    (0i64..1_000_000_000_000).prop_map(|ns| Time::from_nanos(ns).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn duration_addition_is_commutative_and_associative(a in dur(), b in dur(), c in dur()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn duration_sub_is_inverse_of_add(a in dur(), b in dur()) {
+        prop_assert_eq!(a + b - b, a);
+        prop_assert_eq!(a - b + b, a);
+    }
+
+    #[test]
+    fn negation_and_abs(a in dur()) {
+        prop_assert_eq!(-(-a), a);
+        prop_assert!(!a.abs().is_negative());
+        prop_assert_eq!(a.abs(), (-a).abs());
+    }
+
+    #[test]
+    fn scalar_multiplication_distributes(a in dur(), k in -1000i64..1000) {
+        prop_assert_eq!(a * k, k * a);
+        if k != 0 {
+            prop_assert_eq!((a * k).as_nanos(), a.as_nanos() * k);
+        }
+    }
+
+    #[test]
+    fn max_zero_is_idempotent_clamp(a in dur()) {
+        let m = a.max_zero();
+        prop_assert!(!m.is_negative());
+        prop_assert_eq!(m.max_zero(), m);
+        if !a.is_negative() {
+            prop_assert_eq!(m, a);
+        }
+    }
+
+    #[test]
+    fn time_duration_roundtrip(t in time(), d in pos_dur()) {
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert!(t + d >= t);
+    }
+
+    #[test]
+    fn skew_is_a_metric_ish(a in time(), b in time(), c in time()) {
+        prop_assert_eq!(a.skew(b), b.skew(a));
+        prop_assert_eq!(a.skew(a), Duration::ZERO);
+        // Triangle inequality.
+        prop_assert!(a.skew(c) <= a.skew(b) + b.skew(c));
+    }
+
+    #[test]
+    fn ordering_is_translation_invariant(a in time(), b in time(), d in pos_dur()) {
+        prop_assert_eq!(a <= b, a + d <= b + d);
+    }
+
+    #[test]
+    fn widening_monotone_in_eps(d1 in pos_dur(), width in pos_dur(), e1 in pos_dur(), e2 in pos_dur()) {
+        let bounds = DelayBounds::new(d1, d1 + width).unwrap();
+        let (small, large) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        let ws = bounds.widen_for_skew(small);
+        let wl = bounds.widen_for_skew(large);
+        prop_assert!(wl.min() <= ws.min());
+        prop_assert!(wl.max() >= ws.max());
+        // Widening always contains the original interval.
+        prop_assert!(ws.min() <= bounds.min() && ws.max() >= bounds.max());
+    }
+
+    #[test]
+    fn widening_composes(d1 in pos_dur(), width in pos_dur(), e in pos_dur(), k in 0i64..10, l in pos_dur()) {
+        let bounds = DelayBounds::new(d1, d1 + width).unwrap();
+        let direct = bounds.widen_composed(e, k, l);
+        let staged = bounds.widen_for_skew(e).widen_for_steps(k, l);
+        prop_assert_eq!(direct, staged);
+    }
+
+    #[test]
+    fn contains_respects_bounds(d1 in pos_dur(), width in pos_dur(), probe in pos_dur()) {
+        let bounds = DelayBounds::new(d1, d1 + width).unwrap();
+        prop_assert_eq!(
+            bounds.contains(probe),
+            probe >= bounds.min() && probe <= bounds.max()
+        );
+    }
+
+    #[test]
+    fn saturating_add_never_panics_and_clamps(t in time(), d in dur()) {
+        let r = t.saturating_add_duration(d);
+        prop_assert!(r >= Time::ZERO);
+        if let Some(exact) = t.checked_add_duration(d) {
+            prop_assert_eq!(r, exact);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Conformance checking: the `solve` relation (Definition 2.10) over an
+//! adversary grid.
+//!
+//! Definition 2.10 quantifies over *every* admissible execution: `D`
+//! solves `P` iff every admissible timed trace of `D` is in `tseq(P)`. A
+//! simulator cannot enumerate all executions, but it can sweep a grid of
+//! adversaries — schedulers, clock behaviors, delay policies, workload
+//! seeds — and check the problem on each recorded trace. [`Conformance`]
+//! packages that sweep: give it a system factory (seed → engine) and a
+//! trace extractor, and it reports every seed that produced a violating
+//! trace, with the violation message.
+//!
+//! This is how the integration suites and experiment E8 test Theorem 6.5;
+//! the harness makes the pattern reusable for user systems.
+
+use psync_automata::{Action, Execution, Problem, TimedTrace, Verdict};
+use psync_executor::{Engine, EngineError};
+
+/// One failed run of a conformance sweep.
+#[derive(Debug)]
+pub struct Counterexample<A: Action> {
+    /// The seed that produced it.
+    pub seed: u64,
+    /// Why it failed: an engine error (ill-formed composition) or a
+    /// problem violation.
+    pub reason: String,
+    /// The recorded execution, when the run completed.
+    pub execution: Option<Execution<A>>,
+}
+
+/// The report of a sweep.
+#[derive(Debug)]
+pub struct ConformanceReport<A: Action> {
+    /// How many runs were executed.
+    pub runs: usize,
+    /// The failing runs (empty = conforms on the grid).
+    pub counterexamples: Vec<Counterexample<A>>,
+}
+
+impl<A: Action> ConformanceReport<A> {
+    /// `true` when every run's trace satisfied the problem.
+    #[must_use]
+    pub fn conforms(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+}
+
+type Extractor<A> = Box<dyn Fn(&Execution<A>) -> TimedTrace<A>>;
+
+/// A reusable conformance sweep for one system family and one problem.
+///
+/// # Examples
+///
+/// ```
+/// use psync_automata::problem::{FnProblem, Verdict};
+/// use psync_automata::toys::{BeepAction, Beeper};
+/// use psync_automata::TimedTrace;
+/// use psync_executor::Engine;
+/// use psync_time::{Duration, Time};
+/// use psync_verify::Conformance;
+///
+/// fn ms(n: i64) -> Duration {
+///     Duration::from_millis(n)
+/// }
+///
+/// // Family: a beeper whose period depends on the seed; all ≥ 5 ms.
+/// let harness = Conformance::new(
+///     |seed| {
+///         Engine::builder()
+///             .timed(Beeper::new(ms(5 + (seed as i64 % 3))))
+///             .horizon(Time::ZERO + ms(40))
+///             .build()
+///     },
+///     |e| e.t_trace(),
+/// );
+/// let spaced = FnProblem::new("beeps ≥ 5 ms apart", |tr: &TimedTrace<BeepAction>| {
+///     for w in tr.as_slice().windows(2) {
+///         if w[1].1 - w[0].1 < ms(5) {
+///             return Verdict::violated("too close");
+///         }
+///     }
+///     Verdict::Holds
+/// });
+/// let report = harness.sweep(&spaced, 0..16);
+/// assert!(report.conforms());
+/// ```
+pub struct Conformance<A: Action> {
+    build: Box<dyn Fn(u64) -> Engine<A>>,
+    extract: Extractor<A>,
+}
+
+impl<A: Action> Conformance<A> {
+    /// Creates a sweep from a seeded system factory and a trace extractor
+    /// (typically `psync_core::app_trace` for application-level
+    /// problems, or `Execution::t_trace` for raw visible traces).
+    #[must_use]
+    pub fn new(
+        build: impl Fn(u64) -> Engine<A> + 'static,
+        extract: impl Fn(&Execution<A>) -> TimedTrace<A> + 'static,
+    ) -> Self {
+        Conformance {
+            build: Box::new(build),
+            extract: Box::new(extract),
+        }
+    }
+
+    /// Runs the system once per seed and checks `problem` on each trace.
+    pub fn sweep(
+        &self,
+        problem: &dyn Problem<A>,
+        seeds: impl IntoIterator<Item = u64>,
+    ) -> ConformanceReport<A> {
+        let mut runs = 0;
+        let mut counterexamples = Vec::new();
+        for seed in seeds {
+            runs += 1;
+            let mut engine = (self.build)(seed);
+            match engine.run() {
+                Err(e @ EngineError::EventLimitExceeded { .. })
+                | Err(e @ EngineError::TimeStopped { .. })
+                | Err(e) => {
+                    counterexamples.push(Counterexample {
+                        seed,
+                        reason: format!("engine error: {e}"),
+                        execution: None,
+                    });
+                }
+                Ok(run) => {
+                    let trace = (self.extract)(&run.execution);
+                    if let Verdict::Violated(why) = problem.contains(&trace) {
+                        counterexamples.push(Counterexample {
+                            seed,
+                            reason: why,
+                            execution: Some(run.execution),
+                        });
+                    }
+                }
+            }
+        }
+        ConformanceReport {
+            runs,
+            counterexamples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_automata::problem::FnProblem;
+    use psync_automata::toys::{BeepAction, Beeper};
+    use psync_time::{Duration, Time};
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn beeper_engine(period_ms: i64) -> Engine<BeepAction> {
+        Engine::builder()
+            .timed(Beeper::new(ms(period_ms)))
+            .horizon(Time::ZERO + ms(50))
+            .build()
+    }
+
+    #[test]
+    fn conforming_family_passes() {
+        // Problem: beeps are at least 5 ms apart. Build with period 5+seed.
+        let harness =
+            Conformance::new(|seed| beeper_engine(5 + (seed as i64 % 5)), |e| e.t_trace());
+        let p = FnProblem::new("spaced beeps", |tr: &TimedTrace<BeepAction>| {
+            for w in tr.as_slice().windows(2) {
+                if w[1].1 - w[0].1 < ms(5) {
+                    return Verdict::violated("beeps too close");
+                }
+            }
+            Verdict::Holds
+        });
+        let report = harness.sweep(&p, 0..10);
+        assert_eq!(report.runs, 10);
+        assert!(
+            report.conforms(),
+            "{:?}",
+            report.counterexamples.first().map(|c| &c.reason)
+        );
+    }
+
+    #[test]
+    fn violating_seeds_are_reported() {
+        // Periods 3..8: seeds giving period < 5 violate.
+        let harness =
+            Conformance::new(|seed| beeper_engine(3 + (seed as i64 % 5)), |e| e.t_trace());
+        let p = FnProblem::new("spaced beeps", |tr: &TimedTrace<BeepAction>| {
+            for w in tr.as_slice().windows(2) {
+                if w[1].1 - w[0].1 < ms(5) {
+                    return Verdict::violated("beeps too close");
+                }
+            }
+            Verdict::Holds
+        });
+        let report = harness.sweep(&p, 0..5);
+        assert!(!report.conforms());
+        // Seeds 0 (period 3) and 1 (period 4) violate; 2,3,4 conform.
+        let bad: Vec<u64> = report.counterexamples.iter().map(|c| c.seed).collect();
+        assert_eq!(bad, vec![0, 1]);
+        assert!(report.counterexamples[0].execution.is_some());
+    }
+
+    #[test]
+    fn engine_errors_become_counterexamples() {
+        // Two identical beepers: incompatible composition → engine error.
+        let harness = Conformance::new(
+            |_| {
+                Engine::builder()
+                    .timed(Beeper::new(ms(5)))
+                    .timed(Beeper::new(ms(5)))
+                    .horizon(Time::ZERO + ms(20))
+                    .build()
+            },
+            |e| e.t_trace(),
+        );
+        let p = FnProblem::new("anything", |_: &TimedTrace<BeepAction>| Verdict::Holds);
+        let report = harness.sweep(&p, [1u64]);
+        assert!(!report.conforms());
+        assert!(report.counterexamples[0].reason.contains("engine error"));
+    }
+}

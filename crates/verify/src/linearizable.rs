@@ -1,0 +1,376 @@
+//! The linearizability / ε-superlinearizability decision procedure.
+
+use std::collections::HashSet;
+
+use psync_automata::Verdict;
+use psync_register::history::{OpKind, Operation};
+use psync_register::Value;
+use psync_time::{Duration, Time};
+
+/// Decides linearizability of a register history (Section 6.1).
+///
+/// `ops` must be a well-formed history (as produced by
+/// [`psync_register::history::extract`]): per node, operations do not
+/// overlap. Operations with `responded = None` (cut off by the run's
+/// horizon) are *optional*: they may be linearized or not.
+///
+/// # Examples
+///
+/// ```
+/// use psync_net::NodeId;
+/// use psync_register::history::{OpKind, Operation};
+/// use psync_register::Value;
+/// use psync_time::{Duration, Time};
+/// use psync_verify::check_linearizable;
+///
+/// let t = |n| Time::ZERO + Duration::from_millis(n);
+/// // w(1) on node 0 overlaps a read on node 1 returning 1: fine.
+/// let ops = vec![
+///     Operation { node: NodeId(0), kind: OpKind::Write { value: Value(1) },
+///                 invoked: t(0), responded: Some(t(10)) },
+///     Operation { node: NodeId(1), kind: OpKind::Read { returned: Value(1) },
+///                 invoked: t(5), responded: Some(t(7)) },
+/// ];
+/// assert!(check_linearizable(&ops, Value::INITIAL).holds());
+/// ```
+#[must_use]
+pub fn check_linearizable(ops: &[Operation], initial: Value) -> Verdict {
+    search(ops, initial, Duration::ZERO)
+}
+
+/// Decides ε-superlinearizability (Section 6.2): linearizable, with every
+/// linearization point at least `slack` (the paper's `2ε`) after its
+/// operation's invocation.
+#[must_use]
+pub fn check_superlinearizable(ops: &[Operation], initial: Value, slack: Duration) -> Verdict {
+    assert!(!slack.is_negative(), "slack must be non-negative");
+    search(ops, initial, slack)
+}
+
+/// Per-node sequences plus the shared search machinery.
+struct Searcher<'a> {
+    /// ops, grouped per node, each group in invocation order.
+    seqs: Vec<Vec<&'a Operation>>,
+    slack: Duration,
+    /// Visited (frontier, value, floor) states that did not lead to
+    /// success.
+    seen: HashSet<(Vec<usize>, Value, Time)>,
+}
+
+fn search(ops: &[Operation], initial: Value, slack: Duration) -> Verdict {
+    let max_node = ops.iter().map(|o| o.node.0).max().map_or(0, |m| m + 1);
+    let mut seqs: Vec<Vec<&Operation>> = vec![Vec::new(); max_node];
+    for o in ops {
+        seqs[o.node.0].push(o);
+    }
+    for (i, seq) in seqs.iter().enumerate() {
+        for w in seq.windows(2) {
+            let prev_end = w[0].responded.unwrap_or(Time::MAX);
+            assert!(
+                prev_end <= w[1].invoked,
+                "history is not sequential at node {i}: \
+                 op responding at {prev_end} overlaps one invoked at {}",
+                w[1].invoked
+            );
+        }
+    }
+    let mut s = Searcher {
+        seqs,
+        slack,
+        seen: HashSet::new(),
+    };
+    let idx = vec![0usize; max_node];
+    if s.dfs(&idx, initial, Time::ZERO) {
+        Verdict::Holds
+    } else {
+        Verdict::violated(describe_failure(ops))
+    }
+}
+
+impl<'a> Searcher<'a> {
+    /// `idx[i]` = how many of node `i`'s ops are linearized; `value` = the
+    /// register after them; `floor` = the earliest time the next
+    /// linearization point may take.
+    fn dfs(&mut self, idx: &[usize], value: Value, floor: Time) -> bool {
+        // Success: everything left is optional (open operations).
+        if self
+            .seqs
+            .iter()
+            .zip(idx)
+            .all(|(seq, &i)| seq[i..].iter().all(|o| o.responded.is_none()))
+        {
+            return true;
+        }
+        if !self.seen.insert((idx.to_vec(), value, floor)) {
+            return false;
+        }
+        // An op may be linearized next iff no other unlinearized op
+        // responded strictly before its invocation. Per-node sequences are
+        // time-ordered, so only each node's next op matters for the bound.
+        let next_res: Vec<Time> = self
+            .seqs
+            .iter()
+            .zip(idx)
+            .map(|(seq, &i)| {
+                seq.get(i)
+                    .map_or(Time::MAX, |o| o.responded.unwrap_or(Time::MAX))
+            })
+            .collect();
+        let min_res = |skip: usize| {
+            next_res
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != skip)
+                .map(|(_, &t)| t)
+                .min()
+                .unwrap_or(Time::MAX)
+        };
+        for i in 0..self.seqs.len() {
+            let Some(op) = self.seqs[i].get(idx[i]) else {
+                continue;
+            };
+            let op = *op;
+            if op.invoked > min_res(i) {
+                continue; // someone else must be linearized first
+            }
+            // The linearization point: as early as legality allows.
+            let point = floor.max(op.invoked + self.slack);
+            if let Some(res) = op.responded {
+                if point > res {
+                    continue; // cannot fit the point inside the interval
+                }
+            }
+            let next_value = match op.kind {
+                OpKind::Write { value: v } => v,
+                OpKind::Read { returned } => {
+                    if returned != value {
+                        continue; // would read the wrong value
+                    }
+                    value
+                }
+            };
+            let mut next_idx = idx.to_vec();
+            next_idx[i] += 1;
+            if self.dfs(&next_idx, next_value, point) {
+                return true;
+            }
+            // An *open* op may also be skipped entirely (it never took
+            // effect). Only last-of-node ops can be open.
+            if op.responded.is_none() {
+                let mut skip_idx = idx.to_vec();
+                skip_idx[i] += 1;
+                if self.dfs(&skip_idx, value, floor) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+fn describe_failure(ops: &[Operation]) -> String {
+    let reads = ops.iter().filter(|o| o.is_read()).count();
+    format!(
+        "no valid linearization of {} operations ({} reads, {} writes)",
+        ops.len(),
+        reads,
+        ops.len() - reads
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_net::NodeId;
+
+    fn t(n: i64) -> Time {
+        Time::ZERO + Duration::from_millis(n)
+    }
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn write(node: usize, v: u64, inv: i64, res: i64) -> Operation {
+        Operation {
+            node: NodeId(node),
+            kind: OpKind::Write { value: Value(v) },
+            invoked: t(inv),
+            responded: Some(t(res)),
+        }
+    }
+
+    fn read(node: usize, v: u64, inv: i64, res: i64) -> Operation {
+        Operation {
+            node: NodeId(node),
+            kind: OpKind::Read { returned: Value(v) },
+            invoked: t(inv),
+            responded: Some(t(res)),
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(check_linearizable(&[], Value::INITIAL).holds());
+    }
+
+    #[test]
+    fn sequential_read_your_write() {
+        let ops = vec![write(0, 1, 0, 2), read(0, 1, 3, 4)];
+        assert!(check_linearizable(&ops, Value::INITIAL).holds());
+    }
+
+    #[test]
+    fn stale_read_after_write_completes_is_rejected() {
+        // Write fully done by 2 ms; read starting at 3 ms returns v0.
+        let ops = vec![write(0, 1, 0, 2), read(1, 0, 3, 4)];
+        assert!(!check_linearizable(&ops, Value::INITIAL).holds());
+    }
+
+    #[test]
+    fn concurrent_read_may_return_old_or_new() {
+        for returned in [0u64, 1u64] {
+            let ops = vec![write(0, 1, 0, 10), read(1, returned, 2, 5)];
+            assert!(
+                check_linearizable(&ops, Value::INITIAL).holds(),
+                "concurrent read of {returned} must be allowed"
+            );
+        }
+    }
+
+    #[test]
+    fn read_of_never_written_value_rejected() {
+        let ops = vec![read(0, 42, 0, 1)];
+        assert!(!check_linearizable(&ops, Value::INITIAL).holds());
+    }
+
+    #[test]
+    fn new_old_inversion_rejected() {
+        // Classic violation: two sequential reads observe new then old.
+        let ops = vec![
+            write(0, 1, 0, 10),
+            read(1, 1, 2, 4), // sees the new value…
+            read(1, 0, 5, 7), // …then the old one again
+        ];
+        assert!(!check_linearizable(&ops, Value::INITIAL).holds());
+    }
+
+    #[test]
+    fn interleaved_writers_with_consistent_readers() {
+        let ops = vec![
+            write(0, 1, 0, 10),
+            write(1, 2, 2, 12),
+            read(2, 1, 11, 13), // w1 then read(1): w2 must come after
+            read(2, 2, 14, 16),
+        ];
+        assert!(check_linearizable(&ops, Value::INITIAL).holds());
+    }
+
+    #[test]
+    fn readers_disagreeing_on_order_rejected() {
+        // Two concurrent writes; node 2 sees 1 then 2, node 3 sees 2 then 1
+        // — after all writes completed, impossible.
+        let ops = vec![
+            write(0, 1, 0, 10),
+            write(1, 2, 0, 10),
+            read(2, 1, 11, 12),
+            read(2, 2, 13, 14),
+            read(3, 2, 11, 12),
+            read(3, 1, 13, 14),
+        ];
+        assert!(!check_linearizable(&ops, Value::INITIAL).holds());
+    }
+
+    #[test]
+    fn open_write_may_or_may_not_take_effect() {
+        let open_write = Operation {
+            node: NodeId(0),
+            kind: OpKind::Write { value: Value(1) },
+            invoked: t(0),
+            responded: None,
+        };
+        // Read of the open write's value: allowed (it took effect).
+        let ops = vec![open_write, read(1, 1, 5, 6)];
+        assert!(check_linearizable(&ops, Value::INITIAL).holds());
+        // Read of v0 after the open write started: also allowed (it did
+        // not take effect yet).
+        let ops = vec![open_write, read(1, 0, 5, 6)];
+        assert!(check_linearizable(&ops, Value::INITIAL).holds());
+    }
+
+    #[test]
+    fn superlinearizability_requires_late_points() {
+        // Read wholly inside [0, 3] with slack 2: point in [2, 3] — fine.
+        let ops = vec![read(0, 0, 0, 3)];
+        assert!(check_superlinearizable(&ops, Value::INITIAL, ms(2)).holds());
+        // Slack 4 makes the earliest legal point 4 > res 3 — impossible.
+        assert!(!check_superlinearizable(&ops, Value::INITIAL, ms(4)).holds());
+    }
+
+    #[test]
+    fn superlinearizability_is_stronger_than_linearizability() {
+        // Linearizable but not 2ms-superlinearizable: the read must
+        // observe the write, so point(w) < point(r); with slack 2 the
+        // write's earliest point is 2, the read must be ≥ its own inv+2 =
+        // 7... here r = [5,6]: inv+2 = 7 > 6.
+        let ops = vec![write(0, 1, 0, 4), read(1, 1, 5, 6)];
+        assert!(check_linearizable(&ops, Value::INITIAL).holds());
+        assert!(!check_superlinearizable(&ops, Value::INITIAL, ms(2)).holds());
+    }
+
+    #[test]
+    fn superlinearizable_ordering_through_floor() {
+        // The floor propagates: op A's point at 12 forces op B's point
+        // ≥ 12 even though B's interval allows earlier.
+        let a = Operation {
+            node: NodeId(0),
+            kind: OpKind::Write { value: Value(1) },
+            invoked: t(10),
+            responded: Some(t(20)),
+        };
+        let b = Operation {
+            node: NodeId(1),
+            kind: OpKind::Read { returned: Value(1) },
+            invoked: t(11),
+            responded: Some(t(12)),
+        };
+        // b must come after a (it reads 1); a's earliest point is 10+2=12;
+        // b's point must be ≥ 12 and ≥ 11+2 = 13 → but b ends at 12.
+        assert!(!check_superlinearizable(&[a, b], Value::INITIAL, ms(2)).holds());
+    }
+
+    #[test]
+    #[should_panic(expected = "not sequential")]
+    fn overlapping_ops_at_one_node_rejected() {
+        let ops = vec![read(0, 0, 0, 5), read(0, 0, 3, 8)];
+        let _ = check_linearizable(&ops, Value::INITIAL);
+    }
+
+    #[test]
+    fn long_sequential_history_is_fast() {
+        // 600 strictly sequential ops across 3 nodes: exercises the
+        // memoized frontier search.
+        let mut ops = Vec::new();
+        let mut time = 0i64;
+        for k in 0..200u64 {
+            let node = (k % 3) as usize;
+            ops.push(write(node, k + 1, time, time + 1));
+            let last = k + 1;
+            time += 2;
+            ops.push(read(((k + 1) % 3) as usize, last, time, time + 1));
+            time += 2;
+        }
+        assert!(check_linearizable(&ops, Value::INITIAL).holds());
+    }
+
+    #[test]
+    fn violation_message_names_counts() {
+        let ops = vec![read(0, 42, 0, 1)];
+        let v = check_linearizable(&ops, Value::INITIAL);
+        let Verdict::Violated(msg) = v else {
+            panic!("expected violation")
+        };
+        assert!(msg.contains("1 operations"));
+        assert!(msg.contains("1 reads"));
+    }
+}

@@ -1,0 +1,308 @@
+//! Linearizability for generalized objects ([`ObjectSpec`]) — checker and
+//! history extraction for the "other shared memory objects" extension.
+
+use std::collections::HashSet;
+
+use psync_automata::{TimedTrace, Verdict};
+use psync_net::{NodeId, SysAction};
+use psync_register::history::ExtractError;
+use psync_register::object::ObjectSpec;
+use psync_register::{ObjAction, ObjOp};
+use psync_time::Time;
+
+/// What a generalized operation did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjOpKind<O: ObjectSpec> {
+    /// A blind update.
+    Update(O::Update),
+    /// A query that returned the given output.
+    Query(O::Output),
+}
+
+/// One generalized operation interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjOperation<O: ObjectSpec> {
+    /// The invoking node.
+    pub node: NodeId,
+    /// Update or query.
+    pub kind: ObjOpKind<O>,
+    /// Invocation time.
+    pub invoked: Time,
+    /// Response time (`None` = cut off by the horizon).
+    pub responded: Option<Time>,
+}
+
+/// Parses a generalized-object application trace into a history, enforcing
+/// the alternation condition (same rules as the register extractor).
+///
+/// # Errors
+///
+/// See [`ExtractError`].
+pub fn extract_object_history<O: ObjectSpec>(
+    trace: &TimedTrace<ObjAction<O>>,
+    n: usize,
+) -> Result<Vec<ObjOperation<O>>, ExtractError> {
+    let mut outstanding: Vec<Option<(ObjOp<O>, Time)>> = vec![None; n];
+    let mut ops = Vec::new();
+    for (a, t) in trace.iter() {
+        let SysAction::App(op) = a else { continue };
+        let node = op.node();
+        assert!(node.0 < n, "trace mentions node {node} outside 0..{n}");
+        match op {
+            ObjOp::Do { .. } | ObjOp::Query { .. } => {
+                if outstanding[node.0].is_some() {
+                    return Err(ExtractError::EnvironmentViolation { node, at: t });
+                }
+                outstanding[node.0] = Some((op.clone(), t));
+            }
+            ObjOp::Done { .. } => match outstanding[node.0].take() {
+                Some((ObjOp::Do { update, .. }, inv)) => ops.push(ObjOperation {
+                    node,
+                    kind: ObjOpKind::Update(update),
+                    invoked: inv,
+                    responded: Some(t),
+                }),
+                other => {
+                    return Err(ExtractError::SystemViolation {
+                        node,
+                        at: t,
+                        what: format!("DONE answering {other:?}"),
+                    })
+                }
+            },
+            ObjOp::Answer { output, .. } => match outstanding[node.0].take() {
+                Some((ObjOp::Query { .. }, inv)) => ops.push(ObjOperation {
+                    node,
+                    kind: ObjOpKind::Query(output.clone()),
+                    invoked: inv,
+                    responded: Some(t),
+                }),
+                other => {
+                    return Err(ExtractError::SystemViolation {
+                        node,
+                        at: t,
+                        what: format!("ANSWER answering {other:?}"),
+                    })
+                }
+            },
+            ObjOp::Apply { .. } => {}
+        }
+    }
+    for slot in outstanding.into_iter().flatten() {
+        if let (ObjOp::Do { node, update }, inv) = slot {
+            ops.push(ObjOperation {
+                node,
+                kind: ObjOpKind::Update(update),
+                invoked: inv,
+                responded: None,
+            });
+        }
+    }
+    ops.sort_by_key(|o| o.invoked);
+    Ok(ops)
+}
+
+/// Decides linearizability of a generalized-object history against its
+/// sequential specification — the same memoized frontier search as the
+/// register checker, with the register's value semantics replaced by
+/// `spec.apply` / `spec.query`.
+#[must_use]
+pub fn check_object_linearizable<O: ObjectSpec>(spec: &O, ops: &[ObjOperation<O>]) -> Verdict {
+    let max_node = ops.iter().map(|o| o.node.0).max().map_or(0, |m| m + 1);
+    let mut seqs: Vec<Vec<&ObjOperation<O>>> = vec![Vec::new(); max_node];
+    for o in ops {
+        seqs[o.node.0].push(o);
+    }
+    for (i, seq) in seqs.iter().enumerate() {
+        for w in seq.windows(2) {
+            let prev_end = w[0].responded.unwrap_or(Time::MAX);
+            assert!(
+                prev_end <= w[1].invoked,
+                "history is not sequential at node {i}"
+            );
+        }
+    }
+    let mut seen: HashSet<(Vec<usize>, O::State)> = HashSet::new();
+    let idx = vec![0usize; max_node];
+    if dfs(spec, &seqs, &mut seen, &idx, &spec.initial()) {
+        Verdict::Holds
+    } else {
+        Verdict::violated(format!(
+            "no valid linearization of {} object operations",
+            ops.len()
+        ))
+    }
+}
+
+fn dfs<O: ObjectSpec>(
+    spec: &O,
+    seqs: &[Vec<&ObjOperation<O>>],
+    seen: &mut HashSet<(Vec<usize>, O::State)>,
+    idx: &[usize],
+    state: &O::State,
+) -> bool {
+    if seqs
+        .iter()
+        .zip(idx)
+        .all(|(seq, &i)| seq[i..].iter().all(|o| o.responded.is_none()))
+    {
+        return true;
+    }
+    if !seen.insert((idx.to_vec(), state.clone())) {
+        return false;
+    }
+    let next_res: Vec<Time> = seqs
+        .iter()
+        .zip(idx)
+        .map(|(seq, &i)| {
+            seq.get(i)
+                .map_or(Time::MAX, |o| o.responded.unwrap_or(Time::MAX))
+        })
+        .collect();
+    let min_res = |skip: usize| {
+        next_res
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != skip)
+            .map(|(_, &t)| t)
+            .min()
+            .unwrap_or(Time::MAX)
+    };
+    for i in 0..seqs.len() {
+        let Some(op) = seqs[i].get(idx[i]) else {
+            continue;
+        };
+        if op.invoked > min_res(i) {
+            continue;
+        }
+        let next_state = match &op.kind {
+            ObjOpKind::Update(u) => spec.apply(state, u),
+            ObjOpKind::Query(out) => {
+                if spec.query(state) != *out {
+                    continue;
+                }
+                state.clone()
+            }
+        };
+        let mut next_idx = idx.to_vec();
+        next_idx[i] += 1;
+        if dfs(spec, seqs, seen, &next_idx, &next_state) {
+            return true;
+        }
+        if op.responded.is_none() && dfs(spec, seqs, seen, &next_idx, state) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_register::object::{Counter, GrowSet};
+    use psync_time::Duration;
+
+    fn t(n: i64) -> Time {
+        Time::ZERO + Duration::from_millis(n)
+    }
+
+    fn upd<O: ObjectSpec>(node: usize, u: O::Update, inv: i64, res: i64) -> ObjOperation<O> {
+        ObjOperation {
+            node: NodeId(node),
+            kind: ObjOpKind::Update(u),
+            invoked: t(inv),
+            responded: Some(t(res)),
+        }
+    }
+
+    fn qry<O: ObjectSpec>(node: usize, out: O::Output, inv: i64, res: i64) -> ObjOperation<O> {
+        ObjOperation {
+            node: NodeId(node),
+            kind: ObjOpKind::Query(out),
+            invoked: t(inv),
+            responded: Some(t(res)),
+        }
+    }
+
+    #[test]
+    fn counter_history_sums_increments() {
+        let ops = vec![
+            upd::<Counter>(0, 5, 0, 2),
+            upd::<Counter>(1, 3, 0, 2),
+            qry::<Counter>(2, 8, 5, 6),
+        ];
+        assert!(check_object_linearizable(&Counter, &ops).holds());
+    }
+
+    #[test]
+    fn counter_partial_sums_allowed_only_under_concurrency() {
+        // Query overlapping one increment may see 5 or 8…
+        for seen in [5i64, 8] {
+            let ops = vec![
+                upd::<Counter>(0, 5, 0, 2),
+                upd::<Counter>(1, 3, 4, 10),
+                qry::<Counter>(2, seen, 5, 6),
+            ];
+            assert!(
+                check_object_linearizable(&Counter, &ops).holds(),
+                "query of {seen} must be allowed"
+            );
+        }
+        // …but never 3 (would need the first, completed increment dropped)
+        // and never 0.
+        for seen in [3i64, 0] {
+            let ops = vec![
+                upd::<Counter>(0, 5, 0, 2),
+                upd::<Counter>(1, 3, 4, 10),
+                qry::<Counter>(2, seen, 5, 6),
+            ];
+            assert!(
+                !check_object_linearizable(&Counter, &ops).holds(),
+                "query of {seen} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn lost_increment_is_rejected() {
+        // Two sequential increments, then a query that saw only one.
+        let ops = vec![
+            upd::<Counter>(0, 1, 0, 1),
+            upd::<Counter>(0, 1, 2, 3),
+            qry::<Counter>(1, 1, 5, 6),
+        ];
+        assert!(!check_object_linearizable(&Counter, &ops).holds());
+    }
+
+    #[test]
+    fn grow_set_membership_monotone() {
+        let ops = vec![
+            upd::<GrowSet>(0, 3, 0, 1),
+            qry::<GrowSet>(1, 1 << 3, 2, 3),
+            upd::<GrowSet>(0, 7, 4, 5),
+            qry::<GrowSet>(1, (1 << 3) | (1 << 7), 6, 7),
+        ];
+        assert!(check_object_linearizable(&GrowSet, &ops).holds());
+        // A query that forgets an element seen earlier is impossible.
+        let bad = vec![
+            upd::<GrowSet>(0, 3, 0, 1),
+            qry::<GrowSet>(1, 1 << 3, 2, 3),
+            qry::<GrowSet>(1, 0, 4, 5),
+        ];
+        assert!(!check_object_linearizable(&GrowSet, &bad).holds());
+    }
+
+    #[test]
+    fn open_update_is_optional() {
+        let open = ObjOperation::<Counter> {
+            node: NodeId(0),
+            kind: ObjOpKind::Update(5),
+            invoked: t(0),
+            responded: None,
+        };
+        for seen in [0i64, 5] {
+            let ops = vec![open.clone(), qry::<Counter>(1, seen, 3, 4)];
+            assert!(check_object_linearizable(&Counter, &ops).holds());
+        }
+    }
+}

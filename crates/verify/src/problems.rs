@@ -1,0 +1,167 @@
+//! The problems `P` and `Q` of Section 6 as trace predicates.
+
+use psync_automata::{Problem, TimedTrace, Verdict};
+use psync_register::history::{extract, ExtractError};
+use psync_register::{RegAction, Value};
+use psync_time::Duration;
+
+/// The problem `P` of a linearizable read-write object (Section 6.1): a
+/// trace is accepted iff the environment is the first to violate the
+/// alternation condition, or the trace respects alternation and is
+/// linearizable.
+#[derive(Debug, Clone)]
+pub struct LinearizableRegister {
+    n: usize,
+    initial: Value,
+}
+
+impl LinearizableRegister {
+    /// The problem for an `n`-node register initialized to `initial`.
+    #[must_use]
+    pub fn new(n: usize, initial: Value) -> Self {
+        LinearizableRegister { n, initial }
+    }
+}
+
+impl Problem<RegAction> for LinearizableRegister {
+    fn name(&self) -> &str {
+        "linearizable read-write register (P)"
+    }
+
+    fn contains(&self, trace: &TimedTrace<RegAction>) -> Verdict {
+        match extract(trace, self.n) {
+            // The environment broke alternation first: vacuously in P.
+            Err(ExtractError::EnvironmentViolation { .. }) => Verdict::Holds,
+            Err(e @ ExtractError::SystemViolation { .. }) => Verdict::violated(e),
+            Ok(ops) => crate::check_linearizable(&ops, self.initial),
+        }
+    }
+}
+
+/// The problem `Q` of an ε-superlinearizable read-write object
+/// (Section 6.2): as `P`, but every operation's linearization point must
+/// be at least `2ε` after its invocation. `Q_ε ⊆ P` (Lemma 6.4) is what
+/// lets Algorithm S survive the clock transformation.
+#[derive(Debug, Clone)]
+pub struct SuperlinearizableRegister {
+    n: usize,
+    initial: Value,
+    slack: Duration,
+}
+
+impl SuperlinearizableRegister {
+    /// The problem for an `n`-node register with linearization slack
+    /// `slack` (the paper's `2ε`).
+    #[must_use]
+    pub fn new(n: usize, initial: Value, slack: Duration) -> Self {
+        SuperlinearizableRegister { n, initial, slack }
+    }
+}
+
+impl Problem<RegAction> for SuperlinearizableRegister {
+    fn name(&self) -> &str {
+        "ε-superlinearizable read-write register (Q)"
+    }
+
+    fn contains(&self, trace: &TimedTrace<RegAction>) -> Verdict {
+        match extract(trace, self.n) {
+            Err(ExtractError::EnvironmentViolation { .. }) => Verdict::Holds,
+            Err(e @ ExtractError::SystemViolation { .. }) => Verdict::violated(e),
+            Ok(ops) => crate::check_superlinearizable(&ops, self.initial, self.slack),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_net::{NodeId, SysAction};
+    use psync_register::RegisterOp;
+    use psync_time::Time;
+
+    fn t(n: i64) -> Time {
+        Time::ZERO + Duration::from_millis(n)
+    }
+
+    fn app(op: RegisterOp, at: Time) -> (RegAction, Time) {
+        (SysAction::App(op), at)
+    }
+
+    fn good_trace() -> TimedTrace<RegAction> {
+        TimedTrace::from_pairs(vec![
+            app(
+                RegisterOp::Write {
+                    node: NodeId(0),
+                    value: Value(1),
+                },
+                t(0),
+            ),
+            app(RegisterOp::Ack { node: NodeId(0) }, t(5)),
+            app(RegisterOp::Read { node: NodeId(1) }, t(6)),
+            app(
+                RegisterOp::Return {
+                    node: NodeId(1),
+                    value: Value(1),
+                },
+                t(9),
+            ),
+        ])
+    }
+
+    #[test]
+    fn p_accepts_linearizable_trace() {
+        let p = LinearizableRegister::new(2, Value::INITIAL);
+        assert!(p.contains(&good_trace()).holds());
+        assert!(p.name().contains("linearizable"));
+    }
+
+    #[test]
+    fn p_rejects_stale_read() {
+        let p = LinearizableRegister::new(2, Value::INITIAL);
+        let bad = TimedTrace::from_pairs(vec![
+            app(
+                RegisterOp::Write {
+                    node: NodeId(0),
+                    value: Value(1),
+                },
+                t(0),
+            ),
+            app(RegisterOp::Ack { node: NodeId(0) }, t(5)),
+            app(RegisterOp::Read { node: NodeId(1) }, t(6)),
+            app(
+                RegisterOp::Return {
+                    node: NodeId(1),
+                    value: Value(0),
+                },
+                t(9),
+            ),
+        ]);
+        assert!(!p.contains(&bad).holds());
+    }
+
+    #[test]
+    fn p_vacuously_accepts_environment_violation() {
+        let p = LinearizableRegister::new(1, Value::INITIAL);
+        let double = TimedTrace::from_pairs(vec![
+            app(RegisterOp::Read { node: NodeId(0) }, t(0)),
+            app(RegisterOp::Read { node: NodeId(0) }, t(1)),
+        ]);
+        assert!(p.contains(&double).holds());
+    }
+
+    #[test]
+    fn p_rejects_system_violation() {
+        let p = LinearizableRegister::new(1, Value::INITIAL);
+        let bogus = TimedTrace::from_pairs(vec![app(RegisterOp::Ack { node: NodeId(0) }, t(0))]);
+        assert!(!p.contains(&bogus).holds());
+    }
+
+    #[test]
+    fn q_is_stricter_than_p() {
+        // Read interval [6, 9] with slack 4: earliest point 10 > 9.
+        let q = SuperlinearizableRegister::new(2, Value::INITIAL, Duration::from_millis(4));
+        assert!(!q.contains(&good_trace()).holds());
+        let q_loose = SuperlinearizableRegister::new(2, Value::INITIAL, Duration::from_millis(1));
+        assert!(q_loose.contains(&good_trace()).holds());
+    }
+}

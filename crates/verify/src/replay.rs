@@ -1,0 +1,224 @@
+//! Execution replay: Lemma 2.1, operationalized.
+//!
+//! Lemma 2.1 of the paper states that the projection of an (admissible)
+//! execution of a composition onto any component is an execution of that
+//! component. The engine *should* guarantee this by construction; these
+//! replayers check it mechanically: given a recorded execution and a fresh
+//! copy of one component, they re-apply the component's projected actions
+//! (with `ν` advances in between) and report the first step the component
+//! refuses. A refusal means either an engine bug or a component whose
+//! `step`/`advance` are not functions of the state the engine maintained —
+//! both worth catching.
+
+use psync_automata::{
+    Action, ClockComponent, ClockComponentBox, ComponentBox, Execution, TimedComponent,
+};
+use psync_time::Time;
+
+/// Why a replay failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The component refused an action the engine recorded it performing.
+    StepRefused {
+        /// Index of the offending event within the *projected* sequence.
+        index: usize,
+        /// Debug rendering of the action.
+        action: String,
+        /// The time passed to the step.
+        at: Time,
+    },
+    /// The component refused a time advance the engine must have made.
+    AdvanceRefused {
+        /// Index of the next projected event.
+        index: usize,
+        /// Advance source time.
+        from: Time,
+        /// Advance target time.
+        to: Time,
+    },
+    /// A clocked replay found an event without a clock reading.
+    MissingClock {
+        /// Index of the offending event.
+        index: usize,
+    },
+}
+
+impl core::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReplayError::StepRefused { index, action, at } => {
+                write!(f, "event #{index}: component refused {action} at {at}")
+            }
+            ReplayError::AdvanceRefused { index, from, to } => {
+                write!(f, "before event #{index}: ν from {from} to {to} refused")
+            }
+            ReplayError::MissingClock { index } => {
+                write!(f, "event #{index} carries no clock reading")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Replays the projection of `exec` onto a fresh copy of a timed
+/// component. Returns the number of projected events on success.
+///
+/// # Errors
+///
+/// See [`ReplayError`].
+pub fn replay_timed<A: Action, C: TimedComponent<Action = A>>(
+    component: C,
+    exec: &Execution<A>,
+) -> Result<usize, ReplayError> {
+    let boxed = ComponentBox::new(component);
+    let mut state = boxed.initial();
+    let mut now = Time::ZERO;
+    let mut count = 0usize;
+    for e in exec.events() {
+        if boxed.classify(&e.action).is_none() {
+            continue;
+        }
+        if e.now > now {
+            state = boxed
+                .advance(&state, now, e.now)
+                .ok_or(ReplayError::AdvanceRefused {
+                    index: count,
+                    from: now,
+                    to: e.now,
+                })?;
+            now = e.now;
+        }
+        state = boxed
+            .step(&state, &e.action, now)
+            .ok_or_else(|| ReplayError::StepRefused {
+                index: count,
+                action: format!("{:?}", e.action),
+                at: now,
+            })?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Replays the projection of `exec` onto a fresh copy of a clock
+/// component, driving it by the recorded per-node *clock* readings.
+/// Returns the number of projected events on success.
+///
+/// # Errors
+///
+/// See [`ReplayError`]; in particular every projected event must carry a
+/// clock reading (it does when the execution came from an engine run where
+/// this component lived inside a clock node).
+pub fn replay_clock<A: Action, C: ClockComponent<Action = A>>(
+    component: C,
+    exec: &Execution<A>,
+) -> Result<usize, ReplayError> {
+    let boxed = ClockComponentBox::new(component);
+    let mut state = boxed.initial();
+    let mut clock = Time::ZERO;
+    let mut count = 0usize;
+    for e in exec.events() {
+        if boxed.classify(&e.action).is_none() {
+            continue;
+        }
+        let c = e.clock.ok_or(ReplayError::MissingClock { index: count })?;
+        if c > clock {
+            state = boxed
+                .advance(&state, clock, c)
+                .ok_or(ReplayError::AdvanceRefused {
+                    index: count,
+                    from: clock,
+                    to: c,
+                })?;
+            clock = c;
+        }
+        state = boxed
+            .step(&state, &e.action, clock)
+            .ok_or_else(|| ReplayError::StepRefused {
+                index: count,
+                action: format!("{:?}", e.action),
+                at: clock,
+            })?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_automata::toys::{BeepAction, Beeper, ClockBeeper};
+    use psync_automata::{ActionKind, TimedEvent};
+    use psync_time::Duration;
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + ms(n)
+    }
+
+    fn beep(seq: u64, now: Time, clock: Option<Time>) -> TimedEvent<BeepAction> {
+        TimedEvent {
+            action: BeepAction::Beep { src: 0, seq },
+            kind: ActionKind::Output,
+            now,
+            clock,
+        }
+    }
+
+    #[test]
+    fn valid_projection_replays() {
+        let exec = Execution::new(vec![beep(0, at(5), None), beep(1, at(10), None)], at(12));
+        assert_eq!(replay_timed(Beeper::new(ms(5)), &exec), Ok(2));
+    }
+
+    #[test]
+    fn premature_action_is_refused() {
+        let exec = Execution::new(vec![beep(0, at(4), None)], at(12));
+        let err = replay_timed(Beeper::new(ms(5)), &exec).unwrap_err();
+        assert!(matches!(err, ReplayError::StepRefused { index: 0, .. }));
+    }
+
+    #[test]
+    fn missed_deadline_is_refused_at_advance() {
+        // The beeper's deadline at 5 ms blocks advancing straight to 7 ms.
+        let exec = Execution::new(vec![beep(0, at(7), None)], at(12));
+        let err = replay_timed(Beeper::new(ms(5)), &exec).unwrap_err();
+        assert!(matches!(err, ReplayError::AdvanceRefused { .. }));
+    }
+
+    #[test]
+    fn clock_replay_uses_clock_times() {
+        // Real times are skewed; clock readings are what matter.
+        let exec = Execution::new(
+            vec![beep(0, at(7), Some(at(5))), beep(1, at(12), Some(at(10)))],
+            at(20),
+        );
+        assert_eq!(replay_clock(ClockBeeper::new(ms(5)), &exec), Ok(2));
+    }
+
+    #[test]
+    fn clock_replay_demands_clock_readings() {
+        let exec = Execution::new(vec![beep(0, at(7), None)], at(20));
+        let err = replay_clock(ClockBeeper::new(ms(5)), &exec).unwrap_err();
+        assert_eq!(err, ReplayError::MissingClock { index: 0 });
+    }
+
+    #[test]
+    fn unrelated_actions_are_skipped() {
+        let exec = Execution::new(
+            vec![TimedEvent {
+                action: BeepAction::Beep { src: 9, seq: 0 },
+                kind: ActionKind::Output,
+                now: at(1),
+                clock: None,
+            }],
+            at(2),
+        );
+        // src 9 is outside the beeper's signature: projected count is 0.
+        assert_eq!(replay_timed(Beeper::new(ms(5)), &exec), Ok(0));
+    }
+}

@@ -1,0 +1,204 @@
+//! Sequential consistency — the weaker correctness condition of
+//! Attiya–Welch \[2\], whose algorithm the paper's Algorithm L generalizes.
+//!
+//! A history is *sequentially consistent* when some total order of its
+//! operations (i) respects each node's program order and (ii) makes every
+//! read return the most recently written value — with **no** real-time
+//! constraint between operations of different nodes. Linearizability is
+//! sequential consistency plus real-time order, so every linearizable
+//! history is sequentially consistent but not vice versa. The psync test
+//! suite uses this to show that the clock adversary's damage to a naively
+//! transferred algorithm is precisely the *real-time* half: stale reads
+//! that break linearizability can still be sequentially consistent.
+
+use std::collections::HashSet;
+
+use psync_automata::Verdict;
+use psync_register::history::{OpKind, Operation};
+use psync_register::Value;
+
+/// Decides sequential consistency of a register history.
+///
+/// Like [`check_linearizable`](crate::check_linearizable), operations with
+/// `responded = None` are optional. Per-node operations must be sequential
+/// (the extractor guarantees this).
+///
+/// # Examples
+///
+/// ```
+/// use psync_net::NodeId;
+/// use psync_register::history::{OpKind, Operation};
+/// use psync_register::Value;
+/// use psync_time::{Duration, Time};
+/// use psync_verify::{check_linearizable, check_sequentially_consistent};
+///
+/// let t = |n| Time::ZERO + Duration::from_millis(n);
+/// // A stale read *after* the write completed: not linearizable, but
+/// // sequentially consistent (order the read before the write).
+/// let ops = vec![
+///     Operation { node: NodeId(0), kind: OpKind::Write { value: Value(1) },
+///                 invoked: t(0), responded: Some(t(2)) },
+///     Operation { node: NodeId(1), kind: OpKind::Read { returned: Value(0) },
+///                 invoked: t(5), responded: Some(t(6)) },
+/// ];
+/// assert!(!check_linearizable(&ops, Value::INITIAL).holds());
+/// assert!(check_sequentially_consistent(&ops, Value::INITIAL).holds());
+/// ```
+#[must_use]
+pub fn check_sequentially_consistent(ops: &[Operation], initial: Value) -> Verdict {
+    let max_node = ops.iter().map(|o| o.node.0).max().map_or(0, |m| m + 1);
+    let mut seqs: Vec<Vec<&Operation>> = vec![Vec::new(); max_node];
+    for o in ops {
+        seqs[o.node.0].push(o);
+    }
+    // Program order: per node, by invocation time (the extractor already
+    // produces non-overlapping per-node operations).
+    for seq in &mut seqs {
+        seq.sort_by_key(|o| o.invoked);
+    }
+    let mut seen: HashSet<(Vec<usize>, Value)> = HashSet::new();
+    let idx = vec![0usize; max_node];
+    if dfs(&seqs, &mut seen, &idx, initial) {
+        Verdict::Holds
+    } else {
+        Verdict::violated(format!(
+            "no sequentially consistent order of {} operations",
+            ops.len()
+        ))
+    }
+}
+
+fn dfs(
+    seqs: &[Vec<&Operation>],
+    seen: &mut HashSet<(Vec<usize>, Value)>,
+    idx: &[usize],
+    value: Value,
+) -> bool {
+    if seqs
+        .iter()
+        .zip(idx)
+        .all(|(seq, &i)| seq[i..].iter().all(|o| o.responded.is_none()))
+    {
+        return true;
+    }
+    if !seen.insert((idx.to_vec(), value)) {
+        return false;
+    }
+    for i in 0..seqs.len() {
+        let Some(op) = seqs[i].get(idx[i]) else {
+            continue;
+        };
+        // No real-time candidate constraint: any node's next op may come
+        // next, as long as the semantics work out.
+        let next_value = match op.kind {
+            OpKind::Write { value: v } => v,
+            OpKind::Read { returned } => {
+                if returned != value {
+                    continue;
+                }
+                value
+            }
+        };
+        let mut next_idx = idx.to_vec();
+        next_idx[i] += 1;
+        if dfs(seqs, seen, &next_idx, next_value) {
+            return true;
+        }
+        if op.responded.is_none() && dfs(seqs, seen, &next_idx, value) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_linearizable;
+    use psync_net::NodeId;
+    use psync_time::{Duration, Time};
+
+    fn t(n: i64) -> Time {
+        Time::ZERO + Duration::from_millis(n)
+    }
+
+    fn write(node: usize, v: u64, inv: i64, res: i64) -> Operation {
+        Operation {
+            node: NodeId(node),
+            kind: OpKind::Write { value: Value(v) },
+            invoked: t(inv),
+            responded: Some(t(res)),
+        }
+    }
+
+    fn read(node: usize, v: u64, inv: i64, res: i64) -> Operation {
+        Operation {
+            node: NodeId(node),
+            kind: OpKind::Read { returned: Value(v) },
+            invoked: t(inv),
+            responded: Some(t(res)),
+        }
+    }
+
+    #[test]
+    fn linearizable_implies_sequentially_consistent() {
+        let histories = [
+            vec![write(0, 1, 0, 2), read(1, 1, 3, 4)],
+            vec![write(0, 1, 0, 10), read(1, 0, 2, 5)],
+            vec![],
+        ];
+        for h in histories {
+            if check_linearizable(&h, Value::INITIAL).holds() {
+                assert!(check_sequentially_consistent(&h, Value::INITIAL).holds());
+            }
+        }
+    }
+
+    #[test]
+    fn stale_read_is_sc_but_not_linearizable() {
+        let ops = vec![write(0, 1, 0, 2), read(1, 0, 5, 6)];
+        assert!(!check_linearizable(&ops, Value::INITIAL).holds());
+        assert!(check_sequentially_consistent(&ops, Value::INITIAL).holds());
+    }
+
+    #[test]
+    fn program_order_still_binds() {
+        // Node 1 reads new then old: program order forbids re-ordering its
+        // own reads, so even SC rejects the new-old inversion.
+        let ops = vec![write(0, 1, 0, 2), read(1, 1, 5, 6), read(1, 0, 7, 8)];
+        assert!(!check_sequentially_consistent(&ops, Value::INITIAL).holds());
+    }
+
+    #[test]
+    fn cross_node_disagreement_rejected() {
+        // Two writes; node 2 sees 1→2, node 3 sees 2→1: no single total
+        // order serves both, regardless of timing.
+        let ops = vec![
+            write(0, 1, 0, 1),
+            write(1, 2, 2, 3),
+            read(2, 1, 10, 11),
+            read(2, 2, 12, 13),
+            read(3, 2, 10, 11),
+            read(3, 1, 12, 13),
+        ];
+        assert!(!check_sequentially_consistent(&ops, Value::INITIAL).holds());
+    }
+
+    #[test]
+    fn unwritten_value_rejected() {
+        let ops = vec![read(0, 42, 0, 1)];
+        assert!(!check_sequentially_consistent(&ops, Value::INITIAL).holds());
+    }
+
+    #[test]
+    fn open_write_optional() {
+        let open = Operation {
+            node: NodeId(0),
+            kind: OpKind::Write { value: Value(1) },
+            invoked: t(0),
+            responded: None,
+        };
+        assert!(check_sequentially_consistent(&[open, read(1, 1, 5, 6)], Value::INITIAL).holds());
+        assert!(check_sequentially_consistent(&[open, read(1, 0, 5, 6)], Value::INITIAL).holds());
+    }
+}

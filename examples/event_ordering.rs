@@ -1,0 +1,138 @@
+//! The introduction's motivating use-case: *synchronizing activities of
+//! different system components* with only partially synchronized clocks.
+//!
+//! N nodes agree to fire an action at a rendezvous time `T`. Designed in
+//! the timed model they all fire at exactly `T`; transformed to the clock
+//! model, each fires when *its clock* reads `T`, so the real firing times
+//! spread over at most `2ε` — and Theorem 4.7 is precisely the statement
+//! that this is the best uniform guarantee a transformation can give.
+//!
+//! Run with: `cargo run --example event_ordering`
+
+use psync::prelude::*;
+
+/// Fires `FIRE(node)` at exactly the rendezvous time, once.
+#[derive(Debug, Clone)]
+struct FireAt {
+    node: NodeId,
+    at: Time,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum FireAction {
+    Fire(NodeId),
+}
+
+impl Action for FireAction {
+    fn name(&self) -> &'static str {
+        "FIRE"
+    }
+}
+
+impl TimedComponent for FireAt {
+    type Action = FireAction;
+    type State = bool; // fired?
+
+    fn name(&self) -> String {
+        format!("fire-at({}, {})", self.node, self.at)
+    }
+
+    fn initial(&self) -> bool {
+        false
+    }
+
+    fn classify(&self, a: &FireAction) -> Option<ActionKind> {
+        match a {
+            FireAction::Fire(n) if *n == self.node => Some(ActionKind::Output),
+            _ => None,
+        }
+    }
+
+    fn step(&self, fired: &bool, a: &FireAction, now: Time) -> Option<bool> {
+        match a {
+            FireAction::Fire(n) if *n == self.node && !fired && now >= self.at => Some(true),
+            _ => None,
+        }
+    }
+
+    fn enabled(&self, fired: &bool, now: Time) -> Vec<FireAction> {
+        if !fired && now >= self.at {
+            vec![FireAction::Fire(self.node)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn deadline(&self, fired: &bool, _now: Time) -> Option<Time> {
+        (!fired).then_some(self.at)
+    }
+}
+
+fn main() {
+    let ms = Duration::from_millis;
+    let n = 6;
+    let eps = ms(2);
+    let rendezvous = Time::ZERO + ms(100);
+
+    // ── Timed model: everyone fires at exactly T.
+    let mut builder = Engine::builder();
+    for i in 0..n {
+        builder = builder.timed(FireAt {
+            node: NodeId(i),
+            at: rendezvous,
+        });
+    }
+    let run = builder
+        .horizon(rendezvous + ms(10))
+        .build()
+        .run()
+        .expect("timed run");
+    println!("timed model: all {n} nodes fire at exactly {rendezvous}");
+    for e in run.execution.events() {
+        assert_eq!(e.now, rendezvous);
+    }
+
+    // ── Clock model: each node fires when *its* clock reads T.
+    let mut builder = Engine::builder();
+    for i in 0..n {
+        let strategy: Box<dyn ClockStrategy> = match i % 4 {
+            0 => Box::new(OffsetClock::new(eps, eps)),
+            1 => Box::new(OffsetClock::new(-eps, eps)),
+            2 => Box::new(DriftClock::new(1_000)),
+            _ => Box::new(RandomWalkClock::new(i as u64, eps / 4)),
+        };
+        builder = builder.clock_node(ClockNode::new(format!("n{i}"), eps, strategy).with(
+            ClockSim::new(FireAt {
+                node: NodeId(i),
+                at: rendezvous,
+            }),
+        ));
+    }
+    let run = builder
+        .horizon(rendezvous + ms(10))
+        .build()
+        .run()
+        .expect("clock run");
+
+    println!("\nclock model (ε = {eps}): firing times spread inside [T−ε, T+ε]");
+    let mut earliest = Time::MAX;
+    let mut latest = Time::ZERO;
+    for e in run.execution.events() {
+        println!(
+            "  {:?} fired at {}  (its clock read {})",
+            e.action,
+            e.now,
+            e.clock.expect("node action").elapsed()
+        );
+        earliest = earliest.min(e.now);
+        latest = latest.max(e.now);
+    }
+    let spread = latest - earliest;
+    println!("\nobserved spread: {spread} (bound 2ε = {})", eps * 2);
+    assert_eq!(run.execution.len(), n);
+    assert!(spread <= eps * 2);
+    assert!(earliest >= rendezvous - eps && latest <= rendezvous + eps);
+    println!(
+        "every node fired within ε of the rendezvous — Theorem 4.7's perturbation, visualized ✓"
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: the paper's idea in one file.
+//!
+//! 1. Write a tiny algorithm against the *timed automaton* model, where
+//!    `now` is directly readable (here: a beeper that acts at exact times).
+//! 2. Run it — the timed-model execution is the specification.
+//! 3. Transform it mechanically with Simulation 1 (`C(A, ε)`) and run it
+//!    on a *skewed clock* — the realistic execution.
+//! 4. Check Theorem 4.7's promise with the `=_{ε,κ}` matcher: the
+//!    realistic trace is the specification trace with every action moved
+//!    by at most ε.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use psync::prelude::*;
+use psync_automata::relations::{eps_equivalent, ClassMap};
+use psync_automata::toys::Beeper;
+
+fn main() {
+    let period = Duration::from_millis(10);
+    let eps = Duration::from_millis(2);
+    let horizon = Time::ZERO + Duration::from_millis(65);
+
+    // ── 1+2. The algorithm in the simple model: direct access to `now`.
+    let mut timed_engine = Engine::builder()
+        .timed(Beeper::new(period))
+        .horizon(horizon)
+        .build();
+    let spec = timed_engine.run().expect("timed run").execution;
+    println!("timed-model (specification) trace:");
+    for (a, t) in spec.t_trace().iter() {
+        println!("  {t}  {a:?}");
+    }
+
+    // ── 3. The same algorithm, mechanically transformed to run against a
+    //       clock that may drift anywhere inside |clock − now| ≤ ε. We
+    //       pick an adversarial strategy: permanently slow by the full ε.
+    let node = ClockNode::new("n0", eps, OffsetClock::new(-eps, eps))
+        .with(ClockSim::new(Beeper::new(period)));
+    let mut clock_engine = Engine::builder().clock_node(node).horizon(horizon).build();
+    let real = clock_engine.run().expect("clock run").execution;
+    println!("\nclock-model (realistic) trace, slow clock (−ε):");
+    for e in real.events() {
+        println!(
+            "  {}  {:?}   [node clock read {}]",
+            e.now,
+            e.action,
+            e.clock.expect("node actions carry clocks").elapsed()
+        );
+    }
+
+    // ── 4. Theorem 4.7: the realistic trace equals the specification
+    //       trace up to an ε perturbation per action.
+    let witness = eps_equivalent(&spec.t_trace(), &real.t_trace(), eps, &ClassMap::single())
+        .expect("Theorem 4.7 in action");
+    println!(
+        "\n=_ε check: {} actions matched, worst perturbation {} (bound ε = {})",
+        witness.matched, witness.max_deviation, eps
+    );
+    assert!(witness.max_deviation <= eps);
+    println!("the realistic system implements the specification, ε-closely ✓");
+}

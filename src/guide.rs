@@ -1,0 +1,146 @@
+//! # Guide: writing and transforming your own algorithm
+//!
+//! This is a worked tour of the workflow the paper proposes, using a small
+//! original algorithm. Read it top to bottom; every snippet below is
+//! compiled and run by `cargo test`.
+//!
+//! ## The problem
+//!
+//! A *deadline alarm*: clients `ARM(id, deadline)` the alarm; the alarm
+//! node must emit `FIRE(id)` at — not before — the requested time. A
+//! time-service in miniature: the essence of "schedule the use of
+//! resources" from the paper's introduction.
+//!
+//! ## Step 1 — design in the timed model
+//!
+//! In the timed automaton model you may read `now` directly and act at
+//! exact times, so the algorithm is six lines of real logic. You implement
+//! [`TimedComponent`](psync_automata::TimedComponent): `step` for
+//! transitions, `enabled` for what may fire, and `deadline` for when `ν`
+//! (time passage) must stop.
+//!
+//! ```
+//! use psync::prelude::*;
+//!
+//! #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+//! pub enum AlarmOp {
+//!     Arm { id: u32, at: Time },
+//!     Fire { id: u32 },
+//! }
+//!
+//! impl Action for AlarmOp {
+//!     fn name(&self) -> &'static str {
+//!         match self {
+//!             AlarmOp::Arm { .. } => "ARM",
+//!             AlarmOp::Fire { .. } => "FIRE",
+//!         }
+//!     }
+//! }
+//!
+//! #[derive(Debug, Clone)]
+//! pub struct Alarm;
+//!
+//! impl TimedComponent for Alarm {
+//!     type Action = AlarmOp;
+//!     type State = Vec<(u32, Time)>; // armed (id, deadline) pairs
+//!
+//!     fn name(&self) -> String {
+//!         "alarm".into()
+//!     }
+//!     fn initial(&self) -> Self::State {
+//!         Vec::new()
+//!     }
+//!     fn classify(&self, a: &AlarmOp) -> Option<ActionKind> {
+//!         Some(match a {
+//!             AlarmOp::Arm { .. } => ActionKind::Input,
+//!             AlarmOp::Fire { .. } => ActionKind::Output,
+//!         })
+//!     }
+//!     fn step(&self, s: &Self::State, a: &AlarmOp, now: Time) -> Option<Self::State> {
+//!         let mut next = s.clone();
+//!         match a {
+//!             AlarmOp::Arm { id, at } => {
+//!                 next.push((*id, *at));
+//!                 Some(next)
+//!             }
+//!             AlarmOp::Fire { id } => {
+//!                 let pos = next.iter().position(|(i, at)| i == id && *at <= now)?;
+//!                 next.remove(pos);
+//!                 Some(next)
+//!             }
+//!         }
+//!     }
+//!     fn enabled(&self, s: &Self::State, now: Time) -> Vec<AlarmOp> {
+//!         s.iter()
+//!             .filter(|(_, at)| *at <= now)
+//!             .map(|(id, _)| AlarmOp::Fire { id: *id })
+//!             .collect()
+//!     }
+//!     fn deadline(&self, s: &Self::State, _now: Time) -> Option<Time> {
+//!         s.iter().map(|(_, at)| *at).min()
+//!     }
+//! }
+//!
+//! // ── Step 2: verify it in the simple model. ─────────────────────────
+//! // Driving components directly is often simplest in unit tests:
+//! let t = |n| Time::ZERO + Duration::from_millis(n);
+//! let alarm = Alarm;
+//! let s0 = alarm.initial();
+//! let s1 = alarm.step(&s0, &AlarmOp::Arm { id: 1, at: t(30) }, t(0)).unwrap();
+//! let s2 = alarm.step(&s1, &AlarmOp::Arm { id: 2, at: t(10) }, t(0)).unwrap();
+//! // ν must stop at the earliest deadline…
+//! assert_eq!(alarm.deadline(&s2, t(0)), Some(t(10)));
+//! // …where exactly alarm 2 fires.
+//! assert_eq!(alarm.enabled(&s2, t(10)), vec![AlarmOp::Fire { id: 2 }]);
+//!
+//! // ── Step 3: transform to the clock model, mechanically. ────────────
+//! // `ClockSim` is Definition 4.1: the same component now runs against a
+//! // node clock confined to |clock − now| ≤ ε. No algorithm changes.
+//! let eps = Duration::from_millis(2);
+//! let node = ClockNode::new("alarm-node", eps, OffsetClock::new(-eps, eps))
+//!     .with(ClockSim::new(Alarm));
+//! let mut engine = Engine::builder().clock_node(node).build();
+//!
+//! // Arm via the engine by injecting inputs with a driver component, or
+//! // simpler: pre-arm by wrapping Alarm in a closure-configured variant.
+//! // For this guide we check the *property* instead: run the probe suite
+//! // to confirm the component obeys the axioms the engine relies on.
+//! use psync::verify::axioms::{probe_timed, ProbeConfig};
+//! probe_timed(&Alarm, &ProbeConfig::default()).expect("axioms hold");
+//! ```
+//!
+//! ## Step 4 — what Theorem 4.7 buys you
+//!
+//! Without further proof effort, every guarantee you established in the
+//! timed model transfers with an `ε` perturbation: fires may happen up to
+//! `ε` early or late in real time (they happen at the exact *clock*
+//! deadline). If "never early" matters — a real-time property — apply the
+//! paper's second design technique: solve the stronger problem "fire at
+//! `deadline + ε`" in the timed model, whose `ε`-perturbation still fires
+//! at or after the requested time. That is exactly the pattern of
+//! Algorithm S's `2ε` read slack (Section 6.2), the failure detector's
+//! widened timeout, and the mutex guard bands in
+//! [`psync_apps`].
+//!
+//! ## Step 5 — go fully realistic when needed
+//!
+//! [`MmtSim`](psync_core::MmtSim) (+ a
+//! [`TickSource`](psync_mmt::TickSource) and
+//! [`MmtAsTimed`](psync_mmt::MmtAsTimed)) carries the same component into
+//! the MMT model — discrete clock readings, bounded step times — at the
+//! cost of a further forward shift of outputs bounded by `kℓ + 2ε + 3ℓ`
+//! (Theorem 5.1). `build_dm` assembles whole systems; see
+//! `examples/mmt_pipeline.rs`.
+//!
+//! ## Checklist for your own components
+//!
+//! 1. `enabled` ⊆ what `step` accepts; inputs always accepted.
+//! 2. `deadline` is the *latest* time `ν` may reach; keep all
+//!    time-dependent state as absolute times and the default `advance` is
+//!    correct.
+//! 3. Run [`psync_verify::axioms::probe_timed`] /
+//!    [`probe_clock`](psync_verify::axioms::probe_clock) in your tests.
+//! 4. Replay recorded executions against fresh components with
+//!    [`psync_verify::replay`] when debugging engine/component mismatches.
+//! 5. Check whole-system properties over adversary grids with
+//!    [`psync_verify::Conformance`].

@@ -1,0 +1,164 @@
+//! Runs the randomized axiom probes of `psync-verify` against every
+//! library component with an inspectable (`PartialEq`) state: channels,
+//! buffers, algorithms, tick sources, MMT wrappers and toys. Each probe
+//! drives hundreds of random walks checking the operationalized S/C axioms
+//! (enabled/step consistency, deadline discipline, ν-splitting).
+
+use psync::prelude::*;
+use psync_automata::toys::{Beeper, ClockBeeper, Echo};
+use psync_mmt::{Boundmap, MmtAsTimed, MmtComponent, TaskId};
+use psync_register::BaselineRegister;
+use psync_verify::axioms::{probe_clock, probe_timed, ProbeConfig};
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+fn cfg() -> ProbeConfig {
+    ProbeConfig {
+        seed: 0xFACE,
+        walks: 24,
+        steps: 48,
+        max_advance: ms(7),
+    }
+}
+
+#[test]
+fn toys_pass() {
+    probe_timed(&Beeper::new(ms(3)), &cfg()).unwrap();
+    probe_timed(&Echo::new(ms(2)), &cfg()).unwrap();
+    probe_clock(&ClockBeeper::new(ms(3)), &cfg()).unwrap();
+}
+
+#[test]
+fn channels_pass() {
+    let bounds = DelayBounds::new(ms(1), ms(4)).unwrap();
+    let ch: Channel<u32, &'static str> = Channel::new(NodeId(0), NodeId(1), bounds, MaxDelay);
+    probe_timed(&ch, &cfg()).unwrap();
+    let ch2: Channel<u32, &'static str> =
+        Channel::new(NodeId(0), NodeId(1), bounds, SeededDelay::new(5));
+    probe_timed(&ch2, &cfg()).unwrap();
+    let cch: ClockChannel<u32, &'static str> =
+        ClockChannel::new(NodeId(0), NodeId(1), bounds, MinDelay);
+    probe_timed(&cch, &cfg()).unwrap();
+}
+
+#[test]
+fn simulation1_buffers_pass() {
+    let s: SendBuffer<u32, &'static str> = SendBuffer::new(NodeId(0), NodeId(1));
+    probe_clock(&s, &cfg()).unwrap();
+    let r: RecvBuffer<u32, &'static str> = RecvBuffer::new(NodeId(1), NodeId(0));
+    probe_clock(&r, &cfg()).unwrap();
+}
+
+#[test]
+fn register_algorithms_pass() {
+    let topo = Topology::complete(3);
+    let bounds = DelayBounds::new(ms(1), ms(6)).unwrap();
+    let params = RegisterParams::for_timed_model(&topo, bounds, ms(2), Duration::from_micros(100));
+    probe_timed(&AlgorithmS::new(NodeId(0), params), &cfg()).unwrap();
+
+    let bparams = BaselineParams::new(topo.nodes().collect(), ms(2), ms(6));
+    probe_clock(&BaselineRegister::new(NodeId(0), bparams), &cfg()).unwrap();
+}
+
+#[test]
+fn tick_source_passes() {
+    let src: TickSource<u32, &'static str> =
+        TickSource::new(NodeId(0), TickConfig::honest(ms(2), ms(1)));
+    probe_timed(&src, &cfg()).unwrap();
+
+    let skewed: TickSource<u32, &'static str> = TickSource::new(
+        NodeId(0),
+        TickConfig {
+            eps: ms(2),
+            period: ms(1),
+            granularity: Duration::from_micros(250),
+            offset: ms(-1),
+        },
+    );
+    probe_timed(&skewed, &cfg()).unwrap();
+}
+
+#[test]
+fn workload_passes() {
+    let topo = Topology::complete(2);
+    let wl = ClosedLoopWorkload::new(&topo, 3, DelayBounds::new(ms(1), ms(3)).unwrap(), 4);
+    probe_timed(&wl, &cfg()).unwrap();
+}
+
+#[test]
+fn script_passes() {
+    let t = |n| Time::ZERO + ms(n);
+    let script: Script<u32, &'static str> =
+        Script::new([(t(2), "a"), (t(5), "b"), (t(9), "c")], |_| false);
+    probe_timed(&script, &cfg()).unwrap();
+}
+
+/// A tiny MMT component to probe `MmtAsTimed` (transformation `T`).
+#[derive(Debug, Clone)]
+struct Pulse;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PulseAction(u64);
+
+impl Action for PulseAction {
+    fn name(&self) -> &'static str {
+        "PULSE"
+    }
+}
+
+impl MmtComponent for Pulse {
+    type Action = PulseAction;
+    type State = u64;
+
+    fn name(&self) -> String {
+        "pulse".into()
+    }
+    fn initial(&self) -> u64 {
+        0
+    }
+    fn classify(&self, _: &PulseAction) -> Option<ActionKind> {
+        Some(ActionKind::Output)
+    }
+    fn step(&self, s: &u64, a: &PulseAction) -> Option<u64> {
+        (a.0 == *s).then(|| s + 1)
+    }
+    fn tasks(&self) -> Vec<Boundmap> {
+        vec![Boundmap::at_most(Duration::from_millis(2))]
+    }
+    fn task_of(&self, _: &PulseAction) -> Option<TaskId> {
+        Some(TaskId(0))
+    }
+    fn enabled(&self, s: &u64) -> Vec<PulseAction> {
+        vec![PulseAction(*s)]
+    }
+}
+
+#[test]
+fn mmt_as_timed_passes() {
+    probe_timed(&MmtAsTimed::new(Pulse, StepPolicy::Lazy), &cfg()).unwrap();
+    probe_timed(&MmtAsTimed::new(Pulse, StepPolicy::Fraction(50)), &cfg()).unwrap();
+    probe_timed(&MmtAsTimed::new(Pulse, StepPolicy::Seeded(9)), &cfg()).unwrap();
+}
+
+#[test]
+fn hidden_wrappers_preserve_discipline() {
+    use psync_automata::{Hidden, HiddenClock};
+    probe_timed(
+        &Hidden::new(
+            Beeper::new(ms(3)),
+            |_: &psync_automata::toys::BeepAction| true,
+        ),
+        &cfg(),
+    )
+    .unwrap();
+    probe_clock(
+        &HiddenClock::new(
+            ClockBeeper::new(ms(3)),
+            |_: &psync_automata::toys::BeepAction| true,
+        ),
+        &cfg(),
+    )
+    .unwrap();
+}

@@ -1,0 +1,161 @@
+//! Integration: the `solve` relation (Definition 2.10) checked with the
+//! reusable conformance harness — Theorem 6.5 over an adversary grid, for
+//! both the transformed Algorithm S and the baseline, in both the clock
+//! and the MMT model.
+
+use psync::prelude::*;
+use psync_core::app_trace as extract_app_trace;
+use psync_register::build_baseline;
+use psync_verify::Conformance;
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+fn adversarial(n: usize, eps: Duration, seed: u64) -> Vec<Box<dyn ClockStrategy>> {
+    (0..n)
+        .map(|i| -> Box<dyn ClockStrategy> {
+            match (seed as usize + i) % 4 {
+                0 => Box::new(OffsetClock::new(eps, eps)),
+                1 => Box::new(OffsetClock::new(-eps, eps)),
+                2 => Box::new(DriftClock::new(900)),
+                _ => Box::new(RandomWalkClock::new(seed ^ i as u64, eps / 4)),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn transformed_s_solves_p_on_the_grid() {
+    let n = 3;
+    let topo = Topology::complete(n);
+    let physical = DelayBounds::new(ms(1), ms(5)).unwrap();
+    let eps = ms(1);
+    let params =
+        RegisterParams::for_clock_model(&topo, physical, eps, ms(2), Duration::from_micros(100));
+
+    let harness = Conformance::new(
+        move |seed| {
+            let topo = Topology::complete(n);
+            let algorithms = topo
+                .nodes()
+                .map(|i| NodeSpec::new(i, AlgorithmS::new(i, params.clone())))
+                .collect();
+            let workload =
+                ClosedLoopWorkload::new(&topo, seed, DelayBounds::new(ms(1), ms(6)).unwrap(), 6);
+            build_dc(
+                &topo,
+                physical,
+                eps,
+                algorithms,
+                adversarial(n, eps, seed),
+                move |i, j| Box::new(SeededDelay::new(seed ^ ((i.0 as u64) << 8) ^ j.0 as u64)),
+            )
+            .timed(workload)
+            .scheduler(RandomScheduler::new(seed))
+            .horizon(Time::ZERO + Duration::from_secs(10))
+            .build()
+        },
+        extract_app_trace,
+    );
+
+    let p = LinearizableRegister::new(n, Value::INITIAL);
+    let report = harness.sweep(&p, 100..140);
+    assert_eq!(report.runs, 40);
+    assert!(
+        report.conforms(),
+        "seed {} violated: {}",
+        report.counterexamples[0].seed,
+        report.counterexamples[0].reason
+    );
+}
+
+#[test]
+fn baseline_solves_p_on_the_grid() {
+    let n = 3;
+    let physical = DelayBounds::new(ms(1), ms(5)).unwrap();
+    let eps = ms(1);
+
+    let harness = Conformance::new(
+        move |seed| {
+            let topo = Topology::complete(n);
+            let workload =
+                ClosedLoopWorkload::new(&topo, seed, DelayBounds::new(ms(2), ms(8)).unwrap(), 6);
+            build_baseline(
+                &topo,
+                physical,
+                eps,
+                adversarial(n, eps, seed),
+                move |i, j| Box::new(SeededDelay::new(seed ^ ((i.0 as u64) << 8) ^ j.0 as u64)),
+            )
+            .timed(workload)
+            .scheduler(RandomScheduler::new(seed))
+            .horizon(Time::ZERO + Duration::from_secs(10))
+            .build()
+        },
+        extract_app_trace,
+    );
+
+    let p = LinearizableRegister::new(n, Value::INITIAL);
+    let report = harness.sweep(&p, 200..220);
+    assert!(
+        report.conforms(),
+        "seed {} violated: {}",
+        report.counterexamples[0].seed,
+        report.counterexamples[0].reason
+    );
+}
+
+#[test]
+fn full_pipeline_solves_p_on_the_grid() {
+    // Theorem 5.2 end to end, via the harness: D_M with seeded workloads.
+    let n = 2;
+    let physical = DelayBounds::new(ms(1), ms(4)).unwrap();
+    let eps = Duration::from_micros(500);
+    let ell = Duration::from_micros(200);
+    let topo = Topology::complete(n);
+    let params = RegisterParams {
+        peers: topo.nodes().collect(),
+        d2_virtual: physical.widen_composed(eps, n as i64, ell).max(),
+        c: ms(1),
+        delta: Duration::from_micros(50),
+        read_slack: eps * 2,
+    };
+
+    let harness = Conformance::new(
+        move |seed| {
+            let topo = Topology::complete(n);
+            let algorithms = topo
+                .nodes()
+                .map(|i| NodeSpec::new(i, AlgorithmS::new(i, params.clone())))
+                .collect();
+            let configs = topo
+                .nodes()
+                .map(|_| DmNodeConfig {
+                    ell,
+                    step_policy: StepPolicy::Seeded(seed),
+                    tick: TickConfig::honest(eps, ell),
+                })
+                .collect();
+            let workload =
+                ClosedLoopWorkload::new(&topo, seed, DelayBounds::new(ms(3), ms(9)).unwrap(), 4);
+            build_dm(&topo, physical, algorithms, configs, move |i, j| {
+                Box::new(SeededDelay::new(seed ^ ((i.0 as u64) << 8) ^ j.0 as u64))
+            })
+            .timed(workload)
+            .scheduler(RandomScheduler::new(seed))
+            .horizon(Time::ZERO + Duration::from_millis(400))
+            .build()
+        },
+        extract_app_trace,
+    );
+
+    let p = LinearizableRegister::new(n, Value::INITIAL);
+    let report = harness.sweep(&p, 300..310);
+    assert!(
+        report.conforms(),
+        "seed {} violated: {}",
+        report.counterexamples[0].seed,
+        report.counterexamples[0].reason
+    );
+}

@@ -1,0 +1,281 @@
+//! Integration: the two design techniques of Section 7.1, each shown with
+//! its success case *and* the failure mode it prevents.
+//!
+//! * Technique #1 (failure detection): solve `P_ε` by budgeting timeouts
+//!   against the widened bounds. Skipping the widening → false suspicions.
+//! * Technique #2 (mutual exclusion): real-time properties need a stronger
+//!   `Q` with `Q_ε ⊆ P`. Skipping the guard bands → overlap.
+
+use psync::prelude::*;
+use psync_apps::heartbeat::{outcome, FdParams, Heartbeater, Monitor};
+use psync_apps::mutex::{overlaps, MutexAction, SlotUser};
+use psync_executor::AdvanceCtx;
+use psync_net::MsgId;
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// Alternates every message between the fastest and the slowest legal
+/// delay — the deterministic worst case for inter-arrival gaps
+/// (`period + d₂ − d₁` between a fast delivery and the next slow one).
+#[derive(Debug, Clone, Copy)]
+struct AlternatingDelay;
+
+impl DelayPolicy for AlternatingDelay {
+    fn delay(
+        &self,
+        _src: NodeId,
+        _dst: NodeId,
+        id: MsgId,
+        _sent_at: Time,
+        bounds: DelayBounds,
+    ) -> Duration {
+        if id.0.is_multiple_of(2) {
+            bounds.min()
+        } else {
+            bounds.max()
+        }
+    }
+}
+
+/// A clock that runs slow (−ε) until `flip` of real time, then fast (+ε):
+/// one adversarial 2ε jump, the sharpest legal gap-stretcher for a
+/// monitor's perceived inter-arrival times.
+struct JumpClock {
+    flip: Time,
+    eps: Duration,
+}
+
+impl ClockStrategy for JumpClock {
+    fn next_clock(&mut self, ctx: AdvanceCtx) -> Time {
+        let desired = if ctx.target < self.flip {
+            ctx.target.saturating_add_duration(-self.eps)
+        } else {
+            ctx.target + self.eps
+        };
+        ctx.fit(desired)
+    }
+}
+
+struct FdScenario {
+    physical: DelayBounds,
+    eps: Duration,
+    period: Duration,
+    crash_at: Time,
+}
+
+impl FdScenario {
+    fn run(
+        &self,
+        params: FdParams,
+        monitor_clock: Box<dyn ClockStrategy>,
+        alternating: bool,
+    ) -> psync_automata::TimedTrace<psync_apps::heartbeat::FdAction> {
+        let topo = Topology::complete(2);
+        let target = NodeId(0);
+        let monitor = NodeId(1);
+        let algorithms = vec![
+            NodeSpec::new(target, Heartbeater::new(target, monitor, self.period)),
+            NodeSpec::new(monitor, Monitor::new(monitor, target, params)),
+        ];
+        let strategies: Vec<Box<dyn ClockStrategy>> = vec![
+            Box::new(OffsetClock::new(-self.eps, self.eps)),
+            monitor_clock,
+        ];
+        let crash = Script::new(
+            vec![(
+                self.crash_at,
+                psync_apps::heartbeat::FdOp::Crash { node: target },
+            )],
+            |op: &psync_apps::heartbeat::FdOp| {
+                matches!(op, psync_apps::heartbeat::FdOp::Suspect { .. })
+            },
+        );
+        let policy = move |i: NodeId, j: NodeId| -> Box<dyn DelayPolicy> {
+            if alternating {
+                Box::new(AlternatingDelay)
+            } else {
+                Box::new(SeededDelay::new(5 ^ ((i.0 as u64) << 8) ^ j.0 as u64))
+            }
+        };
+        let mut engine = build_dc(
+            &topo,
+            self.physical,
+            self.eps,
+            algorithms,
+            strategies,
+            policy,
+        )
+        .timed(crash)
+        .horizon(self.crash_at + Duration::from_secs(1))
+        .build();
+        let run = engine.run().expect("well-formed FD system");
+        app_trace(&run.execution)
+    }
+}
+
+#[test]
+fn failure_detector_with_widened_budget_is_accurate_and_complete() {
+    let sc = FdScenario {
+        physical: DelayBounds::new(ms(3), ms(7)).unwrap(),
+        eps: ms(1),
+        period: ms(10),
+        crash_at: Time::ZERO + ms(200),
+    };
+    // Technique #1: budget against the widened bounds.
+    let widened = sc.physical.widen_for_skew(sc.eps);
+    let params = FdParams::timeout_for(sc.period, widened, ms(1));
+
+    let clocks: Vec<Box<dyn ClockStrategy>> = vec![
+        Box::new(PerfectClock),
+        Box::new(OffsetClock::new(sc.eps, sc.eps)),
+        Box::new(JumpClock {
+            flip: Time::ZERO + ms(95),
+            eps: sc.eps,
+        }),
+        Box::new(RandomWalkClock::new(3, sc.eps / 4)),
+    ];
+    for (i, clock) in clocks.into_iter().enumerate() {
+        let trace = sc.run(params, clock, i % 2 == 0);
+        let o = outcome(&trace);
+        assert!(
+            !o.false_suspicion(),
+            "widened budget must never suspect a live node"
+        );
+        let latency = o
+            .detection_latency()
+            .expect("the crash must eventually be detected");
+        // Completeness: last pre-crash heartbeat travels ≤ d₂+2ε (clock
+        // time), then the timeout runs; 2ε more converts clock to real.
+        let bound = widened.max() + params.timeout + sc.eps * 2;
+        assert!(latency <= bound, "detection took {latency}, bound {bound}");
+    }
+}
+
+#[test]
+fn failure_detector_with_physical_budget_falsely_suspects() {
+    let sc = FdScenario {
+        physical: DelayBounds::new(ms(3), ms(7)).unwrap(),
+        eps: ms(1),
+        period: ms(10),
+        crash_at: Time::ZERO + ms(200),
+    };
+    // The naive budget: correct in the timed model, 4ε short of the
+    // clock-model requirement.
+    let naive = FdParams::timeout_for(sc.period, sc.physical, Duration::from_micros(500));
+    // Monitor clock jumps +2ε mid-run: a perceived gap of p + (d₂−d₁) + 2ε
+    // exceeds the naive timeout.
+    let trace = sc.run(
+        naive,
+        Box::new(JumpClock {
+            flip: Time::ZERO + ms(95),
+            eps: sc.eps,
+        }),
+        true, // alternating min/max delays: the worst-case gap pattern
+    );
+    let o = outcome(&trace);
+    assert!(
+        o.false_suspicion(),
+        "the naive budget must break under the jump adversary (suspected at {:?}, crash at {:?})",
+        o.suspected_at,
+        o.crashed_at
+    );
+}
+
+fn run_mutex(
+    users: Vec<SlotUser>,
+    eps: Duration,
+    clocks: Vec<Box<dyn ClockStrategy>>,
+    horizon: Time,
+) -> psync_automata::TimedTrace<MutexAction> {
+    let mut builder = Engine::builder();
+    for (u, strategy) in users.into_iter().zip(clocks) {
+        builder = builder.clock_node(
+            ClockNode::new(format!("mutex-{}", u.name()), eps, strategy).with(ClockSim::new(u)),
+        );
+    }
+    let run = builder.horizon(horizon).build().run().expect("well-formed");
+    run.execution.t_trace()
+}
+
+#[test]
+fn unguarded_slots_overlap_under_corner_clocks() {
+    let n = 3;
+    let eps = ms(2);
+    let slot = ms(10);
+    let users: Vec<SlotUser> = (0..n)
+        .map(|i| SlotUser::unguarded(NodeId(i), n, slot, 4))
+        .collect();
+    // Node 0 slow, node 1 fast: node 0 exits late while node 1 enters
+    // early — the ε-perturbation that breaks a real-time property.
+    let clocks: Vec<Box<dyn ClockStrategy>> = vec![
+        Box::new(OffsetClock::new(-eps, eps)),
+        Box::new(OffsetClock::new(eps, eps)),
+        Box::new(PerfectClock),
+    ];
+    let trace = run_mutex(users, eps, clocks, Time::ZERO + ms(200));
+    let v = overlaps(&trace);
+    assert!(
+        !v.is_empty(),
+        "unguarded time slots must overlap under ±ε corner clocks"
+    );
+    // The intrusion is between the slow holder and its fast successor.
+    assert_eq!(v[0].holder, NodeId(0));
+    assert_eq!(v[0].intruder, NodeId(1));
+}
+
+#[test]
+fn guarded_slots_stay_exclusive_under_adversarial_clocks() {
+    let n = 3;
+    let eps = ms(2);
+    let slot = ms(10);
+    // Technique #2: Q = "separated by 2g" with g = ε ⟹ Q_ε ⊆ P.
+    let users: Vec<SlotUser> = (0..n)
+        .map(|i| SlotUser::guarded(NodeId(i), n, slot, eps, 4))
+        .collect();
+    let clocks: Vec<Box<dyn ClockStrategy>> = vec![
+        Box::new(OffsetClock::new(-eps, eps)),
+        Box::new(OffsetClock::new(eps, eps)),
+        Box::new(RandomWalkClock::new(7, eps / 4)),
+    ];
+    let trace = run_mutex(users, eps, clocks, Time::ZERO + ms(200));
+    assert!(
+        overlaps(&trace).is_empty(),
+        "guard bands of ε must preserve exclusion"
+    );
+    // Every node completed its rounds.
+    let enters = trace
+        .iter()
+        .filter(|(a, _)| {
+            matches!(
+                a,
+                psync_net::SysAction::App(psync_apps::mutex::MutexOp::Enter { .. })
+            )
+        })
+        .count();
+    assert_eq!(enters, n * 4);
+    // The price of safety: utilization drops from 100% to (slot−2ε)/slot.
+    let u = SlotUser::guarded(NodeId(0), n, slot, eps, 1).utilization();
+    assert!((u - 0.6).abs() < 1e-9);
+}
+
+#[test]
+fn guard_smaller_than_eps_is_not_sufficient() {
+    // g < ε leaves a residual window of 2(ε − g): the corner adversary
+    // still finds it.
+    let n = 2;
+    let eps = ms(2);
+    let users: Vec<SlotUser> = (0..n)
+        .map(|i| SlotUser::guarded(NodeId(i), n, ms(10), ms(1), 5))
+        .collect();
+    let clocks: Vec<Box<dyn ClockStrategy>> = vec![
+        Box::new(OffsetClock::new(-eps, eps)),
+        Box::new(OffsetClock::new(eps, eps)),
+    ];
+    let trace = run_mutex(users, eps, clocks, Time::ZERO + ms(250));
+    assert!(
+        !overlaps(&trace).is_empty(),
+        "a guard of ε/2 must still overlap under the corner adversary"
+    );
+}

@@ -1,0 +1,186 @@
+//! Integration: the "other shared memory objects" generalization (end of
+//! Section 6) — counters and grow-sets through the *same* Simulation 1
+//! pipeline, linearizable under adversarial clocks with the Theorem 6.5
+//! latency formulas intact.
+
+use psync::prelude::*;
+use psync_register::object::{Counter, GrowSet, ObjectSpec, Register as RegisterObj};
+use psync_register::{AlgorithmSObj, ObjAction, ObjOp, ObjWorkload};
+use psync_verify::{check_object_linearizable, extract_object_history};
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+fn app_trace_obj<O: ObjectSpec>(
+    exec: &Execution<ObjAction<O>>,
+) -> psync_automata::TimedTrace<ObjAction<O>> {
+    exec.events()
+        .iter()
+        .filter(|e| e.kind.is_visible() && matches!(e.action, SysAction::App(_)))
+        .map(|e| (e.action.clone(), e.now))
+        .collect()
+}
+
+fn run_object<O: ObjectSpec>(
+    spec: O,
+    seed: u64,
+    gen_update: impl Fn(NodeId, u32) -> O::Update + 'static,
+) -> (usize, RegisterParams, Execution<ObjAction<O>>) {
+    let n = 3;
+    let topo = Topology::complete(n);
+    let physical = DelayBounds::new(ms(1), ms(5)).unwrap();
+    let eps = ms(1);
+    let params =
+        RegisterParams::for_clock_model(&topo, physical, eps, ms(2), Duration::from_micros(100));
+    let algorithms = topo
+        .nodes()
+        .map(|i| NodeSpec::new(i, AlgorithmSObj::new(i, spec.clone(), params.clone())))
+        .collect();
+    let strategies: Vec<Box<dyn ClockStrategy>> = (0..n)
+        .map(|i| -> Box<dyn ClockStrategy> {
+            match i % 3 {
+                0 => Box::new(OffsetClock::new(eps, eps)),
+                1 => Box::new(OffsetClock::new(-eps, eps)),
+                _ => Box::new(RandomWalkClock::new(seed ^ i as u64, eps / 4)),
+            }
+        })
+        .collect();
+    let workload = ObjWorkload::<O>::new(
+        &topo,
+        seed,
+        DelayBounds::new(ms(1), ms(6)).unwrap(),
+        8,
+        gen_update,
+    );
+    let mut engine = build_dc(&topo, physical, eps, algorithms, strategies, move |i, j| {
+        Box::new(SeededDelay::new(seed ^ ((i.0 as u64) << 8) ^ j.0 as u64))
+    })
+    .timed(workload)
+    .scheduler(RandomScheduler::new(seed))
+    .horizon(Time::ZERO + Duration::from_secs(10))
+    .build();
+    let run = engine.run().expect("well-formed object system");
+    assert_eq!(run.stop, StopReason::Quiescent, "workload must finish");
+    (n, params, run.execution)
+}
+
+#[test]
+fn replicated_counter_is_linearizable_under_adversarial_clocks() {
+    for seed in [5u64, 6, 7] {
+        let (n, _params, exec) = run_object(Counter, seed, |node, k| {
+            (node.0 as i64 + 1) * 1000 + i64::from(k)
+        });
+        let ops = extract_object_history::<Counter>(&app_trace_obj(&exec), n).unwrap();
+        assert_eq!(ops.len(), n * 8);
+        let verdict = check_object_linearizable(&Counter, &ops);
+        assert!(verdict.holds(), "seed {seed}: {verdict}");
+        // Every completed increment is reflected: no lost updates.
+        let updates: i64 = ops
+            .iter()
+            .filter_map(|o| match &o.kind {
+                psync_verify::ObjOpKind::Update(u) if o.responded.is_some() => Some(*u),
+                _ => None,
+            })
+            .sum();
+        assert!(updates != 0, "the workload must have incremented");
+    }
+}
+
+#[test]
+fn replicated_grow_set_is_linearizable_under_adversarial_clocks() {
+    for seed in [11u64, 12] {
+        let (n, _params, exec) = run_object(GrowSet, seed, |node, k| {
+            u8::try_from(node.0 as u32 * 32 + (k % 32)).expect("element < 128")
+        });
+        let ops = extract_object_history::<GrowSet>(&app_trace_obj(&exec), n).unwrap();
+        let verdict = check_object_linearizable(&GrowSet, &ops);
+        assert!(verdict.holds(), "seed {seed}: {verdict}");
+    }
+}
+
+#[test]
+fn generalized_register_matches_the_specialized_formulas() {
+    // The Register object through the generalized automaton: latencies
+    // obey the Theorem 6.5 formulas (within the 2ε measurement slack).
+    let (n, params, exec) = run_object(RegisterObj, 21, Value::unique);
+    let ops = extract_object_history::<RegisterObj>(&app_trace_obj(&exec), n).unwrap();
+    let verdict = check_object_linearizable(&RegisterObj, &ops);
+    assert!(verdict.holds(), "{verdict}");
+
+    let slop = ms(2); // 2ε
+    for o in &ops {
+        let Some(lat) = o.responded.map(|r| r - o.invoked) else {
+            continue;
+        };
+        let formula = match o.kind {
+            psync_verify::ObjOpKind::Query(_) => params.read_latency(),
+            psync_verify::ObjOpKind::Update(_) => params.write_latency(),
+        };
+        assert!(
+            (lat - formula).abs() <= slop,
+            "latency {lat} vs formula {formula}"
+        );
+    }
+}
+
+#[test]
+fn counter_semantics_final_query_sees_everything() {
+    // Deterministic scripted run: three increments, fully settled, then a
+    // query from each node — all must report the full total.
+    let n = 3;
+    let topo = Topology::complete(n);
+    let physical = DelayBounds::new(ms(1), ms(5)).unwrap();
+    let eps = ms(1);
+    let params =
+        RegisterParams::for_clock_model(&topo, physical, eps, ms(2), Duration::from_micros(100));
+    let algorithms = topo
+        .nodes()
+        .map(|i| NodeSpec::new(i, AlgorithmSObj::new(i, Counter, params.clone())))
+        .collect();
+    let strategies: Vec<Box<dyn ClockStrategy>> = (0..n)
+        .map(|_| Box::new(PerfectClock) as Box<dyn ClockStrategy>)
+        .collect();
+    let t0 = Time::ZERO;
+    let script: Vec<(Time, ObjOp<Counter>)> = vec![
+        (
+            t0 + ms(5),
+            ObjOp::Do {
+                node: NodeId(0),
+                update: 1,
+            },
+        ),
+        (
+            t0 + ms(6),
+            ObjOp::Do {
+                node: NodeId(1),
+                update: 10,
+            },
+        ),
+        (
+            t0 + ms(7),
+            ObjOp::Do {
+                node: NodeId(2),
+                update: 100,
+            },
+        ),
+        (t0 + ms(100), ObjOp::Query { node: NodeId(0) }),
+        (t0 + ms(120), ObjOp::Query { node: NodeId(1) }),
+        (t0 + ms(140), ObjOp::Query { node: NodeId(2) }),
+    ];
+    let mut engine = build_dc(&topo, physical, eps, algorithms, strategies, |_, _| {
+        Box::new(MaxDelay)
+    })
+    .timed(Script::new(script, |op: &ObjOp<Counter>| op.is_response()))
+    .horizon(t0 + ms(300))
+    .build();
+    let exec = engine.run().expect("well-formed").execution;
+    let answers: Vec<i64> = app_trace_obj(&exec)
+        .iter()
+        .filter_map(|(a, _)| match a {
+            SysAction::App(ObjOp::Answer { output, .. }) => Some(*output),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(answers, vec![111, 111, 111]);
+}

@@ -1,0 +1,236 @@
+//! Integration: multi-hop behavior on a line topology. A token is relayed
+//! hop by hop; per Lemma 4.5 each hop costs `[d₁, d₂]` of real time plus a
+//! receive-buffer hold of at most `max(0, 2ε − d₁)`, so the end-to-end
+//! real latency is confined to
+//! `[(n−1)·d₁, (n−1)·(d₂ + max(0, 2ε − d₁))]` (± ε for the clock-driven
+//! start). Checked under corner clocks at both loss-making extremes of the
+//! delay adversary.
+
+use psync::prelude::*;
+use psync_automata::TimedComponent;
+use psync_net::MsgId;
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// The relayed token (unit payload).
+type Token = u8;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum RelayOp {
+    /// Emitted by the last node when the token arrives.
+    Arrived { node: NodeId },
+}
+
+impl Action for RelayOp {
+    fn name(&self) -> &'static str {
+        "ARRIVED"
+    }
+}
+
+type A = SysAction<Token, RelayOp>;
+
+/// Node `i` of the relay: node 0 originates the token at `start`;
+/// middle nodes forward on receipt; the last node announces arrival.
+#[derive(Debug, Clone)]
+struct Relay {
+    node: NodeId,
+    n: usize,
+    start: Time,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RelayState {
+    /// Send pending (the forwarding hop), announced, done flags.
+    send_due: Option<Time>,
+    announced: bool,
+}
+
+impl Relay {
+    fn is_last(&self) -> bool {
+        self.node.0 == self.n - 1
+    }
+
+    fn succ(&self) -> NodeId {
+        NodeId(self.node.0 + 1)
+    }
+
+    fn env(&self) -> psync_net::Envelope<Token> {
+        psync_net::Envelope {
+            src: self.node,
+            dst: self.succ(),
+            id: MsgId::from_parts(self.node, 0),
+            payload: 1,
+        }
+    }
+}
+
+impl TimedComponent for Relay {
+    type Action = A;
+    type State = RelayState;
+
+    fn name(&self) -> String {
+        format!("relay({})", self.node)
+    }
+
+    fn initial(&self) -> RelayState {
+        RelayState {
+            // The originator schedules its send at `start`.
+            send_due: (self.node.0 == 0).then_some(self.start),
+            announced: false,
+        }
+    }
+
+    fn classify(&self, a: &A) -> Option<ActionKind> {
+        match a {
+            SysAction::Send(env) if env.src == self.node => Some(ActionKind::Output),
+            SysAction::Recv(env) if env.dst == self.node => Some(ActionKind::Input),
+            SysAction::App(RelayOp::Arrived { node }) if *node == self.node => {
+                Some(ActionKind::Output)
+            }
+            _ => None,
+        }
+    }
+
+    fn step(&self, s: &RelayState, a: &A, now: Time) -> Option<RelayState> {
+        match a {
+            SysAction::Send(env) if env.src == self.node => {
+                if s.send_due.is_none_or(|d| now < d) || *env != self.env() {
+                    return None;
+                }
+                Some(RelayState {
+                    send_due: None,
+                    announced: s.announced,
+                })
+            }
+            SysAction::Recv(env) if env.dst == self.node => {
+                let mut next = s.clone();
+                if self.is_last() {
+                    // Announce immediately (well, at this very instant).
+                    next.announced = false;
+                    next.send_due = Some(now); // reuse as "announce due"
+                } else {
+                    next.send_due = Some(now); // forward immediately
+                }
+                let _ = env;
+                Some(next)
+            }
+            SysAction::App(RelayOp::Arrived { node }) if *node == self.node => {
+                if !self.is_last() || s.announced || s.send_due.is_none_or(|d| now < d) {
+                    return None;
+                }
+                Some(RelayState {
+                    send_due: None,
+                    announced: true,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn enabled(&self, s: &RelayState, now: Time) -> Vec<A> {
+        match s.send_due {
+            Some(due) if now >= due => {
+                if self.is_last() {
+                    if !s.announced {
+                        vec![SysAction::App(RelayOp::Arrived { node: self.node })]
+                    } else {
+                        Vec::new()
+                    }
+                } else {
+                    vec![SysAction::Send(self.env())]
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn deadline(&self, s: &RelayState, _now: Time) -> Option<Time> {
+        s.send_due
+    }
+}
+
+fn run_relay(n: usize, physical: DelayBounds, eps: Duration, min_delay: bool) -> (Time, Time) {
+    let topo = Topology::line(n);
+    let start = Time::ZERO + ms(10);
+    let algorithms = topo
+        .nodes()
+        .map(|i| NodeSpec::new(i, Relay { node: i, n, start }))
+        .collect();
+    // Alternating corner clocks: worst case for per-hop buffering.
+    let strategies: Vec<Box<dyn ClockStrategy>> = (0..n)
+        .map(|i| -> Box<dyn ClockStrategy> {
+            if i % 2 == 0 {
+                Box::new(OffsetClock::new(eps, eps))
+            } else {
+                Box::new(OffsetClock::new(-eps, eps))
+            }
+        })
+        .collect();
+    let mut engine = build_dc(&topo, physical, eps, algorithms, strategies, move |_, _| {
+        if min_delay {
+            Box::new(MinDelay)
+        } else {
+            Box::new(MaxDelay)
+        }
+    })
+    .horizon(start + Duration::from_secs(2))
+    .build();
+    let exec = engine.run().expect("well-formed relay").execution;
+    let arrived = exec
+        .events()
+        .iter()
+        .find(|e| matches!(e.action, SysAction::App(RelayOp::Arrived { .. })))
+        .expect("the token must arrive");
+    // Real time the originator's send left node 0 (its ESend).
+    let origin = exec
+        .events()
+        .iter()
+        .find(|e| matches!(&e.action, SysAction::ESend(env, _) if env.src == NodeId(0)))
+        .expect("origin send");
+    (origin.now, arrived.now)
+}
+
+#[test]
+fn end_to_end_latency_accumulates_per_hop_bounds() {
+    let n = 6;
+    let hops = (n - 1) as i64;
+    let physical = DelayBounds::new(ms(1), ms(4)).unwrap();
+    let eps = ms(1); // 2ε − d₁ = 1 ms of possible hold per hop
+    let hold_bound = (eps * 2 - physical.min()).max_zero();
+
+    let (sent_min, arrived_min) = run_relay(n, physical, eps, true);
+    let fast = arrived_min - sent_min;
+    let (sent_max, arrived_max) = run_relay(n, physical, eps, false);
+    let slow = arrived_max - sent_max;
+
+    let floor = physical.min() * hops;
+    let ceil = (physical.max() + hold_bound) * hops;
+    assert!(
+        fast >= floor,
+        "even the fastest run cannot beat (n−1)·d₁: {fast} < {floor}"
+    );
+    assert!(
+        slow <= ceil,
+        "even the slowest run stays under (n−1)·(d₂ + hold): {slow} > {ceil}"
+    );
+    assert!(fast <= slow, "min-delay adversary must not be slower");
+    // With MinDelay and alternating corner clocks, buffering actually
+    // engages: the fast run exceeds the raw network floor.
+    assert!(
+        fast > floor,
+        "corner clocks must add hold time on some hop (got exactly {fast})"
+    );
+}
+
+#[test]
+fn relay_works_when_buffering_cannot_engage() {
+    // d₁ > 2ε: per §7.2 no holds; the fast run hits the floor exactly.
+    let n = 4;
+    let hops = (n - 1) as i64;
+    let physical = DelayBounds::new(ms(3), ms(5)).unwrap();
+    let eps = ms(1);
+    let (sent, arrived) = run_relay(n, physical, eps, true);
+    assert_eq!(arrived - sent, physical.min() * hops);
+}

@@ -1,0 +1,135 @@
+//! Integration: the MMT model's *clock realism* — coarse tick readings and
+//! skewed tick sources. The paper motivates the MMT model with exactly
+//! this: "the clock may change in discrete jumps, so that any particular
+//! time value might be missed" (Section 1). Algorithm S schedules updates
+//! at *exact* clock values (`t + d'₂ + δ`); the `M` transformation's
+//! catch-up is what makes it survive clocks that skip those values.
+
+use psync::prelude::*;
+use psync_register::history;
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+fn us(n: i64) -> Duration {
+    Duration::from_micros(n)
+}
+
+fn run_dm_with_ticks(tick: TickConfig, ell: Duration, eps: Duration) -> Vec<history::Operation> {
+    let n = 3;
+    let topo = Topology::complete(n);
+    let physical = DelayBounds::new(ms(1), ms(5)).unwrap();
+    let k = n as i64;
+    let params = RegisterParams {
+        peers: topo.nodes().collect(),
+        d2_virtual: physical.widen_composed(eps, k, ell).max(),
+        c: ms(2),
+        delta: us(100),
+        read_slack: eps * 2,
+    };
+    let mut script = Vec::new();
+    let mut t = Time::ZERO + ms(10);
+    for round in 0..4u32 {
+        for i in topo.nodes() {
+            let op = if (round + i.0 as u32).is_multiple_of(2) {
+                RegisterOp::Write {
+                    node: i,
+                    value: Value::unique(i, round),
+                }
+            } else {
+                RegisterOp::Read { node: i }
+            };
+            script.push((t, op));
+            t += ms(40);
+        }
+    }
+    let horizon = t + ms(100);
+    let algorithms = topo
+        .nodes()
+        .map(|i| NodeSpec::new(i, AlgorithmS::new(i, params.clone())))
+        .collect();
+    let configs = topo
+        .nodes()
+        .map(|_| DmNodeConfig {
+            ell,
+            step_policy: StepPolicy::Lazy,
+            tick,
+        })
+        .collect();
+    let mut engine = build_dm(&topo, physical, algorithms, configs, |_, _| {
+        Box::new(MaxDelay)
+    })
+    .timed(Script::new(script.clone(), |op: &RegisterOp| {
+        op.is_response()
+    }))
+    .horizon(horizon)
+    .build();
+    let exec = engine.run().expect("well-formed D_M").execution;
+    let ops = history::extract(&app_trace(&exec), n).expect("well-formed");
+    assert_eq!(ops.len(), script.len(), "every scripted op completes");
+    ops
+}
+
+#[test]
+fn coarse_granularity_readings_still_linearize() {
+    // Readings quantized to 500 µs: the node *never sees* most clock
+    // values, including the exact update times the algorithm schedules.
+    let eps = ms(1);
+    let tick = TickConfig {
+        eps,
+        period: us(300),
+        granularity: us(500),
+        offset: Duration::ZERO,
+    };
+    let ops = run_dm_with_ticks(tick, us(200), eps);
+    let verdict = check_linearizable(&ops, Value::INITIAL);
+    assert!(verdict.holds(), "{verdict}");
+}
+
+#[test]
+fn skewed_tick_sources_still_linearize() {
+    let eps = ms(1);
+    for offset_us in [-500i64, 400] {
+        let tick = TickConfig {
+            eps,
+            period: us(250),
+            granularity: us(250),
+            offset: us(offset_us),
+        };
+        let ops = run_dm_with_ticks(tick, us(200), eps);
+        let verdict = check_linearizable(&ops, Value::INITIAL);
+        assert!(verdict.holds(), "offset {offset_us}µs: {verdict}");
+    }
+}
+
+#[test]
+fn sparse_ticks_inflate_latency_but_not_past_the_budget() {
+    // Tick period τ adds up to τ of staleness before each catch-up; with
+    // τ = ℓ (the paper's C^m boundmap) everything stays within the
+    // Theorem 5.1 budget. Compare latencies under dense vs sparse ticks.
+    let eps = us(500);
+    let ell = ms(1);
+    let dense = run_dm_with_ticks(TickConfig::honest(eps, us(100)), ell, eps);
+    let sparse = run_dm_with_ticks(TickConfig::honest(eps, ell), ell, eps);
+    let mean = |ops: &[history::Operation]| -> f64 {
+        let ls: Vec<f64> = ops
+            .iter()
+            .filter_map(history::Operation::latency)
+            .map(|d| d.as_secs_f64())
+            .collect();
+        ls.iter().sum::<f64>() / ls.len() as f64
+    };
+    assert!(check_linearizable(&dense, Value::INITIAL).holds());
+    assert!(check_linearizable(&sparse, Value::INITIAL).holds());
+    assert!(
+        mean(&sparse) >= mean(&dense),
+        "sparser ticks cannot make responses faster"
+    );
+    // And the inflation is bounded by the shift budget.
+    let budget = psync_core::sim2_shift_bound(3, eps, ell).as_secs_f64();
+    assert!(
+        mean(&sparse) - mean(&dense) <= budget,
+        "tick staleness exceeded the Theorem 5.1 budget"
+    );
+}

@@ -1,0 +1,230 @@
+//! Integration: Theorems 5.1/5.2 end-to-end.
+//!
+//! The same clock-model node (Algorithm S transformed by Simulation 1) is
+//! run twice: directly on the engine's clock nodes (`D_C`), and through
+//! the MMT transformation `M(A^c, ℓ)` with `TICK` clock subsystems and
+//! boundmap-scheduled steps (`D_M`). With an identical scripted workload
+//! and delay adversary, the `D_M` trace must be the `D_C` trace with node
+//! outputs shifted into the future by at most `kℓ + 2ε + 3ℓ` — and still
+//! linearizable.
+
+use psync::prelude::*;
+use psync_core::output_classes;
+use psync_register::history;
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+fn us(n: i64) -> Duration {
+    Duration::from_micros(n)
+}
+
+struct Pipeline {
+    topo: Topology,
+    physical: DelayBounds,
+    eps: Duration,
+    ell: Duration,
+    k: i64,
+    params: RegisterParams,
+    script: Vec<(Time, RegisterOp)>,
+}
+
+impl Pipeline {
+    fn new(n: usize) -> Pipeline {
+        let topo = Topology::complete(n);
+        let physical = DelayBounds::new(ms(1), ms(5)).unwrap();
+        let eps = ms(1);
+        let ell = us(200);
+        // Burst of n−1 ESENDs per write plus the odd response: k = n is a
+        // comfortable output-rate bound for the widely spaced script below.
+        let k = n as i64;
+        // Theorem 5.2: design against d'₂ = d₂ + 2ε + kℓ.
+        let params = RegisterParams {
+            peers: topo.nodes().collect(),
+            d2_virtual: physical.widen_composed(eps, k, ell).max(),
+            c: ms(2),
+            delta: us(100),
+            read_slack: eps * 2,
+        };
+        // Widely spaced operations: every response (even shifted) lands
+        // long before the next invocation.
+        let mut script = Vec::new();
+        let mut t = Time::ZERO + ms(10);
+        for round in 0..6u32 {
+            for i in topo.nodes() {
+                let op = if (round + i.0 as u32).is_multiple_of(2) {
+                    RegisterOp::Write {
+                        node: i,
+                        value: Value::unique(i, round),
+                    }
+                } else {
+                    RegisterOp::Read { node: i }
+                };
+                script.push((t, op));
+                t += ms(40);
+            }
+        }
+        Pipeline {
+            topo,
+            physical,
+            eps,
+            ell,
+            k,
+            params,
+            script,
+        }
+    }
+
+    fn algorithms(&self) -> Vec<NodeSpec<RegMsg, RegisterOp>> {
+        self.topo
+            .nodes()
+            .map(|i| NodeSpec::new(i, AlgorithmS::new(i, self.params.clone())))
+            .collect()
+    }
+
+    fn workload(&self) -> Script<RegMsg, RegisterOp> {
+        Script::new(
+            self.script
+                .iter()
+                .map(|(t, op)| (*t, op.clone()))
+                .collect::<Vec<_>>(),
+            |op: &RegisterOp| op.is_response(),
+        )
+    }
+
+    fn horizon(&self) -> Time {
+        self.script.last().unwrap().0 + ms(100)
+    }
+
+    fn run_dc(&self) -> Execution<RegAction> {
+        let strategies = self
+            .topo
+            .nodes()
+            .map(|_| Box::new(PerfectClock) as Box<dyn ClockStrategy>)
+            .collect();
+        let mut engine = build_dc(
+            &self.topo,
+            self.physical,
+            self.eps,
+            self.algorithms(),
+            strategies,
+            |_, _| Box::new(MaxDelay),
+        )
+        .timed(self.workload())
+        .horizon(self.horizon())
+        .build();
+        engine.run().expect("D_C run").execution
+    }
+
+    fn run_dm(&self) -> Execution<RegAction> {
+        let configs = self
+            .topo
+            .nodes()
+            .map(|_| DmNodeConfig {
+                ell: self.ell,
+                step_policy: StepPolicy::Lazy,
+                tick: TickConfig::honest(self.eps, self.ell),
+            })
+            .collect();
+        let mut engine = build_dm(
+            &self.topo,
+            self.physical,
+            self.algorithms(),
+            configs,
+            |_, _| Box::new(MaxDelay),
+        )
+        .timed(self.workload())
+        .horizon(self.horizon())
+        .build();
+        engine.run().expect("D_M run").execution
+    }
+
+    fn shift_bound(&self) -> Duration {
+        sim2_shift_bound(self.k, self.eps, self.ell)
+    }
+}
+
+#[test]
+fn dm_register_history_is_linearizable() {
+    let p = Pipeline::new(3);
+    let exec = p.run_dm();
+    let trace = app_trace(&exec);
+    let ops = history::extract(&trace, p.topo.len()).expect("well-formed");
+    assert_eq!(ops.len(), p.script.len(), "every scripted op completes");
+    let verdict = check_linearizable(&ops, Value::INITIAL);
+    assert!(verdict.holds(), "D_M history not linearizable: {verdict}");
+}
+
+#[test]
+fn dm_outputs_shift_at_most_kl_2e_3l_beyond_dc() {
+    let p = Pipeline::new(3);
+    let dc = app_trace(&p.run_dc());
+    let dm = app_trace(&p.run_dm());
+    let classes = output_classes::<RegMsg, RegisterOp>(|op| op.is_response().then(|| op.node()));
+    let w = psync_core::check_sim2(&dc, &dm, p.shift_bound(), &classes)
+        .unwrap_or_else(|e| panic!("Theorem 5.1 relation failed: {e}"));
+    assert!(
+        w.max_deviation.is_positive(),
+        "the MMT machinery should introduce a real shift"
+    );
+    assert!(
+        w.max_deviation <= p.shift_bound(),
+        "shift {} exceeds bound {}",
+        w.max_deviation,
+        p.shift_bound()
+    );
+}
+
+#[test]
+fn dm_latencies_exceed_dc_by_bounded_amount() {
+    let p = Pipeline::new(3);
+    let dc_ops = history::extract(&app_trace(&p.run_dc()), p.topo.len()).unwrap();
+    let dm_ops = history::extract(&app_trace(&p.run_dm()), p.topo.len()).unwrap();
+    assert_eq!(dc_ops.len(), dm_ops.len());
+    let bound = p.shift_bound();
+    for (a, b) in dc_ops.iter().zip(&dm_ops) {
+        assert_eq!(a.kind, b.kind, "same script, same operations");
+        assert_eq!(a.invoked, b.invoked, "scripted invocations are identical");
+        let (la, lb) = (a.latency().unwrap(), b.latency().unwrap());
+        assert!(
+            lb >= la,
+            "MMT execution cannot respond earlier ({lb} < {la})"
+        );
+        assert!(
+            lb - la <= bound,
+            "latency inflation {} exceeds bound {bound}",
+            lb - la
+        );
+    }
+}
+
+#[test]
+fn dm_empirical_output_rate_within_k() {
+    use psync_core::max_outputs_per_window;
+    let p = Pipeline::new(3);
+    let exec = p.run_dc();
+    // Count *all* node outputs (responses and message sends, by clock
+    // time) against the Lemma 4.3 window.
+    let trace = exec
+        .events()
+        .iter()
+        .filter(|e| e.kind == ActionKind::Output && e.clock.is_some())
+        .map(|e| (e.action.clone(), e.clock.unwrap()))
+        .collect::<Vec<_>>();
+    for node in p.topo.nodes() {
+        let mut times: Vec<Time> = trace
+            .iter()
+            .filter(|(a, _)| a.node(|op: &RegisterOp| Some(op.node())) == Some(node))
+            .map(|(_, t)| *t)
+            .collect();
+        times.sort();
+        let window = p.ell * p.k;
+        let k_measured = max_outputs_per_window(&times, window);
+        assert!(
+            k_measured as i64 <= p.k,
+            "node {node} emitted {k_measured} outputs within {window}, exceeding k = {}",
+            p.k
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Integration: a *real-time* property through the full two-simulation
+//! pipeline. Time-slot mutual exclusion has no messages at all, so every
+//! distortion it suffers comes from the models themselves: Simulation 1
+//! perturbs each action by ≤ ε, Simulation 2 shifts outputs forward by
+//! ≤ kℓ + 2ε + 3ℓ. The guard bands must absorb *both*:
+//!
+//! * exits can be late by `ε + shift`, entries early by `ε` — so
+//!   `2g ≥ 2ε + shift` keeps exclusion (technique #2, iterated for
+//!   Theorem 5.2's `(Q_ε)^δ`);
+//! * with no guards, skewed tick sources reproduce the overlap in the
+//!   realistic model too.
+
+use psync::prelude::*;
+use psync_apps::mutex::{overlaps, MutexOp, SlotUser};
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+fn us(n: i64) -> Duration {
+    Duration::from_micros(n)
+}
+
+/// Runs `n` slot users through `build_dm` (no channels — the topology has
+/// no edges) with per-node tick offsets.
+fn run_mmt_mutex(
+    users: Vec<SlotUser>,
+    eps: Duration,
+    ell: Duration,
+    offsets: Vec<Duration>,
+    horizon: Time,
+) -> psync_automata::TimedTrace<psync_net::SysAction<(), MutexOp>> {
+    let n = users.len();
+    let topo = Topology::new(n, []);
+    let algorithms = users
+        .into_iter()
+        .enumerate()
+        .map(|(i, u)| NodeSpec::new(NodeId(i), u))
+        .collect();
+    let configs = offsets
+        .into_iter()
+        .map(|offset| DmNodeConfig {
+            ell,
+            step_policy: StepPolicy::Lazy,
+            tick: TickConfig {
+                eps,
+                period: ell,
+                granularity: Duration::NANOSECOND,
+                offset,
+            }
+            .validated(),
+        })
+        .collect();
+    let mut engine = build_dm(
+        &topo,
+        DelayBounds::exact(ms(1)),
+        algorithms,
+        configs,
+        |_, _| Box::new(MaxDelay),
+    )
+    .horizon(horizon)
+    .build();
+    let exec = engine.run().expect("well-formed D_M mutex").execution;
+    psync_core::app_trace(&exec)
+}
+
+#[test]
+fn guard_absorbing_both_simulations_keeps_exclusion() {
+    let n = 3;
+    let eps = us(500);
+    let ell = us(200);
+    let slot = ms(20);
+    // k = 1: a node emits at most one output (enter or exit) per kℓ
+    // window — its two outputs are slot−2g ≫ ℓ apart.
+    let shift = sim2_shift_bound(1, eps, ell);
+    // 2g ≥ 2ε + shift, rounded up generously.
+    let guard = eps + shift;
+    let users: Vec<SlotUser> = (0..n)
+        .map(|i| SlotUser::guarded(NodeId(i), n, slot, guard, 3))
+        .collect();
+    let off = eps - us(1); // TickConfig requires |offset| + granularity ≤ ε
+    let offsets = vec![-off, off, Duration::ZERO];
+    let trace = run_mmt_mutex(users, eps, ell, offsets, Time::ZERO + ms(250));
+    assert!(
+        overlaps(&trace).is_empty(),
+        "guard {guard} must absorb skew + MMT shift"
+    );
+    // All rounds completed.
+    let enters = trace
+        .iter()
+        .filter(|(a, _)| matches!(a, psync_net::SysAction::App(MutexOp::Enter { .. })))
+        .count();
+    assert_eq!(enters, n * 3);
+}
+
+#[test]
+fn unguarded_slots_overlap_in_the_realistic_model_too() {
+    let n = 2;
+    let eps = ms(1);
+    let ell = us(200);
+    let slot = ms(10);
+    let users: Vec<SlotUser> = (0..n)
+        .map(|i| SlotUser::unguarded(NodeId(i), n, slot, 4))
+        .collect();
+    // Node 0's ticks slow (late exits), node 1's fast (early entries).
+    let off = eps - us(1);
+    let offsets = vec![-off, off];
+    let trace = run_mmt_mutex(users, eps, ell, offsets, Time::ZERO + ms(150));
+    let v = overlaps(&trace);
+    assert!(
+        !v.is_empty(),
+        "±ε tick skew must break unguarded slots in the MMT model"
+    );
+    assert_eq!(v[0].holder, NodeId(0));
+    assert_eq!(v[0].intruder, NodeId(1));
+}

@@ -1,0 +1,139 @@
+//! Property tests for the Simulation 1 buffers (Figure 2): the receive
+//! buffer's release discipline and the send buffer's stamping, under
+//! random interleavings of arrivals, releases and clock advances.
+
+use proptest::prelude::*;
+use psync::prelude::*;
+use psync_automata::ClockComponent;
+
+fn env(id: u64) -> Envelope<u32> {
+    Envelope {
+        src: NodeId(1),
+        dst: NodeId(0),
+        id: MsgId(id),
+        payload: id as u32,
+    }
+}
+
+type A = SysAction<u32, &'static str>;
+
+/// Drives a RecvBuffer through a random schedule of arrivals (with random
+/// stamps) interleaved with maximal clock advances and eager releases,
+/// checking the two Figure 2 invariants on every release:
+///
+/// 1. never released before the local clock reaches the send stamp;
+/// 2. releases happen in (stamp, arrival) order.
+fn drive_recv_buffer(stamps: Vec<i64>, advance_steps: Vec<i64>) -> Result<(), TestCaseError> {
+    let buf: RecvBuffer<u32, &'static str> = RecvBuffer::new(NodeId(1), NodeId(0));
+    let mut state = ClockComponent::initial(&buf);
+    let mut clock = Time::ZERO;
+    let mut arrivals = stamps
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (i as u64, Time::ZERO + Duration::from_millis(s)))
+        .collect::<Vec<_>>();
+    let mut released: Vec<(Time, u64)> = Vec::new(); // (stamp, arrival order)
+    let mut advance_iter = advance_steps.into_iter().cycle();
+
+    let mut guard = 0;
+    // Keep going while anything is undelivered or still buffered (a
+    // non-empty buffer always pins a clock deadline).
+    while (!arrivals.is_empty() || ClockComponent::clock_deadline(&buf, &state, clock).is_some())
+        && guard < 10_000
+    {
+        guard += 1;
+        // Release everything currently releasable (engine eagerness).
+        while let Some(a) = ClockComponent::enabled(&buf, &state, clock)
+            .first()
+            .cloned()
+        {
+            let A::Recv(e) = &a else { unreachable!() };
+            // Find this message's stamp from our book-keeping.
+            let idx = e.id.0;
+            let stamp = Time::ZERO + Duration::from_millis(stamps[idx as usize]);
+            prop_assert!(
+                stamp <= clock,
+                "released {idx} at clock {clock} before its stamp {stamp}"
+            );
+            if let Some(&(last_stamp, last_order)) = released.last() {
+                prop_assert!(
+                    (last_stamp, last_order) <= (stamp, idx),
+                    "release order violated: ({last_stamp},{last_order}) then ({stamp},{idx})"
+                );
+            }
+            released.push((stamp, idx));
+            state = ClockComponent::step(&buf, &state, &a, clock).expect("enabled releases step");
+        }
+        // Deliver the next arrival, if any.
+        if let Some((id, stamp)) = arrivals.first().copied() {
+            arrivals.remove(0);
+            state = ClockComponent::step(&buf, &state, &A::ERecv(env(id), stamp), clock)
+                .expect("ERecv is input-enabled");
+            continue;
+        }
+        // Otherwise advance the clock as far as the deadline allows.
+        let step = Duration::from_millis(advance_iter.next().unwrap_or(1).max(1));
+        let deadline = ClockComponent::clock_deadline(&buf, &state, clock);
+        let target = match deadline {
+            Some(d) if d <= clock => continue, // pinned: loop will release
+            Some(d) => (clock + step).min(d),
+            None => clock + step,
+        };
+        if target > clock {
+            state = ClockComponent::advance(&buf, &state, clock, target)
+                .expect("advance within deadline");
+            clock = target;
+        }
+    }
+    prop_assert_eq!(released.len(), stamps.len(), "every message must release");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn recv_buffer_release_discipline(
+        stamps in prop::collection::vec(0i64..50, 1..12),
+        advances in prop::collection::vec(1i64..10, 1..6),
+    ) {
+        drive_recv_buffer(stamps, advances)?;
+    }
+
+    #[test]
+    fn send_buffer_always_stamps_with_send_clock(
+        send_clocks in prop::collection::vec(0i64..100, 1..10),
+    ) {
+        let buf: SendBuffer<u32, &'static str> = SendBuffer::new(NodeId(1), NodeId(0));
+        let mut clocks = send_clocks.clone();
+        clocks.sort_unstable();
+        let mut state = ClockComponent::initial(&buf);
+        let mut clock = Time::ZERO;
+        for (i, &c) in clocks.iter().enumerate() {
+            let target = Time::ZERO + Duration::from_millis(c);
+            if target > clock {
+                state = ClockComponent::advance(&buf, &state, clock, target)
+                    .expect("empty buffer advances freely");
+                clock = target;
+            }
+            let e = Envelope {
+                src: NodeId(1),
+                dst: NodeId(0),
+                id: MsgId(i as u64),
+                payload: 0u32,
+            };
+            state = ClockComponent::step(&buf, &state, &A::Send(e.clone()), clock)
+                .expect("send accepted");
+            // While non-empty, the clock is pinned and the only enabled
+            // action carries exactly the current clock as its stamp.
+            prop_assert_eq!(
+                ClockComponent::clock_deadline(&buf, &state, clock),
+                Some(clock)
+            );
+            let out = ClockComponent::enabled(&buf, &state, clock);
+            prop_assert_eq!(out.len(), 1);
+            let A::ESend(oe, stamp) = &out[0] else { unreachable!() };
+            prop_assert_eq!(oe, &e);
+            prop_assert_eq!(*stamp, clock);
+            state = ClockComponent::step(&buf, &state, &out[0], clock).expect("forward");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the linearizability checker.
+//!
+//! 1. Against a brute-force permutation search on small histories — the
+//!    frontier search must be exactly as permissive.
+//! 2. Soundness by construction: histories *generated from* a legal
+//!    sequential execution (then relaxed into intervals) must be accepted.
+
+use proptest::prelude::*;
+use psync_net::NodeId;
+use psync_register::history::{OpKind, Operation};
+use psync_register::Value;
+use psync_time::{Duration, Time};
+use psync_verify::check_linearizable;
+
+fn t(n: i64) -> Time {
+    Time::ZERO + Duration::from_millis(n)
+}
+
+/// Brute force: try every permutation of the ops as a linearization order.
+fn brute_force(ops: &[Operation], initial: Value) -> bool {
+    let n = ops.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    fn legal(perm: &[usize], ops: &[Operation], initial: Value) -> bool {
+        // The order must embed real-time precedence and read correctly.
+        let mut value = initial;
+        for (pos, &i) in perm.iter().enumerate() {
+            // No operation later in the order may end before this begins.
+            for &j in &perm[pos + 1..] {
+                if let Some(res) = ops[j].responded {
+                    if res < ops[i].invoked {
+                        return false;
+                    }
+                }
+            }
+            match ops[i].kind {
+                OpKind::Write { value: v } => value = v,
+                OpKind::Read { returned } => {
+                    if returned != value {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+    // All subsets of open ops may be dropped; completed ops must appear.
+    let open: Vec<usize> = (0..n).filter(|&i| ops[i].responded.is_none()).collect();
+    for mask in 0..(1u32 << open.len()) {
+        let keep: Vec<usize> = (0..n)
+            .filter(|&i| {
+                ops[i].responded.is_some()
+                    || (mask >> open.iter().position(|&o| o == i).unwrap()) & 1 == 1
+            })
+            .collect();
+        let kept_ops: Vec<Operation> = keep.iter().map(|&i| ops[i]).collect();
+        let m = kept_ops.len();
+        perm.truncate(0);
+        perm.extend(0..m);
+        fn heaps(k: usize, perm: &mut Vec<usize>, ops: &[Operation], initial: Value) -> bool {
+            if k <= 1 {
+                return legal(perm, ops, initial);
+            }
+            for i in 0..k {
+                if heaps(k - 1, perm, ops, initial) {
+                    return true;
+                }
+                if k.is_multiple_of(2) {
+                    perm.swap(i, k - 1);
+                } else {
+                    perm.swap(0, k - 1);
+                }
+            }
+            false
+        }
+        if heaps(m, &mut perm, &kept_ops, initial) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Generates a small well-formed history: per node sequential ops with
+/// random intervals and random read values drawn from the written set.
+fn history_strategy() -> impl Strategy<Value = Vec<Operation>> {
+    let op = (0usize..3, 0i64..20, 1i64..6, 0u64..4, prop::bool::ANY);
+    prop::collection::vec(op, 0..6).prop_map(|raw| {
+        let mut next_free: Vec<i64> = vec![0; 3];
+        let mut ops = Vec::new();
+        for (node, start, len, val, is_read) in raw {
+            let inv = next_free[node].max(start);
+            let res = inv + len;
+            next_free[node] = res + 1;
+            let kind = if is_read {
+                OpKind::Read {
+                    returned: Value(val),
+                }
+            } else {
+                OpKind::Write {
+                    value: Value(val + 10),
+                }
+            };
+            ops.push(Operation {
+                node: NodeId(node),
+                kind,
+                invoked: t(inv),
+                responded: Some(t(res)),
+            });
+        }
+        ops.sort_by_key(|o| o.invoked);
+        ops
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn checker_agrees_with_brute_force(ops in history_strategy()) {
+        let fast = check_linearizable(&ops, Value(0)).holds();
+        let slow = brute_force(&ops, Value(0));
+        prop_assert_eq!(fast, slow, "checker and brute force disagree on {:?}", ops);
+    }
+
+    #[test]
+    fn histories_from_sequential_executions_are_accepted(
+        seq in prop::collection::vec((0usize..3, 0u64..6, prop::bool::ANY), 1..10),
+        widen in prop::collection::vec(0i64..4, 1..10),
+    ) {
+        // Build a legal sequential execution: ops happen atomically at
+        // times 10, 20, 30, …; reads return the current value. Then widen
+        // each op's interval around its atomic point (staying clear of the
+        // node's neighbours) — the result must be linearizable.
+        let mut value = Value(0);
+        let mut atomic = Vec::new();
+        for (k, (node, val, is_read)) in seq.iter().enumerate() {
+            let point = 10 * (k as i64 + 1);
+            let kind = if *is_read {
+                OpKind::Read { returned: value }
+            } else {
+                value = Value(100 + *val + k as u64);
+                OpKind::Write { value }
+            };
+            atomic.push((NodeId(*node), kind, point));
+        }
+        // Widen, keeping per-node sequentiality (±4 ms of slack is always
+        // safe given 10 ms spacing and distinct points per node).
+        let ops: Vec<Operation> = atomic
+            .iter()
+            .enumerate()
+            .map(|(k, (node, kind, point))| {
+                let w = widen.get(k % widen.len()).copied().unwrap_or(0);
+                Operation {
+                    node: *node,
+                    kind: *kind,
+                    invoked: t(point - w),
+                    responded: Some(t(point + w)),
+                }
+            })
+            .collect();
+        prop_assert!(
+            check_linearizable(&ops, Value(0)).holds(),
+            "widened sequential history rejected: {:?}",
+            ops
+        );
+    }
+
+    #[test]
+    fn reading_an_unwritten_value_is_always_rejected(
+        node in 0usize..3,
+        inv in 0i64..50,
+        len in 1i64..10,
+    ) {
+        let ops = vec![Operation {
+            node: NodeId(node),
+            kind: OpKind::Read { returned: Value(999) },
+            invoked: t(inv),
+            responded: Some(t(inv + len)),
+        }];
+        prop_assert!(!check_linearizable(&ops, Value(0)).holds());
+    }
+}

@@ -1,0 +1,216 @@
+//! Property tests for the trace relations `=_{ε,κ}` and `≤_{δ,K}`:
+//! the structured matchers must agree with a brute-force search over all
+//! bijections on small traces, and must accept exactly the perturbations
+//! the definitions allow.
+
+use proptest::prelude::*;
+use psync_automata::relations::{delta_shifted, eps_equivalent, ClassMap};
+use psync_automata::TimedTrace;
+use psync_time::{Duration, Time};
+
+/// Actions "a0".."c2": first letter = class (node), digit = payload.
+fn action_strategy() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec!["a0", "a1", "a2", "b0", "b1", "b2", "c0", "c1", "c2"])
+}
+
+fn classes() -> ClassMap<&'static str> {
+    ClassMap::by(|a: &&str| match a.chars().next() {
+        Some('a') => Some(0),
+        Some('b') => Some(1),
+        Some('c') => Some(2),
+        _ => None,
+    })
+}
+
+fn class_of(a: &str) -> usize {
+    match a.chars().next() {
+        Some('a') => 0,
+        Some('b') => 1,
+        _ => 2,
+    }
+}
+
+/// A small trace: up to 6 actions with times in 0..50 ms.
+fn trace_strategy() -> impl Strategy<Value = TimedTrace<&'static str>> {
+    prop::collection::vec((action_strategy(), 0i64..50), 0..6).prop_map(|mut pairs| {
+        pairs.sort_by_key(|(_, t)| *t);
+        pairs
+            .into_iter()
+            .map(|(a, t)| (a, Time::ZERO + Duration::from_millis(t)))
+            .collect()
+    })
+}
+
+/// Brute force: does any bijection witness `left =_{ε,κ} right`?
+fn brute_force_eps(
+    left: &TimedTrace<&'static str>,
+    right: &TimedTrace<&'static str>,
+    eps: Duration,
+) -> bool {
+    if left.len() != right.len() {
+        return false;
+    }
+    let n = left.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Heap's algorithm over all permutations (n ≤ 6 → ≤ 720).
+    #[allow(clippy::needless_range_loop)]
+    fn ok(
+        perm: &[usize],
+        left: &TimedTrace<&'static str>,
+        right: &TimedTrace<&'static str>,
+        eps: Duration,
+    ) -> bool {
+        let n = perm.len();
+        for i in 0..n {
+            let (la, lt) = left.get(i).unwrap();
+            let (ra, rt) = right.get(perm[i]).unwrap();
+            if la != ra || lt.skew(rt) > eps {
+                return false;
+            }
+        }
+        // Per-class order preservation.
+        for i in 0..n {
+            for j in i + 1..n {
+                let (ai, _) = left.get(i).unwrap();
+                let (aj, _) = left.get(j).unwrap();
+                if class_of(ai) == class_of(aj) && perm[i] > perm[j] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+    fn heaps(
+        k: usize,
+        perm: &mut Vec<usize>,
+        left: &TimedTrace<&'static str>,
+        right: &TimedTrace<&'static str>,
+        eps: Duration,
+    ) -> bool {
+        if k <= 1 {
+            return ok(perm, left, right, eps);
+        }
+        for i in 0..k {
+            if heaps(k - 1, perm, left, right, eps) {
+                return true;
+            }
+            if k.is_multiple_of(2) {
+                perm.swap(i, k - 1);
+            } else {
+                perm.swap(0, k - 1);
+            }
+        }
+        false
+    }
+    heaps(n, &mut perm, left, right, eps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matcher_agrees_with_brute_force(
+        left in trace_strategy(),
+        right in trace_strategy(),
+        eps_ms in 0i64..10,
+    ) {
+        let eps = Duration::from_millis(eps_ms);
+        let fast = eps_equivalent(&left, &right, eps, &classes()).is_ok();
+        let slow = brute_force_eps(&left, &right, eps);
+        prop_assert_eq!(fast, slow, "matcher and brute force disagree");
+    }
+
+    #[test]
+    fn perturbation_within_eps_always_accepted(
+        base in trace_strategy(),
+        shifts in prop::collection::vec(-3i64..=3, 0..6),
+        eps_extra in 0i64..3,
+    ) {
+        // Shift every action by at most 3 ms (clamped at 0), keeping
+        // per-class order by re-sorting *within* the global trace only if
+        // monotone — we instead shift and re-sort globally, which keeps
+        // per-class order whenever shifts preserve it; to stay sound we
+        // just check the relation with ε = max shift used.
+        let mut pairs: Vec<(&'static str, Time)> = base.iter().map(|(a, t)| (*a, t)).collect();
+        let mut max_shift = 0i64;
+        for (i, p) in pairs.iter_mut().enumerate() {
+            let s = shifts.get(i).copied().unwrap_or(0);
+            let shifted = (p.1.as_nanos() + s * 1_000_000).max(0);
+            p.1 = Time::from_nanos(shifted).unwrap();
+        }
+        // Per-class monotonicity must be preserved for the relation to be
+        // guaranteed; enforce it by sorting each class's times.
+        for cls in 0..3usize {
+            let mut times: Vec<Time> = pairs
+                .iter()
+                .filter(|(a, _)| class_of(a) == cls)
+                .map(|(_, t)| *t)
+                .collect();
+            times.sort();
+            let mut it = times.into_iter();
+            for p in pairs.iter_mut().filter(|(a, _)| class_of(a) == cls) {
+                p.1 = it.next().unwrap();
+            }
+        }
+        // Recompute actual per-action deviation to get a valid ε.
+        for (i, (_, t)) in pairs.iter().enumerate() {
+            let (_, orig) = base.get(i).unwrap();
+            max_shift = max_shift.max((t.as_nanos() - orig.as_nanos()).abs() / 1_000_000);
+        }
+        pairs.sort_by_key(|(_, t)| *t);
+        let perturbed: TimedTrace<&'static str> = pairs.into_iter().collect();
+        let eps = Duration::from_millis(max_shift + eps_extra);
+        prop_assert!(
+            eps_equivalent(&base, &perturbed, eps, &classes()).is_ok(),
+            "perturbation within ε must be accepted"
+        );
+    }
+
+    #[test]
+    fn identity_is_always_related(base in trace_strategy()) {
+        let w = eps_equivalent(&base, &base, Duration::ZERO, &classes()).unwrap();
+        prop_assert_eq!(w.max_deviation, Duration::ZERO);
+        prop_assert_eq!(w.matched, base.len());
+        let w2 = delta_shifted(&base, &base, Duration::ZERO, &classes()).unwrap();
+        prop_assert_eq!(w2.max_deviation, Duration::ZERO);
+    }
+
+    #[test]
+    fn delta_shift_forward_accepted_backward_rejected(
+        base in trace_strategy(),
+        shift_ms in 1i64..5,
+    ) {
+        // Shift *class-a* actions forward uniformly; relation must hold
+        // with δ = shift and fail with δ = shift − 1.
+        let only_a = ClassMap::by(|a: &&str| (a.starts_with('a')).then_some(0));
+        let shift = Duration::from_millis(shift_ms);
+        let mut pairs: Vec<(&'static str, Time)> = base.iter().map(|(a, t)| (*a, t)).collect();
+        for p in &mut pairs {
+            if p.0.starts_with('a') {
+                p.1 += shift;
+            }
+        }
+        pairs.sort_by_key(|(_, t)| *t);
+        let shifted: TimedTrace<&'static str> = pairs.into_iter().collect();
+        prop_assert!(delta_shifted(&base, &shifted, shift, &only_a).is_ok());
+        if base.iter().any(|(a, _)| a.starts_with('a')) {
+            prop_assert!(
+                delta_shifted(&base, &shifted, shift - Duration::from_millis(1), &only_a)
+                    .is_err(),
+                "undersized δ must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn eps_relation_is_symmetric(
+        left in trace_strategy(),
+        right in trace_strategy(),
+        eps_ms in 0i64..10,
+    ) {
+        let eps = Duration::from_millis(eps_ms);
+        let ab = eps_equivalent(&left, &right, eps, &classes()).is_ok();
+        let ba = eps_equivalent(&right, &left, eps, &classes()).is_ok();
+        prop_assert_eq!(ab, ba, "=_eps,kappa must be symmetric");
+    }
+}

@@ -1,0 +1,101 @@
+//! Property test over *system parameters*: any legal combination of
+//! topology size, delay bounds, skew, trade-off knob and seeds must yield
+//! a linearizable clock-model register run that passes the constructive
+//! Theorem 4.7 check.
+
+use proptest::prelude::*;
+use psync::prelude::*;
+use psync_register::history;
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+proptest! {
+    // Each case runs a whole discrete-event simulation; keep counts sane.
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_clock_model_runs_are_linearizable(
+        n in 2usize..5,
+        d1_ms in 0i64..4,
+        width_ms in 1i64..8,
+        eps_ms in 1i64..3,
+        c_frac in 0u8..=100,
+        seed in 0u64..1_000_000,
+    ) {
+        let topo = Topology::complete(n);
+        let physical = DelayBounds::new(ms(d1_ms), ms(d1_ms + width_ms)).unwrap();
+        let eps = ms(eps_ms);
+        // c anywhere in its legal range [0, d'₂ − 2ε] = [0, d₂].
+        let c = Duration::from_nanos(
+            physical.max().as_nanos() * i64::from(c_frac) / 100,
+        );
+        let delta = Duration::from_micros(50);
+        let params = RegisterParams::for_clock_model(&topo, physical, eps, c, delta);
+        let algorithms = topo
+            .nodes()
+            .map(|i| NodeSpec::new(i, AlgorithmS::new(i, params.clone())))
+            .collect();
+        let strategies: Vec<Box<dyn ClockStrategy>> = (0..n)
+            .map(|i| -> Box<dyn ClockStrategy> {
+                match (seed as usize + i) % 4 {
+                    0 => Box::new(PerfectClock),
+                    1 => Box::new(OffsetClock::new(eps, eps)),
+                    2 => Box::new(OffsetClock::new(-eps, eps)),
+                    _ => Box::new(RandomWalkClock::new(seed ^ i as u64, eps / 4)),
+                }
+            })
+            .collect();
+        let workload = ClosedLoopWorkload::new(
+            &topo,
+            seed,
+            DelayBounds::new(ms(1), ms(6)).unwrap(),
+            5,
+        );
+        let mut engine = build_dc(
+            &topo,
+            physical,
+            eps,
+            algorithms,
+            strategies,
+            move |i, j| Box::new(SeededDelay::new(seed ^ ((i.0 as u64) << 8) ^ j.0 as u64)),
+        )
+        .timed(workload)
+        .scheduler(RandomScheduler::new(seed))
+        .horizon(Time::ZERO + Duration::from_secs(5))
+        .build();
+        let run = engine.run().expect("well-formed composition");
+        prop_assert_eq!(run.stop, StopReason::Quiescent, "workload must finish");
+
+        let trace = app_trace(&run.execution);
+        let ops = history::extract(&trace, n).expect("closed loop is well-formed");
+        prop_assert_eq!(ops.len(), n * 5);
+        let verdict = check_linearizable(&ops, Value::INITIAL);
+        prop_assert!(verdict.holds(), "not linearizable: {}", verdict);
+
+        // Theorem 4.7 constructive check against Q (superlinearizability).
+        let q = SuperlinearizableRegister::new(n, Value::INITIAL, eps * 2);
+        let classes = node_classes::<RegMsg, RegisterOp>(|op| Some(op.node()));
+        let w = check_sim1(&run.execution, &q, eps, &classes)
+            .map_err(|e| TestCaseError::fail(format!("Theorem 4.7 failed: {e}")))?;
+        prop_assert!(w.max_deviation <= eps);
+
+        // Lemma 4.5: clock-time delay of every completed message within
+        // [max(0, d₁ − 2ε), d₂ + 2ε].
+        let virt = physical.widen_for_skew(eps);
+        for f in psync_core::analysis::flights(&run.execution).values() {
+            if let Some(cd) = f.clock_delay() {
+                prop_assert!(
+                    cd >= virt.min() && cd <= virt.max(),
+                    "clock delay {} outside {}",
+                    cd,
+                    virt
+                );
+            }
+            if let Some(rd) = f.channel_delay() {
+                prop_assert!(physical.contains(rd), "real delay {} outside {}", rd, physical);
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Integration: Theorem 6.5 end-to-end.
+//!
+//! The transformed Algorithm S runs in the clock model (`D_C`) under
+//! adversarial clocks, schedulers and delay policies; every run must be
+//! linearizable, respect the latency formulas `read = 2ε + δ + c` /
+//! `write = d₂ + 2ε − c`, and satisfy the constructive Theorem 4.7 check
+//! (the `γ_α` witness is superlinearizable and `=_{ε,κ}`-close).
+
+use psync::prelude::*;
+use psync_register::history;
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+struct Scenario {
+    topo: Topology,
+    physical: DelayBounds,
+    eps: Duration,
+    c: Duration,
+    delta: Duration,
+    seed: u64,
+    ops_per_node: u32,
+}
+
+impl Scenario {
+    fn params(&self) -> RegisterParams {
+        RegisterParams::for_clock_model(&self.topo, self.physical, self.eps, self.c, self.delta)
+    }
+
+    /// Runs D_C with the given per-node clock strategies and returns the
+    /// recorded execution.
+    fn run(&self, strategies: Vec<Box<dyn ClockStrategy>>) -> Execution<RegAction> {
+        let params = self.params();
+        let algorithms = self
+            .topo
+            .nodes()
+            .map(|i| NodeSpec::new(i, AlgorithmS::new(i, params.clone())))
+            .collect();
+        let seed = self.seed;
+        let workload = ClosedLoopWorkload::new(
+            &self.topo,
+            seed,
+            DelayBounds::new(ms(1), ms(8)).unwrap(),
+            self.ops_per_node,
+        );
+        let mut engine = build_dc(
+            &self.topo,
+            self.physical,
+            self.eps,
+            algorithms,
+            strategies,
+            move |i, j| Box::new(SeededDelay::new(seed ^ ((i.0 as u64) << 8) ^ j.0 as u64)),
+        )
+        .timed(workload)
+        .scheduler(RandomScheduler::new(seed))
+        .horizon(Time::ZERO + Duration::from_secs(5))
+        .build();
+        let run = engine.run().expect("well-formed composition");
+        assert_eq!(
+            run.stop,
+            StopReason::Quiescent,
+            "workload must complete before the horizon"
+        );
+        run.execution
+    }
+}
+
+fn adversarial_strategies(n: usize, eps: Duration, seed: u64) -> Vec<Box<dyn ClockStrategy>> {
+    (0..n)
+        .map(|i| -> Box<dyn ClockStrategy> {
+            match i % 4 {
+                0 => Box::new(OffsetClock::new(eps, eps)),  // fast corner
+                1 => Box::new(OffsetClock::new(-eps, eps)), // slow corner
+                2 => Box::new(RandomWalkClock::new(seed ^ i as u64, eps / 4)),
+                _ => Box::new(DriftClock::new(500)),
+            }
+        })
+        .collect()
+}
+
+fn check_run(scenario: &Scenario, exec: &Execution<RegAction>) {
+    let n = scenario.topo.len();
+    let trace = app_trace(exec);
+    let ops = history::extract(&trace, n).expect("closed-loop workload respects alternation");
+    assert_eq!(
+        ops.len(),
+        n * scenario.ops_per_node as usize,
+        "all operations must complete"
+    );
+
+    // Theorem 6.5: linearizable.
+    let verdict = check_linearizable(&ops, Value::INITIAL);
+    assert!(verdict.holds(), "not linearizable: {verdict}");
+
+    // Latency formulas. The engine runs the algorithm on *clock* time, so
+    // real-time latencies deviate from the formulas by at most 2ε (the
+    // invocation and the response are timed on a clock each within ε).
+    let params = scenario.params();
+    let two_eps = scenario.eps * 2;
+    let (reads, writes) = history::latency_split(&ops);
+    for r in &reads {
+        assert!(
+            (*r - params.read_latency()).abs() <= two_eps,
+            "read latency {r} vs formula {}",
+            params.read_latency()
+        );
+    }
+    for w in &writes {
+        assert!(
+            (*w - params.write_latency()).abs() <= two_eps,
+            "write latency {w} vs formula {}",
+            params.write_latency()
+        );
+    }
+
+    // Theorem 4.7, constructively: the γ_α witness satisfies Q (the
+    // superlinearizable problem) and is =_{ε,κ} the recorded trace.
+    let q = SuperlinearizableRegister::new(n, Value::INITIAL, two_eps);
+    let classes = node_classes::<RegMsg, RegisterOp>(|op| Some(op.node()));
+    let witness = check_sim1(exec, &q, scenario.eps, &classes)
+        .unwrap_or_else(|e| panic!("Theorem 4.7 check failed: {e}"));
+    assert!(
+        witness.max_deviation <= scenario.eps,
+        "trace distortion {} exceeds ε {}",
+        witness.max_deviation,
+        scenario.eps
+    );
+}
+
+#[test]
+fn perfect_clocks_three_nodes() {
+    let scenario = Scenario {
+        topo: Topology::complete(3),
+        physical: DelayBounds::new(ms(2), ms(10)).unwrap(),
+        eps: ms(1),
+        c: ms(3),
+        delta: Duration::from_micros(100),
+        seed: 42,
+        ops_per_node: 12,
+    };
+    let strategies = (0..3)
+        .map(|_| Box::new(PerfectClock) as Box<dyn ClockStrategy>)
+        .collect();
+    let exec = scenario.run(strategies);
+    check_run(&scenario, &exec);
+}
+
+#[test]
+fn adversarial_clocks_three_nodes() {
+    let scenario = Scenario {
+        topo: Topology::complete(3),
+        physical: DelayBounds::new(ms(2), ms(10)).unwrap(),
+        eps: ms(1),
+        c: ms(3),
+        delta: Duration::from_micros(100),
+        seed: 7,
+        ops_per_node: 12,
+    };
+    let strategies = adversarial_strategies(3, scenario.eps, scenario.seed);
+    let exec = scenario.run(strategies);
+    check_run(&scenario, &exec);
+}
+
+#[test]
+fn adversarial_clocks_five_nodes_many_seeds() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let scenario = Scenario {
+            topo: Topology::complete(5),
+            physical: DelayBounds::new(ms(1), ms(6)).unwrap(),
+            eps: ms(1),
+            c: ms(2),
+            delta: Duration::from_micros(100),
+            seed,
+            ops_per_node: 8,
+        };
+        let strategies = adversarial_strategies(5, scenario.eps, seed);
+        let exec = scenario.run(strategies);
+        check_run(&scenario, &exec);
+    }
+}
+
+#[test]
+fn extreme_skew_with_tiny_network_delay() {
+    // d₁ < 2ε: the receive buffers must engage (Section 7.2) and
+    // linearizability must still hold.
+    let scenario = Scenario {
+        topo: Topology::complete(3),
+        physical: DelayBounds::new(Duration::from_micros(100), ms(2)).unwrap(),
+        eps: ms(2),
+        c: ms(1),
+        delta: Duration::from_micros(100),
+        seed: 99,
+        ops_per_node: 10,
+    };
+    let strategies = vec![
+        Box::new(OffsetClock::new(ms(2), ms(2))) as Box<dyn ClockStrategy>,
+        Box::new(OffsetClock::new(-ms(2), ms(2))),
+        Box::new(PerfectClock),
+    ];
+    let exec = scenario.run(strategies);
+    check_run(&scenario, &exec);
+
+    // The buffering really engaged: some message was held.
+    let flights = psync_core::analysis::flights(&exec);
+    let held = flights
+        .values()
+        .filter_map(psync_core::analysis::Flight::hold_time)
+        .filter(|h| h.is_positive())
+        .count();
+    assert!(
+        held > 0,
+        "with d₁ < 2ε and extreme skews, some messages must be buffered"
+    );
+}
+
+#[test]
+fn c_zero_and_c_max_extremes() {
+    for c_ms in [0i64, 8] {
+        let scenario = Scenario {
+            topo: Topology::complete(3),
+            physical: DelayBounds::new(ms(2), ms(8)).unwrap(),
+            eps: ms(1),
+            c: ms(c_ms),
+            delta: Duration::from_micros(100),
+            seed: 5,
+            ops_per_node: 8,
+        };
+        let strategies = adversarial_strategies(3, scenario.eps, 11);
+        let exec = scenario.run(strategies);
+        check_run(&scenario, &exec);
+    }
+}

@@ -1,0 +1,86 @@
+//! Integration: a ring of failure detectors — the first non-complete
+//! topology exercised end-to-end. Every node heartbeats its ring
+//! successor's monitor; node `i+1` monitors node `i`. One crash must
+//! produce exactly one (correct) suspicion, under adversarial clocks.
+
+use psync::prelude::*;
+use psync_apps::heartbeat::{FdAction, FdOp, FdParams, Heartbeater, Monitor};
+use psync_automata::{ComponentBox, Pair};
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+#[test]
+fn ring_of_monitors_detects_exactly_the_crashed_node() {
+    let n = 5;
+    let topo = Topology::ring(n);
+    let physical = DelayBounds::new(ms(2), ms(6)).unwrap();
+    let eps = ms(1);
+    let period = ms(10);
+    let params = FdParams::timeout_for(period, physical.widen_for_skew(eps), ms(1));
+    let crashed = NodeId(2);
+    let crash_at = Time::ZERO + ms(150);
+
+    // Node i hosts a heartbeater (to its successor) *and* a monitor (of
+    // its predecessor) — one composite algorithm per node.
+    let algorithms: Vec<NodeSpec<psync_apps::heartbeat::Heartbeat, FdOp>> = topo
+        .nodes()
+        .map(|i| {
+            let succ = NodeId((i.0 + 1) % n);
+            let pred = NodeId((i.0 + n - 1) % n);
+            // Two roles on one node, composed with the Pair combinator.
+            NodeSpec {
+                id: i,
+                algorithm: ComponentBox::new(Pair::new(
+                    Heartbeater::new(i, succ, period),
+                    Monitor::new(i, pred, params),
+                )),
+            }
+        })
+        .collect();
+
+    let strategies: Vec<Box<dyn ClockStrategy>> = (0..n)
+        .map(|i| -> Box<dyn ClockStrategy> {
+            match i % 3 {
+                0 => Box::new(OffsetClock::new(eps, eps)),
+                1 => Box::new(OffsetClock::new(-eps, eps)),
+                _ => Box::new(RandomWalkClock::new(i as u64, eps / 4)),
+            }
+        })
+        .collect();
+
+    let crash = Script::new(
+        vec![(crash_at, FdOp::Crash { node: crashed })],
+        |op: &FdOp| matches!(op, FdOp::Suspect { .. }),
+    );
+
+    let mut engine = build_dc(&topo, physical, eps, algorithms, strategies, |i, j| {
+        Box::new(SeededDelay::new(99 ^ ((i.0 as u64) << 8) ^ j.0 as u64))
+    })
+    .timed(crash)
+    .horizon(crash_at + Duration::from_secs(1))
+    .build();
+    let exec = engine.run().expect("well-formed ring").execution;
+    let trace: psync_automata::TimedTrace<FdAction> = app_trace(&exec);
+
+    // Exactly one suspicion: the crashed node's monitor (its successor).
+    let suspicions: Vec<(NodeId, NodeId, Time)> = trace
+        .iter()
+        .filter_map(|(a, t)| match a {
+            SysAction::App(FdOp::Suspect { monitor, target }) => Some((*monitor, *target, t)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(suspicions.len(), 1, "exactly one suspicion: {suspicions:?}");
+    let (monitor, target, when) = suspicions[0];
+    assert_eq!(target, crashed);
+    assert_eq!(monitor, NodeId((crashed.0 + 1) % n));
+    assert!(when > crash_at, "no false (pre-crash) suspicion");
+    let bound = physical.widen_for_skew(eps).max() + params.timeout + eps * 2;
+    assert!(
+        when - crash_at <= bound,
+        "detection took {} (bound {bound})",
+        when - crash_at
+    );
+}

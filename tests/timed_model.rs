@@ -1,0 +1,147 @@
+//! Integration: the abstract model (Lemma 6.1 and Lemma 6.2).
+//!
+//! In the pure timed-automaton model `D_T`, Algorithm L solves plain
+//! linearizability with read time `c + δ` / write time `d'₂ − c`, and
+//! Algorithm S (read slack `2ε`) solves the stronger
+//! ε-superlinearizability. These are the *premises* the two simulations
+//! consume.
+
+use psync::prelude::*;
+use psync_register::history;
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+fn run_dt(
+    n: usize,
+    bounds: DelayBounds,
+    params: &RegisterParams,
+    seed: u64,
+    ops: u32,
+) -> Execution<RegAction> {
+    let topo = Topology::complete(n);
+    let algorithms = topo
+        .nodes()
+        .map(|i| NodeSpec::new(i, AlgorithmS::new(i, params.clone())))
+        .collect();
+    let workload =
+        ClosedLoopWorkload::new(&topo, seed, DelayBounds::new(ms(1), ms(7)).unwrap(), ops);
+    let mut engine = build_dt(&topo, bounds, algorithms, move |i, j| {
+        Box::new(SeededDelay::new(seed ^ ((i.0 as u64) << 8) ^ j.0 as u64))
+    })
+    .timed(workload)
+    .scheduler(RandomScheduler::new(seed))
+    .horizon(Time::ZERO + Duration::from_secs(10))
+    .build();
+    let run = engine.run().expect("well-formed D_T");
+    assert_eq!(run.stop, StopReason::Quiescent);
+    run.execution
+}
+
+#[test]
+fn algorithm_l_solves_linearizability_with_exact_latencies() {
+    let n = 4;
+    let bounds = DelayBounds::new(ms(2), ms(9)).unwrap();
+    let topo = Topology::complete(n);
+    let delta = Duration::from_micros(50);
+    for c_ms in [0i64, 4, 9] {
+        let params = RegisterParams::for_timed_model(&topo, bounds, ms(c_ms), delta);
+        for seed in [1u64, 2, 3] {
+            let exec = run_dt(n, bounds, &params, seed, 8);
+            let ops = history::extract(&app_trace(&exec), n).expect("well-formed");
+            assert_eq!(ops.len(), n * 8);
+            let verdict = check_linearizable(&ops, Value::INITIAL);
+            assert!(verdict.holds(), "c={c_ms}ms seed={seed}: {verdict}");
+
+            // In the timed model the latency formulas are *exact*.
+            let (reads, writes) = history::latency_split(&ops);
+            for r in reads {
+                assert_eq!(r, params.read_latency(), "read latency must be exact");
+            }
+            for w in writes {
+                assert_eq!(w, params.write_latency(), "write latency must be exact");
+            }
+        }
+    }
+}
+
+#[test]
+fn algorithm_s_solves_superlinearizability() {
+    let n = 3;
+    let bounds = DelayBounds::new(ms(2), ms(9)).unwrap();
+    let topo = Topology::complete(n);
+    let two_eps = ms(2);
+    // Algorithm S in the timed model: read slack 2ε.
+    let params = RegisterParams {
+        peers: topo.nodes().collect(),
+        d2_virtual: bounds.max(),
+        c: ms(3),
+        delta: Duration::from_micros(50),
+        read_slack: two_eps,
+    };
+    for seed in [11u64, 12, 13] {
+        let exec = run_dt(n, bounds, &params, seed, 8);
+        let ops = history::extract(&app_trace(&exec), n).unwrap();
+        let verdict = check_superlinearizable(&ops, Value::INITIAL, two_eps);
+        assert!(verdict.holds(), "seed {seed}: {verdict}");
+    }
+}
+
+#[test]
+fn algorithm_l_generally_fails_superlinearizability() {
+    // The reason Algorithm S exists: L's reads can be forced to linearize
+    // too close to their invocation. With c = 0 a read takes only δ, so a
+    // 2ε-late linearization point cannot fit — any run with at least one
+    // read must violate Q.
+    let n = 3;
+    let bounds = DelayBounds::new(ms(2), ms(9)).unwrap();
+    let topo = Topology::complete(n);
+    let params =
+        RegisterParams::for_timed_model(&topo, bounds, Duration::ZERO, Duration::from_micros(50));
+    let exec = run_dt(n, bounds, &params, 42, 8);
+    let ops = history::extract(&app_trace(&exec), n).unwrap();
+    assert!(
+        ops.iter().any(psync_register::history::Operation::is_read),
+        "workload must contain reads for this test to bite"
+    );
+    let verdict = check_superlinearizable(&ops, Value::INITIAL, ms(2));
+    assert!(
+        !verdict.holds(),
+        "L with c=0 must not be 2ε-superlinearizable"
+    );
+}
+
+#[test]
+fn d1_lower_bound_is_respected_by_channels() {
+    // Sanity on the substrate: every message spends at least d₁ and at
+    // most d₂ in the channel, under the jitter adversary.
+    let n = 3;
+    let bounds = DelayBounds::new(ms(2), ms(9)).unwrap();
+    let topo = Topology::complete(n);
+    let params = RegisterParams::for_timed_model(&topo, bounds, ms(3), Duration::from_micros(50));
+    let exec = run_dt(n, bounds, &params, 77, 6);
+
+    // In D_T messages travel as plain SENDMSG/RECVMSG.
+    use std::collections::HashMap;
+    let mut sent: HashMap<MsgId, Time> = HashMap::new();
+    let mut seen = 0;
+    for e in exec.events() {
+        match &e.action {
+            SysAction::Send(env) => {
+                sent.insert(env.id, e.now);
+            }
+            SysAction::Recv(env) => {
+                let s = sent[&env.id];
+                let d = e.now - s;
+                assert!(
+                    d >= bounds.min() && d <= bounds.max(),
+                    "delay {d} outside {bounds}"
+                );
+                seen += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(seen > 0, "messages must actually flow");
+}
