@@ -154,6 +154,10 @@ impl TimedComponent for Heartbeater {
         }
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["CRASH", "SENDMSG"])
+    }
+
     fn step(&self, s: &HeartbeaterState, a: &FdAction, now: Time) -> Option<HeartbeaterState> {
         match a {
             SysAction::App(FdOp::Crash { node }) if *node == self.node => {
@@ -263,6 +267,10 @@ impl TimedComponent for Monitor {
             }
             _ => None,
         }
+    }
+
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["RECVMSG", "SUSPECT"])
     }
 
     fn step(&self, s: &MonitorState, a: &FdAction, now: Time) -> Option<MonitorState> {

@@ -160,6 +160,10 @@ impl TimedComponent for SlotUser {
         }
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["ENTER", "EXIT"])
+    }
+
     fn step(&self, s: &SlotUserState, a: &MutexAction, now: Time) -> Option<SlotUserState> {
         match a {
             SysAction::App(MutexOp::Enter { node, round })

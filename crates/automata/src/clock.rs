@@ -49,6 +49,18 @@ pub trait ClockComponent: 'static {
     /// Classifies `a` in this component's signature.
     fn classify(&self, a: &Self::Action) -> Option<ActionKind>;
 
+    /// The [`Action::name`]s of every action in this component's signature,
+    /// or `None` when the signature cannot be enumerated statically.
+    ///
+    /// Same routing-hint contract as
+    /// [`TimedComponent::action_names`](crate::TimedComponent::action_names):
+    /// whenever `classify(a)` is `Some`, `a.name()` must appear in the
+    /// list; over-approximation is safe; `None` (the default) means the
+    /// engine routes every action here.
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        None
+    }
+
     /// Applies the non-time-passage action `a` when the node clock reads
     /// `clock`, or `None` if `a` is not enabled.
     fn step(&self, s: &Self::State, a: &Self::Action, clock: Time) -> Option<Self::State>;
@@ -84,6 +96,7 @@ pub(crate) trait DynClock<A: Action> {
     fn name(&self) -> String;
     fn initial_dyn(&self) -> DynState;
     fn classify_dyn(&self, a: &A) -> Option<ActionKind>;
+    fn action_names_dyn(&self) -> Option<Vec<&'static str>>;
     fn step_dyn(&self, s: &DynState, a: &A, clock: Time) -> Option<DynState>;
     fn enabled_dyn(&self, s: &DynState, clock: Time) -> Vec<A>;
     fn clock_deadline_dyn(&self, s: &DynState, clock: Time) -> Option<Time>;
@@ -103,6 +116,10 @@ impl<A: Action, C: ClockComponent<Action = A>> DynClock<A> for Eraser<C> {
 
     fn classify_dyn(&self, a: &A) -> Option<ActionKind> {
         self.0.classify(a)
+    }
+
+    fn action_names_dyn(&self) -> Option<Vec<&'static str>> {
+        self.0.action_names()
     }
 
     fn step_dyn(&self, s: &DynState, a: &A, clock: Time) -> Option<DynState> {
@@ -162,6 +179,13 @@ impl<A: Action> ClockComponentBox<A> {
         self.inner.classify_dyn(a)
     }
 
+    /// The signature's action names, when statically enumerable
+    /// (see [`ClockComponent::action_names`]).
+    #[must_use]
+    pub fn action_names(&self) -> Option<Vec<&'static str>> {
+        self.inner.action_names_dyn()
+    }
+
     /// Applies a non-time-passage action at clock time `clock`.
     #[must_use]
     pub fn step(&self, s: &DynState, a: &A, clock: Time) -> Option<DynState> {
@@ -204,6 +228,10 @@ impl<A: Action> ClockComponent for ClockComponentBox<A> {
 
     fn classify(&self, a: &A) -> Option<ActionKind> {
         ClockComponentBox::classify(self, a)
+    }
+
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        ClockComponentBox::action_names(self)
     }
 
     fn step(&self, s: &DynState, a: &A, clock: Time) -> Option<DynState> {
@@ -295,6 +323,18 @@ impl<A: Action> ClockComponent for ClockComposite<A> {
         seen_input.then_some(ActionKind::Input)
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        // The composite's signature is the union of its parts'; one
+        // unenumerable part makes the whole composite a wildcard.
+        let mut names: Vec<&'static str> = Vec::new();
+        for p in &self.parts {
+            names.extend(p.action_names()?);
+        }
+        names.sort_unstable();
+        names.dedup();
+        Some(names)
+    }
+
     fn step(&self, s: &CompositeState, a: &A, clock: Time) -> Option<CompositeState> {
         let mut next = s.clone();
         let mut touched = false;
@@ -373,6 +413,11 @@ where
             Some(ActionKind::Output) if (self.hide)(a) => Some(ActionKind::Internal),
             other => other,
         }
+    }
+
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        // Hiding reclassifies actions, never changes signature membership.
+        self.inner.action_names()
     }
 
     fn step(&self, s: &Self::State, a: &Self::Action, clock: Time) -> Option<Self::State> {

@@ -53,6 +53,21 @@ pub trait TimedComponent: 'static {
     /// an action of this component.
     fn classify(&self, a: &Self::Action) -> Option<ActionKind>;
 
+    /// The [`Action::name`]s of every action in this component's signature,
+    /// or `None` when the signature cannot be enumerated statically.
+    ///
+    /// This is a *routing hint*, not part of the behaviour: the execution
+    /// engine uses it to consult only interested components when an action
+    /// fires instead of broadcasting to everyone. The contract is
+    /// one-sided — whenever `classify(a)` is `Some`, `a.name()` must appear
+    /// in the returned list — but the list may safely over-approximate
+    /// (contain names the component never actually takes). Returning `None`
+    /// (the default) routes every action to the component, which is always
+    /// correct, merely slower.
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        None
+    }
+
     /// Applies the non-time-passage action `a` at time `now`, returning the
     /// successor state, or `None` if `a` is not enabled in `s`.
     ///
@@ -97,6 +112,7 @@ pub(crate) trait DynTimed<A: Action> {
     fn name(&self) -> String;
     fn initial_dyn(&self) -> DynState;
     fn classify_dyn(&self, a: &A) -> Option<ActionKind>;
+    fn action_names_dyn(&self) -> Option<Vec<&'static str>>;
     fn step_dyn(&self, s: &DynState, a: &A, now: Time) -> Option<DynState>;
     fn enabled_dyn(&self, s: &DynState, now: Time) -> Vec<A>;
     fn deadline_dyn(&self, s: &DynState, now: Time) -> Option<Time>;
@@ -158,6 +174,10 @@ impl<A: Action, C: TimedComponent<Action = A>> DynTimed<A> for Eraser<C> {
 
     fn classify_dyn(&self, a: &A) -> Option<ActionKind> {
         self.0.classify(a)
+    }
+
+    fn action_names_dyn(&self) -> Option<Vec<&'static str>> {
+        self.0.action_names()
     }
 
     fn step_dyn(&self, s: &DynState, a: &A, now: Time) -> Option<DynState> {
@@ -230,6 +250,13 @@ impl<A: Action> ComponentBox<A> {
         self.inner.classify_dyn(a)
     }
 
+    /// The signature's action names, when statically enumerable
+    /// (see [`TimedComponent::action_names`]).
+    #[must_use]
+    pub fn action_names(&self) -> Option<Vec<&'static str>> {
+        self.inner.action_names_dyn()
+    }
+
     /// Applies a non-time-passage action.
     #[must_use]
     pub fn step(&self, s: &DynState, a: &A, now: Time) -> Option<DynState> {
@@ -272,6 +299,10 @@ impl<A: Action> TimedComponent for ComponentBox<A> {
 
     fn classify(&self, a: &A) -> Option<ActionKind> {
         ComponentBox::classify(self, a)
+    }
+
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        ComponentBox::action_names(self)
     }
 
     fn step(&self, s: &DynState, a: &A, now: Time) -> Option<DynState> {
@@ -354,6 +385,12 @@ where
             Some(ActionKind::Output) if (self.hide)(a) => Some(ActionKind::Internal),
             other => other,
         }
+    }
+
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        // Hiding reclassifies actions; it never changes signature
+        // membership, so the inner hint stays exact.
+        self.inner.action_names()
     }
 
     fn step(&self, s: &Self::State, a: &Self::Action, now: Time) -> Option<Self::State> {

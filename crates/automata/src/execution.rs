@@ -1,6 +1,7 @@
 //! Recorded executions and their projections (Section 2.1).
 
 use core::fmt;
+use std::sync::Arc;
 
 use psync_time::Time;
 
@@ -44,7 +45,12 @@ pub struct TimedEvent<A> {
 /// far the run got and callers decide whether that horizon suffices.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Execution<A> {
-    events: Vec<TimedEvent<A>>,
+    // Shared, not owned: an engine snapshots its (growing) event log into
+    // an `Execution` on every `finish`, and incremental driving via
+    // `run_until` produces many snapshots of the same prefix. `Arc` makes
+    // each snapshot O(1); the engine copy-on-writes only when it appends
+    // past a still-live snapshot.
+    events: Arc<Vec<TimedEvent<A>>>,
     ltime: Time,
 }
 
@@ -56,8 +62,19 @@ impl<A: Action> Execution<A> {
     /// Panics if event times are not non-decreasing or exceed `ltime`.
     #[must_use]
     pub fn new(events: Vec<TimedEvent<A>>, ltime: Time) -> Self {
+        Execution::from_shared(Arc::new(events), ltime)
+    }
+
+    /// Creates an execution record from an already-shared event log,
+    /// without copying it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if event times are not non-decreasing or exceed `ltime`.
+    #[must_use]
+    pub fn from_shared(events: Arc<Vec<TimedEvent<A>>>, ltime: Time) -> Self {
         let mut prev = Time::ZERO;
-        for e in &events {
+        for e in events.iter() {
             assert!(
                 e.now >= prev,
                 "event times must be non-decreasing ({} after {})",
@@ -135,7 +152,7 @@ impl<A: Action> Execution<A> {
     #[must_use]
     pub fn project(&self, mut keep: impl FnMut(&TimedEvent<A>) -> bool) -> Execution<A> {
         Execution {
-            events: self.events.iter().filter(|e| keep(e)).cloned().collect(),
+            events: Arc::new(self.events.iter().filter(|e| keep(e)).cloned().collect()),
             ltime: self.ltime,
         }
     }
@@ -149,7 +166,7 @@ impl<A: Action> fmt::Display for Execution<A> {
             self.events.len(),
             self.ltime
         )?;
-        for e in &self.events {
+        for e in self.events.iter() {
             match e.clock {
                 Some(c) => writeln!(
                     f,

@@ -85,6 +85,16 @@ where
         }
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        // The pair's signature is the union of the parts' signatures; if
+        // either part is a wildcard the pair must be one too.
+        let mut names = self.a.action_names()?;
+        names.extend(self.b.action_names()?);
+        names.sort_unstable();
+        names.dedup();
+        Some(names)
+    }
+
     fn step(&self, s: &Self::State, act: &Self::Action, now: Time) -> Option<Self::State> {
         let in_a = self.a.classify(act).is_some();
         let in_b = self.b.classify(act).is_some();

@@ -97,6 +97,10 @@ impl TimedComponent for Beeper {
         }
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["BEEP"])
+    }
+
     fn step(&self, s: &BeeperState, a: &BeepAction, now: Time) -> Option<BeeperState> {
         match a {
             BeepAction::Beep { src, seq } if *src == self.src && *seq == s.seq && now >= s.next => {
@@ -182,6 +186,10 @@ impl ClockComponent for ClockBeeper {
             BeepAction::Beep { src, .. } if *src == self.src => Some(ActionKind::Output),
             _ => None,
         }
+    }
+
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["BEEP"])
     }
 
     fn step(&self, s: &BeeperState, a: &BeepAction, clock: Time) -> Option<BeeperState> {
@@ -283,6 +291,10 @@ impl TimedComponent for Echo {
             EchoAction::Ping { .. } => Some(ActionKind::Input),
             EchoAction::Pong { .. } => Some(ActionKind::Output),
         }
+    }
+
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["PING", "PONG"])
     }
 
     fn step(&self, s: &EchoState, a: &EchoAction, now: Time) -> Option<EchoState> {

@@ -1,0 +1,38 @@
+//! Criterion bench: incremental vs scan-everything engine on the
+//! token-ring burst workload (see `psync_bench::ring`).
+//!
+//! Reported as events per second in `EXPERIMENTS.md` §E9. The horizon is
+//! chosen per ring size so every measurement replays roughly the same
+//! number of events (~4096), isolating per-event engine overhead from run
+//! length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psync_bench::ring::{ring_horizon, run_ring_incremental, run_ring_reference};
+
+const TARGET_EVENTS: usize = 4096;
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling");
+    group.sample_size(10);
+    for n in [2usize, 8, 32, 128] {
+        let horizon = ring_horizon(n, TARGET_EVENTS);
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, &n| {
+            b.iter(|| {
+                let run = run_ring_incremental(n, horizon);
+                assert!(!run.execution.is_empty());
+                run.execution.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, &n| {
+            b.iter(|| {
+                let run = run_ring_reference(n, horizon);
+                assert!(!run.execution.is_empty());
+                run.execution.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_scaling);
+criterion_main!(benches);

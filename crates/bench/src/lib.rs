@@ -19,6 +19,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ring;
+
 use psync_automata::relations::eps_equivalent;
 use psync_automata::{Execution, TimedTrace};
 use psync_core::analysis::{duration_stats, flights, DurationStats};

@@ -1,0 +1,226 @@
+//! Token-ring scaling scenario for the engine benchmarks.
+//!
+//! `N` forwarders are arranged in a ring over `N` reordering channels with
+//! a deterministic 1 ms hop delay, and every node starts holding
+//! [`TOKENS_PER_NODE`] tokens. All tokens move in lockstep, so each
+//! millisecond of simulated time is a *burst* of `2·N·TOKENS_PER_NODE`
+//! same-instant events: every channel offers its whole batch of due
+//! messages at once, and every delivery immediately re-arms the receiving
+//! forwarder's send. This is the workload where an incremental engine
+//! earns its keep: within a burst only the two components touched by the
+//! last event can have changed, while a scan-everything engine re-queries
+//! all `2N` components, re-clones every candidate, and re-compares all
+//! candidates pairwise — for every single event.
+//!
+//! The scenario is deliberately deterministic (fixed delays, seeded
+//! scheduler) so the incremental and reference engines replay the *same*
+//! execution and the benchmark compares pure engine overhead, not
+//! different schedules.
+
+use psync_automata::{ActionKind, TimedComponent};
+use psync_executor::{Engine, RandomScheduler, ReferenceEngine, Run};
+use psync_net::{Channel, Envelope, MinDelay, MsgId, NodeId, SysAction};
+use psync_time::{DelayBounds, Duration, Time};
+
+/// Actions of the ring: plain routed messages, no application alphabet.
+pub type RingAction = SysAction<u32, &'static str>;
+
+/// How many tokens each node holds initially. More tokens per node means
+/// fatter candidate sets (each channel offers its whole due batch), which
+/// is exactly what stresses a scan-everything engine.
+pub const TOKENS_PER_NODE: usize = 4;
+
+/// One ring node: holds tokens and forwards each to its successor.
+#[derive(Debug, Clone)]
+pub struct RingForwarder {
+    me: NodeId,
+    succ: NodeId,
+    first_tokens: Vec<u32>,
+}
+
+/// Tokens currently held (ascending), plus a send counter for unique
+/// message ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingForwarderState {
+    tokens: Vec<u32>,
+    seq: u32,
+}
+
+impl RingForwarder {
+    /// Creates node `me` of an `n`-ring, initially holding the tokens
+    /// `{me, me + n, me + 2n, …}` ([`TOKENS_PER_NODE`] of them — globally
+    /// unique and ascending).
+    #[must_use]
+    pub fn new(me: usize, n: usize) -> Self {
+        let first_tokens = (0..TOKENS_PER_NODE)
+            .map(|k| u32::try_from(me + k * n).expect("ring size fits u32"))
+            .collect();
+        RingForwarder {
+            me: NodeId(me),
+            succ: NodeId((me + 1) % n),
+            first_tokens,
+        }
+    }
+
+    fn envelope(&self, s: &RingForwarderState) -> Envelope<u32> {
+        Envelope {
+            src: self.me,
+            dst: self.succ,
+            id: MsgId::from_parts(self.me, s.seq),
+            payload: s.tokens[0],
+        }
+    }
+}
+
+impl TimedComponent for RingForwarder {
+    type Action = RingAction;
+    type State = RingForwarderState;
+
+    fn name(&self) -> String {
+        format!("ring-forwarder({})", self.me)
+    }
+
+    fn initial(&self) -> RingForwarderState {
+        RingForwarderState {
+            tokens: self.first_tokens.clone(),
+            seq: 0,
+        }
+    }
+
+    fn classify(&self, a: &RingAction) -> Option<ActionKind> {
+        match a {
+            SysAction::Send(env) if env.src == self.me => Some(ActionKind::Output),
+            SysAction::Recv(env) if env.dst == self.me => Some(ActionKind::Input),
+            _ => None,
+        }
+    }
+
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["SENDMSG", "RECVMSG"])
+    }
+
+    fn step(
+        &self,
+        s: &RingForwarderState,
+        a: &RingAction,
+        _now: Time,
+    ) -> Option<RingForwarderState> {
+        match a {
+            SysAction::Send(env) if env.src == self.me => {
+                if s.tokens.is_empty() || *env != self.envelope(s) {
+                    return None;
+                }
+                Some(RingForwarderState {
+                    tokens: s.tokens[1..].to_vec(),
+                    seq: s.seq + 1,
+                })
+            }
+            SysAction::Recv(env) if env.dst == self.me => {
+                let mut tokens = s.tokens.clone();
+                let pos = tokens.partition_point(|&t| t < env.payload);
+                tokens.insert(pos, env.payload);
+                Some(RingForwarderState { tokens, seq: s.seq })
+            }
+            _ => None,
+        }
+    }
+
+    fn enabled(&self, s: &RingForwarderState, _now: Time) -> Vec<RingAction> {
+        if s.tokens.is_empty() {
+            Vec::new()
+        } else {
+            vec![SysAction::Send(self.envelope(s))]
+        }
+    }
+
+    fn deadline(&self, s: &RingForwarderState, now: Time) -> Option<Time> {
+        // A held token must be forwarded immediately (the engine is eager,
+        // so this deadline is only ever *reported*, never violated).
+        if s.tokens.is_empty() {
+            None
+        } else {
+            Some(now)
+        }
+    }
+}
+
+/// The fixed scheduler seed: both engines replay the same execution.
+pub const RING_SEED: u64 = 42;
+
+fn hop() -> DelayBounds {
+    let ms = Duration::from_millis(1);
+    DelayBounds::new(ms, ms).expect("valid bounds")
+}
+
+/// Horizon giving roughly `target_events` events on an `n`-ring
+/// (`2 · n · TOKENS_PER_NODE` events per simulated millisecond).
+#[must_use]
+pub fn ring_horizon(n: usize, target_events: usize) -> Time {
+    let steps = (target_events / (2 * n * TOKENS_PER_NODE)).max(1) as i64;
+    Time::ZERO + Duration::from_millis(steps)
+}
+
+fn build_ring_components(n: usize) -> Vec<(RingForwarder, Channel<u32, &'static str>)> {
+    (0..n)
+        .map(|i| {
+            (
+                RingForwarder::new(i, n),
+                Channel::new(NodeId(i), NodeId((i + 1) % n), hop(), MinDelay),
+            )
+        })
+        .collect()
+}
+
+/// Builds and runs the `n`-ring on the incremental [`Engine`].
+///
+/// # Panics
+///
+/// Panics if the run fails (the ring is well-formed by construction).
+#[must_use]
+pub fn run_ring_incremental(n: usize, horizon: Time) -> Run<RingAction> {
+    let mut b = Engine::builder()
+        .scheduler(RandomScheduler::new(RING_SEED))
+        .horizon(horizon);
+    for (fwd, ch) in build_ring_components(n) {
+        b = b.timed(fwd).timed(ch);
+    }
+    b.build().run().expect("ring run")
+}
+
+/// Builds and runs the `n`-ring on the scan-everything
+/// [`ReferenceEngine`].
+///
+/// # Panics
+///
+/// Panics if the run fails (the ring is well-formed by construction).
+#[must_use]
+pub fn run_ring_reference(n: usize, horizon: Time) -> Run<RingAction> {
+    let mut b = ReferenceEngine::builder()
+        .scheduler(RandomScheduler::new(RING_SEED))
+        .horizon(horizon);
+    for (fwd, ch) in build_ring_components(n) {
+        b = b.timed(fwd).timed(ch);
+    }
+    b.build().run().expect("ring run")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_produces_the_expected_burst_rate() {
+        let run = run_ring_incremental(4, ring_horizon(4, 320));
+        // 2 events (recv + send) per token per millisecond; 16 tokens,
+        // 10 ms. The very first send of each token costs no recv.
+        assert!(run.execution.len() >= 300, "got {}", run.execution.len());
+    }
+
+    #[test]
+    fn both_engines_replay_the_same_ring_execution() {
+        let h = ring_horizon(3, 240);
+        let a = run_ring_incremental(3, h);
+        let b = run_ring_reference(3, h);
+        assert_eq!(a.execution, b.execution);
+    }
+}

@@ -73,6 +73,10 @@ impl<A: Action> ClockComponent for ClockSim<A> {
         self.inner.classify(a)
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        self.inner.action_names()
+    }
+
     fn step(&self, s: &DynState, a: &A, clock: Time) -> Option<DynState> {
         // The inner automaton's `now` is the clock (Definition 4.1:
         // `(s.A_i).now = s.clock`).

@@ -185,6 +185,18 @@ where
         }
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        // M(A)'s signature adds TICK and τ to the inner automaton's
+        // non-internal actions (over-approximating by the internal ones
+        // it hides is allowed by the hint contract).
+        let mut names = self.inner.action_names()?;
+        names.push("TICK");
+        names.push("TAU");
+        names.sort_unstable();
+        names.dedup();
+        Some(names)
+    }
+
     fn step(&self, s: &Self::State, a: &Self::Action) -> Option<Self::State> {
         match a {
             SysAction::Tick { node, clock } if *node == self.node => {

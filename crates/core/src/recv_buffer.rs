@@ -102,6 +102,10 @@ where
         }
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["ERECVMSG", "RECVMSG"])
+    }
+
     fn step(&self, s: &Self::State, a: &Self::Action, clock: Time) -> Option<Self::State> {
         match a {
             SysAction::ERecv(env, c) if self.routes(env) => {

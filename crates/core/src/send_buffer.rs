@@ -66,6 +66,10 @@ where
         }
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["SENDMSG", "ESENDMSG"])
+    }
+
     fn step(&self, s: &Self::State, a: &Self::Action, clock: Time) -> Option<Self::State> {
         match a {
             SysAction::Send(env) if self.routes(env) => {

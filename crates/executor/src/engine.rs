@@ -1,4 +1,30 @@
 //! The execution engine: composition + run loop.
+//!
+//! # Incremental architecture
+//!
+//! The engine is *incremental*: instead of re-querying every component on
+//! every loop iteration it maintains
+//!
+//! * a per-component **enabled cache** with a dirty set — only components
+//!   whose state or clock changed since the last query are re-asked for
+//!   their enabled actions;
+//! * a static **routing table** built once at [`EngineBuilder::build`] from
+//!   the components' [`TimedComponent::action_names`] hints, so firing an
+//!   action visits only the components that might have it in signature;
+//! * a **deadline scratch** that carries each node's minimum clock deadline
+//!   from [`compute_target`](Engine::run) to the immediately following
+//!   time advance (the states have not changed in between, so the reuse is
+//!   exact).
+//!
+//! All of this is invisible in the recorded executions: the candidate
+//! order, scheduler consultation and event log are bit-identical to the
+//! straightforward scan-everything implementation preserved in
+//! [`ReferenceEngine`](crate::ReferenceEngine) (see the
+//! `engine_equiv` integration tests).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
 
 use psync_automata::ClockComponent;
 use psync_automata::{
@@ -46,10 +72,10 @@ struct NodeRuntime<A: Action> {
 ///     .with(ClockBeeper::new(Duration::from_millis(10)));
 /// ```
 pub struct ClockNode<A: Action> {
-    name: String,
-    eps: Duration,
-    strategy: Box<dyn ClockStrategy>,
-    comps: Vec<ClockComponentBox<A>>,
+    pub(crate) name: String,
+    pub(crate) eps: Duration,
+    pub(crate) strategy: Box<dyn ClockStrategy>,
+    pub(crate) comps: Vec<ClockComponentBox<A>>,
 }
 
 impl<A: Action> ClockNode<A> {
@@ -179,9 +205,15 @@ impl<A: Action> EngineBuilder<A> {
 
     /// Builds the engine with all components in their start states and
     /// `now = clock = 0` (axioms S1 and C1).
+    ///
+    /// This is also where the static **routing table** is assembled: each
+    /// component's [`TimedComponent::action_names`] hint is read once, and
+    /// components are indexed by the action names they admit. Components
+    /// without a hint land in the wildcard set and are visited for every
+    /// action, so hint-less components behave exactly as before.
     #[must_use]
     pub fn build(self) -> Engine<A> {
-        let timed = self
+        let timed: Vec<TimedRuntime<A>> = self
             .timed
             .into_iter()
             .map(|comp| {
@@ -189,7 +221,7 @@ impl<A: Action> EngineBuilder<A> {
                 TimedRuntime { comp, state }
             })
             .collect();
-        let nodes = self
+        let nodes: Vec<NodeRuntime<A>> = self
             .nodes
             .into_iter()
             .map(|n| NodeRuntime {
@@ -207,15 +239,80 @@ impl<A: Action> EngineBuilder<A> {
                 pred: ClockPredicate::skew(n.eps),
             })
             .collect();
+
+        // Flat component index space: timed components first, then each
+        // node's components, all in insertion order. This is the engine's
+        // canonical iteration order; everything below preserves it.
+        let mut flat_origin: Vec<Origin> = (0..timed.len()).map(Origin::Timed).collect();
+        for (n, node) in nodes.iter().enumerate() {
+            flat_origin.extend((0..node.comps.len()).map(|j| Origin::Node(n, j)));
+        }
+
+        let mut hinted: HashMap<&'static str, Vec<usize>> = HashMap::new();
+        let mut wildcard: Vec<usize> = Vec::new();
+        for (id, origin) in flat_origin.iter().enumerate() {
+            let hint = match *origin {
+                Origin::Timed(i) => timed[i].comp.action_names(),
+                Origin::Node(n, j) => nodes[n].comps[j].0.action_names(),
+            };
+            match hint {
+                None => wildcard.push(id),
+                Some(names) => {
+                    for name in names {
+                        let ids = hinted.entry(name).or_default();
+                        if ids.last() != Some(&id) {
+                            ids.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        // Merge each hinted list with the wildcard ids *once*, here: firing
+        // an action then iterates a precomputed ascending visit list with no
+        // per-event merge work. (A component is hinted or wildcard, never
+        // both, so the merge never produces duplicates.)
+        let route: HashMap<&'static str, Rc<[usize]>> = hinted
+            .into_iter()
+            .map(|(name, ids)| {
+                let mut merged = Vec::with_capacity(ids.len() + wildcard.len());
+                let (mut i, mut j) = (0, 0);
+                while i < ids.len() && j < wildcard.len() {
+                    if ids[i] < wildcard[j] {
+                        merged.push(ids[i]);
+                        i += 1;
+                    } else {
+                        merged.push(wildcard[j]);
+                        j += 1;
+                    }
+                }
+                merged.extend_from_slice(&ids[i..]);
+                merged.extend_from_slice(&wildcard[j..]);
+                (name, Rc::from(merged))
+            })
+            .collect();
+        let wildcard: Rc<[usize]> = Rc::from(wildcard);
+
+        let flat_count = flat_origin.len();
+        let node_count = nodes.len();
         Engine {
             timed,
             nodes,
             now: Time::ZERO,
             scheduler: self.scheduler,
-            events: Vec::new(),
+            events: Arc::new(Vec::new()),
             horizon: self.horizon,
             max_events: self.max_events,
             idle_advances: 0,
+            flat_origin,
+            route,
+            wildcard,
+            enabled_cache: vec![Vec::new(); flat_count],
+            dirty: vec![true; flat_count],
+            dup_map: HashMap::new(),
+            cand: Vec::new(),
+            cand_origin: Vec::new(),
+            node_dc_scratch: vec![None; node_count],
+            dc_scratch_valid: false,
         }
     }
 }
@@ -229,17 +326,53 @@ enum Origin {
 
 /// The composed system plus its run state.
 ///
-/// See the [crate docs](crate) for the execution semantics and the
-/// crate-level example for typical use.
+/// See the [crate docs](crate) for the execution semantics, the
+/// crate-level example for typical use, and the module docs (`engine.rs`) for
+/// the incremental machinery (routing table, enabled cache, deadline
+/// scratch) that keeps the run loop from rescanning every component on
+/// every event.
 pub struct Engine<A: Action> {
     timed: Vec<TimedRuntime<A>>,
     nodes: Vec<NodeRuntime<A>>,
     now: Time,
     scheduler: Box<dyn Scheduler<A>>,
-    events: Vec<TimedEvent<A>>,
+    events: Arc<Vec<TimedEvent<A>>>,
     horizon: Option<Time>,
     max_events: usize,
     idle_advances: u32,
+
+    // ---- incremental machinery (derived, never observable in traces) ----
+    /// Flat component id → where it lives. Timed components first, then
+    /// node components, all in insertion order.
+    flat_origin: Vec<Origin>,
+    /// Action name → ascending flat ids of the components to visit when
+    /// firing an action of that name (hinted components listing the name,
+    /// pre-merged with the wildcard ids).
+    route: HashMap<&'static str, Rc<[usize]>>,
+    /// Flat ids of components without an `action_names` hint (ascending);
+    /// the visit list for action names no hint mentions.
+    wildcard: Rc<[usize]>,
+    /// Per-component cached `enabled()` result; valid iff not dirty.
+    enabled_cache: Vec<Vec<A>>,
+    /// Components whose state or clock changed since their cache entry was
+    /// last refreshed.
+    dirty: Vec<bool>,
+    /// Currently enabled action → the flat id offering it, maintained
+    /// incrementally as caches refresh. Two components claiming the same
+    /// action is the Definition 2.2 incompatibility; the map detects it in
+    /// O(dirty) per event instead of a pairwise scan over all candidates.
+    dup_map: HashMap<A, usize>,
+    /// Scratch: current candidates, concatenation of the caches in flat
+    /// order.
+    cand: Vec<A>,
+    /// Scratch: `cand_origin[i]` is the flat id that offered `cand[i]`
+    /// (ascending).
+    cand_origin: Vec<usize>,
+    /// Per-node minimum clock deadline computed by `compute_target`, reused
+    /// by the immediately following `advance_to` (states are unchanged in
+    /// between, so the value is exact, not a heuristic).
+    node_dc_scratch: Vec<Option<Time>>,
+    dc_scratch_valid: bool,
 }
 
 impl<A: Action> Engine<A> {
@@ -341,15 +474,17 @@ impl<A: Action> Engine<A> {
                 }
             }
 
-            let candidates = self.candidates()?;
-            if !candidates.is_empty() {
-                let actions: Vec<A> = candidates.iter().map(|(a, _)| a.clone()).collect();
-                let idx = self.scheduler.pick(self.now, &actions);
+            self.refresh_candidates()?;
+            if !self.cand.is_empty() {
+                let idx = self
+                    .scheduler
+                    .pick_with_origins(self.now, &self.cand, &self.cand_origin);
                 assert!(
-                    idx < candidates.len(),
+                    idx < self.cand.len(),
                     "scheduler returned out-of-range index"
                 );
-                let (action, origin) = candidates.into_iter().nth(idx).expect("index checked");
+                let action = self.cand[idx].clone();
+                let origin = self.flat_origin[self.cand_origin[idx]];
                 self.fire(&action, origin)?;
                 self.idle_advances = 0;
                 continue;
@@ -379,41 +514,84 @@ impl<A: Action> Engine<A> {
     }
 
     fn finish(&mut self, stop: StopReason, ltime: Time) -> Run<A> {
+        // O(1): the run keeps a reference to the shared event log. The
+        // engine copy-on-writes (`Arc::make_mut`) only if it appends again
+        // while this snapshot is still alive.
         Run {
-            execution: Execution::new(self.events.clone(), ltime.max(self.now)),
+            execution: Execution::from_shared(Arc::clone(&self.events), ltime.max(self.now)),
             stop,
         }
     }
 
-    /// Collects all enabled locally controlled actions with their origins.
-    fn candidates(&self) -> Result<Vec<(A, Origin)>, EngineError> {
-        let mut out: Vec<(A, Origin)> = Vec::new();
-        for (i, rt) in self.timed.iter().enumerate() {
-            for a in rt.comp.enabled(&rt.state, self.now) {
-                out.push((a, Origin::Timed(i)));
+    /// Refreshes the enabled caches of dirty components and reassembles
+    /// the candidate list (`cand` / `cand_origin`) in flat order — the
+    /// same order the scan-everything engine produces: timed components in
+    /// insertion order, then node components, each component's `enabled()`
+    /// result in its own order.
+    fn refresh_candidates(&mut self) -> Result<(), EngineError> {
+        // Pass 1: retire the dirty components' old offers from the
+        // duplicate map. Only entries a component owns are removed — by the
+        // map's invariant (a conflicting claim ends the run on the spot) an
+        // entry under another id belongs to a component that still offers
+        // the action.
+        for id in 0..self.flat_origin.len() {
+            if !self.dirty[id] {
+                continue;
             }
-        }
-        for (n, node) in self.nodes.iter().enumerate() {
-            for (j, (comp, state)) in node.comps.iter().enumerate() {
-                for a in comp.enabled(state, node.clock) {
-                    out.push((a, Origin::Node(n, j)));
+            for a in &self.enabled_cache[id] {
+                if self.dup_map.get(a) == Some(&id) {
+                    self.dup_map.remove(a);
                 }
             }
         }
-        // Two distinct components offering the same action means two
-        // controllers: the composition is incompatible (Definition 2.2).
-        for (i, (a, o1)) in out.iter().enumerate() {
-            for (b, o2) in out.iter().skip(i + 1) {
-                if a == b && o1 != o2 {
-                    return Err(EngineError::IncompatibleControllers {
-                        first: self.origin_name(*o1),
-                        second: self.origin_name(*o2),
-                        action: format!("{a:?}"),
-                    });
+        // Pass 2: re-query and re-register. Two distinct components
+        // offering the same action value means two controllers: the
+        // composition is incompatible (Definition 2.2). The persistent map
+        // detects a conflict the moment it first exists — the same loop
+        // iteration a pairwise scan over all candidates would — in
+        // O(dirty) per event.
+        for id in 0..self.flat_origin.len() {
+            if !self.dirty[id] {
+                continue;
+            }
+            let fresh = match self.flat_origin[id] {
+                Origin::Timed(i) => {
+                    let rt = &self.timed[i];
+                    rt.comp.enabled(&rt.state, self.now)
+                }
+                Origin::Node(n, j) => {
+                    let node = &self.nodes[n];
+                    let (comp, state) = &node.comps[j];
+                    comp.enabled(state, node.clock)
+                }
+            };
+            for a in &fresh {
+                match self.dup_map.get(a) {
+                    Some(&other) if other != id => {
+                        return Err(EngineError::IncompatibleControllers {
+                            first: self.origin_name(self.flat_origin[other]),
+                            second: self.origin_name(self.flat_origin[id]),
+                            action: format!("{a:?}"),
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.dup_map.insert(a.clone(), id);
+                    }
                 }
             }
+            self.enabled_cache[id] = fresh;
+            self.dirty[id] = false;
         }
-        Ok(out)
+        self.cand.clear();
+        self.cand_origin.clear();
+        for (id, cache) in self.enabled_cache.iter().enumerate() {
+            for a in cache {
+                self.cand.push(a.clone());
+                self.cand_origin.push(id);
+            }
+        }
+        Ok(())
     }
 
     fn origin_name(&self, o: Origin) -> String {
@@ -426,6 +604,12 @@ impl<A: Action> Engine<A> {
     }
 
     /// Applies `action` to every component having it in signature.
+    ///
+    /// Routed: only the components whose `action_names` hint lists
+    /// `action.name()` — plus the wildcard components — are visited, in
+    /// flat (insertion) order. By the hint contract every skipped
+    /// component classifies the action as `None`, so the sequence of
+    /// components actually stepped is identical to a full scan.
     fn fire(&mut self, action: &A, origin: Origin) -> Result<(), EngineError> {
         let kind = match origin {
             Origin::Timed(i) => self.timed[i].comp.classify(action),
@@ -433,6 +617,17 @@ impl<A: Action> Engine<A> {
         }
         .expect("origin component must have the action in its signature");
         debug_assert!(kind.is_locally_controlled());
+        self.dc_scratch_valid = false;
+
+        // The visit list was merged (routed + wildcard, ascending) at build
+        // time; an action name no hint mentions visits the wildcard
+        // components alone. The `Rc` clone is a refcount bump, freeing
+        // `self` for the mutable component steps below.
+        let interested: Rc<[usize]> = self
+            .route
+            .get(action.name())
+            .cloned()
+            .unwrap_or_else(|| Rc::clone(&self.wildcard));
 
         // The clock recorded with the event is the clock of the (unique)
         // node that has the action in its signature — the `c_i(α)` of
@@ -440,75 +635,83 @@ impl<A: Action> Engine<A> {
         let mut event_clock: Option<Time> = None;
 
         let now = self.now;
-        for (i, rt) in self.timed.iter_mut().enumerate() {
-            let Some(k) = rt.comp.classify(action) else {
-                continue;
-            };
-            if k.is_locally_controlled() && Origin::Timed(i) != origin {
-                return Err(EngineError::IncompatibleControllers {
-                    first: rt.comp.name(),
-                    second: String::from("<origin>"),
-                    action: format!("{action:?}"),
-                });
-            }
-            match rt.comp.step(&rt.state, action, now) {
-                Some(next) => rt.state = next,
-                None if Origin::Timed(i) == origin => {
-                    return Err(EngineError::EnabledButRefused {
-                        component: rt.comp.name(),
-                        action: format!("{action:?}"),
-                        now,
-                    })
+        for &id in interested.iter() {
+            match self.flat_origin[id] {
+                Origin::Timed(i) => {
+                    let rt = &mut self.timed[i];
+                    let Some(k) = rt.comp.classify(action) else {
+                        continue;
+                    };
+                    if k.is_locally_controlled() && Origin::Timed(i) != origin {
+                        return Err(EngineError::IncompatibleControllers {
+                            first: rt.comp.name(),
+                            second: String::from("<origin>"),
+                            action: format!("{action:?}"),
+                        });
+                    }
+                    match rt.comp.step(&rt.state, action, now) {
+                        Some(next) => {
+                            rt.state = next;
+                            self.dirty[id] = true;
+                        }
+                        None if Origin::Timed(i) == origin => {
+                            return Err(EngineError::EnabledButRefused {
+                                component: rt.comp.name(),
+                                action: format!("{action:?}"),
+                                now,
+                            })
+                        }
+                        None => {
+                            return Err(EngineError::InputNotEnabled {
+                                component: rt.comp.name(),
+                                action: format!("{action:?}"),
+                                now,
+                            })
+                        }
+                    }
                 }
-                None => {
-                    return Err(EngineError::InputNotEnabled {
-                        component: rt.comp.name(),
-                        action: format!("{action:?}"),
-                        now,
-                    })
+                Origin::Node(n, j) => {
+                    let node = &mut self.nodes[n];
+                    let clock = node.clock;
+                    let (comp, state) = &mut node.comps[j];
+                    let Some(k) = comp.classify(action) else {
+                        continue;
+                    };
+                    if event_clock.is_none() {
+                        event_clock = Some(clock);
+                    }
+                    if k.is_locally_controlled() && Origin::Node(n, j) != origin {
+                        return Err(EngineError::IncompatibleControllers {
+                            first: format!("{}/{}", node.name, comp.name()),
+                            second: String::from("<origin>"),
+                            action: format!("{action:?}"),
+                        });
+                    }
+                    match comp.step(state, action, clock) {
+                        Some(next) => {
+                            *state = next;
+                            self.dirty[id] = true;
+                        }
+                        None if Origin::Node(n, j) == origin => {
+                            return Err(EngineError::EnabledButRefused {
+                                component: format!("{}/{}", node.name, comp.name()),
+                                action: format!("{action:?}"),
+                                now,
+                            })
+                        }
+                        None => {
+                            return Err(EngineError::InputNotEnabled {
+                                component: format!("{}/{}", node.name, comp.name()),
+                                action: format!("{action:?}"),
+                                now,
+                            })
+                        }
+                    }
                 }
             }
         }
 
-        for (n, node) in self.nodes.iter_mut().enumerate() {
-            let clock = node.clock;
-            let mut touched = false;
-            for (j, (comp, state)) in node.comps.iter_mut().enumerate() {
-                let Some(k) = comp.classify(action) else {
-                    continue;
-                };
-                touched = true;
-                if k.is_locally_controlled() && Origin::Node(n, j) != origin {
-                    return Err(EngineError::IncompatibleControllers {
-                        first: format!("{}/{}", node.name, comp.name()),
-                        second: String::from("<origin>"),
-                        action: format!("{action:?}"),
-                    });
-                }
-                match comp.step(state, action, clock) {
-                    Some(next) => *state = next,
-                    None if Origin::Node(n, j) == origin => {
-                        return Err(EngineError::EnabledButRefused {
-                            component: format!("{}/{}", node.name, comp.name()),
-                            action: format!("{action:?}"),
-                            now,
-                        })
-                    }
-                    None => {
-                        return Err(EngineError::InputNotEnabled {
-                            component: format!("{}/{}", node.name, comp.name()),
-                            action: format!("{action:?}"),
-                            now,
-                        })
-                    }
-                }
-            }
-            if touched && event_clock.is_none() {
-                event_clock = Some(clock);
-            }
-        }
-
-        self.events.push(TimedEvent {
+        Arc::make_mut(&mut self.events).push(TimedEvent {
             action: action.clone(),
             kind,
             now,
@@ -532,11 +735,15 @@ impl<A: Action> Engine<A> {
     ///
     /// Detects stopped time: a deadline at or before `now` with nothing
     /// enabled (the caller guarantees no candidates exist).
-    fn compute_target(&self, pessimistic: bool) -> Result<Option<Time>, EngineError> {
-        let mut target: Option<(Time, String)> = None;
-        let mut consider = |t: Time, who: String| match &target {
-            Some((best, _)) if *best <= t => {}
-            _ => target = Some((t, who)),
+    fn compute_target(&mut self, pessimistic: bool) -> Result<Option<Time>, EngineError> {
+        // Track only the minimum and the (flat) index it came from; the
+        // component *name* — a `String` the old implementation allocated
+        // for every component on every call — is materialised lazily, on
+        // the error path alone.
+        let mut best: Option<Time> = None;
+        let consider = |t: Time, best: &mut Option<Time>| match best {
+            Some(b) if *b <= t => {}
+            _ => *best = Some(t),
         };
         for rt in &self.timed {
             if let Some(d) = rt.comp.deadline(&rt.state, self.now) {
@@ -547,10 +754,11 @@ impl<A: Action> Engine<A> {
                         deadline: d,
                     });
                 }
-                consider(d, rt.comp.name());
+                consider(d, &mut best);
             }
         }
-        for node in &self.nodes {
+        for (n, node) in self.nodes.iter().enumerate() {
+            let mut node_min_dc: Option<Time> = None;
             for (comp, state) in &node.comps {
                 if let Some(dc) = comp.clock_deadline(state, node.clock) {
                     let cap = node.pred.latest_now_for(dc);
@@ -569,17 +777,33 @@ impl<A: Action> Engine<A> {
                             .max(self.now + Duration::NANOSECOND)
                             .min(cap)
                     };
-                    consider(aim, format!("{}/{}", node.name, comp.name()));
+                    consider(aim, &mut best);
+                    consider(dc, &mut node_min_dc);
                 }
             }
+            // Remember the node's earliest clock deadline for the
+            // `advance_to` that follows: no state changes in between, so
+            // the value is still exact there.
+            self.node_dc_scratch[n] = node_min_dc;
         }
-        Ok(target.map(|(t, _)| t))
+        self.dc_scratch_valid = true;
+        Ok(best)
     }
 
     /// Performs `ν` for every component, moving real time to `target` and
     /// each node clock along its strategy.
+    ///
+    /// A `ν`-step changes `now` and every node clock, and `enabled()` /
+    /// `deadline()` may depend on them, so this marks *every* component
+    /// dirty — the dirty set pays off within bursts of same-instant
+    /// events, not across time advances.
     fn advance_to(&mut self, target: Time) -> Result<(), EngineError> {
         debug_assert!(target > self.now);
+        let use_scratch = self.dc_scratch_valid;
+        self.dc_scratch_valid = false;
+        // Conservatively dirty everything up front so a mid-advance error
+        // cannot leave a stale cache behind.
+        self.dirty.fill(true);
         for rt in &mut self.timed {
             match rt.comp.advance(&rt.state, self.now, target) {
                 Some(next) => rt.state = next,
@@ -592,12 +816,15 @@ impl<A: Action> Engine<A> {
                 }
             }
         }
-        for node in &mut self.nodes {
-            let max_clock = node
-                .comps
-                .iter()
-                .filter_map(|(c, s)| c.clock_deadline(s, node.clock))
-                .min();
+        for (n, node) in self.nodes.iter_mut().enumerate() {
+            let max_clock = if use_scratch {
+                self.node_dc_scratch[n]
+            } else {
+                node.comps
+                    .iter()
+                    .filter_map(|(c, s)| c.clock_deadline(s, node.clock))
+                    .min()
+            };
             if let Some(mc) = max_clock {
                 if mc <= node.clock {
                     // A clock deadline is due but nothing fired: the node

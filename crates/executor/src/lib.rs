@@ -45,6 +45,7 @@
 mod clock_driver;
 mod engine;
 mod error;
+mod reference;
 mod scheduler;
 
 pub use clock_driver::{
@@ -52,4 +53,7 @@ pub use clock_driver::{
 };
 pub use engine::{ClockNode, Engine, EngineBuilder, Run, StopReason};
 pub use error::EngineError;
-pub use scheduler::{FifoScheduler, LifoScheduler, RandomScheduler, Scheduler};
+pub use reference::{ReferenceEngine, ReferenceEngineBuilder};
+pub use scheduler::{
+    FifoScheduler, LifoScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,
+};

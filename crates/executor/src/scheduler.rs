@@ -22,6 +22,18 @@ use rand::{Rng, SeedableRng};
 pub trait Scheduler<A> {
     /// Picks the index of the action to fire. `candidates` is non-empty.
     fn pick(&mut self, now: Time, candidates: &[A]) -> usize;
+
+    /// Like [`Scheduler::pick`], but additionally told which component
+    /// each candidate came from: `origins[i]` is an opaque component id
+    /// (stable across the whole run, ascending within one call) for
+    /// `candidates[i]`. The engine always calls this entry point; the
+    /// default ignores the origins, so plain schedulers only implement
+    /// [`Scheduler::pick`]. Origin-aware schedulers such as
+    /// [`RoundRobinScheduler`] override it.
+    fn pick_with_origins(&mut self, now: Time, candidates: &[A], origins: &[usize]) -> usize {
+        let _ = origins;
+        self.pick(now, candidates)
+    }
 }
 
 /// Always fires the first enabled action — fully deterministic, favouring
@@ -69,6 +81,45 @@ impl<A> Scheduler<A> for RandomScheduler {
     }
 }
 
+/// Rotates fairly over candidate *origins* (components): each pick goes to
+/// the first component at or after the previous winner's successor, so a
+/// chatty component added early cannot starve later ones the way
+/// [`FifoScheduler`] does.
+///
+/// Within the chosen component, the first of its enabled actions fires.
+/// When used through plain [`Scheduler::pick`] (no origin information),
+/// it degrades to rotating over candidate indices.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinScheduler {
+    /// Next origin id (or index, in the degraded mode) to prefer.
+    cursor: usize,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a scheduler starting its rotation at the first component.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundRobinScheduler::default()
+    }
+}
+
+impl<A> Scheduler<A> for RoundRobinScheduler {
+    fn pick(&mut self, _now: Time, candidates: &[A]) -> usize {
+        let idx = self.cursor % candidates.len();
+        self.cursor = idx + 1;
+        idx
+    }
+
+    fn pick_with_origins(&mut self, _now: Time, candidates: &[A], origins: &[usize]) -> usize {
+        debug_assert_eq!(candidates.len(), origins.len());
+        // Origins arrive ascending; take the first at or past the cursor,
+        // wrapping to the front when everyone is behind it.
+        let idx = origins.iter().position(|&o| o >= self.cursor).unwrap_or(0);
+        self.cursor = origins[idx] + 1;
+        idx
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +138,46 @@ mod tests {
     fn lifo_picks_last() {
         let mut s = LifoScheduler;
         assert_eq!(s.pick(Time::ZERO, &labels(3)), 2);
+    }
+
+    #[test]
+    fn round_robin_rotates_over_origins() {
+        let mut s = RoundRobinScheduler::new();
+        let c = labels(3);
+        // Three candidates from components 0, 2, 5.
+        let origins = [0usize, 2, 5];
+        assert_eq!(s.pick_with_origins(Time::ZERO, &c, &origins), 0); // comp 0
+        assert_eq!(s.pick_with_origins(Time::ZERO, &c, &origins), 1); // comp 2
+        assert_eq!(s.pick_with_origins(Time::ZERO, &c, &origins), 2); // comp 5
+        assert_eq!(s.pick_with_origins(Time::ZERO, &c, &origins), 0); // wraps
+    }
+
+    #[test]
+    fn round_robin_skips_absent_origins() {
+        let mut s = RoundRobinScheduler::new();
+        let c = labels(2);
+        assert_eq!(s.pick_with_origins(Time::ZERO, &c, &[1, 4]), 0);
+        // Component 1 no longer offers anything: rotation moves on to 4.
+        assert_eq!(s.pick_with_origins(Time::ZERO, &c, &[0, 4]), 1);
+        // Past the end: wrap to the front.
+        assert_eq!(s.pick_with_origins(Time::ZERO, &c, &[0, 4]), 0);
+    }
+
+    #[test]
+    fn round_robin_without_origins_rotates_indices() {
+        let mut s = RoundRobinScheduler::new();
+        let c = labels(3);
+        let picks: Vec<usize> = (0..5).map(|_| s.pick(Time::ZERO, &c)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn default_pick_with_origins_delegates_to_pick() {
+        let mut s = LifoScheduler;
+        assert_eq!(
+            s.pick_with_origins(Time::ZERO, &labels(4), &[0, 1, 2, 3]),
+            3
+        );
     }
 
     #[test]

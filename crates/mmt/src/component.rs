@@ -83,6 +83,15 @@ pub trait MmtComponent: 'static {
     /// Classifies `a` in this component's signature.
     fn classify(&self, a: &Self::Action) -> Option<ActionKind>;
 
+    /// Routing hint: the set of [`Action::name`]s this component may
+    /// classify, or `None` (the default) for "any". The same one-sided
+    /// contract as
+    /// [`TimedComponent::action_names`](psync_automata::TimedComponent::action_names)
+    /// applies: if `classify(a)` is `Some`, `a.name()` must be listed.
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        None
+    }
+
     /// Applies action `a` — note: *no* time parameter. MMT automata are
     /// untimed; all timing comes from the boundmap.
     fn step(&self, s: &Self::State, a: &Self::Action) -> Option<Self::State>;

@@ -155,6 +155,10 @@ where
         }
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["TICK"])
+    }
+
     fn step(&self, s: &TickState, a: &Self::Action, now: Time) -> Option<TickState> {
         match a {
             SysAction::Tick { node, clock } if *node == self.node => {

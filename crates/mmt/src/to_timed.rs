@@ -181,6 +181,11 @@ impl<C: MmtComponent> TimedComponent for MmtAsTimed<C> {
         self.inner.classify(a)
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        // T(A) preserves the signature (only timing is added).
+        self.inner.action_names()
+    }
+
     fn step(&self, s: &Self::State, a: &Self::Action, now: Time) -> Option<Self::State> {
         let kind = self.inner.classify(a)?;
         if kind.is_locally_controlled() {

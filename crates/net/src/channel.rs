@@ -91,6 +91,10 @@ where
         }
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["SENDMSG", "RECVMSG"])
+    }
+
     fn step(&self, s: &Self::State, a: &Self::Action, now: Time) -> Option<Self::State> {
         match a {
             SysAction::Send(env) if self.routes(env) => {

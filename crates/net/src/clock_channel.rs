@@ -83,6 +83,10 @@ where
         }
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["ESENDMSG", "ERECVMSG"])
+    }
+
     fn step(&self, s: &Self::State, a: &Self::Action, now: Time) -> Option<Self::State> {
         match a {
             SysAction::ESend(env, stamp) if self.routes(env) => {

@@ -338,6 +338,12 @@ impl<O: ObjectSpec> TimedComponent for AlgorithmSObj<O> {
         }
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec![
+            "DO", "DONE", "QUERY", "ANSWER", "APPLY", "SENDMSG", "RECVMSG",
+        ])
+    }
+
     fn step(&self, s: &ObjState<O>, a: &ObjAction<O>, now: Time) -> Option<ObjState<O>> {
         match a {
             SysAction::App(ObjOp::Query { node }) if *node == self.node => {

@@ -160,6 +160,12 @@ impl TimedComponent for AlgorithmS {
         }
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec![
+            "READ", "WRITE", "RETURN", "ACK", "UPDATE", "SENDMSG", "RECVMSG",
+        ])
+    }
+
     fn step(&self, s: &AlgState, a: &RegAction, now: Time) -> Option<AlgState> {
         match a {
             SysAction::App(RegisterOp::Read { node }) if *node == self.node => {

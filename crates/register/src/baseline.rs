@@ -176,6 +176,12 @@ impl ClockComponent for BaselineRegister {
         }
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec![
+            "READ", "WRITE", "RETURN", "ACK", "UPDATE", "ESENDMSG", "ERECVMSG",
+        ])
+    }
+
     fn step(&self, s: &BaselineState, a: &RegAction, clock: Time) -> Option<BaselineState> {
         match a {
             SysAction::App(RegisterOp::Read { node }) if *node == self.node => {

@@ -126,6 +126,10 @@ impl<O: ObjectSpec> TimedComponent for ObjWorkload<O> {
         }
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["DO", "DONE", "QUERY", "ANSWER", "APPLY"])
+    }
+
     fn step(&self, s: &ObjWorkloadState, a: &ObjAction<O>, now: Time) -> Option<ObjWorkloadState> {
         let SysAction::App(op) = a else { return None };
         let i = op.node().0;

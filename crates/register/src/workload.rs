@@ -128,6 +128,10 @@ impl TimedComponent for ClosedLoopWorkload {
         }
     }
 
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["READ", "WRITE", "RETURN", "ACK", "UPDATE"])
+    }
+
     fn step(&self, s: &WorkloadState, a: &RegAction, now: Time) -> Option<WorkloadState> {
         let SysAction::App(op) = a else { return None };
         let i = op.node().0;

@@ -1,0 +1,478 @@
+//! Offline, dependency-free stand-in for the subset of the `proptest` 1.x
+//! API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the pieces its property tests need: the [`proptest!`]
+//! macro, the [`Strategy`] trait with `prop_map`, integer-range / tuple /
+//! `collection::vec` / `bool::ANY` / `sample::select` strategies,
+//! [`ProptestConfig`], and the `prop_assert*` macros returning
+//! [`test_runner::TestCaseError`].
+//!
+//! Differences from real proptest, deliberate and acceptable here:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the assert
+//!   message) but is not minimized.
+//! * **Fixed derivation of randomness.** Each test's case stream is a pure
+//!   function of the test's name, so runs are reproducible across
+//!   invocations and machines (real proptest re-randomizes per run and
+//!   persists failing seeds instead).
+
+/// Test-runner types: configuration and case-level failure.
+pub mod test_runner {
+    use core::fmt;
+
+    /// Why a single test case failed (or was rejected).
+    ///
+    /// Only the failure payload is modelled; rejection-based filtering is
+    /// not used by this workspace.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Creates a failure with a human-readable reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases each test runs.
+        pub cases: u32,
+        /// Accepted for compatibility with real proptest configs; this
+        /// runner never shrinks, so the value is unused.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_shrink_iters: 1024,
+            }
+        }
+    }
+
+    /// Deterministic per-test random stream (splitmix64 chain).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derives a generator from a test name via FNV-1a hashing.
+        #[must_use]
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "bound must be positive");
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+pub use test_runner::TestCaseError;
+
+/// Strategies: recipes for generating values.
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no value-tree/shrinking layer: a
+    /// strategy is just a deterministic function of the random stream.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = u128::from(rng.next_u64()) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128 + 1) as u128;
+                    let v = u128::from(rng.next_u64()) % span;
+                    (start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    (self.start..=<$t>::MAX).generate(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub use strategy::Strategy;
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy generating either boolean with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Admissible length ranges for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with lengths drawn from `size`.
+    #[must_use]
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies over explicit value sets.
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy drawing uniformly from a fixed list of values.
+    ///
+    /// # Panics
+    ///
+    /// [`Strategy::generate`] panics if `values` is empty.
+    #[must_use]
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        Select { values }
+    }
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.values.is_empty(), "select from empty list");
+            self.values[rng.below(self.values.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring proptest's prelude.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespaced strategy constructors (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines `#[test]` functions over generated inputs.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(expr)]           // optional
+///     #[test]
+///     fn name(arg in strategy, ...) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@blocks ($config) $($rest)*);
+    };
+    (@blocks ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )*
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!("proptest case {case} failed: {e}");
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@blocks ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case unless the two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3i64..10, y in 0u8..=4, b in prop::bool::ANY) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in prop::collection::vec((0usize..3, prop::bool::ANY), 1..5)
+                .prop_map(|pairs| pairs.into_iter().map(|(i, _)| i).collect::<Vec<_>>()),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&i| i < 3));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn select_draws_members(s in prop::sample::select(vec!["a", "b", "c"])) {
+            prop_assert!(["a", "b", "c"].contains(&s));
+        }
+    }
+
+    #[test]
+    fn question_mark_propagates() {
+        fn inner(ok: bool) -> Result<(), TestCaseError> {
+            prop_assert!(ok, "refused");
+            Ok(())
+        }
+        proptest! {
+            #[test]
+            fn body(flag in prop::bool::ANY) {
+                inner(flag || !flag)?;
+            }
+        }
+        body();
+        assert!(inner(false).is_err());
+    }
+}

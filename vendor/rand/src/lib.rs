@@ -1,0 +1,139 @@
+//! Offline, dependency-free stand-in for the subset of the `rand` 0.8 API
+//! this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the few entry points it needs: a seedable
+//! deterministic [`rngs::StdRng`], [`Rng::gen_range`] over integer ranges,
+//! and [`Rng::gen_bool`]. The generator is a fixed splitmix64 chain —
+//! statistically far weaker than the real `StdRng`, but every consumer in
+//! this workspace only needs *reproducible* pseudo-randomness (seeded
+//! schedulers, clock jitter, axiom probes), never cryptographic or
+//! high-quality uniformity guarantees.
+//!
+//! Determinism contract: for a given seed, the sequence of values is fixed
+//! forever. Changing it would silently re-randomize every seeded
+//! experiment in the repo, so treat the update functions as frozen.
+
+/// Random number generators.
+pub mod rngs {
+    /// Deterministic seedable generator (splitmix64 chain).
+    ///
+    /// Stands in for `rand::rngs::StdRng`; see the crate docs for the
+    /// fidelity caveats.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+/// A source of random 64-bit values.
+pub trait RngCore {
+    /// Returns the next value in the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl RngCore for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64 (Steele, Lea, Flood 2014) — public-domain reference
+        // constants.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { state: seed }
+    }
+}
+
+/// Ranges that can produce a uniformly distributed sample.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let v = u128::from(rng.next_u64()) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 high bits → uniform in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<G: RngCore> Rng for G {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: usize = a.gen_range(0..10);
+            assert_eq!(x, b.gen_range(0..10));
+            assert!(x < 10);
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<i64> = (0..20).map(|_| a.gen_range(-5i64..=5)).collect();
+        let ys: Vec<i64> = (0..20).map(|_| c.gen_range(-5i64..=5)).collect();
+        assert_ne!(xs, ys, "different seeds should diverge");
+        assert!(xs.iter().all(|&v| (-5..=5).contains(&v)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut r = StdRng::seed_from_u64(1);
+        let heads = (0..1000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((300..700).contains(&heads), "got {heads} heads");
+    }
+}
