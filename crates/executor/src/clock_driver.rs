@@ -259,6 +259,86 @@ impl ClockStrategy for RandomWalkClock {
     }
 }
 
+/// The clock follows an explicit fault script: a piecewise-constant offset
+/// schedule `clock = now + offset(now)`, where `offset(now)` is the offset
+/// of the last segment activated at or before `now`.
+///
+/// Scripts are *requests*, not guarantees: a segment may ask for an offset
+/// beyond `ε`, or for a jump that would move the clock backwards. The
+/// engine's `C_ε`/C1–C4 validation makes such readings impossible, so the
+/// strategy clamps the desired reading into [`AdvanceCtx::window`] and
+/// counts every clamp of an *inadmissible* request in a shared rejection
+/// counter. Fault-injection harnesses use the counter to assert that an
+/// attempted backward jump really was attempted — and really was rejected —
+/// rather than silently scheduled away.
+#[derive(Debug, Clone)]
+pub struct ScriptedClock {
+    /// `(activate_at, offset)` segments, sorted by activation time.
+    segments: Vec<(Time, Duration)>,
+    /// Count of advances whose scripted reading had to be clamped because
+    /// it violated C3 (non-increase) or `C_ε` (skew beyond `ε`).
+    rejections: std::rc::Rc<core::cell::Cell<u64>>,
+}
+
+impl ScriptedClock {
+    /// Creates a scripted clock from `(activate_at, offset)` segments.
+    /// Before the first activation the offset is zero. Segments are sorted
+    /// by activation time; offsets of any magnitude (and sign) are
+    /// accepted — inadmissible readings are clamped and counted at run
+    /// time, never executed.
+    #[must_use]
+    pub fn new(segments: impl IntoIterator<Item = (Time, Duration)>) -> Self {
+        let mut segments: Vec<(Time, Duration)> = segments.into_iter().collect();
+        segments.sort_by_key(|(at, _)| *at);
+        ScriptedClock {
+            segments,
+            rejections: std::rc::Rc::new(core::cell::Cell::new(0)),
+        }
+    }
+
+    /// A handle onto the rejection counter: the number of advances whose
+    /// scripted reading was inadmissible (attempted backward jump or skew
+    /// beyond `ε`) and was clamped by the C1–C4 guard instead of executed.
+    #[must_use]
+    pub fn rejections(&self) -> std::rc::Rc<core::cell::Cell<u64>> {
+        std::rc::Rc::clone(&self.rejections)
+    }
+
+    fn offset_at(&self, t: Time) -> Duration {
+        self.segments
+            .iter()
+            .take_while(|(at, _)| *at <= t)
+            .last()
+            .map_or(Duration::ZERO, |(_, off)| *off)
+    }
+}
+
+impl ClockStrategy for ScriptedClock {
+    fn next_clock(&mut self, ctx: AdvanceCtx) -> Time {
+        let desired = ctx
+            .target
+            .saturating_add_duration(self.offset_at(ctx.target));
+        let (lo, _) = ctx.window();
+        // `desired < lo` is an attempted backward jump or stall (C3) or a
+        // reading slower than `target − ε`; skew beyond `ε` is a `C_ε`
+        // violation. Deadline clamping (`max_clock`) is normal operation
+        // and is deliberately *not* counted.
+        if desired < lo || ctx.target.skew(desired) > ctx.eps {
+            self.rejections.set(self.rejections.get() + 1);
+        }
+        ctx.fit(desired)
+    }
+
+    fn when_reaches(&self, now: Time, clock: Time, target_clock: Time) -> Time {
+        if target_clock <= clock {
+            return now;
+        }
+        // Rate-1 between segment switches; good enough as an estimate (the
+        // engine iterates and independently caps the advance).
+        now + (target_clock - clock)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +478,68 @@ mod tests {
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn scripted_clock_follows_segments() {
+        let mut c = ScriptedClock::new(vec![
+            (Time::ZERO + ms(10), ms(2)),
+            (Time::ZERO + ms(20), ms(-2)),
+        ]);
+        // Before the first activation: zero offset.
+        let v = check_window(&mut c, ctx(0, 0, 5, None));
+        assert_eq!(v, Time::ZERO + ms(5));
+        // Fast segment active.
+        let v = check_window(&mut c, ctx(5, 5, 12, None));
+        assert_eq!(v, Time::ZERO + ms(14));
+        // Slow segment: scripted reading 22 − 2 = 20; window lo is
+        // clock + 1ns, which 20 satisfies (clock was 14 at now = 12 …
+        // use fresh state below).
+        assert_eq!(c.rejections().get(), 0);
+    }
+
+    #[test]
+    fn scripted_backward_jump_is_clamped_and_counted() {
+        // Offset −5 ms with ε = 2 ms: the scripted reading sits below
+        // target − ε *and* below the current clock — both a C3 and a C_ε
+        // violation. The strategy must clamp to the window and count it.
+        let mut c = ScriptedClock::new(vec![(Time::ZERO, ms(-5))]);
+        let cx = ctx(10, 10, 11, None);
+        let v = check_window(&mut c, cx);
+        let (lo, _) = cx.window();
+        assert_eq!(v, lo);
+        assert_eq!(c.rejections().get(), 1);
+        // The counter is shared: a clone handed to the engine still feeds
+        // the handle the harness kept.
+        let handle = c.rejections();
+        let _ = check_window(
+            &mut c,
+            AdvanceCtx {
+                now: Time::ZERO + ms(11),
+                clock: v,
+                target: Time::ZERO + ms(12),
+                max_clock: None,
+                eps: ms(2),
+            },
+        );
+        assert_eq!(handle.get(), 2);
+    }
+
+    #[test]
+    fn scripted_over_eps_is_clamped_and_counted() {
+        let mut c = ScriptedClock::new(vec![(Time::ZERO, ms(3))]);
+        let cx = ctx(0, 0, 10, None);
+        let v = check_window(&mut c, cx);
+        assert_eq!(v, Time::ZERO + ms(12)); // clamped to target + ε
+        assert_eq!(c.rejections().get(), 1);
+    }
+
+    #[test]
+    fn scripted_exactly_eps_is_admissible() {
+        let mut c = ScriptedClock::new(vec![(Time::ZERO, ms(2))]);
+        let v = check_window(&mut c, ctx(0, 0, 10, None));
+        assert_eq!(v, Time::ZERO + ms(12));
+        assert_eq!(c.rejections().get(), 0, "|now − clock| = ε is admissible");
     }
 
     #[test]

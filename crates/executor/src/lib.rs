@@ -50,6 +50,7 @@ mod scheduler;
 
 pub use clock_driver::{
     AdvanceCtx, ClockStrategy, DriftClock, OffsetClock, PerfectClock, RandomWalkClock,
+    ScriptedClock,
 };
 pub use engine::{ClockNode, Engine, EngineBuilder, Run, StopReason};
 pub use error::EngineError;

@@ -239,13 +239,16 @@ impl<A: Action> ReferenceEngine<A> {
 
             let candidates = self.candidates()?;
             if !candidates.is_empty() {
-                let actions: Vec<A> = candidates.iter().map(|(a, _)| a.clone()).collect();
-                let idx = self.scheduler.pick(self.now, &actions);
+                let actions: Vec<A> = candidates.iter().map(|(a, _, _)| a.clone()).collect();
+                let origins: Vec<usize> = candidates.iter().map(|(_, _, id)| *id).collect();
+                let idx = self
+                    .scheduler
+                    .pick_with_origins(self.now, &actions, &origins);
                 assert!(
                     idx < candidates.len(),
                     "scheduler returned out-of-range index"
                 );
-                let (action, origin) = candidates.into_iter().nth(idx).expect("index checked");
+                let (action, origin, _) = candidates.into_iter().nth(idx).expect("index checked");
                 self.fire(&action, origin)?;
                 self.idle_advances = 0;
                 continue;
@@ -281,25 +284,36 @@ impl<A: Action> ReferenceEngine<A> {
         }
     }
 
-    /// Collects all enabled locally controlled actions with their origins.
-    fn candidates(&self) -> Result<Vec<(A, Origin)>, EngineError> {
-        let mut out: Vec<(A, Origin)> = Vec::new();
+    /// Collects all enabled locally controlled actions with their origins
+    /// and flat component ids.
+    ///
+    /// The flat id numbers components in insertion order — timed
+    /// components first, then each clock node's components — matching the
+    /// scheme [`Engine`](crate::Engine) feeds to
+    /// [`Scheduler::pick_with_origins`], so origin-aware schedulers (e.g.
+    /// round-robin) make identical choices on both engines.
+    #[allow(clippy::type_complexity)]
+    fn candidates(&self) -> Result<Vec<(A, Origin, usize)>, EngineError> {
+        let mut out: Vec<(A, Origin, usize)> = Vec::new();
+        let mut flat = 0;
         for (i, rt) in self.timed.iter().enumerate() {
             for a in rt.comp.enabled(&rt.state, self.now) {
-                out.push((a, Origin::Timed(i)));
+                out.push((a, Origin::Timed(i), flat));
             }
+            flat += 1;
         }
         for (n, node) in self.nodes.iter().enumerate() {
             for (j, (comp, state)) in node.comps.iter().enumerate() {
                 for a in comp.enabled(state, node.clock) {
-                    out.push((a, Origin::Node(n, j)));
+                    out.push((a, Origin::Node(n, j), flat));
                 }
+                flat += 1;
             }
         }
         // Two distinct components offering the same action means two
         // controllers: the composition is incompatible (Definition 2.2).
-        for (i, (a, o1)) in out.iter().enumerate() {
-            for (b, o2) in out.iter().skip(i + 1) {
+        for (i, (a, o1, _)) in out.iter().enumerate() {
+            for (b, o2, _) in out.iter().skip(i + 1) {
                 if a == b && o1 != o2 {
                     return Err(EngineError::IncompatibleControllers {
                         first: self.origin_name(*o1),

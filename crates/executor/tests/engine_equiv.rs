@@ -16,17 +16,16 @@
 //! the scheduler is consulted with the same candidate slice in the same
 //! order by both engines, so any divergence in candidate collection,
 //! firing order, or time advancement shows up as a differing execution.
-//!
-//! (Origin-aware schedulers such as `RoundRobinScheduler` are *not* used
-//! here: the incremental engine hands them the candidates' origins, which
-//! the reference engine cannot, so their picks legitimately differ.)
+//! Origin-aware schedulers are pinned too: both engines now feed
+//! [`RoundRobinScheduler`] the candidates' flat component ids, so its
+//! per-component rotation must also match pick for pick.
 
 use psync_apps::heartbeat::{FdAction, FdParams, Heartbeater, Monitor};
 use psync_automata::toys::{Beeper, ClockBeeper};
 use psync_automata::Action;
 use psync_executor::{
     ClockNode, Engine, EngineBuilder, OffsetClock, PerfectClock, RandomScheduler, ReferenceEngine,
-    ReferenceEngineBuilder,
+    ReferenceEngineBuilder, RoundRobinScheduler, Scheduler,
 };
 use psync_net::{Channel, DropSeeded, FifoChannel, LossyChannel, NodeId, SeededDelay};
 use psync_time::{DelayBounds, Duration, Time};
@@ -49,12 +48,21 @@ fn assert_equivalent<A: Action>(
     build_new: impl Fn(EngineBuilder<A>) -> EngineBuilder<A>,
     build_ref: impl Fn(ReferenceEngineBuilder<A>) -> ReferenceEngineBuilder<A>,
 ) {
+    assert_equivalent_sched(label, RandomScheduler::new, build_new, build_ref);
+}
+
+/// As [`assert_equivalent`], with the scheduler family chosen by the
+/// caller — used to pin origin-aware schedulers as well as seeded ones.
+fn assert_equivalent_sched<A: Action, S: Scheduler<A> + 'static>(
+    label: &str,
+    sched: impl Fn(u64) -> S,
+    build_new: impl Fn(EngineBuilder<A>) -> EngineBuilder<A>,
+    build_ref: impl Fn(ReferenceEngineBuilder<A>) -> ReferenceEngineBuilder<A>,
+) {
     for seed in SEEDS {
-        let mut fast: Engine<A> = build_new(Engine::builder())
-            .scheduler(RandomScheduler::new(seed))
-            .build();
+        let mut fast: Engine<A> = build_new(Engine::builder()).scheduler(sched(seed)).build();
         let mut slow: ReferenceEngine<A> = build_ref(ReferenceEngine::builder())
-            .scheduler(RandomScheduler::new(seed))
+            .scheduler(sched(seed))
             .build();
         let fast_run = fast
             .run()
@@ -182,6 +190,76 @@ fn heartbeats_over_reordering_channels_are_equivalent() {
     };
     assert_equivalent::<FdAction>(
         "reordering",
+        |b| {
+            b.timed(Heartbeater::new(NodeId(0), NodeId(1), ms(5)))
+                .timed(Channel::new(
+                    NodeId(0),
+                    NodeId(1),
+                    bounds,
+                    SeededDelay::new(11),
+                ))
+                .timed(Monitor::new(NodeId(1), NodeId(0), params))
+                .horizon(at(300))
+        },
+        |b| {
+            b.timed(Heartbeater::new(NodeId(0), NodeId(1), ms(5)))
+                .timed(Channel::new(
+                    NodeId(0),
+                    NodeId(1),
+                    bounds,
+                    SeededDelay::new(11),
+                ))
+                .timed(Monitor::new(NodeId(1), NodeId(0), params))
+                .horizon(at(300))
+        },
+    );
+}
+
+#[test]
+fn round_robin_toys_and_clock_nodes_are_equivalent() {
+    // The rotation is keyed on flat component ids: both engines must
+    // number components identically (timed first, then node components in
+    // insertion order) for the cursor to land on the same candidates.
+    let mix_new = |b: EngineBuilder<psync_automata::toys::BeepAction>| {
+        b.timed(Beeper::with_src(ms(5), 0))
+            .timed(Beeper::with_src(ms(7), 1))
+            .clock_node(
+                ClockNode::new("fast", ms(2), OffsetClock::new(ms(2), ms(2)))
+                    .with(ClockBeeper::with_src(ms(9), 7)),
+            )
+            .clock_node(
+                ClockNode::new("true", ms(1), PerfectClock).with(ClockBeeper::with_src(ms(11), 8)),
+            )
+            .horizon(at(200))
+    };
+    let mix_ref = |b: ReferenceEngineBuilder<psync_automata::toys::BeepAction>| {
+        b.timed(Beeper::with_src(ms(5), 0))
+            .timed(Beeper::with_src(ms(7), 1))
+            .clock_node(
+                ClockNode::new("fast", ms(2), OffsetClock::new(ms(2), ms(2)))
+                    .with(ClockBeeper::with_src(ms(9), 7)),
+            )
+            .clock_node(
+                ClockNode::new("true", ms(1), PerfectClock).with(ClockBeeper::with_src(ms(11), 8)),
+            )
+            .horizon(at(200))
+    };
+    assert_equivalent_sched("rr-toys", |_| RoundRobinScheduler::new(), mix_new, mix_ref);
+}
+
+#[test]
+fn round_robin_heartbeats_over_channels_are_equivalent() {
+    // Large same-instant candidate sets from the reordering channel give
+    // the rotation real choices; a flat-id mismatch between the engines
+    // would skew every subsequent pick.
+    let bounds = DelayBounds::new(ms(0), ms(9)).unwrap();
+    let params = FdParams {
+        period: ms(5),
+        timeout: ms(30),
+    };
+    assert_equivalent_sched::<FdAction, _>(
+        "rr-reordering",
+        |_| RoundRobinScheduler::new(),
         |b| {
             b.timed(Heartbeater::new(NodeId(0), NodeId(1), ms(5)))
                 .timed(Channel::new(

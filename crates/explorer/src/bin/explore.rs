@@ -1,0 +1,155 @@
+//! Campaign driver: runs seeded fault-injection campaigns against the
+//! built-in scenarios and reports coverage and violations.
+//!
+//! ```text
+//! psync-explorer [--cases N] [--seed S] [--scenario all|heartbeat|clockfleet|register]
+//!                [--max-entries N] [--bug-extra-ns N]
+//! ```
+//!
+//! `--bug-extra-ns N` plants the demonstration bug (a boundary delay
+//! spike delivered `N` ns after `d₂`) in the heartbeat channel — the
+//! explorer is then expected to find it, shrink it, and print the
+//! replay artifact.
+//!
+//! Exits non-zero iff any campaign found a violation; each failure is
+//! printed as a full replay artifact so it can be reproduced verbatim.
+
+use std::process::ExitCode;
+
+use psync_explorer::{run_campaign, CampaignConfig, ScenarioConfig, ScenarioKind};
+
+struct Args {
+    campaign: CampaignConfig,
+    scenarios: Vec<ScenarioKind>,
+    bug_extra_ns: i64,
+}
+
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|e| format!("bad seed {s:?}: {e}"))
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut campaign = CampaignConfig::default();
+    let mut scenarios = ScenarioKind::all().to_vec();
+    let mut bug_extra_ns = 0i64;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--cases" => {
+                campaign.cases = value("--cases")?
+                    .parse()
+                    .map_err(|e| format!("bad --cases: {e}"))?
+            }
+            "--seed" => campaign.seed = parse_seed(value("--seed")?)?,
+            "--max-entries" => {
+                campaign.max_entries = value("--max-entries")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-entries: {e}"))?;
+            }
+            "--scenario" => {
+                let v = value("--scenario")?;
+                scenarios = if v == "all" {
+                    ScenarioKind::all().to_vec()
+                } else {
+                    vec![ScenarioKind::from_name(v)?]
+                };
+            }
+            "--bug-extra-ns" => {
+                bug_extra_ns = value("--bug-extra-ns")?
+                    .parse()
+                    .map_err(|e| format!("bad --bug-extra-ns: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: psync-explorer [--cases N] [--seed S] \
+                     [--scenario all|heartbeat|clockfleet|register] [--max-entries N] \
+                     [--bug-extra-ns N]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if campaign.max_entries == 0 {
+        return Err("--max-entries must be at least 1".to_string());
+    }
+    Ok(Args {
+        campaign,
+        scenarios,
+        bug_extra_ns,
+    })
+}
+
+fn scenario_config(kind: ScenarioKind, bug_extra_ns: i64) -> ScenarioConfig {
+    let cfg = match kind {
+        ScenarioKind::Heartbeat => ScenarioConfig::heartbeat_default(),
+        ScenarioKind::ClockFleet => ScenarioConfig::clockfleet_default(),
+        ScenarioKind::Register => ScenarioConfig::register_default(),
+    };
+    // The demonstration bug lives in the heartbeat channel.
+    if bug_extra_ns > 0 && kind == ScenarioKind::Heartbeat {
+        cfg.with_bug(bug_extra_ns)
+    } else {
+        cfg
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut total_failures = 0usize;
+    for kind in &args.scenarios {
+        let scenario = scenario_config(*kind, args.bug_extra_ns);
+        let report = run_campaign(&args.campaign, &scenario);
+        let s = &report.stats;
+        println!(
+            "[{}] {} cases, {} fault entries, {} events, {} clock requests clamped, {} shrink probes",
+            kind.name(),
+            s.cases,
+            s.entries,
+            s.events,
+            s.rejected_clock_requests,
+            s.shrink_probes,
+        );
+        for (k, n) in &s.entries_by_kind {
+            println!("  {k:>20}: {n}");
+        }
+        for failure in &report.failures {
+            total_failures += 1;
+            let plan = &failure.artifact.plan;
+            println!(
+                "  VIOLATION in case {} (plan shrank {} -> {} entries):",
+                failure.case_index,
+                failure.original_entries,
+                plan.len(),
+            );
+            if let Some((oracle, detail)) = &failure.artifact.violation {
+                println!("    {oracle}: {detail}");
+            }
+            println!("--- replay artifact ---");
+            println!("{}", failure.artifact.to_json());
+            println!("--- end artifact ---");
+        }
+    }
+
+    if total_failures == 0 {
+        println!("ok: no violations");
+        ExitCode::SUCCESS
+    } else {
+        println!("{total_failures} violation(s) found");
+        ExitCode::FAILURE
+    }
+}

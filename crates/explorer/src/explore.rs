@@ -1,0 +1,186 @@
+//! The seeded exploration loop: generate → validate → run → judge →
+//! shrink → dump.
+//!
+//! A campaign is a pure function of `(CampaignConfig, ScenarioConfig)`:
+//! case `i` derives its seed from the campaign seed by splitmix, its plan
+//! from that case seed and the scenario's admissibility envelope, and its
+//! verdict from a full deterministic run. On failure the plan is shrunk
+//! by [`shrink_entries`] (each probe is a complete re-run) and packaged
+//! as a replay [`Artifact`].
+
+use crate::artifact::{Artifact, ARTIFACT_VERSION};
+use crate::plan::{Chain, FaultPlan};
+use crate::scenario::{run_case, ScenarioConfig};
+use crate::shrink::shrink_entries;
+
+/// Knobs of one exploration campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of seeded cases to run.
+    pub cases: u64,
+    /// Campaign seed; case `i` uses `splitmix(seed ^ i)`.
+    pub seed: u64,
+    /// Maximum entries per generated plan.
+    pub max_entries: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            cases: 64,
+            seed: 0x0C1A_551C,
+            max_entries: 6,
+        }
+    }
+}
+
+/// One failure found by a campaign, already shrunk and packaged.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Index of the case within the campaign.
+    pub case_index: u64,
+    /// Entries in the plan as generated, before shrinking.
+    pub original_entries: usize,
+    /// The replayable reproduction (carries the shrunk plan).
+    pub artifact: Artifact,
+}
+
+/// Aggregate statistics of a campaign, for coverage reporting.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignStats {
+    /// Cases run.
+    pub cases: u64,
+    /// Total fault entries across all generated plans.
+    pub entries: u64,
+    /// Generated entries by kind keyword (sorted by keyword).
+    pub entries_by_kind: Vec<(&'static str, u64)>,
+    /// Total recorded events across all (non-probe) case runs.
+    pub events: u64,
+    /// Clock-script requests clamped by the C1–C4 guard across all runs.
+    pub rejected_clock_requests: u64,
+    /// Extra case executions spent probing during shrinks.
+    pub shrink_probes: u64,
+}
+
+impl CampaignStats {
+    fn count_kind(&mut self, kind: &'static str) {
+        match self.entries_by_kind.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => {
+                self.entries_by_kind.push((kind, 1));
+                self.entries_by_kind.sort_unstable_by_key(|(k, _)| *k);
+            }
+        }
+    }
+}
+
+/// The result of [`run_campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Scenario the campaign targeted.
+    pub scenario: ScenarioConfig,
+    /// Coverage statistics.
+    pub stats: CampaignStats,
+    /// Shrunk, replayable failures (empty on a clean campaign).
+    pub failures: Vec<Failure>,
+}
+
+/// Runs one seeded campaign against one scenario.
+#[must_use]
+pub fn run_campaign(campaign: &CampaignConfig, scenario: &ScenarioConfig) -> CampaignReport {
+    let envelope = scenario.envelope();
+    let mut stats = CampaignStats::default();
+    let mut failures = Vec::new();
+    let mut seeder = Chain::new(campaign.seed);
+    for case_index in 0..campaign.cases {
+        let case_seed = seeder.next();
+        let plan = FaultPlan::generate(case_seed, &envelope, campaign.max_entries);
+        debug_assert!(
+            plan.validate(&envelope).is_ok(),
+            "generator escaped the envelope"
+        );
+        stats.cases += 1;
+        stats.entries += plan.len() as u64;
+        for entry in &plan.entries {
+            stats.count_kind(entry.kind());
+        }
+        let outcome = run_case(scenario, &plan, case_seed);
+        stats.events += outcome.events as u64;
+        stats.rejected_clock_requests += outcome.rejected_clock_requests;
+        if outcome.violations.is_empty() {
+            continue;
+        }
+        // Shrink: every probe is a full deterministic re-run of the case
+        // with a candidate sub-plan; "fails" = any oracle violation.
+        let mut probes = 0u64;
+        let shrunk = shrink_entries(&plan, &mut |candidate| {
+            probes += 1;
+            !run_case(scenario, candidate, case_seed)
+                .violations
+                .is_empty()
+        });
+        stats.shrink_probes += probes;
+        let final_outcome = run_case(scenario, &shrunk, case_seed);
+        let violation = final_outcome
+            .violations
+            .first()
+            .or_else(|| outcome.violations.first())
+            .cloned();
+        failures.push(Failure {
+            case_index,
+            original_entries: plan.len(),
+            artifact: Artifact {
+                version: ARTIFACT_VERSION,
+                config: scenario.clone(),
+                seed: case_seed,
+                plan: shrunk,
+                violation,
+            },
+        });
+    }
+    CampaignReport {
+        scenario: scenario.clone(),
+        stats,
+        failures,
+    }
+}
+
+/// Convenience: first failure of a campaign, if any — what most tests
+/// want.
+#[must_use]
+pub fn first_failure(campaign: &CampaignConfig, scenario: &ScenarioConfig) -> Option<Failure> {
+    run_campaign(campaign, scenario).failures.into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_campaigns_are_deterministic() {
+        let campaign = CampaignConfig {
+            cases: 6,
+            ..CampaignConfig::default()
+        };
+        let scenario = ScenarioConfig::clockfleet_default();
+        let a = run_campaign(&campaign, &scenario);
+        let b = run_campaign(&campaign, &scenario);
+        assert_eq!(a.stats.entries, b.stats.entries);
+        assert_eq!(a.stats.events, b.stats.events);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    #[test]
+    fn campaign_reports_kind_coverage() {
+        let campaign = CampaignConfig {
+            cases: 12,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&campaign, &ScenarioConfig::heartbeat_default());
+        assert_eq!(report.stats.cases, 12);
+        assert!(report.stats.entries > 0);
+        assert!(!report.stats.entries_by_kind.is_empty());
+        let counted: u64 = report.stats.entries_by_kind.iter().map(|(_, n)| n).sum();
+        assert_eq!(counted, report.stats.entries);
+    }
+}

@@ -1,0 +1,876 @@
+//! Scenario factories: the systems a fault plan perturbs, and the
+//! oracles that judge each run.
+//!
+//! Three families cover the workspace's three model layers:
+//!
+//! * **heartbeat** — the timed model: a heartbeater, a plan-driven
+//!   [`FaultChannel`], a monitor, and (optionally) a scripted crash.
+//!   Oracles: the `[d₁, d₂]` delivery envelope, failure-detector accuracy
+//!   and completeness (with a drop-budgeted timeout), and Lemma 2.1
+//!   replays of the monitor and heartbeater.
+//! * **clockfleet** — the clock model in isolation: `n` clock nodes with
+//!   plan-scripted clocks driving periodic clock-time beepers. Oracles:
+//!   `C_ε` on every recorded reading, per-node clock monotonicity and
+//!   exact clock-time cadence, and a Lemma 2.1 clock replay.
+//! * **register** — the full `D_C` assembly of Section 6 (Algorithm S
+//!   through Simulation 1): scripted clocks, plan delay spikes, scheduler
+//!   bias, a closed-loop workload. Oracles: linearizability (the same
+//!   [`LinearizableRegister`] problem the conformance sweeps use, adapted
+//!   through [`ProblemOracle`]), `C_ε`, liveness, and a workload replay.
+//!
+//! Every factory is a pure function of `(config, plan, seed)` — the
+//! entire contents of a replay artifact — which is what makes replays
+//! bit-identical.
+
+use psync_apps::heartbeat::{outcome, FdAction, FdOp, FdParams, Heartbeat, Heartbeater, Monitor};
+use psync_automata::toys::{BeepAction, ClockBeeper};
+use psync_automata::{Action, Execution, Verdict};
+use psync_core::{app_trace, build_dc, NodeSpec};
+use psync_executor::{ClockNode, Engine, Run, StopReason};
+use psync_net::{FaultChannel, MaxDelay, NodeId, Script, SysAction, Topology};
+use psync_register::{AlgorithmS, ClosedLoopWorkload, RegAction, RegisterParams, Value};
+use psync_time::{DelayBounds, Duration, Time};
+use psync_verify::replay::{replay_clock, replay_timed};
+use psync_verify::{check_all, FnOracle, LinearizableRegister, Oracle, ProblemOracle};
+
+use crate::faults::{
+    scripted_clock_for, seq_of, BiasedScheduler, PlanChannelFault, PlanDelayPolicy,
+};
+use crate::json::Json;
+use crate::plan::{at_ns, ns, FaultEntry, FaultEnvelope, FaultPlan};
+
+/// Which system family a case runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Timed-model failure detector over a faultable channel.
+    Heartbeat,
+    /// Clock-model beeper fleet with scripted clocks.
+    ClockFleet,
+    /// Algorithm S in `D_C` (Section 6) under plan adversaries.
+    Register,
+}
+
+impl ScenarioKind {
+    /// Stable keyword (artifact `scenario` field, CLI `--scenario`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::Heartbeat => "heartbeat",
+            ScenarioKind::ClockFleet => "clockfleet",
+            ScenarioKind::Register => "register",
+        }
+    }
+
+    /// Parses a keyword.
+    ///
+    /// # Errors
+    ///
+    /// Unknown keyword.
+    pub fn from_name(s: &str) -> Result<ScenarioKind, String> {
+        match s {
+            "heartbeat" => Ok(ScenarioKind::Heartbeat),
+            "clockfleet" => Ok(ScenarioKind::ClockFleet),
+            "register" => Ok(ScenarioKind::Register),
+            other => Err(format!("unknown scenario {other:?}")),
+        }
+    }
+
+    /// All scenario kinds.
+    #[must_use]
+    pub fn all() -> [ScenarioKind; 3] {
+        [
+            ScenarioKind::Heartbeat,
+            ScenarioKind::ClockFleet,
+            ScenarioKind::Register,
+        ]
+    }
+}
+
+/// Everything needed to rebuild a scenario's engine: the config half of a
+/// replay artifact (the other half is the plan and the seed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioConfig {
+    /// System family.
+    pub kind: ScenarioKind,
+    /// Node count.
+    pub nodes: u32,
+    /// Declared minimum delay `d₁`, nanoseconds.
+    pub d1_ns: i64,
+    /// Declared maximum delay `d₂`, nanoseconds.
+    pub d2_ns: i64,
+    /// Skew bound `ε`, nanoseconds.
+    pub eps_ns: i64,
+    /// Run horizon, nanoseconds.
+    pub horizon_ns: i64,
+    /// Heartbeat / beep period, nanoseconds.
+    pub period_ns: i64,
+    /// Drop budget per edge (heartbeat only).
+    pub max_drops: u32,
+    /// Closed-loop operations per node (register only).
+    pub ops_per_node: u32,
+    /// Scripted crash time (heartbeat only), nanoseconds.
+    pub crash_at_ns: Option<i64>,
+    /// The seeded bug: extra nanoseconds a boundary delay spike is allowed
+    /// to overshoot `d₂` by. Zero = correct channel.
+    pub bug_extra_ns: i64,
+}
+
+impl ScenarioConfig {
+    /// The default heartbeat scenario.
+    #[must_use]
+    pub fn heartbeat_default() -> ScenarioConfig {
+        ScenarioConfig {
+            kind: ScenarioKind::Heartbeat,
+            nodes: 2,
+            d1_ns: 1_000_000,
+            d2_ns: 4_000_000,
+            eps_ns: 0,
+            horizon_ns: 300_000_000,
+            period_ns: 10_000_000,
+            max_drops: 2,
+            ops_per_node: 0,
+            crash_at_ns: None,
+            bug_extra_ns: 0,
+        }
+    }
+
+    /// The default clock-fleet scenario.
+    #[must_use]
+    pub fn clockfleet_default() -> ScenarioConfig {
+        ScenarioConfig {
+            kind: ScenarioKind::ClockFleet,
+            nodes: 3,
+            d1_ns: 0,
+            d2_ns: 0,
+            eps_ns: 2_000_000,
+            horizon_ns: 250_000_000,
+            period_ns: 9_000_000,
+            max_drops: 0,
+            ops_per_node: 0,
+            crash_at_ns: None,
+            bug_extra_ns: 0,
+        }
+    }
+
+    /// The default register scenario.
+    #[must_use]
+    pub fn register_default() -> ScenarioConfig {
+        ScenarioConfig {
+            kind: ScenarioKind::Register,
+            nodes: 2,
+            d1_ns: 1_000_000,
+            d2_ns: 4_000_000,
+            eps_ns: 1_000_000,
+            horizon_ns: 10_000_000_000,
+            period_ns: 0,
+            max_drops: 0,
+            ops_per_node: 3,
+            crash_at_ns: None,
+            bug_extra_ns: 0,
+        }
+    }
+
+    /// The same scenario with the late-delivery bug planted: a delay
+    /// spike requesting exactly `d₂` is let through at `d₂ + extra_ns`.
+    #[must_use]
+    pub fn with_bug(mut self, extra_ns: i64) -> ScenarioConfig {
+        assert!(extra_ns > 0, "the bug must overshoot by at least one tick");
+        self.bug_extra_ns = extra_ns;
+        self
+    }
+
+    /// The admissibility envelope this scenario grants to fault plans.
+    #[must_use]
+    pub fn envelope(&self) -> FaultEnvelope {
+        let (allow_clock, allow_drop, allow_dup, allow_spike, edges) = match self.kind {
+            ScenarioKind::Heartbeat => (false, true, true, true, vec![(0, 1)]),
+            ScenarioKind::ClockFleet => (true, false, false, false, vec![]),
+            ScenarioKind::Register => {
+                // Clock channels (`build_dc`) expose a delay policy but not
+                // drops/duplicates; the paper's reliable-channel model
+                // stands, so only spikes and clock faults are in scope.
+                let mut edges = Vec::new();
+                for i in 0..self.nodes {
+                    for j in 0..self.nodes {
+                        if i != j {
+                            edges.push((i, j));
+                        }
+                    }
+                }
+                (true, false, false, true, edges)
+            }
+        };
+        let max_seq = match self.kind {
+            ScenarioKind::Heartbeat => (self.horizon_ns / self.period_ns.max(1)) as u32 + 1,
+            ScenarioKind::ClockFleet => 0,
+            ScenarioKind::Register => self.ops_per_node * 2 + 2,
+        };
+        FaultEnvelope {
+            nodes: self.nodes,
+            eps_ns: self.eps_ns,
+            d1_ns: self.d1_ns,
+            d2_ns: self.d2_ns,
+            horizon_ns: self.horizon_ns,
+            edges,
+            max_seq,
+            max_drops: self.max_drops,
+            allow_clock,
+            allow_drop,
+            allow_dup,
+            allow_spike,
+        }
+    }
+
+    /// The declared delay bounds `[d₁, d₂]`.
+    #[must_use]
+    pub fn bounds(&self) -> DelayBounds {
+        DelayBounds::new(ns(self.d1_ns), ns(self.d2_ns)).expect("config bounds are ordered")
+    }
+
+    /// Monitor parameters budgeted for the plan envelope: the timeout
+    /// tolerates `max_drops` consecutive losses plus full delay jitter,
+    /// so any false suspicion is a real bug, not a mistuned test.
+    #[must_use]
+    pub fn fd_params(&self) -> FdParams {
+        let period = ns(self.period_ns);
+        let jitter = ns(self.d2_ns - self.d1_ns);
+        let slack = Duration::from_millis(2);
+        FdParams {
+            period,
+            timeout: period * (i64::from(self.max_drops) + 1) + jitter + slack,
+        }
+    }
+
+    pub(crate) fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::str(self.kind.name())),
+            ("nodes", Json::num(self.nodes)),
+            ("d1_ns", Json::num(self.d1_ns)),
+            ("d2_ns", Json::num(self.d2_ns)),
+            ("eps_ns", Json::num(self.eps_ns)),
+            ("horizon_ns", Json::num(self.horizon_ns)),
+            ("period_ns", Json::num(self.period_ns)),
+            ("max_drops", Json::num(self.max_drops)),
+            ("ops_per_node", Json::num(self.ops_per_node)),
+            (
+                "crash_at_ns",
+                self.crash_at_ns.map_or(Json::Null, Json::num),
+            ),
+            ("bug_extra_ns", Json::num(self.bug_extra_ns)),
+        ])
+    }
+
+    pub(crate) fn from_json(v: &Json) -> Result<ScenarioConfig, String> {
+        let i64_field = |name: &str| -> Result<i64, String> {
+            v.get(name)
+                .and_then(Json::as_i64)
+                .ok_or_else(|| format!("config missing {name}"))
+        };
+        let u32_field = |name: &str| -> Result<u32, String> {
+            v.get(name)
+                .and_then(Json::as_u32)
+                .ok_or_else(|| format!("config missing {name}"))
+        };
+        Ok(ScenarioConfig {
+            kind: ScenarioKind::from_name(
+                v.get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("config missing kind")?,
+            )?,
+            nodes: u32_field("nodes")?,
+            d1_ns: i64_field("d1_ns")?,
+            d2_ns: i64_field("d2_ns")?,
+            eps_ns: i64_field("eps_ns")?,
+            horizon_ns: i64_field("horizon_ns")?,
+            period_ns: i64_field("period_ns")?,
+            max_drops: u32_field("max_drops")?,
+            ops_per_node: u32_field("ops_per_node")?,
+            crash_at_ns: match v.get("crash_at_ns") {
+                None | Some(Json::Null) => None,
+                Some(t) => Some(t.as_i64().ok_or("bad crash_at_ns")?),
+            },
+            bug_extra_ns: i64_field("bug_extra_ns")?,
+        })
+    }
+}
+
+/// The judged result of one case: what the oracles said and a
+/// fingerprint of the recorded execution for replay-identity checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseOutcome {
+    /// `(oracle name, violation)` pairs; empty = the run passed.
+    pub violations: Vec<(String, String)>,
+    /// Recorded event count.
+    pub events: usize,
+    /// Clock-script requests the C1–C4 guard clamped (attempted backward
+    /// jumps / over-ε readings that were rejected at run time).
+    pub rejected_clock_requests: u64,
+    /// Order-sensitive hash of `(action, now, clock)` over all events.
+    pub fingerprint: u64,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Order-sensitive fingerprint of a recorded execution.
+#[must_use]
+pub fn fingerprint<A: Action>(exec: &Execution<A>) -> u64 {
+    let mut h = 0xC1A5_51C0_DE00_0001u64;
+    for e in exec.events() {
+        let line = format!("{:?}@{}@{:?}", e.action, e.now.as_nanos(), e.clock);
+        for b in line.bytes() {
+            h = splitmix64(h ^ u64::from(b));
+        }
+        h = splitmix64(h);
+    }
+    h
+}
+
+/// `C_ε` oracle over recorded clock readings, shared by the clock-model
+/// scenarios.
+fn c_eps_oracle<A: Action>(eps: Duration) -> FnOracle<A> {
+    FnOracle::new("C_eps envelope", move |exec: &Execution<A>| {
+        for (i, e) in exec.events().iter().enumerate() {
+            if let Some(clock) = e.clock {
+                if e.now.skew(clock) > eps {
+                    return Verdict::violated(format!(
+                        "event {i}: |now − clock| = {} > ε = {eps}",
+                        e.now.skew(clock)
+                    ));
+                }
+            }
+        }
+        Verdict::Holds
+    })
+}
+
+const CASE_MAX_EVENTS: usize = 250_000;
+
+/// A typed runner's result: the engine run (or its error) plus the
+/// oracles' `(name, violation)` verdicts.
+pub type JudgedRun<A> = (Result<Run<A>, String>, Vec<(String, String)>);
+
+/// A clock-model runner's result: [`JudgedRun`] plus the number of
+/// clock-script requests the C1–C4 guard clamped.
+pub type JudgedClockRun<A> = (Result<Run<A>, String>, Vec<(String, String)>, u64);
+
+/// Runs one heartbeat case: returns the raw engine run and the oracle
+/// verdicts. Public (rather than folded into [`run_case`]) so tests can
+/// compare whole [`Execution`]s across replays.
+///
+/// # Panics
+///
+/// Panics if the config is not a heartbeat config.
+pub fn run_heartbeat(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> JudgedRun<FdAction> {
+    assert_eq!(cfg.kind, ScenarioKind::Heartbeat);
+    let declared = cfg.bounds();
+    // The seeded bug widens the channel's *internal* bounds so the stretch
+    // passes the channel's own assert; the oracles keep judging against
+    // the declared envelope, which is exactly how they catch it.
+    let actual = DelayBounds::new(declared.min(), declared.max() + ns(cfg.bug_extra_ns))
+        .expect("widened bounds stay ordered");
+    let fault = PlanChannelFault::new(plan, 0, 1, seed, declared, ns(cfg.bug_extra_ns));
+    let period = ns(cfg.period_ns);
+    let params = cfg.fd_params();
+
+    let mut builder = Engine::builder()
+        .timed(Heartbeater::new(NodeId(0), NodeId(1), period))
+        .timed(FaultChannel::<Heartbeat, FdOp>::new(
+            NodeId(0),
+            NodeId(1),
+            actual,
+            MaxDelay,
+            fault,
+        ))
+        .timed(Monitor::new(NodeId(1), NodeId(0), params));
+    if let Some(crash) = cfg.crash_at_ns {
+        builder = builder.timed(Script::<Heartbeat, FdOp>::new(
+            [(at_ns(crash), FdOp::Crash { node: NodeId(0) })],
+            |_| false,
+        ));
+    }
+    let mut engine = builder
+        .scheduler(BiasedScheduler::new(plan, seed))
+        .horizon(at_ns(cfg.horizon_ns))
+        .max_events(CASE_MAX_EVENTS)
+        .build();
+
+    let run = match engine.run() {
+        Ok(run) => run,
+        Err(e) => return (Err(e.to_string()), vec![("engine".into(), e.to_string())]),
+    };
+    let violations = check_all(&heartbeat_oracles(cfg, plan), &run.execution);
+    (Ok(run), violations)
+}
+
+/// The heartbeat scenario's oracle set (shared with conformance-style
+/// sweeps via the [`Oracle`] trait).
+#[must_use]
+pub fn heartbeat_oracles(cfg: &ScenarioConfig, plan: &FaultPlan) -> Vec<Box<dyn Oracle<FdAction>>> {
+    let declared = cfg.bounds();
+    let dropped: Vec<u32> = plan
+        .entries
+        .iter()
+        .filter_map(|e| match *e {
+            FaultEntry::Drop {
+                src: 0,
+                dst: 1,
+                seq,
+            } => Some(seq),
+            _ => None,
+        })
+        .collect();
+    let duplicated: Vec<u32> = plan
+        .entries
+        .iter()
+        .filter_map(|e| match *e {
+            FaultEntry::Duplicate {
+                src: 0,
+                dst: 1,
+                seq,
+                ..
+            } => Some(seq),
+            _ => None,
+        })
+        .collect();
+
+    let envelope = {
+        let dropped = dropped.clone();
+        let duplicated = duplicated.clone();
+        FnOracle::new("delivery envelope", move |exec: &Execution<FdAction>| {
+            let mut sends: Vec<(u64, Time)> = Vec::new();
+            let mut copies: Vec<(u64, u32)> = Vec::new();
+            for (i, e) in exec.events().iter().enumerate() {
+                match &e.action {
+                    SysAction::Send(env) => sends.push((env.id.0, e.now)),
+                    SysAction::Recv(env) => {
+                        let Some((_, sent)) = sends.iter().find(|(id, _)| *id == env.id.0) else {
+                            return Verdict::violated(format!(
+                                "event {i}: received message {} that was never sent",
+                                env.id.0
+                            ));
+                        };
+                        let latency = e.now - *sent;
+                        if latency < declared.min() || latency > declared.max() {
+                            return Verdict::violated(format!(
+                                "event {i}: message {} delivered after {latency}, outside [{}, {}]",
+                                env.id.0,
+                                declared.min(),
+                                declared.max()
+                            ));
+                        }
+                        let seq = seq_of(env.id);
+                        if dropped.contains(&seq) {
+                            return Verdict::violated(format!(
+                                "event {i}: message {seq} was delivered despite a planned drop"
+                            ));
+                        }
+                        match copies.iter_mut().find(|(id, _)| *id == env.id.0) {
+                            Some((_, n)) => *n += 1,
+                            None => copies.push((env.id.0, 1)),
+                        }
+                        let n = copies
+                            .iter()
+                            .find(|(id, _)| *id == env.id.0)
+                            .map_or(0, |(_, n)| *n);
+                        let allowed = if duplicated.contains(&seq) { 2 } else { 1 };
+                        if n > allowed {
+                            return Verdict::violated(format!(
+                                "event {i}: message {seq} delivered {n} times (plan allows {allowed})"
+                            ));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Verdict::Holds
+        })
+    };
+
+    let params = cfg.fd_params();
+    let detection = ns(cfg.d2_ns) + params.timeout + Duration::from_millis(1);
+    let horizon = at_ns(cfg.horizon_ns);
+    let fd = FnOracle::new("failure detector", move |exec: &Execution<FdAction>| {
+        let out = outcome(&exec.t_trace());
+        match (out.crashed_at, out.suspected_at) {
+            (None, Some(t)) => {
+                Verdict::violated(format!("false suspicion at {t} (no crash ever happened)"))
+            }
+            (Some(c), Some(t)) if t < c => {
+                Verdict::violated(format!("false suspicion at {t}, before the crash at {c}"))
+            }
+            (Some(c), Some(t)) if t - c > detection => Verdict::violated(format!(
+                "suspicion at {t} exceeds the detection bound {detection} after the crash at {c}"
+            )),
+            (Some(c), None) if c + detection < horizon => Verdict::violated(format!(
+                "crash at {c} never suspected within {detection} (completeness)"
+            )),
+            _ => Verdict::Holds,
+        }
+    });
+
+    let period = ns(cfg.period_ns);
+    let replay_monitor =
+        FnOracle::new(
+            "replay(monitor)",
+            move |exec: &Execution<FdAction>| match replay_timed(
+                Monitor::new(NodeId(1), NodeId(0), params),
+                exec,
+            ) {
+                Ok(_) => Verdict::Holds,
+                Err(e) => Verdict::violated(format!("Lemma 2.1 replay failed: {e}")),
+            },
+        );
+    let replay_beater =
+        FnOracle::new(
+            "replay(heartbeater)",
+            move |exec: &Execution<FdAction>| match replay_timed(
+                Heartbeater::new(NodeId(0), NodeId(1), period),
+                exec,
+            ) {
+                Ok(_) => Verdict::Holds,
+                Err(e) => Verdict::violated(format!("Lemma 2.1 replay failed: {e}")),
+            },
+        );
+
+    vec![
+        Box::new(envelope),
+        Box::new(fd),
+        Box::new(replay_monitor),
+        Box::new(replay_beater),
+    ]
+}
+
+/// Per-node beep period of the clock fleet (staggered so the fleet's
+/// interleavings are non-trivial).
+fn fleet_period(cfg: &ScenarioConfig, node: u32) -> Duration {
+    ns(cfg.period_ns + i64::from(node) * 1_000_000)
+}
+
+/// Runs one clock-fleet case. Returns the run, oracle verdicts, and the
+/// number of clock-script requests the C1–C4 guard clamped.
+///
+/// # Panics
+///
+/// Panics if the config is not a clockfleet config.
+pub fn run_clockfleet(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+) -> JudgedClockRun<BeepAction> {
+    assert_eq!(cfg.kind, ScenarioKind::ClockFleet);
+    let eps = ns(cfg.eps_ns);
+    let mut builder = Engine::builder();
+    let mut handles = Vec::new();
+    for i in 0..cfg.nodes {
+        let clock = scripted_clock_for(plan, i);
+        handles.push(clock.rejections());
+        builder = builder.clock_node(
+            ClockNode::new(format!("n{i}"), eps, clock)
+                .with(ClockBeeper::with_src(fleet_period(cfg, i), i)),
+        );
+    }
+    let mut engine = builder
+        .scheduler(BiasedScheduler::new(plan, seed))
+        .horizon(at_ns(cfg.horizon_ns))
+        .max_events(CASE_MAX_EVENTS)
+        .build();
+    let run = match engine.run() {
+        Ok(run) => run,
+        Err(e) => {
+            let rejected = handles.iter().map(|h| h.get()).sum();
+            return (
+                Err(e.to_string()),
+                vec![("engine".into(), e.to_string())],
+                rejected,
+            );
+        }
+    };
+    let rejected = handles.iter().map(|h| h.get()).sum();
+    let violations = check_all(&clockfleet_oracles(cfg), &run.execution);
+    (Ok(run), violations, rejected)
+}
+
+/// The clock-fleet scenario's oracle set.
+#[must_use]
+pub fn clockfleet_oracles(cfg: &ScenarioConfig) -> Vec<Box<dyn Oracle<BeepAction>>> {
+    let eps = ns(cfg.eps_ns);
+    let mut oracles: Vec<Box<dyn Oracle<BeepAction>>> = vec![Box::new(c_eps_oracle(eps))];
+
+    // Per-node clock monotonicity and exact clock-time cadence: beep k of
+    // node i must carry clock reading (k+1)·period_i even under scripted
+    // skew — the deadline clamp in the C1–C4 guard guarantees it.
+    let periods: Vec<(u32, Duration)> = (0..cfg.nodes).map(|i| (i, fleet_period(cfg, i))).collect();
+    oracles.push(Box::new(FnOracle::new(
+        "clock cadence",
+        move |exec: &Execution<BeepAction>| {
+            for (node, period) in &periods {
+                let mut last: Option<Time> = None;
+                let mut expected_seq = 0u64;
+                for (i, e) in exec.events().iter().enumerate() {
+                    let BeepAction::Beep { src, seq } = &e.action;
+                    if src != node {
+                        continue;
+                    }
+                    let clock = match e.clock {
+                        Some(c) => c,
+                        None => {
+                            return Verdict::violated(format!(
+                                "event {i}: beep of node {node} recorded without a clock reading"
+                            ))
+                        }
+                    };
+                    if let Some(prev) = last {
+                        if clock <= prev {
+                            return Verdict::violated(format!(
+                                "event {i}: node {node} clock moved {prev} → {clock} (C3 broken)"
+                            ));
+                        }
+                    }
+                    last = Some(clock);
+                    if *seq != expected_seq {
+                        return Verdict::violated(format!(
+                            "event {i}: node {node} beeped seq {seq}, expected {expected_seq}"
+                        ));
+                    }
+                    expected_seq += 1;
+                    let due = Time::ZERO + *period * (*seq as i64 + 1);
+                    if clock != due {
+                        return Verdict::violated(format!(
+                            "event {i}: node {node} beep {seq} at clock {clock}, expected {due}"
+                        ));
+                    }
+                }
+            }
+            Verdict::Holds
+        },
+    )));
+
+    for i in 0..cfg.nodes {
+        let period = fleet_period(cfg, i);
+        oracles.push(Box::new(FnOracle::new(
+            format!("replay(beeper {i})"),
+            move |exec: &Execution<BeepAction>| match replay_clock(
+                ClockBeeper::with_src(period, i),
+                exec,
+            ) {
+                Ok(_) => Verdict::Holds,
+                Err(e) => Verdict::violated(format!("Lemma 2.1 clock replay failed: {e}")),
+            },
+        )));
+    }
+    oracles
+}
+
+/// Runs one register (`D_C`) case. Returns the run, oracle verdicts, and
+/// clamped clock-request count.
+///
+/// # Panics
+///
+/// Panics if the config is not a register config.
+pub fn run_register(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+) -> JudgedClockRun<RegAction> {
+    assert_eq!(cfg.kind, ScenarioKind::Register);
+    let topo = Topology::complete(cfg.nodes as usize);
+    let physical = cfg.bounds();
+    let eps = ns(cfg.eps_ns);
+    let params = RegisterParams::for_clock_model(
+        &topo,
+        physical,
+        eps,
+        ns(cfg.d2_ns / 2),
+        Duration::from_micros(100),
+    );
+    let algorithms = topo
+        .nodes()
+        .map(|i| NodeSpec::new(i, AlgorithmS::new(i, params.clone())))
+        .collect();
+    let mut handles = Vec::new();
+    let strategies = (0..cfg.nodes)
+        .map(|i| {
+            let clock = scripted_clock_for(plan, i);
+            handles.push(clock.rejections());
+            Box::new(clock) as Box<dyn psync_executor::ClockStrategy>
+        })
+        .collect();
+    let plan_for_policy = plan.clone();
+    let workload = ClosedLoopWorkload::new(
+        &topo,
+        seed,
+        DelayBounds::new(Duration::from_millis(1), Duration::from_millis(6)).expect("valid"),
+        cfg.ops_per_node,
+    );
+    let mut engine = build_dc(&topo, physical, eps, algorithms, strategies, move |_, _| {
+        Box::new(PlanDelayPolicy::new(&plan_for_policy, seed))
+    })
+    .timed(workload)
+    .scheduler(BiasedScheduler::new(plan, seed ^ 0x5C4E_D01E))
+    .horizon(at_ns(cfg.horizon_ns))
+    .max_events(CASE_MAX_EVENTS)
+    .build();
+
+    let run = match engine.run() {
+        Ok(run) => run,
+        Err(e) => {
+            let rejected = handles.iter().map(|h| h.get()).sum();
+            return (
+                Err(e.to_string()),
+                vec![("engine".into(), e.to_string())],
+                rejected,
+            );
+        }
+    };
+    let rejected = handles.iter().map(|h| h.get()).sum();
+    let mut violations = Vec::new();
+    if run.stop != StopReason::Quiescent {
+        violations.push((
+            "liveness".to_string(),
+            format!("workload did not finish by the horizon ({:?})", run.stop),
+        ));
+    }
+    violations.extend(check_all(&register_oracles(cfg, seed), &run.execution));
+    (Ok(run), violations, rejected)
+}
+
+/// The register scenario's oracle set. Linearizability is the *same*
+/// [`LinearizableRegister`] problem instance the conformance sweeps use,
+/// adapted through [`ProblemOracle`] — the shared-checker seam the
+/// explorer was built around.
+#[must_use]
+pub fn register_oracles(cfg: &ScenarioConfig, seed: u64) -> Vec<Box<dyn Oracle<RegAction>>> {
+    let n = cfg.nodes as usize;
+    let ops = cfg.ops_per_node;
+    vec![
+        Box::new(ProblemOracle::new(
+            LinearizableRegister::new(n, Value::INITIAL),
+            |e: &Execution<RegAction>| app_trace(e),
+        )),
+        Box::new(c_eps_oracle(ns(cfg.eps_ns))),
+        Box::new(FnOracle::new(
+            "replay(workload)",
+            move |exec: &Execution<RegAction>| {
+                // ClosedLoopWorkload is not Clone; rebuild the identical
+                // component from the artifact inputs for each replay.
+                let workload = ClosedLoopWorkload::new(
+                    &Topology::complete(n),
+                    seed,
+                    DelayBounds::new(Duration::from_millis(1), Duration::from_millis(6))
+                        .expect("valid"),
+                    ops,
+                );
+                match replay_timed(workload, exec) {
+                    Ok(_) => Verdict::Holds,
+                    Err(e) => Verdict::violated(format!("Lemma 2.1 replay failed: {e}")),
+                }
+            },
+        )),
+    ]
+}
+
+/// Runs one case of any scenario kind and judges it — the generic entry
+/// point the exploration loop and `replay_artifact` share.
+#[must_use]
+pub fn run_case(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> CaseOutcome {
+    match cfg.kind {
+        ScenarioKind::Heartbeat => {
+            let (run, violations) = run_heartbeat(cfg, plan, seed);
+            let (events, fp) = match &run {
+                Ok(r) => (r.execution.len(), fingerprint(&r.execution)),
+                Err(_) => (0, 0),
+            };
+            CaseOutcome {
+                violations,
+                events,
+                rejected_clock_requests: 0,
+                fingerprint: fp,
+            }
+        }
+        ScenarioKind::ClockFleet => {
+            let (run, violations, rejected) = run_clockfleet(cfg, plan, seed);
+            let (events, fp) = match &run {
+                Ok(r) => (r.execution.len(), fingerprint(&r.execution)),
+                Err(_) => (0, 0),
+            };
+            CaseOutcome {
+                violations,
+                events,
+                rejected_clock_requests: rejected,
+                fingerprint: fp,
+            }
+        }
+        ScenarioKind::Register => {
+            let (run, violations, rejected) = run_register(cfg, plan, seed);
+            let (events, fp) = match &run {
+                Ok(r) => (r.execution.len(), fingerprint(&r.execution)),
+                Err(_) => (0, 0),
+            };
+            CaseOutcome {
+                violations,
+                events,
+                rejected_clock_requests: rejected,
+                fingerprint: fp,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_heartbeat_case_passes_all_oracles() {
+        let cfg = ScenarioConfig::heartbeat_default();
+        let out = run_case(&cfg, &FaultPlan::empty(), 1);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.events > 0);
+    }
+
+    #[test]
+    fn clean_clockfleet_case_passes_all_oracles() {
+        let cfg = ScenarioConfig::clockfleet_default();
+        let out = run_case(&cfg, &FaultPlan::empty(), 1);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.rejected_clock_requests, 0);
+    }
+
+    #[test]
+    fn clean_register_case_passes_all_oracles() {
+        let cfg = ScenarioConfig::register_default();
+        let out = run_case(&cfg, &FaultPlan::empty(), 1);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn crash_is_detected_within_the_bound() {
+        let mut cfg = ScenarioConfig::heartbeat_default();
+        cfg.crash_at_ns = Some(150_000_000);
+        let out = run_case(&cfg, &FaultPlan::empty(), 3);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        for cfg in [
+            ScenarioConfig::heartbeat_default(),
+            ScenarioConfig::clockfleet_default(),
+            ScenarioConfig::register_default(),
+        ] {
+            let back = ScenarioConfig::from_json(&cfg.to_json()).unwrap();
+            assert_eq!(cfg, back);
+        }
+        let mut with_crash = ScenarioConfig::heartbeat_default();
+        with_crash.crash_at_ns = Some(42);
+        assert_eq!(
+            ScenarioConfig::from_json(&with_crash.to_json()).unwrap(),
+            with_crash
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Counterexample shrinking by delta debugging.
+//!
+//! The explorer's plans are *sets* of independent fault entries, which is
+//! exactly the shape ddmin (Zeller & Hildebrandt's minimizing delta
+//! debugging) was designed for: try dropping chunks of entries, keep any
+//! subset that still fails, and refine the granularity until no single
+//! entry can be removed. Because every probe is a full deterministic
+//! re-run of the case, the shrunk plan is guaranteed to still fail — the
+//! shrinker never reasons about *why* a plan fails, only *whether*.
+//!
+//! The result is 1-minimal: removing any one remaining entry makes the
+//! failure disappear. 1-minimality also makes the shrinker idempotent
+//! (shrinking a shrunk plan is a no-op), which the property tests pin.
+
+use crate::plan::FaultPlan;
+
+/// Shrinks `plan` to a 1-minimal failing sub-plan under `fails`.
+///
+/// `fails` must be deterministic (same plan → same answer); the explorer
+/// satisfies this by re-running the whole case per probe. If the input
+/// plan does not fail at all, the empty plan is returned immediately —
+/// there is no counterexample to preserve.
+pub fn shrink_entries(plan: &FaultPlan, fails: &mut dyn FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    if !fails(plan) {
+        return FaultPlan::empty();
+    }
+    let mut current = plan.entries.clone();
+    // Fast path: many real counterexamples are a single entry.
+    for entry in &current {
+        let candidate = FaultPlan {
+            entries: vec![entry.clone()],
+        };
+        if fails(&candidate) {
+            current = candidate.entries;
+            break;
+        }
+    }
+    let mut granularity = 2usize.min(current.len().max(1));
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            // The complement: everything except current[start..end].
+            let mut candidate_entries = Vec::with_capacity(current.len() - (end - start));
+            candidate_entries.extend_from_slice(&current[..start]);
+            candidate_entries.extend_from_slice(&current[end..]);
+            let candidate = FaultPlan {
+                entries: candidate_entries,
+            };
+            if fails(&candidate) {
+                current = candidate.entries;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    // Final 1-minimality pass: drop single entries until a fixpoint.
+    loop {
+        let mut removed = false;
+        for i in 0..current.len() {
+            let mut candidate_entries = current.clone();
+            candidate_entries.remove(i);
+            let candidate = FaultPlan {
+                entries: candidate_entries,
+            };
+            if fails(&candidate) {
+                current = candidate.entries;
+                removed = true;
+                break;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    FaultPlan { entries: current }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultEntry;
+
+    fn drop_entry(seq: u32) -> FaultEntry {
+        FaultEntry::Drop {
+            src: 0,
+            dst: 1,
+            seq,
+        }
+    }
+
+    fn plan_of(seqs: &[u32]) -> FaultPlan {
+        FaultPlan {
+            entries: seqs.iter().map(|&s| drop_entry(s)).collect(),
+        }
+    }
+
+    #[test]
+    fn passing_plan_shrinks_to_empty() {
+        let mut fails = |_: &FaultPlan| false;
+        let shrunk = shrink_entries(&plan_of(&[1, 2, 3]), &mut fails);
+        assert!(shrunk.is_empty());
+    }
+
+    #[test]
+    fn single_culprit_is_isolated() {
+        // Fails iff the plan contains Drop seq 7.
+        let mut fails = |p: &FaultPlan| {
+            p.entries
+                .iter()
+                .any(|e| matches!(e, FaultEntry::Drop { seq: 7, .. }))
+        };
+        let shrunk = shrink_entries(&plan_of(&[1, 9, 7, 3, 5, 2, 8]), &mut fails);
+        assert_eq!(shrunk, plan_of(&[7]));
+    }
+
+    #[test]
+    fn conjunction_of_two_culprits_is_preserved() {
+        // Fails iff the plan contains both seq 2 and seq 6.
+        let mut fails = |p: &FaultPlan| {
+            let has = |want: u32| {
+                p.entries
+                    .iter()
+                    .any(|e| matches!(e, FaultEntry::Drop { seq, .. } if *seq == want))
+            };
+            has(2) && has(6)
+        };
+        let shrunk = shrink_entries(&plan_of(&[1, 2, 3, 4, 5, 6, 7, 8]), &mut fails);
+        assert_eq!(shrunk.len(), 2);
+        assert!(fails(&shrunk));
+    }
+
+    #[test]
+    fn shrinking_is_idempotent() {
+        let mut fails = |p: &FaultPlan| {
+            p.entries
+                .iter()
+                .filter(|e| matches!(e, FaultEntry::Drop { seq, .. } if seq % 2 == 0))
+                .count()
+                >= 2
+        };
+        let once = shrink_entries(&plan_of(&[0, 1, 2, 3, 4, 5, 6]), &mut fails);
+        let twice = shrink_entries(&once, &mut fails);
+        assert_eq!(once, twice);
+        assert!(fails(&once));
+        assert_eq!(once.len(), 2);
+    }
+}

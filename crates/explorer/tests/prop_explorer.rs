@@ -1,0 +1,116 @@
+//! Property tests for the shrinker, over generator-produced plans and a
+//! family of synthetic failure predicates.
+//!
+//! The predicates deliberately know nothing about scenarios — they count
+//! entries by a deterministic weight — so these properties hold for *any*
+//! deterministic `fails`, which is exactly the contract `shrink_entries`
+//! promises: if the input fails, the output is a failing, 1-minimal
+//! sub-multiset; if it passes, the output is empty; and shrinking is
+//! idempotent.
+//!
+//! Note: the vendored proptest stub replays deterministically from the
+//! test name and performs no shrinking of its own, so it persists no
+//! `*.proptest-regressions` files.
+
+use proptest::prelude::*;
+use psync_explorer::{shrink_entries, FaultEntry, FaultPlan, ScenarioConfig};
+
+/// Deterministic weight of an entry (a hash of its debug form).
+fn weight(e: &FaultEntry) -> u64 {
+    let mut h = 0x9e37_79b9_7f4a_7c15u64;
+    for b in format!("{e:?}").bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+/// A generated, envelope-admissible plan: heartbeat envelopes give
+/// channel faults, clockfleet envelopes give clock faults.
+fn gen_plan(seed: u64, env_ix: u64) -> FaultPlan {
+    let env = if env_ix.is_multiple_of(2) {
+        ScenarioConfig::heartbeat_default().envelope()
+    } else {
+        ScenarioConfig::clockfleet_default().envelope()
+    };
+    FaultPlan::generate(seed, &env, 8)
+}
+
+/// How many entries of `p` the predicate family counts as "bad".
+fn bad(p: &FaultPlan, k: u64) -> u64 {
+    p.entries
+        .iter()
+        .filter(|e| weight(e).is_multiple_of(k))
+        .count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The full shrinker contract in one pass: still-failing, subset,
+    /// 1-minimal, idempotent — or empty if the input never failed.
+    #[test]
+    fn shrinker_contract(seed in 0u64..1_000_000, env_ix in 0u64..2, k in 2u64..6, m in 1u64..4) {
+        let plan = gen_plan(seed, env_ix);
+        let mut fails = |p: &FaultPlan| bad(p, k) >= m;
+        let shrunk = shrink_entries(&plan, &mut fails);
+
+        if bad(&plan, k) < m {
+            // A passing plan has no counterexample to preserve.
+            prop_assert!(shrunk.is_empty());
+            return Ok(());
+        }
+
+        // 1. The shrunk plan still fails.
+        prop_assert!(bad(&shrunk, k) >= m);
+
+        // 2. Multiset-subset of the original: nothing is invented.
+        for entry in &shrunk.entries {
+            let in_shrunk = shrunk.entries.iter().filter(|e| *e == entry).count();
+            let in_plan = plan.entries.iter().filter(|e| *e == entry).count();
+            prop_assert!(in_shrunk <= in_plan, "entry {entry:?} multiplied");
+        }
+
+        // 3. 1-minimal: removing any single entry makes it pass.
+        for i in 0..shrunk.len() {
+            let mut entries = shrunk.entries.clone();
+            entries.remove(i);
+            prop_assert!(
+                bad(&FaultPlan { entries }, k) < m,
+                "entry {i} of the shrunk plan is removable"
+            );
+        }
+
+        // 4. Idempotent: shrinking a shrunk plan changes nothing.
+        let again = shrink_entries(&shrunk, &mut fails);
+        prop_assert_eq!(again, shrunk);
+    }
+
+    /// Plans that pass shrink to empty even when probing is expensive —
+    /// the shrinker must not run ddmin at all on a passing plan.
+    #[test]
+    fn passing_plans_shrink_to_empty_in_one_probe(seed in 0u64..1_000_000, env_ix in 0u64..2) {
+        let plan = gen_plan(seed, env_ix);
+        let mut probes = 0u64;
+        let mut fails = |_: &FaultPlan| {
+            probes += 1;
+            false
+        };
+        let shrunk = shrink_entries(&plan, &mut fails);
+        prop_assert!(shrunk.is_empty());
+        prop_assert_eq!(probes, 1);
+    }
+
+    /// Generator plans are always admissible in the envelope they were
+    /// generated for (the explorer never runs an illegal adversary).
+    #[test]
+    fn generated_plans_are_admissible(seed in 0u64..1_000_000, env_ix in 0u64..2) {
+        let env = if env_ix.is_multiple_of(2) {
+            ScenarioConfig::heartbeat_default().envelope()
+        } else {
+            ScenarioConfig::clockfleet_default().envelope()
+        };
+        let plan = FaultPlan::generate(seed, &env, 8);
+        prop_assert!(plan.validate(&env).is_ok(), "{:?}", plan.validate(&env));
+    }
+}

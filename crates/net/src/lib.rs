@@ -51,6 +51,7 @@ mod action;
 mod channel;
 mod clock_channel;
 mod delay;
+mod fault_channel;
 mod fifo_channel;
 mod lossy_channel;
 mod message;
@@ -61,6 +62,7 @@ pub use action::SysAction;
 pub use channel::{Channel, InFlight};
 pub use clock_channel::{ClockChannel, InFlightStamped};
 pub use delay::{DelayPolicy, MaxDelay, MinDelay, SeededDelay};
+pub use fault_channel::{ChannelFault, FaultChannel, NoChannelFaults};
 pub use fifo_channel::{FifoChannel, FifoInFlight};
 pub use lossy_channel::{DropNone, DropPolicy, DropSeeded, LossyChannel};
 pub use message::{Envelope, MsgId, NodeId};

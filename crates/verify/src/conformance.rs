@@ -110,6 +110,24 @@ impl<A: Action> Conformance<A> {
         problem: &dyn Problem<A>,
         seeds: impl IntoIterator<Item = u64>,
     ) -> ConformanceReport<A> {
+        self.sweep_with(seeds, &|exec| {
+            let trace = (self.extract)(exec);
+            match problem.contains(&trace) {
+                Verdict::Holds => None,
+                Verdict::Violated(why) => Some(why),
+            }
+        })
+    }
+
+    /// The shared sweep loop: runs once per seed, hands the recorded
+    /// execution to `check`, and turns `Some(reason)` into a
+    /// counterexample. Both [`Conformance::sweep`] and the oracle-based
+    /// sweep in [`crate::oracle`] go through here.
+    pub(crate) fn sweep_with(
+        &self,
+        seeds: impl IntoIterator<Item = u64>,
+        check: &dyn Fn(&Execution<A>) -> Option<String>,
+    ) -> ConformanceReport<A> {
         let mut runs = 0;
         let mut counterexamples = Vec::new();
         for seed in seeds {
@@ -126,11 +144,10 @@ impl<A: Action> Conformance<A> {
                     });
                 }
                 Ok(run) => {
-                    let trace = (self.extract)(&run.execution);
-                    if let Verdict::Violated(why) = problem.contains(&trace) {
+                    if let Some(reason) = check(&run.execution) {
                         counterexamples.push(Counterexample {
                             seed,
-                            reason: why,
+                            reason,
                             execution: Some(run.execution),
                         });
                     }

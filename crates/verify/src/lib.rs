@@ -27,6 +27,10 @@
 //! * [`Conformance`] — the `solve` relation (Definition 2.10) as an
 //!   adversary-grid sweep: run a seeded system family and check the
 //!   problem on every recorded trace, reporting counterexample seeds.
+//! * [`Oracle`] — a named check over a recorded *execution* (rather than
+//!   a trace), the checker currency shared by `Conformance::sweep_oracles`
+//!   and the `psync-explorer` fault-injection campaigns; [`ProblemOracle`]
+//!   adapts any [`Problem`](psync_automata::Problem) into one.
 //! * [`replay`] — Lemma 2.1 operationalized: re-runs the projection of a
 //!   recorded execution against a fresh copy of one component, catching
 //!   engine/component disagreements.
@@ -44,6 +48,7 @@ pub mod axioms;
 mod conformance;
 mod linearizable;
 mod object_linearizable;
+mod oracle;
 mod problems;
 pub mod replay;
 mod sequential;
@@ -53,5 +58,6 @@ pub use linearizable::{check_linearizable, check_superlinearizable};
 pub use object_linearizable::{
     check_object_linearizable, extract_object_history, ObjOpKind, ObjOperation,
 };
+pub use oracle::{check_all, FnOracle, Oracle, ProblemOracle};
 pub use problems::{LinearizableRegister, SuperlinearizableRegister};
 pub use sequential::check_sequentially_consistent;
