@@ -1,0 +1,60 @@
+//! Criterion bench: what does attaching an observer cost?
+//!
+//! Three configurations of the incremental engine on the token-ring
+//! burst workload (`psync_bench::ring`, ~4096 events per run):
+//!
+//! * `detached` — no observer registered: the hook dispatch loop iterates
+//!   an empty vector, the baseline;
+//! * `noop` — [`NoopObserver`] attached: pays virtual dispatch for every
+//!   hook invocation but does no work, isolating the cost of the hook
+//!   plumbing itself;
+//! * `metrics` — [`psync_obs::EngineMetrics`] attached via a
+//!   [`psync_obs::MetricsHub`]: counters and histograms on every
+//!   scheduling point, event, and advance — the realistic upper bound.
+//!
+//! The detached-vs-noop gap is the number quoted in `EXPERIMENTS.md` §E12
+//! as the "zero-cost when detached, cheap when attached" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psync_bench::ring::{ring_horizon, run_ring_incremental, run_ring_incremental_observed};
+use psync_executor::NoopObserver;
+use psync_obs::MetricsHub;
+
+const TARGET_EVENTS: usize = 4096;
+
+fn bench_observer_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observer_overhead");
+    group.sample_size(10);
+    for n in [8usize, 32] {
+        let horizon = ring_horizon(n, TARGET_EVENTS);
+        group.bench_with_input(BenchmarkId::new("detached", n), &n, |b, &n| {
+            b.iter(|| {
+                let run = run_ring_incremental(n, horizon);
+                assert!(!run.execution.is_empty());
+                run.execution.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("noop", n), &n, |b, &n| {
+            b.iter(|| {
+                let run = run_ring_incremental_observed(n, horizon, Box::new(NoopObserver));
+                assert!(!run.execution.is_empty());
+                run.execution.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("metrics", n), &n, |b, &n| {
+            b.iter(|| {
+                let hub = MetricsHub::new();
+                let run =
+                    run_ring_incremental_observed(n, horizon, Box::new(hub.engine_observer()));
+                assert!(!run.execution.is_empty());
+                let snapshot = hub.snapshot();
+                assert_eq!(snapshot.counter("engine.steps"), run.execution.len() as u64);
+                run.execution.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observer_overhead);
+criterion_main!(benches);

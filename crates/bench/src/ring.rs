@@ -18,7 +18,7 @@
 //! different schedules.
 
 use psync_automata::{ActionKind, TimedComponent};
-use psync_executor::{Engine, RandomScheduler, ReferenceEngine, Run};
+use psync_executor::{Engine, Observer, RandomScheduler, ReferenceEngine, Run};
 use psync_net::{Channel, Envelope, MinDelay, MsgId, NodeId, SysAction};
 use psync_time::{DelayBounds, Duration, Time};
 
@@ -181,6 +181,28 @@ pub fn run_ring_incremental(n: usize, horizon: Time) -> Run<RingAction> {
     let mut b = Engine::builder()
         .scheduler(RandomScheduler::new(RING_SEED))
         .horizon(horizon);
+    for (fwd, ch) in build_ring_components(n) {
+        b = b.timed(fwd).timed(ch);
+    }
+    b.build().run().expect("ring run")
+}
+
+/// As [`run_ring_incremental`], with an observer attached — the workload
+/// for the observer-overhead benchmark (`benches/observer_overhead.rs`).
+///
+/// # Panics
+///
+/// Panics if the run fails (the ring is well-formed by construction).
+#[must_use]
+pub fn run_ring_incremental_observed(
+    n: usize,
+    horizon: Time,
+    observer: Box<dyn Observer<RingAction>>,
+) -> Run<RingAction> {
+    let mut b = Engine::builder()
+        .scheduler(RandomScheduler::new(RING_SEED))
+        .horizon(horizon)
+        .observer_boxed(observer);
     for (fwd, ch) in build_ring_components(n) {
         b = b.timed(fwd).timed(ch);
     }

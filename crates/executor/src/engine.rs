@@ -35,6 +35,7 @@ use psync_time::{Duration, Time};
 
 use crate::clock_driver::{AdvanceCtx, ClockStrategy};
 use crate::error::EngineError;
+use crate::observer::{ClockRead, Observer};
 use crate::scheduler::{FifoScheduler, Scheduler};
 
 /// Default cap on recorded events, guarding against Zeno compositions.
@@ -145,6 +146,7 @@ pub struct EngineBuilder<A: Action> {
     scheduler: Box<dyn Scheduler<A>>,
     horizon: Option<Time>,
     max_events: usize,
+    observers: Vec<Box<dyn Observer<A>>>,
 }
 
 impl<A: Action> Default for EngineBuilder<A> {
@@ -155,6 +157,7 @@ impl<A: Action> Default for EngineBuilder<A> {
             scheduler: Box::new(FifoScheduler),
             horizon: None,
             max_events: DEFAULT_MAX_EVENTS,
+            observers: Vec::new(),
         }
     }
 }
@@ -200,6 +203,22 @@ impl<A: Action> EngineBuilder<A> {
     #[must_use]
     pub fn max_events(mut self, max: usize) -> Self {
         self.max_events = max;
+        self
+    }
+
+    /// Attaches an [`Observer`]; may be called several times, observers are
+    /// notified in attachment order. Observers are read-only taps — the
+    /// recorded execution is bit-identical with or without them.
+    #[must_use]
+    pub fn observer(mut self, obs: impl Observer<A> + 'static) -> Self {
+        self.observers.push(Box::new(obs));
+        self
+    }
+
+    /// Attaches an already-boxed observer.
+    #[must_use]
+    pub fn observer_boxed(mut self, obs: Box<dyn Observer<A>>) -> Self {
+        self.observers.push(obs);
         self
     }
 
@@ -303,6 +322,7 @@ impl<A: Action> EngineBuilder<A> {
             horizon: self.horizon,
             max_events: self.max_events,
             idle_advances: 0,
+            observers: self.observers,
             flat_origin,
             route,
             wildcard,
@@ -340,6 +360,10 @@ pub struct Engine<A: Action> {
     horizon: Option<Time>,
     max_events: usize,
     idle_advances: u32,
+    /// Read-only taps notified at the four observation points (see
+    /// [`Observer`]); empty unless attached, in which case every hook site
+    /// iterates an empty vector.
+    observers: Vec<Box<dyn Observer<A>>>,
 
     // ---- incremental machinery (derived, never observable in traces) ----
     /// Flat component id → where it lives. Timed components first, then
@@ -476,6 +500,10 @@ impl<A: Action> Engine<A> {
 
             self.refresh_candidates()?;
             if !self.cand.is_empty() {
+                let (now, depth) = (self.now, self.cand.len());
+                for obs in &mut self.observers {
+                    obs.on_candidates(now, depth);
+                }
                 let idx = self
                     .scheduler
                     .pick_with_origins(self.now, &self.cand, &self.cand_origin);
@@ -632,7 +660,7 @@ impl<A: Action> Engine<A> {
         // The clock recorded with the event is the clock of the (unique)
         // node that has the action in its signature — the `c_i(α)` of
         // Section 4.3. Actions touching no clock node carry no clock.
-        let mut event_clock: Option<Time> = None;
+        let mut event_clock: Option<(usize, Time)> = None;
 
         let now = self.now;
         for &id in interested.iter() {
@@ -678,7 +706,7 @@ impl<A: Action> Engine<A> {
                         continue;
                     };
                     if event_clock.is_none() {
-                        event_clock = Some(clock);
+                        event_clock = Some((n, clock));
                     }
                     if k.is_locally_controlled() && Origin::Node(n, j) != origin {
                         return Err(EngineError::IncompatibleControllers {
@@ -711,12 +739,29 @@ impl<A: Action> Engine<A> {
             }
         }
 
-        Arc::make_mut(&mut self.events).push(TimedEvent {
+        let event = TimedEvent {
             action: action.clone(),
             kind,
             now,
-            clock: event_clock,
-        });
+            clock: event_clock.map(|(_, c)| c),
+        };
+        if !self.observers.is_empty() {
+            if let Some((n, clock)) = event_clock {
+                let eps = self.nodes[n].pred.eps();
+                for obs in &mut self.observers {
+                    obs.on_clock_read(ClockRead {
+                        node: n,
+                        now,
+                        clock,
+                        eps,
+                    });
+                }
+            }
+            for obs in &mut self.observers {
+                obs.on_event(&event);
+            }
+        }
+        Arc::make_mut(&mut self.events).push(event);
         Ok(())
     }
 
@@ -799,26 +844,34 @@ impl<A: Action> Engine<A> {
     /// events, not across time advances.
     fn advance_to(&mut self, target: Time) -> Result<(), EngineError> {
         debug_assert!(target > self.now);
+        let now = self.now;
+        for obs in &mut self.observers {
+            obs.on_advance(now, target);
+        }
         let use_scratch = self.dc_scratch_valid;
         self.dc_scratch_valid = false;
         // Conservatively dirty everything up front so a mid-advance error
         // cannot leave a stale cache behind.
         self.dirty.fill(true);
         for rt in &mut self.timed {
-            match rt.comp.advance(&rt.state, self.now, target) {
+            match rt.comp.advance(&rt.state, now, target) {
                 Some(next) => rt.state = next,
                 None => {
                     return Err(EngineError::AdvanceRefused {
                         component: rt.comp.name(),
-                        now: self.now,
+                        now,
                         target,
                     })
                 }
             }
         }
+        // Split borrows: the loop steps nodes mutably while notifying the
+        // (disjoint) observer list of each validated clock reading.
+        let scratch = &self.node_dc_scratch;
+        let observers = &mut self.observers;
         for (n, node) in self.nodes.iter_mut().enumerate() {
             let max_clock = if use_scratch {
-                self.node_dc_scratch[n]
+                scratch[n]
             } else {
                 node.comps
                     .iter()
@@ -831,13 +884,13 @@ impl<A: Action> Engine<A> {
                     // has stopped time.
                     return Err(EngineError::TimeStopped {
                         component: node.name.clone(),
-                        now: self.now,
+                        now,
                         deadline: node.pred.latest_now_for(mc),
                     });
                 }
             }
             let ctx = AdvanceCtx {
-                now: self.now,
+                now,
                 clock: node.clock,
                 target,
                 max_clock,
@@ -876,11 +929,19 @@ impl<A: Action> Engine<A> {
                     None => {
                         return Err(EngineError::AdvanceRefused {
                             component: format!("{}/{}", node.name, comp.name()),
-                            now: self.now,
+                            now,
                             target,
                         })
                     }
                 }
+            }
+            for obs in observers.iter_mut() {
+                obs.on_clock_read(ClockRead {
+                    node: n,
+                    now: target,
+                    clock: next_clock,
+                    eps: node.pred.eps(),
+                });
             }
             node.clock = next_clock;
         }

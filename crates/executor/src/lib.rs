@@ -45,6 +45,7 @@
 mod clock_driver;
 mod engine;
 mod error;
+mod observer;
 mod reference;
 mod scheduler;
 
@@ -54,6 +55,7 @@ pub use clock_driver::{
 };
 pub use engine::{ClockNode, Engine, EngineBuilder, Run, StopReason};
 pub use error::EngineError;
+pub use observer::{ClockRead, NoopObserver, Observer};
 pub use reference::{ReferenceEngine, ReferenceEngineBuilder};
 pub use scheduler::{
     FifoScheduler, LifoScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,

@@ -29,6 +29,7 @@ use psync_time::{Duration, Time};
 use crate::clock_driver::{AdvanceCtx, ClockStrategy};
 use crate::engine::{ClockNode, Run, StopReason};
 use crate::error::EngineError;
+use crate::observer::{ClockRead, Observer};
 use crate::scheduler::{FifoScheduler, Scheduler};
 
 /// Default cap on recorded events, guarding against Zeno compositions.
@@ -58,6 +59,7 @@ pub struct ReferenceEngineBuilder<A: Action> {
     scheduler: Box<dyn Scheduler<A>>,
     horizon: Option<Time>,
     max_events: usize,
+    observers: Vec<Box<dyn Observer<A>>>,
 }
 
 impl<A: Action> Default for ReferenceEngineBuilder<A> {
@@ -68,6 +70,7 @@ impl<A: Action> Default for ReferenceEngineBuilder<A> {
             scheduler: Box::new(FifoScheduler),
             horizon: None,
             max_events: DEFAULT_MAX_EVENTS,
+            observers: Vec::new(),
         }
     }
 }
@@ -115,6 +118,21 @@ impl<A: Action> ReferenceEngineBuilder<A> {
         self
     }
 
+    /// Attaches an [`Observer`], notified at the same points, in the same
+    /// order, as [`Engine`](crate::Engine) notifies its observers.
+    #[must_use]
+    pub fn observer(mut self, obs: impl Observer<A> + 'static) -> Self {
+        self.observers.push(Box::new(obs));
+        self
+    }
+
+    /// Attaches an already-boxed observer.
+    #[must_use]
+    pub fn observer_boxed(mut self, obs: Box<dyn Observer<A>>) -> Self {
+        self.observers.push(obs);
+        self
+    }
+
     /// Builds the engine with all components in their start states and
     /// `now = clock = 0` (axioms S1 and C1).
     #[must_use]
@@ -154,6 +172,7 @@ impl<A: Action> ReferenceEngineBuilder<A> {
             horizon: self.horizon,
             max_events: self.max_events,
             idle_advances: 0,
+            observers: self.observers,
         }
     }
 }
@@ -178,6 +197,7 @@ pub struct ReferenceEngine<A: Action> {
     horizon: Option<Time>,
     max_events: usize,
     idle_advances: u32,
+    observers: Vec<Box<dyn Observer<A>>>,
 }
 
 impl<A: Action> ReferenceEngine<A> {
@@ -239,6 +259,10 @@ impl<A: Action> ReferenceEngine<A> {
 
             let candidates = self.candidates()?;
             if !candidates.is_empty() {
+                let (now, depth) = (self.now, candidates.len());
+                for obs in &mut self.observers {
+                    obs.on_candidates(now, depth);
+                }
                 let actions: Vec<A> = candidates.iter().map(|(a, _, _)| a.clone()).collect();
                 let origins: Vec<usize> = candidates.iter().map(|(_, _, id)| *id).collect();
                 let idx = self
@@ -344,7 +368,7 @@ impl<A: Action> ReferenceEngine<A> {
         .expect("origin component must have the action in its signature");
         debug_assert!(kind.is_locally_controlled());
 
-        let mut event_clock: Option<Time> = None;
+        let mut event_clock: Option<(usize, Time)> = None;
 
         let now = self.now;
         for (i, rt) in self.timed.iter_mut().enumerate() {
@@ -411,16 +435,33 @@ impl<A: Action> ReferenceEngine<A> {
                 }
             }
             if touched && event_clock.is_none() {
-                event_clock = Some(clock);
+                event_clock = Some((n, clock));
             }
         }
 
-        self.events.push(TimedEvent {
+        let event = TimedEvent {
             action: action.clone(),
             kind,
             now,
-            clock: event_clock,
-        });
+            clock: event_clock.map(|(_, c)| c),
+        };
+        if !self.observers.is_empty() {
+            if let Some((n, clock)) = event_clock {
+                let eps = self.nodes[n].pred.eps();
+                for obs in &mut self.observers {
+                    obs.on_clock_read(ClockRead {
+                        node: n,
+                        now,
+                        clock,
+                        eps,
+                    });
+                }
+            }
+            for obs in &mut self.observers {
+                obs.on_event(&event);
+            }
+        }
+        self.events.push(event);
         Ok(())
     }
 
@@ -474,6 +515,10 @@ impl<A: Action> ReferenceEngine<A> {
     /// each node clock along its strategy.
     fn advance_to(&mut self, target: Time) -> Result<(), EngineError> {
         debug_assert!(target > self.now);
+        let now = self.now;
+        for obs in &mut self.observers {
+            obs.on_advance(now, target);
+        }
         for rt in &mut self.timed {
             match rt.comp.advance(&rt.state, self.now, target) {
                 Some(next) => rt.state = next,
@@ -486,7 +531,8 @@ impl<A: Action> ReferenceEngine<A> {
                 }
             }
         }
-        for node in &mut self.nodes {
+        let observers = &mut self.observers;
+        for (n, node) in self.nodes.iter_mut().enumerate() {
             let max_clock = node
                 .comps
                 .iter()
@@ -541,11 +587,19 @@ impl<A: Action> ReferenceEngine<A> {
                     None => {
                         return Err(EngineError::AdvanceRefused {
                             component: format!("{}/{}", node.name, comp.name()),
-                            now: self.now,
+                            now,
                             target,
                         })
                     }
                 }
+            }
+            for obs in observers.iter_mut() {
+                obs.on_clock_read(ClockRead {
+                    node: n,
+                    now: target,
+                    clock: next_clock,
+                    eps: node.pred.eps(),
+                });
             }
             node.clock = next_clock;
         }

@@ -20,12 +20,15 @@
 //! [`RoundRobinScheduler`] the candidates' flat component ids, so its
 //! per-component rotation must also match pick for pick.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use psync_apps::heartbeat::{FdAction, FdParams, Heartbeater, Monitor};
 use psync_automata::toys::{Beeper, ClockBeeper};
-use psync_automata::Action;
+use psync_automata::{Action, TimedEvent};
 use psync_executor::{
-    ClockNode, Engine, EngineBuilder, OffsetClock, PerfectClock, RandomScheduler, ReferenceEngine,
-    ReferenceEngineBuilder, RoundRobinScheduler, Scheduler,
+    ClockNode, ClockRead, Engine, EngineBuilder, Observer, OffsetClock, PerfectClock,
+    RandomScheduler, ReferenceEngine, ReferenceEngineBuilder, RoundRobinScheduler, Scheduler,
 };
 use psync_net::{Channel, DropSeeded, FifoChannel, LossyChannel, NodeId, SeededDelay};
 use psync_time::{DelayBounds, Duration, Time};
@@ -283,6 +286,181 @@ fn round_robin_heartbeats_over_channels_are_equivalent() {
                 .horizon(at(300))
         },
     );
+}
+
+/// Writes every observer hook invocation into a shared log, so two
+/// engines' hook streams can be compared line for line.
+struct RecordingObserver {
+    log: Rc<RefCell<Vec<String>>>,
+}
+
+impl RecordingObserver {
+    fn new() -> (RecordingObserver, Rc<RefCell<Vec<String>>>) {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        (
+            RecordingObserver {
+                log: Rc::clone(&log),
+            },
+            log,
+        )
+    }
+}
+
+impl<A: Action> Observer<A> for RecordingObserver {
+    fn on_candidates(&mut self, now: Time, depth: usize) {
+        self.log
+            .borrow_mut()
+            .push(format!("candidates now={now} depth={depth}"));
+    }
+
+    fn on_clock_read(&mut self, read: ClockRead) {
+        self.log.borrow_mut().push(format!(
+            "read node={} now={} clock={} eps={}",
+            read.node, read.now, read.clock, read.eps
+        ));
+    }
+
+    fn on_event(&mut self, event: &TimedEvent<A>) {
+        self.log.borrow_mut().push(format!(
+            "event {:?} kind={:?} now={} clock={:?}",
+            event.action, event.kind, event.now, event.clock
+        ));
+    }
+
+    fn on_advance(&mut self, from: Time, to: Time) {
+        self.log
+            .borrow_mut()
+            .push(format!("advance {from} -> {to}"));
+    }
+}
+
+/// The toys + clock-nodes mix with an observer attached to both engines:
+/// the full hook streams (candidates, clock reads, events, advances) must
+/// be identical line for line — the observer contract says both engines
+/// invoke the same hooks at the same points in the same order.
+#[test]
+fn observer_hook_streams_are_identical_across_engines() {
+    type A = psync_automata::toys::BeepAction;
+    let mix_new = |b: EngineBuilder<A>| {
+        b.timed(Beeper::with_src(ms(5), 0))
+            .clock_node(
+                ClockNode::new("fast", ms(2), OffsetClock::new(ms(2), ms(2)))
+                    .with(ClockBeeper::with_src(ms(9), 7)),
+            )
+            .clock_node(
+                ClockNode::new("true", ms(1), PerfectClock).with(ClockBeeper::with_src(ms(11), 8)),
+            )
+            .horizon(at(150))
+    };
+    let mix_ref = |b: ReferenceEngineBuilder<A>| {
+        b.timed(Beeper::with_src(ms(5), 0))
+            .clock_node(
+                ClockNode::new("fast", ms(2), OffsetClock::new(ms(2), ms(2)))
+                    .with(ClockBeeper::with_src(ms(9), 7)),
+            )
+            .clock_node(
+                ClockNode::new("true", ms(1), PerfectClock).with(ClockBeeper::with_src(ms(11), 8)),
+            )
+            .horizon(at(150))
+    };
+    for seed in SEEDS {
+        let (obs_fast, log_fast) = RecordingObserver::new();
+        let (obs_slow, log_slow) = RecordingObserver::new();
+        let mut fast = mix_new(Engine::builder())
+            .observer(obs_fast)
+            .scheduler(RandomScheduler::new(seed))
+            .build();
+        let mut slow = mix_ref(ReferenceEngine::builder())
+            .observer(obs_slow)
+            .scheduler(RandomScheduler::new(seed))
+            .build();
+        let fast_run = fast.run().unwrap();
+        let slow_run = slow.run().unwrap();
+        assert_eq!(fast_run.execution, slow_run.execution);
+        let log_fast = log_fast.borrow();
+        let log_slow = log_slow.borrow();
+        assert!(
+            log_fast.iter().any(|l| l.starts_with("read")),
+            "seed {seed}: clock nodes must produce clock-read hooks"
+        );
+        assert!(log_fast.iter().any(|l| l.starts_with("candidates")));
+        assert!(log_fast.iter().any(|l| l.starts_with("advance")));
+        assert_eq!(
+            *log_fast, *log_slow,
+            "seed {seed}: observer hook streams diverge"
+        );
+    }
+}
+
+/// Attaching observers must not perturb the run: the execution with a
+/// recording observer attached is bit-identical to the detached run, for
+/// both engines.
+#[test]
+fn attached_observer_leaves_execution_identical_to_detached_run() {
+    let bounds = DelayBounds::new(ms(1), ms(4)).unwrap();
+    let params = FdParams {
+        period: ms(10),
+        timeout: ms(25),
+    };
+    let mix = |b: EngineBuilder<FdAction>| {
+        b.timed(Heartbeater::new(NodeId(0), NodeId(1), ms(10)))
+            .timed(FifoChannel::new(
+                NodeId(0),
+                NodeId(1),
+                bounds,
+                SeededDelay::new(5),
+            ))
+            .timed(Monitor::new(NodeId(1), NodeId(0), params))
+            .horizon(at(300))
+    };
+    let mix_ref = |b: ReferenceEngineBuilder<FdAction>| {
+        b.timed(Heartbeater::new(NodeId(0), NodeId(1), ms(10)))
+            .timed(FifoChannel::new(
+                NodeId(0),
+                NodeId(1),
+                bounds,
+                SeededDelay::new(5),
+            ))
+            .timed(Monitor::new(NodeId(1), NodeId(0), params))
+            .horizon(at(300))
+    };
+    for seed in SEEDS {
+        let detached = mix(Engine::builder())
+            .scheduler(RandomScheduler::new(seed))
+            .build()
+            .run()
+            .unwrap();
+        let (observer, log) = RecordingObserver::new();
+        let attached = mix(Engine::builder())
+            .observer(observer)
+            .scheduler(RandomScheduler::new(seed))
+            .build()
+            .run()
+            .unwrap();
+        assert_eq!(
+            detached.execution, attached.execution,
+            "seed {seed}: observer perturbed the incremental engine"
+        );
+        assert_eq!(detached.stop, attached.stop);
+        assert!(!log.borrow().is_empty());
+
+        let ref_detached = mix_ref(ReferenceEngine::builder())
+            .scheduler(RandomScheduler::new(seed))
+            .build()
+            .run()
+            .unwrap();
+        let (observer, _log) = RecordingObserver::new();
+        let ref_attached = mix_ref(ReferenceEngine::builder())
+            .observer(observer)
+            .scheduler(RandomScheduler::new(seed))
+            .build()
+            .run()
+            .unwrap();
+        assert_eq!(
+            ref_detached.execution, ref_attached.execution,
+            "seed {seed}: observer perturbed the reference engine"
+        );
+    }
 }
 
 #[test]

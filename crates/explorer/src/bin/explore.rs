@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! psync-explorer [--cases N] [--seed S] [--scenario all|heartbeat|clockfleet|register]
-//!                [--max-entries N] [--bug-extra-ns N]
+//!                [--max-entries N] [--bug-extra-ns N] [--metrics-out PATH]
 //! ```
 //!
 //! `--bug-extra-ns N` plants the demonstration bug (a boundary delay
@@ -11,17 +11,23 @@
 //! explorer is then expected to find it, shrink it, and print the
 //! replay artifact.
 //!
+//! `--metrics-out PATH` writes the observer metrics aggregated across all
+//! campaigns (counters and histograms, deterministic for fixed flags) as
+//! a JSON snapshot — CI uploads it as a build artifact.
+//!
 //! Exits non-zero iff any campaign found a violation; each failure is
 //! printed as a full replay artifact so it can be reproduced verbatim.
 
 use std::process::ExitCode;
 
 use psync_explorer::{run_campaign, CampaignConfig, ScenarioConfig, ScenarioKind};
+use psync_obs::MetricsSnapshot;
 
 struct Args {
     campaign: CampaignConfig,
     scenarios: Vec<ScenarioKind>,
     bug_extra_ns: i64,
+    metrics_out: Option<String>,
 }
 
 fn parse_seed(s: &str) -> Result<u64, String> {
@@ -37,6 +43,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut campaign = CampaignConfig::default();
     let mut scenarios = ScenarioKind::all().to_vec();
     let mut bug_extra_ns = 0i64;
+    let mut metrics_out = None;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -67,10 +74,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --bug-extra-ns: {e}"))?;
             }
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")?.clone()),
             "--help" | "-h" => {
                 return Err("usage: psync-explorer [--cases N] [--seed S] \
                      [--scenario all|heartbeat|clockfleet|register] [--max-entries N] \
-                     [--bug-extra-ns N]"
+                     [--bug-extra-ns N] [--metrics-out PATH]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -83,6 +91,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         campaign,
         scenarios,
         bug_extra_ns,
+        metrics_out,
     })
 }
 
@@ -111,9 +120,11 @@ fn main() -> ExitCode {
     };
 
     let mut total_failures = 0usize;
+    let mut all_metrics = MetricsSnapshot::default();
     for kind in &args.scenarios {
         let scenario = scenario_config(*kind, args.bug_extra_ns);
         let report = run_campaign(&args.campaign, &scenario);
+        all_metrics.absorb(&report.metrics);
         let s = &report.stats;
         println!(
             "[{}] {} cases, {} fault entries, {} events, {} clock requests clamped, {} shrink probes",
@@ -143,6 +154,14 @@ fn main() -> ExitCode {
             println!("{}", failure.artifact.to_json());
             println!("--- end artifact ---");
         }
+    }
+
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = std::fs::write(path, all_metrics.to_json() + "\n") {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("metrics written to {path}");
     }
 
     if total_failures == 0 {

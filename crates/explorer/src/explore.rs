@@ -8,6 +8,8 @@
 //! by [`shrink_entries`] (each probe is a complete re-run) and packaged
 //! as a replay [`Artifact`].
 
+use psync_obs::MetricsSnapshot;
+
 use crate::artifact::{Artifact, ARTIFACT_VERSION};
 use crate::plan::{Chain, FaultPlan};
 use crate::scenario::{run_case, ScenarioConfig};
@@ -81,6 +83,10 @@ pub struct CampaignReport {
     pub scenario: ScenarioConfig,
     /// Coverage statistics.
     pub stats: CampaignStats,
+    /// Observer metrics aggregated over the campaign's primary case runs
+    /// (shrink probes and post-shrink confirmation runs are excluded, so
+    /// the totals stay a pure function of `cases` seeds).
+    pub metrics: MetricsSnapshot,
     /// Shrunk, replayable failures (empty on a clean campaign).
     pub failures: Vec<Failure>,
 }
@@ -90,6 +96,7 @@ pub struct CampaignReport {
 pub fn run_campaign(campaign: &CampaignConfig, scenario: &ScenarioConfig) -> CampaignReport {
     let envelope = scenario.envelope();
     let mut stats = CampaignStats::default();
+    let mut metrics = MetricsSnapshot::default();
     let mut failures = Vec::new();
     let mut seeder = Chain::new(campaign.seed);
     for case_index in 0..campaign.cases {
@@ -107,6 +114,7 @@ pub fn run_campaign(campaign: &CampaignConfig, scenario: &ScenarioConfig) -> Cam
         let outcome = run_case(scenario, &plan, case_seed);
         stats.events += outcome.events as u64;
         stats.rejected_clock_requests += outcome.rejected_clock_requests;
+        metrics.absorb(&outcome.metrics);
         if outcome.violations.is_empty() {
             continue;
         }
@@ -141,6 +149,7 @@ pub fn run_campaign(campaign: &CampaignConfig, scenario: &ScenarioConfig) -> Cam
     CampaignReport {
         scenario: scenario.clone(),
         stats,
+        metrics,
         failures,
     }
 }
@@ -168,6 +177,14 @@ mod tests {
         assert_eq!(a.stats.entries, b.stats.entries);
         assert_eq!(a.stats.events, b.stats.events);
         assert_eq!(a.failures.len(), b.failures.len());
+        // The aggregated observer metrics are part of the determinism
+        // contract, and they cross-check the stats the loop keeps itself.
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.metrics.counter("engine.steps"), a.stats.events);
+        assert_eq!(
+            a.metrics.counter("clock.rejected_requests"),
+            a.stats.rejected_clock_requests
+        );
     }
 
     #[test]

@@ -50,7 +50,6 @@ pub use faults::{scripted_clock_for, seq_of, BiasedScheduler, PlanChannelFault, 
 pub use plan::{at_ns, ns, FaultEntry, FaultEnvelope, FaultPlan, Inadmissible};
 pub use scenario::{
     clockfleet_oracles, fingerprint, heartbeat_oracles, register_oracles, run_case, run_clockfleet,
-    run_heartbeat, run_register, CaseOutcome, JudgedClockRun, JudgedRun, ScenarioConfig,
-    ScenarioKind,
+    run_heartbeat, run_register, CaseOutcome, Judged, ScenarioConfig, ScenarioKind,
 };
 pub use shrink::shrink_entries;

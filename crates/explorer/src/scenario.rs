@@ -27,7 +27,8 @@ use psync_automata::toys::{BeepAction, ClockBeeper};
 use psync_automata::{Action, Execution, Verdict};
 use psync_core::{app_trace, build_dc, NodeSpec};
 use psync_executor::{ClockNode, Engine, Run, StopReason};
-use psync_net::{FaultChannel, MaxDelay, NodeId, Script, SysAction, Topology};
+use psync_net::{FaultChannel, FaultStats, MaxDelay, NodeId, Script, SysAction, Topology};
+use psync_obs::{CEpsOracle, MetricsHub, MetricsSnapshot};
 use psync_register::{AlgorithmS, ClosedLoopWorkload, RegAction, RegisterParams, Value};
 use psync_time::{DelayBounds, Duration, Time};
 use psync_verify::replay::{replay_clock, replay_timed};
@@ -294,8 +295,9 @@ impl ScenarioConfig {
     }
 }
 
-/// The judged result of one case: what the oracles said and a
-/// fingerprint of the recorded execution for replay-identity checks.
+/// The judged result of one case: what the oracles said, a fingerprint of
+/// the recorded execution for replay-identity checks, and the metrics the
+/// attached observers collected.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CaseOutcome {
     /// `(oracle name, violation)` pairs; empty = the run passed.
@@ -307,6 +309,9 @@ pub struct CaseOutcome {
     pub rejected_clock_requests: u64,
     /// Order-sensitive hash of `(action, now, clock)` over all events.
     pub fingerprint: u64,
+    /// Observer metrics of the run (deterministic: replaying the case
+    /// reproduces this snapshot bit-for-bit, `==` included).
+    pub metrics: MetricsSnapshot,
 }
 
 fn splitmix64(mut z: u64) -> u64 {
@@ -330,33 +335,33 @@ pub fn fingerprint<A: Action>(exec: &Execution<A>) -> u64 {
     h
 }
 
-/// `C_ε` oracle over recorded clock readings, shared by the clock-model
-/// scenarios.
-fn c_eps_oracle<A: Action>(eps: Duration) -> FnOracle<A> {
-    FnOracle::new("C_eps envelope", move |exec: &Execution<A>| {
-        for (i, e) in exec.events().iter().enumerate() {
-            if let Some(clock) = e.clock {
-                if e.now.skew(clock) > eps {
-                    return Verdict::violated(format!(
-                        "event {i}: |now − clock| = {} > ε = {eps}",
-                        e.now.skew(clock)
-                    ));
-                }
-            }
-        }
-        Verdict::Holds
-    })
-}
-
 const CASE_MAX_EVENTS: usize = 250_000;
 
-/// A typed runner's result: the engine run (or its error) plus the
-/// oracles' `(name, violation)` verdicts.
-pub type JudgedRun<A> = (Result<Run<A>, String>, Vec<(String, String)>);
+/// A typed runner's result: the raw engine run (or its error), the
+/// oracles' `(name, violation)` verdicts, the number of clock-script
+/// requests the C1–C4 guard clamped (always 0 for the timed-model
+/// scenario), and the metrics collected by the attached observers.
+#[derive(Debug)]
+pub struct Judged<A: Action> {
+    /// The engine run, or the engine error rendered as a string.
+    pub run: Result<Run<A>, String>,
+    /// `(oracle name, violation)` pairs; empty = the run passed.
+    pub violations: Vec<(String, String)>,
+    /// Clock-script requests the C1–C4 guard clamped.
+    pub rejected_clock_requests: u64,
+    /// Observer metrics of the run.
+    pub metrics: MetricsSnapshot,
+}
 
-/// A clock-model runner's result: [`JudgedRun`] plus the number of
-/// clock-script requests the C1–C4 guard clamped.
-pub type JudgedClockRun<A> = (Result<Run<A>, String>, Vec<(String, String)>, u64);
+/// Folds one [`FaultChannel`]'s fault counters into a hub snapshot under
+/// the `channel.*` names.
+fn merge_fault_stats(hub: &MetricsHub, stats: &FaultStats) {
+    hub.add("channel.sends", stats.sends());
+    hub.add("channel.delivered", stats.delivered());
+    hub.add("channel.dropped", stats.dropped());
+    hub.add("channel.duplicated", stats.duplicated());
+    hub.add("channel.spiked", stats.spiked());
+}
 
 /// Runs one heartbeat case: returns the raw engine run and the oracle
 /// verdicts. Public (rather than folded into [`run_case`]) so tests can
@@ -365,7 +370,7 @@ pub type JudgedClockRun<A> = (Result<Run<A>, String>, Vec<(String, String)>, u64
 /// # Panics
 ///
 /// Panics if the config is not a heartbeat config.
-pub fn run_heartbeat(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> JudgedRun<FdAction> {
+pub fn run_heartbeat(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<FdAction> {
     assert_eq!(cfg.kind, ScenarioKind::Heartbeat);
     let declared = cfg.bounds();
     // The seeded bug widens the channel's *internal* bounds so the stretch
@@ -376,16 +381,14 @@ pub fn run_heartbeat(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judge
     let fault = PlanChannelFault::new(plan, 0, 1, seed, declared, ns(cfg.bug_extra_ns));
     let period = ns(cfg.period_ns);
     let params = cfg.fd_params();
+    let hub = MetricsHub::new();
 
+    let channel =
+        FaultChannel::<Heartbeat, FdOp>::new(NodeId(0), NodeId(1), actual, MaxDelay, fault);
+    let fault_stats = channel.stats();
     let mut builder = Engine::builder()
         .timed(Heartbeater::new(NodeId(0), NodeId(1), period))
-        .timed(FaultChannel::<Heartbeat, FdOp>::new(
-            NodeId(0),
-            NodeId(1),
-            actual,
-            MaxDelay,
-            fault,
-        ))
+        .timed(channel)
         .timed(Monitor::new(NodeId(1), NodeId(0), params));
     if let Some(crash) = cfg.crash_at_ns {
         builder = builder.timed(Script::<Heartbeat, FdOp>::new(
@@ -394,17 +397,27 @@ pub fn run_heartbeat(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judge
         ));
     }
     let mut engine = builder
+        .observer(hub.engine_observer())
+        .observer(hub.channel_delay_observer())
         .scheduler(BiasedScheduler::new(plan, seed))
         .horizon(at_ns(cfg.horizon_ns))
         .max_events(CASE_MAX_EVENTS)
         .build();
 
-    let run = match engine.run() {
-        Ok(run) => run,
-        Err(e) => return (Err(e.to_string()), vec![("engine".into(), e.to_string())]),
+    let (run, violations) = match engine.run() {
+        Ok(run) => {
+            let violations = check_all(&heartbeat_oracles(cfg, plan), &run.execution);
+            (Ok(run), violations)
+        }
+        Err(e) => (Err(e.to_string()), vec![("engine".into(), e.to_string())]),
     };
-    let violations = check_all(&heartbeat_oracles(cfg, plan), &run.execution);
-    (Ok(run), violations)
+    merge_fault_stats(&hub, &fault_stats);
+    Judged {
+        run,
+        violations,
+        rejected_clock_requests: 0,
+        metrics: hub.snapshot(),
+    }
 }
 
 /// The heartbeat scenario's oracle set (shared with conformance-style
@@ -557,13 +570,10 @@ fn fleet_period(cfg: &ScenarioConfig, node: u32) -> Duration {
 /// # Panics
 ///
 /// Panics if the config is not a clockfleet config.
-pub fn run_clockfleet(
-    cfg: &ScenarioConfig,
-    plan: &FaultPlan,
-    seed: u64,
-) -> JudgedClockRun<BeepAction> {
+pub fn run_clockfleet(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<BeepAction> {
     assert_eq!(cfg.kind, ScenarioKind::ClockFleet);
     let eps = ns(cfg.eps_ns);
+    let hub = MetricsHub::new();
     let mut builder = Engine::builder();
     let mut handles = Vec::new();
     for i in 0..cfg.nodes {
@@ -575,31 +585,33 @@ pub fn run_clockfleet(
         );
     }
     let mut engine = builder
+        .observer(hub.engine_observer())
         .scheduler(BiasedScheduler::new(plan, seed))
         .horizon(at_ns(cfg.horizon_ns))
         .max_events(CASE_MAX_EVENTS)
         .build();
-    let run = match engine.run() {
-        Ok(run) => run,
-        Err(e) => {
-            let rejected = handles.iter().map(|h| h.get()).sum();
-            return (
-                Err(e.to_string()),
-                vec![("engine".into(), e.to_string())],
-                rejected,
-            );
+    let (run, violations) = match engine.run() {
+        Ok(run) => {
+            let violations = check_all(&clockfleet_oracles(cfg), &run.execution);
+            (Ok(run), violations)
         }
+        Err(e) => (Err(e.to_string()), vec![("engine".into(), e.to_string())]),
     };
     let rejected = handles.iter().map(|h| h.get()).sum();
-    let violations = check_all(&clockfleet_oracles(cfg), &run.execution);
-    (Ok(run), violations, rejected)
+    hub.add("clock.rejected_requests", rejected);
+    Judged {
+        run,
+        violations,
+        rejected_clock_requests: rejected,
+        metrics: hub.snapshot(),
+    }
 }
 
 /// The clock-fleet scenario's oracle set.
 #[must_use]
 pub fn clockfleet_oracles(cfg: &ScenarioConfig) -> Vec<Box<dyn Oracle<BeepAction>>> {
     let eps = ns(cfg.eps_ns);
-    let mut oracles: Vec<Box<dyn Oracle<BeepAction>>> = vec![Box::new(c_eps_oracle(eps))];
+    let mut oracles: Vec<Box<dyn Oracle<BeepAction>>> = vec![Box::new(CEpsOracle::new(eps))];
 
     // Per-node clock monotonicity and exact clock-time cadence: beep k of
     // node i must carry clock reading (k+1)·period_i even under scripted
@@ -672,12 +684,9 @@ pub fn clockfleet_oracles(cfg: &ScenarioConfig) -> Vec<Box<dyn Oracle<BeepAction
 /// # Panics
 ///
 /// Panics if the config is not a register config.
-pub fn run_register(
-    cfg: &ScenarioConfig,
-    plan: &FaultPlan,
-    seed: u64,
-) -> JudgedClockRun<RegAction> {
+pub fn run_register(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<RegAction> {
     assert_eq!(cfg.kind, ScenarioKind::Register);
+    let hub = MetricsHub::new();
     let topo = Topology::complete(cfg.nodes as usize);
     let physical = cfg.bounds();
     let eps = ns(cfg.eps_ns);
@@ -711,32 +720,34 @@ pub fn run_register(
         Box::new(PlanDelayPolicy::new(&plan_for_policy, seed))
     })
     .timed(workload)
+    .observer(hub.engine_observer())
     .scheduler(BiasedScheduler::new(plan, seed ^ 0x5C4E_D01E))
     .horizon(at_ns(cfg.horizon_ns))
     .max_events(CASE_MAX_EVENTS)
     .build();
 
-    let run = match engine.run() {
-        Ok(run) => run,
-        Err(e) => {
-            let rejected = handles.iter().map(|h| h.get()).sum();
-            return (
-                Err(e.to_string()),
-                vec![("engine".into(), e.to_string())],
-                rejected,
-            );
+    let (run, violations) = match engine.run() {
+        Ok(run) => {
+            let mut violations = Vec::new();
+            if run.stop != StopReason::Quiescent {
+                violations.push((
+                    "liveness".to_string(),
+                    format!("workload did not finish by the horizon ({:?})", run.stop),
+                ));
+            }
+            violations.extend(check_all(&register_oracles(cfg, seed), &run.execution));
+            (Ok(run), violations)
         }
+        Err(e) => (Err(e.to_string()), vec![("engine".into(), e.to_string())]),
     };
     let rejected = handles.iter().map(|h| h.get()).sum();
-    let mut violations = Vec::new();
-    if run.stop != StopReason::Quiescent {
-        violations.push((
-            "liveness".to_string(),
-            format!("workload did not finish by the horizon ({:?})", run.stop),
-        ));
+    hub.add("clock.rejected_requests", rejected);
+    Judged {
+        run,
+        violations,
+        rejected_clock_requests: rejected,
+        metrics: hub.snapshot(),
     }
-    violations.extend(check_all(&register_oracles(cfg, seed), &run.execution));
-    (Ok(run), violations, rejected)
 }
 
 /// The register scenario's oracle set. Linearizability is the *same*
@@ -752,7 +763,7 @@ pub fn register_oracles(cfg: &ScenarioConfig, seed: u64) -> Vec<Box<dyn Oracle<R
             LinearizableRegister::new(n, Value::INITIAL),
             |e: &Execution<RegAction>| app_trace(e),
         )),
-        Box::new(c_eps_oracle(ns(cfg.eps_ns))),
+        Box::new(CEpsOracle::new(ns(cfg.eps_ns))),
         Box::new(FnOracle::new(
             "replay(workload)",
             move |exec: &Execution<RegAction>| {
@@ -778,46 +789,23 @@ pub fn register_oracles(cfg: &ScenarioConfig, seed: u64) -> Vec<Box<dyn Oracle<R
 /// point the exploration loop and `replay_artifact` share.
 #[must_use]
 pub fn run_case(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> CaseOutcome {
+    fn outcome_of<A: Action>(judged: Judged<A>) -> CaseOutcome {
+        let (events, fp) = match &judged.run {
+            Ok(r) => (r.execution.len(), fingerprint(&r.execution)),
+            Err(_) => (0, 0),
+        };
+        CaseOutcome {
+            violations: judged.violations,
+            events,
+            rejected_clock_requests: judged.rejected_clock_requests,
+            fingerprint: fp,
+            metrics: judged.metrics,
+        }
+    }
     match cfg.kind {
-        ScenarioKind::Heartbeat => {
-            let (run, violations) = run_heartbeat(cfg, plan, seed);
-            let (events, fp) = match &run {
-                Ok(r) => (r.execution.len(), fingerprint(&r.execution)),
-                Err(_) => (0, 0),
-            };
-            CaseOutcome {
-                violations,
-                events,
-                rejected_clock_requests: 0,
-                fingerprint: fp,
-            }
-        }
-        ScenarioKind::ClockFleet => {
-            let (run, violations, rejected) = run_clockfleet(cfg, plan, seed);
-            let (events, fp) = match &run {
-                Ok(r) => (r.execution.len(), fingerprint(&r.execution)),
-                Err(_) => (0, 0),
-            };
-            CaseOutcome {
-                violations,
-                events,
-                rejected_clock_requests: rejected,
-                fingerprint: fp,
-            }
-        }
-        ScenarioKind::Register => {
-            let (run, violations, rejected) = run_register(cfg, plan, seed);
-            let (events, fp) = match &run {
-                Ok(r) => (r.execution.len(), fingerprint(&r.execution)),
-                Err(_) => (0, 0),
-            };
-            CaseOutcome {
-                violations,
-                events,
-                rejected_clock_requests: rejected,
-                fingerprint: fp,
-            }
-        }
+        ScenarioKind::Heartbeat => outcome_of(run_heartbeat(cfg, plan, seed)),
+        ScenarioKind::ClockFleet => outcome_of(run_clockfleet(cfg, plan, seed)),
+        ScenarioKind::Register => outcome_of(run_register(cfg, plan, seed)),
     }
 }
 

@@ -70,14 +70,16 @@ fn seeded_late_delivery_bug_is_found_shrunk_and_replayed() {
     assert_eq!(first.violations[0].0, "delivery envelope");
 
     // Strongest form: the whole recorded executions are equal (Arc-backed
-    // Execution equality), not just their fingerprints.
-    let (run_a, viol_a) = run_heartbeat(&cfg, plan, failure.artifact.seed);
-    let (run_b, viol_b) = run_heartbeat(&cfg, plan, failure.artifact.seed);
-    let run_a = run_a.expect("case runs");
-    let run_b = run_b.expect("case runs");
+    // Execution equality), not just their fingerprints — and so are the
+    // observer metrics.
+    let a = run_heartbeat(&cfg, plan, failure.artifact.seed);
+    let b = run_heartbeat(&cfg, plan, failure.artifact.seed);
+    let run_a = a.run.expect("case runs");
+    let run_b = b.run.expect("case runs");
     assert_eq!(run_a.execution, run_b.execution);
-    assert_eq!(viol_a, viol_b);
-    assert!(!viol_a.is_empty());
+    assert_eq!(a.violations, b.violations);
+    assert!(!a.violations.is_empty());
+    assert_eq!(a.metrics, b.metrics);
 }
 
 /// Without the bug, the same campaigns are clean: every generated plan is
@@ -280,6 +282,38 @@ fn artifact_round_trip_matches_direct_execution() {
     assert_eq!(parsed, artifact);
     let replayed = replay_artifact(&parsed).expect("replays");
     assert_eq!(replayed, direct);
+
+    // The metric snapshot is part of the outcome equality above; pin the
+    // interesting invariants explicitly so a regression reads clearly.
+    assert_eq!(replayed.metrics, direct.metrics);
+    assert_eq!(replayed.metrics.to_json(), direct.metrics.to_json());
+    assert_eq!(direct.metrics.counter("engine.steps"), direct.events as u64);
+    assert_eq!(
+        direct.metrics.counter("channel.dropped"),
+        1,
+        "the planned drop must show up in the channel fault counters"
+    );
+    assert_eq!(direct.metrics.counter("channel.duplicated"), 1);
+    // PlanChannelFault never defers to the base policy (deferring would
+    // surrender control to the channel's internal — possibly widened —
+    // bounds), so every non-drop, non-duplicate send counts as a
+    // single-copy delay override.
+    assert_eq!(
+        direct.metrics.counter("channel.spiked"),
+        direct.metrics.counter("channel.sends")
+            - direct.metrics.counter("channel.dropped")
+            - direct.metrics.counter("channel.duplicated")
+    );
+    assert_eq!(
+        direct.metrics.counter("engine.deliveries"),
+        direct.metrics.counter("channel.delivered"),
+        "engine-side RECVMSG count and channel-side delivery count agree"
+    );
+    let delays = direct
+        .metrics
+        .histogram("channel.delay_ns.n0->n1")
+        .expect("per-channel delay histogram was recorded");
+    assert_eq!(delays.count(), direct.metrics.counter("channel.delivered"));
 }
 
 /// An artifact whose plan violates its own envelope is refused by

@@ -15,14 +15,67 @@
 //! the admissibility check (Definition 2.2's channel automaton is only a
 //! Figure 1 channel while delays respect the bounds).
 
+use core::cell::Cell;
 use core::fmt::Debug;
 use core::hash::Hash;
+use std::rc::Rc;
 
 use psync_automata::{Action, ActionKind, TimedComponent};
 use psync_time::{DelayBounds, Duration, Time};
 
 use crate::channel::InFlight;
 use crate::{DelayPolicy, Envelope, MsgId, NodeId, SysAction};
+
+/// Shared-handle fault counters for one [`FaultChannel`] (the
+/// `ScriptedClock::rejections` idiom): clone the handle out of
+/// [`FaultChannel::stats`] before moving the channel into an engine, read
+/// it after the run. Counters tick inside `step`, which the engines call
+/// exactly once per fired action, so the counts are exact per execution.
+#[derive(Debug, Clone, Default)]
+pub struct FaultStats {
+    sends: Rc<Cell<u64>>,
+    delivered: Rc<Cell<u64>>,
+    dropped: Rc<Cell<u64>>,
+    duplicated: Rc<Cell<u64>>,
+    spiked: Rc<Cell<u64>>,
+}
+
+impl FaultStats {
+    fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+
+    /// Messages accepted via `SENDMSG`.
+    #[must_use]
+    pub fn sends(&self) -> u64 {
+        self.sends.get()
+    }
+
+    /// Copies handed over via `RECVMSG`.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered.get()
+    }
+
+    /// Sends the fault plan turned into zero deliveries.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Sends the fault plan turned into two or more copies.
+    #[must_use]
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated.get()
+    }
+
+    /// Sends where the fault plan overrode the base policy's delay for a
+    /// single copy (a delay spike).
+    #[must_use]
+    pub fn spiked(&self) -> u64 {
+        self.spiked.get()
+    }
+}
 
 /// Decides how a [`FaultChannel`] delivers each message. Pure per-message
 /// function of the message identity, so runs stay reproducible.
@@ -71,6 +124,7 @@ pub struct FaultChannel<M, A> {
     bounds: DelayBounds,
     delay: Box<dyn DelayPolicy>,
     fault: Box<dyn ChannelFault>,
+    stats: FaultStats,
     _marker: core::marker::PhantomData<fn() -> (M, A)>,
 }
 
@@ -92,8 +146,16 @@ impl<M, A> FaultChannel<M, A> {
             bounds,
             delay: Box::new(delay),
             fault: Box::new(fault),
+            stats: FaultStats::default(),
             _marker: core::marker::PhantomData,
         }
+    }
+
+    /// A shared handle onto this channel's fault counters. Clone it before
+    /// moving the channel into an engine and read it after the run.
+    #[must_use]
+    pub fn stats(&self) -> FaultStats {
+        self.stats.clone()
     }
 
     fn routes(&self, env: &Envelope<M>) -> bool {
@@ -132,9 +194,17 @@ where
     fn step(&self, s: &Self::State, a: &Self::Action, now: Time) -> Option<Self::State> {
         match a {
             SysAction::Send(env) if self.routes(env) => {
-                let delays = self
+                let planned = self
                     .fault
-                    .deliveries(env.src, env.dst, env.id, now, self.bounds)
+                    .deliveries(env.src, env.dst, env.id, now, self.bounds);
+                FaultStats::bump(&self.stats.sends);
+                match planned.as_deref() {
+                    Some([]) => FaultStats::bump(&self.stats.dropped),
+                    Some([_, _, ..]) => FaultStats::bump(&self.stats.duplicated),
+                    Some([_]) => FaultStats::bump(&self.stats.spiked),
+                    None => {}
+                }
+                let delays = planned
                     .unwrap_or_else(|| vec![self.delay.delay_for_dyn(env, now, self.bounds)]);
                 let mut next = s.clone();
                 for delay in delays {
@@ -153,6 +223,7 @@ where
             }
             SysAction::Recv(env) if self.routes(env) => {
                 let pos = s.iter().position(|f| f.env == *env && f.due <= now)?;
+                FaultStats::bump(&self.stats.delivered);
                 let mut next = s.clone();
                 next.remove(pos);
                 Some(next)
@@ -251,6 +322,30 @@ mod tests {
             .unwrap();
         assert_eq!(s.len(), 1);
         assert_eq!(ch.enabled(&s, Time::ZERO + ms(3)), vec![A::Recv(env(9))]);
+    }
+
+    #[test]
+    fn stats_count_dispositions_and_deliveries() {
+        let bounds = DelayBounds::new(ms(1), ms(3)).unwrap();
+        let ch: FaultChannel<u32, &'static str> =
+            FaultChannel::new(NodeId(0), NodeId(1), bounds, MaxDelay, Script);
+        let stats = ch.stats();
+        let mut s = ch.initial();
+        for id in 0..4 {
+            s = ch.step(&s, &A::Send(env(id)), Time::ZERO).unwrap();
+        }
+        assert_eq!(stats.sends(), 4);
+        assert_eq!(stats.dropped(), 1); // id 0
+        assert_eq!(stats.duplicated(), 1); // id 1
+        assert_eq!(stats.spiked(), 1); // id 2
+        assert_eq!(stats.delivered(), 0);
+        let at = Time::ZERO + ms(3);
+        let s = ch.step(&s, &A::Recv(env(1)), at).unwrap();
+        let _ = ch.step(&s, &A::Recv(env(1)), at).unwrap();
+        // A refused Recv (no copy left) must not count as a delivery.
+        assert!(ch.step(&s, &A::Recv(env(0)), at).is_none());
+        assert_eq!(stats.delivered(), 2);
+        assert_eq!(stats.sends(), 4, "receives do not re-count sends");
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub use action::SysAction;
 pub use channel::{Channel, InFlight};
 pub use clock_channel::{ClockChannel, InFlightStamped};
 pub use delay::{DelayPolicy, MaxDelay, MinDelay, SeededDelay};
-pub use fault_channel::{ChannelFault, FaultChannel, NoChannelFaults};
+pub use fault_channel::{ChannelFault, FaultChannel, FaultStats, NoChannelFaults};
 pub use fifo_channel::{FifoChannel, FifoInFlight};
 pub use lossy_channel::{DropNone, DropPolicy, DropSeeded, LossyChannel};
 pub use message::{Envelope, MsgId, NodeId};

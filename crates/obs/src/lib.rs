@@ -1,0 +1,36 @@
+//! Observability for the psync engines.
+//!
+//! Three layers, each usable on its own:
+//!
+//! - [`metrics`] — a registry of named counters and fixed-bucket
+//!   histograms with deterministically ordered, `Eq`-comparable
+//!   [`MetricsSnapshot`]s and hand-rolled JSON serialization.
+//! - [`observe`] — [`psync_executor::Observer`] implementations that tap
+//!   engine hook points into a shared [`MetricsHub`] (steps, deliveries,
+//!   queue depth, clock drift, per-channel delay) plus the streaming
+//!   [`CEpsMonitor`] for the `C_ε` clock-accuracy predicate.
+//! - [`monitor`] — streaming monitors for the paper's trace relations
+//!   `=_{ε,κ}` and `≤_{δ,K}`, verdict-equivalent to the offline matchers
+//!   in [`psync_automata::relations`] but with memory bounded by the
+//!   reference trace, and [`psync_verify::Oracle`] adapters for both.
+//!
+//! Everything here is an *observer* in the strict sense: attaching any of
+//! these to an [`Engine`](psync_executor::Engine) or
+//! [`ReferenceEngine`](psync_executor::ReferenceEngine) never changes the
+//! produced [`Execution`](psync_automata::Execution) — the engines invoke
+//! hooks read-only, and `crates/executor/tests/engine_equiv.rs` pins
+//! attached-vs-detached equality.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod monitor;
+pub mod observe;
+
+pub use metrics::{Histogram, MetricsSnapshot, Registry};
+pub use monitor::{DeltaTraceOracle, EpsTraceOracle, StreamingDelta, StreamingEps};
+pub use observe::{
+    CEpsMonitor, CEpsOracle, ChannelDelayObserver, EngineMetrics, MetricsHub, ADVANCE_NS_BOUNDS,
+    DELAY_NS_BOUNDS, DRIFT_NS_BOUNDS, QUEUE_DEPTH_BOUNDS,
+};

@@ -1,0 +1,380 @@
+//! The metrics registry: named counters and fixed-bucket histograms, with
+//! deterministically ordered JSON snapshots.
+//!
+//! Determinism is load-bearing: the explorer's replay coverage asserts
+//! that re-running a case from a JSON artifact reproduces the *same*
+//! [`MetricsSnapshot`], so metric names are kept in sorted order
+//! (`BTreeMap`) rather than insertion or hash order, and snapshots derive
+//! `PartialEq`/`Eq`. The JSON writer is hand-rolled in the same style as
+//! `psync-explorer`'s `json` module (objects keep key order, two-space
+//! indent, integers only) so snapshots parse with that module's parser.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A fixed-bucket histogram of `i64` samples (typically nanoseconds).
+///
+/// `bounds` are inclusive upper bucket bounds in strictly increasing
+/// order; a final implicit overflow bucket catches everything above the
+/// last bound, so `counts.len() == bounds.len() + 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<i64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: i128,
+    max: i64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given inclusive upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    #[must_use]
+    pub fn with_bounds(bounds: &[i64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: i64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum += i128::from(value);
+        if self.count == 1 || value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// The inclusive upper bucket bounds.
+    #[must_use]
+    pub fn bounds(&self) -> &[i64] {
+        &self.bounds
+    }
+
+    /// Per-bucket sample counts (last entry is the overflow bucket).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> i128 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> i64 {
+        self.max
+    }
+
+    /// Folds `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ — merging is only meaningful
+    /// between histograms of the same shape.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 && (self.count == other.count || other.max > self.max) {
+            self.max = other.max;
+        }
+    }
+}
+
+/// A registry of named counters and histograms.
+///
+/// Names are kept sorted (`BTreeMap`), so two registries fed the same
+/// updates in *any* order produce equal [`MetricsSnapshot`]s — the
+/// property the explorer's replay tests pin.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Records `value` into the histogram `name`, creating it with
+    /// `bounds` on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via [`Histogram::with_bounds`]) if a new histogram is given
+    /// invalid bounds.
+    pub fn observe(&mut self, name: &str, bounds: &[i64], value: i64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+            .observe(value);
+    }
+
+    /// The current value of counter `name` (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram `name`, if any sample was recorded under it.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// An immutable, order-stable snapshot of every metric.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], sorted by metric name.
+///
+/// Snapshots compare with `==` (the replay tests do exactly that) and
+/// serialize to JSON with [`MetricsSnapshot::to_json`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, histogram)` pairs, ascending by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name` (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The histogram `name`, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Folds `other` into `self`: counters add, histograms merge
+    /// bucket-wise, names union (staying sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram shared by name has different bucket bounds.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            match self.counters.binary_search_by(|(k, _)| k.cmp(name)) {
+                Ok(i) => self.counters[i].1 += v,
+                Err(i) => self.counters.insert(i, (name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.binary_search_by(|(k, _)| k.cmp(name)) {
+                Ok(i) => self.histograms[i].1.merge(h),
+                Err(i) => self.histograms.insert(i, (name.clone(), h.clone())),
+            }
+        }
+    }
+
+    /// Serializes the snapshot as pretty-printed JSON (two-space indent,
+    /// key order preserved, integers only) — the same hand-rolled dialect
+    /// as `psync-explorer`'s `json` module, so its parser round-trips the
+    /// output.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            write_json_string(&mut out, name);
+            let _ = write!(out, ": {v}");
+        }
+        if self.counters.is_empty() {
+            out.push_str("},\n");
+        } else {
+            out.push_str("\n  },\n");
+        }
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            write_json_string(&mut out, name);
+            out.push_str(": {\n");
+            let _ = writeln!(out, "      \"bounds\": {},", write_int_array(&h.bounds));
+            let _ = writeln!(out, "      \"counts\": {},", write_int_array(&h.counts));
+            let _ = writeln!(out, "      \"count\": {},", h.count);
+            let _ = writeln!(out, "      \"sum\": {},", h.sum);
+            let _ = writeln!(out, "      \"max\": {}", h.max);
+            out.push_str("    }");
+        }
+        if self.histograms.is_empty() {
+            out.push_str("}\n}");
+        } else {
+            out.push_str("\n  }\n}");
+        }
+        out
+    }
+}
+
+/// Writes a JSON string literal with the minimal escapes the explorer's
+/// parser understands.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_int_array<T: std::fmt::Display>(values: &[T]) -> String {
+    let mut s = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{v}");
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_bounds() {
+        let mut h = Histogram::with_bounds(&[10, 100]);
+        h.observe(10);
+        h.observe(11);
+        h.observe(1_000);
+        assert_eq!(h.counts(), &[1, 1, 1]);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1_021);
+        assert_eq!(h.max(), 1_000);
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucketwise() {
+        let mut a = Histogram::with_bounds(&[10]);
+        a.observe(5);
+        let mut b = Histogram::with_bounds(&[10]);
+        b.observe(50);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1]);
+        assert_eq!(a.max(), 50);
+    }
+
+    #[test]
+    fn snapshots_are_order_insensitive() {
+        let mut r1 = Registry::new();
+        r1.add("b", 1);
+        r1.add("a", 2);
+        let mut r2 = Registry::new();
+        r2.add("a", 2);
+        r2.add("b", 1);
+        assert_eq!(r1.snapshot(), r2.snapshot());
+        let snap = r1.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn absorb_unions_and_adds() {
+        let mut a = MetricsSnapshot::default();
+        let mut r = Registry::new();
+        r.add("x", 1);
+        r.observe("h", &[10], 3);
+        a.absorb(&r.snapshot());
+        a.absorb(&r.snapshot());
+        assert_eq!(a.counter("x"), 2);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn json_snapshot_is_stable_and_integer_only() {
+        let mut r = Registry::new();
+        r.add("engine.steps", 3);
+        r.observe("engine.queue_depth", &[1, 2], 1);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"engine.steps\": 3"));
+        assert!(json.contains("\"bounds\": [1, 2]"));
+        assert_eq!(json, r.snapshot().to_json());
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        let json = MetricsSnapshot::default().to_json();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"histograms\""));
+    }
+}

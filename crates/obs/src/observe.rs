@@ -1,0 +1,397 @@
+//! Metric-collecting [`Observer`]s and the streaming `C_ε` monitor.
+//!
+//! [`MetricsHub`] owns a shared [`Registry`] behind `Rc<RefCell<…>>` (the
+//! same interior-mutability handle pattern as
+//! [`ScriptedClock::rejections`](psync_executor::ScriptedClock::rejections):
+//! engines are single-threaded and components step through `&self`).
+//! [`MetricsHub::engine_observer`] hands out taps that feed the hub from
+//! inside an engine run; the hub stays outside and takes
+//! [`snapshot`](MetricsHub::snapshot)s whenever it likes.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use psync_automata::{Action, ActionKind, Execution, TimedEvent, Verdict};
+use psync_executor::{ClockRead, Observer};
+use psync_net::{MsgId, SysAction};
+use psync_time::{Duration, Time};
+use psync_verify::Oracle;
+
+use crate::metrics::{MetricsSnapshot, Registry};
+
+/// Bucket bounds for the scheduler queue-depth histogram.
+pub const QUEUE_DEPTH_BOUNDS: &[i64] = &[1, 2, 4, 8, 16, 32, 64];
+
+/// Bucket bounds (ns) for the observed `|now − clock|` drift histogram.
+pub const DRIFT_NS_BOUNDS: &[i64] = &[
+    1_000, 10_000, 100_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+];
+
+/// Bucket bounds (ns) for time-passage step sizes.
+pub const ADVANCE_NS_BOUNDS: &[i64] = &[
+    10_000,
+    100_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    100_000_000,
+];
+
+/// Bucket bounds (ns) for per-channel message delays.
+pub const DELAY_NS_BOUNDS: &[i64] = &[
+    100_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000, 20_000_000,
+];
+
+/// Owns a shared metrics [`Registry`] and hands out engine taps feeding it.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHub {
+    registry: Rc<RefCell<Registry>>,
+}
+
+impl MetricsHub {
+    /// Creates a hub with an empty registry.
+    #[must_use]
+    pub fn new() -> MetricsHub {
+        MetricsHub::default()
+    }
+
+    /// An observer recording engine-level metrics into this hub: steps by
+    /// kind and action name, deliveries, queue depth, clock drift and
+    /// time-passage sizes. Attach via `EngineBuilder::observer`.
+    #[must_use]
+    pub fn engine_observer(&self) -> EngineMetrics {
+        EngineMetrics {
+            registry: Rc::clone(&self.registry),
+        }
+    }
+
+    /// An observer recording per-channel delivery delays (for
+    /// `SysAction`-typed systems). Attach via `EngineBuilder::observer`.
+    #[must_use]
+    pub fn channel_delay_observer(&self) -> ChannelDelayObserver {
+        ChannelDelayObserver {
+            registry: Rc::clone(&self.registry),
+            in_flight: HashMap::new(),
+        }
+    }
+
+    /// Adds `delta` to counter `name` — for merging externally collected
+    /// counts (e.g. [`FaultChannel`](psync_net::FaultChannel) fault
+    /// counters) into the same snapshot.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.registry.borrow_mut().add(name, delta);
+    }
+
+    /// A deterministic snapshot of everything recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.borrow().snapshot()
+    }
+
+    /// The shared registry handle, for observers not predefined here.
+    #[must_use]
+    pub fn registry(&self) -> Rc<RefCell<Registry>> {
+        Rc::clone(&self.registry)
+    }
+}
+
+/// The engine-level metrics tap (see [`MetricsHub::engine_observer`]).
+///
+/// Implements [`Observer`] for *every* action type; action-specific
+/// detail is limited to [`Action::name`].
+#[derive(Debug)]
+pub struct EngineMetrics {
+    registry: Rc<RefCell<Registry>>,
+}
+
+impl<A: Action> Observer<A> for EngineMetrics {
+    fn on_candidates(&mut self, _now: Time, depth: usize) {
+        let mut reg = self.registry.borrow_mut();
+        reg.add("engine.scheduling_points", 1);
+        reg.observe("engine.queue_depth", QUEUE_DEPTH_BOUNDS, depth as i64);
+    }
+
+    fn on_clock_read(&mut self, read: ClockRead) {
+        let mut reg = self.registry.borrow_mut();
+        reg.add("engine.clock_reads", 1);
+        reg.observe(
+            "engine.clock_drift_ns",
+            DRIFT_NS_BOUNDS,
+            read.now.skew(read.clock).as_nanos(),
+        );
+    }
+
+    fn on_event(&mut self, event: &TimedEvent<A>) {
+        let mut reg = self.registry.borrow_mut();
+        reg.add("engine.steps", 1);
+        reg.add(
+            match event.kind {
+                ActionKind::Input => "engine.steps.input",
+                ActionKind::Output => "engine.steps.output",
+                ActionKind::Internal => "engine.steps.internal",
+            },
+            1,
+        );
+        let name = event.action.name();
+        let mut key = String::with_capacity(14 + name.len());
+        key.push_str("engine.action.");
+        key.push_str(name);
+        reg.add(&key, 1);
+        if name == "RECVMSG" || name == "ERECVMSG" {
+            reg.add("engine.deliveries", 1);
+        }
+    }
+
+    fn on_advance(&mut self, from: Time, to: Time) {
+        let mut reg = self.registry.borrow_mut();
+        reg.add("engine.advances", 1);
+        reg.observe(
+            "engine.advance_ns",
+            ADVANCE_NS_BOUNDS,
+            (to - from).as_nanos(),
+        );
+    }
+}
+
+/// Records the real-time delay of every delivered message into a
+/// per-channel histogram `channel.delay_ns.nI->nJ`.
+///
+/// Send times are remembered by [`MsgId`]; because the paper assumes every
+/// message id is unique per execution (Section 3), entries are never
+/// evicted — a duplicate delivery finds the original send time and records
+/// a second sample. Memory is O(messages sent), not O(events).
+#[derive(Debug)]
+pub struct ChannelDelayObserver {
+    registry: Rc<RefCell<Registry>>,
+    in_flight: HashMap<MsgId, Time>,
+}
+
+impl<M, AP> Observer<SysAction<M, AP>> for ChannelDelayObserver
+where
+    M: Clone + Eq + std::hash::Hash + std::fmt::Debug + 'static,
+    AP: Action,
+{
+    fn on_event(&mut self, event: &TimedEvent<SysAction<M, AP>>) {
+        match &event.action {
+            SysAction::Send(env) | SysAction::ESend(env, _) => {
+                self.in_flight.insert(env.id, event.now);
+            }
+            SysAction::Recv(env) | SysAction::ERecv(env, _) => {
+                if let Some(sent) = self.in_flight.get(&env.id) {
+                    let mut key = String::new();
+                    let _ = write!(key, "channel.delay_ns.{}->{}", env.src, env.dst);
+                    self.registry.borrow_mut().observe(
+                        &key,
+                        DELAY_NS_BOUNDS,
+                        (event.now - *sent).as_nanos(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Streaming `C_ε` monitor (predicate `C_ε` of §2.2): checks
+/// `|now − clock| ≤ ε` on every clock read, in O(1) memory.
+///
+/// As an [`Observer`] it takes `ε` from each [`ClockRead`] (every node's
+/// own envelope); [`CEpsMonitor::with_eps`] pins one bound instead, for
+/// monitoring against a tighter envelope than the engine enforces.
+#[derive(Debug, Clone, Default)]
+pub struct CEpsMonitor {
+    pinned_eps: Option<Duration>,
+    reads: u64,
+    worst: Duration,
+    violation: Option<String>,
+}
+
+impl CEpsMonitor {
+    /// A monitor checking each read against the node's own `ε`.
+    #[must_use]
+    pub fn new() -> CEpsMonitor {
+        CEpsMonitor::default()
+    }
+
+    /// A monitor checking every read against the fixed bound `eps`.
+    #[must_use]
+    pub fn with_eps(eps: Duration) -> CEpsMonitor {
+        CEpsMonitor {
+            pinned_eps: Some(eps),
+            ..CEpsMonitor::default()
+        }
+    }
+
+    /// Feeds one clock reading.
+    pub fn observe(&mut self, read: ClockRead) {
+        self.reads += 1;
+        let skew = read.now.skew(read.clock);
+        self.worst = self.worst.max(skew);
+        let eps = self.pinned_eps.unwrap_or(read.eps);
+        if skew > eps && self.violation.is_none() {
+            self.violation = Some(format!(
+                "node {} clock {} at real time {} violates C_ε (skew {} > ε {})",
+                read.node, read.clock, read.now, skew, eps
+            ));
+        }
+    }
+
+    /// Number of readings observed.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// The worst `|now − clock|` observed.
+    #[must_use]
+    pub fn worst_skew(&self) -> Duration {
+        self.worst
+    }
+
+    /// `Holds` iff every reading so far satisfied the predicate.
+    #[must_use]
+    pub fn verdict(&self) -> Verdict {
+        match &self.violation {
+            None => Verdict::Holds,
+            Some(why) => Verdict::Violated(why.clone()),
+        }
+    }
+}
+
+impl<A: Action> Observer<A> for CEpsMonitor {
+    fn on_clock_read(&mut self, read: ClockRead) {
+        self.observe(read);
+    }
+}
+
+/// The offline face of [`CEpsMonitor`]: an [`Oracle`] replaying a recorded
+/// execution's clock readings through the same O(1) check, so explorer
+/// campaigns and conformance sweeps consume it unchanged.
+pub struct CEpsOracle {
+    eps: Duration,
+}
+
+impl CEpsOracle {
+    /// Checks every event carrying a clock reading against `eps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is negative.
+    #[must_use]
+    pub fn new(eps: Duration) -> CEpsOracle {
+        assert!(!eps.is_negative(), "ε must be non-negative");
+        CEpsOracle { eps }
+    }
+}
+
+impl<A: Action> Oracle<A> for CEpsOracle {
+    fn name(&self) -> String {
+        format!("C_eps(ε={})", self.eps)
+    }
+
+    fn check(&self, exec: &Execution<A>) -> Verdict {
+        let mut monitor = CEpsMonitor::with_eps(self.eps);
+        for ev in exec.events() {
+            if let Some(clock) = ev.clock {
+                monitor.observe(ClockRead {
+                    node: 0,
+                    now: ev.now,
+                    clock,
+                    eps: self.eps,
+                });
+            }
+        }
+        monitor.verdict()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_automata::toys::{Beeper, ClockBeeper};
+    use psync_executor::{ClockNode, Engine, OffsetClock};
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + ms(n)
+    }
+
+    #[test]
+    fn engine_metrics_count_steps_and_advances() {
+        let hub = MetricsHub::new();
+        let mut engine = Engine::builder()
+            .timed(Beeper::new(ms(10)))
+            .observer(hub.engine_observer())
+            .horizon(at(35))
+            .build();
+        let run = engine.run().unwrap();
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter("engine.steps"), run.execution.len() as u64);
+        assert_eq!(snap.counter("engine.steps.output"), 3);
+        assert_eq!(snap.counter("engine.action.BEEP"), 3);
+        assert!(snap.counter("engine.advances") >= 3);
+        assert!(snap.histogram("engine.queue_depth").is_some());
+    }
+
+    #[test]
+    fn clock_drift_is_recorded_per_read() {
+        let hub = MetricsHub::new();
+        let node = ClockNode::new("n0", ms(2), OffsetClock::new(ms(-2), ms(2)))
+            .with(ClockBeeper::new(ms(10)));
+        let mut engine = Engine::builder()
+            .clock_node(node)
+            .observer(hub.engine_observer())
+            .horizon(at(25))
+            .build();
+        engine.run().unwrap();
+        let snap = hub.snapshot();
+        assert!(snap.counter("engine.clock_reads") > 0);
+        let drift = snap.histogram("engine.clock_drift_ns").unwrap();
+        assert_eq!(drift.max(), ms(2).as_nanos());
+    }
+
+    #[test]
+    fn c_eps_monitor_accepts_envelope_and_rejects_beyond() {
+        let mut ok = CEpsMonitor::new();
+        ok.observe(ClockRead {
+            node: 0,
+            now: at(10),
+            clock: at(12),
+            eps: ms(2),
+        });
+        assert!(ok.verdict().holds());
+        assert_eq!(ok.worst_skew(), ms(2));
+
+        let mut bad = CEpsMonitor::with_eps(ms(1));
+        bad.observe(ClockRead {
+            node: 3,
+            now: at(10),
+            clock: at(12),
+            eps: ms(2),
+        });
+        assert!(!bad.verdict().holds());
+        assert_eq!(bad.reads(), 1);
+    }
+
+    #[test]
+    fn c_eps_oracle_judges_recorded_executions() {
+        let node = ClockNode::new("n0", ms(2), OffsetClock::new(ms(2), ms(2)))
+            .with(ClockBeeper::new(ms(10)));
+        let mut engine = Engine::builder().clock_node(node).horizon(at(25)).build();
+        let exec = engine.run().unwrap().execution;
+        assert!(
+            Oracle::<psync_automata::toys::BeepAction>::check(&CEpsOracle::new(ms(2)), &exec)
+                .holds()
+        );
+        assert!(
+            !Oracle::<psync_automata::toys::BeepAction>::check(&CEpsOracle::new(ms(1)), &exec)
+                .holds()
+        );
+    }
+}

@@ -214,3 +214,34 @@ proptest! {
         prop_assert_eq!(ab, ba, "=_eps,kappa must be symmetric");
     }
 }
+
+/// Replay of the checked-in regression seed (see
+/// `prop_relations.proptest-regressions`): the minimal exact-ε boundary —
+/// one action whose deviation is exactly one tick over the bound. The
+/// vendored proptest stub does not read regression files, so the shrunk
+/// case is pinned here explicitly; if the full proptest crate is ever
+/// dropped in, the seed file replays the same case through the generator.
+#[test]
+fn regression_exact_eps_boundary_single_action() {
+    let t = |n: i64| Time::ZERO + Duration::from_millis(n);
+    let left: TimedTrace<&'static str> = vec![("a0", t(0))].into_iter().collect();
+    let right: TimedTrace<&'static str> = vec![("a0", t(9))].into_iter().collect();
+
+    // The recorded failure shape: deviation 9 ms against ε = 8 ms. Both
+    // the structured matcher and the brute-force bijection search reject.
+    let under = Duration::from_millis(8);
+    assert!(eps_equivalent(&left, &right, under, &classes()).is_err());
+    assert!(!brute_force_eps(&left, &right, under));
+
+    // On the line: a deviation of exactly ε is inside the relation...
+    let eps = Duration::from_millis(9);
+    let w = eps_equivalent(&left, &right, eps, &classes()).unwrap();
+    assert_eq!(w.max_deviation, eps);
+    assert_eq!(w.matched, 1);
+    assert!(brute_force_eps(&left, &right, eps));
+
+    // ...and one nanosecond under it is back outside.
+    let tight = eps - Duration::NANOSECOND;
+    assert!(eps_equivalent(&left, &right, tight, &classes()).is_err());
+    assert!(!brute_force_eps(&left, &right, tight));
+}
