@@ -93,7 +93,6 @@ pub trait ClockComponent: 'static {
 
 /// Object-safe erased view of a [`ClockComponent`].
 pub(crate) trait DynClock<A: Action> {
-    fn name(&self) -> String;
     fn initial_dyn(&self) -> DynState;
     fn classify_dyn(&self, a: &A) -> Option<ActionKind>;
     fn action_names_dyn(&self) -> Option<Vec<&'static str>>;
@@ -106,10 +105,6 @@ pub(crate) trait DynClock<A: Action> {
 struct Eraser<C>(C);
 
 impl<A: Action, C: ClockComponent<Action = A>> DynClock<A> for Eraser<C> {
-    fn name(&self) -> String {
-        self.0.name()
-    }
-
     fn initial_dyn(&self) -> DynState {
         DynState::of(self.0.initial())
     }
@@ -150,21 +145,35 @@ fn expect<C: ClockComponent>(s: &DynState) -> &C::State {
 /// clock-model distributed system are composed (Definition 2.7).
 pub struct ClockComponentBox<A: Action> {
     inner: Box<dyn DynClock<A>>,
+    /// The diagnostic name, computed once at boxing time so
+    /// [`ClockComponentBox::name`] hands out `&str` without a per-call
+    /// `String` allocation (the execution engine reads names in hot loops).
+    name: std::sync::Arc<str>,
 }
 
 impl<A: Action> ClockComponentBox<A> {
     /// Boxes a concrete clock component.
     #[must_use]
     pub fn new<C: ClockComponent<Action = A>>(component: C) -> Self {
+        let name = std::sync::Arc::from(component.name().as_str());
         ClockComponentBox {
             inner: Box::new(Eraser(component)),
+            name,
         }
     }
 
-    /// The component's diagnostic name.
+    /// The component's diagnostic name (cached at boxing time).
     #[must_use]
-    pub fn name(&self) -> String {
-        self.inner.name()
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cached diagnostic name as a shareable `Arc<str>` — the
+    /// execution engine interns this into every emitted event without
+    /// further allocation.
+    #[must_use]
+    pub fn name_arc(&self) -> std::sync::Arc<str> {
+        std::sync::Arc::clone(&self.name)
     }
 
     /// The component's start state.
@@ -219,7 +228,7 @@ impl<A: Action> ClockComponent for ClockComponentBox<A> {
     type State = DynState;
 
     fn name(&self) -> String {
-        ClockComponentBox::name(self)
+        ClockComponentBox::name(self).to_string()
     }
 
     fn initial(&self) -> DynState {
@@ -254,7 +263,7 @@ impl<A: Action> ClockComponent for ClockComponentBox<A> {
 impl<A: Action> Debug for ClockComponentBox<A> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("ClockComponentBox")
-            .field("name", &self.inner.name())
+            .field("name", &self.name())
             .finish()
     }
 }

@@ -109,7 +109,6 @@ pub trait TimedComponent: 'static {
 /// Object-safe view of a [`TimedComponent`] with its state type erased, so
 /// heterogeneous components over the same action alphabet can be composed.
 pub(crate) trait DynTimed<A: Action> {
-    fn name(&self) -> String;
     fn initial_dyn(&self) -> DynState;
     fn classify_dyn(&self, a: &A) -> Option<ActionKind>;
     fn action_names_dyn(&self) -> Option<Vec<&'static str>>;
@@ -164,10 +163,6 @@ impl<S: Clone + Debug + 'static> AnyState for S {
 struct Eraser<C>(C);
 
 impl<A: Action, C: TimedComponent<Action = A>> DynTimed<A> for Eraser<C> {
-    fn name(&self) -> String {
-        self.0.name()
-    }
-
     fn initial_dyn(&self) -> DynState {
         DynState(Box::new(self.0.initial()))
     }
@@ -221,21 +216,37 @@ fn expect_state<C: TimedComponent>(s: &DynState) -> &C::State {
 /// ```
 pub struct ComponentBox<A: Action> {
     inner: Box<dyn DynTimed<A>>,
+    /// The diagnostic name, computed once at boxing time. Names are
+    /// immutable, so caching them here lets [`ComponentBox::name`] hand out
+    /// `&str` instead of allocating a fresh `String` per call — which
+    /// matters to the execution engine, whose error and event paths read
+    /// names in hot loops.
+    name: std::sync::Arc<str>,
 }
 
 impl<A: Action> ComponentBox<A> {
     /// Boxes a concrete component.
     #[must_use]
     pub fn new<C: TimedComponent<Action = A>>(component: C) -> Self {
+        let name = std::sync::Arc::from(component.name().as_str());
         ComponentBox {
             inner: Box::new(Eraser(component)),
+            name,
         }
     }
 
-    /// The component's diagnostic name.
+    /// The component's diagnostic name (cached at boxing time).
     #[must_use]
-    pub fn name(&self) -> String {
-        self.inner.name()
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cached diagnostic name as a shareable `Arc<str>` — the
+    /// execution engine interns this into every emitted event without
+    /// further allocation.
+    #[must_use]
+    pub fn name_arc(&self) -> std::sync::Arc<str> {
+        std::sync::Arc::clone(&self.name)
     }
 
     /// The component's start state.
@@ -290,7 +301,7 @@ impl<A: Action> TimedComponent for ComponentBox<A> {
     type State = DynState;
 
     fn name(&self) -> String {
-        ComponentBox::name(self)
+        ComponentBox::name(self).to_string()
     }
 
     fn initial(&self) -> DynState {
@@ -325,7 +336,7 @@ impl<A: Action> TimedComponent for ComponentBox<A> {
 impl<A: Action> Debug for ComponentBox<A> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("ComponentBox")
-            .field("name", &self.inner.name())
+            .field("name", &self.name())
             .finish()
     }
 }

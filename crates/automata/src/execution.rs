@@ -26,6 +26,14 @@ pub struct TimedEvent<A> {
     pub now: Time,
     /// Clock reading of the performing node, when one exists.
     pub clock: Option<Time>,
+    /// Name of the performing clock node, when one exists (`None` for
+    /// actions of plain timed components such as channels).
+    ///
+    /// Stored as `Arc<str>` so the execution engine can share one interned
+    /// copy of each node name across every event it emits instead of
+    /// cloning a `String` per event; equality is by string content, so two
+    /// executions compare equal regardless of how the names were produced.
+    pub node: Option<Arc<str>>,
 }
 
 /// A recorded execution of a composed system: the sequence of
@@ -167,8 +175,17 @@ impl<A: Action> fmt::Display for Execution<A> {
             self.ltime
         )?;
         for e in self.events.iter() {
-            match e.clock {
-                Some(c) => writeln!(
+            match (e.clock, e.node.as_deref()) {
+                (Some(c), Some(n)) => writeln!(
+                    f,
+                    "  {} [{} clock t={}] {:?} ({:?})",
+                    e.now,
+                    n,
+                    c.elapsed(),
+                    e.action,
+                    e.kind
+                )?,
+                (Some(c), None) => writeln!(
                     f,
                     "  {} [clock t={}] {:?} ({:?})",
                     e.now,
@@ -176,7 +193,7 @@ impl<A: Action> fmt::Display for Execution<A> {
                     e.action,
                     e.kind
                 )?,
-                None => writeln!(f, "  {} {:?} ({:?})", e.now, e.action, e.kind)?,
+                _ => writeln!(f, "  {} {:?} ({:?})", e.now, e.action, e.kind)?,
             }
         }
         Ok(())
@@ -217,18 +234,21 @@ mod tests {
                     kind: ActionKind::Input,
                     now: at(1),
                     clock: Some(at(2)),
+                    node: None,
                 },
                 TimedEvent {
                     action: Act::Int,
                     kind: ActionKind::Internal,
                     now: at(2),
                     clock: None,
+                    node: None,
                 },
                 TimedEvent {
                     action: Act::Out,
                     kind: ActionKind::Output,
                     now: at(3),
                     clock: Some(at(2)),
+                    node: None,
                 },
             ],
             at(10),
@@ -276,12 +296,14 @@ mod tests {
                     kind: ActionKind::Input,
                     now: at(5),
                     clock: None,
+                    node: None,
                 },
                 TimedEvent {
                     action: Act::Out,
                     kind: ActionKind::Output,
                     now: at(4),
                     clock: None,
+                    node: None,
                 },
             ],
             at(10),
@@ -297,6 +319,7 @@ mod tests {
                 kind: ActionKind::Input,
                 now: at(5),
                 clock: None,
+                node: None,
             }],
             at(4),
         );

@@ -1,0 +1,110 @@
+//! Criterion bench: explorer campaign throughput vs worker count.
+//!
+//! Runs the default heartbeat campaign (generate → run → judge → shrink
+//! per case) at `cases ∈ {64, 256}` on `jobs ∈ {1, 2, 4, 8}` workers.
+//! Reported in `EXPERIMENTS.md` §E13. Because the parallel runner promises
+//! a bit-identical `CampaignReport` for every worker count, the speedup is
+//! pure scheduling — the same work in a different order — so the curve
+//! measures pool overhead at low core counts and scaling headroom at high
+//! ones.
+//!
+//! Besides the criterion sweep this bench writes `BENCH_campaign.json`
+//! (override the path with `PSYNC_BENCH_OUT`): per-configuration median
+//! wall times plus a `identical_reports` flag re-verified on the spot by
+//! comparing every parallel report against the sequential one. CI uploads
+//! the file as a build artifact; the committed copy at the repo root
+//! records the perf trajectory at review time.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psync_explorer::{run_campaign_jobs, CampaignConfig, ScenarioConfig};
+
+const CASES: [u64; 2] = [64, 256];
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+
+fn campaign(cases: u64) -> CampaignConfig {
+    CampaignConfig {
+        cases,
+        ..CampaignConfig::default()
+    }
+}
+
+fn bench_campaign_scaling(c: &mut Criterion) {
+    let scenario = ScenarioConfig::heartbeat_default();
+    let mut group = c.benchmark_group("campaign_scaling");
+    group.sample_size(10);
+    for cases in CASES {
+        let config = campaign(cases);
+        for jobs in JOBS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("jobs{jobs}"), cases),
+                &jobs,
+                |b, &jobs| {
+                    b.iter(|| {
+                        let report = run_campaign_jobs(&config, &scenario, jobs);
+                        assert!(report.failures.is_empty());
+                        report.stats.events
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+    write_artifact(&scenario);
+}
+
+/// Median wall time of `runs` executions, in milliseconds.
+fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_unstable_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn write_artifact(scenario: &ScenarioConfig) {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut entries = Vec::new();
+    let mut identical = true;
+    for cases in CASES {
+        let config = campaign(cases);
+        let sequential = run_campaign_jobs(&config, scenario, 1);
+        for jobs in JOBS {
+            identical &= run_campaign_jobs(&config, scenario, jobs) == sequential;
+            let ms = median_ms(5, || {
+                black_box(run_campaign_jobs(&config, scenario, jobs));
+            });
+            entries.push(format!(
+                "    {{\"scenario\": \"heartbeat\", \"cases\": {cases}, \"jobs\": {jobs}, \
+                 \"events\": {}, \"median_ms\": {ms:.3}}}",
+                sequential.stats.events
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"campaign_scaling\",\n  \"host_parallelism\": {host_parallelism},\n  \
+         \"identical_reports\": {identical},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    // Benches run with the package dir as cwd; default to the workspace
+    // root so the artifact lands next to the committed copy.
+    let path = std::env::var("PSYNC_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("campaign_scaling: wrote {path}"),
+        Err(e) => eprintln!("campaign_scaling: could not write {path}: {e}"),
+    }
+    assert!(
+        identical,
+        "parallel campaign reports diverged from the sequential run"
+    );
+}
+
+criterion_group!(benches, bench_campaign_scaling);
+criterion_main!(benches);

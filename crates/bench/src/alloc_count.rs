@@ -1,0 +1,77 @@
+//! A counting global allocator for allocation-regression tests.
+//!
+//! The engine's allocation diet (no per-event action clones on the pick
+//! path, interned node names, entry-API duplicate tracking) is easy to
+//! regress silently: a stray `clone()` in the hot loop costs one heap
+//! allocation per event and no test fails. Installing [`CountingAlloc`]
+//! as the `#[global_allocator]` of a test binary makes the cost visible:
+//! the test runs a deterministic workload, divides the observed
+//! allocation count by the event count, and pins the quotient against
+//! the pre-diet baseline.
+//!
+//! The counter is a relaxed atomic — the tests that use it are
+//! single-threaded over the measured region, so the count is exact
+//! there; outside it the number only ever moves up, which is the safe
+//! direction for a "strictly fewer than baseline" assertion.
+
+// The one sanctioned use of `unsafe` in this crate: `GlobalAlloc` is an
+// unsafe trait, and this impl delegates verbatim to `System`.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A `#[global_allocator]` that delegates to [`System`] and counts
+/// allocation calls (`alloc` + `realloc`; frees are not counted — the
+/// diet is about how often we *ask* for memory).
+pub struct CountingAlloc {
+    allocs: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A fresh counter at zero, usable in `static` position.
+    #[must_use]
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc {
+            allocs: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocation calls observed so far.
+    #[must_use]
+    pub fn allocations(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+
+    /// Allocation calls performed by `f`, measured as a before/after
+    /// difference on this counter.
+    pub fn count<T>(&self, f: impl FnOnce() -> T) -> (T, u64) {
+        let before = self.allocations();
+        let out = f();
+        (out, self.allocations() - before)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> CountingAlloc {
+        CountingAlloc::new()
+    }
+}
+
+// SAFETY: delegates verbatim to `System`; the counter has no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}

@@ -17,8 +17,12 @@
 //! | E9 | engineering: engine throughput, model overhead |
 //! | E10 | the generalized-object extension: counters/grow-sets keep the Theorem 6.5 formulas and object-level linearizability (§6 closing remark) |
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the counting test allocator (`alloc_count`) must
+// implement `GlobalAlloc`, which is an unsafe trait; that module opts in
+// explicitly and everything else stays unsafe-free.
+#![deny(unsafe_code)]
 
+pub mod alloc_count;
 pub mod ring;
 
 use psync_automata::relations::eps_equivalent;

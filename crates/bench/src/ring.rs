@@ -17,13 +17,46 @@
 //! execution and the benchmark compares pure engine overhead, not
 //! different schedules.
 
+use core::fmt::Debug;
+use core::hash::Hash;
+
 use psync_automata::{ActionKind, TimedComponent};
 use psync_executor::{Engine, Observer, RandomScheduler, ReferenceEngine, Run};
 use psync_net::{Channel, Envelope, MinDelay, MsgId, NodeId, SysAction};
 use psync_time::{DelayBounds, Duration, Time};
 
+/// A ring token: an orderable message payload constructible from a global
+/// token index.
+///
+/// The ring is generic over its token type so the benchmarks can compare
+/// inline payloads (`u32` — action clones are plain copies) against
+/// heap-carrying payloads (`String` — every action clone is a real
+/// allocation, which is what the engine's allocation diet eliminates on
+/// the pick/record path).
+pub trait RingToken: Clone + Ord + Eq + Hash + Debug + 'static {
+    /// The `i`-th token, globally unique and ascending in `i`.
+    fn from_index(i: u32) -> Self;
+}
+
+impl RingToken for u32 {
+    fn from_index(i: u32) -> u32 {
+        i
+    }
+}
+
+impl RingToken for String {
+    fn from_index(i: u32) -> String {
+        // Zero-padded so lexicographic order matches numeric order.
+        format!("token-{i:06}")
+    }
+}
+
 /// Actions of the ring: plain routed messages, no application alphabet.
 pub type RingAction = SysAction<u32, &'static str>;
+
+/// Actions of the heap-payload ring variant: every token is a `String`, so
+/// each action clone allocates.
+pub type HeavyRingAction = SysAction<String, &'static str>;
 
 /// How many tokens each node holds initially. More tokens per node means
 /// fatter candidate sets (each channel offers its whole due batch), which
@@ -32,28 +65,28 @@ pub const TOKENS_PER_NODE: usize = 4;
 
 /// One ring node: holds tokens and forwards each to its successor.
 #[derive(Debug, Clone)]
-pub struct RingForwarder {
+pub struct RingForwarder<M: RingToken = u32> {
     me: NodeId,
     succ: NodeId,
-    first_tokens: Vec<u32>,
+    first_tokens: Vec<M>,
 }
 
 /// Tokens currently held (ascending), plus a send counter for unique
 /// message ids.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RingForwarderState {
-    tokens: Vec<u32>,
+pub struct RingForwarderState<M: RingToken = u32> {
+    tokens: Vec<M>,
     seq: u32,
 }
 
-impl RingForwarder {
+impl<M: RingToken> RingForwarder<M> {
     /// Creates node `me` of an `n`-ring, initially holding the tokens
     /// `{me, me + n, me + 2n, …}` ([`TOKENS_PER_NODE`] of them — globally
     /// unique and ascending).
     #[must_use]
     pub fn new(me: usize, n: usize) -> Self {
         let first_tokens = (0..TOKENS_PER_NODE)
-            .map(|k| u32::try_from(me + k * n).expect("ring size fits u32"))
+            .map(|k| M::from_index(u32::try_from(me + k * n).expect("ring size fits u32")))
             .collect();
         RingForwarder {
             me: NodeId(me),
@@ -62,32 +95,32 @@ impl RingForwarder {
         }
     }
 
-    fn envelope(&self, s: &RingForwarderState) -> Envelope<u32> {
+    fn envelope(&self, s: &RingForwarderState<M>) -> Envelope<M> {
         Envelope {
             src: self.me,
             dst: self.succ,
             id: MsgId::from_parts(self.me, s.seq),
-            payload: s.tokens[0],
+            payload: s.tokens[0].clone(),
         }
     }
 }
 
-impl TimedComponent for RingForwarder {
-    type Action = RingAction;
-    type State = RingForwarderState;
+impl<M: RingToken> TimedComponent for RingForwarder<M> {
+    type Action = SysAction<M, &'static str>;
+    type State = RingForwarderState<M>;
 
     fn name(&self) -> String {
         format!("ring-forwarder({})", self.me)
     }
 
-    fn initial(&self) -> RingForwarderState {
+    fn initial(&self) -> RingForwarderState<M> {
         RingForwarderState {
             tokens: self.first_tokens.clone(),
             seq: 0,
         }
     }
 
-    fn classify(&self, a: &RingAction) -> Option<ActionKind> {
+    fn classify(&self, a: &Self::Action) -> Option<ActionKind> {
         match a {
             SysAction::Send(env) if env.src == self.me => Some(ActionKind::Output),
             SysAction::Recv(env) if env.dst == self.me => Some(ActionKind::Input),
@@ -101,10 +134,10 @@ impl TimedComponent for RingForwarder {
 
     fn step(
         &self,
-        s: &RingForwarderState,
-        a: &RingAction,
+        s: &RingForwarderState<M>,
+        a: &Self::Action,
         _now: Time,
-    ) -> Option<RingForwarderState> {
+    ) -> Option<RingForwarderState<M>> {
         match a {
             SysAction::Send(env) if env.src == self.me => {
                 if s.tokens.is_empty() || *env != self.envelope(s) {
@@ -117,15 +150,15 @@ impl TimedComponent for RingForwarder {
             }
             SysAction::Recv(env) if env.dst == self.me => {
                 let mut tokens = s.tokens.clone();
-                let pos = tokens.partition_point(|&t| t < env.payload);
-                tokens.insert(pos, env.payload);
+                let pos = tokens.partition_point(|t| *t < env.payload);
+                tokens.insert(pos, env.payload.clone());
                 Some(RingForwarderState { tokens, seq: s.seq })
             }
             _ => None,
         }
     }
 
-    fn enabled(&self, s: &RingForwarderState, _now: Time) -> Vec<RingAction> {
+    fn enabled(&self, s: &RingForwarderState<M>, _now: Time) -> Vec<Self::Action> {
         if s.tokens.is_empty() {
             Vec::new()
         } else {
@@ -133,7 +166,7 @@ impl TimedComponent for RingForwarder {
         }
     }
 
-    fn deadline(&self, s: &RingForwarderState, now: Time) -> Option<Time> {
+    fn deadline(&self, s: &RingForwarderState<M>, now: Time) -> Option<Time> {
         // A held token must be forwarded immediately (the engine is eager,
         // so this deadline is only ever *reported*, never violated).
         if s.tokens.is_empty() {
@@ -160,7 +193,9 @@ pub fn ring_horizon(n: usize, target_events: usize) -> Time {
     Time::ZERO + Duration::from_millis(steps)
 }
 
-fn build_ring_components(n: usize) -> Vec<(RingForwarder, Channel<u32, &'static str>)> {
+fn build_ring_components<M: RingToken>(
+    n: usize,
+) -> Vec<(RingForwarder<M>, Channel<M, &'static str>)> {
     (0..n)
         .map(|i| {
             (
@@ -171,6 +206,39 @@ fn build_ring_components(n: usize) -> Vec<(RingForwarder, Channel<u32, &'static 
         .collect()
 }
 
+/// Builds (but does not run) the `n`-ring on the incremental [`Engine`] —
+/// lets measurements separate one-time construction cost (routing table,
+/// name interning) from the run loop itself. Generic over the token type:
+/// `u32` for the classic inline-payload ring, `String` for the
+/// heap-payload variant.
+#[must_use]
+pub fn build_ring_engine_generic<M: RingToken>(
+    n: usize,
+    horizon: Time,
+) -> Engine<SysAction<M, &'static str>> {
+    let mut b = Engine::builder()
+        .scheduler(RandomScheduler::new(RING_SEED))
+        .horizon(horizon);
+    for (fwd, ch) in build_ring_components::<M>(n) {
+        b = b.timed(fwd).timed(ch);
+    }
+    b.build()
+}
+
+/// [`build_ring_engine_generic`] at the classic `u32` token type.
+#[must_use]
+pub fn build_ring_engine(n: usize, horizon: Time) -> Engine<RingAction> {
+    build_ring_engine_generic::<u32>(n, horizon)
+}
+
+/// [`build_ring_engine_generic`] at `String` tokens: every action clone in
+/// the engine costs a heap allocation, making per-event allocation counts
+/// sensitive to exactly the clones the allocation diet removed.
+#[must_use]
+pub fn build_ring_heavy_engine(n: usize, horizon: Time) -> Engine<HeavyRingAction> {
+    build_ring_engine_generic::<String>(n, horizon)
+}
+
 /// Builds and runs the `n`-ring on the incremental [`Engine`].
 ///
 /// # Panics
@@ -178,13 +246,18 @@ fn build_ring_components(n: usize) -> Vec<(RingForwarder, Channel<u32, &'static 
 /// Panics if the run fails (the ring is well-formed by construction).
 #[must_use]
 pub fn run_ring_incremental(n: usize, horizon: Time) -> Run<RingAction> {
-    let mut b = Engine::builder()
-        .scheduler(RandomScheduler::new(RING_SEED))
-        .horizon(horizon);
-    for (fwd, ch) in build_ring_components(n) {
-        b = b.timed(fwd).timed(ch);
-    }
-    b.build().run().expect("ring run")
+    build_ring_engine(n, horizon).run().expect("ring run")
+}
+
+/// Builds and runs the `String`-token `n`-ring on the incremental
+/// [`Engine`].
+///
+/// # Panics
+///
+/// Panics if the run fails (the ring is well-formed by construction).
+#[must_use]
+pub fn run_ring_heavy(n: usize, horizon: Time) -> Run<HeavyRingAction> {
+    build_ring_heavy_engine(n, horizon).run().expect("ring run")
 }
 
 /// As [`run_ring_incremental`], with an observer attached — the workload

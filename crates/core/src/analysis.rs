@@ -177,6 +177,7 @@ mod tests {
             kind: ActionKind::Internal,
             now,
             clock,
+            node: None,
         };
         Execution::new(
             vec![
@@ -207,6 +208,7 @@ mod tests {
             kind: ActionKind::Internal,
             now,
             clock: None,
+            node: None,
         };
         let exec = Execution::new(vec![mk(S::ESend(env(1), at(2)), at(1))], at(10));
         let f = &flights(&exec)[&MsgId(1)];

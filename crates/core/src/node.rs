@@ -116,12 +116,12 @@ mod tests {
         let parts = node_parts(spec, &topo);
         // 1 algorithm + 2 send buffers + 2 receive buffers.
         assert_eq!(parts.len(), 5);
-        let names: Vec<String> = parts.iter().map(ClockComponentBox::name).collect();
+        let names: Vec<&str> = parts.iter().map(|p| p.name()).collect();
         assert!(names[0].starts_with("hide(C("));
-        assert!(names.iter().any(|n| n == "S(n1→n0)"));
-        assert!(names.iter().any(|n| n == "S(n1→n2)"));
-        assert!(names.iter().any(|n| n == "hide(R(n0→n1))"));
-        assert!(names.iter().any(|n| n == "hide(R(n2→n1))"));
+        assert!(names.contains(&"S(n1→n0)"));
+        assert!(names.contains(&"S(n1→n2)"));
+        assert!(names.contains(&"hide(R(n0→n1))"));
+        assert!(names.contains(&"hide(R(n2→n1))"));
     }
 
     #[test]

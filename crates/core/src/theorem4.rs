@@ -115,6 +115,7 @@ mod tests {
             kind,
             now,
             clock,
+            node: None,
         }
     }
 

@@ -22,6 +22,7 @@
 //! [`ReferenceEngine`](crate::ReferenceEngine) (see the
 //! `engine_equiv` integration tests).
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -35,6 +36,7 @@ use psync_time::{Duration, Time};
 
 use crate::clock_driver::{AdvanceCtx, ClockStrategy};
 use crate::error::EngineError;
+use crate::fasthash::FastBuildHasher;
 use crate::observer::{ClockRead, Observer};
 use crate::scheduler::{FifoScheduler, Scheduler};
 
@@ -51,7 +53,10 @@ struct TimedRuntime<A: Action> {
 }
 
 struct NodeRuntime<A: Action> {
-    name: String,
+    /// Interned at `build()`: the engine shares this one allocation into
+    /// every event the node performs (an `Arc` refcount bump per event,
+    /// never a `String` clone).
+    name: Arc<str>,
     comps: Vec<(ClockComponentBox<A>, DynState)>,
     clock: Time,
     strategy: Box<dyn ClockStrategy>,
@@ -244,7 +249,7 @@ impl<A: Action> EngineBuilder<A> {
             .nodes
             .into_iter()
             .map(|n| NodeRuntime {
-                name: n.name,
+                name: Arc::from(n.name.as_str()),
                 comps: n
                     .comps
                     .into_iter()
@@ -290,7 +295,7 @@ impl<A: Action> EngineBuilder<A> {
         // an action then iterates a precomputed ascending visit list with no
         // per-event merge work. (A component is hinted or wildcard, never
         // both, so the merge never produces duplicates.)
-        let route: HashMap<&'static str, Rc<[usize]>> = hinted
+        let route: HashMap<&'static str, Rc<[usize]>, FastBuildHasher> = hinted
             .into_iter()
             .map(|(name, ids)| {
                 let mut merged = Vec::with_capacity(ids.len() + wildcard.len());
@@ -328,7 +333,10 @@ impl<A: Action> EngineBuilder<A> {
             wildcard,
             enabled_cache: vec![Vec::new(); flat_count],
             dirty: vec![true; flat_count],
-            dup_map: HashMap::new(),
+            dirty_ids: Vec::new(),
+            all_dirty: true,
+            seg_len: vec![0; flat_count],
+            dup_map: HashMap::default(),
             cand: Vec::new(),
             cand_origin: Vec::new(),
             node_dc_scratch: vec![None; node_count],
@@ -371,8 +379,9 @@ pub struct Engine<A: Action> {
     flat_origin: Vec<Origin>,
     /// Action name → ascending flat ids of the components to visit when
     /// firing an action of that name (hinted components listing the name,
-    /// pre-merged with the wildcard ids).
-    route: HashMap<&'static str, Rc<[usize]>>,
+    /// pre-merged with the wildcard ids). Fast-hashed: looked up once per
+    /// fired event.
+    route: HashMap<&'static str, Rc<[usize]>, FastBuildHasher>,
     /// Flat ids of components without an `action_names` hint (ascending);
     /// the visit list for action names no hint mentions.
     wildcard: Rc<[usize]>,
@@ -381,11 +390,24 @@ pub struct Engine<A: Action> {
     /// Components whose state or clock changed since their cache entry was
     /// last refreshed.
     dirty: Vec<bool>,
+    /// The ids currently flagged in `dirty`, unordered (sorted on use);
+    /// meaningless while `all_dirty` is set. Lets the refresh visit only
+    /// the changed components instead of scanning every flag.
+    dirty_ids: Vec<usize>,
+    /// Every component is dirty (initial state, and after every time
+    /// advance) — cheaper than pushing all ids into `dirty_ids`.
+    all_dirty: bool,
+    /// `seg_len[id]` is the number of candidates component `id`
+    /// contributes to `cand` — the length of its segment in the
+    /// concatenation invariant (see `refresh_candidates`).
+    seg_len: Vec<u32>,
     /// Currently enabled action → the flat id offering it, maintained
     /// incrementally as caches refresh. Two components claiming the same
     /// action is the Definition 2.2 incompatibility; the map detects it in
     /// O(dirty) per event instead of a pairwise scan over all candidates.
-    dup_map: HashMap<A, usize>,
+    /// Fast-hashed: every offer of every dirty component is hashed on every
+    /// refresh, making this the hottest hashing site in the engine.
+    dup_map: HashMap<A, usize, FastBuildHasher>,
     /// Scratch: current candidates, concatenation of the caches in flat
     /// order.
     cand: Vec<A>,
@@ -511,9 +533,14 @@ impl<A: Action> Engine<A> {
                     idx < self.cand.len(),
                     "scheduler returned out-of-range index"
                 );
-                let action = self.cand[idx].clone();
+                // Clone exactly the picked action — the candidate list is
+                // maintained in place across events (see
+                // `refresh_candidates`), so the other candidates are never
+                // re-cloned, and this one slot must stay intact for the
+                // next splice.
                 let origin = self.flat_origin[self.cand_origin[idx]];
-                self.fire(&action, origin)?;
+                let action = self.cand[idx].clone();
+                self.fire(action, origin)?;
                 self.idle_advances = 0;
                 continue;
             }
@@ -551,37 +578,59 @@ impl<A: Action> Engine<A> {
         }
     }
 
-    /// Refreshes the enabled caches of dirty components and reassembles
-    /// the candidate list (`cand` / `cand_origin`) in flat order — the
-    /// same order the scan-everything engine produces: timed components in
+    /// Refreshes the enabled caches of dirty components and patches the
+    /// candidate list.
+    ///
+    /// Invariant (holds whenever the scheduler is consulted): `cand` is
+    /// the concatenation of the enabled caches in flat order — the same
+    /// order the scan-everything engine produces: timed components in
     /// insertion order, then node components, each component's `enabled()`
-    /// result in its own order.
+    /// result in its own order — `cand_origin[i]` is the flat id owning
+    /// `cand[i]`, and `seg_len[id]` is the length of id's segment.
+    ///
+    /// The list is maintained *in place*: only the dirty components'
+    /// segments are spliced out and replaced (a tail memmove), instead of
+    /// re-cloning every candidate of every component on every event. An
+    /// event typically dirties two components out of many, so this turns
+    /// the per-event cost from O(total candidates) clones into O(dirty
+    /// segments) clones plus a memmove.
+    ///
+    /// When *everything* is dirty — the state after any time advance —
+    /// per-segment splicing would pay one tail memmove per component for
+    /// a list that is being wholly replaced anyway, so that case takes a
+    /// flat rebuild instead: same re-queries, same duplicate-map
+    /// registrations in the same id order, one append-only pass over the
+    /// list. The two paths leave identical state; only the shuffling
+    /// differs.
     fn refresh_candidates(&mut self) -> Result<(), EngineError> {
+        if self.all_dirty {
+            return self.rebuild_candidates();
+        }
+        // Ascending order keeps both the splice arithmetic and the
+        // conflict attribution ("first" vs "second" claimant)
+        // identical to a full scan in id order.
+        self.dirty_ids.sort_unstable();
         // Pass 1: retire the dirty components' old offers from the
         // duplicate map. Only entries a component owns are removed — by the
         // map's invariant (a conflicting claim ends the run on the spot) an
         // entry under another id belongs to a component that still offers
         // the action.
-        for id in 0..self.flat_origin.len() {
-            if !self.dirty[id] {
-                continue;
-            }
+        for k in 0..self.dirty_ids.len() {
+            let id = self.dirty_ids[k];
             for a in &self.enabled_cache[id] {
                 if self.dup_map.get(a) == Some(&id) {
                     self.dup_map.remove(a);
                 }
             }
         }
-        // Pass 2: re-query and re-register. Two distinct components
+        // Pass 2: re-query, re-register, splice. Two distinct components
         // offering the same action value means two controllers: the
         // composition is incompatible (Definition 2.2). The persistent map
         // detects a conflict the moment it first exists — the same loop
         // iteration a pairwise scan over all candidates would — in
         // O(dirty) per event.
-        for id in 0..self.flat_origin.len() {
-            if !self.dirty[id] {
-                continue;
-            }
+        for k in 0..self.dirty_ids.len() {
+            let id = self.dirty_ids[k];
             let fresh = match self.flat_origin[id] {
                 Origin::Timed(i) => {
                     let rt = &self.timed[i];
@@ -594,37 +643,90 @@ impl<A: Action> Engine<A> {
                 }
             };
             for a in &fresh {
-                match self.dup_map.get(a) {
-                    Some(&other) if other != id => {
-                        return Err(EngineError::IncompatibleControllers {
-                            first: self.origin_name(self.flat_origin[other]),
-                            second: self.origin_name(self.flat_origin[id]),
-                            action: format!("{a:?}"),
-                        });
-                    }
-                    Some(_) => {}
-                    None => {
-                        self.dup_map.insert(a.clone(), id);
-                    }
+                // Entry API: one hash lookup per action instead of a
+                // `get` + `insert` pair. Pass 1 retired this component's
+                // own offers, so the entry is vacant in the common case;
+                // occupied-by-self only happens when a component offers
+                // the same action twice, occupied-by-other is the
+                // Definition 2.2 incompatibility.
+                let owner = match self.dup_map.entry(a.clone()) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(v) => *v.insert(id),
+                };
+                if owner != id {
+                    return Err(EngineError::IncompatibleControllers {
+                        first: self.origin_name(self.flat_origin[owner]),
+                        second: self.origin_name(self.flat_origin[id]),
+                        action: format!("{a:?}"),
+                    });
                 }
             }
+            // Replace id's segment of the candidate list. Earlier dirty
+            // ids have already been spliced, so the prefix sum over
+            // `seg_len` is the segment's current start.
+            let start: usize = self.seg_len[..id].iter().map(|&l| l as usize).sum();
+            let old_len = self.seg_len[id] as usize;
+            self.cand
+                .splice(start..start + old_len, fresh.iter().cloned());
+            self.cand_origin
+                .splice(start..start + old_len, std::iter::repeat_n(id, fresh.len()));
+            self.seg_len[id] = u32::try_from(fresh.len()).expect("candidate count fits u32");
             self.enabled_cache[id] = fresh;
             self.dirty[id] = false;
         }
+        self.dirty_ids.clear();
+        Ok(())
+    }
+
+    /// The all-dirty refresh: re-queries every component and rebuilds the
+    /// candidate list append-only. Every map entry's owner is dirty, so
+    /// retiring old offers is one `clear()`; re-registration then visits
+    /// ids in the same ascending order as the splice path, keeping
+    /// conflict attribution identical.
+    fn rebuild_candidates(&mut self) -> Result<(), EngineError> {
+        self.dup_map.clear();
         self.cand.clear();
         self.cand_origin.clear();
-        for (id, cache) in self.enabled_cache.iter().enumerate() {
-            for a in cache {
-                self.cand.push(a.clone());
-                self.cand_origin.push(id);
+        for id in 0..self.flat_origin.len() {
+            let fresh = match self.flat_origin[id] {
+                Origin::Timed(i) => {
+                    let rt = &self.timed[i];
+                    rt.comp.enabled(&rt.state, self.now)
+                }
+                Origin::Node(n, j) => {
+                    let node = &self.nodes[n];
+                    let (comp, state) = &node.comps[j];
+                    comp.enabled(state, node.clock)
+                }
+            };
+            for a in &fresh {
+                let owner = match self.dup_map.entry(a.clone()) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(v) => *v.insert(id),
+                };
+                if owner != id {
+                    return Err(EngineError::IncompatibleControllers {
+                        first: self.origin_name(self.flat_origin[owner]),
+                        second: self.origin_name(self.flat_origin[id]),
+                        action: format!("{a:?}"),
+                    });
+                }
             }
+            self.cand.extend(fresh.iter().cloned());
+            self.cand_origin
+                .extend(std::iter::repeat_n(id, fresh.len()));
+            self.seg_len[id] = u32::try_from(fresh.len()).expect("candidate count fits u32");
+            self.enabled_cache[id] = fresh;
+            self.dirty[id] = false;
         }
+        self.all_dirty = false;
+        self.dirty_ids.clear();
         Ok(())
     }
 
     fn origin_name(&self, o: Origin) -> String {
         match o {
-            Origin::Timed(i) => self.timed[i].comp.name(),
+            Origin::Timed(i) => self.timed[i].comp.name().to_string(),
             Origin::Node(n, j) => {
                 format!("{}/{}", self.nodes[n].name, self.nodes[n].comps[j].0.name())
             }
@@ -638,10 +740,10 @@ impl<A: Action> Engine<A> {
     /// flat (insertion) order. By the hint contract every skipped
     /// component classifies the action as `None`, so the sequence of
     /// components actually stepped is identical to a full scan.
-    fn fire(&mut self, action: &A, origin: Origin) -> Result<(), EngineError> {
+    fn fire(&mut self, action: A, origin: Origin) -> Result<(), EngineError> {
         let kind = match origin {
-            Origin::Timed(i) => self.timed[i].comp.classify(action),
-            Origin::Node(n, j) => self.nodes[n].comps[j].0.classify(action),
+            Origin::Timed(i) => self.timed[i].comp.classify(&action),
+            Origin::Node(n, j) => self.nodes[n].comps[j].0.classify(&action),
         }
         .expect("origin component must have the action in its signature");
         debug_assert!(kind.is_locally_controlled());
@@ -667,31 +769,34 @@ impl<A: Action> Engine<A> {
             match self.flat_origin[id] {
                 Origin::Timed(i) => {
                     let rt = &mut self.timed[i];
-                    let Some(k) = rt.comp.classify(action) else {
+                    let Some(k) = rt.comp.classify(&action) else {
                         continue;
                     };
                     if k.is_locally_controlled() && Origin::Timed(i) != origin {
                         return Err(EngineError::IncompatibleControllers {
-                            first: rt.comp.name(),
+                            first: rt.comp.name().to_string(),
                             second: String::from("<origin>"),
                             action: format!("{action:?}"),
                         });
                     }
-                    match rt.comp.step(&rt.state, action, now) {
+                    match rt.comp.step(&rt.state, &action, now) {
                         Some(next) => {
                             rt.state = next;
-                            self.dirty[id] = true;
+                            if !self.dirty[id] {
+                                self.dirty[id] = true;
+                                self.dirty_ids.push(id);
+                            }
                         }
                         None if Origin::Timed(i) == origin => {
                             return Err(EngineError::EnabledButRefused {
-                                component: rt.comp.name(),
+                                component: rt.comp.name().to_string(),
                                 action: format!("{action:?}"),
                                 now,
                             })
                         }
                         None => {
                             return Err(EngineError::InputNotEnabled {
-                                component: rt.comp.name(),
+                                component: rt.comp.name().to_string(),
                                 action: format!("{action:?}"),
                                 now,
                             })
@@ -702,7 +807,7 @@ impl<A: Action> Engine<A> {
                     let node = &mut self.nodes[n];
                     let clock = node.clock;
                     let (comp, state) = &mut node.comps[j];
-                    let Some(k) = comp.classify(action) else {
+                    let Some(k) = comp.classify(&action) else {
                         continue;
                     };
                     if event_clock.is_none() {
@@ -715,10 +820,13 @@ impl<A: Action> Engine<A> {
                             action: format!("{action:?}"),
                         });
                     }
-                    match comp.step(state, action, clock) {
+                    match comp.step(state, &action, clock) {
                         Some(next) => {
                             *state = next;
-                            self.dirty[id] = true;
+                            if !self.dirty[id] {
+                                self.dirty[id] = true;
+                                self.dirty_ids.push(id);
+                            }
                         }
                         None if Origin::Node(n, j) == origin => {
                             return Err(EngineError::EnabledButRefused {
@@ -739,8 +847,12 @@ impl<A: Action> Engine<A> {
             }
         }
 
+        // The action moves into the event (it was handed over by value from
+        // the candidate list) and the node name is the interned `Arc<str>`
+        // shared by every event of that node — neither costs an allocation.
         let event = TimedEvent {
-            action: action.clone(),
+            node: event_clock.map(|(n, _)| Arc::clone(&self.nodes[n].name)),
+            action,
             kind,
             now,
             clock: event_clock.map(|(_, c)| c),
@@ -794,7 +906,7 @@ impl<A: Action> Engine<A> {
             if let Some(d) = rt.comp.deadline(&rt.state, self.now) {
                 if d <= self.now {
                     return Err(EngineError::TimeStopped {
-                        component: rt.comp.name(),
+                        component: rt.comp.name().to_string(),
                         now: self.now,
                         deadline: d,
                     });
@@ -853,12 +965,14 @@ impl<A: Action> Engine<A> {
         // Conservatively dirty everything up front so a mid-advance error
         // cannot leave a stale cache behind.
         self.dirty.fill(true);
+        self.dirty_ids.clear();
+        self.all_dirty = true;
         for rt in &mut self.timed {
             match rt.comp.advance(&rt.state, now, target) {
                 Some(next) => rt.state = next,
                 None => {
                     return Err(EngineError::AdvanceRefused {
-                        component: rt.comp.name(),
+                        component: rt.comp.name().to_string(),
                         now,
                         target,
                     })
@@ -883,7 +997,7 @@ impl<A: Action> Engine<A> {
                     // A clock deadline is due but nothing fired: the node
                     // has stopped time.
                     return Err(EngineError::TimeStopped {
-                        component: node.name.clone(),
+                        component: node.name.to_string(),
                         now,
                         deadline: node.pred.latest_now_for(mc),
                     });
@@ -899,7 +1013,7 @@ impl<A: Action> Engine<A> {
             let next_clock = node.strategy.next_clock(ctx);
             if next_clock <= node.clock {
                 return Err(EngineError::StrategyViolation {
-                    node: node.name.clone(),
+                    node: node.name.to_string(),
                     reason: format!(
                         "clock moved from {} to {next_clock}: axiom C3 requires strict increase",
                         node.clock
@@ -908,7 +1022,7 @@ impl<A: Action> Engine<A> {
             }
             if !node.pred.holds(target, next_clock) {
                 return Err(EngineError::StrategyViolation {
-                    node: node.name.clone(),
+                    node: node.name.to_string(),
                     reason: format!(
                         "clock {next_clock} at real time {target} violates C_ε (ε = {})",
                         node.pred.eps()
@@ -918,7 +1032,7 @@ impl<A: Action> Engine<A> {
             if let Some(mc) = max_clock {
                 if next_clock > mc {
                     return Err(EngineError::StrategyViolation {
-                        node: node.name.clone(),
+                        node: node.name.to_string(),
                         reason: format!("clock {next_clock} passed the deadline {mc}"),
                     });
                 }

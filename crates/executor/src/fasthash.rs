@@ -1,0 +1,127 @@
+//! A small, deterministic, multiply-xor hasher for the engine's internal
+//! maps.
+//!
+//! The run loop hashes an action once per candidate refresh (duplicate
+//! detection) and an action *name* once per fired event (routing).
+//! `std`'s default SipHash is keyed per `HashMap` and designed to resist
+//! adversarial collisions — properties these derived, trusted keys do not
+//! need — and its per-byte cost shows up directly in the event loop. This
+//! hasher is the classic `rotate ⊕ word → multiply` mix (as popularised by
+//! rustc's FxHash): a handful of cycles per 8-byte word.
+//!
+//! Determinism is a feature here, not just speed: engine behaviour must
+//! never depend on hash seeds, and a fixed-key hasher removes the only
+//! source of per-process hash randomness from the hot path. Note the
+//! engine never *iterates* these maps when producing events, so even the
+//! bucket order is unobservable in recorded executions.
+
+use core::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative mixing constant (the 64-bit golden-ratio constant, as in
+/// Knuth's multiplicative hashing).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Builds [`FastHasher`]s; `Default` so maps can be constructed with
+/// `HashMap::default()`.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// The hasher state: one 64-bit accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" ≠ "ab\0".
+            tail[7] = rest.len() as u8;
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        FastBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&"SENDMSG"), hash_of(&"SENDMSG"));
+        assert_eq!(hash_of(&(1u32, 2u64)), hash_of(&(1u32, 2u64)));
+    }
+
+    #[test]
+    fn distinguishes_basic_inputs() {
+        assert_ne!(hash_of(&"SENDMSG"), hash_of(&"RECVMSG"));
+        assert_ne!(hash_of(&0u64), hash_of(&1u64));
+        // Length folding: a short tail differs from its zero-padded form.
+        assert_ne!(hash_of(&[1u8, 2][..]), hash_of(&[1u8, 2, 0][..]));
+    }
+
+    #[test]
+    fn works_as_a_map_hasher() {
+        let mut m: std::collections::HashMap<&str, u32, FastBuildHasher> =
+            std::collections::HashMap::default();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.get("a"), Some(&1));
+        assert_eq!(m.get("b"), Some(&2));
+    }
+}

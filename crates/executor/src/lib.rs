@@ -45,6 +45,7 @@
 mod clock_driver;
 mod engine;
 mod error;
+mod fasthash;
 mod observer;
 mod reference;
 mod scheduler;

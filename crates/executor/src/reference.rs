@@ -352,7 +352,7 @@ impl<A: Action> ReferenceEngine<A> {
 
     fn origin_name(&self, o: Origin) -> String {
         match o {
-            Origin::Timed(i) => self.timed[i].comp.name(),
+            Origin::Timed(i) => self.timed[i].comp.name().to_string(),
             Origin::Node(n, j) => {
                 format!("{}/{}", self.nodes[n].name, self.nodes[n].comps[j].0.name())
             }
@@ -377,7 +377,7 @@ impl<A: Action> ReferenceEngine<A> {
             };
             if k.is_locally_controlled() && Origin::Timed(i) != origin {
                 return Err(EngineError::IncompatibleControllers {
-                    first: rt.comp.name(),
+                    first: rt.comp.name().to_string(),
                     second: String::from("<origin>"),
                     action: format!("{action:?}"),
                 });
@@ -386,14 +386,14 @@ impl<A: Action> ReferenceEngine<A> {
                 Some(next) => rt.state = next,
                 None if Origin::Timed(i) == origin => {
                     return Err(EngineError::EnabledButRefused {
-                        component: rt.comp.name(),
+                        component: rt.comp.name().to_string(),
                         action: format!("{action:?}"),
                         now,
                     })
                 }
                 None => {
                     return Err(EngineError::InputNotEnabled {
-                        component: rt.comp.name(),
+                        component: rt.comp.name().to_string(),
                         action: format!("{action:?}"),
                         now,
                     })
@@ -439,11 +439,16 @@ impl<A: Action> ReferenceEngine<A> {
             }
         }
 
+        // The reference engine stays dumb on purpose: it allocates a fresh
+        // `Arc<str>` per event rather than interning names. `Arc<str>`
+        // compares by content, so the differential tests still pin the two
+        // engines' executions bit-identical.
         let event = TimedEvent {
             action: action.clone(),
             kind,
             now,
             clock: event_clock.map(|(_, c)| c),
+            node: event_clock.map(|(n, _)| std::sync::Arc::from(self.nodes[n].name.as_str())),
         };
         if !self.observers.is_empty() {
             if let Some((n, clock)) = event_clock {
@@ -477,12 +482,12 @@ impl<A: Action> ReferenceEngine<A> {
             if let Some(d) = rt.comp.deadline(&rt.state, self.now) {
                 if d <= self.now {
                     return Err(EngineError::TimeStopped {
-                        component: rt.comp.name(),
+                        component: rt.comp.name().to_string(),
                         now: self.now,
                         deadline: d,
                     });
                 }
-                consider(d, rt.comp.name());
+                consider(d, rt.comp.name().to_string());
             }
         }
         for node in &self.nodes {
@@ -524,7 +529,7 @@ impl<A: Action> ReferenceEngine<A> {
                 Some(next) => rt.state = next,
                 None => {
                     return Err(EngineError::AdvanceRefused {
-                        component: rt.comp.name(),
+                        component: rt.comp.name().to_string(),
                         now: self.now,
                         target,
                     })
@@ -541,7 +546,7 @@ impl<A: Action> ReferenceEngine<A> {
             if let Some(mc) = max_clock {
                 if mc <= node.clock {
                     return Err(EngineError::TimeStopped {
-                        component: node.name.clone(),
+                        component: node.name.to_string(),
                         now: self.now,
                         deadline: node.pred.latest_now_for(mc),
                     });
@@ -557,7 +562,7 @@ impl<A: Action> ReferenceEngine<A> {
             let next_clock = node.strategy.next_clock(ctx);
             if next_clock <= node.clock {
                 return Err(EngineError::StrategyViolation {
-                    node: node.name.clone(),
+                    node: node.name.to_string(),
                     reason: format!(
                         "clock moved from {} to {next_clock}: axiom C3 requires strict increase",
                         node.clock
@@ -566,7 +571,7 @@ impl<A: Action> ReferenceEngine<A> {
             }
             if !node.pred.holds(target, next_clock) {
                 return Err(EngineError::StrategyViolation {
-                    node: node.name.clone(),
+                    node: node.name.to_string(),
                     reason: format!(
                         "clock {next_clock} at real time {target} violates C_ε (ε = {})",
                         node.pred.eps()
@@ -576,7 +581,7 @@ impl<A: Action> ReferenceEngine<A> {
             if let Some(mc) = max_clock {
                 if next_clock > mc {
                     return Err(EngineError::StrategyViolation {
-                        node: node.name.clone(),
+                        node: node.name.to_string(),
                         reason: format!("clock {next_clock} passed the deadline {mc}"),
                     });
                 }

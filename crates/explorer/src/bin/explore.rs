@@ -3,8 +3,13 @@
 //!
 //! ```text
 //! psync-explorer [--cases N] [--seed S] [--scenario all|heartbeat|clockfleet|register]
-//!                [--max-entries N] [--bug-extra-ns N] [--metrics-out PATH]
+//!                [--max-entries N] [--jobs N] [--bug-extra-ns N] [--metrics-out PATH]
 //! ```
+//!
+//! `--jobs N` runs each campaign's cases on `N` worker threads (default:
+//! `PSYNC_JOBS` or the machine's available parallelism). The report —
+//! stats, kind coverage, artifacts, metrics, exit code — is bit-identical
+//! for every `N`; `--jobs 1` is the plain sequential loop.
 //!
 //! `--bug-extra-ns N` plants the demonstration bug (a boundary delay
 //! spike delivered `N` ns after `d₂`) in the heartbeat channel — the
@@ -20,12 +25,15 @@
 
 use std::process::ExitCode;
 
-use psync_explorer::{run_campaign, CampaignConfig, ScenarioConfig, ScenarioKind};
+use psync_explorer::{
+    default_jobs, run_campaign_jobs, CampaignConfig, ScenarioConfig, ScenarioKind,
+};
 use psync_obs::MetricsSnapshot;
 
 struct Args {
     campaign: CampaignConfig,
     scenarios: Vec<ScenarioKind>,
+    jobs: usize,
     bug_extra_ns: i64,
     metrics_out: Option<String>,
 }
@@ -42,6 +50,7 @@ fn parse_seed(s: &str) -> Result<u64, String> {
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut campaign = CampaignConfig::default();
     let mut scenarios = ScenarioKind::all().to_vec();
+    let mut jobs = default_jobs();
     let mut bug_extra_ns = 0i64;
     let mut metrics_out = None;
     let mut it = argv.iter();
@@ -69,6 +78,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     vec![ScenarioKind::from_name(v)?]
                 };
             }
+            "--jobs" => {
+                jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
             "--bug-extra-ns" => {
                 bug_extra_ns = value("--bug-extra-ns")?
                     .parse()
@@ -78,7 +95,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: psync-explorer [--cases N] [--seed S] \
                      [--scenario all|heartbeat|clockfleet|register] [--max-entries N] \
-                     [--bug-extra-ns N] [--metrics-out PATH]"
+                     [--jobs N] [--bug-extra-ns N] [--metrics-out PATH]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -90,6 +107,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(Args {
         campaign,
         scenarios,
+        jobs,
         bug_extra_ns,
         metrics_out,
     })
@@ -123,7 +141,7 @@ fn main() -> ExitCode {
     let mut all_metrics = MetricsSnapshot::default();
     for kind in &args.scenarios {
         let scenario = scenario_config(*kind, args.bug_extra_ns);
-        let report = run_campaign(&args.campaign, &scenario);
+        let report = run_campaign_jobs(&args.campaign, &scenario, args.jobs);
         all_metrics.absorb(&report.metrics);
         let s = &report.stats;
         println!(

@@ -7,11 +7,36 @@
 //! verdict from a full deterministic run. On failure the plan is shrunk
 //! by [`shrink_entries`] (each probe is a complete re-run) and packaged
 //! as a replay [`Artifact`].
+//!
+//! # Parallel campaigns stay bit-identical
+//!
+//! [`run_campaign_jobs`] runs the cases on a worker pool, and the report
+//! is **bit-identical** to the sequential one, by construction:
+//!
+//! 1. *Seeding is independent of execution order.* All case seeds are
+//!    drawn from the campaign's splitmix `Chain` up front, so case `i`'s
+//!    seed is the same no matter which worker runs it or when.
+//! 2. *Cases are isolated.* A case builds its own engine and observers
+//!    from `(scenario, plan, seed)` and shares nothing mutable; its
+//!    entire contribution is captured in a per-case record.
+//! 3. *Merging replays the sequential op order.* Records are merged in
+//!    ascending `case_index` order, performing the same stat updates,
+//!    `absorb` calls and failure pushes, in the same order, as the
+//!    sequential loop — so even order-sensitive state (first-seen kind
+//!    ordering, metric absorption) comes out identical.
+//!
+//! Workers claim case indices from an atomic counter (dynamic load
+//! balancing — a case that shrinks a counterexample can be 100× the cost
+//! of a clean one) and publish records into per-case slots; the merge
+//! only starts after every slot is filled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use psync_obs::MetricsSnapshot;
 
 use crate::artifact::{Artifact, ARTIFACT_VERSION};
-use crate::plan::{Chain, FaultPlan};
+use crate::plan::{Chain, FaultEntry, FaultEnvelope, FaultPlan};
 use crate::scenario::{run_case, ScenarioConfig};
 use crate::shrink::shrink_entries;
 
@@ -37,7 +62,7 @@ impl Default for CampaignConfig {
 }
 
 /// One failure found by a campaign, already shrunk and packaged.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Failure {
     /// Index of the case within the campaign.
     pub case_index: u64,
@@ -48,7 +73,7 @@ pub struct Failure {
 }
 
 /// Aggregate statistics of a campaign, for coverage reporting.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CampaignStats {
     /// Cases run.
     pub cases: u64,
@@ -77,7 +102,7 @@ impl CampaignStats {
 }
 
 /// The result of [`run_campaign`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignReport {
     /// Scenario the campaign targeted.
     pub scenario: ScenarioConfig,
@@ -91,60 +116,109 @@ pub struct CampaignReport {
     pub failures: Vec<Failure>,
 }
 
-/// Runs one seeded campaign against one scenario.
-#[must_use]
-pub fn run_campaign(campaign: &CampaignConfig, scenario: &ScenarioConfig) -> CampaignReport {
-    let envelope = scenario.envelope();
+/// Everything one case contributes to a report, captured so that cases
+/// can execute in any order (or concurrently) and still be merged in
+/// strict `case_index` order.
+#[derive(Debug)]
+struct CaseRecord {
+    /// Kind keyword of each generated fault entry, in plan order —
+    /// preserves the sequential loop's first-seen kind ordering when
+    /// merged.
+    entry_kinds: Vec<&'static str>,
+    /// Recorded events of the primary run.
+    events: u64,
+    /// Clock-script requests clamped during the primary run.
+    rejected_clock_requests: u64,
+    /// Observer metrics of the primary run.
+    metrics: MetricsSnapshot,
+    /// Extra case executions spent probing during the shrink (0 for a
+    /// passing case).
+    shrink_probes: u64,
+    /// The shrunk, packaged failure, when the case found a violation.
+    failure: Option<Failure>,
+}
+
+/// Runs case `case_index` of a campaign: generate → run → judge → shrink.
+///
+/// Pure function of its arguments — no shared mutable state — which is
+/// what makes the worker pool in [`run_campaign_jobs`] deterministic.
+fn run_one_case(
+    campaign: &CampaignConfig,
+    scenario: &ScenarioConfig,
+    envelope: &FaultEnvelope,
+    case_index: u64,
+    case_seed: u64,
+) -> CaseRecord {
+    let plan = FaultPlan::generate(case_seed, envelope, campaign.max_entries);
+    debug_assert!(
+        plan.validate(envelope).is_ok(),
+        "generator escaped the envelope"
+    );
+    let entry_kinds: Vec<&'static str> = plan.entries.iter().map(FaultEntry::kind).collect();
+    let outcome = run_case(scenario, &plan, case_seed);
+    let mut record = CaseRecord {
+        entry_kinds,
+        events: outcome.events as u64,
+        rejected_clock_requests: outcome.rejected_clock_requests,
+        metrics: outcome.metrics.clone(),
+        shrink_probes: 0,
+        failure: None,
+    };
+    if outcome.violations.is_empty() {
+        return record;
+    }
+    // Shrink: every probe is a full deterministic re-run of the case
+    // with a candidate sub-plan; "fails" = any oracle violation.
+    let mut probes = 0u64;
+    let shrunk = shrink_entries(&plan, &mut |candidate| {
+        probes += 1;
+        !run_case(scenario, candidate, case_seed)
+            .violations
+            .is_empty()
+    });
+    record.shrink_probes = probes;
+    let final_outcome = run_case(scenario, &shrunk, case_seed);
+    let violation = final_outcome
+        .violations
+        .first()
+        .or_else(|| outcome.violations.first())
+        .cloned();
+    record.failure = Some(Failure {
+        case_index,
+        original_entries: plan.len(),
+        artifact: Artifact {
+            version: ARTIFACT_VERSION,
+            config: scenario.clone(),
+            seed: case_seed,
+            plan: shrunk,
+            violation,
+        },
+    });
+    record
+}
+
+/// Folds per-case records — in ascending case order — into the report,
+/// performing the same updates in the same order as a sequential loop.
+fn merge_records(
+    scenario: &ScenarioConfig,
+    records: impl IntoIterator<Item = CaseRecord>,
+) -> CampaignReport {
     let mut stats = CampaignStats::default();
     let mut metrics = MetricsSnapshot::default();
     let mut failures = Vec::new();
-    let mut seeder = Chain::new(campaign.seed);
-    for case_index in 0..campaign.cases {
-        let case_seed = seeder.next();
-        let plan = FaultPlan::generate(case_seed, &envelope, campaign.max_entries);
-        debug_assert!(
-            plan.validate(&envelope).is_ok(),
-            "generator escaped the envelope"
-        );
+    for record in records {
         stats.cases += 1;
-        stats.entries += plan.len() as u64;
-        for entry in &plan.entries {
-            stats.count_kind(entry.kind());
+        stats.entries += record.entry_kinds.len() as u64;
+        for kind in record.entry_kinds {
+            stats.count_kind(kind);
         }
-        let outcome = run_case(scenario, &plan, case_seed);
-        stats.events += outcome.events as u64;
-        stats.rejected_clock_requests += outcome.rejected_clock_requests;
-        metrics.absorb(&outcome.metrics);
-        if outcome.violations.is_empty() {
-            continue;
+        stats.events += record.events;
+        stats.rejected_clock_requests += record.rejected_clock_requests;
+        metrics.absorb(&record.metrics);
+        stats.shrink_probes += record.shrink_probes;
+        if let Some(failure) = record.failure {
+            failures.push(failure);
         }
-        // Shrink: every probe is a full deterministic re-run of the case
-        // with a candidate sub-plan; "fails" = any oracle violation.
-        let mut probes = 0u64;
-        let shrunk = shrink_entries(&plan, &mut |candidate| {
-            probes += 1;
-            !run_case(scenario, candidate, case_seed)
-                .violations
-                .is_empty()
-        });
-        stats.shrink_probes += probes;
-        let final_outcome = run_case(scenario, &shrunk, case_seed);
-        let violation = final_outcome
-            .violations
-            .first()
-            .or_else(|| outcome.violations.first())
-            .cloned();
-        failures.push(Failure {
-            case_index,
-            original_entries: plan.len(),
-            artifact: Artifact {
-                version: ARTIFACT_VERSION,
-                config: scenario.clone(),
-                seed: case_seed,
-                plan: shrunk,
-                violation,
-            },
-        });
     }
     CampaignReport {
         scenario: scenario.clone(),
@@ -152,6 +226,78 @@ pub fn run_campaign(campaign: &CampaignConfig, scenario: &ScenarioConfig) -> Cam
         metrics,
         failures,
     }
+}
+
+/// The worker count [`run_campaign`] uses: `PSYNC_JOBS` when set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`]
+/// (1 if even that is unavailable).
+#[must_use]
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("PSYNC_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs one seeded campaign against one scenario on `jobs` workers.
+///
+/// The report is bit-identical for every `jobs` value (see the module
+/// docs for the argument); `jobs = 1` runs the cases inline on the
+/// calling thread with no pool at all.
+#[must_use]
+pub fn run_campaign_jobs(
+    campaign: &CampaignConfig,
+    scenario: &ScenarioConfig,
+    jobs: usize,
+) -> CampaignReport {
+    let envelope = scenario.envelope();
+    // All case seeds are drawn up front from the sequential chain, so the
+    // mapping case → seed never depends on worker scheduling.
+    let mut seeder = Chain::new(campaign.seed);
+    let seeds: Vec<u64> = (0..campaign.cases).map(|_| seeder.next()).collect();
+
+    if jobs <= 1 || seeds.len() <= 1 {
+        let records = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| run_one_case(campaign, scenario, &envelope, i as u64, seed));
+        return merge_records(scenario, records);
+    }
+
+    let workers = jobs.min(seeds.len());
+    let next = AtomicU64::new(0);
+    let slots: Vec<OnceLock<CaseRecord>> = seeds.iter().map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Dynamic claiming: whichever worker is free takes the
+                // next unclaimed case, so one expensive shrink does not
+                // stall a statically assigned stripe of cases.
+                let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                let Some(&seed) = seeds.get(i) else {
+                    break;
+                };
+                let record = run_one_case(campaign, scenario, &envelope, i as u64, seed);
+                assert!(slots[i].set(record).is_ok(), "case {i} claimed twice");
+            });
+        }
+    });
+    let records = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker pool filled every slot"));
+    merge_records(scenario, records)
+}
+
+/// Runs one seeded campaign against one scenario, on [`default_jobs`]
+/// workers. Determinism is unaffected by the worker count: the report is
+/// bit-identical to `run_campaign_jobs(campaign, scenario, 1)`.
+#[must_use]
+pub fn run_campaign(campaign: &CampaignConfig, scenario: &ScenarioConfig) -> CampaignReport {
+    run_campaign_jobs(campaign, scenario, default_jobs())
 }
 
 /// Convenience: first failure of a campaign, if any — what most tests

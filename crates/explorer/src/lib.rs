@@ -44,7 +44,8 @@ pub mod shrink;
 
 pub use artifact::{replay_artifact, Artifact, ARTIFACT_VERSION};
 pub use explore::{
-    first_failure, run_campaign, CampaignConfig, CampaignReport, CampaignStats, Failure,
+    default_jobs, first_failure, run_campaign, run_campaign_jobs, CampaignConfig, CampaignReport,
+    CampaignStats, Failure,
 };
 pub use faults::{scripted_clock_for, seq_of, BiasedScheduler, PlanChannelFault, PlanDelayPolicy};
 pub use plan::{at_ns, ns, FaultEntry, FaultEnvelope, FaultPlan, Inadmissible};

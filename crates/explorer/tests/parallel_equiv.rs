@@ -1,0 +1,114 @@
+//! Differential test: parallel campaigns are bit-identical to sequential.
+//!
+//! `run_campaign_jobs` promises the full [`CampaignReport`] — stats,
+//! first-seen kind coverage, aggregated metrics, and every shrunk failure
+//! artifact — is independent of the worker count. This test holds it to
+//! that promise by comparing whole reports with `==` (all report types
+//! derive `PartialEq`/`Eq`) across `jobs ∈ {1, 2, 8}`:
+//!
+//! - a fixed sweep of seeds over all three scenarios, passing campaigns
+//!   only (broad coverage of the merge path);
+//! - the planted-bug heartbeat scenario, so the comparison also covers
+//!   failing cases end to end: shrinking, probe accounting, artifacts;
+//! - a property test over random `CampaignConfig`s (cases, seed,
+//!   max_entries) and scenarios.
+//!
+//! Note: the vendored proptest stub replays deterministically from the
+//! test name and performs no shrinking of its own, so it persists no
+//! `*.proptest-regressions` files.
+
+use proptest::prelude::*;
+use psync_explorer::{run_campaign_jobs, CampaignConfig, ScenarioConfig, ScenarioKind};
+
+const JOBS: [usize; 2] = [2, 8];
+
+fn scenario(kind: ScenarioKind) -> ScenarioConfig {
+    match kind {
+        ScenarioKind::Heartbeat => ScenarioConfig::heartbeat_default(),
+        ScenarioKind::ClockFleet => ScenarioConfig::clockfleet_default(),
+        ScenarioKind::Register => ScenarioConfig::register_default(),
+    }
+}
+
+/// Runs the campaign sequentially, then re-runs on each worker count and
+/// requires the whole report to compare equal.
+fn assert_jobs_invariant(campaign: &CampaignConfig, config: &ScenarioConfig) {
+    let sequential = run_campaign_jobs(campaign, config, 1);
+    for jobs in JOBS {
+        let parallel = run_campaign_jobs(campaign, config, jobs);
+        assert_eq!(
+            sequential, parallel,
+            "report diverged at jobs={jobs} (campaign {campaign:?})"
+        );
+    }
+}
+
+#[test]
+fn all_scenarios_reports_identical_across_job_counts() {
+    for kind in ScenarioKind::all() {
+        let config = scenario(kind);
+        for seed in [0x0C1A_551C, 1, 0xDEAD_BEEF] {
+            let campaign = CampaignConfig {
+                cases: 16,
+                seed,
+                max_entries: 5,
+            };
+            assert_jobs_invariant(&campaign, &config);
+        }
+    }
+}
+
+#[test]
+fn failing_campaign_reports_identical_across_job_counts() {
+    // The planted boundary bug makes the heartbeat campaign find real
+    // violations, so the equality covers shrinking and artifacts too.
+    let config = ScenarioConfig::heartbeat_default().with_bug(40);
+    let campaign = CampaignConfig {
+        cases: 24,
+        seed: 0x0C1A_551C,
+        max_entries: 6,
+    };
+    let report = run_campaign_jobs(&campaign, &config, 1);
+    assert!(
+        !report.failures.is_empty(),
+        "planted bug should produce failures for this comparison to be meaningful"
+    );
+    assert_jobs_invariant(&campaign, &config);
+}
+
+#[test]
+fn degenerate_campaigns_run_on_any_job_count() {
+    let config = ScenarioConfig::register_default();
+    for cases in [0, 1] {
+        let campaign = CampaignConfig {
+            cases,
+            seed: 7,
+            max_entries: 3,
+        };
+        assert_jobs_invariant(&campaign, &config);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Job-count invariance over random campaign shapes and scenarios.
+    #[test]
+    fn random_campaigns_identical_across_job_counts(
+        cases in 1u64..12,
+        seed in 0u64..1_000_000,
+        max_entries in 1usize..8,
+        kind_ix in 0usize..3,
+    ) {
+        let config = scenario(ScenarioKind::all()[kind_ix]);
+        let campaign = CampaignConfig { cases, seed, max_entries };
+        let sequential = run_campaign_jobs(&campaign, &config, 1);
+        for jobs in JOBS {
+            let parallel = run_campaign_jobs(&campaign, &config, jobs);
+            prop_assert_eq!(
+                &sequential, &parallel,
+                "report diverged at jobs={} (campaign {:?})", jobs, campaign
+            );
+        }
+    }
+}

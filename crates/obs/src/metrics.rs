@@ -360,6 +360,42 @@ mod tests {
         assert_eq!(a.histogram("h").unwrap().count(), 2);
     }
 
+    /// The guarantee campaign merging leans on: folding per-case
+    /// snapshots is associative and has the empty snapshot as identity,
+    /// so any bracketing of the same case sequence yields the same
+    /// aggregate — including with partially overlapping metric names.
+    #[test]
+    fn absorb_is_associative_with_empty_identity() {
+        let snap = |seed: u64| {
+            let mut r = Registry::new();
+            r.add("shared", seed);
+            r.add(&format!("only.{}", seed % 3), 1);
+            r.observe("h.shared", &[10, 100], (seed % 200) as i64);
+            r.observe(&format!("h.only.{}", seed % 2), &[5], (seed % 7) as i64);
+            r.snapshot()
+        };
+        let (a, b, c) = (snap(1), snap(2), snap(3));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.absorb(&b);
+        left.absorb(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.absorb(&c);
+        let mut right = a.clone();
+        right.absorb(&bc);
+        assert_eq!(left, right);
+
+        // Empty is an identity on both sides.
+        let mut from_empty = MetricsSnapshot::default();
+        from_empty.absorb(&left);
+        assert_eq!(from_empty, left);
+        let mut with_empty = left.clone();
+        with_empty.absorb(&MetricsSnapshot::default());
+        assert_eq!(with_empty, left);
+    }
+
     #[test]
     fn json_snapshot_is_stable_and_integer_only() {
         let mut r = Registry::new();

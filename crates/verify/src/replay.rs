@@ -166,6 +166,7 @@ mod tests {
             kind: ActionKind::Output,
             now,
             clock,
+            node: None,
         }
     }
 
@@ -215,6 +216,7 @@ mod tests {
                 kind: ActionKind::Output,
                 now: at(1),
                 clock: None,
+                node: None,
             }],
             at(2),
         );
