@@ -1,0 +1,147 @@
+//! Criterion bench: checkpoint-resumed shrink probes vs from-scratch
+//! probes on planted-bug campaigns.
+//!
+//! Every shrink probe of a failing case answers "does this candidate
+//! plan still fail?". The straight driver answers by re-running the
+//! case from event zero; the checkpointed driver resumes from a
+//! snapshot of the failing base run taken just before the probe's first
+//! divergence, so it re-executes only the suffix the candidate can
+//! actually change. Reported in `EXPERIMENTS.md` §E14.
+//!
+//! Besides the criterion sweep this bench writes `BENCH_shrink.json`
+//! (override the path with `PSYNC_BENCH_OUT`): for each campaign size,
+//! the median wall time of both probe modes, the exact number of events
+//! each mode re-executed during shrinking (from the campaign
+//! telemetry), the resulting ratio, and an `identical_reports` flag
+//! re-verified on the spot by comparing the two modes' full
+//! `CampaignReport`s. CI uploads the file as a build artifact; the
+//! committed copy at the repo root records the perf trajectory at
+//! review time.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psync_explorer::{run_campaign_with_telemetry, CampaignConfig, ScenarioConfig};
+
+const CASES: [u64; 2] = [32, 96];
+
+/// The acceptance scenario: the demonstration bug (a boundary delay
+/// spike delivered 1 ns after `d₂`) planted in the heartbeat channel,
+/// so a sizable fraction of cases fail and every failing case shrinks.
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig::heartbeat_default().with_bug(1)
+}
+
+fn campaign(cases: u64, checkpointed: bool) -> CampaignConfig {
+    CampaignConfig {
+        cases,
+        checkpointed_shrink: checkpointed,
+        ..CampaignConfig::default()
+    }
+}
+
+fn bench_shrink_scaling(c: &mut Criterion) {
+    let scenario = scenario();
+    let mut group = c.benchmark_group("shrink_scaling");
+    group.sample_size(10);
+    for cases in CASES {
+        for (mode, checkpointed) in [("resumed", true), ("straight", false)] {
+            let config = campaign(cases, checkpointed);
+            group.bench_with_input(BenchmarkId::new(mode, cases), &config, |b, config| {
+                b.iter(|| {
+                    let (report, _) = run_campaign_with_telemetry(config, &scenario, 1);
+                    assert!(!report.failures.is_empty());
+                    report.stats.shrink_probes
+                });
+            });
+        }
+    }
+    group.finish();
+    write_artifact(&scenario);
+}
+
+/// Median wall time of `runs` executions, in milliseconds.
+fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_unstable_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn write_artifact(scenario: &ScenarioConfig) {
+    let mut entries = Vec::new();
+    let mut identical = true;
+    let mut min_ratio = f64::INFINITY;
+    for cases in CASES {
+        let (resumed, resumed_cost) =
+            run_campaign_with_telemetry(&campaign(cases, true), scenario, 1);
+        let (straight, straight_cost) =
+            run_campaign_with_telemetry(&campaign(cases, false), scenario, 1);
+        identical &= resumed == straight;
+        assert!(
+            !resumed.failures.is_empty(),
+            "the planted bug produced no failures at {cases} cases — nothing was shrunk"
+        );
+        let ratio = straight_cost.shrink_events as f64 / resumed_cost.shrink_events.max(1) as f64;
+        min_ratio = min_ratio.min(ratio);
+        let resumed_ms = median_ms(5, || {
+            black_box(run_campaign_with_telemetry(
+                &campaign(cases, true),
+                scenario,
+                1,
+            ));
+        });
+        let straight_ms = median_ms(5, || {
+            black_box(run_campaign_with_telemetry(
+                &campaign(cases, false),
+                scenario,
+                1,
+            ));
+        });
+        entries.push(format!(
+            "    {{\"scenario\": \"heartbeat+bug1ns\", \"cases\": {cases}, \
+             \"failures\": {}, \"shrink_probes\": {}, \
+             \"straight_shrink_events\": {}, \"resumed_shrink_events\": {}, \
+             \"recording_runs\": {}, \"checkpoints\": {}, \"cache_hits\": {}, \
+             \"event_ratio\": {ratio:.2}, \
+             \"straight_median_ms\": {straight_ms:.3}, \"resumed_median_ms\": {resumed_ms:.3}}}",
+            resumed.failures.len(),
+            resumed.stats.shrink_probes,
+            straight_cost.shrink_events,
+            resumed_cost.shrink_events,
+            resumed_cost.recording_runs,
+            resumed_cost.checkpoints,
+            resumed_cost.cache_hits,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"shrink_scaling\",\n  \"identical_reports\": {identical},\n  \
+         \"min_event_ratio\": {min_ratio:.2},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    // Benches run with the package dir as cwd; default to the workspace
+    // root so the artifact lands next to the committed copy.
+    let path = std::env::var("PSYNC_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shrink.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("shrink_scaling: wrote {path}"),
+        Err(e) => eprintln!("shrink_scaling: could not write {path}: {e}"),
+    }
+    assert!(
+        identical,
+        "checkpoint-resumed campaign reports diverged from the straight runs"
+    );
+    assert!(
+        min_ratio >= 2.0,
+        "checkpoint resume saved less than 2x shrink events (min ratio {min_ratio:.2})"
+    );
+}
+
+criterion_group!(benches, bench_shrink_scaling);
+criterion_main!(benches);

@@ -786,6 +786,46 @@ pub struct E10Row {
 /// Panics if a run is malformed.
 #[must_use]
 pub fn e10_generalized_objects(base: &Scenario, fleet: usize) -> Vec<E10Row> {
+    let mut rows = Vec::new();
+    for (object, per_run) in e10_generalized_objects_detail(base, fleet) {
+        let violations = per_run.iter().filter(|r| !r.linearizable).count();
+        let queries: Vec<Duration> = per_run.iter().flat_map(|r| r.queries.clone()).collect();
+        let updates: Vec<Duration> = per_run.iter().flat_map(|r| r.updates.clone()).collect();
+        rows.push(E10Row {
+            object,
+            runs: fleet,
+            violations,
+            query_mean: duration_stats(queries).map_or(Duration::ZERO, |s| s.mean),
+            update_mean: duration_stats(updates).map_or(Duration::ZERO, |s| s.mean),
+        });
+    }
+    rows
+}
+
+/// One E10 run's raw samples (see [`e10_generalized_objects_detail`]).
+#[derive(Debug, Clone)]
+pub struct E10RunDetail {
+    /// Did the run linearize against the object's sequential spec?
+    pub linearizable: bool,
+    /// Per-operation query latencies, invocation order.
+    pub queries: Vec<Duration>,
+    /// Per-operation update latencies, invocation order.
+    pub updates: Vec<Duration>,
+}
+
+/// The raw per-run samples behind [`e10_generalized_objects`] — the pooled
+/// table rows above are derived from exactly these. Exposed so the E10
+/// regression test can pin the latency distribution (not just the pooled
+/// mean) without re-deriving the fleet seeding scheme.
+///
+/// # Panics
+///
+/// Panics if a run is malformed.
+#[must_use]
+pub fn e10_generalized_objects_detail(
+    base: &Scenario,
+    fleet: usize,
+) -> Vec<(&'static str, Vec<E10RunDetail>)> {
     use psync_register::object::{Counter, GrowSet, ObjectSpec};
     use psync_register::{AlgorithmSObj, ObjAction, ObjWorkload};
     use psync_verify::{check_object_linearizable, extract_object_history, ObjOpKind};
@@ -851,14 +891,12 @@ pub fn e10_generalized_objects(base: &Scenario, fleet: usize) -> Vec<E10Row> {
         (ok, queries, updates)
     }
 
-    let mut rows = Vec::new();
+    let mut out = Vec::new();
     for object in ["counter", "grow-set"] {
-        let mut violations = 0;
-        let mut queries = Vec::new();
-        let mut updates = Vec::new();
+        let mut per_run = Vec::new();
         for k in 0..fleet as u64 {
             let seed = base.seed ^ (k * 6151);
-            let (ok, q, u) = if object == "counter" {
+            let (ok, queries, updates) = if object == "counter" {
                 run_one(base, Counter, seed, |node, k| {
                     (node.0 as i64 + 1) * 1000 + i64::from(k)
                 })
@@ -867,21 +905,15 @@ pub fn e10_generalized_objects(base: &Scenario, fleet: usize) -> Vec<E10Row> {
                     u8::try_from(node.0 as u32 * 32 + (k % 32)).expect("< 128")
                 })
             };
-            if !ok {
-                violations += 1;
-            }
-            queries.extend(q);
-            updates.extend(u);
+            per_run.push(E10RunDetail {
+                linearizable: ok,
+                queries,
+                updates,
+            });
         }
-        rows.push(E10Row {
-            object,
-            runs: fleet,
-            violations,
-            query_mean: duration_stats(queries).map_or(Duration::ZERO, |s| s.mean),
-            update_mean: duration_stats(updates).map_or(Duration::ZERO, |s| s.mean),
-        });
+        out.push((object, per_run));
     }
-    rows
+    out
 }
 
 /// Counts internal vs visible events — used by the `experiments` binary's

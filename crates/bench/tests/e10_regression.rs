@@ -1,0 +1,48 @@
+//! Regression pin for the E10 table (generalized shared objects).
+//!
+//! The table in `EXPERIMENTS.md` once drifted a couple of nanoseconds
+//! from what the experiments binary actually printed: the rows had been
+//! transcribed before `DriftClock::next_clock` was fixed to use
+//! euclidean division (truncating division rounded negative-drift clock
+//! readings toward zero, shifting some deadline firings by 1 ns) and
+//! were never re-generated. This test pins the exact post-fix means so
+//! the committed table and the binary can never silently disagree
+//! again: if an engine or clock change legitimately moves these numbers,
+//! the test failure is the reminder to re-run
+//! `cargo run --release -p psync-bench --bin experiments` and refresh
+//! the document.
+
+use psync_bench::{e10_generalized_objects, Scenario};
+use psync_time::Duration;
+
+#[test]
+fn e10_table_matches_the_committed_experiments_document() {
+    // Exactly the scenario the experiments binary uses.
+    let base = Scenario {
+        ops_per_node: 20,
+        ..Scenario::default_with(2026)
+    };
+    let rows = e10_generalized_objects(&base, 8);
+    assert_eq!(rows.len(), 2);
+    for row in rows {
+        assert!(matches!(row.object, "counter" | "grow-set"));
+        assert_eq!(row.runs, 8, "{}: fleet size", row.object);
+        assert_eq!(row.violations, 0, "{}: linearizability", row.object);
+        // The committed EXPERIMENTS.md §E10 values. Both objects share
+        // the same workload schedule, so their latency profiles agree
+        // sample-for-sample — the object semantics only affect the
+        // linearizability check, never the timing.
+        assert_eq!(
+            row.query_mean,
+            Duration::from_nanos(4_099_368),
+            "{}: mean query latency drifted from EXPERIMENTS.md",
+            row.object
+        );
+        assert_eq!(
+            row.update_mean,
+            Duration::from_nanos(4_998_977),
+            "{}: mean update latency drifted from EXPERIMENTS.md",
+            row.object
+        );
+    }
+}

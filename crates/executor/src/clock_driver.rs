@@ -9,9 +9,55 @@
 //! 7.2): adversarial strategies here stress the `ε` bound harder than a
 //! real time service would.
 
+use core::any::Any;
+
 use psync_time::{Duration, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// An opaque snapshot of one [`ClockStrategy`]'s mutable state, captured
+/// by [`ClockStrategy::checkpoint`] and applied by
+/// [`ClockStrategy::restore`].
+///
+/// The snapshot is *detached*: it owns a deep copy of whatever the
+/// strategy considers state (drift offsets, RNG positions, rejection
+/// counts), so it can be restored into a different strategy instance of
+/// the same concrete type — the engine's checkpoint/fork machinery relies
+/// on exactly that to resume a run inside a freshly built sibling engine.
+/// Restoring is repeatable: one checkpoint may seed many probes.
+pub struct ClockCheckpoint(Option<Box<dyn Any>>);
+
+impl ClockCheckpoint {
+    /// A checkpoint for a strategy with no mutable state (the default for
+    /// pure strategies such as [`PerfectClock`] and [`OffsetClock`]).
+    #[must_use]
+    pub fn stateless() -> Self {
+        ClockCheckpoint(None)
+    }
+
+    /// Wraps a deep copy of a strategy's state.
+    #[must_use]
+    pub fn of<T: Clone + 'static>(state: &T) -> Self {
+        ClockCheckpoint(Some(Box::new(state.clone())))
+    }
+
+    /// Downcasts the captured state, if any was captured and the type
+    /// matches. Strategies ignore checkpoints they do not recognize — a
+    /// stateless checkpoint restored into a stateful strategy is a no-op.
+    #[must_use]
+    pub fn state<T: 'static>(&self) -> Option<&T> {
+        self.0.as_ref()?.downcast_ref()
+    }
+}
+
+impl core::fmt::Debug for ClockCheckpoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match &self.0 {
+            Some(_) => f.write_str("ClockCheckpoint(stateful)"),
+            None => f.write_str("ClockCheckpoint(stateless)"),
+        }
+    }
+}
 
 /// Everything a strategy may look at when choosing the next clock value.
 #[derive(Debug, Clone, Copy)]
@@ -95,6 +141,23 @@ pub trait ClockStrategy {
             now + (target_clock - clock)
         }
     }
+
+    /// Captures the strategy's mutable state. The default is stateless:
+    /// strategies whose readings are a pure function of the
+    /// [`AdvanceCtx`] need not override it. Stateful strategies must
+    /// capture *everything* their future readings depend on — the engine's
+    /// checkpoint/restore round-trip test fails otherwise.
+    fn checkpoint(&self) -> ClockCheckpoint {
+        ClockCheckpoint::stateless()
+    }
+
+    /// Restores state previously captured by [`ClockStrategy::checkpoint`].
+    /// May be called many times on the same checkpoint (one base run seeds
+    /// many forked probes) and on a *different* instance of the same
+    /// concrete type than the one that was captured.
+    fn restore(&mut self, checkpoint: &ClockCheckpoint) {
+        let _ = checkpoint;
+    }
 }
 
 impl ClockStrategy for Box<dyn ClockStrategy> {
@@ -104,6 +167,18 @@ impl ClockStrategy for Box<dyn ClockStrategy> {
 
     fn when_reaches(&self, now: Time, clock: Time, target_clock: Time) -> Time {
         (**self).when_reaches(now, clock, target_clock)
+    }
+
+    // Checkpointing must reach the *inner* strategy: harnesses hand
+    // `Box<dyn ClockStrategy>` values to builders that box again, and the
+    // default (stateless) methods on the outer box would silently discard
+    // the inner state.
+    fn checkpoint(&self) -> ClockCheckpoint {
+        (**self).checkpoint()
+    }
+
+    fn restore(&mut self, checkpoint: &ClockCheckpoint) {
+        (**self).restore(checkpoint);
     }
 }
 
@@ -197,7 +272,14 @@ impl DriftClock {
 impl ClockStrategy for DriftClock {
     fn next_clock(&mut self, ctx: AdvanceCtx) -> Time {
         let dt = ctx.target - ctx.now;
-        let drift = Duration::from_nanos(dt.as_nanos().saturating_mul(self.rate_ppm) / 1_000_000);
+        // Euclidean division: truncating `/` would round negative drift
+        // toward zero, giving a slow clock (−ppm) a shallower sawtooth
+        // than the equally-fast clock (+ppm).
+        let drift = Duration::from_nanos(
+            dt.as_nanos()
+                .saturating_mul(self.rate_ppm)
+                .div_euclid(1_000_000),
+        );
         let mut offset = self.offset + drift;
         if offset.abs() > ctx.eps {
             // NTP-style step resynchronization.
@@ -207,6 +289,16 @@ impl ClockStrategy for DriftClock {
         // Record the offset actually achieved, so clamping feeds back.
         self.offset = chosen - ctx.target;
         chosen
+    }
+
+    fn checkpoint(&self) -> ClockCheckpoint {
+        ClockCheckpoint::of(&self.offset)
+    }
+
+    fn restore(&mut self, checkpoint: &ClockCheckpoint) {
+        if let Some(offset) = checkpoint.state::<Duration>() {
+            self.offset = *offset;
+        }
     }
 }
 
@@ -256,6 +348,17 @@ impl ClockStrategy for RandomWalkClock {
         let chosen = ctx.fit(ctx.target.saturating_add_duration(offset));
         self.offset = chosen - ctx.target;
         chosen
+    }
+
+    fn checkpoint(&self) -> ClockCheckpoint {
+        ClockCheckpoint::of(&(self.rng.clone(), self.offset))
+    }
+
+    fn restore(&mut self, checkpoint: &ClockCheckpoint) {
+        if let Some((rng, offset)) = checkpoint.state::<(StdRng, Duration)>() {
+            self.rng = rng.clone();
+            self.offset = *offset;
+        }
     }
 }
 
@@ -336,6 +439,21 @@ impl ClockStrategy for ScriptedClock {
         // Rate-1 between segment switches; good enough as an estimate (the
         // engine iterates and independently caps the advance).
         now + (target_clock - clock)
+    }
+
+    // The rejection counter is shared through an `Rc` handle held by the
+    // harness. The checkpoint captures its *value*, and restore writes the
+    // value back through this instance's own `Rc` — restoring must never
+    // alias the captured run's handle, or a probe resumed from the
+    // checkpoint would double-count into the base run's counter.
+    fn checkpoint(&self) -> ClockCheckpoint {
+        ClockCheckpoint::of(&self.rejections.get())
+    }
+
+    fn restore(&mut self, checkpoint: &ClockCheckpoint) {
+        if let Some(count) = checkpoint.state::<u64>() {
+            self.rejections.set(*count);
+        }
     }
 }
 
@@ -433,6 +551,171 @@ mod tests {
         let v3 = check_window(&mut d, c3);
         // Offset would be 3 ms > ε, so the clock steps back to offset 0.
         assert_eq!(v3, Time::ZERO + Duration::from_secs(3));
+    }
+
+    /// Regression (truncating-division drift): with `dt · |rate| / 10⁶`
+    /// fractional, the drift must be the *floor* of the ideal value for
+    /// both signs, so neither clock ever reads ahead of its ideal drift
+    /// line. Truncating division rounded the negative drift toward zero
+    /// (−499.9995 → −499 ns), letting the slow clock read ahead of its
+    /// line while the fast clock never did — an asymmetric sawtooth.
+    #[test]
+    fn drift_rounding_is_symmetric_across_rate_sign() {
+        let dt_ns = 999_999; // dt · 500 ppm = 499.9995 ns of ideal drift
+        let target = Time::ZERO + Duration::from_nanos(dt_ns);
+        let advance = AdvanceCtx {
+            now: Time::ZERO,
+            clock: Time::ZERO,
+            target,
+            max_clock: None,
+            eps: ms(2),
+        };
+        let fast = check_window(&mut DriftClock::new(500), advance);
+        let slow = check_window(&mut DriftClock::new(-500), advance);
+        assert_eq!(fast, target + Duration::from_nanos(499));
+        assert_eq!(slow, target - Duration::from_nanos(500));
+        // Floor bias points the same way on both sides of the line:
+        // 499 ≤ 499.9995 and −500 ≤ −499.9995.
+        assert_eq!(
+            (fast - target) + (slow - target),
+            Duration::from_nanos(-1),
+            "floor division loses exactly the fractional nanosecond"
+        );
+        // Exactly divisible drift stays exact in both directions.
+        let whole = AdvanceCtx {
+            now: Time::ZERO,
+            clock: Time::ZERO,
+            target: Time::ZERO + ms(1000),
+            max_clock: None,
+            eps: ms(2),
+        };
+        assert_eq!(
+            check_window(&mut DriftClock::new(500), whole),
+            whole.target + Duration::from_micros(500)
+        );
+        assert_eq!(
+            check_window(&mut DriftClock::new(-500), whole),
+            whole.target - Duration::from_micros(500)
+        );
+    }
+
+    #[test]
+    fn drift_checkpoint_round_trips_offset() {
+        let mut original = DriftClock::new(1000);
+        let v1 = original.next_clock(ctx(0, 0, 100, None));
+        let cp = original.checkpoint();
+
+        // Restore into a *fresh* instance: it must continue exactly as the
+        // original does, twice over (checkpoints are reusable).
+        let next = AdvanceCtx {
+            now: Time::ZERO + ms(100),
+            clock: v1,
+            target: Time::ZERO + ms(700),
+            max_clock: None,
+            eps: ms(2),
+        };
+        let expected = original.next_clock(next);
+        for _ in 0..2 {
+            let mut fresh = DriftClock::new(1000);
+            fresh.restore(&cp);
+            assert_eq!(fresh.next_clock(next), expected);
+        }
+    }
+
+    #[test]
+    fn random_walk_checkpoint_round_trips_rng_and_offset() {
+        let mut original = RandomWalkClock::new(99, Duration::from_micros(500));
+        let mut clock = Time::ZERO;
+        let mut now = Time::ZERO;
+        for i in 1..20 {
+            let target = Time::ZERO + ms(i);
+            clock = original.next_clock(AdvanceCtx {
+                now,
+                clock,
+                target,
+                max_clock: None,
+                eps: ms(2),
+            });
+            now = target;
+        }
+        let cp = original.checkpoint();
+        let continuation = |w: &mut RandomWalkClock, mut clock: Time, mut now: Time| {
+            let mut out = Vec::new();
+            for i in 20..40 {
+                let target = Time::ZERO + ms(i);
+                clock = w.next_clock(AdvanceCtx {
+                    now,
+                    clock,
+                    target,
+                    max_clock: None,
+                    eps: ms(2),
+                });
+                now = target;
+                out.push(clock);
+            }
+            out
+        };
+        let mut fresh = RandomWalkClock::new(99, Duration::from_micros(500));
+        fresh.restore(&cp);
+        let resumed = continuation(&mut fresh, clock, now);
+        assert_eq!(resumed, continuation(&mut original, clock, now));
+    }
+
+    #[test]
+    fn scripted_checkpoint_restores_count_without_aliasing() {
+        let mut original = ScriptedClock::new(vec![(Time::ZERO, ms(-5))]);
+        let _ = original.next_clock(ctx(10, 10, 11, None));
+        assert_eq!(original.rejections().get(), 1);
+        let cp = original.checkpoint();
+
+        let mut fresh = ScriptedClock::new(vec![(Time::ZERO, ms(-5))]);
+        fresh.restore(&cp);
+        assert_eq!(fresh.rejections().get(), 1);
+        // The restored instance counts into its own handle only.
+        let _ = fresh.next_clock(ctx(11, 11, 12, None));
+        assert_eq!(fresh.rejections().get(), 2);
+        assert_eq!(
+            original.rejections().get(),
+            1,
+            "restore must not alias the captured run's counter"
+        );
+    }
+
+    #[test]
+    fn boxed_strategy_forwards_checkpoints_to_inner() {
+        // Builders box strategies that harnesses may already have boxed;
+        // the blanket impl on `Box<dyn ClockStrategy>` must reach through,
+        // or the inner state silently vanishes from checkpoints.
+        let mut boxed: Box<dyn ClockStrategy> = Box::new(DriftClock::new(1000));
+        let v1 = boxed.next_clock(ctx(0, 0, 100, None));
+        let cp = boxed.checkpoint();
+        assert!(
+            cp.state::<Duration>().is_some(),
+            "outer box returned a stateless checkpoint for a stateful inner strategy"
+        );
+        let next = AdvanceCtx {
+            now: Time::ZERO + ms(100),
+            clock: v1,
+            target: Time::ZERO + ms(700),
+            max_clock: None,
+            eps: ms(2),
+        };
+        let expected = boxed.next_clock(next);
+        let mut fresh: Box<dyn ClockStrategy> = Box::new(DriftClock::new(1000));
+        fresh.restore(&cp);
+        assert_eq!(fresh.next_clock(next), expected);
+    }
+
+    #[test]
+    fn stateless_checkpoint_is_ignored_by_stateful_strategies() {
+        let mut d = DriftClock::new(1000);
+        let _ = d.next_clock(ctx(0, 0, 100, None));
+        let before = d.checkpoint();
+        d.restore(&ClockCheckpoint::stateless());
+        assert_eq!(
+            d.checkpoint().state::<Duration>(),
+            before.state::<Duration>()
+        );
     }
 
     #[test]

@@ -34,11 +34,11 @@ use psync_automata::{
 };
 use psync_time::{Duration, Time};
 
-use crate::clock_driver::{AdvanceCtx, ClockStrategy};
+use crate::clock_driver::{AdvanceCtx, ClockCheckpoint, ClockStrategy};
 use crate::error::EngineError;
 use crate::fasthash::FastBuildHasher;
 use crate::observer::{ClockRead, Observer};
-use crate::scheduler::{FifoScheduler, Scheduler};
+use crate::scheduler::{FifoScheduler, Scheduler, SchedulerCheckpoint};
 
 /// Default cap on recorded events, guarding against Zeno compositions.
 const DEFAULT_MAX_EVENTS: usize = 1_000_000;
@@ -133,6 +133,69 @@ pub enum StopReason {
     Horizon,
     /// No component had anything left to do and no deadline was pending.
     Quiescent,
+    /// An [`Engine::run_until_events`] pause point was reached. The engine
+    /// state is exactly the state between two events of the uninterrupted
+    /// run: calling `run` (or `run_until_events` again) continues
+    /// bit-identically.
+    Paused,
+}
+
+/// A detached, deep snapshot of an engine's run state, captured by
+/// [`Engine::checkpoint`] and resumed by [`Engine::restore`] — the
+/// operational form of the paper's pasting lemma (Lemma 2.1): an
+/// admissible execution can be cut at any state and resumed from there.
+///
+/// The snapshot captures *pure run state* only: real time, every
+/// component's `DynState` (deep-cloned via `clone_box`), node clocks,
+/// clock-strategy state (drift offsets, RNG positions, scripted rejection
+/// counts), scheduler state, and the accumulated execution prefix (shared
+/// by `Arc`, so a checkpoint is O(components), not O(events)). Static
+/// configuration — the components themselves, routing tables, `ε` bounds,
+/// `max_events` — is *not* captured: it belongs to the engine a checkpoint
+/// is restored into. That makes checkpoints portable across engine
+/// instances built from structurally compatible configurations (same
+/// component layout), which is exactly what the explorer's prefix-sharing
+/// shrink probes need: a probe engine is built from a *different* fault
+/// plan and then restored from the base run's checkpoint taken before the
+/// plans diverge.
+///
+/// The engine's derived caches (enabled cache, dirty set, duplicate map,
+/// deadline scratch) are deliberately omitted: restore marks everything
+/// dirty, and the next refresh rebuilds them from the restored states —
+/// the all-dirty rebuild produces bit-identical candidate lists, so the
+/// resumed run is indistinguishable from an uninterrupted one.
+pub struct EngineCheckpoint<A: Action> {
+    pub(crate) now: Time,
+    pub(crate) timed_states: Vec<DynState>,
+    pub(crate) node_clocks: Vec<Time>,
+    pub(crate) node_states: Vec<Vec<DynState>>,
+    pub(crate) clock_states: Vec<ClockCheckpoint>,
+    pub(crate) scheduler_state: SchedulerCheckpoint,
+    pub(crate) events: Arc<Vec<TimedEvent<A>>>,
+    pub(crate) idle_advances: u32,
+    pub(crate) horizon: Option<Time>,
+}
+
+impl<A: Action> EngineCheckpoint<A> {
+    /// Real time at the moment of capture.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The captured execution prefix (every event recorded before the
+    /// checkpoint, oldest first).
+    #[must_use]
+    pub fn events(&self) -> &[TimedEvent<A>] {
+        &self.events
+    }
+
+    /// Number of events in the captured prefix — the checkpoint's position
+    /// in the run.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
 }
 
 /// The result of a completed run: the recorded execution and why it ended.
@@ -507,7 +570,143 @@ impl<A: Action> Engine<A> {
     /// the error type for the catalogue); the partial event history is
     /// available through [`Engine::events`] afterwards.
     pub fn run(&mut self) -> Result<Run<A>, EngineError> {
+        self.run_inner(None)
+    }
+
+    /// Runs until the execution holds at least `pause_at` events, then
+    /// pauses ([`StopReason::Paused`]) with the engine state exactly as it
+    /// is between two events of the uninterrupted run — the natural grain
+    /// for [`Engine::checkpoint`]. If the run ends (horizon, quiescence)
+    /// before reaching `pause_at` events, the natural stop reason is
+    /// returned instead. A paused engine resumes with [`Engine::run`] or a
+    /// further `run_until_events`, bit-identically to never having paused.
+    ///
+    /// Pausing is event-count-based on purpose: a time-based cut could
+    /// split a `ν` advance in two, which consults the clock strategies
+    /// with different targets than the uninterrupted run would.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::run`].
+    pub fn run_until_events(&mut self, pause_at: usize) -> Result<Run<A>, EngineError> {
+        self.run_inner(Some(pause_at))
+    }
+
+    /// Captures a detached snapshot of the current run state. See
+    /// [`EngineCheckpoint`] for what is (and is not) captured. Observers
+    /// are notified via [`Observer::on_checkpoint`]; like every hook this
+    /// is read-only, so checkpointing never perturbs the run.
+    pub fn checkpoint(&mut self) -> EngineCheckpoint<A> {
+        let cp = EngineCheckpoint {
+            now: self.now,
+            timed_states: self.timed.iter().map(|rt| rt.state.clone()).collect(),
+            node_clocks: self.nodes.iter().map(|n| n.clock).collect(),
+            node_states: self
+                .nodes
+                .iter()
+                .map(|n| n.comps.iter().map(|(_, s)| s.clone()).collect())
+                .collect(),
+            clock_states: self.nodes.iter().map(|n| n.strategy.checkpoint()).collect(),
+            scheduler_state: self.scheduler.checkpoint(),
+            events: Arc::clone(&self.events),
+            idle_advances: self.idle_advances,
+            horizon: self.horizon,
+        };
+        let count = cp.events.len();
+        for obs in &mut self.observers {
+            obs.on_checkpoint(count);
+        }
+        cp
+    }
+
+    /// Restores the run state captured in `checkpoint`, discarding the
+    /// engine's current state. The engine must be structurally compatible
+    /// with the one that captured the snapshot: same number of timed
+    /// components, nodes and per-node components (their *configurations*
+    /// may differ — that is the point of detached checkpoints). Continuing
+    /// the run afterwards is bit-identical to continuing the captured
+    /// engine, provided the configurations agree on everything the
+    /// remaining events depend on.
+    ///
+    /// Derived caches are not restored; everything is marked dirty and the
+    /// next refresh rebuilds them from the restored states, producing
+    /// identical candidate lists. Observers are notified via
+    /// [`Observer::on_restore`] with the restored prefix, so stateful
+    /// observers can rebuild their own context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's shape (component counts) does not match
+    /// this engine.
+    pub fn restore(&mut self, checkpoint: &EngineCheckpoint<A>) {
+        assert_eq!(
+            self.timed.len(),
+            checkpoint.timed_states.len(),
+            "checkpoint shape mismatch: timed component count"
+        );
+        assert_eq!(
+            self.nodes.len(),
+            checkpoint.node_clocks.len(),
+            "checkpoint shape mismatch: node count"
+        );
+        self.now = checkpoint.now;
+        for (rt, state) in self.timed.iter_mut().zip(&checkpoint.timed_states) {
+            rt.state = state.clone();
+        }
+        for (n, node) in self.nodes.iter_mut().enumerate() {
+            node.clock = checkpoint.node_clocks[n];
+            let states = &checkpoint.node_states[n];
+            assert_eq!(
+                node.comps.len(),
+                states.len(),
+                "checkpoint shape mismatch: components of node {n}"
+            );
+            for ((_, state), snap) in node.comps.iter_mut().zip(states) {
+                *state = snap.clone();
+            }
+            node.strategy.restore(&checkpoint.clock_states[n]);
+        }
+        self.scheduler.restore(&checkpoint.scheduler_state);
+        self.events = Arc::clone(&checkpoint.events);
+        self.idle_advances = checkpoint.idle_advances;
+        self.horizon = checkpoint.horizon;
+        // Derived caches are rebuilt from the restored states on the next
+        // refresh; the all-dirty rebuild yields identical candidate lists.
+        self.dirty.fill(true);
+        self.dirty_ids.clear();
+        self.all_dirty = true;
+        self.dc_scratch_valid = false;
+        for obs in &mut self.observers {
+            obs.on_restore(&checkpoint.events);
+        }
+    }
+
+    /// Forks the run: builds a sibling engine from `builder` and restores
+    /// this engine's current state into it. The sibling continues
+    /// independently — its events, component states and RNG positions no
+    /// longer affect this engine (the shared execution prefix is
+    /// copy-on-write). The builder must describe a structurally compatible
+    /// system (see [`Engine::restore`]); components are not cloneable, so
+    /// the caller supplies the sibling's configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `builder` does not match this engine's shape.
+    pub fn fork(&mut self, builder: EngineBuilder<A>) -> Engine<A> {
+        let cp = self.checkpoint();
+        let mut sibling = builder.build();
+        sibling.restore(&cp);
+        sibling
+    }
+
+    fn run_inner(&mut self, pause_at: Option<usize>) -> Result<Run<A>, EngineError> {
         loop {
+            if let Some(p) = pause_at {
+                if self.events.len() >= p {
+                    let now = self.now;
+                    return Ok(self.finish(StopReason::Paused, now));
+                }
+            }
             if self.events.len() >= self.max_events {
                 return Err(EngineError::EventLimitExceeded {
                     limit: self.max_events,
@@ -1328,5 +1527,71 @@ mod tests {
         assert_eq!(evs[1].now, at(12));
         assert_eq!(evs[0].clock, Some(at(10)));
         assert_eq!(evs[1].clock, Some(at(10)));
+    }
+
+    fn checkpoint_mix() -> EngineBuilder<BeepAction> {
+        Engine::builder()
+            .timed(Beeper::with_src(ms(5), 0))
+            .timed(Beeper::with_src(ms(7), 1))
+            .clock_node(
+                ClockNode::new("fast", ms(2), OffsetClock::new(ms(2), ms(2)))
+                    .with(ClockBeeper::with_src(ms(9), 7)),
+            )
+            .scheduler(RandomScheduler::new(3))
+            .horizon(at(200))
+    }
+
+    #[test]
+    fn pause_and_resume_is_bit_identical_to_straight_run() {
+        let straight = checkpoint_mix().build().run().unwrap();
+        let mut paused = checkpoint_mix().build();
+        let p1 = paused.run_until_events(10).unwrap();
+        assert_eq!(p1.stop, StopReason::Paused);
+        assert_eq!(p1.execution.len(), 10);
+        let p2 = paused.run_until_events(25).unwrap();
+        assert_eq!(p2.stop, StopReason::Paused);
+        let done = paused.run().unwrap();
+        assert_eq!(done.stop, straight.stop);
+        assert_eq!(done.execution, straight.execution);
+    }
+
+    #[test]
+    fn pause_past_the_end_returns_the_natural_stop() {
+        let mut engine = checkpoint_mix().build();
+        let run = engine.run_until_events(usize::MAX).unwrap();
+        assert_eq!(run.stop, StopReason::Horizon);
+    }
+
+    #[test]
+    fn restore_into_fresh_engine_resumes_bit_identically() {
+        let straight = checkpoint_mix().build().run().unwrap();
+        let mut base = checkpoint_mix().build();
+        let _ = base.run_until_events(12).unwrap();
+        let cp = base.checkpoint();
+        assert_eq!(cp.event_count(), 12);
+        // One checkpoint seeds two independent resumes; both must complete
+        // exactly like the uninterrupted run.
+        for _ in 0..2 {
+            let mut probe = checkpoint_mix().build();
+            probe.restore(&cp);
+            let resumed = probe.run().unwrap();
+            assert_eq!(resumed.stop, straight.stop);
+            assert_eq!(resumed.execution, straight.execution);
+        }
+        // The base engine is untouched by the probes.
+        let base_done = base.run().unwrap();
+        assert_eq!(base_done.execution, straight.execution);
+    }
+
+    #[test]
+    fn fork_continues_independently() {
+        let straight = checkpoint_mix().build().run().unwrap();
+        let mut base = checkpoint_mix().build();
+        let _ = base.run_until_events(8).unwrap();
+        let mut sibling = base.fork(checkpoint_mix());
+        let sibling_run = sibling.run().unwrap();
+        assert_eq!(sibling_run.execution, straight.execution);
+        let base_run = base.run().unwrap();
+        assert_eq!(base_run.execution, straight.execution);
     }
 }

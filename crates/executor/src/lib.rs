@@ -51,13 +51,14 @@ mod reference;
 mod scheduler;
 
 pub use clock_driver::{
-    AdvanceCtx, ClockStrategy, DriftClock, OffsetClock, PerfectClock, RandomWalkClock,
-    ScriptedClock,
+    AdvanceCtx, ClockCheckpoint, ClockStrategy, DriftClock, OffsetClock, PerfectClock,
+    RandomWalkClock, ScriptedClock,
 };
-pub use engine::{ClockNode, Engine, EngineBuilder, Run, StopReason};
+pub use engine::{ClockNode, Engine, EngineBuilder, EngineCheckpoint, Run, StopReason};
 pub use error::EngineError;
 pub use observer::{ClockRead, NoopObserver, Observer};
 pub use reference::{ReferenceEngine, ReferenceEngineBuilder};
 pub use scheduler::{
     FifoScheduler, LifoScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,
+    SchedulerCheckpoint,
 };

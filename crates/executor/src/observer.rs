@@ -68,6 +68,23 @@ pub trait Observer<A: Action> {
     fn on_advance(&mut self, from: Time, to: Time) {
         let _ = (from, to);
     }
+
+    /// The engine captured a checkpoint; `events` is the length of the
+    /// execution prefix recorded so far. Like the other hooks, this is a
+    /// read-only notification — checkpointing must not perturb the run.
+    fn on_checkpoint(&mut self, events: usize) {
+        let _ = events;
+    }
+
+    /// The engine was restored from a checkpoint whose execution prefix is
+    /// `events` (every recorded event, oldest first). Stateful observers
+    /// that accumulate per-run context (e.g. in-flight message maps) use
+    /// the prefix to rebuild exactly the state they would have reached by
+    /// observing the prefix live; counters that were externally restored
+    /// should not be re-derived here.
+    fn on_restore(&mut self, events: &[TimedEvent<A>]) {
+        let _ = events;
+    }
 }
 
 /// An observer that ignores everything — the baseline for overhead

@@ -4,6 +4,7 @@
 //! ```text
 //! psync-explorer [--cases N] [--seed S] [--scenario all|heartbeat|clockfleet|register]
 //!                [--max-entries N] [--jobs N] [--bug-extra-ns N] [--metrics-out PATH]
+//!                [--no-checkpoint-shrink]
 //! ```
 //!
 //! `--jobs N` runs each campaign's cases on `N` worker threads (default:
@@ -19,6 +20,12 @@
 //! `--metrics-out PATH` writes the observer metrics aggregated across all
 //! campaigns (counters and histograms, deterministic for fixed flags) as
 //! a JSON snapshot — CI uploads it as a build artifact.
+//!
+//! `--no-checkpoint-shrink` makes every shrink probe re-run its case
+//! from scratch instead of resuming from a checkpoint of the failing
+//! base run. The output is byte-identical either way (CI diffs the two
+//! modes to prove it); the flag exists for that cross-check and for
+//! debugging the resume machinery.
 //!
 //! Exits non-zero iff any campaign found a violation; each failure is
 //! printed as a full replay artifact so it can be reproduced verbatim.
@@ -92,10 +99,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("bad --bug-extra-ns: {e}"))?;
             }
             "--metrics-out" => metrics_out = Some(value("--metrics-out")?.clone()),
+            "--no-checkpoint-shrink" => campaign.checkpointed_shrink = false,
             "--help" | "-h" => {
                 return Err("usage: psync-explorer [--cases N] [--seed S] \
                      [--scenario all|heartbeat|clockfleet|register] [--max-entries N] \
-                     [--jobs N] [--bug-extra-ns N] [--metrics-out PATH]"
+                     [--jobs N] [--bug-extra-ns N] [--metrics-out PATH] \
+                     [--no-checkpoint-shrink]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),

@@ -5,8 +5,12 @@
 //! case `i` derives its seed from the campaign seed by splitmix, its plan
 //! from that case seed and the scenario's admissibility envelope, and its
 //! verdict from a full deterministic run. On failure the plan is shrunk
-//! by [`shrink_entries`] (each probe is a complete re-run) and packaged
-//! as a replay [`Artifact`].
+//! by the cached ddmin driver in [`crate::resume`] — by default each
+//! probe resumes from a checkpoint just before its first divergence from
+//! the failing base run, rather than re-running the whole prefix — and
+//! packaged as a replay [`Artifact`]. The report is bit-identical
+//! whether or not probes resume from checkpoints; only the
+//! [`CampaignTelemetry`] cost counters differ.
 //!
 //! # Parallel campaigns stay bit-identical
 //!
@@ -37,8 +41,8 @@ use psync_obs::MetricsSnapshot;
 
 use crate::artifact::{Artifact, ARTIFACT_VERSION};
 use crate::plan::{Chain, FaultEntry, FaultEnvelope, FaultPlan};
-use crate::scenario::{run_case, ScenarioConfig};
-use crate::shrink::shrink_entries;
+use crate::resume::{run_shrinkable_case, CampaignTelemetry};
+use crate::scenario::ScenarioConfig;
 
 /// Knobs of one exploration campaign.
 #[derive(Debug, Clone)]
@@ -49,6 +53,12 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Maximum entries per generated plan.
     pub max_entries: usize,
+    /// Resume shrink probes from base-run checkpoints (the default)
+    /// instead of re-running each probe from scratch. The report is
+    /// bit-identical either way; this knob only trades probe wall-clock
+    /// against checkpoint memory, and exists so the cross-check in CI
+    /// (and anyone debugging the resume machinery) can diff the modes.
+    pub checkpointed_shrink: bool,
 }
 
 impl Default for CampaignConfig {
@@ -57,6 +67,7 @@ impl Default for CampaignConfig {
             cases: 64,
             seed: 0x0C1A_551C,
             max_entries: 6,
+            checkpointed_shrink: true,
         }
     }
 }
@@ -85,7 +96,9 @@ pub struct CampaignStats {
     pub events: u64,
     /// Clock-script requests clamped by the C1–C4 guard across all runs.
     pub rejected_clock_requests: u64,
-    /// Extra case executions spent probing during shrinks.
+    /// True case executions spent probing during shrinks: every probe is
+    /// counted exactly once (repeat candidates are served from a cache,
+    /// and the final shrunk plan's outcome is read from it too).
     pub shrink_probes: u64,
 }
 
@@ -109,8 +122,8 @@ pub struct CampaignReport {
     /// Coverage statistics.
     pub stats: CampaignStats,
     /// Observer metrics aggregated over the campaign's primary case runs
-    /// (shrink probes and post-shrink confirmation runs are excluded, so
-    /// the totals stay a pure function of `cases` seeds).
+    /// (shrink probes and checkpoint-recording runs are excluded, so the
+    /// totals stay a pure function of `cases` seeds).
     pub metrics: MetricsSnapshot,
     /// Shrunk, replayable failures (empty on a clean campaign).
     pub failures: Vec<Failure>,
@@ -131,9 +144,11 @@ struct CaseRecord {
     rejected_clock_requests: u64,
     /// Observer metrics of the primary run.
     metrics: MetricsSnapshot,
-    /// Extra case executions spent probing during the shrink (0 for a
+    /// True case executions spent probing during the shrink (0 for a
     /// passing case).
     shrink_probes: u64,
+    /// Shrink-phase cost counters (all zero for a passing case).
+    telemetry: CampaignTelemetry,
     /// The shrunk, packaged failure, when the case found a violation.
     failure: Option<Failure>,
 }
@@ -155,30 +170,34 @@ fn run_one_case(
         "generator escaped the envelope"
     );
     let entry_kinds: Vec<&'static str> = plan.entries.iter().map(FaultEntry::kind).collect();
-    let outcome = run_case(scenario, &plan, case_seed);
+    // Run the primary and, if it fails, shrink it: each probe is a
+    // deterministic execution of the case under a candidate sub-plan
+    // ("fails" = any oracle violation), resumed from a pooled checkpoint
+    // unless the config says replay from scratch. Both modes produce the
+    // same outcome, shrunk plan, and report.
+    let mut telemetry = CampaignTelemetry::default();
+    let (outcome, shrunk) = run_shrinkable_case(
+        scenario,
+        &plan,
+        case_seed,
+        campaign.checkpointed_shrink,
+        &mut telemetry,
+    );
     let mut record = CaseRecord {
         entry_kinds,
         events: outcome.events as u64,
         rejected_clock_requests: outcome.rejected_clock_requests,
         metrics: outcome.metrics.clone(),
         shrink_probes: 0,
+        telemetry,
         failure: None,
     };
-    if outcome.violations.is_empty() {
+    let Some(shrunk) = shrunk else {
         return record;
-    }
-    // Shrink: every probe is a full deterministic re-run of the case
-    // with a candidate sub-plan; "fails" = any oracle violation.
-    let mut probes = 0u64;
-    let shrunk = shrink_entries(&plan, &mut |candidate| {
-        probes += 1;
-        !run_case(scenario, candidate, case_seed)
-            .violations
-            .is_empty()
-    });
-    record.shrink_probes = probes;
-    let final_outcome = run_case(scenario, &shrunk, case_seed);
-    let violation = final_outcome
+    };
+    record.shrink_probes = shrunk.probes;
+    let violation = shrunk
+        .outcome
         .violations
         .first()
         .or_else(|| outcome.violations.first())
@@ -190,7 +209,7 @@ fn run_one_case(
             version: ARTIFACT_VERSION,
             config: scenario.clone(),
             seed: case_seed,
-            plan: shrunk,
+            plan: shrunk.plan,
             violation,
         },
     });
@@ -202,9 +221,10 @@ fn run_one_case(
 fn merge_records(
     scenario: &ScenarioConfig,
     records: impl IntoIterator<Item = CaseRecord>,
-) -> CampaignReport {
+) -> (CampaignReport, CampaignTelemetry) {
     let mut stats = CampaignStats::default();
     let mut metrics = MetricsSnapshot::default();
+    let mut telemetry = CampaignTelemetry::default();
     let mut failures = Vec::new();
     for record in records {
         stats.cases += 1;
@@ -216,16 +236,18 @@ fn merge_records(
         stats.rejected_clock_requests += record.rejected_clock_requests;
         metrics.absorb(&record.metrics);
         stats.shrink_probes += record.shrink_probes;
+        telemetry.absorb(&record.telemetry);
         if let Some(failure) = record.failure {
             failures.push(failure);
         }
     }
-    CampaignReport {
+    let report = CampaignReport {
         scenario: scenario.clone(),
         stats,
         metrics,
         failures,
-    }
+    };
+    (report, telemetry)
 }
 
 /// The worker count [`run_campaign`] uses: `PSYNC_JOBS` when set to a
@@ -243,17 +265,16 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// Runs one seeded campaign against one scenario on `jobs` workers.
-///
-/// The report is bit-identical for every `jobs` value (see the module
-/// docs for the argument); `jobs = 1` runs the cases inline on the
-/// calling thread with no pool at all.
+/// Runs one seeded campaign against one scenario on `jobs` workers,
+/// additionally returning the shrink-phase cost telemetry — the side
+/// channel the checkpoint-resume benchmark compares across probe modes.
+/// The [`CampaignReport`] half is what [`run_campaign_jobs`] returns.
 #[must_use]
-pub fn run_campaign_jobs(
+pub fn run_campaign_with_telemetry(
     campaign: &CampaignConfig,
     scenario: &ScenarioConfig,
     jobs: usize,
-) -> CampaignReport {
+) -> (CampaignReport, CampaignTelemetry) {
     let envelope = scenario.envelope();
     // All case seeds are drawn up front from the sequential chain, so the
     // mapping case → seed never depends on worker scheduling.
@@ -290,6 +311,20 @@ pub fn run_campaign_jobs(
         .into_iter()
         .map(|slot| slot.into_inner().expect("worker pool filled every slot"));
     merge_records(scenario, records)
+}
+
+/// Runs one seeded campaign against one scenario on `jobs` workers.
+///
+/// The report is bit-identical for every `jobs` value (see the module
+/// docs for the argument); `jobs = 1` runs the cases inline on the
+/// calling thread with no pool at all.
+#[must_use]
+pub fn run_campaign_jobs(
+    campaign: &CampaignConfig,
+    scenario: &ScenarioConfig,
+    jobs: usize,
+) -> CampaignReport {
+    run_campaign_with_telemetry(campaign, scenario, jobs).0
 }
 
 /// Runs one seeded campaign against one scenario, on [`default_jobs`]

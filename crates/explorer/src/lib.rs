@@ -30,7 +30,10 @@
 //! 4. **[`explore`]** — the seeded campaign loop; every case is a pure
 //!    function of its seed.
 //! 5. **[`shrink`]** — failing plans are reduced by ddmin to a 1-minimal
-//!    counterexample, re-running the full case per probe.
+//!    counterexample; **[`resume`]** caches probe outcomes and resumes
+//!    each probe from an engine checkpoint captured just before its
+//!    first divergence from the failing base run, so a probe re-executes
+//!    only the suffix its candidate plan can actually change.
 //! 6. **[`artifact`]** — failures serialize to self-contained JSON that
 //!    [`replay_artifact`] re-executes bit-identically.
 
@@ -39,16 +42,18 @@ pub mod explore;
 pub mod faults;
 pub mod json;
 pub mod plan;
+pub mod resume;
 pub mod scenario;
 pub mod shrink;
 
 pub use artifact::{replay_artifact, Artifact, ARTIFACT_VERSION};
 pub use explore::{
-    default_jobs, first_failure, run_campaign, run_campaign_jobs, CampaignConfig, CampaignReport,
-    CampaignStats, Failure,
+    default_jobs, first_failure, run_campaign, run_campaign_jobs, run_campaign_with_telemetry,
+    CampaignConfig, CampaignReport, CampaignStats, Failure,
 };
 pub use faults::{scripted_clock_for, seq_of, BiasedScheduler, PlanChannelFault, PlanDelayPolicy};
 pub use plan::{at_ns, ns, FaultEntry, FaultEnvelope, FaultPlan, Inadmissible};
+pub use resume::CampaignTelemetry;
 pub use scenario::{
     clockfleet_oracles, fingerprint, heartbeat_oracles, register_oracles, run_case, run_clockfleet,
     run_heartbeat, run_register, CaseOutcome, Judged, ScenarioConfig, ScenarioKind,

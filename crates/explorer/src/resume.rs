@@ -1,0 +1,766 @@
+//! Checkpoint-resuming shrink probes: re-run only the suffix of a case
+//! that a candidate sub-plan can actually change.
+//!
+//! The ddmin loop in [`shrink_entries`] evaluates many candidate plans,
+//! each differing from previously executed plans by a few entries. Each
+//! fault entry has an **activation index** — the position of the first
+//! recorded event whose production consults it (the `Send` a drop
+//! disposition applies to, the first event at or past a clock segment's
+//! scripted time, the numbered scheduler pick a bias flips). Two plans'
+//! runs are byte-identical up to the smallest activation index of any
+//! entry in their symmetric difference, so by the paper's pasting lemma
+//! (Lemma 2.1) a probe may *resume* from a
+//! [`psync_executor::EngineCheckpoint`] captured at or before that index
+//! instead of re-running the prefix.
+//!
+//! The machinery, per failing case:
+//!
+//! * the **primary run** records a ladder of checkpoints as it executes
+//!   (stride `CHECKPOINT_STRIDE`, thinned beyond `MAX_CHECKPOINTS`,
+//!   plus a final rung at the natural stop);
+//! * every probe consults a bounded **pool** of recorded runs — the
+//!   primary plus recent probes — and resumes from whichever run offers
+//!   the deepest rung before its divergence. Sibling ddmin probes often
+//!   differ only in late-activating entries, so probing against the pool
+//!   routinely skips far more prefix than the primary run alone could
+//!   justify. A probe whose symmetric difference never activates resumes
+//!   from the final rung and re-executes *zero* events.
+//!
+//! Two invariants make this safe to ship as the default:
+//!
+//! * **Bit-identity.** A resumed probe produces the same
+//!   [`CaseOutcome`] — violations, fingerprint, metrics snapshot,
+//!   everything `==` sees — as a from-scratch run of the same candidate.
+//!   Engine observers are attached with checkpoint counters suppressed
+//!   and side counters (fault stats, clock rejections) are captured in
+//!   the `CaseCheckpoint` alongside the engine state, so the resumed
+//!   history is indistinguishable from the straight-line one.
+//! * **Conservative activation.** When an entry's first consult cannot
+//!   be located (its message was never sent, its kind has no cheap
+//!   mapping) the activation index degrades toward `0` — never past the
+//!   true first consult — which only costs re-execution, never
+//!   correctness.
+//!
+//! The same module also hosts the cached shrink driver shared by both
+//! probe modes: every evaluated candidate's outcome is memoised, the
+//! final plan's outcome is read from the cache instead of a
+//! confirmation re-run, and `shrink_probes` therefore counts true case
+//! executions.
+
+use std::rc::Rc;
+
+use psync_apps::heartbeat::FdAction;
+use psync_automata::toys::BeepAction;
+use psync_automata::{Action, TimedEvent};
+use psync_executor::{Run, StopReason};
+use psync_net::{FaultStats, SysAction};
+use psync_register::RegAction;
+
+use crate::faults::seq_of;
+use crate::plan::{at_ns, FaultEntry, FaultPlan};
+use crate::scenario::{
+    build_clockfleet, build_heartbeat, build_register, finish_case, judge_clockfleet,
+    judge_heartbeat, judge_register, outcome_of, run_case, BuiltCase, CaseOutcome, ScenarioConfig,
+    ScenarioKind,
+};
+use crate::shrink::shrink_entries;
+
+/// Events between consecutive checkpoints of a recorded run (before any
+/// thinning). Small on purpose: case runs are short and a fine ladder is
+/// what lets a probe resume right at its divergence index.
+const CHECKPOINT_STRIDE: usize = 4;
+
+/// Checkpoint-ladder size cap: when a run outgrows it, every other
+/// checkpoint is dropped and the stride doubles, keeping memory bounded
+/// while the resolution stays proportional to the run length.
+const MAX_CHECKPOINTS: usize = 512;
+
+/// Recorded runs a shrink keeps around as resume sources: the primary
+/// run plus the most recent probes. Rungs are `Rc`-shared between pool
+/// entries, so the bound is on ladders, not on checkpoint copies.
+const POOL_MAX: usize = 8;
+
+/// Execution-cost counters of a campaign's shrink phase, reported next
+/// to (never inside) the [`crate::CampaignReport`] — the report stays a
+/// pure function of the case seeds, while the telemetry measures how
+/// much work the probe strategy actually spent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignTelemetry {
+    /// Events re-executed by shrink probes: per probe, only the suffix
+    /// past its resume point. (Primary case runs are case executions,
+    /// not shrink work, and are counted in the campaign stats instead.)
+    pub shrink_events: u64,
+    /// Primary case runs that recorded a checkpoint ladder (every case
+    /// in checkpointed mode, none otherwise).
+    pub recording_runs: u64,
+    /// Engine checkpoints captured across recorded runs and probes.
+    pub checkpoints: u64,
+    /// Probes answered from the outcome cache with no execution at all.
+    pub cache_hits: u64,
+}
+
+impl CampaignTelemetry {
+    /// Folds another telemetry record into this one.
+    pub fn absorb(&mut self, other: &CampaignTelemetry) {
+        self.shrink_events += other.shrink_events;
+        self.recording_runs += other.recording_runs;
+        self.checkpoints += other.checkpoints;
+        self.cache_hits += other.cache_hits;
+    }
+}
+
+/// The shrink phase's result for one failing case.
+#[derive(Debug, Clone)]
+pub(crate) struct ShrinkResult {
+    /// The 1-minimal failing plan ddmin settled on.
+    pub(crate) plan: FaultPlan,
+    /// That plan's full outcome, read from the probe cache (no
+    /// confirmation re-run).
+    pub(crate) outcome: CaseOutcome,
+    /// True case executions spent probing (cache misses).
+    pub(crate) probes: u64,
+}
+
+/// One rung of a checkpoint ladder: the engine snapshot plus the side
+/// counters the engine does not own (observer metrics live in the hub's
+/// registry, fault counters in the channel's shared cells).
+struct CaseCheckpoint<A: Action> {
+    engine: psync_executor::EngineCheckpoint<A>,
+    metrics: psync_obs::MetricsSnapshot,
+    fault_values: Option<[u64; 5]>,
+}
+
+/// A driven run paired with the checkpoints captured along the way.
+type DrivenRun<A> = (Result<Run<A>, String>, Vec<Rc<CaseCheckpoint<A>>>);
+
+/// A fully recorded run — plan, events, checkpoint ladder — usable as a
+/// resume source for later probes. Rungs are `Rc`-shared: a probe's
+/// ladder starts as the prefix of the ladder it resumed from.
+struct RecordedRun<A: Action> {
+    plan: FaultPlan,
+    events: Vec<TimedEvent<A>>,
+    cps: Vec<Rc<CaseCheckpoint<A>>>,
+}
+
+fn capture<A: Action>(
+    built: &mut BuiltCase<A>,
+    telemetry: &mut CampaignTelemetry,
+) -> Rc<CaseCheckpoint<A>> {
+    telemetry.checkpoints += 1;
+    Rc::new(CaseCheckpoint {
+        engine: built.engine.checkpoint(),
+        metrics: built.hub.snapshot(),
+        fault_values: built.fault_stats.as_ref().map(FaultStats::values),
+    })
+}
+
+/// Drives a built case to completion, pausing every `CHECKPOINT_STRIDE`
+/// events (doubling after thinning) to capture a checkpoint, plus one
+/// final rung at the natural stop. `start` is the engine's current event
+/// count (0 for a fresh engine, the restored checkpoint's position for a
+/// resumed probe). Returns the final run and the checkpoints captured
+/// *after* `start`.
+fn drive<A: Action>(
+    built: &mut BuiltCase<A>,
+    start: usize,
+    telemetry: &mut CampaignTelemetry,
+) -> DrivenRun<A> {
+    let mut cps = Vec::new();
+    let mut stride = CHECKPOINT_STRIDE;
+    let mut pos = start;
+    loop {
+        match built.engine.run_until_events(pos + stride) {
+            Ok(run) if run.stop == StopReason::Paused => {
+                pos = run.execution.len();
+                cps.push(capture(built, telemetry));
+                if cps.len() >= MAX_CHECKPOINTS {
+                    let mut i = 0usize;
+                    cps.retain(|_| {
+                        i += 1;
+                        i.is_multiple_of(2)
+                    });
+                    stride *= 2;
+                }
+            }
+            Ok(run) => {
+                // The final rung: a probe whose plan cannot change any
+                // remaining event resumes here and re-executes nothing.
+                if run.execution.len() > pos || cps.is_empty() {
+                    cps.push(capture(built, telemetry));
+                }
+                return (Ok(run), cps);
+            }
+            Err(e) => return (Err(e.to_string()), cps),
+        }
+    }
+}
+
+/// First recorded event index whose production consults a clock-script
+/// segment scripted at `t` nanoseconds: scripted offsets only apply to
+/// readings at or past their segment time, and every clock consult
+/// during the production of event `i` targets a time at most
+/// `events[i].now` (deadline lookahead is rate-1 and script-independent).
+fn clock_segment_activation<A: Action>(t: i64, events: &[TimedEvent<A>]) -> usize {
+    events
+        .iter()
+        .position(|e| e.now >= at_ns(t))
+        .unwrap_or(usize::MAX)
+}
+
+/// Activation index of a heartbeat-scenario entry: channel dispositions
+/// are consulted when their `Send` fires, scheduler bias at its numbered
+/// pick (pick `k` chooses event `k`).
+fn heartbeat_activation(entry: &FaultEntry, events: &[TimedEvent<FdAction>]) -> usize {
+    match *entry {
+        FaultEntry::Drop { src, dst, seq }
+        | FaultEntry::Duplicate { src, dst, seq, .. }
+        | FaultEntry::DelaySpike { src, dst, seq, .. } => events
+            .iter()
+            .position(|e| match &e.action {
+                SysAction::Send(env) => {
+                    env.src.0 == src as usize && env.dst.0 == dst as usize && seq_of(env.id) == seq
+                }
+                _ => false,
+            })
+            .unwrap_or(usize::MAX),
+        FaultEntry::SchedulerBias { pick } => usize::try_from(pick).unwrap_or(usize::MAX),
+        // Clock entries are outside the heartbeat envelope; if one slips
+        // through validation anyway, re-run from the top.
+        _ => 0,
+    }
+}
+
+/// Activation index of a clock-fleet entry.
+fn clockfleet_activation(entry: &FaultEntry, events: &[TimedEvent<BeepAction>]) -> usize {
+    match *entry {
+        FaultEntry::ClockSkew { at_ns: t, .. } | FaultEntry::ClockBackwardJump { at_ns: t, .. } => {
+            clock_segment_activation(t, events)
+        }
+        FaultEntry::SchedulerBias { pick } => usize::try_from(pick).unwrap_or(usize::MAX),
+        _ => 0,
+    }
+}
+
+/// Activation index of a register entry. Delay spikes flow through the
+/// `build_dc` clock channels, whose send times have no cheap mapping to
+/// event indices — stay conservative and replay from the start.
+fn register_activation(entry: &FaultEntry, events: &[TimedEvent<RegAction>]) -> usize {
+    match *entry {
+        FaultEntry::ClockSkew { at_ns: t, .. } | FaultEntry::ClockBackwardJump { at_ns: t, .. } => {
+            clock_segment_activation(t, events)
+        }
+        FaultEntry::SchedulerBias { pick } => usize::try_from(pick).unwrap_or(usize::MAX),
+        _ => 0,
+    }
+}
+
+/// Index of the first event of `run` the candidate plan could change:
+/// the smallest activation index over the *symmetric* multiset
+/// difference between the run's plan and the candidate. Up to that
+/// index no differing entry has been consulted in either run, so the
+/// runs are identical — entries present only in the candidate activate
+/// at the same index they would in `run` (the runs agree up to there,
+/// so consult opportunities agree too).
+fn divergence_index<A: Action>(
+    run: &RecordedRun<A>,
+    candidate: &FaultPlan,
+    activation: &impl Fn(&FaultEntry, &[TimedEvent<A>]) -> usize,
+) -> usize {
+    let mut cand_pool: Vec<&FaultEntry> = candidate.entries.iter().collect();
+    let mut d = usize::MAX;
+    for entry in &run.plan.entries {
+        if let Some(i) = cand_pool.iter().position(|c| *c == entry) {
+            cand_pool.swap_remove(i);
+        } else {
+            d = d.min(activation(entry, &run.events));
+        }
+    }
+    for entry in cand_pool {
+        d = d.min(activation(entry, &run.events));
+    }
+    d
+}
+
+fn events_of<A: Action>(run: &Result<Run<A>, String>) -> Vec<TimedEvent<A>> {
+    run.as_ref()
+        .map(|r| r.execution.events().to_vec())
+        .unwrap_or_default()
+}
+
+/// The cached ddmin driver shared by both probe modes: memoises every
+/// evaluated candidate, counts only cache misses as probes, and reads
+/// the final plan's outcome from the cache — no confirmation re-run.
+/// The second return is the number of cache hits (probes avoided).
+fn shrink_with_cache(
+    plan: &FaultPlan,
+    primary: &CaseOutcome,
+    probe: &mut dyn FnMut(&FaultPlan) -> CaseOutcome,
+) -> (ShrinkResult, u64) {
+    let mut cache: Vec<(FaultPlan, CaseOutcome)> = vec![(plan.clone(), primary.clone())];
+    let mut probes = 0u64;
+    let mut hits = 0u64;
+    let shrunk = shrink_entries(plan, &mut |candidate| {
+        if let Some((_, cached)) = cache.iter().find(|(p, _)| p == candidate) {
+            hits += 1;
+            return !cached.violations.is_empty();
+        }
+        probes += 1;
+        let outcome = probe(candidate);
+        let failing = !outcome.violations.is_empty();
+        cache.push((candidate.clone(), outcome));
+        failing
+    });
+    let outcome = cache
+        .iter()
+        .find(|(p, _)| *p == shrunk)
+        .map(|(_, o)| o.clone())
+        .expect("ddmin returns the seeded plan or an evaluated candidate");
+    (
+        ShrinkResult {
+            plan: shrunk,
+            outcome,
+            probes,
+        },
+        hits,
+    )
+}
+
+/// Runs one plan from scratch while recording its checkpoint ladder, and
+/// returns its judged outcome together with the recorded run. The
+/// outcome is bit-identical to [`run_case`] — checkpointing is
+/// read-only, and the observers are attached with checkpoint counters
+/// suppressed.
+fn run_recorded<A: Action>(
+    plan: &FaultPlan,
+    telemetry: &mut CampaignTelemetry,
+    build: &impl Fn(&FaultPlan) -> BuiltCase<A>,
+    judge: &impl Fn(&FaultPlan, &Result<Run<A>, String>) -> Vec<(String, String)>,
+) -> (CaseOutcome, RecordedRun<A>) {
+    let mut built = build(plan);
+    let first = capture(&mut built, telemetry);
+    let (run, mut cps) = drive(&mut built, 0, telemetry);
+    cps.insert(0, first);
+    let events = events_of(&run);
+    let violations = judge(plan, &run);
+    let recorded = outcome_of(finish_case(&built, violations, run));
+    telemetry.recording_runs += 1;
+    (
+        recorded,
+        RecordedRun {
+            plan: plan.clone(),
+            events,
+            cps,
+        },
+    )
+}
+
+/// Executes one candidate probe by resuming from the deepest checkpoint
+/// any pooled run offers before the candidate's divergence from it. The
+/// outcome is bit-identical to a from-scratch run of the candidate; the
+/// probe's own recorded run joins the pool (evicting the oldest probe)
+/// so later siblings can resume from it.
+fn probe_resumed<A: Action>(
+    pool: &mut Vec<RecordedRun<A>>,
+    candidate: &FaultPlan,
+    telemetry: &mut CampaignTelemetry,
+    build: &impl Fn(&FaultPlan) -> BuiltCase<A>,
+    judge: &impl Fn(&FaultPlan, &Result<Run<A>, String>) -> Vec<(String, String)>,
+    activation: &impl Fn(&FaultEntry, &[TimedEvent<A>]) -> usize,
+) -> CaseOutcome {
+    // The deepest usable rung across the pool. pool[0].cps[0] sits at
+    // position 0, so a resume point always exists.
+    let (mut bi, mut ci, mut start) = (0usize, 0usize, 0usize);
+    for (i, base) in pool.iter().enumerate() {
+        let d = divergence_index(base, candidate, activation);
+        let c = base
+            .cps
+            .iter()
+            .rposition(|cp| cp.engine.event_count() <= d)
+            .expect("every ladder starts at position 0");
+        let s = base.cps[c].engine.event_count();
+        if s > start {
+            (bi, ci, start) = (i, c, s);
+        }
+    }
+
+    let mut built = build(candidate);
+    let rung = &pool[bi].cps[ci];
+    built.engine.restore(&rung.engine);
+    built.hub.restore(&rung.metrics);
+    if let (Some(stats), Some(values)) = (&built.fault_stats, rung.fault_values) {
+        stats.set_values(values);
+    }
+
+    let (run, new_cps) = drive(&mut built, start, telemetry);
+    let final_events = events_of(&run);
+    telemetry.shrink_events += final_events.len().saturating_sub(start) as u64;
+    let ran_ok = run.is_ok();
+    let violations = judge(candidate, &run);
+    let outcome = outcome_of(finish_case(&built, violations, run));
+    if ran_ok {
+        // This probe's ladder: the shared prefix rungs plus its own.
+        let mut cps = pool[bi].cps[..=ci].to_vec();
+        cps.extend(new_cps);
+        if pool.len() >= POOL_MAX {
+            // Keep the primary run at slot 0; evict the oldest probe.
+            pool.remove(1);
+        }
+        pool.push(RecordedRun {
+            plan: candidate.clone(),
+            events: final_events,
+            cps,
+        });
+    }
+    outcome
+}
+
+/// Runs the primary case and, when it fails, shrinks it — with the
+/// checkpointed probe strategy, seeding the resume pool with the primary
+/// run itself.
+fn run_and_shrink<A: Action>(
+    plan: &FaultPlan,
+    telemetry: &mut CampaignTelemetry,
+    build: &impl Fn(&FaultPlan) -> BuiltCase<A>,
+    judge: &impl Fn(&FaultPlan, &Result<Run<A>, String>) -> Vec<(String, String)>,
+    activation: &impl Fn(&FaultEntry, &[TimedEvent<A>]) -> usize,
+) -> (CaseOutcome, Option<ShrinkResult>) {
+    let (outcome, recorded) = run_recorded(plan, telemetry, build, judge);
+    if outcome.violations.is_empty() {
+        return (outcome, None);
+    }
+    let mut pool = vec![recorded];
+    let (result, hits) = shrink_with_cache(plan, &outcome, &mut |candidate| {
+        probe_resumed(&mut pool, candidate, telemetry, build, judge, activation)
+    });
+    telemetry.cache_hits += hits;
+    (outcome, Some(result))
+}
+
+/// Runs one case and shrinks it if it fails, using the cached ddmin
+/// driver — resuming probes from pooled checkpoints when `checkpointed`
+/// is set and re-running each probe from scratch otherwise. Both modes
+/// produce bit-identical outcomes and [`ShrinkResult`]s; only the
+/// telemetry differs.
+pub(crate) fn run_shrinkable_case(
+    scenario: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+    checkpointed: bool,
+    telemetry: &mut CampaignTelemetry,
+) -> (CaseOutcome, Option<ShrinkResult>) {
+    if !checkpointed {
+        let outcome = run_case(scenario, plan, seed);
+        if outcome.violations.is_empty() {
+            return (outcome, None);
+        }
+        let mut shrink_events = 0u64;
+        let (result, hits) = shrink_with_cache(plan, &outcome, &mut |candidate| {
+            let probe = run_case(scenario, candidate, seed);
+            shrink_events += probe.events as u64;
+            probe
+        });
+        telemetry.shrink_events += shrink_events;
+        telemetry.cache_hits += hits;
+        return (outcome, Some(result));
+    }
+    match scenario.kind {
+        ScenarioKind::Heartbeat => run_and_shrink(
+            plan,
+            telemetry,
+            &|p| build_heartbeat(scenario, p, seed),
+            &|p, run| judge_heartbeat(scenario, p, run),
+            &heartbeat_activation,
+        ),
+        ScenarioKind::ClockFleet => run_and_shrink(
+            plan,
+            telemetry,
+            &|p| build_clockfleet(scenario, p, seed),
+            &|_p, run| judge_clockfleet(scenario, run),
+            &clockfleet_activation,
+        ),
+        ScenarioKind::Register => run_and_shrink(
+            plan,
+            telemetry,
+            &|p| build_register(scenario, p, seed),
+            &|_p, run| judge_register(scenario, seed, run),
+            &register_activation,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+
+    fn outcome(violations: Vec<(String, String)>, events: usize) -> CaseOutcome {
+        CaseOutcome {
+            violations,
+            events,
+            rejected_clock_requests: 0,
+            fingerprint: events as u64,
+            metrics: psync_obs::MetricsSnapshot::default(),
+        }
+    }
+
+    fn plan_of(seqs: &[u32]) -> FaultPlan {
+        FaultPlan {
+            entries: seqs
+                .iter()
+                .map(|&seq| FaultEntry::Drop {
+                    src: 0,
+                    dst: 1,
+                    seq,
+                })
+                .collect(),
+        }
+    }
+
+    /// Satellite regression: `shrink_probes` counts true case
+    /// executions — the driver never re-probes a cached plan, and in
+    /// particular never re-runs the final shrunk plan to fetch its
+    /// outcome.
+    #[test]
+    fn cached_driver_probes_each_plan_at_most_once() {
+        let plan = plan_of(&[1, 2, 3, 4]);
+        // "Fails" iff the plan still contains drop seq 3.
+        let failing = |p: &FaultPlan| {
+            p.entries
+                .iter()
+                .any(|e| matches!(e, FaultEntry::Drop { seq: 3, .. }))
+        };
+        let primary = outcome(vec![("o".into(), "v".into())], 10);
+        let mut evaluated: Vec<FaultPlan> = Vec::new();
+        let (result, _hits) = shrink_with_cache(&plan, &primary, &mut |candidate| {
+            assert!(
+                !evaluated.contains(candidate),
+                "candidate probed twice: {candidate:?}"
+            );
+            evaluated.push(candidate.clone());
+            if failing(candidate) {
+                outcome(vec![("o".into(), "v".into())], 5)
+            } else {
+                outcome(vec![], 5)
+            }
+        });
+        assert_eq!(result.plan, plan_of(&[3]));
+        assert!(!result.outcome.violations.is_empty());
+        assert_eq!(result.probes, evaluated.len() as u64);
+        // The original plan's outcome was seeded, never re-probed.
+        assert!(!evaluated.contains(&plan));
+    }
+
+    /// The final outcome comes from the cache even when ddmin's last
+    /// evaluation of the winning plan happened many probes earlier.
+    #[test]
+    fn final_outcome_is_served_from_the_cache() {
+        let plan = plan_of(&[7]);
+        let primary = outcome(vec![("o".into(), "only".into())], 3);
+        let (result, _hits) = shrink_with_cache(&plan, &primary, &mut |candidate| {
+            assert!(candidate.is_empty(), "only the empty sub-plan is probed");
+            outcome(vec![], 1)
+        });
+        // A single entry that still fails: ddmin keeps it, and its
+        // outcome is the seeded primary — zero extra executions.
+        assert_eq!(result.plan, plan);
+        assert_eq!(result.outcome, primary);
+        assert_eq!(result.probes, 1);
+    }
+
+    /// Records `plan`'s primary run, then checks that a pool-resumed
+    /// probe of every leave-one-out sub-plan (plus the full and empty
+    /// plans) produces a [`CaseOutcome`] bit-identical — violations,
+    /// event count, fingerprint, metrics — to a from-scratch run.
+    fn assert_probes_match_straight_runs<A: Action>(
+        scenario: &ScenarioConfig,
+        plan: &FaultPlan,
+        seed: u64,
+        build: &impl Fn(&FaultPlan) -> BuiltCase<A>,
+        judge: &impl Fn(&FaultPlan, &Result<Run<A>, String>) -> Vec<(String, String)>,
+        activation: &impl Fn(&FaultEntry, &[TimedEvent<A>]) -> usize,
+    ) {
+        plan.validate(&scenario.envelope())
+            .expect("admissible plan");
+        let mut telemetry = CampaignTelemetry::default();
+        let primary = run_case(scenario, plan, seed);
+        let (recorded_outcome, recorded) = run_recorded(plan, &mut telemetry, build, judge);
+        assert_eq!(recorded_outcome, primary, "recording run != straight run");
+
+        let mut pool = vec![recorded];
+        let mut candidates = vec![plan.clone(), FaultPlan::empty()];
+        for i in 0..plan.entries.len() {
+            let mut entries = plan.entries.clone();
+            entries.remove(i);
+            candidates.push(FaultPlan { entries });
+        }
+        for candidate in candidates {
+            let resumed = probe_resumed(
+                &mut pool,
+                &candidate,
+                &mut telemetry,
+                build,
+                judge,
+                activation,
+            );
+            let straight = run_case(scenario, &candidate, seed);
+            assert_eq!(
+                resumed, straight,
+                "resumed probe diverged for candidate {candidate:?}"
+            );
+        }
+        assert!(
+            telemetry.checkpoints > 0,
+            "the primary run recorded nothing"
+        );
+        assert!(pool.len() > 1, "probe runs never joined the resume pool");
+    }
+
+    #[test]
+    fn heartbeat_probes_are_bit_identical_to_straight_runs() {
+        let scenario = ScenarioConfig::heartbeat_default();
+        let plan = FaultPlan {
+            entries: vec![
+                FaultEntry::Drop {
+                    src: 0,
+                    dst: 1,
+                    seq: 2,
+                },
+                FaultEntry::Duplicate {
+                    src: 0,
+                    dst: 1,
+                    seq: 6,
+                    delay_ns: 2_500_000,
+                },
+                FaultEntry::DelaySpike {
+                    src: 0,
+                    dst: 1,
+                    seq: 9,
+                    delay_ns: 4_000_000,
+                },
+                FaultEntry::SchedulerBias { pick: 11 },
+            ],
+        };
+        assert_probes_match_straight_runs(
+            &scenario,
+            &plan,
+            0xD15C_0B01,
+            &|p| build_heartbeat(&scenario, p, 0xD15C_0B01),
+            &|p, run| judge_heartbeat(&scenario, p, run),
+            &heartbeat_activation,
+        );
+    }
+
+    #[test]
+    fn failing_heartbeat_probes_stay_bit_identical_through_adoption() {
+        // The planted d2+1 bug makes sub-plans keeping the boundary
+        // spike fail, so this walk exercises failing probes joining the
+        // pool too.
+        let scenario = ScenarioConfig::heartbeat_default().with_bug(1);
+        let plan = FaultPlan {
+            entries: vec![
+                FaultEntry::Drop {
+                    src: 0,
+                    dst: 1,
+                    seq: 3,
+                },
+                FaultEntry::DelaySpike {
+                    src: 0,
+                    dst: 1,
+                    seq: 7,
+                    delay_ns: scenario.d2_ns,
+                },
+                FaultEntry::SchedulerBias { pick: 5 },
+            ],
+        };
+        assert_probes_match_straight_runs(
+            &scenario,
+            &plan,
+            42,
+            &|p| build_heartbeat(&scenario, p, 42),
+            &|p, run| judge_heartbeat(&scenario, p, run),
+            &heartbeat_activation,
+        );
+    }
+
+    #[test]
+    fn clockfleet_probes_are_bit_identical_to_straight_runs() {
+        let scenario = ScenarioConfig::clockfleet_default();
+        let plan = FaultPlan {
+            entries: vec![
+                FaultEntry::ClockSkew {
+                    node: 0,
+                    at_ns: 50_000_000,
+                    offset_ns: scenario.eps_ns,
+                },
+                // Clamped by the C1–C4 guard: rejection-counter parity
+                // between resumed and straight runs is part of the check.
+                FaultEntry::ClockBackwardJump {
+                    node: 1,
+                    at_ns: 100_000_000,
+                    jump_ns: scenario.eps_ns * 2 + 5_000_000,
+                },
+                FaultEntry::SchedulerBias { pick: 5 },
+            ],
+        };
+        assert_probes_match_straight_runs(
+            &scenario,
+            &plan,
+            13,
+            &|p| build_clockfleet(&scenario, p, 13),
+            &|_p, run| judge_clockfleet(&scenario, run),
+            &clockfleet_activation,
+        );
+    }
+
+    #[test]
+    fn register_probes_are_bit_identical_to_straight_runs() {
+        let scenario = ScenarioConfig::register_default();
+        let plan = FaultPlan {
+            entries: vec![
+                FaultEntry::ClockSkew {
+                    node: 0,
+                    at_ns: 1_000_000_000,
+                    offset_ns: scenario.eps_ns,
+                },
+                FaultEntry::DelaySpike {
+                    src: 0,
+                    dst: 1,
+                    seq: 1,
+                    delay_ns: scenario.d2_ns,
+                },
+                FaultEntry::SchedulerBias { pick: 3 },
+            ],
+        };
+        assert_probes_match_straight_runs(
+            &scenario,
+            &plan,
+            7,
+            &|p| build_register(&scenario, p, 7),
+            &|_p, run| judge_register(&scenario, 7, run),
+            &register_activation,
+        );
+    }
+
+    #[test]
+    fn divergence_index_is_the_smallest_symmetric_difference_activation() {
+        let base = RecordedRun::<FdAction> {
+            plan: plan_of(&[1, 2]),
+            events: Vec::new(),
+            cps: Vec::new(),
+        };
+        let act = |entry: &FaultEntry, _events: &[TimedEvent<FdAction>]| match *entry {
+            FaultEntry::Drop { seq, .. } => seq as usize * 10,
+            _ => 0,
+        };
+        // Removing seq 1 (activation 10) and keeping seq 2.
+        assert_eq!(divergence_index(&base, &plan_of(&[2]), &act), 10);
+        // Removing both: the smaller activation wins.
+        assert_eq!(divergence_index(&base, &plan_of(&[]), &act), 10);
+        // Nothing removed: no divergence.
+        assert_eq!(divergence_index(&base, &plan_of(&[1, 2]), &act), usize::MAX);
+        // Additions activate where they would first be consulted — the
+        // symmetric difference, not just removals, bounds the resume.
+        assert_eq!(divergence_index(&base, &plan_of(&[1, 2, 9]), &act), 90);
+        assert_eq!(divergence_index(&base, &plan_of(&[2, 9]), &act), 10);
+    }
+}

@@ -22,6 +22,9 @@
 //! entire contents of a replay artifact — which is what makes replays
 //! bit-identical.
 
+use core::cell::Cell;
+use std::rc::Rc;
+
 use psync_apps::heartbeat::{outcome, FdAction, FdOp, FdParams, Heartbeat, Heartbeater, Monitor};
 use psync_automata::toys::{BeepAction, ClockBeeper};
 use psync_automata::{Action, Execution, Verdict};
@@ -363,15 +366,49 @@ fn merge_fault_stats(hub: &MetricsHub, stats: &FaultStats) {
     hub.add("channel.spiked", stats.spiked());
 }
 
-/// Runs one heartbeat case: returns the raw engine run and the oracle
-/// verdicts. Public (rather than folded into [`run_case`]) so tests can
-/// compare whole [`Execution`]s across replays.
-///
-/// # Panics
-///
-/// Panics if the config is not a heartbeat config.
-pub fn run_heartbeat(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<FdAction> {
-    assert_eq!(cfg.kind, ScenarioKind::Heartbeat);
+/// A case's engine plus the observation handles the post-run accounting
+/// needs — the common shape the plain runners and the checkpoint-resuming
+/// shrink driver (`resume` module) share. The engine observers are
+/// attached with checkpoint counters suppressed, so a checkpointed run's
+/// metrics are bit-identical to a straight run's.
+pub(crate) struct BuiltCase<A: Action> {
+    pub(crate) engine: Engine<A>,
+    pub(crate) hub: MetricsHub,
+    /// The fault channel's counters (heartbeat only).
+    pub(crate) fault_stats: Option<FaultStats>,
+    /// Scripted-clock rejection handles, one per clock node.
+    pub(crate) rejections: Vec<Rc<Cell<u64>>>,
+}
+
+/// Post-run accounting shared by every scenario kind: fold fault stats
+/// and clamped-clock counts into the hub (in the same order the original
+/// monolithic runners did) and snapshot.
+pub(crate) fn finish_case<A: Action>(
+    built: &BuiltCase<A>,
+    violations: Vec<(String, String)>,
+    run: Result<Run<A>, String>,
+) -> Judged<A> {
+    if let Some(stats) = &built.fault_stats {
+        merge_fault_stats(&built.hub, stats);
+    }
+    let rejected: u64 = built.rejections.iter().map(|h| h.get()).sum();
+    if !built.rejections.is_empty() {
+        built.hub.add("clock.rejected_requests", rejected);
+    }
+    Judged {
+        run,
+        violations,
+        rejected_clock_requests: rejected,
+        metrics: built.hub.snapshot(),
+    }
+}
+
+/// Builds the heartbeat case's engine (without running it).
+pub(crate) fn build_heartbeat(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+) -> BuiltCase<FdAction> {
     let declared = cfg.bounds();
     // The seeded bug widens the channel's *internal* bounds so the stretch
     // passes the channel's own assert; the oracles keep judging against
@@ -396,28 +433,46 @@ pub fn run_heartbeat(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judge
             |_| false,
         ));
     }
-    let mut engine = builder
-        .observer(hub.engine_observer())
+    let engine = builder
+        .observer(hub.engine_observer().without_checkpoint_counters())
         .observer(hub.channel_delay_observer())
         .scheduler(BiasedScheduler::new(plan, seed))
         .horizon(at_ns(cfg.horizon_ns))
         .max_events(CASE_MAX_EVENTS)
         .build();
-
-    let (run, violations) = match engine.run() {
-        Ok(run) => {
-            let violations = check_all(&heartbeat_oracles(cfg, plan), &run.execution);
-            (Ok(run), violations)
-        }
-        Err(e) => (Err(e.to_string()), vec![("engine".into(), e.to_string())]),
-    };
-    merge_fault_stats(&hub, &fault_stats);
-    Judged {
-        run,
-        violations,
-        rejected_clock_requests: 0,
-        metrics: hub.snapshot(),
+    BuiltCase {
+        engine,
+        hub,
+        fault_stats: Some(fault_stats),
+        rejections: Vec::new(),
     }
+}
+
+/// Judges a heartbeat run against the scenario's oracles.
+pub(crate) fn judge_heartbeat(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    run: &Result<Run<FdAction>, String>,
+) -> Vec<(String, String)> {
+    match run {
+        Ok(run) => check_all(&heartbeat_oracles(cfg, plan), &run.execution),
+        Err(e) => vec![("engine".into(), e.clone())],
+    }
+}
+
+/// Runs one heartbeat case: returns the raw engine run and the oracle
+/// verdicts. Public (rather than folded into [`run_case`]) so tests can
+/// compare whole [`Execution`]s across replays.
+///
+/// # Panics
+///
+/// Panics if the config is not a heartbeat config.
+pub fn run_heartbeat(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<FdAction> {
+    assert_eq!(cfg.kind, ScenarioKind::Heartbeat);
+    let mut built = build_heartbeat(cfg, plan, seed);
+    let run = built.engine.run().map_err(|e| e.to_string());
+    let violations = judge_heartbeat(cfg, plan, &run);
+    finish_case(&built, violations, run)
 }
 
 /// The heartbeat scenario's oracle set (shared with conformance-style
@@ -572,6 +627,18 @@ fn fleet_period(cfg: &ScenarioConfig, node: u32) -> Duration {
 /// Panics if the config is not a clockfleet config.
 pub fn run_clockfleet(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<BeepAction> {
     assert_eq!(cfg.kind, ScenarioKind::ClockFleet);
+    let mut built = build_clockfleet(cfg, plan, seed);
+    let run = built.engine.run().map_err(|e| e.to_string());
+    let violations = judge_clockfleet(cfg, &run);
+    finish_case(&built, violations, run)
+}
+
+/// Builds the clock-fleet case's engine (without running it).
+pub(crate) fn build_clockfleet(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+) -> BuiltCase<BeepAction> {
     let eps = ns(cfg.eps_ns);
     let hub = MetricsHub::new();
     let mut builder = Engine::builder();
@@ -584,26 +651,28 @@ pub fn run_clockfleet(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judg
                 .with(ClockBeeper::with_src(fleet_period(cfg, i), i)),
         );
     }
-    let mut engine = builder
-        .observer(hub.engine_observer())
+    let engine = builder
+        .observer(hub.engine_observer().without_checkpoint_counters())
         .scheduler(BiasedScheduler::new(plan, seed))
         .horizon(at_ns(cfg.horizon_ns))
         .max_events(CASE_MAX_EVENTS)
         .build();
-    let (run, violations) = match engine.run() {
-        Ok(run) => {
-            let violations = check_all(&clockfleet_oracles(cfg), &run.execution);
-            (Ok(run), violations)
-        }
-        Err(e) => (Err(e.to_string()), vec![("engine".into(), e.to_string())]),
-    };
-    let rejected = handles.iter().map(|h| h.get()).sum();
-    hub.add("clock.rejected_requests", rejected);
-    Judged {
-        run,
-        violations,
-        rejected_clock_requests: rejected,
-        metrics: hub.snapshot(),
+    BuiltCase {
+        engine,
+        hub,
+        fault_stats: None,
+        rejections: handles,
+    }
+}
+
+/// Judges a clock-fleet run against the scenario's oracles.
+pub(crate) fn judge_clockfleet(
+    cfg: &ScenarioConfig,
+    run: &Result<Run<BeepAction>, String>,
+) -> Vec<(String, String)> {
+    match run {
+        Ok(run) => check_all(&clockfleet_oracles(cfg), &run.execution),
+        Err(e) => vec![("engine".into(), e.clone())],
     }
 }
 
@@ -686,6 +755,18 @@ pub fn clockfleet_oracles(cfg: &ScenarioConfig) -> Vec<Box<dyn Oracle<BeepAction
 /// Panics if the config is not a register config.
 pub fn run_register(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<RegAction> {
     assert_eq!(cfg.kind, ScenarioKind::Register);
+    let mut built = build_register(cfg, plan, seed);
+    let run = built.engine.run().map_err(|e| e.to_string());
+    let violations = judge_register(cfg, seed, &run);
+    finish_case(&built, violations, run)
+}
+
+/// Builds the register (`D_C`) case's engine (without running it).
+pub(crate) fn build_register(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+) -> BuiltCase<RegAction> {
     let hub = MetricsHub::new();
     let topo = Topology::complete(cfg.nodes as usize);
     let physical = cfg.bounds();
@@ -716,17 +797,31 @@ pub fn run_register(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged
         DelayBounds::new(Duration::from_millis(1), Duration::from_millis(6)).expect("valid"),
         cfg.ops_per_node,
     );
-    let mut engine = build_dc(&topo, physical, eps, algorithms, strategies, move |_, _| {
+    let engine = build_dc(&topo, physical, eps, algorithms, strategies, move |_, _| {
         Box::new(PlanDelayPolicy::new(&plan_for_policy, seed))
     })
     .timed(workload)
-    .observer(hub.engine_observer())
+    .observer(hub.engine_observer().without_checkpoint_counters())
     .scheduler(BiasedScheduler::new(plan, seed ^ 0x5C4E_D01E))
     .horizon(at_ns(cfg.horizon_ns))
     .max_events(CASE_MAX_EVENTS)
     .build();
+    BuiltCase {
+        engine,
+        hub,
+        fault_stats: None,
+        rejections: handles,
+    }
+}
 
-    let (run, violations) = match engine.run() {
+/// Judges a register run: liveness (the closed loop must drain before the
+/// horizon) plus the oracle set.
+pub(crate) fn judge_register(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    run: &Result<Run<RegAction>, String>,
+) -> Vec<(String, String)> {
+    match run {
         Ok(run) => {
             let mut violations = Vec::new();
             if run.stop != StopReason::Quiescent {
@@ -736,17 +831,9 @@ pub fn run_register(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged
                 ));
             }
             violations.extend(check_all(&register_oracles(cfg, seed), &run.execution));
-            (Ok(run), violations)
+            violations
         }
-        Err(e) => (Err(e.to_string()), vec![("engine".into(), e.to_string())]),
-    };
-    let rejected = handles.iter().map(|h| h.get()).sum();
-    hub.add("clock.rejected_requests", rejected);
-    Judged {
-        run,
-        violations,
-        rejected_clock_requests: rejected,
-        metrics: hub.snapshot(),
+        Err(e) => vec![("engine".into(), e.clone())],
     }
 }
 
@@ -785,23 +872,26 @@ pub fn register_oracles(cfg: &ScenarioConfig, seed: u64) -> Vec<Box<dyn Oracle<R
     ]
 }
 
+/// Collapses a typed [`Judged`] result into the kind-erased
+/// [`CaseOutcome`] the exploration loop stores and compares.
+pub(crate) fn outcome_of<A: Action>(judged: Judged<A>) -> CaseOutcome {
+    let (events, fp) = match &judged.run {
+        Ok(r) => (r.execution.len(), fingerprint(&r.execution)),
+        Err(_) => (0, 0),
+    };
+    CaseOutcome {
+        violations: judged.violations,
+        events,
+        rejected_clock_requests: judged.rejected_clock_requests,
+        fingerprint: fp,
+        metrics: judged.metrics,
+    }
+}
+
 /// Runs one case of any scenario kind and judges it — the generic entry
 /// point the exploration loop and `replay_artifact` share.
 #[must_use]
 pub fn run_case(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> CaseOutcome {
-    fn outcome_of<A: Action>(judged: Judged<A>) -> CaseOutcome {
-        let (events, fp) = match &judged.run {
-            Ok(r) => (r.execution.len(), fingerprint(&r.execution)),
-            Err(_) => (0, 0),
-        };
-        CaseOutcome {
-            violations: judged.violations,
-            events,
-            rejected_clock_requests: judged.rejected_clock_requests,
-            fingerprint: fp,
-            metrics: judged.metrics,
-        }
-    }
     match cfg.kind {
         ScenarioKind::Heartbeat => outcome_of(run_heartbeat(cfg, plan, seed)),
         ScenarioKind::ClockFleet => outcome_of(run_clockfleet(cfg, plan, seed)),

@@ -17,6 +17,7 @@ fn seeded_late_delivery_bug_is_found_shrunk_and_replayed() {
         cases: 64,
         seed: 0xC1A551C,
         max_entries: 6,
+        ..CampaignConfig::default()
     };
     let report = run_campaign(&campaign, &cfg);
     assert!(
@@ -96,6 +97,7 @@ fn clean_campaigns_find_no_violations() {
             cases,
             seed: 0xC1A551C,
             max_entries: 6,
+            ..CampaignConfig::default()
         };
         let report = run_campaign(&campaign, &scenario);
         assert!(

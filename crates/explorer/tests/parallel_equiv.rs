@@ -52,6 +52,7 @@ fn all_scenarios_reports_identical_across_job_counts() {
                 cases: 16,
                 seed,
                 max_entries: 5,
+                ..CampaignConfig::default()
             };
             assert_jobs_invariant(&campaign, &config);
         }
@@ -67,6 +68,7 @@ fn failing_campaign_reports_identical_across_job_counts() {
         cases: 24,
         seed: 0x0C1A_551C,
         max_entries: 6,
+        ..CampaignConfig::default()
     };
     let report = run_campaign_jobs(&campaign, &config, 1);
     assert!(
@@ -84,6 +86,7 @@ fn degenerate_campaigns_run_on_any_job_count() {
             cases,
             seed: 7,
             max_entries: 3,
+            ..CampaignConfig::default()
         };
         assert_jobs_invariant(&campaign, &config);
     }
@@ -101,7 +104,7 @@ proptest! {
         kind_ix in 0usize..3,
     ) {
         let config = scenario(ScenarioKind::all()[kind_ix]);
-        let campaign = CampaignConfig { cases, seed, max_entries };
+        let campaign = CampaignConfig { cases, seed, max_entries, ..CampaignConfig::default() };
         let sequential = run_campaign_jobs(&campaign, &config, 1);
         for jobs in JOBS {
             let parallel = run_campaign_jobs(&campaign, &config, jobs);

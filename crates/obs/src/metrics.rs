@@ -176,6 +176,23 @@ impl Registry {
                 .collect(),
         }
     }
+
+    /// Discards everything recorded and replaces it with the contents of
+    /// `snapshot` — the inverse of [`Registry::snapshot`], so
+    /// `restore(snap)` followed by `self.snapshot()` yields `snap` exactly.
+    /// Used to rewind metrics alongside an engine checkpoint restore.
+    pub fn restore(&mut self, snapshot: &MetricsSnapshot) {
+        self.counters = snapshot
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        self.histograms = snapshot
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.clone()))
+            .collect();
+    }
 }
 
 /// A point-in-time copy of a [`Registry`], sorted by metric name.

@@ -1,0 +1,119 @@
+//! Lemma 2.1 across the checkpoint seam: a run pasted together from a
+//! recorded prefix and a checkpoint-resumed suffix is an execution of
+//! the composition, so its projection onto every component must replay
+//! on a fresh copy of that component — exactly as the uninterrupted
+//! run's projection does.
+//!
+//! This is the verify-side complement of the executor's bit-identity
+//! tests: those compare the pasted run against the straight run; this
+//! one feeds the pasted run to the [`replay_timed`] / [`replay_clock`]
+//! oracles, which know nothing about checkpoints and accept only
+//! genuine component executions.
+
+use psync_automata::toys::{BeepAction, Beeper, ClockBeeper};
+use psync_executor::{
+    ClockNode, DriftClock, Engine, OffsetClock, PerfectClock, RandomScheduler, RandomWalkClock,
+    Run, ScriptedClock,
+};
+use psync_time::{Duration, Time};
+use psync_verify::replay::{replay_clock, replay_timed};
+
+fn ms(n: i64) -> Duration {
+    Duration::from_millis(n)
+}
+
+fn at(n: i64) -> Time {
+    Time::ZERO + ms(n)
+}
+
+/// Two real-time beepers plus one clock node per shipped strategy; the
+/// scripted node attempts a clamped backward jump at 60 ms so the
+/// pasted execution crosses a guard intervention too.
+fn fleet(seed: u64) -> Engine<BeepAction> {
+    Engine::builder()
+        .timed(Beeper::with_src(ms(5), 0))
+        .timed(Beeper::with_src(ms(7), 1))
+        .clock_node(
+            ClockNode::new("perfect", ms(2), PerfectClock).with(ClockBeeper::with_src(ms(9), 10)),
+        )
+        .clock_node(
+            ClockNode::new("offset", ms(2), OffsetClock::new(ms(2), ms(2)))
+                .with(ClockBeeper::with_src(ms(11), 11)),
+        )
+        .clock_node(
+            ClockNode::new("drift", ms(2), DriftClock::new(400))
+                .with(ClockBeeper::with_src(ms(13), 12)),
+        )
+        .clock_node(
+            ClockNode::new("walk", ms(2), RandomWalkClock::new(seed ^ 0xA5, ms(1)))
+                .with(ClockBeeper::with_src(ms(10), 13)),
+        )
+        .clock_node(
+            ClockNode::new(
+                "scripted",
+                ms(2),
+                ScriptedClock::new([(at(30), ms(2)), (at(60), ms(-2))]),
+            )
+            .with(ClockBeeper::with_src(ms(12), 14)),
+        )
+        .scheduler(RandomScheduler::new(seed))
+        .horizon(at(150))
+        .build()
+}
+
+/// Runs the fleet paused at `pause` events, checkpoints, restores into a
+/// freshly built engine and completes the run there.
+fn pasted_run(seed: u64, pause: usize) -> Run<BeepAction> {
+    let mut recorder = fleet(seed);
+    recorder.run_until_events(pause).unwrap();
+    let cp = recorder.checkpoint();
+    let mut resumed = fleet(seed);
+    resumed.restore(&cp);
+    resumed.run().unwrap()
+}
+
+/// Projects the run onto every component — timed beepers via wall-clock
+/// replay, clock beepers via clock-reading replay — and returns the
+/// per-component projected event counts. Panics (with the replay
+/// error) if any projection is refused.
+fn replay_all(label: &str, run: &Run<BeepAction>) -> Vec<usize> {
+    let mut counts = Vec::new();
+    for (period, src) in [(5, 0), (7, 1)] {
+        let n = replay_timed(Beeper::with_src(ms(period), src), &run.execution)
+            .unwrap_or_else(|e| panic!("{label}: timed src {src}: {e}"));
+        counts.push(n);
+    }
+    for (period, src) in [(9, 10), (11, 11), (13, 12), (10, 13), (12, 14)] {
+        let n = replay_clock(ClockBeeper::with_src(ms(period), src), &run.execution)
+            .unwrap_or_else(|e| panic!("{label}: clock src {src}: {e}"));
+        counts.push(n);
+    }
+    counts
+}
+
+#[test]
+fn pasted_executions_replay_onto_every_component() {
+    for seed in [1u64, 7, 42, 99, 1234, 987_654_321] {
+        let straight = fleet(seed).run().unwrap();
+        let straight_counts = replay_all(&format!("seed {seed}, straight"), &straight);
+        assert!(
+            straight_counts.iter().all(|&n| n > 0),
+            "seed {seed}: some component never acted — vacuous replay"
+        );
+
+        let n = straight.execution.len();
+        for pause in [0, 1, n / 3, n / 2, n - 1, n] {
+            let pasted = pasted_run(seed, pause);
+            let label = format!("seed {seed}, pause {pause}");
+            let pasted_counts = replay_all(&label, &pasted);
+            assert_eq!(
+                pasted_counts, straight_counts,
+                "{label}: projections differ from the uninterrupted run"
+            );
+            assert_eq!(
+                pasted.execution, straight.execution,
+                "{label}: pasted execution diverged"
+            );
+        }
+    }
+}
