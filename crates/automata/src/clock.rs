@@ -5,7 +5,7 @@ use core::fmt::Debug;
 use psync_time::{Duration, Time};
 
 use crate::component::DynState;
-use crate::{Action, ActionKind};
+use crate::{Action, ActionKind, WakeHint};
 
 /// A clock automaton (Definition 2.3): a timed automaton with an extra
 /// `clock` state component, whose transitions may depend on `clock` but
@@ -89,6 +89,20 @@ pub trait ClockComponent: 'static {
             _ => Some(s.clone()),
         }
     }
+
+    /// How far the *node clock* may advance before this component must be
+    /// re-examined — [`TimedComponent::wake_hint`] in local clock time.
+    ///
+    /// The contract is the same promise with `clock` substituted for `now`:
+    /// [`WakeHint::At(t)`](WakeHint::At) says `enabled`, `clock_deadline`,
+    /// `advance` and `clock_wake` are unaffected by clock values strictly
+    /// below `t`. The default, [`WakeHint::Always`], promises nothing.
+    ///
+    /// [`TimedComponent::wake_hint`]: crate::TimedComponent::wake_hint
+    fn clock_wake(&self, s: &Self::State, clock: Time) -> WakeHint {
+        let _ = (s, clock);
+        WakeHint::Always
+    }
 }
 
 /// Object-safe erased view of a [`ClockComponent`].
@@ -100,6 +114,7 @@ pub(crate) trait DynClock<A: Action> {
     fn enabled_dyn(&self, s: &DynState, clock: Time) -> Vec<A>;
     fn clock_deadline_dyn(&self, s: &DynState, clock: Time) -> Option<Time>;
     fn advance_dyn(&self, s: &DynState, clock: Time, target: Time) -> Option<DynState>;
+    fn clock_wake_dyn(&self, s: &DynState, clock: Time) -> WakeHint;
 }
 
 struct Eraser<C>(C);
@@ -133,6 +148,10 @@ impl<A: Action, C: ClockComponent<Action = A>> DynClock<A> for Eraser<C> {
         self.0
             .advance(expect::<C>(s), clock, target)
             .map(DynState::of)
+    }
+
+    fn clock_wake_dyn(&self, s: &DynState, clock: Time) -> WakeHint {
+        self.0.clock_wake(expect::<C>(s), clock)
     }
 }
 
@@ -218,6 +237,13 @@ impl<A: Action> ClockComponentBox<A> {
     pub fn advance(&self, s: &DynState, clock: Time, target: Time) -> Option<DynState> {
         self.inner.advance_dyn(s, clock, target)
     }
+
+    /// The component's clock-time-dependence promise
+    /// (see [`ClockComponent::clock_wake`]).
+    #[must_use]
+    pub fn clock_wake(&self, s: &DynState, clock: Time) -> WakeHint {
+        self.inner.clock_wake_dyn(s, clock)
+    }
 }
 
 /// A [`ClockComponentBox`] is itself a [`ClockComponent`] (over the erased
@@ -257,6 +283,10 @@ impl<A: Action> ClockComponent for ClockComponentBox<A> {
 
     fn advance(&self, s: &DynState, clock: Time, target: Time) -> Option<DynState> {
         ClockComponentBox::advance(self, s, clock, target)
+    }
+
+    fn clock_wake(&self, s: &DynState, clock: Time) -> WakeHint {
+        ClockComponentBox::clock_wake(self, s, clock)
     }
 }
 
@@ -379,6 +409,15 @@ impl<A: Action> ClockComponent for ClockComposite<A> {
         }
         Some(next)
     }
+
+    fn clock_wake(&self, s: &CompositeState, clock: Time) -> WakeHint {
+        // The composite wakes when any part does.
+        self.parts
+            .iter()
+            .zip(s)
+            .map(|(p, ps)| p.clock_wake(ps, clock))
+            .fold(WakeHint::Never, WakeHint::earlier)
+    }
 }
 
 /// The hiding operator for clock components: reclassifies selected output
@@ -443,6 +482,10 @@ where
 
     fn advance(&self, s: &Self::State, clock: Time, target: Time) -> Option<Self::State> {
         self.inner.advance(s, clock, target)
+    }
+
+    fn clock_wake(&self, s: &Self::State, clock: Time) -> WakeHint {
+        self.inner.clock_wake(s, clock)
     }
 }
 

@@ -104,6 +104,60 @@ pub trait TimedComponent: 'static {
             _ => Some(s.clone()),
         }
     }
+
+    /// How far time may pass before this component must be re-examined — the
+    /// scheduling hint behind the engine's O(log n) wake-up heap.
+    ///
+    /// Like [`action_names`](TimedComponent::action_names) this is a *hint*,
+    /// not behaviour, but the contract is load-bearing when given:
+    ///
+    /// * [`WakeHint::At(t)`](WakeHint::At) promises that for every target
+    ///   `v` with `now < v < t`, `advance(s, now, v)` succeeds with a state
+    ///   behaviourally identical to `s`, and that `enabled`, `deadline` and
+    ///   `wake_hint` evaluated at `v` return exactly what they return at
+    ///   `now`. (A hint `t ≤ now` makes no promise at all, like `Always`.)
+    /// * [`WakeHint::Never`] is the same promise for *every* `v > now`:
+    ///   nothing about the component depends on time in its current state.
+    /// * [`WakeHint::Always`] (the default) promises nothing — the engine
+    ///   re-queries after every time advance, the pre-heap behaviour.
+    ///
+    /// Components whose time-dependent state stores absolute times (the
+    /// library's channels and timers) return the earliest such stored time.
+    /// A wrong hint silently desynchronizes the engine's caches, exactly
+    /// like a wrong `action_names` list — when in doubt, keep the default.
+    fn wake_hint(&self, s: &Self::State, now: Time) -> WakeHint {
+        let _ = (s, now);
+        WakeHint::Always
+    }
+}
+
+/// A component's promise about its own time-dependence, returned by
+/// [`TimedComponent::wake_hint`] (and, in clock time, by
+/// [`ClockComponent::clock_wake`](crate::ClockComponent::clock_wake)).
+///
+/// See [`TimedComponent::wake_hint`] for the precise contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeHint {
+    /// No promise: re-query the component after every time advance.
+    Always,
+    /// The component is time-independent strictly before this absolute time.
+    At(Time),
+    /// The component is time-independent in its current state, forever.
+    Never,
+}
+
+impl WakeHint {
+    /// Combines the hints of two composed parts: the composite must wake
+    /// when *either* part does, so `Always` dominates, `Never` is the
+    /// identity, and two wake times combine to the earlier one.
+    #[must_use]
+    pub fn earlier(self, other: WakeHint) -> WakeHint {
+        match (self, other) {
+            (WakeHint::Always, _) | (_, WakeHint::Always) => WakeHint::Always,
+            (WakeHint::Never, h) | (h, WakeHint::Never) => h,
+            (WakeHint::At(a), WakeHint::At(b)) => WakeHint::At(a.min(b)),
+        }
+    }
 }
 
 /// Object-safe view of a [`TimedComponent`] with its state type erased, so
@@ -116,6 +170,7 @@ pub(crate) trait DynTimed<A: Action> {
     fn enabled_dyn(&self, s: &DynState, now: Time) -> Vec<A>;
     fn deadline_dyn(&self, s: &DynState, now: Time) -> Option<Time>;
     fn advance_dyn(&self, s: &DynState, now: Time, target: Time) -> Option<DynState>;
+    fn wake_hint_dyn(&self, s: &DynState, now: Time) -> WakeHint;
 }
 
 /// A type-erased component state.
@@ -192,6 +247,10 @@ impl<A: Action, C: TimedComponent<Action = A>> DynTimed<A> for Eraser<C> {
         self.0
             .advance(expect_state::<C>(s), now, target)
             .map(|s2| DynState(Box::new(s2)))
+    }
+
+    fn wake_hint_dyn(&self, s: &DynState, now: Time) -> WakeHint {
+        self.0.wake_hint(expect_state::<C>(s), now)
     }
 }
 
@@ -291,6 +350,13 @@ impl<A: Action> ComponentBox<A> {
     pub fn advance(&self, s: &DynState, now: Time, target: Time) -> Option<DynState> {
         self.inner.advance_dyn(s, now, target)
     }
+
+    /// The component's time-dependence promise
+    /// (see [`TimedComponent::wake_hint`]).
+    #[must_use]
+    pub fn wake_hint(&self, s: &DynState, now: Time) -> WakeHint {
+        self.inner.wake_hint_dyn(s, now)
+    }
 }
 
 /// A [`ComponentBox`] is itself a [`TimedComponent`] (over the erased
@@ -330,6 +396,10 @@ impl<A: Action> TimedComponent for ComponentBox<A> {
 
     fn advance(&self, s: &DynState, now: Time, target: Time) -> Option<DynState> {
         ComponentBox::advance(self, s, now, target)
+    }
+
+    fn wake_hint(&self, s: &DynState, now: Time) -> WakeHint {
+        ComponentBox::wake_hint(self, s, now)
     }
 }
 
@@ -418,6 +488,11 @@ where
 
     fn advance(&self, s: &Self::State, now: Time, target: Time) -> Option<Self::State> {
         self.inner.advance(s, now, target)
+    }
+
+    fn wake_hint(&self, s: &Self::State, now: Time) -> WakeHint {
+        // Hiding never changes timing behaviour, only visibility.
+        self.inner.wake_hint(s, now)
     }
 }
 

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use psync_time::Time;
 
-use crate::{Action, ActionKind, TimedTrace};
+use crate::{Action, ActionKind, ArenaSnapshot, EventArena, TimedTrace};
 
 /// One non-time-passage action occurrence in a recorded execution.
 ///
@@ -51,14 +51,15 @@ pub struct TimedEvent<A> {
 /// An execution is *admissible* when time grows without bound; recorded
 /// executions are necessarily finite, so [`Execution::ltime`] reports how
 /// far the run got and callers decide whether that horizon suffices.
+///
+/// Storage is an [`ArenaSnapshot`]: an engine snapshots its (growing)
+/// arena-backed event log into an `Execution` on every `finish`, and
+/// incremental driving via `run_until` produces many snapshots of the same
+/// prefix — each O(1) and sharing the underlying flat storage. The engine
+/// copy-on-writes only when it appends past a still-live snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Execution<A> {
-    // Shared, not owned: an engine snapshots its (growing) event log into
-    // an `Execution` on every `finish`, and incremental driving via
-    // `run_until` produces many snapshots of the same prefix. `Arc` makes
-    // each snapshot O(1); the engine copy-on-writes only when it appends
-    // past a still-live snapshot.
-    events: Arc<Vec<TimedEvent<A>>>,
+    log: ArenaSnapshot<A>,
     ltime: Time,
 }
 
@@ -70,19 +71,22 @@ impl<A: Action> Execution<A> {
     /// Panics if event times are not non-decreasing or exceed `ltime`.
     #[must_use]
     pub fn new(events: Vec<TimedEvent<A>>, ltime: Time) -> Self {
-        Execution::from_shared(Arc::new(events), ltime)
+        Execution::from_snapshot(
+            ArenaSnapshot::full(Arc::new(EventArena::from_events(events))),
+            ltime,
+        )
     }
 
-    /// Creates an execution record from an already-shared event log,
-    /// without copying it.
+    /// Creates an execution record from an already-shared arena view,
+    /// without copying events.
     ///
     /// # Panics
     ///
     /// Panics if event times are not non-decreasing or exceed `ltime`.
     #[must_use]
-    pub fn from_shared(events: Arc<Vec<TimedEvent<A>>>, ltime: Time) -> Self {
+    pub fn from_snapshot(log: ArenaSnapshot<A>, ltime: Time) -> Self {
         let mut prev = Time::ZERO;
-        for e in events.iter() {
+        for e in log.events() {
             assert!(
                 e.now >= prev,
                 "event times must be non-decreasing ({} after {})",
@@ -95,13 +99,20 @@ impl<A: Action> Execution<A> {
             prev <= ltime,
             "ltime {ltime} precedes the last event at {prev}"
         );
-        Execution { events, ltime }
+        Execution { log, ltime }
     }
 
     /// The recorded events, in order.
     #[must_use]
     pub fn events(&self) -> &[TimedEvent<A>] {
-        &self.events
+        self.log.events()
+    }
+
+    /// The underlying arena view — prefix cuts and re-snapshots are O(1)
+    /// through it.
+    #[must_use]
+    pub fn snapshot(&self) -> &ArenaSnapshot<A> {
+        &self.log
     }
 
     /// The supremum of `now` over the execution (`α.ltime`).
@@ -113,20 +124,35 @@ impl<A: Action> Execution<A> {
     /// Number of recorded events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.log.len()
     }
 
     /// `true` when no events were recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.log.is_empty()
+    }
+
+    /// The first `n` events as an execution, sharing storage with `self`
+    /// (O(1), no event copies). The prefix's `ltime` is its last event's
+    /// time (or zero when `n == 0`) — the shortest horizon the cut is
+    /// valid for, matching Lemma 2.1's prefix-paste cut *at* an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the number of recorded events.
+    #[must_use]
+    pub fn prefix(&self, n: usize) -> Execution<A> {
+        let log = self.log.prefix(n);
+        let ltime = log.events().last().map_or(Time::ZERO, |e| e.now);
+        Execution { log, ltime }
     }
 
     /// The timed schedule `t-sched(α)`: every non-time-passage action with
     /// its real time of occurrence.
     #[must_use]
     pub fn t_sched(&self) -> TimedTrace<A> {
-        self.events
+        self.events()
             .iter()
             .map(|e| (e.action.clone(), e.now))
             .collect()
@@ -136,7 +162,7 @@ impl<A: Action> Execution<A> {
     /// with their real times.
     #[must_use]
     pub fn t_trace(&self) -> TimedTrace<A> {
-        self.events
+        self.events()
             .iter()
             .filter(|e| e.kind.is_visible())
             .map(|e| (e.action.clone(), e.now))
@@ -150,7 +176,7 @@ impl<A: Action> Execution<A> {
     /// [`crate::reorder_by_time`] to obtain `γ_α`.
     #[must_use]
     pub fn clock_sched(&self) -> Vec<(A, Time)> {
-        self.events
+        self.events()
             .iter()
             .filter_map(|e| e.clock.map(|c| (e.action.clone(), c)))
             .collect()
@@ -159,8 +185,9 @@ impl<A: Action> Execution<A> {
     /// Projects onto events satisfying `keep`, retaining times.
     #[must_use]
     pub fn project(&self, mut keep: impl FnMut(&TimedEvent<A>) -> bool) -> Execution<A> {
+        let kept: Vec<_> = self.events().iter().filter(|e| keep(e)).cloned().collect();
         Execution {
-            events: Arc::new(self.events.iter().filter(|e| keep(e)).cloned().collect()),
+            log: ArenaSnapshot::full(Arc::new(EventArena::from_events(kept))),
             ltime: self.ltime,
         }
     }
@@ -171,10 +198,10 @@ impl<A: Action> fmt::Display for Execution<A> {
         writeln!(
             f,
             "execution ({} events, ltime {}):",
-            self.events.len(),
+            self.log.len(),
             self.ltime
         )?;
-        for e in self.events.iter() {
+        for e in self.events() {
             match (e.clock, e.node.as_deref()) {
                 (Some(c), Some(n)) => writeln!(
                     f,
@@ -284,6 +311,16 @@ mod tests {
         let outs = e.project(|ev| ev.kind == ActionKind::Output);
         assert_eq!(outs.len(), 1);
         assert_eq!(outs.ltime(), at(10));
+    }
+
+    #[test]
+    fn prefix_shares_storage_and_shrinks_ltime() {
+        let e = sample();
+        let p = e.prefix(2);
+        assert_eq!(p.events(), &e.events()[..2]);
+        assert_eq!(p.ltime(), at(2), "prefix ltime is its last event's time");
+        assert_eq!(e.prefix(0).ltime(), Time::ZERO);
+        assert_eq!(e.prefix(3), e.prefix(3));
     }
 
     #[test]

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod action;
+mod arena;
 mod clock;
 mod component;
 mod execution;
@@ -65,10 +66,11 @@ pub mod toys;
 mod trace;
 
 pub use action::{Action, ActionKind};
+pub use arena::{ArenaSnapshot, EventArena};
 pub use clock::{
     ClockComponent, ClockComponentBox, ClockComposite, ClockPredicate, CompositeState, HiddenClock,
 };
-pub use component::{ComponentBox, DynState, Hidden, TimedComponent};
+pub use component::{ComponentBox, DynState, Hidden, TimedComponent, WakeHint};
 pub use execution::{Execution, TimedEvent};
 pub use pair::{Pair, PairState};
 pub use problem::{Problem, Verdict};

@@ -135,6 +135,13 @@ where
             b: self.b.advance(&s.b, now, target)?,
         })
     }
+
+    fn wake_hint(&self, s: &Self::State, now: Time) -> crate::WakeHint {
+        // The pair wakes when either part does.
+        self.a
+            .wake_hint(&s.a, now)
+            .earlier(self.b.wake_hint(&s.b, now))
+    }
 }
 
 #[cfg(test)]

@@ -112,6 +112,11 @@ where
     fn advance(&self, s: &Self::State, now: Time, target: Time) -> Option<Self::State> {
         self.inner.advance(s, now, target)
     }
+
+    fn wake_hint(&self, s: &Self::State, now: Time) -> crate::WakeHint {
+        // Relabelling touches the alphabet, never the timing.
+        self.inner.wake_hint(s, now)
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 
 use psync_time::{Duration, Time};
 
-use crate::{Action, ActionKind, ClockComponent, TimedComponent};
+use crate::{Action, ActionKind, ClockComponent, TimedComponent, WakeHint};
 
 /// Actions of the [`Beeper`] and [`ClockBeeper`] toys.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -127,6 +127,13 @@ impl TimedComponent for Beeper {
     fn deadline(&self, s: &BeeperState, _now: Time) -> Option<Time> {
         Some(s.next)
     }
+
+    fn wake_hint(&self, s: &BeeperState, _now: Time) -> WakeHint {
+        // Nothing about a beeper changes until its next beep is due:
+        // enabled stays empty, the deadline stays `s.next`, and advancing
+        // to any earlier time is the identity on state.
+        WakeHint::At(s.next)
+    }
 }
 
 /// The clock-model sibling of [`Beeper`]: beeps at multiples of the node
@@ -219,6 +226,11 @@ impl ClockComponent for ClockBeeper {
 
     fn clock_deadline(&self, s: &BeeperState, _clock: Time) -> Option<Time> {
         Some(s.next)
+    }
+
+    fn clock_wake(&self, s: &BeeperState, _clock: Time) -> WakeHint {
+        // Same promise as the timed beeper, in clock time.
+        WakeHint::At(s.next)
     }
 }
 

@@ -20,7 +20,7 @@
 use core::fmt::Debug;
 use core::hash::Hash;
 
-use psync_automata::{ActionKind, TimedComponent};
+use psync_automata::{ActionKind, TimedComponent, WakeHint};
 use psync_executor::{Engine, Observer, RandomScheduler, ReferenceEngine, Run};
 use psync_net::{Channel, Envelope, MinDelay, MsgId, NodeId, SysAction};
 use psync_time::{DelayBounds, Duration, Time};
@@ -85,7 +85,14 @@ impl<M: RingToken> RingForwarder<M> {
     /// unique and ascending).
     #[must_use]
     pub fn new(me: usize, n: usize) -> Self {
-        let first_tokens = (0..TOKENS_PER_NODE)
+        Self::with_tokens(me, n, TOKENS_PER_NODE)
+    }
+
+    /// As [`RingForwarder::new`] with an explicit initial token count —
+    /// `0` builds an idle node that only ever relays what it receives.
+    #[must_use]
+    pub fn with_tokens(me: usize, n: usize, count: usize) -> Self {
+        let first_tokens = (0..count)
             .map(|k| M::from_index(u32::try_from(me + k * n).expect("ring size fits u32")))
             .collect();
         RingForwarder {
@@ -173,6 +180,17 @@ impl<M: RingToken> TimedComponent for RingForwarder<M> {
             None
         } else {
             Some(now)
+        }
+    }
+
+    fn wake_hint(&self, s: &RingForwarderState<M>, _now: Time) -> WakeHint {
+        // Empty-handed forwarders only change by receiving (a step); a
+        // holding forwarder's deadline is `now`-dependent, so it may not
+        // promise anything across time passage.
+        if s.tokens.is_empty() {
+            WakeHint::Never
+        } else {
+            WakeHint::Always
         }
     }
 }
@@ -282,6 +300,20 @@ pub fn run_ring_incremental_observed(
     b.build().run().expect("ring run")
 }
 
+/// Builds (but does not run) the `n`-ring on the scan-everything
+/// [`ReferenceEngine`] — for measurements that pause the run at an event
+/// budget rather than a time horizon.
+#[must_use]
+pub fn build_ring_reference(n: usize, horizon: Time) -> ReferenceEngine<RingAction> {
+    let mut b = ReferenceEngine::builder()
+        .scheduler(RandomScheduler::new(RING_SEED))
+        .horizon(horizon);
+    for (fwd, ch) in build_ring_components(n) {
+        b = b.timed(fwd).timed(ch);
+    }
+    b.build()
+}
+
 /// Builds and runs the `n`-ring on the scan-everything
 /// [`ReferenceEngine`].
 ///
@@ -290,13 +322,57 @@ pub fn run_ring_incremental_observed(
 /// Panics if the run fails (the ring is well-formed by construction).
 #[must_use]
 pub fn run_ring_reference(n: usize, horizon: Time) -> Run<RingAction> {
+    build_ring_reference(n, horizon).run().expect("ring run")
+}
+
+/// Components of the *sparse* `n`-ring: node 0 holds one token, every
+/// other node starts empty. The workload is the polar opposite of the
+/// dense ring — out of `2n` components exactly one forwarder and one
+/// channel are ever busy, so at any instant all but a handful of heap
+/// entries are `Never`/far-future hints. A scan-everything engine still
+/// pays O(n) per event; the wake-up heap pays O(log n).
+fn build_sparse_ring_components(n: usize) -> Vec<(RingForwarder, Channel<u32, &'static str>)> {
+    (0..n)
+        .map(|i| {
+            (
+                RingForwarder::with_tokens(i, n, usize::from(i == 0)),
+                Channel::new(NodeId(i), NodeId((i + 1) % n), hop(), MinDelay),
+            )
+        })
+        .collect()
+}
+
+/// Horizon giving roughly `target_events` events on a sparse `n`-ring
+/// (one token, one hop — 2 events — per simulated millisecond).
+#[must_use]
+pub fn sparse_ring_horizon(target_events: usize) -> Time {
+    Time::ZERO + Duration::from_millis((target_events / 2).max(1) as i64)
+}
+
+/// Builds (but does not run) the sparse `n`-ring on the incremental
+/// [`Engine`].
+#[must_use]
+pub fn build_sparse_ring_engine(n: usize, horizon: Time) -> Engine<RingAction> {
+    let mut b = Engine::builder()
+        .scheduler(RandomScheduler::new(RING_SEED))
+        .horizon(horizon);
+    for (fwd, ch) in build_sparse_ring_components(n) {
+        b = b.timed(fwd).timed(ch);
+    }
+    b.build()
+}
+
+/// Builds (but does not run) the sparse `n`-ring on the scan-everything
+/// [`ReferenceEngine`].
+#[must_use]
+pub fn build_sparse_ring_reference(n: usize, horizon: Time) -> ReferenceEngine<RingAction> {
     let mut b = ReferenceEngine::builder()
         .scheduler(RandomScheduler::new(RING_SEED))
         .horizon(horizon);
-    for (fwd, ch) in build_ring_components(n) {
+    for (fwd, ch) in build_sparse_ring_components(n) {
         b = b.timed(fwd).timed(ch);
     }
-    b.build().run().expect("ring run")
+    b.build()
 }
 
 #[cfg(test)]
@@ -317,5 +393,15 @@ mod tests {
         let a = run_ring_incremental(3, h);
         let b = run_ring_reference(3, h);
         assert_eq!(a.execution, b.execution);
+    }
+
+    #[test]
+    fn sparse_ring_circulates_its_single_token() {
+        let h = sparse_ring_horizon(64);
+        let a = build_sparse_ring_engine(8, h).run().expect("sparse run");
+        let b = build_sparse_ring_reference(8, h).run().expect("sparse run");
+        assert_eq!(a.execution, b.execution);
+        // One send per simulated millisecond (plus the matching recvs).
+        assert!(a.execution.len() >= 60, "got {}", a.execution.len());
     }
 }

@@ -1,0 +1,54 @@
+//! Large-ring smoke tests: the wake-up-heap engine at `n = 1024`, sized
+//! to stay debug-build-friendly (CI runs these unoptimized).
+//!
+//! The full-scale throughput numbers live in
+//! `benches/engine_scaling_heap.rs`; these tests pin correctness at the
+//! same scale — the heap engine must replay the reference's execution on
+//! a 1024-node sparse ring, and must sustain a dense 1024-node burst
+//! without the lazy heaps drifting out of sync with component state.
+
+use psync_bench::ring::{
+    build_ring_engine, build_sparse_ring_engine, build_sparse_ring_reference, ring_horizon,
+    sparse_ring_horizon,
+};
+use psync_executor::StopReason;
+
+const N: usize = 1024;
+
+/// Sparse differential at n = 1024: one token, 64 events, both engines.
+/// The reference is O(n) per event even when idle, so the budget is
+/// small — but every event crosses an advance that pops the heap in the
+/// presence of 2047 `Never`-hinted components.
+#[test]
+fn sparse_1024_ring_matches_the_reference() {
+    let horizon = sparse_ring_horizon(64);
+    let a = build_sparse_ring_engine(N, horizon)
+        .run()
+        .expect("heap run");
+    let b = build_sparse_ring_reference(N, horizon)
+        .run()
+        .expect("reference run");
+    assert_eq!(a.stop, b.stop);
+    assert_eq!(a.execution, b.execution);
+    assert!(a.execution.len() >= 60, "got {}", a.execution.len());
+}
+
+/// Dense burst at n = 1024, heap engine only (the reference would need
+/// minutes in a debug build): one full simulated millisecond is a burst
+/// of `2·1024·4 = 8192` same-instant events. Running 2048 of them
+/// exercises intra-burst dirty tracking; the event count and final time
+/// are pinned so a scheduling drift cannot pass silently.
+#[test]
+fn dense_1024_ring_sustains_a_burst() {
+    let mut engine = build_ring_engine(N, ring_horizon(N, 8192));
+    let run = engine.run_until_events(2048).expect("dense run");
+    assert_eq!(run.stop, StopReason::Paused);
+    assert_eq!(run.execution.len(), 2048);
+    // The first burst: sends at t=0 are still in flight until 1 ms, so
+    // every recorded event sits at t=0 or t=1ms.
+    let last = run.execution.events().last().expect("nonempty").now;
+    assert!(
+        last <= psync_time::Time::ZERO + psync_time::Duration::from_millis(1),
+        "burst leaked past its instant: {last}"
+    );
+}

@@ -11,10 +11,22 @@
 //! * a static **routing table** built once at [`EngineBuilder::build`] from
 //!   the components' [`TimedComponent::action_names`] hints, so firing an
 //!   action visits only the components that might have it in signature;
+//! * **wake-up heaps** fed by the components'
+//!   [`TimedComponent::wake_hint`] promises: a time advance wakes only the
+//!   components whose promised wake time has come due (popped from a lazy
+//!   min-heap in deterministic `(deadline, component-index)` order) plus
+//!   the components that made no promise, instead of advancing and
+//!   re-querying all of them — O(woken · log n) per advance instead of
+//!   O(n);
 //! * a **deadline scratch** that carries each node's minimum clock deadline
 //!   from [`compute_target`](Engine::run) to the immediately following
 //!   time advance (the states have not changed in between, so the reuse is
 //!   exact).
+//!
+//! The event log is an arena ([`EventArena`]) shared by `Arc`: run
+//! snapshots, checkpoints and observers all view the same flat storage,
+//! so snapshotting is O(1) and the engine copy-on-writes only when it
+//! appends past a still-live snapshot.
 //!
 //! All of this is invisible in the recorded executions: the candidate
 //! order, scheduler consultation and event log are bit-identical to the
@@ -29,8 +41,8 @@ use std::sync::Arc;
 
 use psync_automata::ClockComponent;
 use psync_automata::{
-    Action, ClockComponentBox, ClockPredicate, ComponentBox, DynState, Execution, TimedComponent,
-    TimedEvent,
+    Action, ArenaSnapshot, ClockComponentBox, ClockPredicate, ComponentBox, DynState, EventArena,
+    Execution, TimedComponent, TimedEvent, WakeHint,
 };
 use psync_time::{Duration, Time};
 
@@ -39,6 +51,7 @@ use crate::error::EngineError;
 use crate::fasthash::FastBuildHasher;
 use crate::observer::{ClockRead, Observer};
 use crate::scheduler::{FifoScheduler, Scheduler, SchedulerCheckpoint};
+use crate::wakeheap::WakeHeap;
 
 /// Default cap on recorded events, guarding against Zeno compositions.
 const DEFAULT_MAX_EVENTS: usize = 1_000_000;
@@ -171,7 +184,7 @@ pub struct EngineCheckpoint<A: Action> {
     pub(crate) node_states: Vec<Vec<DynState>>,
     pub(crate) clock_states: Vec<ClockCheckpoint>,
     pub(crate) scheduler_state: SchedulerCheckpoint,
-    pub(crate) events: Arc<Vec<TimedEvent<A>>>,
+    pub(crate) events: ArenaSnapshot<A>,
     pub(crate) idle_advances: u32,
     pub(crate) horizon: Option<Time>,
 }
@@ -187,6 +200,13 @@ impl<A: Action> EngineCheckpoint<A> {
     /// checkpoint, oldest first).
     #[must_use]
     pub fn events(&self) -> &[TimedEvent<A>] {
+        self.events.events()
+    }
+
+    /// The captured prefix as an O(1) arena view, for callers that want to
+    /// share the storage onward (shrink-probe ladders, recorded runs).
+    #[must_use]
+    pub fn events_snapshot(&self) -> &ArenaSnapshot<A> {
         &self.events
     }
 
@@ -381,12 +401,20 @@ impl<A: Action> EngineBuilder<A> {
 
         let flat_count = flat_origin.len();
         let node_count = nodes.len();
+        let timed_count = timed.len();
+        // The arena is born knowing every node name: events then share the
+        // interned `Arc<str>`s, and index-based consumers can resolve a
+        // name without touching the events.
+        let mut arena = EventArena::new();
+        for node in &nodes {
+            arena.intern(&node.name);
+        }
         Engine {
             timed,
             nodes,
             now: Time::ZERO,
             scheduler: self.scheduler,
-            events: Arc::new(Vec::new()),
+            events: Arc::new(arena),
             horizon: self.horizon,
             max_events: self.max_events,
             idle_advances: 0,
@@ -404,6 +432,13 @@ impl<A: Action> EngineBuilder<A> {
             cand_origin: Vec::new(),
             node_dc_scratch: vec![None; node_count],
             dc_scratch_valid: false,
+            wake_cached: vec![WakeHint::Always; timed_count],
+            dl_cached: vec![None; timed_count],
+            wake_heap: WakeHeap::new(),
+            dl_heap: WakeHeap::new(),
+            always_ids: Vec::new(),
+            in_always: vec![false; timed_count],
+            touched_scratch: Vec::new(),
         }
     }
 }
@@ -427,7 +462,7 @@ pub struct Engine<A: Action> {
     nodes: Vec<NodeRuntime<A>>,
     now: Time,
     scheduler: Box<dyn Scheduler<A>>,
-    events: Arc<Vec<TimedEvent<A>>>,
+    events: Arc<EventArena<A>>,
     horizon: Option<Time>,
     max_events: usize,
     idle_advances: u32,
@@ -482,6 +517,34 @@ pub struct Engine<A: Action> {
     /// between, so the value is exact, not a heuristic).
     node_dc_scratch: Vec<Option<Time>>,
     dc_scratch_valid: bool,
+    /// Timed component `id`'s wake hint as of its last cache refresh
+    /// (indexed by flat id, which equals the timed index; node components
+    /// are not tracked here — their hints are consulted inline per
+    /// advance, on the clock-time basis).
+    wake_cached: Vec<WakeHint>,
+    /// Timed component `id`'s deadline as of the same refresh; meaningful
+    /// only while `wake_cached[id]` is not `Always` (an `Always` component
+    /// promises nothing, so its deadline is re-queried on every
+    /// `compute_target`).
+    dl_cached: Vec<Option<Time>>,
+    /// Lazy min-heap of `(wake time, timed id)`. An entry is live iff the
+    /// component still caches exactly that `At(time)` hint; stale entries
+    /// are discarded when popped. Pushes are unconditional on every
+    /// refresh — duplicates are cheaper than a lookup structure and are
+    /// bounded by `rebuild_heaps`.
+    wake_heap: WakeHeap,
+    /// Lazy min-heap of `(deadline, timed id)` over the non-`Always` timed
+    /// components; an entry is live iff the component still caches that
+    /// deadline. Its live top is the earliest timed deadline
+    /// `compute_target` needs, found without scanning.
+    dl_heap: WakeHeap,
+    /// Timed ids currently hinting `Always` (lazy membership: an entry is
+    /// live iff `in_always[id]`; stale and duplicate entries are dropped
+    /// on iteration or by periodic compaction).
+    always_ids: Vec<usize>,
+    in_always: Vec<bool>,
+    /// Scratch for the ids woken by one time advance.
+    touched_scratch: Vec<usize>,
 }
 
 impl<A: Action> Engine<A> {
@@ -517,7 +580,7 @@ impl<A: Action> Engine<A> {
     /// The events recorded so far.
     #[must_use]
     pub fn events(&self) -> &[TimedEvent<A>] {
-        &self.events
+        self.events.events()
     }
 
     /// Extends (or sets) the horizon and continues the run — incremental
@@ -596,6 +659,7 @@ impl<A: Action> Engine<A> {
     /// [`EngineCheckpoint`] for what is (and is not) captured. Observers
     /// are notified via [`Observer::on_checkpoint`]; like every hook this
     /// is read-only, so checkpointing never perturbs the run.
+    #[must_use = "a checkpoint is only useful if restored or inspected"]
     pub fn checkpoint(&mut self) -> EngineCheckpoint<A> {
         let cp = EngineCheckpoint {
             now: self.now,
@@ -608,7 +672,7 @@ impl<A: Action> Engine<A> {
                 .collect(),
             clock_states: self.nodes.iter().map(|n| n.strategy.checkpoint()).collect(),
             scheduler_state: self.scheduler.checkpoint(),
-            events: Arc::clone(&self.events),
+            events: ArenaSnapshot::full(Arc::clone(&self.events)),
             idle_advances: self.idle_advances,
             horizon: self.horizon,
         };
@@ -667,17 +731,19 @@ impl<A: Action> Engine<A> {
             node.strategy.restore(&checkpoint.clock_states[n]);
         }
         self.scheduler.restore(&checkpoint.scheduler_state);
-        self.events = Arc::clone(&checkpoint.events);
+        // Checkpoints taken by an engine always view their whole arena
+        // (appending past a live snapshot copy-on-writes), so this is an
+        // `Arc` clone; a proper prefix view materializes a truncated copy.
+        self.events = checkpoint.events.to_arena();
         self.idle_advances = checkpoint.idle_advances;
         self.horizon = checkpoint.horizon;
-        // Derived caches are rebuilt from the restored states on the next
-        // refresh; the all-dirty rebuild yields identical candidate lists.
-        self.dirty.fill(true);
-        self.dirty_ids.clear();
-        self.all_dirty = true;
-        self.dc_scratch_valid = false;
+        // Derived caches — including the wake/deadline heaps, which hold
+        // no state a checkpoint would need — are rebuilt from the restored
+        // states on the next refresh; the all-dirty rebuild yields
+        // identical candidate lists and re-notes every hint.
+        self.invalidate_caches();
         for obs in &mut self.observers {
-            obs.on_restore(&checkpoint.events);
+            obs.on_restore(checkpoint.events.events());
         }
     }
 
@@ -692,6 +758,7 @@ impl<A: Action> Engine<A> {
     /// # Panics
     ///
     /// Panics if `builder` does not match this engine's shape.
+    #[must_use = "the fork is a new engine; dropping it discards the fork"]
     pub fn fork(&mut self, builder: EngineBuilder<A>) -> Engine<A> {
         let cp = self.checkpoint();
         let mut sibling = builder.build();
@@ -768,11 +835,14 @@ impl<A: Action> Engine<A> {
     }
 
     fn finish(&mut self, stop: StopReason, ltime: Time) -> Run<A> {
-        // O(1): the run keeps a reference to the shared event log. The
+        // O(1): the run keeps an arena view of the shared event log. The
         // engine copy-on-writes (`Arc::make_mut`) only if it appends again
         // while this snapshot is still alive.
         Run {
-            execution: Execution::from_shared(Arc::clone(&self.events), ltime.max(self.now)),
+            execution: Execution::from_snapshot(
+                ArenaSnapshot::full(Arc::clone(&self.events)),
+                ltime.max(self.now),
+            ),
             stop,
         }
     }
@@ -872,8 +942,26 @@ impl<A: Action> Engine<A> {
             self.seg_len[id] = u32::try_from(fresh.len()).expect("candidate count fits u32");
             self.enabled_cache[id] = fresh;
             self.dirty[id] = false;
+            if id < self.timed.len() {
+                self.note_timed(id);
+            }
         }
         self.dirty_ids.clear();
+        // Lazy structures accumulate stale duplicates; once they exceed a
+        // small multiple of the component count, rebuild them exactly from
+        // the (now all-fresh) caches.
+        let cap = 2 * self.timed.len() + 64;
+        if self.wake_heap.len() > cap || self.dl_heap.len() > cap {
+            self.rebuild_heaps();
+        }
+        if self.always_ids.len() > self.timed.len() + 16 {
+            self.always_ids.clear();
+            for id in 0..self.timed.len() {
+                if self.in_always[id] {
+                    self.always_ids.push(id);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -886,6 +974,12 @@ impl<A: Action> Engine<A> {
         self.dup_map.clear();
         self.cand.clear();
         self.cand_origin.clear();
+        // Everything is re-noted below, so the wake structures restart
+        // empty instead of accumulating one stale generation per rebuild.
+        self.wake_heap.clear();
+        self.dl_heap.clear();
+        self.always_ids.clear();
+        self.in_always.fill(false);
         for id in 0..self.flat_origin.len() {
             let fresh = match self.flat_origin[id] {
                 Origin::Timed(i) => {
@@ -917,10 +1011,77 @@ impl<A: Action> Engine<A> {
             self.seg_len[id] = u32::try_from(fresh.len()).expect("candidate count fits u32");
             self.enabled_cache[id] = fresh;
             self.dirty[id] = false;
+            if id < self.timed.len() {
+                self.note_timed(id);
+            }
         }
         self.all_dirty = false;
         self.dirty_ids.clear();
         Ok(())
+    }
+
+    /// Records timed component `id`'s wake hint — and, unless the hint is
+    /// `Always`, its deadline — right after its enabled cache was
+    /// refreshed. Heap entries are pushed unconditionally: a push per
+    /// refresh is cheaper than any in-heap lookup, and a popped or
+    /// superseded entry is recognized as stale because it no longer
+    /// matches these caches.
+    fn note_timed(&mut self, id: usize) {
+        let rt = &self.timed[id];
+        let hint = rt.comp.wake_hint(&rt.state, self.now);
+        self.wake_cached[id] = hint;
+        if hint == WakeHint::Always {
+            self.dl_cached[id] = None;
+            if !self.in_always[id] {
+                self.in_always[id] = true;
+                self.always_ids.push(id);
+            }
+            return;
+        }
+        self.in_always[id] = false;
+        if let WakeHint::At(t) = hint {
+            self.wake_heap.push(t, id);
+        }
+        let d = rt.comp.deadline(&rt.state, self.now);
+        self.dl_cached[id] = d;
+        if let Some(d) = d {
+            self.dl_heap.push(d, id);
+        }
+    }
+
+    /// Rebuilds both heaps exactly from the caches, dropping every stale
+    /// duplicate. Only called when nothing is dirty, so every cache entry
+    /// is current.
+    fn rebuild_heaps(&mut self) {
+        self.wake_heap.clear();
+        self.dl_heap.clear();
+        for id in 0..self.timed.len() {
+            match self.wake_cached[id] {
+                WakeHint::Always => {}
+                hint => {
+                    if let WakeHint::At(t) = hint {
+                        self.wake_heap.push(t, id);
+                    }
+                    if let Some(d) = self.dl_cached[id] {
+                        self.dl_heap.push(d, id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forgets every derived cache. Called after a mid-advance error
+    /// (states may be partially advanced, so nothing cached can be
+    /// trusted) and by [`Engine::restore`].
+    fn invalidate_caches(&mut self) {
+        self.dirty.fill(true);
+        self.dirty_ids.clear();
+        self.all_dirty = true;
+        self.dc_scratch_valid = false;
+        self.wake_heap.clear();
+        self.dl_heap.clear();
+        self.always_ids.clear();
+        self.in_always.fill(false);
     }
 
     fn origin_name(&self, o: Origin) -> String {
@@ -1068,8 +1229,9 @@ impl<A: Action> Engine<A> {
                     });
                 }
             }
+            let index = self.events.len();
             for obs in &mut self.observers {
-                obs.on_event(&event);
+                obs.on_event(index, &event);
             }
         }
         Arc::make_mut(&mut self.events).push(event);
@@ -1101,18 +1263,67 @@ impl<A: Action> Engine<A> {
             Some(b) if *b <= t => {}
             _ => *best = Some(t),
         };
-        for rt in &self.timed {
+        // ---- timed components: heap fast path -------------------------
+        // `Always` components promise nothing across time passage, so
+        // their deadlines are re-queried on every call (compacting the
+        // membership list as stale entries surface). Everything else
+        // cached its deadline at its last refresh; the earliest live one
+        // sits at the top of the lazy heap once stale entries are popped.
+        // A deadline at or before `now` is an anomaly (nothing is enabled,
+        // yet something is due): rerun the legacy scan so the
+        // `TimeStopped` error names the same (first-in-flat-order)
+        // component the reference engine would.
+        let mut anomaly = false;
+        let mut k = 0;
+        while k < self.always_ids.len() {
+            let id = self.always_ids[k];
+            if !self.in_always[id] {
+                self.always_ids.swap_remove(k);
+                continue;
+            }
+            k += 1;
+            let rt = &self.timed[id];
             if let Some(d) = rt.comp.deadline(&rt.state, self.now) {
                 if d <= self.now {
-                    return Err(EngineError::TimeStopped {
-                        component: rt.comp.name().to_string(),
-                        now: self.now,
-                        deadline: d,
-                    });
+                    anomaly = true;
+                    break;
                 }
                 consider(d, &mut best);
             }
         }
+        while !anomaly {
+            let Some((d, id)) = self.dl_heap.peek() else {
+                break;
+            };
+            let live = self.wake_cached[id] != WakeHint::Always && self.dl_cached[id] == Some(d);
+            if !live {
+                let _ = self.dl_heap.pop();
+                continue;
+            }
+            if d <= self.now {
+                anomaly = true;
+            } else {
+                consider(d, &mut best);
+            }
+            break;
+        }
+        if anomaly {
+            best = None;
+            for rt in &self.timed {
+                if let Some(d) = rt.comp.deadline(&rt.state, self.now) {
+                    if d <= self.now {
+                        return Err(EngineError::TimeStopped {
+                            component: rt.comp.name().to_string(),
+                            now: self.now,
+                            deadline: d,
+                        });
+                    }
+                    consider(d, &mut best);
+                }
+            }
+        }
+        // ---- clock nodes: one legacy pass (it also fills the deadline
+        // scratch and must consult each strategy exactly once) -----------
         for (n, node) in self.nodes.iter().enumerate() {
             let mut node_min_dc: Option<Time> = None;
             for (comp, state) in &node.comps {
@@ -1146,13 +1357,24 @@ impl<A: Action> Engine<A> {
         Ok(best)
     }
 
-    /// Performs `ν` for every component, moving real time to `target` and
-    /// each node clock along its strategy.
+    /// Performs `ν`, moving real time to `target` and each node clock
+    /// along its strategy.
     ///
-    /// A `ν`-step changes `now` and every node clock, and `enabled()` /
-    /// `deadline()` may depend on them, so this marks *every* component
-    /// dirty — the dirty set pays off within bursts of same-instant
-    /// events, not across time advances.
+    /// Only the components that can be *touched* by the advance are woken:
+    /// every `Always`-mode timed component plus every timed component
+    /// whose promised wake time falls inside the advance, popped from the
+    /// wake heap in deterministic order (stale entries discarded against
+    /// the caches). Skipped components promised — via their
+    /// [`TimedComponent::wake_hint`] — that this advance is the identity
+    /// on their state and that their cached enabled set, deadline and hint
+    /// remain exact, so neither their state nor their caches are invalid
+    /// afterwards. Node components make the same promise on the clock-time
+    /// basis and are consulted inline. When the hints wake most of the
+    /// system anyway, the next refresh is handed the cheaper all-dirty
+    /// rebuild instead of per-segment splices.
+    ///
+    /// Any mid-advance error leaves partially advanced states behind, so
+    /// every error path forgets all derived caches first.
     fn advance_to(&mut self, target: Time) -> Result<(), EngineError> {
         debug_assert!(target > self.now);
         let now = self.now;
@@ -1161,30 +1383,67 @@ impl<A: Action> Engine<A> {
         }
         let use_scratch = self.dc_scratch_valid;
         self.dc_scratch_valid = false;
-        // Conservatively dirty everything up front so a mid-advance error
-        // cannot leave a stale cache behind.
-        self.dirty.fill(true);
-        self.dirty_ids.clear();
-        self.all_dirty = true;
-        for rt in &mut self.timed {
+
+        // ---- timed components: wake only what the hints allow ----------
+        // Ascending id order (after sort+dedup — the lazy structures may
+        // yield duplicates) keeps first-refuser error attribution
+        // identical to the legacy whole-system scan: a skipped component
+        // promised its advance succeeds, so the first refuser among the
+        // woken ids is the first refuser outright.
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        touched.clear();
+        let mut k = 0;
+        while k < self.always_ids.len() {
+            let id = self.always_ids[k];
+            if self.in_always[id] {
+                touched.push(id);
+                k += 1;
+            } else {
+                self.always_ids.swap_remove(k);
+            }
+        }
+        while let Some((t, id)) = self.wake_heap.pop_le(target) {
+            if self.wake_cached[id] == WakeHint::At(t) {
+                touched.push(id);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for &id in &touched {
+            let rt = &mut self.timed[id];
             match rt.comp.advance(&rt.state, now, target) {
                 Some(next) => rt.state = next,
                 None => {
+                    let component = rt.comp.name().to_string();
+                    self.touched_scratch = touched;
+                    self.invalidate_caches();
                     return Err(EngineError::AdvanceRefused {
-                        component: rt.comp.name().to_string(),
+                        component,
                         now,
                         target,
-                    })
+                    });
                 }
             }
+            if !self.dirty[id] {
+                self.dirty[id] = true;
+                self.dirty_ids.push(id);
+            }
         }
-        // Split borrows: the loop steps nodes mutably while notifying the
-        // (disjoint) observer list of each validated clock reading.
-        let scratch = &self.node_dc_scratch;
-        let observers = &mut self.observers;
-        for (n, node) in self.nodes.iter_mut().enumerate() {
+        let mut dirtied = touched.len();
+        self.touched_scratch = touched;
+
+        // ---- clock nodes: the legacy loop, with hint-gated advances ----
+        // Every node is still visited (its strategy must be consulted and
+        // its clock validated exactly once per `ν`), but a component whose
+        // `clock_wake` promises sleep past the new clock value skips the
+        // state-cloning `advance` call and stays clean.
+        let mut failed: Option<EngineError> = None;
+        let mut flat = self.timed.len();
+        'nodes: for (n, node) in self.nodes.iter_mut().enumerate() {
+            let base = flat;
+            flat += node.comps.len();
             let max_clock = if use_scratch {
-                scratch[n]
+                self.node_dc_scratch[n]
             } else {
                 node.comps
                     .iter()
@@ -1195,11 +1454,12 @@ impl<A: Action> Engine<A> {
                 if mc <= node.clock {
                     // A clock deadline is due but nothing fired: the node
                     // has stopped time.
-                    return Err(EngineError::TimeStopped {
+                    failed = Some(EngineError::TimeStopped {
                         component: node.name.to_string(),
                         now,
                         deadline: node.pred.latest_now_for(mc),
                     });
+                    break 'nodes;
                 }
             }
             let ctx = AdvanceCtx {
@@ -1211,44 +1471,59 @@ impl<A: Action> Engine<A> {
             };
             let next_clock = node.strategy.next_clock(ctx);
             if next_clock <= node.clock {
-                return Err(EngineError::StrategyViolation {
+                failed = Some(EngineError::StrategyViolation {
                     node: node.name.to_string(),
                     reason: format!(
                         "clock moved from {} to {next_clock}: axiom C3 requires strict increase",
                         node.clock
                     ),
                 });
+                break 'nodes;
             }
             if !node.pred.holds(target, next_clock) {
-                return Err(EngineError::StrategyViolation {
+                failed = Some(EngineError::StrategyViolation {
                     node: node.name.to_string(),
                     reason: format!(
                         "clock {next_clock} at real time {target} violates C_ε (ε = {})",
                         node.pred.eps()
                     ),
                 });
+                break 'nodes;
             }
             if let Some(mc) = max_clock {
                 if next_clock > mc {
-                    return Err(EngineError::StrategyViolation {
+                    failed = Some(EngineError::StrategyViolation {
                         node: node.name.to_string(),
                         reason: format!("clock {next_clock} passed the deadline {mc}"),
                     });
+                    break 'nodes;
                 }
             }
-            for (comp, state) in &mut node.comps {
+            for (j, (comp, state)) in node.comps.iter_mut().enumerate() {
+                match comp.clock_wake(state, node.clock) {
+                    WakeHint::Never => continue,
+                    WakeHint::At(t) if t > next_clock => continue,
+                    _ => {}
+                }
                 match comp.advance(state, node.clock, next_clock) {
                     Some(next) => *state = next,
                     None => {
-                        return Err(EngineError::AdvanceRefused {
+                        failed = Some(EngineError::AdvanceRefused {
                             component: format!("{}/{}", node.name, comp.name()),
                             now,
                             target,
-                        })
+                        });
+                        break 'nodes;
                     }
                 }
+                let id = base + j;
+                if !self.dirty[id] {
+                    self.dirty[id] = true;
+                    self.dirty_ids.push(id);
+                }
+                dirtied += 1;
             }
-            for obs in observers.iter_mut() {
+            for obs in self.observers.iter_mut() {
                 obs.on_clock_read(ClockRead {
                     node: n,
                     now: target,
@@ -1257,6 +1532,15 @@ impl<A: Action> Engine<A> {
                 });
             }
             node.clock = next_clock;
+        }
+        if let Some(err) = failed {
+            self.invalidate_caches();
+            return Err(err);
+        }
+        if dirtied * 2 >= self.flat_origin.len() {
+            self.dirty.fill(true);
+            self.dirty_ids.clear();
+            self.all_dirty = true;
         }
         self.now = target;
         Ok(())

@@ -49,6 +49,7 @@ mod fasthash;
 mod observer;
 mod reference;
 mod scheduler;
+mod wakeheap;
 
 pub use clock_driver::{
     AdvanceCtx, ClockCheckpoint, ClockStrategy, DriftClock, OffsetClock, PerfectClock,

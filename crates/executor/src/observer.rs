@@ -59,9 +59,43 @@ pub trait Observer<A: Action> {
     }
 
     /// An action fired; `event` is exactly what was appended to the
-    /// execution (clock reading included).
-    fn on_event(&mut self, event: &TimedEvent<A>) {
-        let _ = event;
+    /// execution (clock reading included), and `index` is its position in
+    /// the arena-backed event log — both engines report the same index for
+    /// the same event, so an observer can record indices instead of
+    /// cloning events and resolve them against the finished execution.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use psync_automata::toys::Beeper;
+    /// use psync_automata::{Action, TimedEvent};
+    /// use psync_executor::{Engine, Observer};
+    /// use psync_time::{Duration, Time};
+    ///
+    /// /// Remembers arena indices of visible events, not the events.
+    /// #[derive(Default)]
+    /// struct VisibleIndices(Vec<usize>);
+    /// impl<A: Action> Observer<A> for VisibleIndices {
+    ///     fn on_event(&mut self, index: usize, event: &TimedEvent<A>) {
+    ///         if event.kind.is_visible() {
+    ///             self.0.push(index);
+    ///         }
+    ///     }
+    /// }
+    ///
+    /// let ms = Duration::from_millis;
+    /// let mut engine = Engine::builder()
+    ///     .timed(Beeper::new(ms(5)))
+    ///     .observer(VisibleIndices::default())
+    ///     .horizon(Time::ZERO + ms(12))
+    ///     .build();
+    /// let run = engine.run()?;
+    /// // An index recorded by the hook resolves into the execution:
+    /// assert_eq!(run.execution.events()[0].now, Time::ZERO + ms(5));
+    /// # Ok::<(), psync_executor::EngineError>(())
+    /// ```
+    fn on_event(&mut self, index: usize, event: &TimedEvent<A>) {
+        let _ = (index, event);
     }
 
     /// Time is about to pass from `from` to `to` (a `ν` step).

@@ -21,8 +21,8 @@
 //! here weakens the oracle.
 
 use psync_automata::{
-    Action, ClockComponentBox, ClockPredicate, ComponentBox, DynState, Execution, TimedComponent,
-    TimedEvent,
+    Action, ArenaSnapshot, ClockComponentBox, ClockPredicate, ComponentBox, DynState, EventArena,
+    Execution, TimedComponent, TimedEvent,
 };
 use psync_time::{Duration, Time};
 
@@ -265,6 +265,7 @@ impl<A: Action> ReferenceEngine<A> {
     /// [`EngineCheckpoint`] type [`Engine`](crate::Engine) produces, so
     /// snapshots are interchangeable between the two engines in the
     /// differential tests.
+    #[must_use = "a checkpoint is only useful if restored or inspected"]
     pub fn checkpoint(&mut self) -> EngineCheckpoint<A> {
         let cp = EngineCheckpoint {
             now: self.now,
@@ -277,7 +278,7 @@ impl<A: Action> ReferenceEngine<A> {
                 .collect(),
             clock_states: self.nodes.iter().map(|n| n.strategy.checkpoint()).collect(),
             scheduler_state: self.scheduler.checkpoint(),
-            events: Arc::new(self.events.clone()),
+            events: ArenaSnapshot::full(Arc::new(EventArena::from_events(self.events.clone()))),
             idle_advances: self.idle_advances,
             horizon: self.horizon,
         };
@@ -325,11 +326,11 @@ impl<A: Action> ReferenceEngine<A> {
             node.strategy.restore(&checkpoint.clock_states[n]);
         }
         self.scheduler.restore(&checkpoint.scheduler_state);
-        self.events = checkpoint.events.as_ref().clone();
+        self.events = checkpoint.events.events().to_vec();
         self.idle_advances = checkpoint.idle_advances;
         self.horizon = checkpoint.horizon;
         for obs in &mut self.observers {
-            obs.on_restore(&checkpoint.events);
+            obs.on_restore(checkpoint.events.events());
         }
     }
 
@@ -558,8 +559,9 @@ impl<A: Action> ReferenceEngine<A> {
                     });
                 }
             }
+            let index = self.events.len();
             for obs in &mut self.observers {
-                obs.on_event(&event);
+                obs.on_event(index, &event);
             }
         }
         self.events.push(event);

@@ -1,0 +1,149 @@
+//! A deterministic min-heap of `(deadline, component)` wake-up entries.
+//!
+//! This is the engine's replacement for scanning every enabled component
+//! on each time advance: components whose [`WakeHint`] promises a fixed
+//! wake time get an entry here, and the advance loop pops only the
+//! entries that have come due — O(log n) per pop instead of O(n) per
+//! advance.
+//!
+//! The heap is **lazy**: entries are never removed or updated in place
+//! when a component's hint changes. The engine re-pushes on every cache
+//! refresh and discards stale entries as they surface at the top, by
+//! checking each popped entry against its per-component cache. That keeps
+//! pushes O(log n) with no lookup structure, at the cost of duplicates —
+//! which the engine bounds by rebuilding the heap from its caches when it
+//! grows past a small multiple of the component count.
+//!
+//! Ordering is a total order on `(Time, usize)`: earlier deadlines first,
+//! ties broken by ascending component index. Pop order is therefore a
+//! deterministic function of the inserted multiset, independent of
+//! insertion order — the property pinned by the tests below and relied on
+//! for bit-identical replays.
+//!
+//! [`WakeHint`]: psync_automata::WakeHint
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use psync_time::Time;
+
+/// A min-heap of `(time, component-index)` pairs with deterministic
+/// tie-breaking (lowest index first among equal times).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WakeHeap {
+    heap: BinaryHeap<Reverse<(Time, usize)>>,
+}
+
+impl WakeHeap {
+    /// An empty heap.
+    pub(crate) fn new() -> Self {
+        WakeHeap {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Inserts an entry. Duplicates are allowed (lazy invalidation).
+    pub(crate) fn push(&mut self, time: Time, id: usize) {
+        self.heap.push(Reverse((time, id)));
+    }
+
+    /// The earliest entry, without removing it.
+    pub(crate) fn peek(&self) -> Option<(Time, usize)> {
+        self.heap.peek().map(|Reverse(e)| *e)
+    }
+
+    /// Removes and returns the earliest entry if its time is `<= limit`.
+    pub(crate) fn pop_le(&mut self, limit: Time) -> Option<(Time, usize)> {
+        match self.heap.peek() {
+            Some(Reverse((t, _))) if *t <= limit => self.heap.pop().map(|Reverse(e)| e),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the earliest entry unconditionally.
+    pub(crate) fn pop(&mut self) -> Option<(Time, usize)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Drops all entries.
+    pub(crate) fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Number of live entries (including stale duplicates).
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_time::Duration;
+
+    fn at(n: i64) -> Time {
+        Time::ZERO + Duration::from_millis(n)
+    }
+
+    #[test]
+    fn pops_in_time_then_index_order() {
+        let mut h = WakeHeap::new();
+        for &(t, id) in &[(5, 2), (3, 9), (5, 0), (3, 1), (7, 4)] {
+            h.push(at(t), id);
+        }
+        let mut order = Vec::new();
+        while let Some(e) = h.pop() {
+            order.push(e);
+        }
+        assert_eq!(
+            order,
+            vec![(at(3), 1), (at(3), 9), (at(5), 0), (at(5), 2), (at(7), 4)]
+        );
+    }
+
+    #[test]
+    fn pop_order_is_independent_of_insertion_order() {
+        // A seeded shuffle of the same multiset must drain identically.
+        let entries: Vec<(Time, usize)> = (0..32).map(|i| (at((i % 5) as i64), i)).collect();
+        let drain = |mut h: WakeHeap| {
+            let mut out = Vec::new();
+            while let Some(e) = h.pop() {
+                out.push(e);
+            }
+            out
+        };
+        let mut reference = WakeHeap::new();
+        for &(t, id) in &entries {
+            reference.push(t, id);
+        }
+        let expected = drain(reference);
+
+        // splitmix64-style permutation of insertion order.
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        let mut shuffled = entries.clone();
+        for i in (1..shuffled.len()).rev() {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+            x ^= x >> 27;
+            shuffled.swap(i, (x % (i as u64 + 1)) as usize);
+        }
+        let mut h = WakeHeap::new();
+        for &(t, id) in &shuffled {
+            h.push(t, id);
+        }
+        assert_eq!(drain(h), expected);
+    }
+
+    #[test]
+    fn pop_le_respects_the_limit() {
+        let mut h = WakeHeap::new();
+        h.push(at(4), 0);
+        h.push(at(2), 1);
+        assert_eq!(h.pop_le(at(3)), Some((at(2), 1)));
+        assert_eq!(h.pop_le(at(3)), None);
+        assert_eq!(h.peek(), Some((at(4), 0)));
+        assert_eq!(h.len(), 1);
+        h.clear();
+        assert_eq!(h.pop(), None);
+    }
+}

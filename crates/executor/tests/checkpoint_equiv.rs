@@ -188,6 +188,50 @@ fn checkpoints_transfer_across_engine_implementations() {
     }
 }
 
+/// Restoring *backwards* — checkpoint, keep running (which pushes fresh
+/// entries into the wake/deadline heaps, re-hints components, and grows
+/// the shared event arena past the snapshot), then restore the old
+/// snapshot — must leave no trace of the abandoned continuation. The
+/// heaps are lazily invalidated, so after the rollback they still hold
+/// entries from the discarded future; restore's all-dirty rebuild must
+/// make every one of them unreachable. The snapshot's own event view
+/// must also be unaffected by the arena growing underneath it
+/// (copy-on-write, never truncation).
+#[test]
+fn restore_after_heap_mutating_advances_is_bit_identical() {
+    for seed in SEEDS {
+        let straight = fleet_engine(seed).run().unwrap();
+        let n = straight.execution.len();
+        for k in [0, 1, n / 4, n / 2, 3 * n / 4] {
+            let mut engine = fleet_engine(seed);
+            engine.run_until_events(k).unwrap();
+            let cp = engine.checkpoint();
+            let frozen = cp.events().to_vec();
+
+            // Mutate the scheduler state: many fires and time advances
+            // past the snapshot, each re-hinting components and pushing
+            // heap entries the rollback will orphan.
+            engine.run_until_events(k + 25).unwrap();
+            assert_eq!(
+                cp.events(),
+                &frozen[..],
+                "seed {seed}, index {k}: the snapshot's event view moved while the engine ran on"
+            );
+
+            engine.restore(&cp);
+            // A second snapshot taken right after the rollback sees the
+            // same prefix — the arena rewound, not just the counter.
+            assert_eq!(
+                engine.checkpoint().events(),
+                &frozen[..],
+                "seed {seed}, index {k}: rollback left extra events in the arena"
+            );
+            let run = engine.run().unwrap();
+            assert_same_run(&format!("seed {seed}, rollback at {k}"), &run, &straight);
+        }
+    }
+}
+
 /// [`Engine::fork`] mid-run: the sibling and the original continue
 /// independently and both land on the uninterrupted run — the shared
 /// prefix is copy-on-write, so neither continuation can disturb the
@@ -281,9 +325,9 @@ impl CheckpointObserver {
 }
 
 impl<A: Action> Observer<A> for CheckpointObserver {
-    fn on_event(&mut self, event: &TimedEvent<A>) {
+    fn on_event(&mut self, index: usize, event: &TimedEvent<A>) {
         self.log.borrow_mut().push(format!(
-            "event {:?} kind={:?} now={} clock={:?}",
+            "event[{index}] {:?} kind={:?} now={} clock={:?}",
             event.action, event.kind, event.now, event.clock
         ));
     }

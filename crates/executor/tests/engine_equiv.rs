@@ -320,9 +320,9 @@ impl<A: Action> Observer<A> for RecordingObserver {
         ));
     }
 
-    fn on_event(&mut self, event: &TimedEvent<A>) {
+    fn on_event(&mut self, index: usize, event: &TimedEvent<A>) {
         self.log.borrow_mut().push(format!(
-            "event {:?} kind={:?} now={} clock={:?}",
+            "event[{index}] {:?} kind={:?} now={} clock={:?}",
             event.action, event.kind, event.now, event.clock
         ));
     }

@@ -51,7 +51,7 @@ use std::rc::Rc;
 
 use psync_apps::heartbeat::FdAction;
 use psync_automata::toys::BeepAction;
-use psync_automata::{Action, TimedEvent};
+use psync_automata::{Action, ArenaSnapshot, TimedEvent};
 use psync_executor::{Run, StopReason};
 use psync_net::{FaultStats, SysAction};
 use psync_register::RegAction;
@@ -134,11 +134,12 @@ struct CaseCheckpoint<A: Action> {
 type DrivenRun<A> = (Result<Run<A>, String>, Vec<Rc<CaseCheckpoint<A>>>);
 
 /// A fully recorded run — plan, events, checkpoint ladder — usable as a
-/// resume source for later probes. Rungs are `Rc`-shared: a probe's
-/// ladder starts as the prefix of the ladder it resumed from.
+/// resume source for later probes. Rungs are `Rc`-shared, and the event
+/// log is an [`ArenaSnapshot`] view of the engine's own arena: adopting
+/// a probe into the pool clones an `Arc`, never the events.
 struct RecordedRun<A: Action> {
     plan: FaultPlan,
-    events: Vec<TimedEvent<A>>,
+    events: ArenaSnapshot<A>,
     cps: Vec<Rc<CaseCheckpoint<A>>>,
 }
 
@@ -272,18 +273,18 @@ fn divergence_index<A: Action>(
         if let Some(i) = cand_pool.iter().position(|c| *c == entry) {
             cand_pool.swap_remove(i);
         } else {
-            d = d.min(activation(entry, &run.events));
+            d = d.min(activation(entry, run.events.events()));
         }
     }
     for entry in cand_pool {
-        d = d.min(activation(entry, &run.events));
+        d = d.min(activation(entry, run.events.events()));
     }
     d
 }
 
-fn events_of<A: Action>(run: &Result<Run<A>, String>) -> Vec<TimedEvent<A>> {
+fn events_of<A: Action>(run: &Result<Run<A>, String>) -> ArenaSnapshot<A> {
     run.as_ref()
-        .map(|r| r.execution.events().to_vec())
+        .map(|r| r.execution.snapshot().clone())
         .unwrap_or_default()
 }
 
@@ -745,7 +746,7 @@ mod tests {
     fn divergence_index_is_the_smallest_symmetric_difference_activation() {
         let base = RecordedRun::<FdAction> {
             plan: plan_of(&[1, 2]),
-            events: Vec::new(),
+            events: ArenaSnapshot::default(),
             cps: Vec::new(),
         };
         let act = |entry: &FaultEntry, _events: &[TimedEvent<FdAction>]| match *entry {

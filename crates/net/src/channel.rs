@@ -3,7 +3,7 @@
 use core::fmt::Debug;
 use core::hash::Hash;
 
-use psync_automata::{Action, ActionKind, TimedComponent};
+use psync_automata::{Action, ActionKind, TimedComponent, WakeHint};
 use psync_time::{DelayBounds, Time};
 
 use crate::{DelayPolicy, Envelope, NodeId, SysAction};
@@ -136,6 +136,15 @@ where
 
     fn deadline(&self, s: &Self::State, _now: Time) -> Option<Time> {
         s.iter().map(|f| f.due).min()
+    }
+
+    fn wake_hint(&self, s: &Self::State, _now: Time) -> WakeHint {
+        // Pure time passage cannot surface a delivery before the earliest
+        // due time; new sends go through `step`, which re-dirties us.
+        match s.iter().map(|f| f.due).min() {
+            Some(due) => WakeHint::At(due),
+            None => WakeHint::Never,
+        }
     }
 }
 

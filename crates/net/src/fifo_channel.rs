@@ -10,7 +10,7 @@
 use core::fmt::Debug;
 use core::hash::Hash;
 
-use psync_automata::{Action, ActionKind, TimedComponent};
+use psync_automata::{Action, ActionKind, TimedComponent, WakeHint};
 use psync_time::{DelayBounds, Time};
 
 use crate::{DelayPolicy, Envelope, NodeId, SysAction};
@@ -132,6 +132,14 @@ where
 
     fn deadline(&self, s: &Self::State, _now: Time) -> Option<Time> {
         s.first().map(|f| f.due)
+    }
+
+    fn wake_hint(&self, s: &Self::State, _now: Time) -> WakeHint {
+        // Only the head can become deliverable, and only at its due time.
+        match s.first() {
+            Some(head) => WakeHint::At(head.due),
+            None => WakeHint::Never,
+        }
     }
 }
 

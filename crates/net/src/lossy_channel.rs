@@ -13,7 +13,7 @@
 use core::fmt::Debug;
 use core::hash::Hash;
 
-use psync_automata::{Action, ActionKind, TimedComponent};
+use psync_automata::{Action, ActionKind, TimedComponent, WakeHint};
 use psync_time::{DelayBounds, Time};
 
 use crate::channel::InFlight;
@@ -172,6 +172,16 @@ where
 
     fn deadline(&self, s: &Self::State, _now: Time) -> Option<Time> {
         s.iter().map(|f| f.due).min()
+    }
+
+    fn wake_hint(&self, s: &Self::State, _now: Time) -> WakeHint {
+        // Drops happen at send time (`step`), so in-flight contents — and
+        // with them enabledness and the deadline — are frozen until the
+        // earliest due time.
+        match s.iter().map(|f| f.due).min() {
+            Some(due) => WakeHint::At(due),
+            None => WakeHint::Never,
+        }
     }
 }
 

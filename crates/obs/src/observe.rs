@@ -150,7 +150,7 @@ impl<A: Action> Observer<A> for EngineMetrics {
         );
     }
 
-    fn on_event(&mut self, event: &TimedEvent<A>) {
+    fn on_event(&mut self, _index: usize, event: &TimedEvent<A>) {
         let mut reg = self.registry.borrow_mut();
         reg.add("engine.steps", 1);
         reg.add(
@@ -212,7 +212,7 @@ where
     M: Clone + Eq + std::hash::Hash + std::fmt::Debug + 'static,
     AP: Action,
 {
-    fn on_event(&mut self, event: &TimedEvent<SysAction<M, AP>>) {
+    fn on_event(&mut self, _index: usize, event: &TimedEvent<SysAction<M, AP>>) {
         match &event.action {
             SysAction::Send(env) | SysAction::ESend(env, _) => {
                 self.in_flight.insert(env.id, event.now);
