@@ -1,9 +1,12 @@
 //! Campaign driver: runs seeded fault-injection campaigns against the
-//! built-in scenarios and reports coverage and violations.
+//! scenario catalog, runs the planted-bug canary suite, and reports
+//! coverage and falsification metrics.
 //!
 //! ```text
-//! psync-explorer [--cases N] [--seed S] [--scenario all|heartbeat|clockfleet|register]
-//!                [--max-entries N] [--jobs N] [--bug-extra-ns N] [--metrics-out PATH]
+//! psync-explorer [--cases N] [--seed S] [--scenario all|<name>]
+//!                [--canaries all|<name>[,<name>...]]
+//!                [--max-entries N] [--jobs N] [--bug-extra-ns N]
+//!                [--metrics-out PATH] [--report-out PATH]
 //!                [--no-checkpoint-shrink]
 //! ```
 //!
@@ -11,6 +14,12 @@
 //! `PSYNC_JOBS` or the machine's available parallelism). The report —
 //! stats, kind coverage, artifacts, metrics, exit code — is bit-identical
 //! for every `N`; `--jobs 1` is the plain sequential loop.
+//!
+//! `--canaries` additionally runs one campaign per selected planted bug
+//! (see `psync_explorer::canary`) and reports the **mutation score**:
+//! canaries whose expected oracle caught them, over canaries planted.
+//! The driver exits non-zero if the score is below 1.0 — an oracle that
+//! cannot refind a bug planted for it has silently stopped working.
 //!
 //! `--bug-extra-ns N` plants the demonstration bug (a boundary delay
 //! spike delivered `N` ns after `d₂`) in the heartbeat channel — the
@@ -21,28 +30,41 @@
 //! campaigns (counters and histograms, deterministic for fixed flags) as
 //! a JSON snapshot — CI uploads it as a build artifact.
 //!
+//! `--report-out PATH` writes the campaign telemetry — per-scenario
+//! coverage (events, fault points hit vs. catalog, per-oracle violation
+//! density), per-canary verdicts, the mutation score, and the measured
+//! events/second — as JSON. The throughput figure is computed *here*,
+//! from wall-clock time, and lives only in this file's output: the
+//! library's `CampaignReport` stays a pure function of the seeds.
+//!
 //! `--no-checkpoint-shrink` makes every shrink probe re-run its case
 //! from scratch instead of resuming from a checkpoint of the failing
 //! base run. The output is byte-identical either way (CI diffs the two
 //! modes to prove it); the flag exists for that cross-check and for
 //! debugging the resume machinery.
 //!
-//! Exits non-zero iff any campaign found a violation; each failure is
-//! printed as a full replay artifact so it can be reproduced verbatim.
+//! Exits non-zero iff any non-canary campaign found a violation or any
+//! canary went uncaught; each failure is printed as a full replay
+//! artifact so it can be reproduced verbatim.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
+use psync_explorer::json::Json;
 use psync_explorer::{
-    default_jobs, run_campaign_jobs, CampaignConfig, ScenarioConfig, ScenarioKind,
+    default_jobs, mutation_score, run_campaign_jobs, run_canary_suite, CampaignConfig,
+    CampaignReport, CanaryKind, CanaryOutcome, ScenarioConfig, ScenarioKind,
 };
 use psync_obs::MetricsSnapshot;
 
 struct Args {
     campaign: CampaignConfig,
     scenarios: Vec<ScenarioKind>,
+    canaries: Vec<CanaryKind>,
     jobs: usize,
     bug_extra_ns: i64,
     metrics_out: Option<String>,
+    report_out: Option<String>,
 }
 
 fn parse_seed(s: &str) -> Result<u64, String> {
@@ -57,9 +79,11 @@ fn parse_seed(s: &str) -> Result<u64, String> {
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut campaign = CampaignConfig::default();
     let mut scenarios = ScenarioKind::all().to_vec();
+    let mut canaries = Vec::new();
     let mut jobs = default_jobs();
     let mut bug_extra_ns = 0i64;
     let mut metrics_out = None;
+    let mut report_out = None;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -85,6 +109,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     vec![ScenarioKind::from_name(v)?]
                 };
             }
+            "--canaries" => {
+                let v = value("--canaries")?;
+                canaries = if v == "all" {
+                    CanaryKind::all().to_vec()
+                } else {
+                    v.split(',')
+                        .map(CanaryKind::from_name)
+                        .collect::<Result<Vec<_>, _>>()?
+                };
+            }
             "--jobs" => {
                 jobs = value("--jobs")?
                     .parse()
@@ -99,12 +133,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("bad --bug-extra-ns: {e}"))?;
             }
             "--metrics-out" => metrics_out = Some(value("--metrics-out")?.clone()),
+            "--report-out" => report_out = Some(value("--report-out")?.clone()),
             "--no-checkpoint-shrink" => campaign.checkpointed_shrink = false,
             "--help" | "-h" => {
                 return Err("usage: psync-explorer [--cases N] [--seed S] \
-                     [--scenario all|heartbeat|clockfleet|register] [--max-entries N] \
-                     [--jobs N] [--bug-extra-ns N] [--metrics-out PATH] \
-                     [--no-checkpoint-shrink]"
+                     [--scenario all|<name>] [--canaries all|<name>[,<name>...]] \
+                     [--max-entries N] [--jobs N] [--bug-extra-ns N] \
+                     [--metrics-out PATH] [--report-out PATH] [--no-checkpoint-shrink]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -116,18 +151,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(Args {
         campaign,
         scenarios,
+        canaries,
         jobs,
         bug_extra_ns,
         metrics_out,
+        report_out,
     })
 }
 
 fn scenario_config(kind: ScenarioKind, bug_extra_ns: i64) -> ScenarioConfig {
-    let cfg = match kind {
-        ScenarioKind::Heartbeat => ScenarioConfig::heartbeat_default(),
-        ScenarioKind::ClockFleet => ScenarioConfig::clockfleet_default(),
-        ScenarioKind::Register => ScenarioConfig::register_default(),
-    };
+    let cfg = ScenarioConfig::default_for(kind);
     // The demonstration bug lives in the heartbeat channel.
     if bug_extra_ns > 0 && kind == ScenarioKind::Heartbeat {
         cfg.with_bug(bug_extra_ns)
@@ -136,6 +169,72 @@ fn scenario_config(kind: ScenarioKind, bug_extra_ns: i64) -> ScenarioConfig {
     }
 }
 
+fn print_failures(report: &CampaignReport) -> usize {
+    for failure in &report.failures {
+        let plan = &failure.artifact.plan;
+        println!(
+            "  VIOLATION in case {} (plan shrank {} -> {} entries):",
+            failure.case_index,
+            failure.original_entries,
+            plan.len(),
+        );
+        if let Some((oracle, detail)) = &failure.artifact.violation {
+            println!("    {oracle}: {detail}");
+        }
+        println!("--- replay artifact ---");
+        println!("{}", failure.artifact.to_json());
+        println!("--- end artifact ---");
+    }
+    report.failures.len()
+}
+
+fn scenario_json(report: &CampaignReport) -> Json {
+    let s = &report.stats;
+    Json::obj([
+        ("scenario", Json::str(report.scenario.kind.name())),
+        ("cases", Json::num(s.cases)),
+        ("entries", Json::num(s.entries)),
+        ("events", Json::num(s.events)),
+        ("failures", Json::num(report.failures.len() as u64)),
+        ("shrink_probes", Json::num(s.shrink_probes)),
+        (
+            "violations_by_oracle",
+            Json::Obj(
+                s.violations_by_oracle
+                    .iter()
+                    .map(|(k, n)| (k.clone(), Json::num(*n)))
+                    .collect(),
+            ),
+        ),
+        (
+            "fault_points_hit",
+            Json::num(s.fault_points_hit.len() as u64),
+        ),
+        ("fault_points_total", Json::num(s.fault_points_total)),
+    ])
+}
+
+fn canary_json(outcome: &CanaryOutcome) -> Json {
+    let verdict = outcome.report.canary.as_ref();
+    Json::obj([
+        ("canary", Json::str(outcome.kind.name())),
+        ("scenario", Json::str(outcome.kind.base_kind().name())),
+        ("expected_oracle", Json::str(outcome.kind.expected_oracle())),
+        ("caught", Json::Bool(outcome.caught())),
+        (
+            "caught_cases",
+            Json::num(verdict.map_or(0, |v| v.caught_cases)),
+        ),
+        (
+            "min_shrunk_entries",
+            verdict
+                .and_then(|v| v.min_shrunk_entries)
+                .map_or(Json::Null, Json::num),
+        ),
+    ])
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -146,41 +245,97 @@ fn main() -> ExitCode {
         }
     };
 
+    let started = Instant::now();
     let mut total_failures = 0usize;
+    let mut total_events = 0u64;
     let mut all_metrics = MetricsSnapshot::default();
+    let mut scenario_reports = Vec::new();
     for kind in &args.scenarios {
         let scenario = scenario_config(*kind, args.bug_extra_ns);
         let report = run_campaign_jobs(&args.campaign, &scenario, args.jobs);
         all_metrics.absorb(&report.metrics);
         let s = &report.stats;
         println!(
-            "[{}] {} cases, {} fault entries, {} events, {} clock requests clamped, {} shrink probes",
+            "[{}] {} cases, {} fault entries, {} events, {} clock requests clamped, \
+             {} shrink probes, {}/{} fault points",
             kind.name(),
             s.cases,
             s.entries,
             s.events,
             s.rejected_clock_requests,
             s.shrink_probes,
+            s.fault_points_hit.len(),
+            s.fault_points_total,
         );
         for (k, n) in &s.entries_by_kind {
             println!("  {k:>20}: {n}");
         }
-        for failure in &report.failures {
-            total_failures += 1;
-            let plan = &failure.artifact.plan;
-            println!(
-                "  VIOLATION in case {} (plan shrank {} -> {} entries):",
-                failure.case_index,
-                failure.original_entries,
-                plan.len(),
-            );
-            if let Some((oracle, detail)) = &failure.artifact.violation {
-                println!("    {oracle}: {detail}");
-            }
-            println!("--- replay artifact ---");
-            println!("{}", failure.artifact.to_json());
-            println!("--- end artifact ---");
+        for (oracle, n) in &s.violations_by_oracle {
+            println!("  violations[{oracle}]: {n} of {} cases", s.cases);
         }
+        total_events += s.events;
+        total_failures += print_failures(&report);
+        scenario_reports.push(scenario_json(&report));
+    }
+
+    let outcomes = run_canary_suite(&args.canaries, &args.campaign, args.jobs);
+    let (caught, planted) = mutation_score(&outcomes);
+    let mut canary_reports = Vec::new();
+    for outcome in &outcomes {
+        let status = if outcome.caught() { "CAUGHT" } else { "MISSED" };
+        let verdict = outcome.report.canary.as_ref();
+        println!(
+            "[canary {}] {}: {} case(s) via {:?}, min shrunk plan {:?}",
+            outcome.kind.name(),
+            status,
+            verdict.map_or(0, |v| v.caught_cases),
+            outcome.kind.expected_oracle(),
+            verdict.and_then(|v| v.min_shrunk_entries),
+        );
+        total_events += outcome.report.stats.events;
+        canary_reports.push(canary_json(outcome));
+    }
+    if planted > 0 {
+        println!("mutation score: {caught}/{planted}");
+    }
+
+    // Wall-clock throughput lives only here: the library reports stay
+    // pure functions of the seeds. It goes to stderr so stdout stays
+    // bit-identical across runs (CI diffs it between job counts).
+    let elapsed = started.elapsed();
+    let events_per_sec = if elapsed.as_millis() == 0 {
+        0u64
+    } else {
+        (u128::from(total_events) * 1000 / elapsed.as_millis()) as u64
+    };
+    eprintln!(
+        "{total_events} events in {:.3}s ({events_per_sec} events/sec)",
+        elapsed.as_secs_f64()
+    );
+
+    if let Some(path) = &args.report_out {
+        let report = Json::obj([
+            ("cases_per_campaign", Json::num(args.campaign.cases)),
+            ("seed", Json::num(args.campaign.seed)),
+            ("jobs", Json::num(args.jobs as u64)),
+            ("scenarios", Json::Arr(scenario_reports)),
+            ("canaries", Json::Arr(canary_reports)),
+            (
+                "mutation_score",
+                Json::obj([
+                    ("caught", Json::num(caught)),
+                    ("planted", Json::num(planted)),
+                ]),
+            ),
+            ("events_total", Json::num(total_events)),
+            ("elapsed_ms", Json::num(elapsed.as_millis() as u64)),
+            ("events_per_sec", Json::num(events_per_sec)),
+        ]);
+        if let Err(e) = std::fs::write(path, report.pretty() + "\n") {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("campaign report written to {path}");
     }
 
     if let Some(path) = &args.metrics_out {
@@ -188,14 +343,26 @@ fn main() -> ExitCode {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::from(2);
         }
-        println!("metrics written to {path}");
+        eprintln!("metrics written to {path}");
     }
 
+    let mut failed = false;
     if total_failures == 0 {
-        println!("ok: no violations");
-        ExitCode::SUCCESS
+        println!("ok: no violations in regular campaigns");
     } else {
         println!("{total_failures} violation(s) found");
+        failed = true;
+    }
+    if caught < planted {
+        println!(
+            "mutation score below 1.0: {} canary/ies went uncaught",
+            planted - caught
+        );
+        failed = true;
+    }
+    if failed {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

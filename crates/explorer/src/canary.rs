@@ -1,0 +1,199 @@
+//! Planted-bug canaries: known-bad mutants of each scenario, tagged with
+//! the oracle expected to catch them.
+//!
+//! A VOPR-style campaign is only as trustworthy as its oracles, and the
+//! only way to know an oracle works is to feed it a bug it *must* catch.
+//! Each [`CanaryKind`] plants one specific defect — a channel that
+//! overshoots `d₂`, a timeout budgeted without the drop allowance, a
+//! guard band of zero, a register whose `2ε` read wait is skipped — into
+//! an otherwise default scenario, and names the oracle whose violation
+//! proves the campaign would have found it. The suite's **mutation
+//! score** (canaries caught / canaries planted) is the falsification
+//! metric CI gates on: a score below 1.0 means an oracle has silently
+//! stopped pulling its weight.
+
+use crate::explore::{run_campaign_jobs, CampaignConfig, CampaignReport};
+use crate::scenario::{ScenarioConfig, ScenarioKind};
+
+/// A planted bug: which scenario it mutates and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CanaryKind {
+    /// Channel lets a boundary delay spike overshoot `d₂` by one tick.
+    DelayOvershoot,
+    /// Monitor timeout budgeted without the `max_drops` allowance.
+    FdTimeoutUnderbudget,
+    /// Channel delivers every message twice, plan or no plan.
+    DuplicateDelivery,
+    /// Node 0's clock runs outside the declared `ε` envelope.
+    SkewBeyondEps,
+    /// Node 0's beeper runs 1 ms faster than its declared cadence.
+    CadenceRush,
+    /// Slot users drop their guard bands (`guard = 0`), so any clock
+    /// skew overlaps adjacent occupancies.
+    MutexGuardZero,
+    /// The relay heals a stall by flushing its backlog LIFO, scrambling
+    /// first-delivery order.
+    RelayLifoHeal,
+    /// Algorithm S skips the `2ε` read wait (`read_slack = 0`).
+    RegisterSignFlip,
+    /// The counter object skips the `2ε` read wait (`read_slack = 0`).
+    CounterSignFlip,
+}
+
+impl CanaryKind {
+    /// Stable keyword (CLI `--canaries`, telemetry JSON).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CanaryKind::DelayOvershoot => "delay_overshoot",
+            CanaryKind::FdTimeoutUnderbudget => "fd_timeout_underbudget",
+            CanaryKind::DuplicateDelivery => "duplicate_delivery",
+            CanaryKind::SkewBeyondEps => "skew_beyond_eps",
+            CanaryKind::CadenceRush => "cadence_rush",
+            CanaryKind::MutexGuardZero => "mutex_guard_zero",
+            CanaryKind::RelayLifoHeal => "relay_lifo_heal",
+            CanaryKind::RegisterSignFlip => "register_sign_flip",
+            CanaryKind::CounterSignFlip => "counter_sign_flip",
+        }
+    }
+
+    /// Parses a keyword.
+    ///
+    /// # Errors
+    ///
+    /// Unknown keyword.
+    pub fn from_name(s: &str) -> Result<CanaryKind, String> {
+        CanaryKind::all()
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| format!("unknown canary {s:?}"))
+    }
+
+    /// Every registered canary.
+    #[must_use]
+    pub fn all() -> [CanaryKind; 9] {
+        [
+            CanaryKind::DelayOvershoot,
+            CanaryKind::FdTimeoutUnderbudget,
+            CanaryKind::DuplicateDelivery,
+            CanaryKind::SkewBeyondEps,
+            CanaryKind::CadenceRush,
+            CanaryKind::MutexGuardZero,
+            CanaryKind::RelayLifoHeal,
+            CanaryKind::RegisterSignFlip,
+            CanaryKind::CounterSignFlip,
+        ]
+    }
+
+    /// The scenario family the bug is planted into.
+    #[must_use]
+    pub fn base_kind(self) -> ScenarioKind {
+        match self {
+            CanaryKind::DelayOvershoot
+            | CanaryKind::FdTimeoutUnderbudget
+            | CanaryKind::DuplicateDelivery => ScenarioKind::Heartbeat,
+            CanaryKind::SkewBeyondEps | CanaryKind::CadenceRush => ScenarioKind::ClockFleet,
+            CanaryKind::MutexGuardZero => ScenarioKind::Mutex,
+            CanaryKind::RelayLifoHeal => ScenarioKind::Relay,
+            CanaryKind::RegisterSignFlip => ScenarioKind::Register,
+            CanaryKind::CounterSignFlip => ScenarioKind::Counter,
+        }
+    }
+
+    /// Name prefix of the oracle expected to catch the bug: a campaign
+    /// *catches* the canary when some failure's primary violation comes
+    /// from an oracle whose name starts with this.
+    #[must_use]
+    pub fn expected_oracle(self) -> &'static str {
+        match self {
+            CanaryKind::DelayOvershoot | CanaryKind::DuplicateDelivery => "delivery envelope",
+            CanaryKind::FdTimeoutUnderbudget => "failure detector",
+            CanaryKind::SkewBeyondEps => "C_eps",
+            CanaryKind::CadenceRush => "clock cadence",
+            CanaryKind::MutexGuardZero => "mutual exclusion",
+            CanaryKind::RelayLifoHeal => "fifo order",
+            CanaryKind::RegisterSignFlip => "linearizable read-write register",
+            CanaryKind::CounterSignFlip => "linearizable object",
+        }
+    }
+
+    /// The mutated scenario: the base kind's default config with this
+    /// bug planted.
+    #[must_use]
+    pub fn scenario(self) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::default_for(self.base_kind());
+        cfg.canary = Some(self);
+        if self == CanaryKind::DelayOvershoot {
+            cfg.bug_extra_ns = 1;
+        }
+        cfg
+    }
+}
+
+/// One canary's campaign result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanaryOutcome {
+    /// The planted bug.
+    pub kind: CanaryKind,
+    /// The campaign run against the mutated scenario; its
+    /// [`CanaryVerdict`](crate::explore::CanaryVerdict) says whether the
+    /// expected oracle caught the bug.
+    pub report: CampaignReport,
+}
+
+impl CanaryOutcome {
+    /// Did the expected oracle catch the planted bug at least once?
+    #[must_use]
+    pub fn caught(&self) -> bool {
+        self.report
+            .canary
+            .as_ref()
+            .is_some_and(|v| v.caught_cases > 0)
+    }
+}
+
+/// Runs one campaign per canary (same campaign knobs for each) and
+/// returns the per-canary outcomes in registry order.
+#[must_use]
+pub fn run_canary_suite(
+    kinds: &[CanaryKind],
+    campaign: &CampaignConfig,
+    jobs: usize,
+) -> Vec<CanaryOutcome> {
+    kinds
+        .iter()
+        .map(|&kind| CanaryOutcome {
+            kind,
+            report: run_campaign_jobs(campaign, &kind.scenario(), jobs),
+        })
+        .collect()
+}
+
+/// `(caught, planted)` across a suite — the mutation score as a ratio.
+#[must_use]
+pub fn mutation_score(outcomes: &[CanaryOutcome]) -> (u64, u64) {
+    let caught = outcomes.iter().filter(|o| o.caught()).count() as u64;
+    (caught, outcomes.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in CanaryKind::all() {
+            assert_eq!(CanaryKind::from_name(kind.name()).unwrap(), kind);
+        }
+        assert!(CanaryKind::from_name("nope").is_err());
+    }
+
+    #[test]
+    fn scenarios_carry_the_canary_tag() {
+        for kind in CanaryKind::all() {
+            let cfg = kind.scenario();
+            assert_eq!(cfg.canary, Some(kind));
+            assert_eq!(cfg.kind, kind.base_kind());
+        }
+    }
+}

@@ -40,6 +40,7 @@ use std::sync::OnceLock;
 use psync_obs::MetricsSnapshot;
 
 use crate::artifact::{Artifact, ARTIFACT_VERSION};
+use crate::canary::CanaryKind;
 use crate::plan::{Chain, FaultEntry, FaultEnvelope, FaultPlan};
 use crate::resume::{run_shrinkable_case, CampaignTelemetry};
 use crate::scenario::ScenarioConfig;
@@ -100,6 +101,17 @@ pub struct CampaignStats {
     /// counted exactly once (repeat candidates are served from a cache,
     /// and the final shrunk plan's outcome is read from it too).
     pub shrink_probes: u64,
+    /// Primary-run violations by oracle name (sorted by name) — the
+    /// per-oracle violation density's numerators; the denominator is
+    /// `cases`.
+    pub violations_by_oracle: Vec<(String, u64)>,
+    /// Distinct fault points (injection sites, see
+    /// [`FaultEntry::fault_point`]) the generated plans exercised, sorted.
+    pub fault_points_hit: Vec<String>,
+    /// Size of the scenario envelope's fault-point catalog — the
+    /// denominator of the fault-point-coverage ratio
+    /// `fault_points_hit.len() / fault_points_total`.
+    pub fault_points_total: u64,
 }
 
 impl CampaignStats {
@@ -112,6 +124,44 @@ impl CampaignStats {
             }
         }
     }
+
+    fn count_oracle(&mut self, oracle: &str) {
+        match self
+            .violations_by_oracle
+            .iter_mut()
+            .find(|(k, _)| k == oracle)
+        {
+            Some((_, n)) => *n += 1,
+            None => {
+                self.violations_by_oracle.push((oracle.to_string(), 1));
+                self.violations_by_oracle.sort_unstable();
+            }
+        }
+    }
+
+    fn hit_fault_point(&mut self, point: &str) {
+        if let Err(i) = self
+            .fault_points_hit
+            .binary_search_by(|p| p.as_str().cmp(point))
+        {
+            self.fault_points_hit.insert(i, point.to_string());
+        }
+    }
+}
+
+/// The campaign's verdict on a planted canary: did the expected oracle
+/// catch the bug, and how small did the caught cases shrink?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanaryVerdict {
+    /// The planted bug the campaign's scenario carried.
+    pub canary: CanaryKind,
+    /// Name prefix of the oracle expected to report it.
+    pub expected_oracle: String,
+    /// Failing cases whose primary violation came from that oracle.
+    pub caught_cases: u64,
+    /// Smallest shrunk-plan length among those cases (`None` when none
+    /// caught) — the canary regression gate asserts this stays tiny.
+    pub min_shrunk_entries: Option<u64>,
 }
 
 /// The result of [`run_campaign`].
@@ -127,6 +177,8 @@ pub struct CampaignReport {
     pub metrics: MetricsSnapshot,
     /// Shrunk, replayable failures (empty on a clean campaign).
     pub failures: Vec<Failure>,
+    /// The canary verdict, when the scenario carried a planted bug.
+    pub canary: Option<CanaryVerdict>,
 }
 
 /// Everything one case contributes to a report, captured so that cases
@@ -138,6 +190,10 @@ struct CaseRecord {
     /// preserves the sequential loop's first-seen kind ordering when
     /// merged.
     entry_kinds: Vec<&'static str>,
+    /// Fault point of each generated entry, in plan order.
+    entry_points: Vec<String>,
+    /// Oracle names of the primary run's violations, in oracle order.
+    violation_oracles: Vec<String>,
     /// Recorded events of the primary run.
     events: u64,
     /// Clock-script requests clamped during the primary run.
@@ -170,6 +226,7 @@ fn run_one_case(
         "generator escaped the envelope"
     );
     let entry_kinds: Vec<&'static str> = plan.entries.iter().map(FaultEntry::kind).collect();
+    let entry_points: Vec<String> = plan.entries.iter().map(FaultEntry::fault_point).collect();
     // Run the primary and, if it fails, shrink it: each probe is a
     // deterministic execution of the case under a candidate sub-plan
     // ("fails" = any oracle violation), resumed from a pooled checkpoint
@@ -185,6 +242,12 @@ fn run_one_case(
     );
     let mut record = CaseRecord {
         entry_kinds,
+        entry_points,
+        violation_oracles: outcome
+            .violations
+            .iter()
+            .map(|(oracle, _)| oracle.clone())
+            .collect(),
         events: outcome.events as u64,
         rejected_clock_requests: outcome.rejected_clock_requests,
         metrics: outcome.metrics.clone(),
@@ -222,7 +285,10 @@ fn merge_records(
     scenario: &ScenarioConfig,
     records: impl IntoIterator<Item = CaseRecord>,
 ) -> (CampaignReport, CampaignTelemetry) {
-    let mut stats = CampaignStats::default();
+    let mut stats = CampaignStats {
+        fault_points_total: scenario.envelope().fault_points().len() as u64,
+        ..CampaignStats::default()
+    };
     let mut metrics = MetricsSnapshot::default();
     let mut telemetry = CampaignTelemetry::default();
     let mut failures = Vec::new();
@@ -231,6 +297,12 @@ fn merge_records(
         stats.entries += record.entry_kinds.len() as u64;
         for kind in record.entry_kinds {
             stats.count_kind(kind);
+        }
+        for point in &record.entry_points {
+            stats.hit_fault_point(point);
+        }
+        for oracle in &record.violation_oracles {
+            stats.count_oracle(oracle);
         }
         stats.events += record.events;
         stats.rejected_clock_requests += record.rejected_clock_requests;
@@ -241,11 +313,30 @@ fn merge_records(
             failures.push(failure);
         }
     }
+    let canary = scenario.canary.map(|canary| {
+        let expected = canary.expected_oracle();
+        let caught: Vec<&Failure> = failures
+            .iter()
+            .filter(|f| {
+                f.artifact
+                    .violation
+                    .as_ref()
+                    .is_some_and(|(oracle, _)| oracle.starts_with(expected))
+            })
+            .collect();
+        CanaryVerdict {
+            canary,
+            expected_oracle: expected.to_string(),
+            caught_cases: caught.len() as u64,
+            min_shrunk_entries: caught.iter().map(|f| f.artifact.plan.len() as u64).min(),
+        }
+    });
     let report = CampaignReport {
         scenario: scenario.clone(),
         stats,
         metrics,
         failures,
+        canary,
     };
     (report, telemetry)
 }

@@ -40,6 +40,13 @@ pub struct PlanChannelFault {
     /// The seeded bug (`SeededBug::LateDelivery`): a spike requesting
     /// exactly `d₂` is stretched to `d₂ + late_extra`. Zero = no bug.
     late_extra: Duration,
+    /// Gray failure: `(cycle, slow)` — messages *sent* during the first
+    /// `slow` of every `cycle` of real time get the worst admissible delay
+    /// `d₂` instead of the seeded uniform one. `None` = healthy channel.
+    gray: Option<(Duration, Duration)>,
+    /// The duplicate-delivery canary: every message is delivered twice
+    /// (base delay + a copy at `d₂`), regardless of the plan.
+    dup_all: bool,
 }
 
 impl PlanChannelFault {
@@ -63,6 +70,8 @@ impl PlanChannelFault {
             dups: Vec::new(),
             spikes: Vec::new(),
             late_extra,
+            gray: None,
+            dup_all: false,
         };
         for entry in &plan.entries {
             match *entry {
@@ -95,10 +104,41 @@ impl PlanChannelFault {
         fault
     }
 
+    /// Turns the channel gray: messages sent during the first `slow` of
+    /// every `cycle` of real time are pinned to the worst admissible delay
+    /// `d₂`. Still inside the envelope — a gray channel is slow, not
+    /// broken — so every oracle must keep holding.
+    #[must_use]
+    pub fn with_gray_windows(mut self, cycle: Duration, slow: Duration) -> Self {
+        assert!(
+            !cycle.is_zero() && slow <= cycle,
+            "gray windows need 0 < slow <= cycle"
+        );
+        self.gray = Some((cycle, slow));
+        self
+    }
+
+    /// Plants the duplicate-delivery canary: every message is delivered
+    /// twice (base delay plus a copy at `d₂`), regardless of the plan.
+    #[must_use]
+    pub fn with_duplicate_all(mut self) -> Self {
+        self.dup_all = true;
+        self
+    }
+
     /// Seeded base delay, uniform over the declared bounds — same shape
     /// as `SeededDelay`, computed here so the declared (not the possibly
-    /// widened internal) bounds govern unfaulted messages.
-    fn base_delay(&self, src: NodeId, dst: NodeId, id: MsgId) -> Duration {
+    /// widened internal) bounds govern unfaulted messages. Messages sent
+    /// inside a gray window are pinned to `d₂` instead.
+    fn base_delay(&self, src: NodeId, dst: NodeId, id: MsgId, sent_at: Time) -> Duration {
+        if let Some((cycle, slow)) = self.gray {
+            let phase = (sent_at - Time::ZERO)
+                .as_nanos()
+                .rem_euclid(cycle.as_nanos());
+            if phase < slow.as_nanos() {
+                return self.declared.max();
+            }
+        }
         let width = self.declared.width().as_nanos();
         if width == 0 {
             return self.declared.min();
@@ -114,7 +154,7 @@ impl ChannelFault for PlanChannelFault {
         src: NodeId,
         dst: NodeId,
         id: MsgId,
-        _sent_at: Time,
+        sent_at: Time,
         _bounds: DelayBounds,
     ) -> Option<Vec<Duration>> {
         let seq = seq_of(id);
@@ -132,9 +172,15 @@ impl ChannelFault for PlanChannelFault {
             return Some(vec![d]);
         }
         if let Some((_, d)) = self.dups.iter().find(|(s, _)| *s == seq) {
-            return Some(vec![self.base_delay(src, dst, id), *d]);
+            return Some(vec![self.base_delay(src, dst, id, sent_at), *d]);
         }
-        Some(vec![self.base_delay(src, dst, id)])
+        if self.dup_all {
+            return Some(vec![
+                self.base_delay(src, dst, id, sent_at),
+                self.declared.max(),
+            ]);
+        }
+        Some(vec![self.base_delay(src, dst, id, sent_at)])
     }
 }
 
@@ -374,6 +420,53 @@ mod tests {
             for d in get(seq) {
                 assert!(bounds().contains(d));
             }
+        }
+    }
+
+    #[test]
+    fn gray_windows_pin_sends_in_the_slow_phase_to_d2() {
+        let plan = FaultPlan { entries: vec![] };
+        let f = PlanChannelFault::new(&plan, 0, 1, 7, bounds(), Duration::ZERO)
+            .with_gray_windows(Duration::from_millis(40), Duration::from_millis(20));
+        let get = |seq: u32, at_ms: i64| {
+            f.deliveries(
+                NodeId(0),
+                NodeId(1),
+                MsgId::from_parts(NodeId(0), seq),
+                Time::ZERO + Duration::from_millis(at_ms),
+                bounds(),
+            )
+            .unwrap()
+        };
+        // Sent in the slow window (phase < 20 ms of each 40 ms cycle): d₂.
+        assert_eq!(get(0, 0), vec![bounds().max()]);
+        assert_eq!(get(1, 55), vec![bounds().max()]);
+        // Sent in the healthy phase: the seeded uniform delay, in bounds.
+        for (seq, at) in [(2u32, 25i64), (3, 70), (4, 39)] {
+            let ds = get(seq, at);
+            assert_eq!(ds.len(), 1);
+            assert!(bounds().contains(ds[0]));
+        }
+    }
+
+    #[test]
+    fn duplicate_all_delivers_every_message_twice() {
+        let plan = FaultPlan { entries: vec![] };
+        let f =
+            PlanChannelFault::new(&plan, 0, 1, 7, bounds(), Duration::ZERO).with_duplicate_all();
+        for seq in 0..8u32 {
+            let ds = f
+                .deliveries(
+                    NodeId(0),
+                    NodeId(1),
+                    MsgId::from_parts(NodeId(0), seq),
+                    Time::ZERO,
+                    bounds(),
+                )
+                .unwrap();
+            assert_eq!(ds.len(), 2);
+            assert_eq!(ds[1], bounds().max());
+            assert!(bounds().contains(ds[0]));
         }
     }
 

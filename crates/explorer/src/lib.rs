@@ -38,6 +38,7 @@
 //!    [`replay_artifact`] re-executes bit-identically.
 
 pub mod artifact;
+pub mod canary;
 pub mod explore;
 pub mod faults;
 pub mod json;
@@ -47,15 +48,17 @@ pub mod scenario;
 pub mod shrink;
 
 pub use artifact::{replay_artifact, Artifact, ARTIFACT_VERSION};
+pub use canary::{mutation_score, run_canary_suite, CanaryKind, CanaryOutcome};
 pub use explore::{
     default_jobs, first_failure, run_campaign, run_campaign_jobs, run_campaign_with_telemetry,
-    CampaignConfig, CampaignReport, CampaignStats, Failure,
+    CampaignConfig, CampaignReport, CampaignStats, CanaryVerdict, Failure,
 };
 pub use faults::{scripted_clock_for, seq_of, BiasedScheduler, PlanChannelFault, PlanDelayPolicy};
 pub use plan::{at_ns, ns, FaultEntry, FaultEnvelope, FaultPlan, Inadmissible};
 pub use resume::CampaignTelemetry;
 pub use scenario::{
-    clockfleet_oracles, fingerprint, heartbeat_oracles, register_oracles, run_case, run_clockfleet,
-    run_heartbeat, run_register, CaseOutcome, Judged, ScenarioConfig, ScenarioKind,
+    clockfleet_oracles, counter_oracles, fingerprint, heartbeat_oracles, mutex_oracles,
+    register_oracles, run_case, run_clockfleet, run_counter, run_heartbeat, run_heartbeat_restart,
+    run_mutex, run_register, CaseOutcome, HeartbeatRelay, Judged, ScenarioConfig, ScenarioKind,
 };
 pub use shrink::shrink_entries;

@@ -100,6 +100,25 @@ impl FaultEntry {
         }
     }
 
+    /// The coverage *fault point* this entry exercises: the injection site
+    /// abstracted over magnitudes and sequence numbers — `kind@node` for
+    /// clock entries, `kind@src->dst` for channel entries,
+    /// `scheduler_bias` for bias. Campaign telemetry counts distinct fault
+    /// points hit against [`FaultEnvelope::fault_points`].
+    #[must_use]
+    pub fn fault_point(&self) -> String {
+        match *self {
+            FaultEntry::ClockSkew { node, .. } => format!("clock_skew@n{node}"),
+            FaultEntry::ClockBackwardJump { node, .. } => {
+                format!("clock_backward_jump@n{node}")
+            }
+            FaultEntry::Drop { src, dst, .. } => format!("drop@{src}->{dst}"),
+            FaultEntry::Duplicate { src, dst, .. } => format!("duplicate@{src}->{dst}"),
+            FaultEntry::DelaySpike { src, dst, .. } => format!("delay_spike@{src}->{dst}"),
+            FaultEntry::SchedulerBias { .. } => "scheduler_bias".to_string(),
+        }
+    }
+
     /// The `(src, dst, seq)` target of a channel entry, if it is one.
     #[must_use]
     pub fn channel_target(&self) -> Option<(u32, u32, u32)> {
@@ -281,6 +300,38 @@ pub struct FaultEnvelope {
     pub allow_dup: bool,
     /// Whether delay spikes are in the model.
     pub allow_spike: bool,
+}
+
+impl FaultEnvelope {
+    /// Every fault point the envelope's model contains, sorted — the
+    /// denominator of the campaign's fault-point-coverage metric. Mirrors
+    /// exactly the kind gating of [`FaultPlan::generate`]: clock points
+    /// per node when clock faults are allowed, channel points per edge per
+    /// allowed kind, and the scheduler-bias point always.
+    #[must_use]
+    pub fn fault_points(&self) -> Vec<String> {
+        let mut points = Vec::new();
+        if self.allow_clock {
+            for node in 0..self.nodes {
+                points.push(format!("clock_skew@n{node}"));
+                points.push(format!("clock_backward_jump@n{node}"));
+            }
+        }
+        for &(src, dst) in &self.edges {
+            if self.allow_drop {
+                points.push(format!("drop@{src}->{dst}"));
+            }
+            if self.allow_dup {
+                points.push(format!("duplicate@{src}->{dst}"));
+            }
+            if self.allow_spike {
+                points.push(format!("delay_spike@{src}->{dst}"));
+            }
+        }
+        points.push("scheduler_bias".to_string());
+        points.sort();
+        points
+    }
 }
 
 /// Why a plan was rejected *before execution* — the plan steps outside
@@ -911,6 +962,24 @@ mod tests {
         }
         assert!(hit_d2, "no spike ever sat on d₂");
         assert!(hit_eps, "no skew ever sat on ±ε");
+    }
+
+    #[test]
+    fn generated_fault_points_stay_inside_the_envelope_catalog() {
+        let e = env();
+        let catalog = e.fault_points();
+        assert!(catalog.contains(&"scheduler_bias".to_string()));
+        assert!(catalog.contains(&"drop@0->1".to_string()));
+        assert!(catalog.contains(&"clock_skew@n1".to_string()));
+        for seed in 0..100 {
+            for entry in FaultPlan::generate(seed, &e, 5).entries {
+                assert!(
+                    catalog.contains(&entry.fault_point()),
+                    "fault point {} not in the catalog",
+                    entry.fault_point()
+                );
+            }
+        }
     }
 
     #[test]

@@ -50,18 +50,16 @@
 use std::rc::Rc;
 
 use psync_apps::heartbeat::FdAction;
-use psync_automata::toys::BeepAction;
 use psync_automata::{Action, ArenaSnapshot, TimedEvent};
 use psync_executor::{Run, StopReason};
 use psync_net::{FaultStats, SysAction};
-use psync_register::RegAction;
 
 use crate::faults::seq_of;
 use crate::plan::{at_ns, FaultEntry, FaultPlan};
 use crate::scenario::{
-    build_clockfleet, build_heartbeat, build_register, finish_case, judge_clockfleet,
-    judge_heartbeat, judge_register, outcome_of, run_case, BuiltCase, CaseOutcome, ScenarioConfig,
-    ScenarioKind,
+    build_clockfleet, build_counter, build_heartbeat, build_mutex, build_register, finish_case,
+    judge_clockfleet, judge_counter, judge_heartbeat, judge_mutex, judge_register, outcome_of,
+    run_case, BuiltCase, CaseOutcome, ScenarioConfig, ScenarioKind,
 };
 use crate::shrink::shrink_entries;
 
@@ -127,7 +125,7 @@ pub(crate) struct ShrinkResult {
 struct CaseCheckpoint<A: Action> {
     engine: psync_executor::EngineCheckpoint<A>,
     metrics: psync_obs::MetricsSnapshot,
-    fault_values: Option<[u64; 5]>,
+    fault_values: Vec<[u64; 5]>,
 }
 
 /// A driven run paired with the checkpoints captured along the way.
@@ -151,7 +149,7 @@ fn capture<A: Action>(
     Rc::new(CaseCheckpoint {
         engine: built.engine.checkpoint(),
         metrics: built.hub.snapshot(),
-        fault_values: built.fault_stats.as_ref().map(FaultStats::values),
+        fault_values: built.fault_stats.iter().map(FaultStats::values).collect(),
     })
 }
 
@@ -231,21 +229,11 @@ fn heartbeat_activation(entry: &FaultEntry, events: &[TimedEvent<FdAction>]) -> 
     }
 }
 
-/// Activation index of a clock-fleet entry.
-fn clockfleet_activation(entry: &FaultEntry, events: &[TimedEvent<BeepAction>]) -> usize {
-    match *entry {
-        FaultEntry::ClockSkew { at_ns: t, .. } | FaultEntry::ClockBackwardJump { at_ns: t, .. } => {
-            clock_segment_activation(t, events)
-        }
-        FaultEntry::SchedulerBias { pick } => usize::try_from(pick).unwrap_or(usize::MAX),
-        _ => 0,
-    }
-}
-
-/// Activation index of a register entry. Delay spikes flow through the
+/// Activation index of a clock-model entry (clock-fleet, mutex,
+/// register, and counter scenarios alike). Delay spikes flow through the
 /// `build_dc` clock channels, whose send times have no cheap mapping to
 /// event indices — stay conservative and replay from the start.
-fn register_activation(entry: &FaultEntry, events: &[TimedEvent<RegAction>]) -> usize {
+fn clock_activation<A: Action>(entry: &FaultEntry, events: &[TimedEvent<A>]) -> usize {
     match *entry {
         FaultEntry::ClockSkew { at_ns: t, .. } | FaultEntry::ClockBackwardJump { at_ns: t, .. } => {
             clock_segment_activation(t, events)
@@ -388,8 +376,8 @@ fn probe_resumed<A: Action>(
     let rung = &pool[bi].cps[ci];
     built.engine.restore(&rung.engine);
     built.hub.restore(&rung.metrics);
-    if let (Some(stats), Some(values)) = (&built.fault_stats, rung.fault_values) {
-        stats.set_values(values);
+    for (stats, values) in built.fault_stats.iter().zip(&rung.fault_values) {
+        stats.set_values(*values);
     }
 
     let (run, new_cps) = drive(&mut built, start, telemetry);
@@ -449,7 +437,11 @@ pub(crate) fn run_shrinkable_case(
     checkpointed: bool,
     telemetry: &mut CampaignTelemetry,
 ) -> (CaseOutcome, Option<ShrinkResult>) {
-    if !checkpointed {
+    // The restart scenario already checkpoints and restores *inside* its
+    // primary run; layering probe-resume checkpoints over that seam is
+    // not supported, so its shrinks replay from scratch.
+    let from_scratch = !checkpointed || scenario.kind == ScenarioKind::HeartbeatRestart;
+    if from_scratch {
         let outcome = run_case(scenario, plan, seed);
         if outcome.violations.is_empty() {
             return (outcome, None);
@@ -465,26 +457,46 @@ pub(crate) fn run_shrinkable_case(
         return (outcome, Some(result));
     }
     match scenario.kind {
-        ScenarioKind::Heartbeat => run_and_shrink(
+        ScenarioKind::HeartbeatRestart => unreachable!("restart shrinks replay from scratch"),
+        ScenarioKind::Heartbeat
+        | ScenarioKind::HeartbeatCrash
+        | ScenarioKind::HeartbeatGray
+        | ScenarioKind::HeartbeatBidi
+        | ScenarioKind::Relay
+        | ScenarioKind::Partition => run_and_shrink(
             plan,
             telemetry,
             &|p| build_heartbeat(scenario, p, seed),
             &|p, run| judge_heartbeat(scenario, p, run),
             &heartbeat_activation,
         ),
-        ScenarioKind::ClockFleet => run_and_shrink(
+        ScenarioKind::ClockFleet | ScenarioKind::ClockFleetLarge => run_and_shrink(
             plan,
             telemetry,
             &|p| build_clockfleet(scenario, p, seed),
             &|_p, run| judge_clockfleet(scenario, run),
-            &clockfleet_activation,
+            &clock_activation,
         ),
-        ScenarioKind::Register => run_and_shrink(
+        ScenarioKind::Mutex | ScenarioKind::MutexContended => run_and_shrink(
+            plan,
+            telemetry,
+            &|p| build_mutex(scenario, p, seed),
+            &|_p, run| judge_mutex(scenario, run),
+            &clock_activation,
+        ),
+        ScenarioKind::Register | ScenarioKind::RegisterTriple => run_and_shrink(
             plan,
             telemetry,
             &|p| build_register(scenario, p, seed),
             &|_p, run| judge_register(scenario, seed, run),
-            &register_activation,
+            &clock_activation,
+        ),
+        ScenarioKind::Counter => run_and_shrink(
+            plan,
+            telemetry,
+            &|p| build_counter(scenario, p, seed),
+            &|_p, run| judge_counter(scenario, seed, run),
+            &clock_activation,
         ),
     }
 }
@@ -709,7 +721,7 @@ mod tests {
             13,
             &|p| build_clockfleet(&scenario, p, 13),
             &|_p, run| judge_clockfleet(&scenario, run),
-            &clockfleet_activation,
+            &clock_activation,
         );
     }
 
@@ -720,7 +732,7 @@ mod tests {
             entries: vec![
                 FaultEntry::ClockSkew {
                     node: 0,
-                    at_ns: 1_000_000_000,
+                    at_ns: 20_000_000,
                     offset_ns: scenario.eps_ns,
                 },
                 FaultEntry::DelaySpike {
@@ -738,7 +750,7 @@ mod tests {
             7,
             &|p| build_register(&scenario, p, 7),
             &|_p, run| judge_register(&scenario, 7, run),
-            &register_activation,
+            &clock_activation,
         );
     }
 

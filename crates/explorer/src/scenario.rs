@@ -1,57 +1,115 @@
 //! Scenario factories: the systems a fault plan perturbs, and the
 //! oracles that judge each run.
 //!
-//! Three families cover the workspace's three model layers:
+//! The catalog covers the workspace's three model layers with fourteen
+//! scenarios in five families:
 //!
-//! * **heartbeat** — the timed model: a heartbeater, a plan-driven
-//!   [`FaultChannel`], a monitor, and (optionally) a scripted crash.
-//!   Oracles: the `[d₁, d₂]` delivery envelope, failure-detector accuracy
-//!   and completeness (with a drop-budgeted timeout), and Lemma 2.1
-//!   replays of the monitor and heartbeater.
-//! * **clockfleet** — the clock model in isolation: `n` clock nodes with
-//!   plan-scripted clocks driving periodic clock-time beepers. Oracles:
-//!   `C_ε` on every recorded reading, per-node clock monotonicity and
-//!   exact clock-time cadence, and a Lemma 2.1 clock replay.
-//! * **register** — the full `D_C` assembly of Section 6 (Algorithm S
-//!   through Simulation 1): scripted clocks, plan delay spikes, scheduler
-//!   bias, a closed-loop workload. Oracles: linearizability (the same
-//!   [`LinearizableRegister`] problem the conformance sweeps use, adapted
-//!   through [`ProblemOracle`]), `C_ε`, liveness, and a workload replay.
+//! * **heartbeat family** — the timed model: heartbeaters, plan-driven
+//!   [`FaultChannel`]s, monitors, and (optionally) scripted crashes.
+//!   Variants add a crash ([`ScenarioKind::HeartbeatCrash`]), a
+//!   crash-recovery seam replayed through `Engine::checkpoint`/`restore`
+//!   ([`ScenarioKind::HeartbeatRestart`], Lemma 2.1 as an executable
+//!   test), an intermittently slow gray channel
+//!   ([`ScenarioKind::HeartbeatGray`]), a symmetric two-way pair
+//!   ([`ScenarioKind::HeartbeatBidi`]), a three-node relay line
+//!   ([`ScenarioKind::Relay`]), and a partitioned four-node topology
+//!   ([`ScenarioKind::Partition`]). Oracles: the `[d₁, d₂]` delivery
+//!   envelope, per-edge FIFO order, per-pair failure-detector accuracy
+//!   and completeness (hop-aware detection bounds), and Lemma 2.1
+//!   replays of every component.
+//! * **clockfleet family** — the clock model in isolation: `n` clock
+//!   nodes with plan-scripted clocks driving periodic clock-time
+//!   beepers. Oracles: `C_ε` on every recorded reading, per-node clock
+//!   monotonicity and exact clock-time cadence, and Lemma 2.1 clock
+//!   replays.
+//! * **mutex family** — the paper's time-division mutual exclusion
+//!   (Section 7's design techniques, `SlotUser` under `C(A, ε)`): slot
+//!   users with `guard = ε` edges, transformed to clock time. Oracles:
+//!   interval-based mutual exclusion, per-node liveness (every round
+//!   entered), `C_ε`, and clock replays of each slot user.
+//! * **register family** — the full `D_C` assembly of Section 6
+//!   (Algorithm S through Simulation 1) in two- and three-node flavors.
+//!   Oracles: linearizability (the same [`LinearizableRegister`] problem
+//!   the conformance sweeps use), `C_ε`, liveness, and a workload
+//!   replay.
+//! * **counter** — the generalized-object extension: `AlgorithmSObj`
+//!   over the [`Counter`] spec under a seeded object workload, judged by
+//!   [`ObjectLinearizableOracle`].
 //!
 //! Every factory is a pure function of `(config, plan, seed)` — the
 //! entire contents of a replay artifact — which is what makes replays
-//! bit-identical.
+//! bit-identical. Planted-bug canaries ([`CanaryKind`]) mutate one
+//! factory knob each; the config carries the tag so artifacts of caught
+//! canaries replay the mutant faithfully.
 
 use core::cell::Cell;
 use std::rc::Rc;
 
-use psync_apps::heartbeat::{outcome, FdAction, FdOp, FdParams, Heartbeat, Heartbeater, Monitor};
+use psync_apps::heartbeat::{FdAction, FdOp, FdParams, Heartbeat, Heartbeater, Monitor};
+use psync_apps::mutex::{MutexAction, MutexOp, SlotUser};
 use psync_automata::toys::{BeepAction, ClockBeeper};
-use psync_automata::{Action, Execution, Verdict};
-use psync_core::{app_trace, build_dc, NodeSpec};
-use psync_executor::{ClockNode, Engine, Run, StopReason};
-use psync_net::{FaultChannel, FaultStats, MaxDelay, NodeId, Script, SysAction, Topology};
+use psync_automata::{Action, ActionKind, Execution, TimedComponent, Verdict};
+use psync_core::{app_trace, build_dc, ClockSim, NodeSpec};
+use psync_executor::{ClockNode, Engine, OffsetClock, Run, StopReason};
+use psync_net::{
+    Envelope, FaultChannel, FaultStats, MaxDelay, MsgId, NodeId, Script, SysAction, Topology,
+};
 use psync_obs::{CEpsOracle, MetricsHub, MetricsSnapshot};
-use psync_register::{AlgorithmS, ClosedLoopWorkload, RegAction, RegisterParams, Value};
+use psync_register::object::Counter;
+use psync_register::{
+    AlgorithmS, AlgorithmSObj, ClosedLoopWorkload, ObjAction, ObjWorkload, RegAction,
+    RegisterParams, Value,
+};
 use psync_time::{DelayBounds, Duration, Time};
 use psync_verify::replay::{replay_clock, replay_timed};
-use psync_verify::{check_all, FnOracle, LinearizableRegister, Oracle, ProblemOracle};
+use psync_verify::{
+    check_all, check_fifo_per_edge, FnOracle, LinearizableRegister, ObjectLinearizableOracle,
+    Oracle, ProblemOracle,
+};
 
+use crate::canary::CanaryKind;
 use crate::faults::{
     scripted_clock_for, seq_of, BiasedScheduler, PlanChannelFault, PlanDelayPolicy,
 };
 use crate::json::Json;
 use crate::plan::{at_ns, ns, FaultEntry, FaultEnvelope, FaultPlan};
 
-/// Which system family a case runs.
+/// Which system a case runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScenarioKind {
     /// Timed-model failure detector over a faultable channel.
     Heartbeat,
+    /// Heartbeat with a scripted crash of the monitored node.
+    HeartbeatCrash,
+    /// Heartbeat with a crash *and* a checkpoint/restore seam: the run is
+    /// paused mid-flight, snapshotted, restored into a fresh engine, and
+    /// driven to the horizon — the oracles must hold across the seam
+    /// (Lemma 2.1 as a crash-recovery test).
+    HeartbeatRestart,
+    /// Heartbeat over a gray channel: periodically, sends are pinned to
+    /// the worst admissible delay `d₂`.
+    HeartbeatGray,
+    /// Two nodes monitoring each other over two independent channels.
+    HeartbeatBidi,
+    /// Three-node line: heartbeats are forwarded by a deduplicating relay
+    /// and monitored two hops downstream.
+    Relay,
+    /// Four nodes in two disjoint pairs; one pair's beater crashes.
+    Partition,
     /// Clock-model beeper fleet with scripted clocks.
     ClockFleet,
+    /// A larger, faster, more skewed beeper fleet.
+    ClockFleetLarge,
+    /// Time-division mutual exclusion (`SlotUser` under `C(A, ε)`).
+    Mutex,
+    /// Mutual exclusion with more nodes and tighter slots.
+    MutexContended,
     /// Algorithm S in `D_C` (Section 6) under plan adversaries.
     Register,
+    /// Algorithm S with three nodes.
+    RegisterTriple,
+    /// The generalized-object counter (`AlgorithmSObj<Counter>`).
+    Counter,
 }
 
 impl ScenarioKind {
@@ -60,8 +118,19 @@ impl ScenarioKind {
     pub fn name(self) -> &'static str {
         match self {
             ScenarioKind::Heartbeat => "heartbeat",
+            ScenarioKind::HeartbeatCrash => "heartbeat_crash",
+            ScenarioKind::HeartbeatRestart => "heartbeat_restart",
+            ScenarioKind::HeartbeatGray => "heartbeat_gray",
+            ScenarioKind::HeartbeatBidi => "heartbeat_bidi",
+            ScenarioKind::Relay => "relay",
+            ScenarioKind::Partition => "partition",
             ScenarioKind::ClockFleet => "clockfleet",
+            ScenarioKind::ClockFleetLarge => "clockfleet_large",
+            ScenarioKind::Mutex => "mutex",
+            ScenarioKind::MutexContended => "mutex_contended",
             ScenarioKind::Register => "register",
+            ScenarioKind::RegisterTriple => "register_triple",
+            ScenarioKind::Counter => "counter",
         }
     }
 
@@ -71,22 +140,46 @@ impl ScenarioKind {
     ///
     /// Unknown keyword.
     pub fn from_name(s: &str) -> Result<ScenarioKind, String> {
-        match s {
-            "heartbeat" => Ok(ScenarioKind::Heartbeat),
-            "clockfleet" => Ok(ScenarioKind::ClockFleet),
-            "register" => Ok(ScenarioKind::Register),
-            other => Err(format!("unknown scenario {other:?}")),
-        }
+        ScenarioKind::all()
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| format!("unknown scenario {s:?}"))
     }
 
-    /// All scenario kinds.
+    /// All scenario kinds, in catalog order.
     #[must_use]
-    pub fn all() -> [ScenarioKind; 3] {
+    pub fn all() -> [ScenarioKind; 14] {
         [
             ScenarioKind::Heartbeat,
+            ScenarioKind::HeartbeatCrash,
+            ScenarioKind::HeartbeatRestart,
+            ScenarioKind::HeartbeatGray,
+            ScenarioKind::HeartbeatBidi,
+            ScenarioKind::Relay,
+            ScenarioKind::Partition,
             ScenarioKind::ClockFleet,
+            ScenarioKind::ClockFleetLarge,
+            ScenarioKind::Mutex,
+            ScenarioKind::MutexContended,
             ScenarioKind::Register,
+            ScenarioKind::RegisterTriple,
+            ScenarioKind::Counter,
         ]
+    }
+
+    /// Does this kind belong to the heartbeat (timed-model) family?
+    #[must_use]
+    pub fn is_heartbeat(self) -> bool {
+        matches!(
+            self,
+            ScenarioKind::Heartbeat
+                | ScenarioKind::HeartbeatCrash
+                | ScenarioKind::HeartbeatRestart
+                | ScenarioKind::HeartbeatGray
+                | ScenarioKind::HeartbeatBidi
+                | ScenarioKind::Relay
+                | ScenarioKind::Partition
+        )
     }
 }
 
@@ -106,14 +199,20 @@ pub struct ScenarioConfig {
     pub eps_ns: i64,
     /// Run horizon, nanoseconds.
     pub horizon_ns: i64,
-    /// Heartbeat / beep period, nanoseconds.
+    /// Heartbeat/beep period, or the mutex slot width, nanoseconds.
     pub period_ns: i64,
-    /// Drop budget per edge (heartbeat only).
+    /// Drop budget per edge (heartbeat family only).
     pub max_drops: u32,
-    /// Closed-loop operations per node (register only).
+    /// Closed-loop operations per node (register/counter), or mutex
+    /// rounds per node.
     pub ops_per_node: u32,
-    /// Scripted crash time (heartbeat only), nanoseconds.
+    /// Scripted crash time (heartbeat family only), nanoseconds.
     pub crash_at_ns: Option<i64>,
+    /// Checkpoint/restore seam time ([`ScenarioKind::HeartbeatRestart`]
+    /// only), nanoseconds.
+    pub restart_at_ns: Option<i64>,
+    /// The planted-bug canary mutating this scenario, if any.
+    pub canary: Option<CanaryKind>,
     /// The seeded bug: extra nanoseconds a boundary delay spike is allowed
     /// to overshoot `d₂` by. Zero = correct channel.
     pub bug_extra_ns: i64,
@@ -134,6 +233,8 @@ impl ScenarioConfig {
             max_drops: 2,
             ops_per_node: 0,
             crash_at_ns: None,
+            restart_at_ns: None,
+            canary: None,
             bug_extra_ns: 0,
         }
     }
@@ -152,6 +253,8 @@ impl ScenarioConfig {
             max_drops: 0,
             ops_per_node: 0,
             crash_at_ns: None,
+            restart_at_ns: None,
+            canary: None,
             bug_extra_ns: 0,
         }
     }
@@ -165,12 +268,91 @@ impl ScenarioConfig {
             d1_ns: 1_000_000,
             d2_ns: 4_000_000,
             eps_ns: 1_000_000,
-            horizon_ns: 10_000_000_000,
+            // Liveness bound, and also the window fault plans are drawn
+            // over: the closed loop drains in tens of milliseconds, so a
+            // tight horizon keeps generated clock skews landing while
+            // operations are still racing.
+            horizon_ns: 400_000_000,
             period_ns: 0,
             max_drops: 0,
             ops_per_node: 3,
             crash_at_ns: None,
+            restart_at_ns: None,
+            canary: None,
             bug_extra_ns: 0,
+        }
+    }
+
+    /// The catalog default for any scenario kind.
+    #[must_use]
+    pub fn default_for(kind: ScenarioKind) -> ScenarioConfig {
+        match kind {
+            ScenarioKind::Heartbeat => ScenarioConfig::heartbeat_default(),
+            ScenarioKind::HeartbeatCrash => ScenarioConfig {
+                kind,
+                crash_at_ns: Some(150_000_000),
+                ..ScenarioConfig::heartbeat_default()
+            },
+            ScenarioKind::HeartbeatRestart => ScenarioConfig {
+                kind,
+                crash_at_ns: Some(150_000_000),
+                restart_at_ns: Some(110_000_000),
+                ..ScenarioConfig::heartbeat_default()
+            },
+            ScenarioKind::HeartbeatGray | ScenarioKind::HeartbeatBidi => ScenarioConfig {
+                kind,
+                ..ScenarioConfig::heartbeat_default()
+            },
+            ScenarioKind::Relay => ScenarioConfig {
+                kind,
+                nodes: 3,
+                ..ScenarioConfig::heartbeat_default()
+            },
+            ScenarioKind::Partition => ScenarioConfig {
+                kind,
+                nodes: 4,
+                crash_at_ns: Some(150_000_000),
+                ..ScenarioConfig::heartbeat_default()
+            },
+            ScenarioKind::ClockFleet => ScenarioConfig::clockfleet_default(),
+            ScenarioKind::ClockFleetLarge => ScenarioConfig {
+                kind,
+                nodes: 6,
+                eps_ns: 3_000_000,
+                horizon_ns: 200_000_000,
+                period_ns: 7_000_000,
+                ..ScenarioConfig::clockfleet_default()
+            },
+            ScenarioKind::Mutex => ScenarioConfig {
+                kind,
+                nodes: 3,
+                d1_ns: 0,
+                d2_ns: 0,
+                eps_ns: 2_000_000,
+                horizon_ns: 200_000_000,
+                period_ns: 10_000_000,
+                max_drops: 0,
+                ops_per_node: 4,
+                crash_at_ns: None,
+                restart_at_ns: None,
+                canary: None,
+                bug_extra_ns: 0,
+            },
+            ScenarioKind::MutexContended => ScenarioConfig {
+                kind,
+                nodes: 4,
+                horizon_ns: 160_000_000,
+                period_ns: 8_000_000,
+                ops_per_node: 3,
+                ..ScenarioConfig::default_for(ScenarioKind::Mutex)
+            },
+            ScenarioKind::Register => ScenarioConfig::register_default(),
+            ScenarioKind::RegisterTriple | ScenarioKind::Counter => ScenarioConfig {
+                kind,
+                nodes: 3,
+                ops_per_node: 2,
+                ..ScenarioConfig::register_default()
+            },
         }
     }
 
@@ -186,28 +368,40 @@ impl ScenarioConfig {
     /// The admissibility envelope this scenario grants to fault plans.
     #[must_use]
     pub fn envelope(&self) -> FaultEnvelope {
-        let (allow_clock, allow_drop, allow_dup, allow_spike, edges) = match self.kind {
-            ScenarioKind::Heartbeat => (false, true, true, true, vec![(0, 1)]),
-            ScenarioKind::ClockFleet => (true, false, false, false, vec![]),
-            ScenarioKind::Register => {
-                // Clock channels (`build_dc`) expose a delay policy but not
-                // drops/duplicates; the paper's reliable-channel model
-                // stands, so only spikes and clock faults are in scope.
-                let mut edges = Vec::new();
-                for i in 0..self.nodes {
-                    for j in 0..self.nodes {
-                        if i != j {
-                            edges.push((i, j));
+        let (allow_clock, allow_drop, allow_dup, allow_spike, edges) = if self.kind.is_heartbeat() {
+            (false, true, true, true, hb_shape(self.kind).edges)
+        } else {
+            match self.kind {
+                ScenarioKind::ClockFleet
+                | ScenarioKind::ClockFleetLarge
+                | ScenarioKind::Mutex
+                | ScenarioKind::MutexContended => (true, false, false, false, vec![]),
+                _ => {
+                    // Clock channels (`build_dc`) expose a delay policy but
+                    // not drops/duplicates; the paper's reliable-channel
+                    // model stands, so only spikes and clock faults are in
+                    // scope.
+                    let mut edges = Vec::new();
+                    for i in 0..self.nodes {
+                        for j in 0..self.nodes {
+                            if i != j {
+                                edges.push((i, j));
+                            }
                         }
                     }
+                    (true, false, false, true, edges)
                 }
-                (true, false, false, true, edges)
             }
         };
-        let max_seq = match self.kind {
-            ScenarioKind::Heartbeat => (self.horizon_ns / self.period_ns.max(1)) as u32 + 1,
-            ScenarioKind::ClockFleet => 0,
-            ScenarioKind::Register => self.ops_per_node * 2 + 2,
+        let max_seq = if self.kind.is_heartbeat() {
+            (self.horizon_ns / self.period_ns.max(1)) as u32 + 1
+        } else {
+            match self.kind {
+                ScenarioKind::Register | ScenarioKind::RegisterTriple | ScenarioKind::Counter => {
+                    self.ops_per_node * 2 + 2
+                }
+                _ => 0,
+            }
         };
         FaultEnvelope {
             nodes: self.nodes,
@@ -260,6 +454,14 @@ impl ScenarioConfig {
                 "crash_at_ns",
                 self.crash_at_ns.map_or(Json::Null, Json::num),
             ),
+            (
+                "restart_at_ns",
+                self.restart_at_ns.map_or(Json::Null, Json::num),
+            ),
+            (
+                "canary",
+                self.canary.map_or(Json::Null, |c| Json::str(c.name())),
+            ),
             ("bug_extra_ns", Json::num(self.bug_extra_ns)),
         ])
     }
@@ -275,6 +477,14 @@ impl ScenarioConfig {
                 .and_then(Json::as_u32)
                 .ok_or_else(|| format!("config missing {name}"))
         };
+        // New fields are nullable *and* optional, so pre-catalog artifacts
+        // (version 1, no restart/canary keys) stay replayable.
+        let opt_i64 = |name: &str| -> Result<Option<i64>, String> {
+            match v.get(name) {
+                None | Some(Json::Null) => Ok(None),
+                Some(t) => Ok(Some(t.as_i64().ok_or(format!("bad {name}"))?)),
+            }
+        };
         Ok(ScenarioConfig {
             kind: ScenarioKind::from_name(
                 v.get("kind")
@@ -289,9 +499,11 @@ impl ScenarioConfig {
             period_ns: i64_field("period_ns")?,
             max_drops: u32_field("max_drops")?,
             ops_per_node: u32_field("ops_per_node")?,
-            crash_at_ns: match v.get("crash_at_ns") {
+            crash_at_ns: opt_i64("crash_at_ns")?,
+            restart_at_ns: opt_i64("restart_at_ns")?,
+            canary: match v.get("canary") {
                 None | Some(Json::Null) => None,
-                Some(t) => Some(t.as_i64().ok_or("bad crash_at_ns")?),
+                Some(t) => Some(CanaryKind::from_name(t.as_str().ok_or("bad canary")?)?),
             },
             bug_extra_ns: i64_field("bug_extra_ns")?,
         })
@@ -374,8 +586,9 @@ fn merge_fault_stats(hub: &MetricsHub, stats: &FaultStats) {
 pub(crate) struct BuiltCase<A: Action> {
     pub(crate) engine: Engine<A>,
     pub(crate) hub: MetricsHub,
-    /// The fault channel's counters (heartbeat only).
-    pub(crate) fault_stats: Option<FaultStats>,
+    /// The fault channels' counters (heartbeat family; one per edge, in
+    /// topology-shape order).
+    pub(crate) fault_stats: Vec<FaultStats>,
     /// Scripted-clock rejection handles, one per clock node.
     pub(crate) rejections: Vec<Rc<Cell<u64>>>,
 }
@@ -388,7 +601,7 @@ pub(crate) fn finish_case<A: Action>(
     violations: Vec<(String, String)>,
     run: Result<Run<A>, String>,
 ) -> Judged<A> {
-    if let Some(stats) = &built.fault_stats {
+    for stats in &built.fault_stats {
         merge_fault_stats(&built.hub, stats);
     }
     let rejected: u64 = built.rejections.iter().map(|h| h.get()).sum();
@@ -403,33 +616,289 @@ pub(crate) fn finish_case<A: Action>(
     }
 }
 
-/// Builds the heartbeat case's engine (without running it).
+/// Topology of one heartbeat-family scenario: which channels exist, who
+/// beats toward whom, who monitors whom, whether node 1 relays, and who
+/// a scripted crash hits.
+struct HbShape {
+    /// Faultable channels, as `(src, dst)` edges.
+    edges: Vec<(u32, u32)>,
+    /// Heartbeaters, as `(node, monitor)` pairs.
+    beaters: Vec<(u32, u32)>,
+    /// Monitors, as `(node, target)` pairs.
+    monitors: Vec<(u32, u32)>,
+    /// The deduplicating relay, as `(me, to)`.
+    relay: Option<(u32, u32)>,
+    /// Which node a scripted crash (if the config has one) hits.
+    crash_node: u32,
+}
+
+fn hb_shape(kind: ScenarioKind) -> HbShape {
+    match kind {
+        ScenarioKind::Heartbeat
+        | ScenarioKind::HeartbeatCrash
+        | ScenarioKind::HeartbeatRestart
+        | ScenarioKind::HeartbeatGray => HbShape {
+            edges: vec![(0, 1)],
+            beaters: vec![(0, 1)],
+            monitors: vec![(1, 0)],
+            relay: None,
+            crash_node: 0,
+        },
+        ScenarioKind::HeartbeatBidi => HbShape {
+            edges: vec![(0, 1), (1, 0)],
+            beaters: vec![(0, 1), (1, 0)],
+            monitors: vec![(1, 0), (0, 1)],
+            relay: None,
+            crash_node: 0,
+        },
+        ScenarioKind::Relay => HbShape {
+            edges: vec![(0, 1), (1, 2)],
+            beaters: vec![(0, 1)],
+            monitors: vec![(2, 1)],
+            relay: Some((1, 2)),
+            crash_node: 0,
+        },
+        ScenarioKind::Partition => HbShape {
+            edges: vec![(0, 1), (2, 3)],
+            beaters: vec![(0, 1), (2, 3)],
+            monitors: vec![(1, 0), (3, 2)],
+            relay: None,
+            crash_node: 2,
+        },
+        _ => unreachable!("hb_shape called on a non-heartbeat kind"),
+    }
+}
+
+/// Monitor parameters actually deployed: the drop budget doubles behind
+/// a relay (each hop may drop `max_drops`), and the
+/// [`CanaryKind::FdTimeoutUnderbudget`] canary plants the classic bug of
+/// budgeting for jitter but not for drops.
+fn monitor_params(cfg: &ScenarioConfig, relayed: bool) -> FdParams {
+    let period = ns(cfg.period_ns);
+    let jitter = ns(cfg.d2_ns - cfg.d1_ns);
+    let slack = Duration::from_millis(2);
+    if cfg.canary == Some(CanaryKind::FdTimeoutUnderbudget) {
+        return FdParams {
+            period,
+            timeout: period + jitter + slack,
+        };
+    }
+    if relayed {
+        FdParams {
+            period,
+            timeout: period * (2 * i64::from(cfg.max_drops) + 1) + jitter * 2 + slack,
+        }
+    } else {
+        cfg.fd_params()
+    }
+}
+
+/// The relay's scripted stall window (nanoseconds), used by the
+/// [`CanaryKind::RelayLifoHeal`] canary: heartbeats arriving inside the
+/// window are buffered until it closes, then flushed LIFO.
+const RELAY_STALL_NS: (i64, i64) = (95_000_000, 130_000_000);
+
+/// State of a [`HeartbeatRelay`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayState {
+    /// Sequence numbers ever received (the dedup filter).
+    seen: Vec<u32>,
+    /// Buffered sequence numbers with their earliest forward time.
+    pending: Vec<(u32, Time)>,
+}
+
+/// A store-and-forward heartbeat relay: deduplicates incoming heartbeats
+/// and forwards each exactly once (re-stamped with its own source id).
+/// With a stall window configured, arrivals inside the window are held
+/// until it closes and then flushed newest-first — the planted LIFO-heal
+/// bug the per-edge FIFO oracle must catch.
+#[derive(Debug, Clone)]
+pub struct HeartbeatRelay {
+    me: NodeId,
+    to: NodeId,
+    stall: Option<(Time, Time)>,
+}
+
+impl HeartbeatRelay {
+    /// A healthy relay forwarding from `me` to `to`.
+    #[must_use]
+    pub fn new(me: NodeId, to: NodeId) -> Self {
+        HeartbeatRelay {
+            me,
+            to,
+            stall: None,
+        }
+    }
+
+    /// Plants the LIFO-heal bug: arrivals in `[from, until)` are buffered
+    /// until `until` and flushed newest-first.
+    #[must_use]
+    pub fn with_lifo_stall(mut self, from: Time, until: Time) -> Self {
+        assert!(from < until, "stall window must be non-empty");
+        self.stall = Some((from, until));
+        self
+    }
+
+    fn env_for(&self, seq: u32) -> Envelope<Heartbeat> {
+        Envelope {
+            src: self.me,
+            dst: self.to,
+            id: MsgId::from_parts(self.me, seq),
+            payload: Heartbeat { seq },
+        }
+    }
+
+    /// The sequence number forwarded next: among ready entries, the
+    /// oldest — or the newest when the stall bug is planted.
+    fn choice(&self, s: &RelayState, now: Time) -> Option<u32> {
+        let mut ready = s.pending.iter().filter(|(_, at)| *at <= now);
+        if self.stall.is_some() {
+            ready.next_back().map(|(seq, _)| *seq)
+        } else {
+            ready.next().map(|(seq, _)| *seq)
+        }
+    }
+}
+
+impl TimedComponent for HeartbeatRelay {
+    type Action = FdAction;
+    type State = RelayState;
+
+    fn name(&self) -> String {
+        format!("relay({}->{})", self.me, self.to)
+    }
+
+    fn initial(&self) -> RelayState {
+        RelayState {
+            seen: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn classify(&self, a: &FdAction) -> Option<ActionKind> {
+        match a {
+            SysAction::Recv(env) if env.dst == self.me => Some(ActionKind::Input),
+            SysAction::Send(env) if env.src == self.me => Some(ActionKind::Output),
+            _ => None,
+        }
+    }
+
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["RECVMSG", "SENDMSG"])
+    }
+
+    fn step(&self, s: &RelayState, a: &FdAction, now: Time) -> Option<RelayState> {
+        match a {
+            SysAction::Recv(env) if env.dst == self.me => {
+                let seq = seq_of(env.id);
+                let mut next = s.clone();
+                if !next.seen.contains(&seq) {
+                    next.seen.push(seq);
+                    let ready = match self.stall {
+                        Some((from, until)) if now >= from && now < until => until,
+                        _ => now,
+                    };
+                    next.pending.push((seq, ready));
+                }
+                Some(next)
+            }
+            SysAction::Send(env) if env.src == self.me => {
+                let seq = seq_of(env.id);
+                if self.choice(s, now) != Some(seq) || *env != self.env_for(seq) {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.pending.retain(|(q, _)| *q != seq);
+                Some(next)
+            }
+            _ => None,
+        }
+    }
+
+    fn enabled(&self, s: &RelayState, now: Time) -> Vec<FdAction> {
+        match self.choice(s, now) {
+            Some(seq) => vec![SysAction::Send(self.env_for(seq))],
+            None => Vec::new(),
+        }
+    }
+
+    fn deadline(&self, s: &RelayState, _now: Time) -> Option<Time> {
+        s.pending.iter().map(|(_, at)| *at).min()
+    }
+}
+
+/// The relay instance a config deploys (and its replay oracle rebuilds).
+fn relay_component(cfg: &ScenarioConfig, me: u32, to: u32) -> HeartbeatRelay {
+    let relay = HeartbeatRelay::new(NodeId(me as usize), NodeId(to as usize));
+    if cfg.canary == Some(CanaryKind::RelayLifoHeal) {
+        relay.with_lifo_stall(at_ns(RELAY_STALL_NS.0), at_ns(RELAY_STALL_NS.1))
+    } else {
+        relay
+    }
+}
+
+/// Builds a heartbeat-family case's engine (without running it).
 pub(crate) fn build_heartbeat(
     cfg: &ScenarioConfig,
     plan: &FaultPlan,
     seed: u64,
 ) -> BuiltCase<FdAction> {
+    let shape = hb_shape(cfg.kind);
     let declared = cfg.bounds();
     // The seeded bug widens the channel's *internal* bounds so the stretch
     // passes the channel's own assert; the oracles keep judging against
     // the declared envelope, which is exactly how they catch it.
     let actual = DelayBounds::new(declared.min(), declared.max() + ns(cfg.bug_extra_ns))
         .expect("widened bounds stay ordered");
-    let fault = PlanChannelFault::new(plan, 0, 1, seed, declared, ns(cfg.bug_extra_ns));
     let period = ns(cfg.period_ns);
-    let params = cfg.fd_params();
+    let params = monitor_params(cfg, shape.relay.is_some());
     let hub = MetricsHub::new();
 
-    let channel =
-        FaultChannel::<Heartbeat, FdOp>::new(NodeId(0), NodeId(1), actual, MaxDelay, fault);
-    let fault_stats = channel.stats();
-    let mut builder = Engine::builder()
-        .timed(Heartbeater::new(NodeId(0), NodeId(1), period))
-        .timed(channel)
-        .timed(Monitor::new(NodeId(1), NodeId(0), params));
+    let mut builder = Engine::builder();
+    for &(src, dst) in &shape.beaters {
+        builder = builder.timed(Heartbeater::new(
+            NodeId(src as usize),
+            NodeId(dst as usize),
+            period,
+        ));
+    }
+    if let Some((me, to)) = shape.relay {
+        builder = builder.timed(relay_component(cfg, me, to));
+    }
+    let mut fault_stats = Vec::new();
+    for &(src, dst) in &shape.edges {
+        let mut fault = PlanChannelFault::new(plan, src, dst, seed, declared, ns(cfg.bug_extra_ns));
+        if cfg.kind == ScenarioKind::HeartbeatGray {
+            fault = fault.with_gray_windows(period * 4, period * 2);
+        }
+        if cfg.canary == Some(CanaryKind::DuplicateDelivery) {
+            fault = fault.with_duplicate_all();
+        }
+        let channel = FaultChannel::<Heartbeat, FdOp>::new(
+            NodeId(src as usize),
+            NodeId(dst as usize),
+            actual,
+            MaxDelay,
+            fault,
+        );
+        fault_stats.push(channel.stats());
+        builder = builder.timed(channel);
+    }
+    for &(node, target) in &shape.monitors {
+        builder = builder.timed(Monitor::new(
+            NodeId(node as usize),
+            NodeId(target as usize),
+            params,
+        ));
+    }
     if let Some(crash) = cfg.crash_at_ns {
         builder = builder.timed(Script::<Heartbeat, FdOp>::new(
-            [(at_ns(crash), FdOp::Crash { node: NodeId(0) })],
+            [(
+                at_ns(crash),
+                FdOp::Crash {
+                    node: NodeId(shape.crash_node as usize),
+                },
+            )],
             |_| false,
         ));
     }
@@ -443,7 +912,7 @@ pub(crate) fn build_heartbeat(
     BuiltCase {
         engine,
         hub,
-        fault_stats: Some(fault_stats),
+        fault_stats,
         rejections: Vec::new(),
     }
 }
@@ -460,157 +929,257 @@ pub(crate) fn judge_heartbeat(
     }
 }
 
-/// Runs one heartbeat case: returns the raw engine run and the oracle
-/// verdicts. Public (rather than folded into [`run_case`]) so tests can
-/// compare whole [`Execution`]s across replays.
+/// Runs one heartbeat-family case: returns the raw engine run and the
+/// oracle verdicts. Public (rather than folded into [`run_case`]) so
+/// tests can compare whole [`Execution`]s across replays.
 ///
 /// # Panics
 ///
-/// Panics if the config is not a heartbeat config.
+/// Panics if the config is not a heartbeat-family config (the restart
+/// variant has its own runner, [`run_heartbeat_restart`]).
 pub fn run_heartbeat(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<FdAction> {
-    assert_eq!(cfg.kind, ScenarioKind::Heartbeat);
+    assert!(cfg.kind.is_heartbeat() && cfg.kind != ScenarioKind::HeartbeatRestart);
     let mut built = build_heartbeat(cfg, plan, seed);
     let run = built.engine.run().map_err(|e| e.to_string());
     let violations = judge_heartbeat(cfg, plan, &run);
     finish_case(&built, violations, run)
 }
 
-/// The heartbeat scenario's oracle set (shared with conformance-style
+/// Runs one crash-recovery case: drives the engine to the restart seam,
+/// snapshots it ([`Engine::checkpoint`]), restores the snapshot into a
+/// freshly built engine, and drives that one to the horizon. By
+/// Lemma 2.1 (pasting), the recorded execution — and therefore every
+/// oracle verdict, the fingerprint, and the metrics — is bit-identical
+/// to an uninterrupted run; this runner is the catalog's executable
+/// witness of that, exercised under every fault plan a campaign throws
+/// at it.
+///
+/// # Panics
+///
+/// Panics if the config is not a [`ScenarioKind::HeartbeatRestart`]
+/// config.
+pub fn run_heartbeat_restart(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+) -> Judged<FdAction> {
+    assert_eq!(cfg.kind, ScenarioKind::HeartbeatRestart);
+    let seam = cfg
+        .restart_at_ns
+        .expect("restart scenario carries a seam time");
+    let mut first = build_heartbeat(cfg, plan, seed);
+    let run1 = first
+        .engine
+        .run_until(at_ns(seam))
+        .map_err(|e| e.to_string());
+    match run1 {
+        Ok(r) if r.stop == StopReason::Horizon => {
+            let checkpoint = first.engine.checkpoint();
+            let metrics = first.hub.snapshot();
+            let fault_values: Vec<[u64; 5]> =
+                first.fault_stats.iter().map(FaultStats::values).collect();
+            // The "restarted process": a fresh engine built from the same
+            // artifact inputs, with the snapshot poured back in. restore()
+            // also restores the captured horizon (the seam), so the final
+            // horizon is re-armed explicitly.
+            let mut second = build_heartbeat(cfg, plan, seed);
+            second.engine.restore(&checkpoint);
+            second.hub.restore(&metrics);
+            for (stats, values) in second.fault_stats.iter().zip(&fault_values) {
+                stats.set_values(*values);
+            }
+            let run = second
+                .engine
+                .run_until(at_ns(cfg.horizon_ns))
+                .map_err(|e| e.to_string());
+            let violations = judge_heartbeat(cfg, plan, &run);
+            finish_case(&second, violations, run)
+        }
+        run => {
+            // Stopped before the seam (quiescent or capped): nothing to
+            // restart; judge what was recorded.
+            let violations = judge_heartbeat(cfg, plan, &run);
+            finish_case(&first, violations, run)
+        }
+    }
+}
+
+/// The heartbeat family's oracle set (shared with conformance-style
 /// sweeps via the [`Oracle`] trait).
 #[must_use]
+#[allow(clippy::too_many_lines)]
 pub fn heartbeat_oracles(cfg: &ScenarioConfig, plan: &FaultPlan) -> Vec<Box<dyn Oracle<FdAction>>> {
+    let shape = hb_shape(cfg.kind);
     let declared = cfg.bounds();
-    let dropped: Vec<u32> = plan
+    let dropped: Vec<(u32, u32, u32)> = plan
         .entries
         .iter()
         .filter_map(|e| match *e {
-            FaultEntry::Drop {
-                src: 0,
-                dst: 1,
-                seq,
-            } => Some(seq),
+            FaultEntry::Drop { src, dst, seq } => Some((src, dst, seq)),
             _ => None,
         })
         .collect();
-    let duplicated: Vec<u32> = plan
+    let duplicated: Vec<(u32, u32, u32)> = plan
         .entries
         .iter()
         .filter_map(|e| match *e {
-            FaultEntry::Duplicate {
-                src: 0,
-                dst: 1,
-                seq,
-                ..
-            } => Some(seq),
+            FaultEntry::Duplicate { src, dst, seq, .. } => Some((src, dst, seq)),
             _ => None,
         })
         .collect();
 
-    let envelope = {
-        let dropped = dropped.clone();
-        let duplicated = duplicated.clone();
-        FnOracle::new("delivery envelope", move |exec: &Execution<FdAction>| {
-            let mut sends: Vec<(u64, Time)> = Vec::new();
-            let mut copies: Vec<(u64, u32)> = Vec::new();
-            for (i, e) in exec.events().iter().enumerate() {
+    let envelope = FnOracle::new("delivery envelope", move |exec: &Execution<FdAction>| {
+        let mut sends: Vec<(u64, Time)> = Vec::new();
+        let mut copies: Vec<(u64, u32)> = Vec::new();
+        for (i, e) in exec.events().iter().enumerate() {
+            match &e.action {
+                SysAction::Send(env) => sends.push((env.id.0, e.now)),
+                SysAction::Recv(env) => {
+                    let Some((_, sent)) = sends.iter().find(|(id, _)| *id == env.id.0) else {
+                        return Verdict::violated(format!(
+                            "event {i}: received message {} that was never sent",
+                            env.id.0
+                        ));
+                    };
+                    let latency = e.now - *sent;
+                    if latency < declared.min() || latency > declared.max() {
+                        return Verdict::violated(format!(
+                            "event {i}: message {} delivered after {latency}, outside [{}, {}]",
+                            env.id.0,
+                            declared.min(),
+                            declared.max()
+                        ));
+                    }
+                    let seq = seq_of(env.id);
+                    let edge_seq = (env.src.0 as u32, env.dst.0 as u32, seq);
+                    if dropped.contains(&edge_seq) {
+                        return Verdict::violated(format!(
+                            "event {i}: message {seq} was delivered despite a planned drop"
+                        ));
+                    }
+                    match copies.iter_mut().find(|(id, _)| *id == env.id.0) {
+                        Some((_, n)) => *n += 1,
+                        None => copies.push((env.id.0, 1)),
+                    }
+                    let n = copies
+                        .iter()
+                        .find(|(id, _)| *id == env.id.0)
+                        .map_or(0, |(_, n)| *n);
+                    // Only a *planned* duplicate may arrive twice: a
+                    // channel that duplicates on its own (the
+                    // duplicate-delivery canary) is exactly what this
+                    // oracle exists to catch.
+                    let allowed = if duplicated.contains(&edge_seq) { 2 } else { 1 };
+                    if n > allowed {
+                        return Verdict::violated(format!(
+                            "event {i}: message {seq} delivered {n} times (plan allows {allowed})"
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Verdict::Holds
+    });
+
+    let fifo = FnOracle::new("fifo order", |exec: &Execution<FdAction>| {
+        check_fifo_per_edge(exec)
+    });
+
+    let relayed = shape.relay.is_some();
+    let params = monitor_params(cfg, relayed);
+    let hops = if relayed { 2 } else { 1 };
+    let detection = ns(cfg.d2_ns) * hops + params.timeout + Duration::from_millis(1);
+    let horizon = at_ns(cfg.horizon_ns);
+    let pairs = shape.monitors.clone();
+    let fd = FnOracle::new("failure detector", move |exec: &Execution<FdAction>| {
+        for &(m, t) in &pairs {
+            let mut crashed_at: Option<Time> = None;
+            let mut suspected_at: Option<Time> = None;
+            for e in exec.events() {
                 match &e.action {
-                    SysAction::Send(env) => sends.push((env.id.0, e.now)),
-                    SysAction::Recv(env) => {
-                        let Some((_, sent)) = sends.iter().find(|(id, _)| *id == env.id.0) else {
-                            return Verdict::violated(format!(
-                                "event {i}: received message {} that was never sent",
-                                env.id.0
-                            ));
-                        };
-                        let latency = e.now - *sent;
-                        if latency < declared.min() || latency > declared.max() {
-                            return Verdict::violated(format!(
-                                "event {i}: message {} delivered after {latency}, outside [{}, {}]",
-                                env.id.0,
-                                declared.min(),
-                                declared.max()
-                            ));
-                        }
-                        let seq = seq_of(env.id);
-                        if dropped.contains(&seq) {
-                            return Verdict::violated(format!(
-                                "event {i}: message {seq} was delivered despite a planned drop"
-                            ));
-                        }
-                        match copies.iter_mut().find(|(id, _)| *id == env.id.0) {
-                            Some((_, n)) => *n += 1,
-                            None => copies.push((env.id.0, 1)),
-                        }
-                        let n = copies
-                            .iter()
-                            .find(|(id, _)| *id == env.id.0)
-                            .map_or(0, |(_, n)| *n);
-                        let allowed = if duplicated.contains(&seq) { 2 } else { 1 };
-                        if n > allowed {
-                            return Verdict::violated(format!(
-                                "event {i}: message {seq} delivered {n} times (plan allows {allowed})"
-                            ));
-                        }
+                    SysAction::App(FdOp::Crash { node })
+                        if node.0 == t as usize && crashed_at.is_none() =>
+                    {
+                        crashed_at = Some(e.now);
+                    }
+                    SysAction::App(FdOp::Suspect { monitor, target })
+                        if monitor.0 == m as usize
+                            && target.0 == t as usize
+                            && suspected_at.is_none() =>
+                    {
+                        suspected_at = Some(e.now);
                     }
                     _ => {}
                 }
             }
-            Verdict::Holds
-        })
-    };
-
-    let params = cfg.fd_params();
-    let detection = ns(cfg.d2_ns) + params.timeout + Duration::from_millis(1);
-    let horizon = at_ns(cfg.horizon_ns);
-    let fd = FnOracle::new("failure detector", move |exec: &Execution<FdAction>| {
-        let out = outcome(&exec.t_trace());
-        match (out.crashed_at, out.suspected_at) {
-            (None, Some(t)) => {
-                Verdict::violated(format!("false suspicion at {t} (no crash ever happened)"))
+            match (crashed_at, suspected_at) {
+                (None, Some(s)) => {
+                    return Verdict::violated(format!(
+                        "monitor {m}: false suspicion of {t} at {s} (no crash ever happened)"
+                    ))
+                }
+                (Some(c), Some(s)) if s < c => {
+                    return Verdict::violated(format!(
+                        "monitor {m}: false suspicion of {t} at {s}, before the crash at {c}"
+                    ))
+                }
+                (Some(c), Some(s)) if s - c > detection => {
+                    return Verdict::violated(format!(
+                        "monitor {m}: suspicion at {s} exceeds the detection bound {detection} \
+                         after the crash at {c}"
+                    ))
+                }
+                (Some(c), None) if c + detection < horizon => {
+                    return Verdict::violated(format!(
+                        "monitor {m}: crash of {t} at {c} never suspected within {detection} \
+                         (completeness)"
+                    ))
+                }
+                _ => {}
             }
-            (Some(c), Some(t)) if t < c => {
-                Verdict::violated(format!("false suspicion at {t}, before the crash at {c}"))
-            }
-            (Some(c), Some(t)) if t - c > detection => Verdict::violated(format!(
-                "suspicion at {t} exceeds the detection bound {detection} after the crash at {c}"
-            )),
-            (Some(c), None) if c + detection < horizon => Verdict::violated(format!(
-                "crash at {c} never suspected within {detection} (completeness)"
-            )),
-            _ => Verdict::Holds,
         }
+        Verdict::Holds
     });
 
+    let mut oracles: Vec<Box<dyn Oracle<FdAction>>> =
+        vec![Box::new(envelope), Box::new(fifo), Box::new(fd)];
+    for &(node, target) in &shape.monitors {
+        oracles.push(Box::new(FnOracle::new(
+            format!("replay(monitor {node})"),
+            move |exec: &Execution<FdAction>| match replay_timed(
+                Monitor::new(NodeId(node as usize), NodeId(target as usize), params),
+                exec,
+            ) {
+                Ok(_) => Verdict::Holds,
+                Err(e) => Verdict::violated(format!("Lemma 2.1 replay failed: {e}")),
+            },
+        )));
+    }
     let period = ns(cfg.period_ns);
-    let replay_monitor =
-        FnOracle::new(
-            "replay(monitor)",
+    for &(src, dst) in &shape.beaters {
+        oracles.push(Box::new(FnOracle::new(
+            format!("replay(heartbeater {src})"),
             move |exec: &Execution<FdAction>| match replay_timed(
-                Monitor::new(NodeId(1), NodeId(0), params),
+                Heartbeater::new(NodeId(src as usize), NodeId(dst as usize), period),
                 exec,
             ) {
                 Ok(_) => Verdict::Holds,
                 Err(e) => Verdict::violated(format!("Lemma 2.1 replay failed: {e}")),
             },
-        );
-    let replay_beater =
-        FnOracle::new(
-            "replay(heartbeater)",
-            move |exec: &Execution<FdAction>| match replay_timed(
-                Heartbeater::new(NodeId(0), NodeId(1), period),
-                exec,
-            ) {
+        )));
+    }
+    if let Some((me, to)) = shape.relay {
+        let relay = relay_component(cfg, me, to);
+        oracles.push(Box::new(FnOracle::new(
+            "replay(relay)",
+            move |exec: &Execution<FdAction>| match replay_timed(relay.clone(), exec) {
                 Ok(_) => Verdict::Holds,
                 Err(e) => Verdict::violated(format!("Lemma 2.1 replay failed: {e}")),
             },
-        );
-
-    vec![
-        Box::new(envelope),
-        Box::new(fd),
-        Box::new(replay_monitor),
-        Box::new(replay_beater),
-    ]
+        )));
+    }
+    oracles
 }
 
 /// Per-node beep period of the clock fleet (staggered so the fleet's
@@ -624,9 +1193,12 @@ fn fleet_period(cfg: &ScenarioConfig, node: u32) -> Duration {
 ///
 /// # Panics
 ///
-/// Panics if the config is not a clockfleet config.
+/// Panics if the config is not a clockfleet-family config.
 pub fn run_clockfleet(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<BeepAction> {
-    assert_eq!(cfg.kind, ScenarioKind::ClockFleet);
+    assert!(matches!(
+        cfg.kind,
+        ScenarioKind::ClockFleet | ScenarioKind::ClockFleetLarge
+    ));
     let mut built = build_clockfleet(cfg, plan, seed);
     let run = built.engine.run().map_err(|e| e.to_string());
     let violations = judge_clockfleet(cfg, &run);
@@ -644,11 +1216,31 @@ pub(crate) fn build_clockfleet(
     let mut builder = Engine::builder();
     let mut handles = Vec::new();
     for i in 0..cfg.nodes {
+        let period = if cfg.canary == Some(CanaryKind::CadenceRush) && i == 0 {
+            fleet_period(cfg, 0) - Duration::from_millis(1)
+        } else {
+            fleet_period(cfg, i)
+        };
+        if cfg.canary == Some(CanaryKind::SkewBeyondEps) && i == 0 {
+            // The planted bug: node 0's clock runs 1 ms beyond the
+            // declared ε. Its ClockNode is registered with a widened
+            // envelope so the engine guard lets the readings through —
+            // the C_ε oracle still judges against the declared ε.
+            let widened = eps + Duration::from_millis(2);
+            builder = builder.clock_node(
+                ClockNode::new(
+                    "n0".to_string(),
+                    widened,
+                    OffsetClock::new(eps + Duration::from_millis(1), widened),
+                )
+                .with(ClockBeeper::with_src(period, 0)),
+            );
+            continue;
+        }
         let clock = scripted_clock_for(plan, i);
         handles.push(clock.rejections());
         builder = builder.clock_node(
-            ClockNode::new(format!("n{i}"), eps, clock)
-                .with(ClockBeeper::with_src(fleet_period(cfg, i), i)),
+            ClockNode::new(format!("n{i}"), eps, clock).with(ClockBeeper::with_src(period, i)),
         );
     }
     let engine = builder
@@ -660,7 +1252,7 @@ pub(crate) fn build_clockfleet(
     BuiltCase {
         engine,
         hub,
-        fault_stats: None,
+        fault_stats: Vec::new(),
         rejections: handles,
     }
 }
@@ -747,18 +1339,265 @@ pub fn clockfleet_oracles(cfg: &ScenarioConfig) -> Vec<Box<dyn Oracle<BeepAction
     oracles
 }
 
+/// The slot users' guard band: `ε` normally, zero under the
+/// [`CanaryKind::MutexGuardZero`] canary (the paper's Section 7 failure
+/// mode: an unguarded schedule is exclusive in the timed model but not
+/// under any non-trivial clock skew).
+fn mutex_guard(cfg: &ScenarioConfig) -> Duration {
+    if cfg.canary == Some(CanaryKind::MutexGuardZero) {
+        Duration::ZERO
+    } else {
+        ns(cfg.eps_ns)
+    }
+}
+
+/// Runs one mutual-exclusion case.
+///
+/// # Panics
+///
+/// Panics if the config is not a mutex-family config.
+pub fn run_mutex(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<MutexAction> {
+    assert!(matches!(
+        cfg.kind,
+        ScenarioKind::Mutex | ScenarioKind::MutexContended
+    ));
+    let mut built = build_mutex(cfg, plan, seed);
+    let run = built.engine.run().map_err(|e| e.to_string());
+    let violations = judge_mutex(cfg, &run);
+    finish_case(&built, violations, run)
+}
+
+/// Builds the mutual-exclusion case's engine (without running it): `n`
+/// clock nodes, each running `C(SlotUser, ε)` against a plan-scripted
+/// clock.
+pub(crate) fn build_mutex(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+) -> BuiltCase<MutexAction> {
+    let eps = ns(cfg.eps_ns);
+    let slot = ns(cfg.period_ns);
+    let guard = mutex_guard(cfg);
+    let n = cfg.nodes as usize;
+    let rounds = u64::from(cfg.ops_per_node);
+    let hub = MetricsHub::new();
+    let mut builder = Engine::builder();
+    let mut handles = Vec::new();
+    for i in 0..cfg.nodes {
+        let clock = scripted_clock_for(plan, i);
+        handles.push(clock.rejections());
+        builder = builder.clock_node(ClockNode::new(format!("n{i}"), eps, clock).with(
+            ClockSim::new(SlotUser::guarded(
+                NodeId(i as usize),
+                n,
+                slot,
+                guard,
+                rounds,
+            )),
+        ));
+    }
+    let engine = builder
+        .observer(hub.engine_observer().without_checkpoint_counters())
+        .scheduler(BiasedScheduler::new(plan, seed))
+        .horizon(at_ns(cfg.horizon_ns))
+        .max_events(CASE_MAX_EVENTS)
+        .build();
+    BuiltCase {
+        engine,
+        hub,
+        fault_stats: Vec::new(),
+        rejections: handles,
+    }
+}
+
+/// Judges a mutex run against the scenario's oracles.
+pub(crate) fn judge_mutex(
+    cfg: &ScenarioConfig,
+    run: &Result<Run<MutexAction>, String>,
+) -> Vec<(String, String)> {
+    match run {
+        Ok(run) => check_all(&mutex_oracles(cfg), &run.execution),
+        Err(e) => vec![("engine".into(), e.clone())],
+    }
+}
+
+/// Interval-based mutual exclusion over real time: occupancies of
+/// *different* nodes must not strictly overlap (touching at a boundary
+/// instant is allowed — with `guard = ε` the transformed schedule is
+/// exactly edge-to-edge in the worst case).
+fn check_mutual_exclusion(exec: &Execution<MutexAction>, n: usize) -> Verdict {
+    let mut open: Vec<Option<(u64, Time)>> = vec![None; n];
+    let mut intervals: Vec<(usize, u64, Time, Time)> = Vec::new();
+    let mut end = Time::ZERO;
+    for (i, e) in exec.events().iter().enumerate() {
+        end = end.max(e.now);
+        let SysAction::App(op) = &e.action else {
+            continue;
+        };
+        match op {
+            MutexOp::Enter { node, round } => {
+                if open[node.0].is_some() {
+                    return Verdict::violated(format!(
+                        "event {i}: {node} re-entered while already inside"
+                    ));
+                }
+                open[node.0] = Some((*round, e.now));
+            }
+            MutexOp::Exit { node, round } => match open[node.0].take() {
+                Some((r, entered)) if r == *round => {
+                    intervals.push((node.0, r, entered, e.now));
+                }
+                other => {
+                    return Verdict::violated(format!(
+                        "event {i}: {node} exited round {round} without a matching entry \
+                         (open: {other:?})"
+                    ))
+                }
+            },
+        }
+    }
+    for (node, slot) in open.iter().enumerate() {
+        if let Some((r, entered)) = slot {
+            intervals.push((node, *r, *entered, end));
+        }
+    }
+    for (i, a) in intervals.iter().enumerate() {
+        for b in &intervals[i + 1..] {
+            if a.0 == b.0 {
+                continue;
+            }
+            let start = a.2.max(b.2);
+            let finish = a.3.min(b.3);
+            if start < finish {
+                return Verdict::violated(format!(
+                    "node {} round {} [{}, {}] overlaps node {} round {} [{}, {}]",
+                    a.0, a.1, a.2, a.3, b.0, b.1, b.2, b.3
+                ));
+            }
+        }
+    }
+    Verdict::Holds
+}
+
+/// The mutex scenario's oracle set.
+#[must_use]
+pub fn mutex_oracles(cfg: &ScenarioConfig) -> Vec<Box<dyn Oracle<MutexAction>>> {
+    let n = cfg.nodes as usize;
+    let rounds = u64::from(cfg.ops_per_node);
+    let exclusion = FnOracle::new("mutual exclusion", move |exec: &Execution<MutexAction>| {
+        check_mutual_exclusion(exec, n)
+    });
+    let liveness = FnOracle::new("mutex liveness", move |exec: &Execution<MutexAction>| {
+        let mut enters = vec![0u64; n];
+        for e in exec.events() {
+            if let SysAction::App(MutexOp::Enter { node, .. }) = &e.action {
+                enters[node.0] += 1;
+            }
+        }
+        for (node, &count) in enters.iter().enumerate() {
+            if count != rounds {
+                return Verdict::violated(format!(
+                    "node {node} entered {count} times, expected {rounds}"
+                ));
+            }
+        }
+        Verdict::Holds
+    });
+    let mut oracles: Vec<Box<dyn Oracle<MutexAction>>> = vec![
+        Box::new(exclusion),
+        Box::new(liveness),
+        Box::new(CEpsOracle::new(ns(cfg.eps_ns))),
+    ];
+    let slot = ns(cfg.period_ns);
+    let guard = mutex_guard(cfg);
+    for i in 0..cfg.nodes {
+        oracles.push(Box::new(FnOracle::new(
+            format!("replay(slot-user {i})"),
+            move |exec: &Execution<MutexAction>| match replay_clock(
+                ClockSim::new(SlotUser::guarded(
+                    NodeId(i as usize),
+                    n,
+                    slot,
+                    guard,
+                    rounds,
+                )),
+                exec,
+            ) {
+                Ok(_) => Verdict::Holds,
+                Err(e) => Verdict::violated(format!("Lemma 2.1 clock replay failed: {e}")),
+            },
+        )));
+    }
+    oracles
+}
+
 /// Runs one register (`D_C`) case. Returns the run, oracle verdicts, and
 /// clamped clock-request count.
 ///
 /// # Panics
 ///
-/// Panics if the config is not a register config.
+/// Panics if the config is not a register-family config.
 pub fn run_register(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<RegAction> {
-    assert_eq!(cfg.kind, ScenarioKind::Register);
+    assert!(matches!(
+        cfg.kind,
+        ScenarioKind::Register | ScenarioKind::RegisterTriple
+    ));
     let mut built = build_register(cfg, plan, seed);
     let run = built.engine.run().map_err(|e| e.to_string());
     let violations = judge_register(cfg, seed, &run);
     finish_case(&built, violations, run)
+}
+
+/// The register/counter parameter set, with the sign-flip canary hook:
+/// the mutant skips the `2ε` read wait (`read_slack = 0`), the exact
+/// slack Lemma 6.4 needs — linearizability then breaks under admissible
+/// clock skew.
+fn register_params(cfg: &ScenarioConfig, topo: &Topology, canary: CanaryKind) -> RegisterParams {
+    let mut params = RegisterParams::for_clock_model(
+        topo,
+        cfg.bounds(),
+        ns(cfg.eps_ns),
+        ns(cfg.d2_ns / 2),
+        Duration::from_micros(100),
+    );
+    if cfg.canary == Some(canary) {
+        params.read_slack = Duration::ZERO;
+    }
+    params
+}
+
+/// The closed-loop workloads' think-time bounds.
+fn think_bounds() -> DelayBounds {
+    DelayBounds::new(Duration::from_millis(1), Duration::from_millis(6)).expect("valid")
+}
+
+/// The clock strategies a `D_C` scenario deploys: plan-scripted clocks —
+/// except under a sign-flip canary, where nodes 0 and 1 run at fixed
+/// *admissible* worst-case offsets (`+ε` / `−ε`). The skew itself is
+/// legal (`C_ε` holds throughout), but the mutant's missing `2ε` read
+/// slack turns any node-1 read racing just behind a node-0 write ack
+/// into a stale, non-linearizable return — the paper's own argument for
+/// why Algorithm L does not survive the clock transformation
+/// (Section 6.2).
+fn dc_strategies(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    sign_flip: CanaryKind,
+    handles: &mut Vec<Rc<Cell<u64>>>,
+) -> Vec<Box<dyn psync_executor::ClockStrategy>> {
+    let eps = ns(cfg.eps_ns);
+    (0..cfg.nodes)
+        .map(|i| {
+            if cfg.canary == Some(sign_flip) && i < 2 {
+                let offset = if i == 0 { eps } else { -eps };
+                return Box::new(OffsetClock::new(offset, eps))
+                    as Box<dyn psync_executor::ClockStrategy>;
+            }
+            let clock = scripted_clock_for(plan, i);
+            handles.push(clock.rejections());
+            Box::new(clock) as Box<dyn psync_executor::ClockStrategy>
+        })
+        .collect()
 }
 
 /// Builds the register (`D_C`) case's engine (without running it).
@@ -771,32 +1610,15 @@ pub(crate) fn build_register(
     let topo = Topology::complete(cfg.nodes as usize);
     let physical = cfg.bounds();
     let eps = ns(cfg.eps_ns);
-    let params = RegisterParams::for_clock_model(
-        &topo,
-        physical,
-        eps,
-        ns(cfg.d2_ns / 2),
-        Duration::from_micros(100),
-    );
+    let params = register_params(cfg, &topo, CanaryKind::RegisterSignFlip);
     let algorithms = topo
         .nodes()
         .map(|i| NodeSpec::new(i, AlgorithmS::new(i, params.clone())))
         .collect();
     let mut handles = Vec::new();
-    let strategies = (0..cfg.nodes)
-        .map(|i| {
-            let clock = scripted_clock_for(plan, i);
-            handles.push(clock.rejections());
-            Box::new(clock) as Box<dyn psync_executor::ClockStrategy>
-        })
-        .collect();
+    let strategies = dc_strategies(cfg, plan, CanaryKind::RegisterSignFlip, &mut handles);
     let plan_for_policy = plan.clone();
-    let workload = ClosedLoopWorkload::new(
-        &topo,
-        seed,
-        DelayBounds::new(Duration::from_millis(1), Duration::from_millis(6)).expect("valid"),
-        cfg.ops_per_node,
-    );
+    let workload = ClosedLoopWorkload::new(&topo, seed, think_bounds(), cfg.ops_per_node);
     let engine = build_dc(&topo, physical, eps, algorithms, strategies, move |_, _| {
         Box::new(PlanDelayPolicy::new(&plan_for_policy, seed))
     })
@@ -809,7 +1631,7 @@ pub(crate) fn build_register(
     BuiltCase {
         engine,
         hub,
-        fault_stats: None,
+        fault_stats: Vec::new(),
         rejections: handles,
     }
 }
@@ -856,12 +1678,126 @@ pub fn register_oracles(cfg: &ScenarioConfig, seed: u64) -> Vec<Box<dyn Oracle<R
             move |exec: &Execution<RegAction>| {
                 // ClosedLoopWorkload is not Clone; rebuild the identical
                 // component from the artifact inputs for each replay.
-                let workload = ClosedLoopWorkload::new(
+                let workload =
+                    ClosedLoopWorkload::new(&Topology::complete(n), seed, think_bounds(), ops);
+                match replay_timed(workload, exec) {
+                    Ok(_) => Verdict::Holds,
+                    Err(e) => Verdict::violated(format!("Lemma 2.1 replay failed: {e}")),
+                }
+            },
+        )),
+    ]
+}
+
+/// The counter workload's update payloads: powers of ten per node, so
+/// any lost or double-counted increment is visible in a query's digits.
+fn counter_update(node: NodeId, _op: u32) -> i64 {
+    10i64.pow(node.0 as u32)
+}
+
+/// Runs one generalized-object counter case.
+///
+/// # Panics
+///
+/// Panics if the config is not a counter config.
+pub fn run_counter(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+) -> Judged<ObjAction<Counter>> {
+    assert_eq!(cfg.kind, ScenarioKind::Counter);
+    let mut built = build_counter(cfg, plan, seed);
+    let run = built.engine.run().map_err(|e| e.to_string());
+    let violations = judge_counter(cfg, seed, &run);
+    finish_case(&built, violations, run)
+}
+
+/// Builds the counter (`AlgorithmSObj<Counter>` in `D_C`) case's engine
+/// (without running it).
+pub(crate) fn build_counter(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+) -> BuiltCase<ObjAction<Counter>> {
+    let hub = MetricsHub::new();
+    let topo = Topology::complete(cfg.nodes as usize);
+    let physical = cfg.bounds();
+    let eps = ns(cfg.eps_ns);
+    let params = register_params(cfg, &topo, CanaryKind::CounterSignFlip);
+    let algorithms = topo
+        .nodes()
+        .map(|i| NodeSpec::new(i, AlgorithmSObj::new(i, Counter, params.clone())))
+        .collect();
+    let mut handles = Vec::new();
+    let strategies = dc_strategies(cfg, plan, CanaryKind::CounterSignFlip, &mut handles);
+    let plan_for_policy = plan.clone();
+    let workload = ObjWorkload::<Counter>::new(
+        &topo,
+        seed,
+        think_bounds(),
+        cfg.ops_per_node,
+        counter_update,
+    );
+    let engine = build_dc(&topo, physical, eps, algorithms, strategies, move |_, _| {
+        Box::new(PlanDelayPolicy::new(&plan_for_policy, seed))
+    })
+    .timed(workload)
+    .observer(hub.engine_observer().without_checkpoint_counters())
+    .scheduler(BiasedScheduler::new(plan, seed ^ 0x5C4E_D01E))
+    .horizon(at_ns(cfg.horizon_ns))
+    .max_events(CASE_MAX_EVENTS)
+    .build();
+    BuiltCase {
+        engine,
+        hub,
+        fault_stats: Vec::new(),
+        rejections: handles,
+    }
+}
+
+/// Judges a counter run: liveness plus the oracle set.
+pub(crate) fn judge_counter(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    run: &Result<Run<ObjAction<Counter>>, String>,
+) -> Vec<(String, String)> {
+    match run {
+        Ok(run) => {
+            let mut violations = Vec::new();
+            if run.stop != StopReason::Quiescent {
+                violations.push((
+                    "liveness".to_string(),
+                    format!("workload did not finish by the horizon ({:?})", run.stop),
+                ));
+            }
+            violations.extend(check_all(&counter_oracles(cfg, seed), &run.execution));
+            violations
+        }
+        Err(e) => vec![("engine".into(), e.clone())],
+    }
+}
+
+/// The counter scenario's oracle set: generalized-object
+/// linearizability, `C_ε`, and a workload replay.
+#[must_use]
+pub fn counter_oracles(
+    cfg: &ScenarioConfig,
+    seed: u64,
+) -> Vec<Box<dyn Oracle<ObjAction<Counter>>>> {
+    let n = cfg.nodes as usize;
+    let ops = cfg.ops_per_node;
+    vec![
+        Box::new(ObjectLinearizableOracle::new(Counter, n)),
+        Box::new(CEpsOracle::new(ns(cfg.eps_ns))),
+        Box::new(FnOracle::new(
+            "replay(workload)",
+            move |exec: &Execution<ObjAction<Counter>>| {
+                let workload = ObjWorkload::<Counter>::new(
                     &Topology::complete(n),
                     seed,
-                    DelayBounds::new(Duration::from_millis(1), Duration::from_millis(6))
-                        .expect("valid"),
+                    think_bounds(),
                     ops,
+                    counter_update,
                 );
                 match replay_timed(workload, exec) {
                     Ok(_) => Verdict::Holds,
@@ -893,9 +1829,23 @@ pub(crate) fn outcome_of<A: Action>(judged: Judged<A>) -> CaseOutcome {
 #[must_use]
 pub fn run_case(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> CaseOutcome {
     match cfg.kind {
-        ScenarioKind::Heartbeat => outcome_of(run_heartbeat(cfg, plan, seed)),
-        ScenarioKind::ClockFleet => outcome_of(run_clockfleet(cfg, plan, seed)),
-        ScenarioKind::Register => outcome_of(run_register(cfg, plan, seed)),
+        ScenarioKind::HeartbeatRestart => outcome_of(run_heartbeat_restart(cfg, plan, seed)),
+        ScenarioKind::Heartbeat
+        | ScenarioKind::HeartbeatCrash
+        | ScenarioKind::HeartbeatGray
+        | ScenarioKind::HeartbeatBidi
+        | ScenarioKind::Relay
+        | ScenarioKind::Partition => outcome_of(run_heartbeat(cfg, plan, seed)),
+        ScenarioKind::ClockFleet | ScenarioKind::ClockFleetLarge => {
+            outcome_of(run_clockfleet(cfg, plan, seed))
+        }
+        ScenarioKind::Mutex | ScenarioKind::MutexContended => {
+            outcome_of(run_mutex(cfg, plan, seed))
+        }
+        ScenarioKind::Register | ScenarioKind::RegisterTriple => {
+            outcome_of(run_register(cfg, plan, seed))
+        }
+        ScenarioKind::Counter => outcome_of(run_counter(cfg, plan, seed)),
     }
 }
 
@@ -904,26 +1854,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn clean_heartbeat_case_passes_all_oracles() {
-        let cfg = ScenarioConfig::heartbeat_default();
-        let out = run_case(&cfg, &FaultPlan::empty(), 1);
-        assert!(out.violations.is_empty(), "{:?}", out.violations);
-        assert!(out.events > 0);
+    fn clean_cases_pass_all_oracles_in_every_scenario() {
+        for kind in ScenarioKind::all() {
+            let cfg = ScenarioConfig::default_for(kind);
+            let out = run_case(&cfg, &FaultPlan::empty(), 1);
+            assert!(
+                out.violations.is_empty(),
+                "{}: {:?}",
+                kind.name(),
+                out.violations
+            );
+            assert!(out.events > 0, "{}: no events", kind.name());
+        }
     }
 
     #[test]
-    fn clean_clockfleet_case_passes_all_oracles() {
+    fn clean_clockfleet_case_rejects_no_clock_requests() {
         let cfg = ScenarioConfig::clockfleet_default();
         let out = run_case(&cfg, &FaultPlan::empty(), 1);
         assert!(out.violations.is_empty(), "{:?}", out.violations);
         assert_eq!(out.rejected_clock_requests, 0);
-    }
-
-    #[test]
-    fn clean_register_case_passes_all_oracles() {
-        let cfg = ScenarioConfig::register_default();
-        let out = run_case(&cfg, &FaultPlan::empty(), 1);
-        assert!(out.violations.is_empty(), "{:?}", out.violations);
     }
 
     #[test]
@@ -934,21 +1884,55 @@ mod tests {
         assert!(out.violations.is_empty(), "{:?}", out.violations);
     }
 
+    /// Lemma 2.1 at the checkpoint seam: the restart scenario's outcome —
+    /// violations, event count, fingerprint, metrics — is bit-identical
+    /// to an uninterrupted run of the same system.
+    #[test]
+    fn restart_run_matches_the_uninterrupted_run() {
+        let restart = ScenarioConfig::default_for(ScenarioKind::HeartbeatRestart);
+        let mut straight = restart.clone();
+        straight.kind = ScenarioKind::HeartbeatCrash;
+        straight.restart_at_ns = None;
+        for seed in [1u64, 7, 0x0C1A_551C] {
+            let a = run_case(&restart, &FaultPlan::empty(), seed);
+            let b = run_case(&straight, &FaultPlan::empty(), seed);
+            assert_eq!(a, b, "seed {seed}: restart diverged from straight run");
+        }
+    }
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for kind in ScenarioKind::all() {
+            assert_eq!(ScenarioKind::from_name(kind.name()).unwrap(), kind);
+        }
+        assert!(ScenarioKind::from_name("nope").is_err());
+    }
+
     #[test]
     fn config_round_trips_through_json() {
-        for cfg in [
-            ScenarioConfig::heartbeat_default(),
-            ScenarioConfig::clockfleet_default(),
-            ScenarioConfig::register_default(),
-        ] {
+        for kind in ScenarioKind::all() {
+            let cfg = ScenarioConfig::default_for(kind);
             let back = ScenarioConfig::from_json(&cfg.to_json()).unwrap();
             assert_eq!(cfg, back);
         }
-        let mut with_crash = ScenarioConfig::heartbeat_default();
-        with_crash.crash_at_ns = Some(42);
+        let mut with_canary = ScenarioConfig::heartbeat_default();
+        with_canary.canary = Some(crate::canary::CanaryKind::DuplicateDelivery);
         assert_eq!(
-            ScenarioConfig::from_json(&with_crash.to_json()).unwrap(),
-            with_crash
+            ScenarioConfig::from_json(&with_canary.to_json()).unwrap(),
+            with_canary
         );
+    }
+
+    /// Pre-catalog artifacts carry neither `restart_at_ns` nor `canary`;
+    /// their configs must still parse (as `None`).
+    #[test]
+    fn config_json_tolerates_missing_new_fields() {
+        let cfg = ScenarioConfig::heartbeat_default();
+        let Json::Obj(mut fields) = cfg.to_json() else {
+            panic!("config JSON is an object")
+        };
+        fields.retain(|(k, _)| k != "restart_at_ns" && k != "canary");
+        let back = ScenarioConfig::from_json(&Json::Obj(fields)).unwrap();
+        assert_eq!(back, cfg);
     }
 }

@@ -1,0 +1,89 @@
+//! The falsification gate: every registered canary — a scenario with one
+//! deliberately planted bug — must be caught by the oracle tagged as
+//! responsible for it, under the same fixed-seed campaign CI runs. A
+//! mutation score below 1.0 here means an oracle has silently stopped
+//! pulling its weight.
+
+use psync_explorer::{default_jobs, mutation_score, run_canary_suite, CampaignConfig, CanaryKind};
+
+fn ci_campaign() -> CampaignConfig {
+    CampaignConfig {
+        cases: 64,
+        seed: 0xC1A551C,
+        max_entries: 6,
+        ..CampaignConfig::default()
+    }
+}
+
+/// The CI acceptance run in test form: 64 cases per canary at the pinned
+/// seed, every planted bug caught by its expected oracle, and every
+/// caught bug shrunk to a plan of at most two entries (the canaries are
+/// *ambient* bugs — the code is wrong, not the fault plan, so shrinking
+/// strips the plan down to at most a small enabling nudge).
+#[test]
+fn full_suite_scores_mutation_one_point_zero() {
+    let outcomes = run_canary_suite(&CanaryKind::all(), &ci_campaign(), default_jobs());
+
+    for outcome in &outcomes {
+        let verdict = outcome.report.canary.as_ref().unwrap_or_else(|| {
+            panic!(
+                "[{}] campaign reported no canary verdict",
+                outcome.kind.name()
+            )
+        });
+        assert_eq!(
+            verdict.expected_oracle,
+            outcome.kind.expected_oracle(),
+            "[{}] verdict tagged with the wrong oracle",
+            outcome.kind.name()
+        );
+        assert!(
+            outcome.caught(),
+            "[{}] planted bug was NOT caught by {:?} in 64 cases",
+            outcome.kind.name(),
+            outcome.kind.expected_oracle()
+        );
+        let min = verdict
+            .min_shrunk_entries
+            .expect("caught canaries have a minimal shrunk plan");
+        assert!(
+            min <= 2,
+            "[{}] smallest shrunk counterexample has {min} entries — the bug \
+             should not need an elaborate fault plan to show itself",
+            outcome.kind.name()
+        );
+    }
+
+    let (caught, planted) = mutation_score(&outcomes);
+    assert_eq!(planted, 9, "registry should hold nine canaries");
+    assert_eq!(
+        (caught, planted),
+        (9, 9),
+        "mutation score below 1.0: {caught}/{planted}"
+    );
+}
+
+/// The canary registry itself is coherent: names round-trip, every
+/// mutated scenario carries its tag, and the registry covers all five
+/// scenario families (heartbeat, clock fleet, mutex, register, counter).
+#[test]
+fn registry_covers_every_scenario_family() {
+    let mut families: Vec<&'static str> = CanaryKind::all()
+        .iter()
+        .map(|k| {
+            let kind = k.base_kind();
+            if kind.is_heartbeat() {
+                "heartbeat"
+            } else {
+                kind.name()
+            }
+        })
+        .collect();
+    families.sort_unstable();
+    families.dedup();
+    assert_eq!(
+        families,
+        vec!["clockfleet", "counter", "heartbeat", "mutex", "register"],
+        "canary registry no longer spans the scenario families"
+    );
+}

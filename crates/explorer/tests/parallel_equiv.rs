@@ -4,12 +4,14 @@
 //! first-seen kind coverage, aggregated metrics, and every shrunk failure
 //! artifact — is independent of the worker count. This test holds it to
 //! that promise by comparing whole reports with `==` (all report types
-//! derive `PartialEq`/`Eq`) across `jobs ∈ {1, 2, 8}`:
+//! derive `PartialEq`/`Eq`) across `jobs ∈ {1, 2, 4}`:
 //!
-//! - a fixed sweep of seeds over all three scenarios, passing campaigns
-//!   only (broad coverage of the merge path);
+//! - a fixed sweep of seeds over every catalog scenario, passing
+//!   campaigns only (broad coverage of the merge path);
 //! - the planted-bug heartbeat scenario, so the comparison also covers
 //!   failing cases end to end: shrinking, probe accounting, artifacts;
+//! - a crash/recovery scenario with a planted bug, crossed with both
+//!   shrink-probe modes (checkpointed and from-scratch);
 //! - a property test over random `CampaignConfig`s (cases, seed,
 //!   max_entries) and scenarios.
 //!
@@ -20,15 +22,7 @@
 use proptest::prelude::*;
 use psync_explorer::{run_campaign_jobs, CampaignConfig, ScenarioConfig, ScenarioKind};
 
-const JOBS: [usize; 2] = [2, 8];
-
-fn scenario(kind: ScenarioKind) -> ScenarioConfig {
-    match kind {
-        ScenarioKind::Heartbeat => ScenarioConfig::heartbeat_default(),
-        ScenarioKind::ClockFleet => ScenarioConfig::clockfleet_default(),
-        ScenarioKind::Register => ScenarioConfig::register_default(),
-    }
-}
+const JOBS: [usize; 2] = [2, 4];
 
 /// Runs the campaign sequentially, then re-runs on each worker count and
 /// requires the whole report to compare equal.
@@ -46,10 +40,10 @@ fn assert_jobs_invariant(campaign: &CampaignConfig, config: &ScenarioConfig) {
 #[test]
 fn all_scenarios_reports_identical_across_job_counts() {
     for kind in ScenarioKind::all() {
-        let config = scenario(kind);
+        let config = ScenarioConfig::default_for(kind);
         for seed in [0x0C1A_551C, 1, 0xDEAD_BEEF] {
             let campaign = CampaignConfig {
-                cases: 16,
+                cases: 8,
                 seed,
                 max_entries: 5,
                 ..CampaignConfig::default()
@@ -78,6 +72,52 @@ fn failing_campaign_reports_identical_across_job_counts() {
     assert_jobs_invariant(&campaign, &config);
 }
 
+/// The crash/recovery seam is the trickiest place for worker-count or
+/// probe-mode divergence: the restart scenario checkpoints mid-case and
+/// resumes across the seam. Pin the whole report as bit-identical over
+/// `jobs ∈ {1, 2, 4}` × both shrink-probe modes, for a clean crash
+/// campaign and a failing (planted-bug) one.
+#[test]
+fn crash_scenario_reports_identical_across_jobs_and_probe_modes() {
+    for (config, cases) in [
+        (
+            ScenarioConfig::default_for(ScenarioKind::HeartbeatRestart),
+            12,
+        ),
+        (
+            ScenarioConfig::default_for(ScenarioKind::HeartbeatRestart).with_bug(1),
+            16,
+        ),
+    ] {
+        let mut baseline = None;
+        for checkpointed_shrink in [true, false] {
+            let campaign = CampaignConfig {
+                cases,
+                seed: 0x0C1A_551C,
+                max_entries: 6,
+                checkpointed_shrink,
+            };
+            let sequential = run_campaign_jobs(&campaign, &config, 1);
+            assert_jobs_invariant(&campaign, &config);
+            match &baseline {
+                None => baseline = Some(sequential),
+                Some(first) => assert_eq!(
+                    first, &sequential,
+                    "probe modes diverged on the crash scenario (bug={:?})",
+                    config.bug_extra_ns
+                ),
+            }
+        }
+        if config.bug_extra_ns > 0 {
+            let report = baseline.expect("baseline recorded");
+            assert!(
+                !report.failures.is_empty(),
+                "planted bug should fail crash-scenario cases"
+            );
+        }
+    }
+}
+
 #[test]
 fn degenerate_campaigns_run_on_any_job_count() {
     let config = ScenarioConfig::register_default();
@@ -98,12 +138,12 @@ proptest! {
     /// Job-count invariance over random campaign shapes and scenarios.
     #[test]
     fn random_campaigns_identical_across_job_counts(
-        cases in 1u64..12,
+        cases in 1u64..8,
         seed in 0u64..1_000_000,
         max_entries in 1usize..8,
-        kind_ix in 0usize..3,
+        kind_ix in 0usize..14,
     ) {
-        let config = scenario(ScenarioKind::all()[kind_ix]);
+        let config = ScenarioConfig::default_for(ScenarioKind::all()[kind_ix]);
         let campaign = CampaignConfig { cases, seed, max_entries, ..CampaignConfig::default() };
         let sequential = run_campaign_jobs(&campaign, &config, 1);
         for jobs in JOBS {

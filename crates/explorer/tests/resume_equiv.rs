@@ -44,25 +44,50 @@ fn planted_bug_campaign_is_identical_across_probe_modes() {
     );
 }
 
+/// The crash/recovery scenario checkpoints and restores *inside* its
+/// primary run, so probe-resume ladders are never layered on top: both
+/// probe modes replay its shrinks from scratch and must still settle on
+/// the same report for a planted-bug campaign.
+#[test]
+fn crash_scenario_planted_bug_is_identical_across_probe_modes() {
+    let scenario = ScenarioConfig::default_for(ScenarioKind::HeartbeatRestart).with_bug(1);
+    let cfg = CampaignConfig {
+        cases: 16,
+        ..campaign(true)
+    };
+    let (resumed, resumed_cost) = run_campaign_with_telemetry(&cfg, &scenario, 1);
+    let straight_cfg = CampaignConfig {
+        checkpointed_shrink: false,
+        ..cfg
+    };
+    let (straight, straight_cost) = run_campaign_with_telemetry(&straight_cfg, &scenario, 1);
+
+    assert!(
+        !resumed.failures.is_empty(),
+        "the planted bug should fail crash-scenario cases"
+    );
+    assert_eq!(resumed, straight, "probe modes produced different reports");
+
+    // The restart scenario opts out of probe-resume recording entirely,
+    // so even the checkpointed mode shows from-scratch telemetry.
+    assert_eq!(resumed_cost.recording_runs, 0);
+    assert_eq!(resumed_cost.checkpoints, 0);
+    assert_eq!(resumed_cost.shrink_events, straight_cost.shrink_events);
+}
+
 /// Clean campaigns never shrink, so the two modes produce equal reports
 /// and neither re-executes a single shrink event. The checkpointed mode
 /// still records a ladder during each primary run (that is where resume
 /// sources come from), which the telemetry reports as recording runs and
-/// checkpoints — not as shrink work.
+/// checkpoints — not as shrink work. The one exception is the restart
+/// scenario, which always routes from scratch (see above) and records
+/// nothing.
 #[test]
 fn clean_campaigns_spend_no_shrink_work_in_either_mode() {
     for kind in ScenarioKind::all() {
-        let scenario = match kind {
-            ScenarioKind::Heartbeat => ScenarioConfig::heartbeat_default(),
-            ScenarioKind::ClockFleet => ScenarioConfig::clockfleet_default(),
-            ScenarioKind::Register => ScenarioConfig::register_default(),
-        };
+        let scenario = ScenarioConfig::default_for(kind);
         let cfg = CampaignConfig {
-            cases: if kind == ScenarioKind::Register {
-                4
-            } else {
-                12
-            },
+            cases: 6,
             ..campaign(true)
         };
         let (resumed, resumed_cost) = run_campaign_with_telemetry(&cfg, &scenario, 1);
@@ -84,14 +109,18 @@ fn clean_campaigns_spend_no_shrink_work_in_either_mode() {
             straight_cost.shrink_events, 0,
             "[{kind:?}] straight shrink work"
         );
-        assert_eq!(
-            resumed_cost.recording_runs, cfg.cases,
-            "[{kind:?}] recordings"
-        );
-        assert!(
-            resumed_cost.checkpoints > 0,
-            "[{kind:?}] no ladders recorded"
-        );
+        if kind == ScenarioKind::HeartbeatRestart {
+            assert_eq!(resumed_cost, Default::default(), "[{kind:?}] restart cost");
+        } else {
+            assert_eq!(
+                resumed_cost.recording_runs, cfg.cases,
+                "[{kind:?}] recordings"
+            );
+            assert!(
+                resumed_cost.checkpoints > 0,
+                "[{kind:?}] no ladders recorded"
+            );
+        }
         assert_eq!(
             straight_cost,
             Default::default(),

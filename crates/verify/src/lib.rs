@@ -57,7 +57,8 @@ pub use conformance::{Conformance, ConformanceReport, Counterexample};
 pub use linearizable::{check_linearizable, check_superlinearizable};
 pub use object_linearizable::{
     check_object_linearizable, extract_object_history, ObjOpKind, ObjOperation,
+    ObjectLinearizableOracle,
 };
-pub use oracle::{check_all, FnOracle, Oracle, ProblemOracle};
+pub use oracle::{check_all, check_fifo_per_edge, FnOracle, Oracle, ProblemOracle};
 pub use problems::{LinearizableRegister, SuperlinearizableRegister};
 pub use sequential::check_sequentially_consistent;

@@ -3,12 +3,14 @@
 
 use std::collections::HashSet;
 
-use psync_automata::{TimedTrace, Verdict};
+use psync_automata::{Action, Execution, TimedTrace, Verdict};
 use psync_net::{NodeId, SysAction};
 use psync_register::history::ExtractError;
 use psync_register::object::ObjectSpec;
 use psync_register::{ObjAction, ObjOp};
 use psync_time::Time;
+
+use crate::Oracle;
 
 /// What a generalized operation did.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +133,48 @@ pub fn check_object_linearizable<O: ObjectSpec>(spec: &O, ops: &[ObjOperation<O>
             "no valid linearization of {} object operations",
             ops.len()
         ))
+    }
+}
+
+/// An [`Oracle`] judging linearizability of a generalized-object run
+/// ([`AlgorithmSObj`](psync_register::AlgorithmSObj) + any
+/// [`ObjectSpec`]) directly from the recorded execution: extracts the
+/// visible application history and feeds it to
+/// [`check_object_linearizable`]. Traces in which the *environment* is the
+/// first to violate the alternation condition are vacuously accepted, like
+/// the register problems.
+pub struct ObjectLinearizableOracle<O: ObjectSpec> {
+    spec: O,
+    n: usize,
+}
+
+impl<O: ObjectSpec> ObjectLinearizableOracle<O> {
+    /// Wraps `spec` for an `n`-node system.
+    pub fn new(spec: O, n: usize) -> Self {
+        ObjectLinearizableOracle { spec, n }
+    }
+}
+
+impl<O: ObjectSpec> Oracle<ObjAction<O>> for ObjectLinearizableOracle<O>
+where
+    ObjAction<O>: Action,
+{
+    fn name(&self) -> String {
+        "linearizable object".to_string()
+    }
+
+    fn check(&self, exec: &Execution<ObjAction<O>>) -> Verdict {
+        let trace: TimedTrace<ObjAction<O>> = exec
+            .events()
+            .iter()
+            .filter(|e| e.kind.is_visible() && matches!(e.action, SysAction::App(_)))
+            .map(|e| (e.action.clone(), e.now))
+            .collect();
+        match extract_object_history(&trace, self.n) {
+            Err(ExtractError::EnvironmentViolation { .. }) => Verdict::Holds,
+            Err(e @ ExtractError::SystemViolation { .. }) => Verdict::violated(e),
+            Ok(ops) => check_object_linearizable(&self.spec, &ops),
+        }
     }
 }
 
