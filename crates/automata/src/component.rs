@@ -158,6 +158,27 @@ impl WakeHint {
             (WakeHint::At(a), WakeHint::At(b)) => WakeHint::At(a.min(b)),
         }
     }
+
+    /// Folds any number of hints with [`WakeHint::earlier`], starting
+    /// from the identity `Never` — the composite hint of a component
+    /// assembled from many independently-timed parts.
+    ///
+    /// ```
+    /// use psync_automata::WakeHint;
+    /// use psync_time::{Duration, Time};
+    ///
+    /// let a = Time::ZERO + Duration::from_millis(3);
+    /// let b = Time::ZERO + Duration::from_millis(7);
+    /// assert_eq!(
+    ///     WakeHint::earliest([WakeHint::At(b), WakeHint::Never, WakeHint::At(a)]),
+    ///     WakeHint::At(a)
+    /// );
+    /// assert_eq!(WakeHint::earliest([]), WakeHint::Never);
+    /// ```
+    #[must_use]
+    pub fn earliest(hints: impl IntoIterator<Item = WakeHint>) -> WakeHint {
+        hints.into_iter().fold(WakeHint::Never, WakeHint::earlier)
+    }
 }
 
 /// Object-safe view of a [`TimedComponent`] with its state type erased, so

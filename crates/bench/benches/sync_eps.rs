@@ -1,0 +1,116 @@
+//! Criterion bench: measured synchronization ε̂ vs channel jitter and
+//! drift.
+//!
+//! Runs the honest [`ProbeSync`] demo fleet (3 nodes, 300 ms horizon)
+//! over a grid of channel upper bounds `d₂ ∈ {2, 3, 5} ms` (with
+//! `d₁ = 1 ms` fixed) × base drift `∈ {0, 200, 400} ppm`, and reports
+//! the achieved skew certificate ε̂ against two yardsticks: the a-priori
+//! `2ε` prior every node starts from, and the analytic envelope
+//! `predicted_eps_hat` the E17 property tests pin. Reported in
+//! `EXPERIMENTS.md` §E17.
+//!
+//! Besides the criterion sweep this bench writes `BENCH_sync.json`
+//! (override the path with `PSYNC_BENCH_OUT`): per-grid-point ε̂, prior,
+//! predicted bound and median fleet wall time, plus a `within_bound`
+//! flag re-verified on the spot. CI uploads the file as a build
+//! artifact; the committed copy at the repo root records the measured
+//! bound at review time.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psync_sync::{build_sync_fleet, predicted_eps_hat, rho_max, FleetSpec, MeasuredEps};
+use psync_time::Duration;
+
+const D2_MS: [i64; 3] = [2, 3, 5];
+const DRIFT_PPM: [i64; 3] = [0, 200, 400];
+
+fn spec(d2_ms: i64, base_ppm: i64) -> FleetSpec {
+    let mut s = FleetSpec::demo(3, 0xE17_BE7C ^ ((d2_ms as u64) << 8) ^ base_ppm as u64);
+    s.d2 = Duration::from_millis(d2_ms);
+    s.base_ppm = base_ppm;
+    s
+}
+
+/// Runs the fleet to its horizon and returns the certified ε̂ in ns.
+fn eps_hat_ns(s: &FleetSpec) -> i64 {
+    let run = build_sync_fleet(s).run().expect("fleet runs clean");
+    MeasuredEps::from_execution(&run.execution)
+        .final_eps_hat()
+        .expect("fleet certifies within the horizon")
+        .as_nanos()
+}
+
+fn bench_sync_eps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_eps");
+    group.sample_size(10);
+    for d2_ms in D2_MS {
+        for ppm in DRIFT_PPM {
+            let s = spec(d2_ms, ppm);
+            group.bench_with_input(
+                BenchmarkId::new(format!("d2_{d2_ms}ms"), ppm),
+                &s,
+                |b, s| b.iter(|| black_box(eps_hat_ns(s))),
+            );
+        }
+    }
+    group.finish();
+    write_artifact();
+}
+
+/// Median wall time of `runs` executions, in milliseconds.
+fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_unstable_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn write_artifact() {
+    let mut entries = Vec::new();
+    let mut within = true;
+    for d2_ms in D2_MS {
+        for ppm in DRIFT_PPM {
+            let s = spec(d2_ms, ppm);
+            let hat = eps_hat_ns(&s);
+            let prior = (s.eps * 2).as_nanos();
+            let bound =
+                predicted_eps_hat(s.d1, s.d2, rho_max(s.nodes, s.base_ppm), s.horizon).as_nanos();
+            within &= hat <= bound;
+            let ms = median_ms(5, || {
+                black_box(eps_hat_ns(&s));
+            });
+            entries.push(format!(
+                "    {{\"d1_ms\": 1, \"d2_ms\": {d2_ms}, \"base_ppm\": {ppm}, \
+                 \"eps_hat_ns\": {hat}, \"prior_2eps_ns\": {prior}, \
+                 \"predicted_bound_ns\": {bound}, \"median_ms\": {ms:.3}}}"
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"sync_eps\",\n  \"nodes\": 3,\n  \"horizon_ms\": 300,\n  \
+         \"within_bound\": {within},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    // Benches run with the package dir as cwd; default to the workspace
+    // root so the artifact lands next to the committed copy.
+    let path = std::env::var("PSYNC_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sync.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("sync_eps: wrote {path}"),
+        Err(e) => eprintln!("sync_eps: could not write {path}: {e}"),
+    }
+    assert!(
+        within,
+        "a grid point's measured ε̂ exceeded the predicted bound"
+    );
+}
+
+criterion_group!(benches, bench_sync_eps);
+criterion_main!(benches);

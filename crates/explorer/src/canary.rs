@@ -38,6 +38,11 @@ pub enum CanaryKind {
     RegisterSignFlip,
     /// The counter object skips the `2ε` read wait (`read_slack = 0`).
     CounterSignFlip,
+    /// Sync nodes hold every echo back past the round's usable window —
+    /// an in-envelope component bug (no channel exceeds `d₂`) that
+    /// leaves every offset sample contradictory, so no node ever covers
+    /// its peers or beats the `2ε` prior.
+    SyncSkewBurst,
 }
 
 impl CanaryKind {
@@ -54,6 +59,7 @@ impl CanaryKind {
             CanaryKind::RelayLifoHeal => "relay_lifo_heal",
             CanaryKind::RegisterSignFlip => "register_sign_flip",
             CanaryKind::CounterSignFlip => "counter_sign_flip",
+            CanaryKind::SyncSkewBurst => "sync_skew_burst",
         }
     }
 
@@ -71,7 +77,7 @@ impl CanaryKind {
 
     /// Every registered canary.
     #[must_use]
-    pub fn all() -> [CanaryKind; 9] {
+    pub fn all() -> [CanaryKind; 10] {
         [
             CanaryKind::DelayOvershoot,
             CanaryKind::FdTimeoutUnderbudget,
@@ -82,6 +88,7 @@ impl CanaryKind {
             CanaryKind::RelayLifoHeal,
             CanaryKind::RegisterSignFlip,
             CanaryKind::CounterSignFlip,
+            CanaryKind::SyncSkewBurst,
         ]
     }
 
@@ -97,6 +104,7 @@ impl CanaryKind {
             CanaryKind::RelayLifoHeal => ScenarioKind::Relay,
             CanaryKind::RegisterSignFlip => ScenarioKind::Register,
             CanaryKind::CounterSignFlip => ScenarioKind::Counter,
+            CanaryKind::SyncSkewBurst => ScenarioKind::SyncProbe,
         }
     }
 
@@ -114,6 +122,7 @@ impl CanaryKind {
             CanaryKind::RelayLifoHeal => "fifo order",
             CanaryKind::RegisterSignFlip => "linearizable read-write register",
             CanaryKind::CounterSignFlip => "linearizable object",
+            CanaryKind::SyncSkewBurst => "C_eps(\u{3b5}\u{302} achieved",
         }
     }
 

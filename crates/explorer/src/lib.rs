@@ -59,6 +59,7 @@ pub use resume::CampaignTelemetry;
 pub use scenario::{
     clockfleet_oracles, counter_oracles, fingerprint, heartbeat_oracles, mutex_oracles,
     register_oracles, run_case, run_clockfleet, run_counter, run_heartbeat, run_heartbeat_restart,
-    run_mutex, run_register, CaseOutcome, HeartbeatRelay, Judged, ScenarioConfig, ScenarioKind,
+    run_mutex, run_register, run_sync, sync_oracles, CaseOutcome, HeartbeatRelay, Judged,
+    ScenarioConfig, ScenarioKind,
 };
 pub use shrink::shrink_entries;

@@ -439,8 +439,13 @@ pub(crate) fn run_shrinkable_case(
 ) -> (CaseOutcome, Option<ShrinkResult>) {
     // The restart scenario already checkpoints and restores *inside* its
     // primary run; layering probe-resume checkpoints over that seam is
-    // not supported, so its shrinks replay from scratch.
-    let from_scratch = !checkpointed || scenario.kind == ScenarioKind::HeartbeatRestart;
+    // not supported, so its shrinks replay from scratch. Sync shrinks
+    // also replay from scratch: their post-run ε̂ gauges are derived
+    // outside the engine, so a pooled-checkpoint resume would need its
+    // own gauge bookkeeping for no measurable probe savings (sync plans
+    // are channel-only and activate early).
+    let from_scratch =
+        !checkpointed || scenario.kind == ScenarioKind::HeartbeatRestart || scenario.kind.is_sync();
     if from_scratch {
         let outcome = run_case(scenario, plan, seed);
         if outcome.violations.is_empty() {
@@ -458,6 +463,9 @@ pub(crate) fn run_shrinkable_case(
     }
     match scenario.kind {
         ScenarioKind::HeartbeatRestart => unreachable!("restart shrinks replay from scratch"),
+        ScenarioKind::SyncProbe | ScenarioKind::SyncRounds => {
+            unreachable!("sync shrinks replay from scratch")
+        }
         ScenarioKind::Heartbeat
         | ScenarioKind::HeartbeatCrash
         | ScenarioKind::HeartbeatGray

@@ -1,8 +1,8 @@
 //! Scenario factories: the systems a fault plan perturbs, and the
 //! oracles that judge each run.
 //!
-//! The catalog covers the workspace's three model layers with fourteen
-//! scenarios in five families:
+//! The catalog covers the workspace's three model layers with sixteen
+//! scenarios in six families:
 //!
 //! * **heartbeat family** — the timed model: heartbeaters, plan-driven
 //!   [`FaultChannel`]s, monitors, and (optionally) scripted crashes.
@@ -35,6 +35,19 @@
 //! * **counter** — the generalized-object extension: `AlgorithmSObj`
 //!   over the [`Counter`] spec under a seeded object workload, judged by
 //!   [`ObjectLinearizableOracle`].
+//! * **sync family** — clock synchronization that *achieves* ε̂:
+//!   drifting clock nodes running `psync-sync`'s probe/echo components
+//!   over faultable `[d₁, d₂]` channels, certifying a measured bound
+//!   each round. [`ScenarioKind::SyncRounds`] is the fault-resistant
+//!   configuration (drops and duplicates in scope, crashed/gray peers
+//!   aged out by grace). Oracles: the ε̂-parameterized `C_ε`
+//!   ([`psync_sync::EpsHatOracle`] — certificate soundness against the
+//!   recorded clock readings *and* achievement of the
+//!   [`predicted_eps_hat`] bound), the
+//!   constant-ε `C_ε` probe, and Lemma 2.1 clock replays of every sync
+//!   component. The per-edge FIFO oracle is deliberately absent: a
+//!   node legitimately hands several same-instant sends (probe bursts,
+//!   held echoes) to independently delayed channels.
 //!
 //! Every factory is a pure function of `(config, plan, seed)` — the
 //! entire contents of a replay artifact — which is what makes replays
@@ -50,7 +63,7 @@ use psync_apps::mutex::{MutexAction, MutexOp, SlotUser};
 use psync_automata::toys::{BeepAction, ClockBeeper};
 use psync_automata::{Action, ActionKind, Execution, TimedComponent, Verdict};
 use psync_core::{app_trace, build_dc, ClockSim, NodeSpec};
-use psync_executor::{ClockNode, Engine, OffsetClock, Run, StopReason};
+use psync_executor::{ClockNode, DriftClock, Engine, OffsetClock, Run, StopReason};
 use psync_net::{
     Envelope, FaultChannel, FaultStats, MaxDelay, MsgId, NodeId, Script, SysAction, Topology,
 };
@@ -59,6 +72,10 @@ use psync_register::object::Counter;
 use psync_register::{
     AlgorithmS, AlgorithmSObj, ClosedLoopWorkload, ObjAction, ObjWorkload, RegAction,
     RegisterParams, Value,
+};
+use psync_sync::{
+    drift_rates, predicted_eps_hat, rho_max, EpsHatOracle, MeasuredEps, ProbeSync, RoundSync,
+    SyncAction, SyncMsg, SyncOp, SyncParams,
 };
 use psync_time::{DelayBounds, Duration, Time};
 use psync_verify::replay::{replay_clock, replay_timed};
@@ -110,6 +127,13 @@ pub enum ScenarioKind {
     RegisterTriple,
     /// The generalized-object counter (`AlgorithmSObj<Counter>`).
     Counter,
+    /// Probe/echo clock synchronization certifying the achieved ε̂
+    /// ([`psync_sync::ProbeSync`] on drifting clocks).
+    SyncProbe,
+    /// Fault-resistant round-based sync ([`psync_sync::RoundSync`]):
+    /// more nodes, drops and duplicates in scope, grace budgeted for
+    /// the drop allowance.
+    SyncRounds,
 }
 
 impl ScenarioKind {
@@ -131,6 +155,8 @@ impl ScenarioKind {
             ScenarioKind::Register => "register",
             ScenarioKind::RegisterTriple => "register_triple",
             ScenarioKind::Counter => "counter",
+            ScenarioKind::SyncProbe => "sync_probe",
+            ScenarioKind::SyncRounds => "sync_rounds",
         }
     }
 
@@ -148,7 +174,7 @@ impl ScenarioKind {
 
     /// All scenario kinds, in catalog order.
     #[must_use]
-    pub fn all() -> [ScenarioKind; 14] {
+    pub fn all() -> [ScenarioKind; 16] {
         [
             ScenarioKind::Heartbeat,
             ScenarioKind::HeartbeatCrash,
@@ -164,6 +190,8 @@ impl ScenarioKind {
             ScenarioKind::Register,
             ScenarioKind::RegisterTriple,
             ScenarioKind::Counter,
+            ScenarioKind::SyncProbe,
+            ScenarioKind::SyncRounds,
         ]
     }
 
@@ -180,6 +208,12 @@ impl ScenarioKind {
                 | ScenarioKind::Relay
                 | ScenarioKind::Partition
         )
+    }
+
+    /// Does this kind belong to the clock-synchronization family?
+    #[must_use]
+    pub fn is_sync(self) -> bool {
+        matches!(self, ScenarioKind::SyncProbe | ScenarioKind::SyncRounds)
     }
 }
 
@@ -203,9 +237,13 @@ pub struct ScenarioConfig {
     pub period_ns: i64,
     /// Drop budget per edge (heartbeat family only).
     pub max_drops: u32,
-    /// Closed-loop operations per node (register/counter), or mutex
-    /// rounds per node.
+    /// Closed-loop operations per node (register/counter), mutex rounds
+    /// per node, or the per-peer probe burst (sync family).
     pub ops_per_node: u32,
+    /// Base hardware drift rate in parts per million (sync family):
+    /// node `i` drifts at `drift_rates(nodes, drift_ppm)[i]`. Zero for
+    /// every other family.
+    pub drift_ppm: i64,
     /// Scripted crash time (heartbeat family only), nanoseconds.
     pub crash_at_ns: Option<i64>,
     /// Checkpoint/restore seam time ([`ScenarioKind::HeartbeatRestart`]
@@ -232,6 +270,7 @@ impl ScenarioConfig {
             period_ns: 10_000_000,
             max_drops: 2,
             ops_per_node: 0,
+            drift_ppm: 0,
             crash_at_ns: None,
             restart_at_ns: None,
             canary: None,
@@ -252,6 +291,7 @@ impl ScenarioConfig {
             period_ns: 9_000_000,
             max_drops: 0,
             ops_per_node: 0,
+            drift_ppm: 0,
             crash_at_ns: None,
             restart_at_ns: None,
             canary: None,
@@ -276,6 +316,31 @@ impl ScenarioConfig {
             period_ns: 0,
             max_drops: 0,
             ops_per_node: 3,
+            drift_ppm: 0,
+            crash_at_ns: None,
+            restart_at_ns: None,
+            canary: None,
+            bug_extra_ns: 0,
+        }
+    }
+
+    /// The default clock-synchronization scenario: three drifting nodes
+    /// probing each other over faultable `[1, 3] ms` channels, a 20 ms
+    /// round, and the same `ε = 2 ms` envelope the clockfleet assumes —
+    /// which the certified ε̂ must then beat.
+    #[must_use]
+    pub fn sync_default() -> ScenarioConfig {
+        ScenarioConfig {
+            kind: ScenarioKind::SyncProbe,
+            nodes: 3,
+            d1_ns: 1_000_000,
+            d2_ns: 3_000_000,
+            eps_ns: 2_000_000,
+            horizon_ns: 300_000_000,
+            period_ns: 20_000_000,
+            max_drops: 0,
+            ops_per_node: 2,
+            drift_ppm: 200,
             crash_at_ns: None,
             restart_at_ns: None,
             canary: None,
@@ -333,6 +398,7 @@ impl ScenarioConfig {
                 period_ns: 10_000_000,
                 max_drops: 0,
                 ops_per_node: 4,
+                drift_ppm: 0,
                 crash_at_ns: None,
                 restart_at_ns: None,
                 canary: None,
@@ -352,6 +418,13 @@ impl ScenarioConfig {
                 nodes: 3,
                 ops_per_node: 2,
                 ..ScenarioConfig::register_default()
+            },
+            ScenarioKind::SyncProbe => ScenarioConfig::sync_default(),
+            ScenarioKind::SyncRounds => ScenarioConfig {
+                kind,
+                nodes: 4,
+                max_drops: 2,
+                ..ScenarioConfig::sync_default()
             },
         }
     }
@@ -376,6 +449,24 @@ impl ScenarioConfig {
                 | ScenarioKind::ClockFleetLarge
                 | ScenarioKind::Mutex
                 | ScenarioKind::MutexContended => (true, false, false, false, vec![]),
+                ScenarioKind::SyncProbe | ScenarioKind::SyncRounds => {
+                    // Sync nodes run *drifting* clocks, not plan-scripted
+                    // ones, so clock faults are out of scope; the
+                    // adversary owns the channels instead. Drops and
+                    // duplicates are granted only to the fault-resistant
+                    // rounds variant — the plain probe scenario's grace
+                    // budget does not tolerate losses.
+                    let mut edges = Vec::new();
+                    for i in 0..self.nodes {
+                        for j in 0..self.nodes {
+                            if i != j {
+                                edges.push((i, j));
+                            }
+                        }
+                    }
+                    let lossy = self.kind == ScenarioKind::SyncRounds;
+                    (false, lossy, lossy, true, edges)
+                }
                 _ => {
                     // Clock channels (`build_dc`) expose a delay policy but
                     // not drops/duplicates; the paper's reliable-channel
@@ -399,6 +490,13 @@ impl ScenarioConfig {
             match self.kind {
                 ScenarioKind::Register | ScenarioKind::RegisterTriple | ScenarioKind::Counter => {
                     self.ops_per_node * 2 + 2
+                }
+                // Each node's shared id counter covers its probes *and*
+                // echoes: per round, `burst` probes to each peer plus up
+                // to as many echoes back.
+                ScenarioKind::SyncProbe | ScenarioKind::SyncRounds => {
+                    let rounds = (self.horizon_ns / self.period_ns.max(1)) as u32 + 1;
+                    rounds * 2 * self.ops_per_node * (self.nodes - 1)
                 }
                 _ => 0,
             }
@@ -450,6 +548,7 @@ impl ScenarioConfig {
             ("period_ns", Json::num(self.period_ns)),
             ("max_drops", Json::num(self.max_drops)),
             ("ops_per_node", Json::num(self.ops_per_node)),
+            ("drift_ppm", Json::num(self.drift_ppm)),
             (
                 "crash_at_ns",
                 self.crash_at_ns.map_or(Json::Null, Json::num),
@@ -499,6 +598,8 @@ impl ScenarioConfig {
             period_ns: i64_field("period_ns")?,
             max_drops: u32_field("max_drops")?,
             ops_per_node: u32_field("ops_per_node")?,
+            // Pre-sync artifacts carry no drift; missing means zero.
+            drift_ppm: opt_i64("drift_ppm")?.unwrap_or(0),
             crash_at_ns: opt_i64("crash_at_ns")?,
             restart_at_ns: opt_i64("restart_at_ns")?,
             canary: match v.get("canary") {
@@ -1808,6 +1909,174 @@ pub fn counter_oracles(
     ]
 }
 
+/// The probe-sync parameter set for node `i`, with the skew-burst
+/// canary hook: the mutant holds every echo back by
+/// `2(d₂ − d₁) + 1 ms` — an in-envelope component bug (no channel ever
+/// exceeds `d₂`) that turns every offset sample contradictory, so the
+/// node certifies nothing better than the `2ε` prior and never covers
+/// its peers. Only the ε̂-parameterized `C_ε` oracle can see that.
+fn sync_params(cfg: &ScenarioConfig, i: u32) -> SyncParams {
+    let echo_hold = if cfg.canary == Some(CanaryKind::SyncSkewBurst) {
+        ns(2 * (cfg.d2_ns - cfg.d1_ns)) + Duration::from_millis(1)
+    } else {
+        Duration::ZERO
+    };
+    let grace = if cfg.kind == ScenarioKind::SyncRounds {
+        RoundSync::grace_for_drops(u64::from(cfg.max_drops))
+    } else {
+        1
+    };
+    SyncParams {
+        me: NodeId(i as usize),
+        peers: (0..cfg.nodes)
+            .filter(|&j| j != i)
+            .map(|j| NodeId(j as usize))
+            .collect(),
+        d1: ns(cfg.d1_ns),
+        d2: ns(cfg.d2_ns),
+        eps: ns(cfg.eps_ns),
+        rho_ppm: rho_max(cfg.nodes as usize, cfg.drift_ppm),
+        period: ns(cfg.period_ns),
+        burst: cfg.ops_per_node,
+        grace,
+        echo_hold,
+    }
+}
+
+/// Builds the sync case's engine (without running it): `n` drifting
+/// clock nodes running [`ProbeSync`] (or [`RoundSync`] for the
+/// fault-resistant variant), wired over per-edge [`FaultChannel`]s that
+/// the plan may drop, duplicate, or spike inside `[d₁, d₂]`.
+pub(crate) fn build_sync(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+) -> BuiltCase<SyncAction> {
+    let eps = ns(cfg.eps_ns);
+    let declared = cfg.bounds();
+    let actual = DelayBounds::new(declared.min(), declared.max() + ns(cfg.bug_extra_ns))
+        .expect("widened bounds stay ordered");
+    let rates = drift_rates(cfg.nodes as usize, cfg.drift_ppm);
+    let hub = MetricsHub::new();
+    let mut builder = Engine::builder();
+    for i in 0..cfg.nodes {
+        let node = ClockNode::new(format!("n{i}"), eps, DriftClock::new(rates[i as usize]));
+        builder = if cfg.kind == ScenarioKind::SyncRounds {
+            builder.clock_node(node.with(RoundSync::new(sync_params(cfg, i))))
+        } else {
+            builder.clock_node(node.with(ProbeSync::new(sync_params(cfg, i))))
+        };
+    }
+    let mut fault_stats = Vec::new();
+    for i in 0..cfg.nodes {
+        for j in 0..cfg.nodes {
+            if i == j {
+                continue;
+            }
+            let fault = PlanChannelFault::new(plan, i, j, seed, declared, ns(cfg.bug_extra_ns));
+            let channel = FaultChannel::<SyncMsg, SyncOp>::new(
+                NodeId(i as usize),
+                NodeId(j as usize),
+                actual,
+                MaxDelay,
+                fault,
+            );
+            fault_stats.push(channel.stats());
+            builder = builder.timed(channel);
+        }
+    }
+    let engine = builder
+        .observer(hub.engine_observer().without_checkpoint_counters())
+        .observer(hub.channel_delay_observer())
+        .scheduler(BiasedScheduler::new(plan, seed))
+        .horizon(at_ns(cfg.horizon_ns))
+        .max_events(CASE_MAX_EVENTS)
+        .build();
+    BuiltCase {
+        engine,
+        hub,
+        fault_stats,
+        rejections: Vec::new(),
+    }
+}
+
+/// Judges a sync run against the scenario's oracles.
+pub(crate) fn judge_sync(
+    cfg: &ScenarioConfig,
+    run: &Result<Run<SyncAction>, String>,
+) -> Vec<(String, String)> {
+    match run {
+        Ok(run) => check_all(&sync_oracles(cfg), &run.execution),
+        Err(e) => vec![("engine".into(), e.clone())],
+    }
+}
+
+/// The sync scenario's oracle set: the ε̂-parameterized `C_ε`
+/// (certificate soundness and achievement of the predicted bound — the
+/// primary oracle), the constant-ε `C_ε` probe, and a Lemma 2.1 clock
+/// replay of every sync component. The per-edge FIFO oracle is
+/// deliberately omitted: probe bursts and held echoes are handed to
+/// independently delayed channels in the same instant, so cross-message
+/// reordering is legitimate.
+#[must_use]
+pub fn sync_oracles(cfg: &ScenarioConfig) -> Vec<Box<dyn Oracle<SyncAction>>> {
+    let bound = predicted_eps_hat(
+        ns(cfg.d1_ns),
+        ns(cfg.d2_ns),
+        rho_max(cfg.nodes as usize, cfg.drift_ppm),
+        at_ns(cfg.horizon_ns),
+    );
+    let mut oracles: Vec<Box<dyn Oracle<SyncAction>>> = vec![
+        Box::new(EpsHatOracle::new(cfg.nodes as usize, bound)),
+        Box::new(CEpsOracle::new(ns(cfg.eps_ns))),
+    ];
+    for i in 0..cfg.nodes {
+        let cfg = cfg.clone();
+        let rounds = cfg.kind == ScenarioKind::SyncRounds;
+        oracles.push(Box::new(FnOracle::new(
+            format!("replay(sync {i})"),
+            move |exec: &Execution<SyncAction>| {
+                let result = if rounds {
+                    replay_clock(RoundSync::new(sync_params(&cfg, i)), exec).map(|_| ())
+                } else {
+                    replay_clock(ProbeSync::new(sync_params(&cfg, i)), exec).map(|_| ())
+                };
+                match result {
+                    Ok(()) => Verdict::Holds,
+                    Err(e) => Verdict::violated(format!("Lemma 2.1 clock replay failed: {e}")),
+                }
+            },
+        )));
+    }
+    oracles
+}
+
+/// Runs one clock-synchronization case and publishes each node's final
+/// certified ε̂ as a `sync.eps_hat_ns.n{i}` gauge (campaign merging
+/// keeps the worst level).
+///
+/// # Panics
+///
+/// Panics if the config is not a sync-family config.
+pub fn run_sync(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<SyncAction> {
+    assert!(cfg.kind.is_sync());
+    let mut built = build_sync(cfg, plan, seed);
+    let run = built.engine.run().map_err(|e| e.to_string());
+    if let Ok(run) = &run {
+        let measured = MeasuredEps::from_execution(&run.execution);
+        for i in 0..cfg.nodes {
+            let node = NodeId(i as usize);
+            if let Some(cert) = measured.last_for(node) {
+                built
+                    .hub
+                    .set_gauge(&format!("sync.eps_hat_ns.{node}"), cert.eps_hat.as_nanos());
+            }
+        }
+    }
+    let violations = judge_sync(cfg, &run);
+    finish_case(&built, violations, run)
+}
+
 /// Collapses a typed [`Judged`] result into the kind-erased
 /// [`CaseOutcome`] the exploration loop stores and compares.
 pub(crate) fn outcome_of<A: Action>(judged: Judged<A>) -> CaseOutcome {
@@ -1846,6 +2115,7 @@ pub fn run_case(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> CaseOutcom
             outcome_of(run_register(cfg, plan, seed))
         }
         ScenarioKind::Counter => outcome_of(run_counter(cfg, plan, seed)),
+        ScenarioKind::SyncProbe | ScenarioKind::SyncRounds => outcome_of(run_sync(cfg, plan, seed)),
     }
 }
 
@@ -1931,7 +2201,7 @@ mod tests {
         let Json::Obj(mut fields) = cfg.to_json() else {
             panic!("config JSON is an object")
         };
-        fields.retain(|(k, _)| k != "restart_at_ns" && k != "canary");
+        fields.retain(|(k, _)| k != "restart_at_ns" && k != "canary" && k != "drift_ppm");
         let back = ScenarioConfig::from_json(&Json::Obj(fields)).unwrap();
         assert_eq!(back, cfg);
     }

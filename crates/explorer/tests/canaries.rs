@@ -55,17 +55,18 @@ fn full_suite_scores_mutation_one_point_zero() {
     }
 
     let (caught, planted) = mutation_score(&outcomes);
-    assert_eq!(planted, 9, "registry should hold nine canaries");
+    assert_eq!(planted, 10, "registry should hold ten canaries");
     assert_eq!(
         (caught, planted),
-        (9, 9),
+        (10, 10),
         "mutation score below 1.0: {caught}/{planted}"
     );
 }
 
 /// The canary registry itself is coherent: names round-trip, every
-/// mutated scenario carries its tag, and the registry covers all five
-/// scenario families (heartbeat, clock fleet, mutex, register, counter).
+/// mutated scenario carries its tag, and the registry covers all six
+/// scenario families (heartbeat, clock fleet, mutex, register, counter,
+/// sync).
 #[test]
 fn registry_covers_every_scenario_family() {
     let mut families: Vec<&'static str> = CanaryKind::all()
@@ -74,6 +75,8 @@ fn registry_covers_every_scenario_family() {
             let kind = k.base_kind();
             if kind.is_heartbeat() {
                 "heartbeat"
+            } else if kind.is_sync() {
+                "sync"
             } else {
                 kind.name()
             }
@@ -83,7 +86,14 @@ fn registry_covers_every_scenario_family() {
     families.dedup();
     assert_eq!(
         families,
-        vec!["clockfleet", "counter", "heartbeat", "mutex", "register"],
+        vec![
+            "clockfleet",
+            "counter",
+            "heartbeat",
+            "mutex",
+            "register",
+            "sync"
+        ],
         "canary registry no longer spans the scenario families"
     );
 }

@@ -79,9 +79,10 @@ fn crash_scenario_planted_bug_is_identical_across_probe_modes() {
 /// and neither re-executes a single shrink event. The checkpointed mode
 /// still records a ladder during each primary run (that is where resume
 /// sources come from), which the telemetry reports as recording runs and
-/// checkpoints — not as shrink work. The one exception is the restart
-/// scenario, which always routes from scratch (see above) and records
-/// nothing.
+/// checkpoints — not as shrink work. The exceptions are the restart
+/// scenario and the sync scenarios, which always route from scratch
+/// (see above; sync derives its ε̂ gauges outside the engine) and so
+/// record nothing.
 #[test]
 fn clean_campaigns_spend_no_shrink_work_in_either_mode() {
     for kind in ScenarioKind::all() {
@@ -109,8 +110,12 @@ fn clean_campaigns_spend_no_shrink_work_in_either_mode() {
             straight_cost.shrink_events, 0,
             "[{kind:?}] straight shrink work"
         );
-        if kind == ScenarioKind::HeartbeatRestart {
-            assert_eq!(resumed_cost, Default::default(), "[{kind:?}] restart cost");
+        if kind == ScenarioKind::HeartbeatRestart || kind.is_sync() {
+            assert_eq!(
+                resumed_cost,
+                Default::default(),
+                "[{kind:?}] from-scratch cost"
+            );
         } else {
             assert_eq!(
                 resumed_cost.recording_runs, cfg.cases,

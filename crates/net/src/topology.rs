@@ -147,6 +147,19 @@ impl Topology {
             .map(|(_, b)| *b)
     }
 
+    /// Unordered pairs `{i, j}` (reported with `i < j`) linked in *both*
+    /// directions — the symmetric channels a probe/echo exchange needs.
+    /// On a complete graph this is every pair; on a line or star only
+    /// the adjacent ones.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            (i + 1..self.n).filter_map(move |j| {
+                let (a, b) = (NodeId(i), NodeId(j));
+                (self.has_edge(a, b) && self.has_edge(b, a)).then_some((a, b))
+            })
+        })
+    }
+
     /// Nodes that can send to `to`.
     pub fn in_neighbors(&self, to: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         self.edges
@@ -210,6 +223,24 @@ mod tests {
         assert_eq!(outs, vec![NodeId(0), NodeId(2)]);
         let ins: Vec<NodeId> = t.in_neighbors(NodeId(1)).collect();
         assert_eq!(ins, vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn pairs_are_unordered_bidirectional_links() {
+        let complete: Vec<_> = Topology::complete(3).pairs().collect();
+        assert_eq!(
+            complete,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(1), NodeId(2))
+            ]
+        );
+        let line: Vec<_> = Topology::line(3).pairs().collect();
+        assert_eq!(line, vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+        // A one-way edge is not a pair.
+        let oneway = Topology::new(2, [(NodeId(0), NodeId(1))]);
+        assert_eq!(oneway.pairs().count(), 0);
     }
 
     #[test]

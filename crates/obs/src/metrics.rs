@@ -123,6 +123,7 @@ impl Histogram {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Registry {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -136,6 +137,13 @@ impl Registry {
     /// Adds `delta` to the counter `name`, creating it at zero first.
     pub fn add(&mut self, name: &str, delta: u64) {
         *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name` to `value` — a last-write-wins level, for
+    /// quantities that are measured rather than accumulated (e.g. the
+    /// certified `ε̂` per node in nanoseconds).
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
     }
 
     /// Records `value` into the histogram `name`, creating it with
@@ -158,6 +166,12 @@ impl Registry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// The current value of gauge `name`, if it was ever set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
     /// The histogram `name`, if any sample was recorded under it.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
@@ -169,6 +183,7 @@ impl Registry {
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             histograms: self
                 .histograms
                 .iter()
@@ -184,6 +199,11 @@ impl Registry {
     pub fn restore(&mut self, snapshot: &MetricsSnapshot) {
         self.counters = snapshot
             .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        self.gauges = snapshot
+            .gauges
             .iter()
             .map(|(k, v)| (k.clone(), *v))
             .collect();
@@ -203,6 +223,8 @@ impl Registry {
 pub struct MetricsSnapshot {
     /// `(name, value)` counters, ascending by name.
     pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, ascending by name.
+    pub gauges: Vec<(String, i64)>,
     /// `(name, histogram)` pairs, ascending by name.
     pub histograms: Vec<(String, Histogram)>,
 }
@@ -215,6 +237,12 @@ impl MetricsSnapshot {
             .iter()
             .find(|(k, _)| k == name)
             .map_or(0, |(_, v)| *v)
+    }
+
+    /// The value of gauge `name`, if it was ever set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
     }
 
     /// The histogram `name`, if present.
@@ -237,6 +265,15 @@ impl MetricsSnapshot {
             match self.counters.binary_search_by(|(k, _)| k.cmp(name)) {
                 Ok(i) => self.counters[i].1 += v,
                 Err(i) => self.counters.insert(i, (name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.binary_search_by(|(k, _)| k.cmp(name)) {
+                // Gauges are levels, not totals: merging runs keeps the
+                // worst (largest) level seen, so a campaign-wide ε̂ gauge
+                // reads as "no case certified worse than this".
+                Ok(i) => self.gauges[i].1 = self.gauges[i].1.max(*v),
+                Err(i) => self.gauges.insert(i, (name.clone(), *v)),
             }
         }
         for (name, h) in &other.histograms {
@@ -264,6 +301,20 @@ impl MetricsSnapshot {
             let _ = write!(out, ": {v}");
         }
         if self.counters.is_empty() {
+            out.push_str("},\n");
+        } else {
+            out.push_str("\n  },\n");
+        }
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            write_json_string(&mut out, name);
+            let _ = write!(out, ": {v}");
+        }
+        if self.gauges.is_empty() {
             out.push_str("},\n");
         } else {
             out.push_str("\n  },\n");
@@ -411,6 +462,32 @@ mod tests {
         let mut with_empty = left.clone();
         with_empty.absorb(&MetricsSnapshot::default());
         assert_eq!(with_empty, left);
+    }
+
+    #[test]
+    fn gauges_are_last_write_levels_that_absorb_by_max() {
+        let mut r = Registry::new();
+        r.set_gauge("sync.eps_hat_ns.n0", 1_500_000);
+        r.set_gauge("sync.eps_hat_ns.n0", 1_200_000);
+        assert_eq!(r.gauge("sync.eps_hat_ns.n0"), Some(1_200_000));
+        assert_eq!(r.gauge("absent"), None);
+
+        let mut merged = r.snapshot();
+        let mut worse = Registry::new();
+        worse.set_gauge("sync.eps_hat_ns.n0", 1_900_000);
+        worse.set_gauge("sync.eps_hat_ns.n1", -5);
+        merged.absorb(&worse.snapshot());
+        assert_eq!(merged.gauge("sync.eps_hat_ns.n0"), Some(1_900_000));
+        assert_eq!(merged.gauge("sync.eps_hat_ns.n1"), Some(-5));
+
+        // Restore round-trips gauges like everything else.
+        let mut back = Registry::new();
+        back.restore(&merged);
+        assert_eq!(back.snapshot(), merged);
+
+        let json = merged.to_json();
+        assert!(json.contains("\"gauges\""));
+        assert!(json.contains("\"sync.eps_hat_ns.n0\": 1900000"));
     }
 
     #[test]

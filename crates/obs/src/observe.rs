@@ -86,6 +86,12 @@ impl MetricsHub {
         self.registry.borrow_mut().add(name, delta);
     }
 
+    /// Sets gauge `name` to `value` — for measured levels (e.g. a node's
+    /// certified `ε̂` in nanoseconds) recorded after a run completes.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        self.registry.borrow_mut().set_gauge(name, value);
+    }
+
     /// A deterministic snapshot of everything recorded so far.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {

@@ -1,0 +1,43 @@
+//! Clock synchronization that *achieves* ε̂ — Marzullo interval
+//! intersection and round-based probe/echo sync as ordinary
+//! clock-automaton components.
+//!
+//! The paper's algorithms are priced in a synchronization bound ε that
+//! the rest of this workspace *assumes* (axiom `C_ε`). This crate turns
+//! the assumption into an output:
+//!
+//! * [`marzullo`] — the pure interval-intersection core: offset
+//!   estimates as `[lo, hi]` brackets, fused to the smallest region a
+//!   maximum of sources agrees on.
+//! * [`ProbeSync`] / [`RoundSync`] — clock components that exchange
+//!   timestamped probes and echoes over the ordinary `[d₁, d₂]`
+//!   channels, intersect the resulting intervals per round, and emit
+//!   `CERTIFY` actions carrying the achieved bound ε̂. `RoundSync` is
+//!   the fault-resistant configuration that ages crashed/gray peers out
+//!   of its covered set.
+//! * [`MeasuredEps`] — reads the certified ε̂ trajectory back out of a
+//!   recorded execution, so downstream oracles and monitors can run on
+//!   the measured bound instead of a constant.
+//! * [`EpsHatOracle`] — the ε̂-parameterized `C_ε` oracle: certificates
+//!   must be sound against the recorded clock readings *and* beat the
+//!   [`predicted_eps_hat`] bound derived from `(d₂ − d₁, ρ)`.
+//! * [`build_sync_fleet`] — a ready-made drifting fleet for tests and
+//!   benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod marzullo;
+pub mod measured;
+pub mod oracle;
+pub mod probe;
+
+pub use fleet::{build_sync_fleet, drift_rates, rho_max, FleetSpec};
+pub use marzullo::{fuse, Fusion, Marzullo, OffsetInterval};
+pub use measured::{CertRecord, MeasuredEps};
+pub use oracle::{predicted_eps_hat, EpsHatOracle};
+pub use probe::{
+    PeerEstimate, PendingEcho, ProbeState, ProbeSync, RoundSync, SyncAction, SyncMsg, SyncOp,
+    SyncParams,
+};

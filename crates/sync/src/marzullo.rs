@@ -1,0 +1,262 @@
+//! Marzullo's interval-intersection algorithm over clock-offset
+//! estimates.
+//!
+//! Each probe/echo exchange yields an interval `[lo, hi]` guaranteed to
+//! contain the true clock offset to a peer *if* the exchange was honest
+//! and its delays stayed inside `[d₁, d₂]`. Marzullo's algorithm fuses a
+//! batch of such intervals into the smallest interval consistent with
+//! the largest number of sources: an endpoint sweep finds the leftmost
+//! region covered by the maximum number of input intervals. Honest
+//! majorities shrink the estimate; faulty minorities (a gray channel, a
+//! spiked delay) are outvoted instead of poisoning it.
+//!
+//! The core is pure and allocation-light: [`Marzullo`] keeps one scratch
+//! buffer that is reused across calls, so steady-state fusion allocates
+//! nothing.
+
+use psync_time::Duration;
+
+/// A closed interval `[lo, hi]` of candidate clock offsets, `lo ≤ hi`.
+///
+/// The *offset* convention throughout this crate: an interval produced
+/// by node `i` probing node `j` brackets `C_j − C_i`, the amount by
+/// which `j`'s clock leads `i`'s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OffsetInterval {
+    lo: Duration,
+    hi: Duration,
+}
+
+impl OffsetInterval {
+    /// Builds `[lo, hi]`; `None` when `lo > hi` (an empty interval —
+    /// the sample contradicted itself and must be discarded).
+    #[must_use]
+    pub fn new(lo: Duration, hi: Duration) -> Option<OffsetInterval> {
+        (lo <= hi).then_some(OffsetInterval { lo, hi })
+    }
+
+    /// The degenerate interval `[d, d]`.
+    #[must_use]
+    pub fn point(d: Duration) -> OffsetInterval {
+        OffsetInterval { lo: d, hi: d }
+    }
+
+    /// The symmetric interval `[−half, +half]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `half` is negative.
+    #[must_use]
+    pub fn symmetric(half: Duration) -> OffsetInterval {
+        assert!(
+            !half.is_negative(),
+            "symmetric interval needs a non-negative half-width"
+        );
+        OffsetInterval {
+            lo: -half,
+            hi: half,
+        }
+    }
+
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lo(self) -> Duration {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn hi(self) -> Duration {
+        self.hi
+    }
+
+    /// `hi − lo`.
+    #[must_use]
+    pub fn width(self) -> Duration {
+        self.hi - self.lo
+    }
+
+    /// The largest absolute offset the interval still allows:
+    /// `max(|lo|, |hi|)`. This is the ε̂ contribution of one peer — the
+    /// worst-case skew consistent with the estimate.
+    #[must_use]
+    pub fn magnitude(self) -> Duration {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// `true` when `d ∈ [lo, hi]`.
+    #[must_use]
+    pub fn contains(self, d: Duration) -> bool {
+        self.lo <= d && d <= self.hi
+    }
+
+    /// Set intersection; `None` when the intervals are disjoint.
+    #[must_use]
+    pub fn intersect(self, other: OffsetInterval) -> Option<OffsetInterval> {
+        OffsetInterval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Grows both endpoints outward by `margin` — the drift allowance
+    /// applied when an estimate ages (clocks may have slid apart by
+    /// `ρ·Δt` since the interval was measured).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `margin` is negative.
+    #[must_use]
+    pub fn widen(self, margin: Duration) -> OffsetInterval {
+        assert!(!margin.is_negative(), "widen needs a non-negative margin");
+        OffsetInterval {
+            lo: self.lo - margin,
+            hi: self.hi + margin,
+        }
+    }
+}
+
+/// The result of fusing a batch of intervals: the leftmost smallest
+/// region covered by the maximum number of inputs, and that count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fusion {
+    /// The fused interval.
+    pub interval: OffsetInterval,
+    /// How many input intervals cover every point of `interval`.
+    pub support: usize,
+}
+
+/// Reusable Marzullo fuser. Keeps the endpoint scratch buffer across
+/// calls so per-round fusion does not allocate once warmed up.
+#[derive(Debug, Clone, Default)]
+pub struct Marzullo {
+    scratch: Vec<(Duration, i8)>,
+}
+
+impl Marzullo {
+    /// A fuser with an empty scratch buffer.
+    #[must_use]
+    pub fn new() -> Marzullo {
+        Marzullo::default()
+    }
+
+    /// Fuses `intervals` into the leftmost region of maximum overlap.
+    ///
+    /// Endpoints sweep left to right; at equal coordinates interval
+    /// *starts* are processed before *ends*, so closed intervals that
+    /// merely touch (`[a, b]` and `[b, c]`) count as overlapping at the
+    /// shared point. Returns `None` only for an empty batch.
+    pub fn fuse(&mut self, intervals: &[OffsetInterval]) -> Option<Fusion> {
+        if intervals.is_empty() {
+            return None;
+        }
+        self.scratch.clear();
+        self.scratch.reserve(2 * intervals.len());
+        for iv in intervals {
+            self.scratch.push((iv.lo, 1));
+            self.scratch.push((iv.hi, -1));
+        }
+        // Starts before ends at equal coordinates: key maps +1 → −1 and
+        // −1 → +1, so start entries sort first.
+        self.scratch.sort_unstable_by_key(|&(d, delta)| (d, -delta));
+
+        let mut count: i32 = 0;
+        let mut best: i32 = 0;
+        let mut fused = OffsetInterval::point(Duration::ZERO);
+        for (idx, &(v, delta)) in self.scratch.iter().enumerate() {
+            count += i32::from(delta);
+            if count > best {
+                best = count;
+                // A new maximum is always reached on a start, so a later
+                // endpoint exists; the region runs to the next endpoint.
+                fused = OffsetInterval {
+                    lo: v,
+                    hi: self.scratch[idx + 1].0,
+                };
+            }
+        }
+        debug_assert!(best as usize >= 1);
+        Some(Fusion {
+            interval: fused,
+            support: best as usize,
+        })
+    }
+}
+
+/// One-shot convenience wrapper over [`Marzullo::fuse`].
+#[must_use]
+pub fn fuse(intervals: &[OffsetInterval]) -> Option<Fusion> {
+    Marzullo::new().fuse(intervals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: i64, hi: i64) -> OffsetInterval {
+        OffsetInterval::new(Duration::from_nanos(lo), Duration::from_nanos(hi)).unwrap()
+    }
+
+    #[test]
+    fn empty_batch_fuses_to_none() {
+        assert_eq!(fuse(&[]), None);
+    }
+
+    #[test]
+    fn all_overlapping_gives_exact_intersection() {
+        let f = fuse(&[iv(-5, 10), iv(-2, 7), iv(0, 20)]).unwrap();
+        assert_eq!(f.interval, iv(0, 7));
+        assert_eq!(f.support, 3);
+    }
+
+    #[test]
+    fn outlier_is_outvoted() {
+        let f = fuse(&[iv(0, 4), iv(1, 5), iv(100, 110)]).unwrap();
+        assert_eq!(f.interval, iv(1, 4));
+        assert_eq!(f.support, 2);
+    }
+
+    #[test]
+    fn touching_closed_intervals_overlap_at_the_shared_point() {
+        let f = fuse(&[iv(0, 3), iv(3, 6)]).unwrap();
+        assert_eq!(f.interval, iv(3, 3));
+        assert_eq!(f.support, 2);
+    }
+
+    #[test]
+    fn tie_breaks_to_the_leftmost_maximal_region() {
+        // Two disjoint regions each with support 2.
+        let f = fuse(&[iv(0, 2), iv(1, 3), iv(10, 12), iv(11, 13)]).unwrap();
+        assert_eq!(f.interval, iv(1, 2));
+        assert_eq!(f.support, 2);
+    }
+
+    #[test]
+    fn interval_algebra_holds() {
+        assert_eq!(iv(-3, 5).magnitude(), Duration::from_nanos(5));
+        assert_eq!(iv(-7, 2).magnitude(), Duration::from_nanos(7));
+        assert_eq!(iv(0, 4).intersect(iv(2, 9)), Some(iv(2, 4)));
+        assert_eq!(iv(0, 1).intersect(iv(2, 3)), None);
+        assert_eq!(iv(-1, 1).widen(Duration::from_nanos(2)), iv(-3, 3));
+        assert!(iv(-1, 1).contains(Duration::ZERO));
+        assert!(!iv(-1, 1).contains(Duration::from_nanos(2)));
+        assert_eq!(
+            OffsetInterval::symmetric(Duration::from_nanos(4)),
+            iv(-4, 4)
+        );
+        assert_eq!(
+            OffsetInterval::new(Duration::from_nanos(1), Duration::ZERO),
+            None
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_matches_one_shot() {
+        let mut m = Marzullo::new();
+        let batches = [
+            vec![iv(0, 4), iv(1, 5)],
+            vec![iv(-3, -1)],
+            vec![iv(0, 2), iv(1, 3), iv(2, 4)],
+        ];
+        for b in &batches {
+            assert_eq!(m.fuse(b), fuse(b));
+        }
+    }
+}

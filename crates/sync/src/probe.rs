@@ -1,0 +1,839 @@
+//! `ProbeSync` and `RoundSync`: clock synchronization as ordinary
+//! clock-automaton components.
+//!
+//! Every algorithm in this reproduction *assumes* a synchronization
+//! bound ε; the paper's point is that ε is a system property a protocol
+//! can buy. These components close the loop: each node periodically
+//! probes its peers over the ordinary `[d₁, d₂]` channels, turns each
+//! probe/echo round trip into an offset interval (the NTP construction),
+//! fuses the intervals with [Marzullo's algorithm](crate::marzullo), and
+//! every round *certifies* the synchronization bound ε̂ it has actually
+//! achieved. The certificate is an ordinary output action, so the
+//! achieved bound lands in the recorded execution where oracles —
+//! including the ε̂-parameterized `C_ε` check — can judge it.
+//!
+//! The exchange, from node `i`'s side, all in `i`'s local clock time:
+//!
+//! 1. At clock `period·(r+1)` node `i` sends `Probe { round: r, seq,
+//!    t1 }` to each peer (`burst` copies per peer). The ν-precondition
+//!    pins the clock while probes are queued, so `t1` is exactly the
+//!    sending clock value — the send-buffer idiom of Figure 2.
+//! 2. A peer `j` receiving a probe queues an echo and stamps it `t2 =`
+//!    its own clock at the actual echo send (again pinned, so the stamp
+//!    is exact). Echoes carry the probe's `round`, `seq` and `t1` back.
+//! 3. When the echo returns at clock `t4`, the three stamps bracket the
+//!    offset `θ = C_j − C_i`: leg 1 gives `θ ∈ [t2−t1−d₂, t2−t1−d₁]`,
+//!    leg 2 gives `θ ∈ [t2−t4+d₁, t2−t4+d₂]`; their intersection is at
+//!    most `d₂−d₁` wide no matter which in-envelope delays the adversary
+//!    picked. A drift margin `2ρ·Δt` widens the result (clocks are only
+//!    rate-≈1); a contradictory (empty) sample is discarded.
+//! 4. At clock `period·(r+1) + timeout` the node certifies: per peer it
+//!    Marzullo-fuses the round's samples (majority support required, so
+//!    a minority of gray samples is outvoted), intersects with the
+//!    drift-widened carry of the previous estimate and with the a-priori
+//!    `[−2ε, +2ε]` bound, and emits `CERTIFY` carrying `ε̂ = max` over
+//!    *covered* peers of the estimate magnitude. A peer whose last
+//!    accepted sample is more than `grace` rounds old drops out of the
+//!    covered set — crash and gray-channel tolerance in the spirit of
+//!    Hoch–Ben-Or–Dolev's fault-resistant round structure.
+//!
+//! The component never reads `now`; like every `ClockComponent` it is
+//! ε-independent by construction, and the certificates are judged from
+//! the outside by [`EpsHatOracle`](crate::EpsHatOracle).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use psync_automata::{Action, ActionKind, ClockComponent, WakeHint};
+use psync_net::{Envelope, MsgId, NodeId, SysAction};
+use psync_time::{Duration, Time};
+
+use crate::marzullo::{Marzullo, OffsetInterval};
+
+/// The probe/echo wire format.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SyncMsg {
+    /// `i → j`: "what does your clock read?", stamped with the sender's
+    /// clock `t1` at the actual send.
+    Probe {
+        /// Sender's round number.
+        round: u64,
+        /// Sender-local sequence number (also the envelope counter).
+        seq: u32,
+        /// Sender's clock at the probe send.
+        t1: Time,
+    },
+    /// `j → i`: the reply, echoing the probe's identity plus the
+    /// responder's clock `t2` at the actual echo send.
+    Echo {
+        /// The probed node's round number, copied from the probe.
+        round: u64,
+        /// The probe's sequence number, copied back for matching.
+        seq: u32,
+        /// The probe's send stamp, copied back.
+        t1: Time,
+        /// Responder's clock at the echo send.
+        t2: Time,
+    },
+}
+
+/// The sync component's application alphabet: the certification output.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SyncOp {
+    /// Node `node` certifies that at the end of `round` its clock is
+    /// within `eps_hat` of every peer in `peers` (the covered set).
+    Certify {
+        /// The certifying node.
+        node: NodeId,
+        /// The round being closed.
+        round: u64,
+        /// The achieved synchronization bound ε̂.
+        eps_hat: Duration,
+        /// Peers the bound covers (sorted; peers whose estimates have
+        /// aged out are excluded).
+        peers: Vec<NodeId>,
+    },
+}
+
+impl SyncOp {
+    /// The certifying node.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        match self {
+            SyncOp::Certify { node, .. } => *node,
+        }
+    }
+}
+
+impl Action for SyncOp {
+    fn name(&self) -> &'static str {
+        "CERTIFY"
+    }
+}
+
+/// The full system alphabet of a sync fleet.
+pub type SyncAction = SysAction<SyncMsg, SyncOp>;
+
+/// Static parameters of one node's sync component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncParams {
+    /// This node.
+    pub me: NodeId,
+    /// The peers to synchronize with (no duplicates, not `me`).
+    pub peers: Vec<NodeId>,
+    /// Channel delay lower bound `d₁`.
+    pub d1: Duration,
+    /// Channel delay upper bound `d₂`.
+    pub d2: Duration,
+    /// The configured envelope ε: pairwise offsets are a-priori bounded
+    /// by `2ε` (axiom `C_ε` both ways), the estimate prior.
+    pub eps: Duration,
+    /// Maximum clock drift rate magnitude, parts per million.
+    pub rho_ppm: i64,
+    /// Round length in local clock time; must exceed [`SyncParams::timeout`].
+    pub period: Duration,
+    /// Probes sent to each peer each round.
+    pub burst: u32,
+    /// Rounds a peer estimate may age (no accepted sample) before the
+    /// peer drops out of the covered set.
+    pub grace: u64,
+    /// Responder-side delay between probe receipt and echo readiness,
+    /// in the responder's clock time. Honest nodes use zero; the
+    /// `sync_skew_burst` canary plants `2(d₂−d₁) + 1 ms` here, which
+    /// keeps every delay inside the channel envelope yet makes every
+    /// sample self-contradictory (see `width` analysis above).
+    pub echo_hold: Duration,
+}
+
+impl SyncParams {
+    /// How long after the probe send the round's certification fires, in
+    /// local clock time: the worst-case round trip `2d₂` plus the `4ε`
+    /// real-vs-clock slack (ε at each end of each conversion) plus 1 ms.
+    #[must_use]
+    pub fn timeout(&self) -> Duration {
+        self.d2 * 2 + self.eps * 4 + Duration::from_millis(1)
+    }
+}
+
+/// A per-peer offset estimate: the fused interval and the round of the
+/// last accepted sample (for grace accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerEstimate {
+    /// Current bracket on `C_peer − C_me`, valid as of the last cert.
+    pub interval: OffsetInterval,
+    /// Round of the last round whose samples contributed.
+    pub last_sample_round: u64,
+}
+
+/// An echo owed to a peer: queued at probe receipt, sent once the local
+/// clock reaches `ready`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingEcho {
+    /// Who gets the echo.
+    pub dst: NodeId,
+    /// Pre-assigned envelope id for the echo.
+    pub id: MsgId,
+    /// The probe's round, copied back.
+    pub round: u64,
+    /// The probe's sequence number, copied back.
+    pub seq: u32,
+    /// The probe's send stamp, copied back.
+    pub t1: Time,
+    /// Clock value at which the echo goes out (`receipt + echo_hold`);
+    /// the ν-precondition pins the clock here until it does, so the
+    /// `t2` stamp is exactly the send clock.
+    pub ready: Time,
+}
+
+/// The `cbasic` state of a [`ProbeSync`] node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeState {
+    /// Current round.
+    pub round: u64,
+    /// Node-local envelope/sequence counter.
+    pub next_seq: u32,
+    /// Probes still owed this round, front first: `(peer, seq)`.
+    pub to_probe: Vec<(NodeId, u32)>,
+    /// Echoes owed to peers.
+    pub echoes: Vec<PendingEcho>,
+    /// Echo seqs already matched this round, per source (dedup).
+    pub matched: BTreeSet<(NodeId, u32)>,
+    /// This round's accepted offset samples, per peer.
+    pub samples: BTreeMap<NodeId, Vec<OffsetInterval>>,
+    /// Fused per-peer estimates carried across rounds.
+    pub estimates: BTreeMap<NodeId, PeerEstimate>,
+    /// Probes already echoed: `(src, round, seq)`, pruned as rounds age.
+    pub seen: BTreeSet<(NodeId, u64, u32)>,
+}
+
+/// The probe/echo synchronization component (tentpole part b).
+///
+/// See the [module docs](self) for the protocol. Install one per node in
+/// a `ClockNode`; the peers' components answer each other's probes, so a
+/// fleet needs no separate responder.
+pub struct ProbeSync {
+    p: SyncParams,
+}
+
+impl ProbeSync {
+    /// Builds the component and validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameters are inconsistent: `d₁ < 0`, `d₂ < d₁`,
+    /// `ε ≤ 0`, a negative drift rate or hold, an empty/duplicated peer
+    /// set or one containing `me`, `burst = 0`, or a `period` not
+    /// exceeding [`SyncParams::timeout`].
+    #[must_use]
+    pub fn new(p: SyncParams) -> ProbeSync {
+        assert!(!p.d1.is_negative(), "d1 must be non-negative");
+        assert!(p.d2 >= p.d1, "d2 must be at least d1");
+        assert!(p.eps.is_positive(), "eps must be positive");
+        assert!(p.rho_ppm >= 0, "drift rate bound must be non-negative");
+        assert!(!p.echo_hold.is_negative(), "echo hold must be non-negative");
+        assert!(p.burst >= 1, "burst must be at least 1");
+        assert!(!p.peers.is_empty(), "a sync node needs at least one peer");
+        assert!(!p.peers.contains(&p.me), "peer set must not contain me");
+        let mut sorted = p.peers.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), p.peers.len(), "duplicate peer");
+        assert!(
+            p.period > p.timeout(),
+            "period {} must exceed the certification timeout {}",
+            p.period,
+            p.timeout()
+        );
+        ProbeSync { p }
+    }
+
+    /// The component's parameters.
+    #[must_use]
+    pub fn params(&self) -> &SyncParams {
+        &self.p
+    }
+
+    /// Clock value at which round `r`'s probes go out: `period·(r+1)`.
+    #[must_use]
+    pub fn probe_at(&self, round: u64) -> Time {
+        Time::ZERO + self.p.period * (round as i64 + 1)
+    }
+
+    /// Clock value at which round `r` certifies.
+    #[must_use]
+    pub fn cert_at(&self, round: u64) -> Time {
+        self.probe_at(round) + self.p.timeout()
+    }
+
+    /// The a-priori offset bracket `[−2ε, +2ε]`.
+    fn prior(&self) -> OffsetInterval {
+        OffsetInterval::symmetric(self.p.eps * 2)
+    }
+
+    /// Appends one round's worth of probes (`burst` per peer) to
+    /// `to_probe`, consuming sequence numbers.
+    fn refill(&self, to_probe: &mut Vec<(NodeId, u32)>, next_seq: &mut u32) {
+        for _ in 0..self.p.burst {
+            for &peer in &self.p.peers {
+                to_probe.push((peer, *next_seq));
+                *next_seq += 1;
+            }
+        }
+    }
+
+    /// The offset interval one completed exchange brackets, or `None`
+    /// when the stamps are inconsistent with every in-envelope delay
+    /// assignment (the sample is discarded, not trusted).
+    #[must_use]
+    pub fn sample(&self, t1: Time, t2: Time, t4: Time) -> Option<OffsetInterval> {
+        let (d1, d2) = (self.p.d1, self.p.d2);
+        let lo = (t2 - t1 - d2).max(t2 - t4 + d1);
+        let hi = (t2 - t1 - d1).min(t2 - t4 + d2);
+        // Clocks run at rate 1 ± ρ, not exactly 1: allow the pair to
+        // have slid apart by 2ρ per unit of elapsed time, through the
+        // end of the current round (`+ period` covers sample-to-cert).
+        let margin = ((t4 - t1) + self.p.period).scale_ppm(2 * self.p.rho_ppm);
+        OffsetInterval::new(lo - margin, hi + margin)
+    }
+
+    /// The certification this state produces at clock `clock`, plus the
+    /// successor state (estimates folded, next round armed). `None` when
+    /// `clock` is not the current round's certification instant.
+    fn certify(&self, s: &ProbeState, clock: Time) -> Option<(SyncOp, ProbeState)> {
+        if clock != self.cert_at(s.round) {
+            return None;
+        }
+        let r = s.round;
+        let carry_margin = self.p.period.scale_ppm(2 * self.p.rho_ppm);
+        let prior = self.prior();
+        let mut fuser = Marzullo::new();
+        let mut estimates = s.estimates.clone();
+        for &peer in &self.p.peers {
+            // Majority-supported Marzullo fusion of this round's samples:
+            // a strict majority of the peer's samples must cover the
+            // fused region, so a minority of gray samples is outvoted.
+            let fused = s.samples.get(&peer).and_then(|sv| {
+                let f = fuser.fuse(sv)?;
+                (2 * f.support > sv.len()).then_some(f.interval)
+            });
+            let carry = estimates.get(&peer).copied();
+            let (interval, last) = match (carry, fused) {
+                (Some(c), Some(f)) => (c.interval.widen(carry_margin).intersect(f).unwrap_or(f), r),
+                (Some(c), None) => (c.interval.widen(carry_margin), c.last_sample_round),
+                (None, Some(f)) => (f, r),
+                (None, None) => continue,
+            };
+            let interval = interval.intersect(prior).unwrap_or(prior);
+            estimates.insert(
+                peer,
+                PeerEstimate {
+                    interval,
+                    last_sample_round: last,
+                },
+            );
+        }
+        let covered: Vec<NodeId> = self
+            .p
+            .peers
+            .iter()
+            .copied()
+            .filter(|peer| {
+                estimates
+                    .get(peer)
+                    .is_some_and(|e| r - e.last_sample_round <= self.p.grace)
+            })
+            .collect();
+        let eps_hat = covered
+            .iter()
+            .map(|peer| estimates[peer].interval.magnitude())
+            .max()
+            .unwrap_or(self.p.eps * 2);
+        let op = SyncOp::Certify {
+            node: self.p.me,
+            round: r,
+            eps_hat,
+            peers: covered,
+        };
+        let mut next = ProbeState {
+            round: r + 1,
+            next_seq: s.next_seq,
+            to_probe: s.to_probe.clone(),
+            echoes: s.echoes.clone(),
+            matched: BTreeSet::new(),
+            samples: BTreeMap::new(),
+            estimates,
+            seen: s
+                .seen
+                .iter()
+                .filter(|(_, pr, _)| pr + 2 > r)
+                .copied()
+                .collect(),
+        };
+        self.refill(&mut next.to_probe, &mut next.next_seq);
+        Some((op, next))
+    }
+
+    fn probe_env(&self, s: &ProbeState, clock: Time) -> Option<Envelope<SyncMsg>> {
+        let &(peer, seq) = s.to_probe.first()?;
+        (clock == self.probe_at(s.round)).then(|| Envelope {
+            src: self.p.me,
+            dst: peer,
+            id: MsgId::from_parts(self.p.me, seq),
+            payload: SyncMsg::Probe {
+                round: s.round,
+                seq,
+                t1: clock,
+            },
+        })
+    }
+
+    fn echo_env(&self, e: &PendingEcho, clock: Time) -> Envelope<SyncMsg> {
+        Envelope {
+            src: self.p.me,
+            dst: e.dst,
+            id: e.id,
+            payload: SyncMsg::Echo {
+                round: e.round,
+                seq: e.seq,
+                t1: e.t1,
+                t2: clock,
+            },
+        }
+    }
+}
+
+impl ClockComponent for ProbeSync {
+    type Action = SyncAction;
+    type State = ProbeState;
+
+    fn name(&self) -> String {
+        format!("ProbeSync({})", self.p.me)
+    }
+
+    fn initial(&self) -> ProbeState {
+        let mut s = ProbeState {
+            round: 0,
+            next_seq: 0,
+            to_probe: Vec::new(),
+            echoes: Vec::new(),
+            matched: BTreeSet::new(),
+            samples: BTreeMap::new(),
+            estimates: BTreeMap::new(),
+            seen: BTreeSet::new(),
+        };
+        let mut to_probe = std::mem::take(&mut s.to_probe);
+        self.refill(&mut to_probe, &mut s.next_seq);
+        s.to_probe = to_probe;
+        s
+    }
+
+    fn classify(&self, a: &SyncAction) -> Option<ActionKind> {
+        match a {
+            SysAction::Send(env) if env.src == self.p.me => Some(ActionKind::Output),
+            SysAction::Recv(env) if env.dst == self.p.me => Some(ActionKind::Input),
+            SysAction::App(op) if op.node() == self.p.me => Some(ActionKind::Output),
+            _ => None,
+        }
+    }
+
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        Some(vec!["SENDMSG", "RECVMSG", "CERTIFY"])
+    }
+
+    fn step(&self, s: &ProbeState, a: &SyncAction, clock: Time) -> Option<ProbeState> {
+        match a {
+            SysAction::Send(env) if env.src == self.p.me => match &env.payload {
+                SyncMsg::Probe { .. } => {
+                    let expect = self.probe_env(s, clock)?;
+                    if *env != expect {
+                        return None;
+                    }
+                    let mut next = s.clone();
+                    next.to_probe.remove(0);
+                    Some(next)
+                }
+                SyncMsg::Echo { t2, .. } => {
+                    if *t2 != clock {
+                        return None;
+                    }
+                    let idx = s
+                        .echoes
+                        .iter()
+                        .position(|e| e.ready <= clock && self.echo_env(e, clock) == *env)?;
+                    let mut next = s.clone();
+                    next.echoes.remove(idx);
+                    Some(next)
+                }
+            },
+            SysAction::Recv(env) if env.dst == self.p.me => match &env.payload {
+                // Inputs must always be accepted (input-enabledness):
+                // stale or duplicated traffic leaves the state unchanged.
+                SyncMsg::Probe { round, seq, t1 } => {
+                    let key = (env.src, *round, *seq);
+                    if s.seen.contains(&key) {
+                        return Some(s.clone());
+                    }
+                    let mut next = s.clone();
+                    next.seen.insert(key);
+                    next.echoes.push(PendingEcho {
+                        dst: env.src,
+                        id: MsgId::from_parts(self.p.me, next.next_seq),
+                        round: *round,
+                        seq: *seq,
+                        t1: *t1,
+                        ready: clock + self.p.echo_hold,
+                    });
+                    next.next_seq += 1;
+                    Some(next)
+                }
+                SyncMsg::Echo { round, seq, t1, t2 } => {
+                    let stale = *round != s.round
+                        || *t1 != self.probe_at(s.round)
+                        || s.matched.contains(&(env.src, *seq));
+                    if stale {
+                        return Some(s.clone());
+                    }
+                    let mut next = s.clone();
+                    next.matched.insert((env.src, *seq));
+                    if let Some(iv) = self.sample(*t1, *t2, clock) {
+                        next.samples.entry(env.src).or_default().push(iv);
+                    }
+                    Some(next)
+                }
+            },
+            SysAction::App(op) if op.node() == self.p.me => {
+                let (expect, next) = self.certify(s, clock)?;
+                (*op == expect).then_some(next)
+            }
+            _ => None,
+        }
+    }
+
+    fn enabled(&self, s: &ProbeState, clock: Time) -> Vec<SyncAction> {
+        let mut out = Vec::new();
+        if let Some(env) = self.probe_env(s, clock) {
+            out.push(SysAction::Send(env));
+        }
+        for e in &s.echoes {
+            if e.ready <= clock {
+                out.push(SysAction::Send(self.echo_env(e, clock)));
+            }
+        }
+        if let Some((op, _)) = self.certify(s, clock) {
+            out.push(SysAction::App(op));
+        }
+        out
+    }
+
+    fn clock_deadline(&self, s: &ProbeState, _clock: Time) -> Option<Time> {
+        let mut d = self.cert_at(s.round);
+        if !s.to_probe.is_empty() {
+            d = d.min(self.probe_at(s.round));
+        }
+        for e in &s.echoes {
+            d = d.min(e.ready);
+        }
+        Some(d)
+    }
+
+    fn clock_wake(&self, s: &ProbeState, clock: Time) -> WakeHint {
+        if self.enabled(s, clock).is_empty() {
+            match self.clock_deadline(s, clock) {
+                Some(d) if d > clock => WakeHint::At(d),
+                _ => WakeHint::Always,
+            }
+        } else {
+            WakeHint::Always
+        }
+    }
+}
+
+/// The round-based fault-resistant synchronizer (tentpole part c).
+///
+/// Structurally this is [`ProbeSync`] — the round machinery, majority
+/// fusion and grace accounting live there — but `RoundSync` names the
+/// fault-tolerant configuration: a *finite* grace (derived from the drop
+/// budget: `grace = 2·max_drops + 1` survives an adversary spending its
+/// whole budget on one edge pair) so crashed or gray peers age out of
+/// the covered set instead of freezing ε̂, in the spirit of
+/// Hoch–Ben-Or–Dolev's fault-resistant clock function. The certificate
+/// then only vouches for peers it has fresh evidence about.
+pub struct RoundSync {
+    inner: ProbeSync,
+}
+
+impl RoundSync {
+    /// Builds the fault-resistant configuration.
+    ///
+    /// # Panics
+    ///
+    /// As [`ProbeSync::new`]; additionally requires `burst ≥ 2` (a lone
+    /// sample has no majority to outvote) — and a `grace` small enough
+    /// to matter is the caller's responsibility.
+    #[must_use]
+    pub fn new(p: SyncParams) -> RoundSync {
+        assert!(
+            p.burst >= 2,
+            "RoundSync needs burst >= 2 so majorities exist per round"
+        );
+        RoundSync {
+            inner: ProbeSync::new(p),
+        }
+    }
+
+    /// The grace that survives a drop budget of `max_drops`: the
+    /// adversary can kill `max_drops` probes plus `max_drops` echoes on
+    /// one pair, so `2·max_drops` consecutive samples may vanish.
+    #[must_use]
+    pub fn grace_for_drops(max_drops: u64) -> u64 {
+        2 * max_drops + 1
+    }
+
+    /// The component's parameters.
+    #[must_use]
+    pub fn params(&self) -> &SyncParams {
+        self.inner.params()
+    }
+}
+
+impl ClockComponent for RoundSync {
+    type Action = SyncAction;
+    type State = ProbeState;
+
+    fn name(&self) -> String {
+        format!("RoundSync({})", self.inner.p.me)
+    }
+
+    fn initial(&self) -> ProbeState {
+        self.inner.initial()
+    }
+
+    fn classify(&self, a: &SyncAction) -> Option<ActionKind> {
+        self.inner.classify(a)
+    }
+
+    fn action_names(&self) -> Option<Vec<&'static str>> {
+        self.inner.action_names()
+    }
+
+    fn step(&self, s: &ProbeState, a: &SyncAction, clock: Time) -> Option<ProbeState> {
+        self.inner.step(s, a, clock)
+    }
+
+    fn enabled(&self, s: &ProbeState, clock: Time) -> Vec<SyncAction> {
+        self.inner.enabled(s, clock)
+    }
+
+    fn clock_deadline(&self, s: &ProbeState, clock: Time) -> Option<Time> {
+        self.inner.clock_deadline(s, clock)
+    }
+
+    fn clock_wake(&self, s: &ProbeState, clock: Time) -> WakeHint {
+        self.inner.clock_wake(s, clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SyncParams {
+        SyncParams {
+            me: NodeId(0),
+            peers: vec![NodeId(1)],
+            d1: Duration::from_millis(1),
+            d2: Duration::from_millis(3),
+            eps: Duration::from_millis(2),
+            rho_ppm: 200,
+            period: Duration::from_millis(20),
+            burst: 1,
+            grace: 1,
+            echo_hold: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn probes_are_stamped_with_the_pinned_clock() {
+        let c = ProbeSync::new(params());
+        let s = c.initial();
+        assert_eq!(s.to_probe, vec![(NodeId(1), 0)]);
+        // Before the probe instant nothing is enabled and the clock may
+        // run up to exactly probe_at(0).
+        assert!(c.enabled(&s, Time::ZERO).is_empty());
+        assert_eq!(c.clock_deadline(&s, Time::ZERO), Some(c.probe_at(0)));
+        assert_eq!(c.clock_wake(&s, Time::ZERO), WakeHint::At(c.probe_at(0)));
+        let at = c.probe_at(0);
+        let acts = c.enabled(&s, at);
+        assert_eq!(acts.len(), 1);
+        let SysAction::Send(env) = &acts[0] else {
+            panic!("expected a probe send")
+        };
+        assert_eq!(
+            env.payload,
+            SyncMsg::Probe {
+                round: 0,
+                seq: 0,
+                t1: at
+            }
+        );
+        let s2 = c.step(&s, &acts[0], at).unwrap();
+        assert!(s2.to_probe.is_empty());
+        assert_eq!(c.clock_deadline(&s2, at), Some(c.cert_at(0)));
+    }
+
+    #[test]
+    fn echo_carries_the_send_clock_after_the_hold() {
+        let hold = Duration::from_millis(5);
+        let c = ProbeSync::new(SyncParams {
+            echo_hold: hold,
+            ..params()
+        });
+        let mut s = c.initial();
+        s.to_probe.clear(); // focus on responder duties
+        let receipt = Time::ZERO + Duration::from_millis(22);
+        let probe = SysAction::Recv(Envelope {
+            src: NodeId(1),
+            dst: NodeId(0),
+            id: MsgId::from_parts(NodeId(1), 7),
+            payload: SyncMsg::Probe {
+                round: 0,
+                seq: 7,
+                t1: Time::ZERO + Duration::from_millis(20),
+            },
+        });
+        let s2 = c.step(&s, &probe, receipt).unwrap();
+        // Duplicate probe: accepted (input-enabled) but not re-queued.
+        let s2b = c.step(&s2, &probe, receipt).unwrap();
+        assert_eq!(s2b.echoes.len(), 1);
+        // The clock is pinned at receipt + hold until the echo leaves.
+        let ready = receipt + hold;
+        assert_eq!(c.clock_deadline(&s2, receipt), Some(ready));
+        let acts = c.enabled(&s2, ready);
+        let echo = acts
+            .iter()
+            .find_map(|a| match a {
+                SysAction::Send(env) => Some(env),
+                _ => None,
+            })
+            .expect("echo enabled at ready");
+        assert_eq!(
+            echo.payload,
+            SyncMsg::Echo {
+                round: 0,
+                seq: 7,
+                t1: Time::ZERO + Duration::from_millis(20),
+                t2: ready,
+            }
+        );
+    }
+
+    #[test]
+    fn sample_brackets_the_true_offset_under_any_in_envelope_delays() {
+        let c = ProbeSync::new(params());
+        // True offset θ = +1.5 ms, leg delays 1.2 ms and 2.9 ms.
+        let t1 = Time::ZERO + Duration::from_millis(20);
+        let theta = Duration::from_micros(1500);
+        let leg1 = Duration::from_micros(1200);
+        let leg2 = Duration::from_micros(2900);
+        let t2 = t1 + leg1 + theta;
+        let t4 = t2 - theta + leg2;
+        let iv = c.sample(t1, t2, t4).expect("honest sample is consistent");
+        assert!(iv.contains(theta), "true offset {theta} outside {iv:?}");
+        assert!(iv.width() <= c.params().d2 - c.params().d1 + Duration::from_micros(50));
+    }
+
+    #[test]
+    fn contradictory_sample_is_discarded() {
+        let c = ProbeSync::new(params());
+        let t1 = Time::ZERO + Duration::from_millis(20);
+        // A held echo: leg delays at d1 = 1 ms but t2 stamped
+        // 2(d2−d1)+1 ms = 5 ms after receipt — no in-envelope delay
+        // assignment explains these stamps.
+        let t2 = t1 + Duration::from_millis(1) + Duration::from_millis(5);
+        let t4 = t2 + Duration::from_millis(1);
+        assert_eq!(c.sample(t1, t2, t4), None);
+    }
+
+    #[test]
+    fn certify_fuses_majority_and_moves_the_round() {
+        let c = ProbeSync::new(SyncParams {
+            burst: 3,
+            ..params()
+        });
+        let mut s = c.initial();
+        s.to_probe.clear();
+        let iv = |lo: i64, hi: i64| {
+            OffsetInterval::new(Duration::from_micros(lo), Duration::from_micros(hi)).unwrap()
+        };
+        // Two honest samples agreeing near +1 ms, one gray outlier.
+        s.samples.insert(
+            NodeId(1),
+            vec![iv(800, 1400), iv(900, 1500), iv(5000, 6000)],
+        );
+        let at = c.cert_at(0);
+        let (op, next) = c.certify(&s, at).expect("cert due");
+        let SyncOp::Certify {
+            round,
+            eps_hat,
+            ref peers,
+            ..
+        } = op;
+        assert_eq!(round, 0);
+        assert_eq!(peers, &vec![NodeId(1)]);
+        // Majority region [900, 1400] → magnitude 1.4 ms.
+        assert_eq!(eps_hat, Duration::from_micros(1400));
+        assert_eq!(next.round, 1);
+        assert_eq!(next.to_probe.len(), 3);
+        assert!(next.samples.is_empty());
+        // Nothing is due off the cert instant.
+        assert!(c.certify(&s, at + Duration::NANOSECOND).is_none());
+    }
+
+    #[test]
+    fn empty_round_falls_back_to_the_prior() {
+        let c = ProbeSync::new(params());
+        let mut s = c.initial();
+        s.to_probe.clear();
+        let (op, _) = c.certify(&s, c.cert_at(0)).unwrap();
+        let SyncOp::Certify { eps_hat, peers, .. } = op;
+        assert!(peers.is_empty(), "no samples → no covered peers");
+        assert_eq!(eps_hat, c.params().eps * 2);
+    }
+
+    #[test]
+    fn grace_ages_peers_out_of_the_covered_set() {
+        let c = ProbeSync::new(params()); // grace = 1
+        let mut s = c.initial();
+        s.to_probe.clear();
+        s.round = 5;
+        s.estimates.insert(
+            NodeId(1),
+            PeerEstimate {
+                interval: OffsetInterval::point(Duration::ZERO),
+                last_sample_round: 3,
+            },
+        );
+        let (op, _) = c.certify(&s, c.cert_at(5)).unwrap();
+        let SyncOp::Certify { peers, .. } = op;
+        assert!(peers.is_empty(), "age 2 > grace 1 drops the peer");
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn period_must_exceed_timeout() {
+        let _ = ProbeSync::new(SyncParams {
+            period: Duration::from_millis(10),
+            ..params()
+        });
+    }
+
+    #[test]
+    fn round_sync_delegates_and_demands_a_majority_burst() {
+        let r = RoundSync::new(SyncParams {
+            burst: 2,
+            ..params()
+        });
+        assert_eq!(r.name(), "RoundSync(n0)");
+        assert_eq!(r.initial().to_probe.len(), 2);
+        assert_eq!(RoundSync::grace_for_drops(2), 5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Differential checkpoint/restore tests for the probe-sync fleet:
+//! pausing mid-round must be invisible.
+//!
+//! `ProbeSync` carries more per-component state than anything else in
+//! the workspace — pending probe queues, held echoes with ready times,
+//! per-peer sample batches, carried estimates, a dedup set — and all of
+//! it rides inside the ordinary component state that
+//! [`Engine::checkpoint`] snapshots. These tests paste
+//! `prefix ⌢ suffix-from-checkpoint` runs against the uninterrupted run
+//! and demand bit-identical executions *and* bit-identical certified ε̂
+//! trajectories, across a sweep of pause points that deliberately land
+//! inside rounds (between a probe burst and its certification).
+
+use psync_executor::{Engine, StopReason};
+use psync_net::NodeId;
+use psync_sync::{build_sync_fleet, FleetSpec, MeasuredEps, SyncAction};
+use psync_time::{Duration, Time};
+
+fn spec() -> FleetSpec {
+    let mut s = FleetSpec::demo(3, 0xC4EC);
+    // Short horizon keeps the full prefix sweep cheap while still
+    // covering several complete rounds.
+    s.horizon = Time::ZERO + Duration::from_millis(120);
+    s
+}
+
+fn trajectories(run: &psync_executor::Run<SyncAction>, nodes: usize) -> Vec<Vec<(u64, Duration)>> {
+    let measured = MeasuredEps::from_execution(&run.execution);
+    (0..nodes).map(|i| measured.trajectory(NodeId(i))).collect()
+}
+
+#[test]
+fn every_prefix_checkpoint_resumes_bit_identically() {
+    let spec = spec();
+    let straight = build_sync_fleet(&spec).run().unwrap();
+    let n = straight.execution.len();
+    assert!(n > 60, "fleet produced only {n} events");
+    assert_eq!(straight.stop, StopReason::Horizon);
+    let straight_traj = trajectories(&straight, spec.nodes);
+    assert!(
+        straight_traj.iter().all(|t| t.len() >= 4),
+        "horizon too short to cover several rounds"
+    );
+
+    let mut recorder = build_sync_fleet(&spec);
+    for k in 0..=n {
+        let paused = recorder.run_until_events(k).unwrap();
+        assert_eq!(paused.stop, StopReason::Paused, "pause at {k}");
+        let cp = recorder.checkpoint();
+
+        let mut resumed: Engine<SyncAction> = build_sync_fleet(&spec);
+        resumed.restore(&cp);
+        let run = resumed.run().unwrap();
+        assert_eq!(run.stop, straight.stop, "pause at {k}: stop diverges");
+        assert_eq!(
+            run.execution, straight.execution,
+            "pause at {k}: executions diverge"
+        );
+        assert_eq!(
+            trajectories(&run, spec.nodes),
+            straight_traj,
+            "pause at {k}: certified ε̂ trajectories diverge"
+        );
+    }
+
+    // The recorder itself — paused and snapshotted at every index —
+    // still finishes exactly like the uninterrupted run.
+    let rest = recorder.run().unwrap();
+    assert_eq!(rest.stop, straight.stop);
+    assert_eq!(rest.execution, straight.execution);
+}
+
+#[test]
+fn forked_runs_from_one_mid_round_snapshot_agree() {
+    let spec = spec();
+    let straight = build_sync_fleet(&spec).run().unwrap();
+    let straight_traj = trajectories(&straight, spec.nodes);
+
+    // Pause mid-run: past the first certification, inside a later round.
+    let k = straight.execution.len() / 2;
+    let mut recorder = build_sync_fleet(&spec);
+    recorder.run_until_events(k).unwrap();
+    let cp = recorder.checkpoint();
+
+    let mut runs = Vec::new();
+    for fork in 0..3 {
+        let mut engine = build_sync_fleet(&spec);
+        engine.restore(&cp);
+        let run = engine.run().unwrap();
+        assert_eq!(
+            run.execution, straight.execution,
+            "fork {fork}: diverged from the uninterrupted run"
+        );
+        assert_eq!(
+            trajectories(&run, spec.nodes),
+            straight_traj,
+            "fork {fork}: ε̂ trajectory diverged"
+        );
+        runs.push(run);
+    }
+    assert_eq!(runs[0].execution, runs[1].execution);
+    assert_eq!(runs[1].execution, runs[2].execution);
+}

@@ -1,0 +1,169 @@
+//! Property tests for the Marzullo interval-intersection core.
+//!
+//! The generators are shrink-friendly by construction: every case is
+//! built from small non-negative integers (half-widths and gaps) around
+//! an explicit true offset θ, so a failing case's printed inputs read
+//! directly as "these good intervals around θ, these outliers". The
+//! soundness property is stated in the form that is actually a theorem:
+//! when every honest interval contains θ, the honest intervals form a
+//! majority, and the dishonest ones are disjoint from the honest hull,
+//! the fused result is exactly the intersection of the honest intervals
+//! — and in particular contains θ. (Without the disjointness hypothesis
+//! "majority contains θ ⇒ θ ∈ result" is false: overlapping minorities
+//! can tilt the maximum-overlap region away from θ.)
+//!
+//! Note: the vendored proptest stub replays deterministically from the
+//! test name and performs no shrinking of its own, so it persists no
+//! `*.proptest-regressions` files.
+
+use proptest::prelude::*;
+use psync_sync::{fuse, Marzullo, OffsetInterval};
+use psync_time::Duration;
+
+fn iv(lo: i64, hi: i64) -> OffsetInterval {
+    OffsetInterval::new(Duration::from_nanos(lo), Duration::from_nanos(hi))
+        .expect("generator produced lo <= hi")
+}
+
+/// Honest intervals `[θ−a, θ+b]` from generated non-negative spans.
+fn goods(theta: i64, spans: &[(i64, i64)]) -> Vec<OffsetInterval> {
+    spans
+        .iter()
+        .map(|&(a, b)| iv(theta - a, theta + b))
+        .collect()
+}
+
+/// Outliers strictly outside the honest hull: above it when `above`,
+/// below otherwise, separated by `gap + 1` ns.
+fn bads(theta: i64, spans: &[(i64, i64)], outliers: &[(i64, i64, bool)]) -> Vec<OffsetInterval> {
+    let hull_lo = theta - spans.iter().map(|s| s.0).max().unwrap();
+    let hull_hi = theta + spans.iter().map(|s| s.1).max().unwrap();
+    outliers
+        .iter()
+        .map(|&(gap, w, above)| {
+            if above {
+                iv(hull_hi + 1 + gap, hull_hi + 1 + gap + w)
+            } else {
+                iv(hull_lo - 1 - gap - w, hull_lo - 1 - gap)
+            }
+        })
+        .collect()
+}
+
+/// The exact fold-intersection of a non-empty batch that shares a point.
+fn exact_intersection(ivs: &[OffsetInterval]) -> OffsetInterval {
+    ivs.iter()
+        .skip(1)
+        .fold(ivs[0], |acc, &b| acc.intersect(b).expect("shared point"))
+}
+
+/// Deterministic Fisher–Yates driven by a seed (the stub has no
+/// shuffle strategy).
+fn permute<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(0x5851_f42d_4c95_7f2d)
+            .wrapping_add(0x1405_7b7e_f767_814f);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Soundness + exactness: an outvoted, hull-disjoint minority never
+    /// moves the fusion off the honest intersection.
+    #[test]
+    fn majority_soundness(
+        theta in -1_000_000i64..1_000_000,
+        spans in prop::collection::vec((0i64..500_000, 0i64..500_000), 1..8),
+        outliers in prop::collection::vec((0i64..400_000, 0i64..300_000, prop::bool::ANY), 0..8),
+    ) {
+        let good = goods(theta, &spans);
+        // Keep the dishonest side a strict minority.
+        let keep = outliers.len().min(good.len().saturating_sub(1));
+        let bad = bads(theta, &spans, &outliers[..keep]);
+        let mut batch = good.clone();
+        batch.extend(bad);
+
+        let f = fuse(&batch).expect("non-empty batch");
+        prop_assert_eq!(f.support, good.len());
+        prop_assert_eq!(f.interval, exact_intersection(&good));
+        prop_assert!(f.interval.contains(Duration::from_nanos(theta)));
+    }
+
+    /// Fusion is a function of the multiset: permuting the batch changes
+    /// nothing, and the reusable fuser agrees with the one-shot helper.
+    #[test]
+    fn permutation_invariance(
+        theta in -1_000_000i64..1_000_000,
+        spans in prop::collection::vec((0i64..500_000, 0i64..500_000), 1..8),
+        outliers in prop::collection::vec((0i64..400_000, 0i64..300_000, prop::bool::ANY), 0..8),
+        seed in 0u64..1_000_000_000,
+    ) {
+        let keep = outliers.len().min(spans.len().saturating_sub(1));
+        let mut batch = goods(theta, &spans);
+        batch.extend(bads(theta, &spans, &outliers[..keep]));
+
+        let original = fuse(&batch);
+        let mut shuffled = batch.clone();
+        permute(&mut shuffled, seed);
+        prop_assert_eq!(fuse(&shuffled), original);
+        prop_assert_eq!(Marzullo::new().fuse(&batch), original);
+    }
+
+    /// Idempotence: fusing copies of an interval returns that interval,
+    /// and re-fusing a fusion's own result is the identity.
+    #[test]
+    fn idempotence(
+        lo in -1_000_000i64..1_000_000,
+        w in 0i64..500_000,
+        copies in 1usize..6,
+    ) {
+        let x = iv(lo, lo + w);
+        let f = fuse(&vec![x; copies]).unwrap();
+        prop_assert_eq!(f.interval, x);
+        prop_assert_eq!(f.support, copies);
+        let again = fuse(&[f.interval]).unwrap();
+        prop_assert_eq!(again.interval, f.interval);
+        prop_assert_eq!(again.support, 1);
+    }
+
+    /// When *every* interval shares a point, fusion is exactly the full
+    /// intersection with full support.
+    #[test]
+    fn unanimous_batch_fuses_to_the_exact_intersection(
+        theta in -1_000_000i64..1_000_000,
+        spans in prop::collection::vec((0i64..500_000, 0i64..500_000), 1..10),
+    ) {
+        let batch = goods(theta, &spans);
+        let f = fuse(&batch).unwrap();
+        prop_assert_eq!(f.support, batch.len());
+        prop_assert_eq!(f.interval, exact_intersection(&batch));
+    }
+}
+
+/// The documented counterexample for the naive claim "a majority
+/// containing θ implies θ lands in the result": overlapping bad
+/// intervals inside the hull can outscore the honest core. This pins
+/// why `majority_soundness` needs its hull-disjointness hypothesis —
+/// and why `ProbeSync` combines fusion with majority-*support* checks
+/// and a carried prior instead of trusting fusion alone.
+#[test]
+fn overlapping_minority_can_defeat_a_bare_majority() {
+    let theta = Duration::ZERO;
+    let batch = [
+        // Majority: three wide honest intervals around θ = 0…
+        iv(-100, 10),
+        iv(-100, 20),
+        iv(-10, 100),
+        // …but two tight liars agreeing with the left flank of two of
+        // them, forming a 4-deep region that excludes θ.
+        iv(-90, -80),
+        iv(-85, -75),
+    ];
+    let f = fuse(&batch).unwrap();
+    assert_eq!(f.support, 4);
+    assert!(!f.interval.contains(theta));
+}

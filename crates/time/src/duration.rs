@@ -152,6 +152,41 @@ impl Duration {
         }
     }
 
+    /// Scales by `ppm` parts per million, rounding away from zero — the
+    /// drift-margin idiom `ρ · Δt` of rate-bounded clocks: the margin a
+    /// sound bound must add for a clock that may have drifted at up to
+    /// `ppm` over an elapsed span of `self`. Rounding away from zero
+    /// keeps the margin an over-approximation in both directions.
+    ///
+    /// ```
+    /// use psync_time::Duration;
+    /// // 100 ppm over one second is 100 µs.
+    /// assert_eq!(
+    ///     Duration::from_secs(1).scale_ppm(100),
+    ///     Duration::from_micros(100)
+    /// );
+    /// // Sub-ppm remainders round up, never down.
+    /// assert_eq!(Duration::from_nanos(1).scale_ppm(1), Duration::NANOSECOND);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled value overflows an `i64`.
+    #[must_use]
+    pub fn scale_ppm(self, ppm: i64) -> Duration {
+        let prod = i128::from(self.0) * i128::from(ppm);
+        let q = prod / 1_000_000;
+        let r = prod % 1_000_000;
+        let rounded = if r > 0 {
+            q + 1
+        } else if r < 0 {
+            q - 1
+        } else {
+            q
+        };
+        Duration(i64::try_from(rounded).expect("Duration::scale_ppm overflowed"))
+    }
+
     /// Clamps to be at least [`Duration::ZERO`] — the paper's
     /// `max(d₁ − 2ε, 0)` idiom from Theorem 4.7.
     #[must_use]
@@ -343,6 +378,27 @@ mod tests {
     #[should_panic(expected = "overflowed")]
     fn unchecked_add_panics_on_overflow() {
         let _ = Duration::MAX + Duration::NANOSECOND;
+    }
+
+    #[test]
+    fn scale_ppm_rounds_away_from_zero() {
+        assert_eq!(
+            Duration::from_secs(1).scale_ppm(250),
+            Duration::from_micros(250)
+        );
+        assert_eq!(Duration::ZERO.scale_ppm(1_000), Duration::ZERO);
+        assert_eq!(Duration::from_secs(1).scale_ppm(0), Duration::ZERO);
+        // 1 ns · 1 ppm = 10⁻⁶ ns rounds up to a full nanosecond.
+        assert_eq!(Duration::from_nanos(1).scale_ppm(1), Duration::NANOSECOND);
+        // Negative spans round toward more-negative (away from zero).
+        assert_eq!(
+            Duration::from_nanos(-1).scale_ppm(1),
+            Duration::from_nanos(-1)
+        );
+        assert_eq!(
+            Duration::from_millis(10).scale_ppm(-100),
+            Duration::from_nanos(-1_000)
+        );
     }
 
     #[test]

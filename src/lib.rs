@@ -20,6 +20,9 @@
 //!   ([`psync_mmt`]).
 //! * [`register`] — the Section 6 register algorithms
 //!   ([`psync_register`]).
+//! * [`sync`] — measured clock synchronization: components that
+//!   *achieve* a certified ε̂ over the `[d₁, d₂]` channels
+//!   ([`psync_sync`]).
 //! * [`verify`] — linearizability checkers and axiom probes
 //!   ([`psync_verify`]).
 //! * [`apps`] — further applications of the design techniques
@@ -43,6 +46,7 @@ pub use psync_executor as executor;
 pub use psync_mmt as mmt;
 pub use psync_net as net;
 pub use psync_register as register;
+pub use psync_sync as sync;
 pub use psync_time as time;
 pub use psync_verify as verify;
 
@@ -71,6 +75,10 @@ pub mod prelude {
     pub use psync_register::{
         AlgorithmS, AlgorithmSObj, BaselineParams, BaselineRegister, ClosedLoopWorkload, ObjAction,
         ObjOp, ObjWorkload, RegAction, RegMsg, RegisterOp, RegisterParams, Value,
+    };
+    pub use psync_sync::{
+        build_sync_fleet, predicted_eps_hat, EpsHatOracle, FleetSpec, MeasuredEps, ProbeSync,
+        RoundSync, SyncParams,
     };
     pub use psync_time::{DelayBounds, Duration, Time};
     pub use psync_verify::{
