@@ -98,13 +98,16 @@ pub trait Problem<A: Action> {
 pub struct FnProblem<A> {
     name: String,
     #[allow(clippy::type_complexity)]
-    f: Box<dyn Fn(&TimedTrace<A>) -> Verdict>,
+    f: Box<dyn Fn(&TimedTrace<A>) -> Verdict + Send + Sync>,
 }
 
 impl<A> FnProblem<A> {
     /// Wraps a membership function as a [`Problem`].
     #[must_use]
-    pub fn new(name: impl Into<String>, f: impl Fn(&TimedTrace<A>) -> Verdict + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&TimedTrace<A>) -> Verdict + Send + Sync + 'static,
+    ) -> Self {
         FnProblem {
             name: name.into(),
             f: Box::new(f),

@@ -30,7 +30,7 @@ use psync_time::{Duration, Time};
 
 use crate::{Action, TimedTrace};
 
-type Classifier<A> = Box<dyn Fn(&A) -> Option<usize>>;
+type Classifier<A> = Box<dyn Fn(&A) -> Option<usize> + Send + Sync>;
 
 /// Assigns each action to at most one class of a partition `κ` (or `K`).
 ///
@@ -55,7 +55,7 @@ impl<A> ClassMap<A> {
     /// assert_eq!(classes.class_of(&4), Some(0));
     /// ```
     #[must_use]
-    pub fn by(f: impl Fn(&A) -> Option<usize> + 'static) -> Self {
+    pub fn by(f: impl Fn(&A) -> Option<usize> + Send + Sync + 'static) -> Self {
         ClassMap { f: Box::new(f) }
     }
 

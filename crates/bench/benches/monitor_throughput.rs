@@ -1,0 +1,347 @@
+//! Monitor throughput: exact vs approximate judging of million-event
+//! traces (ISSUE 9, reported in `EXPERIMENTS.md` §E18).
+//!
+//! One workload, three judging pipelines, trace lengths up to 10⁶ events
+//! (eight `κ`-classes plus eight unclassified action values, 1 µs event
+//! spacing, a slowly drifting ≤ 600 µs offset between reference and
+//! observed — comfortably inside ε = 2 ms, so the accept path judges
+//! every event):
+//!
+//! - `posthoc_exact` — what explorer campaigns did before online judging:
+//!   materialize the observed trace (clone every action), then run the
+//!   offline `eps_equivalent` matcher;
+//! - `stream_exact` — `StreamingEps` fed event by event, no observed
+//!   trace resident, but the full reference is (O(|reference|) memory);
+//! - `stream_approx` — `ApproxEps` with grain = 1 ms: the reference is
+//!   compressed to run-length buckets at construction, so memory is
+//!   bounded by time-span/grain, and every verdict carries ±err = grain.
+//!
+//! Besides the criterion sweep this bench writes `BENCH_monitor.json`
+//! (override the path with `PSYNC_BENCH_OUT`) and asserts the ISSUE 9
+//! acceptance bar on the spot: at 10⁶ events the approximate mode judges
+//! ≥ 3× the events/s of the exact post-hoc mode with a working set ≥ 20×
+//! smaller, the exact streaming witness equals the offline one, the
+//! approximate witness sits within ±err of it, a planted violation is
+//! rejected by every pipeline, and `ShardedEps` returns the sequential
+//! verdict for every shard count. `PSYNC_BENCH_SMOKE=1` caps the sweep at
+//! 10⁵ events and skips the throughput-ratio assertion (CI runners have
+//! no quiet cores to promise ratios on) while keeping every correctness
+//! assertion.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psync_automata::relations::{eps_equivalent, ClassMap, RelationError, Witness};
+use psync_automata::{Action, TimedTrace};
+use psync_obs::{ApproxEps, ShardedEps, StreamingEps};
+use psync_time::{Duration, Time};
+
+/// A heap-allocated event label — the realistic (cache-unfriendly) case
+/// for the exact pipelines, which keep every label resident.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Evt(String);
+
+impl Action for Evt {
+    fn name(&self) -> &'static str {
+        "evt"
+    }
+}
+
+const EPS: Duration = Duration::from_millis(2);
+const GRAIN: Duration = Duration::from_millis(1);
+const SPACING_NS: i64 = 1_000;
+
+fn smoke() -> bool {
+    std::env::var("PSYNC_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+fn lengths() -> Vec<usize> {
+    if smoke() {
+        vec![10_000, 100_000]
+    } else {
+        vec![10_000, 100_000, 1_000_000]
+    }
+}
+
+/// Eight classes keyed by the first byte, everything else unclassified.
+fn classes() -> ClassMap<Evt> {
+    ClassMap::by(|a: &Evt| match a.0.as_bytes().first() {
+        Some(c @ b'a'..=b'h') => Some(usize::from(c - b'a')),
+        _ => None,
+    })
+}
+
+/// The `i`-th action: every ninth event is one of eight unclassified
+/// values (matched per value), the rest rotate through the classes with a
+/// varying payload so action equality is not a constant-compare.
+fn action(i: usize) -> Evt {
+    if i % 9 == 8 {
+        Evt(format!("x{}", i % 8))
+    } else {
+        Evt(format!("{}:{:03}", (b'a' + (i % 8) as u8) as char, i % 199))
+    }
+}
+
+fn reference_time(i: usize) -> Time {
+    Time::ZERO + Duration::from_nanos(i as i64 * SPACING_NS)
+}
+
+/// A triangle-wave offset in [0, 600 µs] changing by ≤ 1 µs per 1024
+/// events: large enough to cross grain-lattice cells, slow enough that
+/// observed times stay non-decreasing, small enough to stay inside ε.
+fn drift(i: usize) -> Duration {
+    let phase = (i / 1024) % 1200;
+    Duration::from_micros(phase.min(1200 - phase) as i64)
+}
+
+fn reference(n: usize) -> TimedTrace<Evt> {
+    TimedTrace::from_pairs((0..n).map(|i| (action(i), reference_time(i))))
+}
+
+/// The observed event stream, as the engine would hand it to observers.
+fn stream(n: usize) -> Vec<(Evt, Time)> {
+    (0..n)
+        .map(|i| (action(i), reference_time(i) + drift(i)))
+        .collect()
+}
+
+/// The status-quo pipeline: materialize the observed trace, then run the
+/// offline matcher.
+fn posthoc_exact(
+    reference: &TimedTrace<Evt>,
+    stream: &[(Evt, Time)],
+    classes: &ClassMap<Evt>,
+) -> Result<Witness, RelationError<Evt>> {
+    let observed = TimedTrace::from_pairs(stream.iter().map(|(a, t)| (a.clone(), *t)));
+    eps_equivalent(reference, &observed, EPS, classes)
+}
+
+fn stream_exact(
+    reference: &TimedTrace<Evt>,
+    stream: &[(Evt, Time)],
+    classes: &ClassMap<Evt>,
+) -> Result<Witness, RelationError<Evt>> {
+    let mut m = StreamingEps::new(reference, EPS, classes);
+    for (a, t) in stream {
+        m.observe(a, *t);
+    }
+    m.finish()
+}
+
+/// Runs the approximate monitor and polls its resident-bytes high-water.
+fn stream_approx(
+    reference: &TimedTrace<Evt>,
+    stream: &[(Evt, Time)],
+    classes: &ClassMap<Evt>,
+) -> (Result<Witness, RelationError<Evt>>, usize) {
+    let mut m = ApproxEps::new(reference, EPS, GRAIN, classes);
+    let mut high = m.memory_bytes();
+    for (i, (a, t)) in stream.iter().enumerate() {
+        m.observe(a, *t);
+        if i % 4096 == 0 {
+            high = high.max(m.memory_bytes());
+        }
+    }
+    high = high.max(m.memory_bytes());
+    let verdict = match m.finish() {
+        Ok(w) => {
+            assert_eq!(w.err, GRAIN);
+            Ok(w.witness)
+        }
+        Err(v) => {
+            assert_eq!(v.err, GRAIN);
+            Err(v.error)
+        }
+    };
+    (verdict, high)
+}
+
+/// What the exact monitors keep resident: the reference entries, their
+/// string payloads, and one lane index per reference event.
+fn exact_resident_bytes(reference: &TimedTrace<Evt>) -> usize {
+    let entries = reference.len() * std::mem::size_of::<(Evt, Time)>();
+    let payloads: usize = reference.iter().map(|(a, _)| a.0.len()).sum();
+    let lane_indices = reference.len() * std::mem::size_of::<usize>();
+    entries + payloads + lane_indices
+}
+
+/// Median wall time of `runs` executions, in milliseconds.
+fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_unstable_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The differential and sharding pins, run at every length regardless of
+/// smoke mode.
+fn assert_verdicts(
+    n: usize,
+    reference: &TimedTrace<Evt>,
+    stream_events: &[(Evt, Time)],
+    classes: &ClassMap<Evt>,
+    approx_verdict: &Result<Witness, RelationError<Evt>>,
+) {
+    let offline = posthoc_exact(reference, stream_events, classes).expect("clean trace accepted");
+    let exact = stream_exact(reference, stream_events, classes).expect("clean trace accepted");
+    assert_eq!(exact, offline, "streaming and offline witnesses differ");
+    let approx = approx_verdict
+        .as_ref()
+        .expect("clean trace accepted approximately");
+    let gap = if approx.max_deviation > exact.max_deviation {
+        approx.max_deviation - exact.max_deviation
+    } else {
+        exact.max_deviation - approx.max_deviation
+    };
+    assert!(
+        gap < GRAIN,
+        "approximate witness {approx:?} outside ±err of exact {exact:?}"
+    );
+    assert_eq!(approx.matched, exact.matched);
+
+    // Lane-sharded exact judging is verdict-identical to sequential.
+    let observed = TimedTrace::from_pairs(stream_events.iter().map(|(a, t)| (a.clone(), *t)));
+    for shards in [1, 2, 4] {
+        let sharded = ShardedEps::new(reference, EPS, classes, shards)
+            .check(&observed)
+            .expect("sharded check accepts the clean trace");
+        assert_eq!(sharded, exact, "shards={shards} diverged at n={n}");
+    }
+
+    // A planted violation (last event pushed ε + 2·err late) is rejected
+    // by every pipeline, and the approximate rejection survives the
+    // tightened bound — the reject half of the ±err contract.
+    let mut bad = stream_events.to_vec();
+    let last = bad.last_mut().expect("non-empty stream");
+    last.1 = last.1 + EPS + GRAIN + GRAIN;
+    assert!(matches!(
+        stream_approx(reference, &bad, classes).0,
+        Err(RelationError::TimeBound { .. })
+    ));
+    assert!(stream_exact(reference, &bad, classes).is_err());
+    assert!(posthoc_exact(reference, &bad, classes).is_err());
+    let mut tightened = StreamingEps::new(reference, EPS - GRAIN, classes);
+    for (a, t) in &bad {
+        tightened.observe(a, *t);
+    }
+    assert!(
+        tightened.finish().is_err(),
+        "approx rejected but exact accepts at ε − err"
+    );
+}
+
+fn bench_monitor_throughput(c: &mut Criterion) {
+    let classes = classes();
+    let n = 100_000;
+    let reference_trace = reference(n);
+    let events = stream(n);
+    let mut group = c.benchmark_group("monitor_throughput");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("posthoc_exact", n), &n, |b, _| {
+        b.iter(|| black_box(posthoc_exact(&reference_trace, &events, &classes)));
+    });
+    group.bench_with_input(BenchmarkId::new("stream_exact", n), &n, |b, _| {
+        b.iter(|| black_box(stream_exact(&reference_trace, &events, &classes)));
+    });
+    group.bench_with_input(BenchmarkId::new("stream_approx", n), &n, |b, _| {
+        b.iter(|| {
+            let _ = black_box(stream_approx(&reference_trace, &events, &classes));
+        });
+    });
+    group.finish();
+    write_artifact(&classes);
+}
+
+fn write_artifact(classes: &ClassMap<Evt>) {
+    let smoke = smoke();
+    let runs = if smoke { 3 } else { 5 };
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut entries = Vec::new();
+    let mut peak: Option<(f64, f64)> = None; // (posthoc ms, approx ms) at max n
+    for n in lengths() {
+        let reference_trace = reference(n);
+        let events = stream(n);
+        let (approx_verdict, approx_mem) = stream_approx(&reference_trace, &events, classes);
+        assert_verdicts(n, &reference_trace, &events, classes, &approx_verdict);
+        let exact_mem = exact_resident_bytes(&reference_trace);
+        assert!(
+            approx_mem * 20 < exact_mem,
+            "approximate working set {approx_mem} B is not ≥ 20× under the exact {exact_mem} B"
+        );
+        let mut record = |mode: &str, ms: f64, mem: usize| {
+            let events_per_sec = (n as f64 / (ms / 1e3)) as u64;
+            entries.push(format!(
+                "    {{\"events\": {n}, \"mode\": \"{mode}\", \"median_ms\": {ms:.3}, \
+                 \"events_per_sec\": {events_per_sec}, \"memory_bytes\": {mem}}}"
+            ));
+            ms
+        };
+        let posthoc_ms = record(
+            "posthoc_exact",
+            median_ms(runs, || {
+                black_box(posthoc_exact(&reference_trace, &events, classes)).ok();
+            }),
+            exact_mem,
+        );
+        record(
+            "stream_exact",
+            median_ms(runs, || {
+                black_box(stream_exact(&reference_trace, &events, classes)).ok();
+            }),
+            exact_mem,
+        );
+        let approx_ms = record(
+            "stream_approx",
+            median_ms(runs, || {
+                let _ = black_box(stream_approx(&reference_trace, &events, classes));
+            }),
+            approx_mem,
+        );
+        // Lane-sharded exact judging over the pre-materialized trace:
+        // verdict-pinned in `assert_verdicts`; the timings record thread
+        // overhead on a 1-core host and scaling headroom on real cores.
+        let observed = TimedTrace::from_pairs(events.iter().map(|(a, t)| (a.clone(), *t)));
+        for shards in [2, 4] {
+            let checker = ShardedEps::new(&reference_trace, EPS, classes, shards);
+            record(
+                &format!("sharded_exact_s{shards}"),
+                median_ms(runs, || {
+                    black_box(checker.check(&observed)).ok();
+                }),
+                exact_mem,
+            );
+        }
+        peak = Some((posthoc_ms, approx_ms));
+    }
+    let (posthoc_ms, approx_ms) = peak.expect("at least one length");
+    let speedup = posthoc_ms / approx_ms;
+    let json = format!(
+        "{{\n  \"bench\": \"monitor_throughput\",\n  \"smoke\": {smoke},\n  \
+         \"host_parallelism\": {host_parallelism},\n  \"eps_ns\": {},\n  \"grain_ns\": {},\n  \
+         \"speedup_approx_vs_posthoc_at_peak\": {speedup:.2},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        EPS.as_nanos(),
+        GRAIN.as_nanos(),
+        entries.join(",\n")
+    );
+    let path = std::env::var("PSYNC_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_monitor.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("monitor_throughput: wrote {path}"),
+        Err(e) => eprintln!("monitor_throughput: could not write {path}: {e}"),
+    }
+    if !smoke {
+        assert!(
+            speedup >= 3.0,
+            "approximate judging is only {speedup:.2}× the exact post-hoc mode at 10⁶ events"
+        );
+    }
+}
+
+criterion_group!(benches, bench_monitor_throughput);
+criterion_main!(benches);

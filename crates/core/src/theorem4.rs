@@ -14,7 +14,7 @@ use psync_time::Duration;
 /// it belongs to. `app_node` resolves application actions to their node.
 #[must_use]
 pub fn node_classes<M, A>(
-    app_node: impl Fn(&A) -> Option<NodeId> + 'static,
+    app_node: impl Fn(&A) -> Option<NodeId> + Send + Sync + 'static,
 ) -> ClassMap<SysAction<M, A>>
 where
     M: 'static,

@@ -43,7 +43,7 @@ pub fn sim2_shift_bound(k: i64, eps: Duration, ell: Duration) -> Duration {
 /// output of that node*, `None` otherwise.
 #[must_use]
 pub fn output_classes<M, A>(
-    app_out: impl Fn(&A) -> Option<NodeId> + 'static,
+    app_out: impl Fn(&A) -> Option<NodeId> + Send + Sync + 'static,
 ) -> ClassMap<SysAction<M, A>>
 where
     M: 'static,

@@ -5,7 +5,8 @@
 //! ```text
 //! psync-explorer [--cases N] [--seed S] [--scenario all|<name>]
 //!                [--canaries all|<name>[,<name>...]]
-//!                [--max-entries N] [--jobs N] [--bug-extra-ns N]
+//!                [--max-entries N] [--jobs N] [--monitor-shards N]
+//!                [--online] [--bug-extra-ns N]
 //!                [--metrics-out PATH] [--report-out PATH]
 //!                [--no-checkpoint-shrink]
 //! ```
@@ -14,6 +15,20 @@
 //! `PSYNC_JOBS` or the machine's available parallelism). The report —
 //! stats, kind coverage, artifacts, metrics, exit code — is bit-identical
 //! for every `N`; `--jobs 1` is the plain sequential loop.
+//!
+//! `--monitor-shards N` fans each case's oracle set across `N` judge
+//! threads (default: `PSYNC_MONITOR_SHARDS` or 1). Like `--jobs`, it is
+//! a pure performance knob: every verdict and metric is bit-identical
+//! for every `N`, which CI cross-checks by diffing stdout across shard
+//! counts.
+//!
+//! `--online` judges heartbeat-family cases *while they run*: stream
+//! oracles ride the engine's observer hooks and a case stops the moment
+//! a violation is certain, so failing cases cost events-to-violation
+//! instead of the horizon. Scenario kinds without stream oracles fall
+//! back to the post-hoc judge. Online reports are deterministic and
+//! jobs-invariant, but not comparable to offline reports (fewer events
+//! on short-circuited cases), so the flag is off by default.
 //!
 //! `--canaries` additionally runs one campaign per selected planted bug
 //! (see `psync_explorer::canary`) and reports the **mutation score**:
@@ -52,8 +67,8 @@ use std::time::Instant;
 
 use psync_explorer::json::Json;
 use psync_explorer::{
-    default_jobs, mutation_score, run_campaign_jobs, run_canary_suite, CampaignConfig,
-    CampaignReport, CanaryKind, CanaryOutcome, ScenarioConfig, ScenarioKind,
+    default_jobs, mutation_score, run_campaign_jobs, run_canary_suite, set_monitor_shards,
+    CampaignConfig, CampaignReport, CanaryKind, CanaryOutcome, ScenarioConfig, ScenarioKind,
 };
 use psync_obs::MetricsSnapshot;
 
@@ -132,14 +147,25 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --bug-extra-ns: {e}"))?;
             }
+            "--monitor-shards" => {
+                let shards: usize = value("--monitor-shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --monitor-shards: {e}"))?;
+                if shards == 0 {
+                    return Err("--monitor-shards must be at least 1".to_string());
+                }
+                set_monitor_shards(shards);
+            }
+            "--online" => campaign.online = true,
             "--metrics-out" => metrics_out = Some(value("--metrics-out")?.clone()),
             "--report-out" => report_out = Some(value("--report-out")?.clone()),
             "--no-checkpoint-shrink" => campaign.checkpointed_shrink = false,
             "--help" | "-h" => {
                 return Err("usage: psync-explorer [--cases N] [--seed S] \
                      [--scenario all|<name>] [--canaries all|<name>[,<name>...]] \
-                     [--max-entries N] [--jobs N] [--bug-extra-ns N] \
-                     [--metrics-out PATH] [--report-out PATH] [--no-checkpoint-shrink]"
+                     [--max-entries N] [--jobs N] [--monitor-shards N] [--online] \
+                     [--bug-extra-ns N] [--metrics-out PATH] [--report-out PATH] \
+                     [--no-checkpoint-shrink]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),

@@ -60,6 +60,15 @@ pub struct CampaignConfig {
     /// against checkpoint memory, and exists so the cross-check in CI
     /// (and anyone debugging the resume machinery) can diff the modes.
     pub checkpointed_shrink: bool,
+    /// Judge heartbeat-family cases *online*: stream oracles ride the
+    /// engine's observer hooks and the run stops the moment a violation
+    /// is certain, so failing cases cost events-to-first-violation
+    /// instead of the horizon. Kinds without stream oracles fall back to
+    /// the post-hoc judge. Off by default: a short-circuited case
+    /// records fewer events (and only the certain violation), so online
+    /// reports are *not* comparable to offline reports — the mode is
+    /// still bit-identical across `--jobs` and replays of itself.
+    pub online: bool,
 }
 
 impl Default for CampaignConfig {
@@ -69,6 +78,7 @@ impl Default for CampaignConfig {
             seed: 0x0C1A_551C,
             max_entries: 6,
             checkpointed_shrink: true,
+            online: false,
         }
     }
 }
@@ -238,6 +248,7 @@ fn run_one_case(
         &plan,
         case_seed,
         campaign.checkpointed_shrink,
+        campaign.online,
         &mut telemetry,
     );
     let mut record = CaseRecord {

@@ -55,11 +55,12 @@ use psync_executor::{Run, StopReason};
 use psync_net::{FaultStats, SysAction};
 
 use crate::faults::seq_of;
+use crate::online::run_case_online;
 use crate::plan::{at_ns, FaultEntry, FaultPlan};
 use crate::scenario::{
     build_clockfleet, build_counter, build_heartbeat, build_mutex, build_register, finish_case,
     judge_clockfleet, judge_counter, judge_heartbeat, judge_mutex, judge_register, outcome_of,
-    run_case, BuiltCase, CaseOutcome, ScenarioConfig, ScenarioKind,
+    run_case, BuiltCase, CaseOutcome, JudgeVerdicts, ScenarioConfig, ScenarioKind,
 };
 use crate::shrink::shrink_entries;
 
@@ -323,7 +324,7 @@ fn run_recorded<A: Action>(
     plan: &FaultPlan,
     telemetry: &mut CampaignTelemetry,
     build: &impl Fn(&FaultPlan) -> BuiltCase<A>,
-    judge: &impl Fn(&FaultPlan, &Result<Run<A>, String>) -> Vec<(String, String)>,
+    judge: &impl Fn(&FaultPlan, &Result<Run<A>, String>) -> JudgeVerdicts,
 ) -> (CaseOutcome, RecordedRun<A>) {
     let mut built = build(plan);
     let first = capture(&mut built, telemetry);
@@ -353,7 +354,7 @@ fn probe_resumed<A: Action>(
     candidate: &FaultPlan,
     telemetry: &mut CampaignTelemetry,
     build: &impl Fn(&FaultPlan) -> BuiltCase<A>,
-    judge: &impl Fn(&FaultPlan, &Result<Run<A>, String>) -> Vec<(String, String)>,
+    judge: &impl Fn(&FaultPlan, &Result<Run<A>, String>) -> JudgeVerdicts,
     activation: &impl Fn(&FaultEntry, &[TimedEvent<A>]) -> usize,
 ) -> CaseOutcome {
     // The deepest usable rung across the pool. pool[0].cps[0] sits at
@@ -410,7 +411,7 @@ fn run_and_shrink<A: Action>(
     plan: &FaultPlan,
     telemetry: &mut CampaignTelemetry,
     build: &impl Fn(&FaultPlan) -> BuiltCase<A>,
-    judge: &impl Fn(&FaultPlan, &Result<Run<A>, String>) -> Vec<(String, String)>,
+    judge: &impl Fn(&FaultPlan, &Result<Run<A>, String>) -> JudgeVerdicts,
     activation: &impl Fn(&FaultEntry, &[TimedEvent<A>]) -> usize,
 ) -> (CaseOutcome, Option<ShrinkResult>) {
     let (outcome, recorded) = run_recorded(plan, telemetry, build, judge);
@@ -435,8 +436,30 @@ pub(crate) fn run_shrinkable_case(
     plan: &FaultPlan,
     seed: u64,
     checkpointed: bool,
+    online: bool,
     telemetry: &mut CampaignTelemetry,
 ) -> (CaseOutcome, Option<ShrinkResult>) {
+    // Online judging short-circuits runs, so the checkpoint ladders a
+    // resumed probe needs are never recorded — online cases (and their
+    // probes) always run from scratch, with the same online judge so the
+    // shrink predicate is self-consistent.
+    if online && scenario.kind.is_heartbeat() && scenario.kind != ScenarioKind::HeartbeatRestart {
+        let outcome =
+            run_case_online(scenario, plan, seed).expect("kind checked online-capable above");
+        if outcome.violations.is_empty() {
+            return (outcome, None);
+        }
+        let mut shrink_events = 0u64;
+        let (result, hits) = shrink_with_cache(plan, &outcome, &mut |candidate| {
+            let probe = run_case_online(scenario, candidate, seed)
+                .expect("kind checked online-capable above");
+            shrink_events += probe.events as u64;
+            probe
+        });
+        telemetry.shrink_events += shrink_events;
+        telemetry.cache_hits += hits;
+        return (outcome, Some(result));
+    }
     // The restart scenario already checkpoints and restores *inside* its
     // primary run; layering probe-resume checkpoints over that seam is
     // not supported, so its shrinks replay from scratch. Sync shrinks
@@ -597,7 +620,7 @@ mod tests {
         plan: &FaultPlan,
         seed: u64,
         build: &impl Fn(&FaultPlan) -> BuiltCase<A>,
-        judge: &impl Fn(&FaultPlan, &Result<Run<A>, String>) -> Vec<(String, String)>,
+        judge: &impl Fn(&FaultPlan, &Result<Run<A>, String>) -> JudgeVerdicts,
         activation: &impl Fn(&FaultEntry, &[TimedEvent<A>]) -> usize,
     ) {
         plan.validate(&scenario.envelope())

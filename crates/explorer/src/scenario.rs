@@ -57,6 +57,7 @@
 
 use core::cell::Cell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use psync_apps::heartbeat::{FdAction, FdOp, FdParams, Heartbeat, Heartbeater, Monitor};
 use psync_apps::mutex::{MutexAction, MutexOp, SlotUser};
@@ -67,7 +68,7 @@ use psync_executor::{ClockNode, DriftClock, Engine, OffsetClock, Run, StopReason
 use psync_net::{
     Envelope, FaultChannel, FaultStats, MaxDelay, MsgId, NodeId, Script, SysAction, Topology,
 };
-use psync_obs::{CEpsOracle, MetricsHub, MetricsSnapshot};
+use psync_obs::{check_all_sharded, CEpsOracle, MetricsHub, MetricsSnapshot, OnlineJudge};
 use psync_register::object::Counter;
 use psync_register::{
     AlgorithmS, AlgorithmSObj, ClosedLoopWorkload, ObjAction, ObjWorkload, RegAction,
@@ -80,8 +81,8 @@ use psync_sync::{
 use psync_time::{DelayBounds, Duration, Time};
 use psync_verify::replay::{replay_clock, replay_timed};
 use psync_verify::{
-    check_all, check_fifo_per_edge, FnOracle, LinearizableRegister, ObjectLinearizableOracle,
-    Oracle, ProblemOracle,
+    check_fifo_per_edge, FnOracle, LinearizableRegister, ObjectLinearizableOracle, Oracle,
+    ProblemOracle,
 };
 
 use crate::canary::CanaryKind;
@@ -653,6 +654,59 @@ pub fn fingerprint<A: Action>(exec: &Execution<A>) -> u64 {
 
 const CASE_MAX_EVENTS: usize = 250_000;
 
+/// The monitor-lane shard count every judge uses, as a process-wide knob
+/// (`0` = not yet initialized; resolved from `PSYNC_MONITOR_SHARDS` on
+/// first read, defaulting to 1). It is a pure performance knob: the
+/// sharded judge's verdicts *and* metrics are bit-identical for every
+/// value (see [`check_all_sharded`]), which is why it may live outside
+/// the `(config, plan, seed)` triple without breaking replay identity.
+static MONITOR_SHARDS: AtomicUsize = AtomicUsize::new(0);
+
+/// The shard count case judges fan their oracle sets across.
+#[must_use]
+pub fn monitor_shards() -> usize {
+    match MONITOR_SHARDS.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::env::var("PSYNC_MONITOR_SHARDS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1);
+            MONITOR_SHARDS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Overrides the monitor-lane shard count (the `--monitor-shards` CLI
+/// flag). Values below 1 clamp to 1 (the sequential judge).
+pub fn set_monitor_shards(shards: usize) {
+    MONITOR_SHARDS.store(shards.max(1), Ordering::Relaxed);
+}
+
+/// A judge's result: the oracle verdicts plus the deterministic judging
+/// metrics (`monitor.checks`, `monitor.violations`) that
+/// [`finish_case`] folds into the case's hub.
+pub(crate) type JudgeVerdicts = (Vec<(String, String)>, MetricsSnapshot);
+
+/// Judges a finished run against an oracle set on [`monitor_shards`]
+/// worker threads. Verdicts and metrics are bit-identical for every
+/// shard count; an engine error short-circuits to a single `engine`
+/// violation with empty metrics.
+fn judge_sharded<A: Action + Send + Sync>(
+    oracles: &[Box<dyn Oracle<A>>],
+    run: &Result<Run<A>, String>,
+) -> JudgeVerdicts {
+    match run {
+        Ok(run) => check_all_sharded(oracles, &run.execution, monitor_shards()),
+        Err(e) => (
+            vec![("engine".into(), e.clone())],
+            MetricsSnapshot::default(),
+        ),
+    }
+}
+
 /// A typed runner's result: the raw engine run (or its error), the
 /// oracles' `(name, violation)` verdicts, the number of clock-script
 /// requests the C1–C4 guard clamped (always 0 for the timed-model
@@ -694,14 +748,15 @@ pub(crate) struct BuiltCase<A: Action> {
     pub(crate) rejections: Vec<Rc<Cell<u64>>>,
 }
 
-/// Post-run accounting shared by every scenario kind: fold fault stats
-/// and clamped-clock counts into the hub (in the same order the original
-/// monolithic runners did) and snapshot.
+/// Post-run accounting shared by every scenario kind: fold fault stats,
+/// clamped-clock counts, and the judge's own metrics into the hub (in the
+/// same order the original monolithic runners did) and snapshot.
 pub(crate) fn finish_case<A: Action>(
     built: &BuiltCase<A>,
-    violations: Vec<(String, String)>,
+    judged: JudgeVerdicts,
     run: Result<Run<A>, String>,
 ) -> Judged<A> {
+    let (violations, judge_metrics) = judged;
     for stats in &built.fault_stats {
         merge_fault_stats(&built.hub, stats);
     }
@@ -709,6 +764,7 @@ pub(crate) fn finish_case<A: Action>(
     if !built.rejections.is_empty() {
         built.hub.add("clock.rejected_requests", rejected);
     }
+    built.hub.absorb(&judge_metrics);
     Judged {
         run,
         violations,
@@ -720,20 +776,20 @@ pub(crate) fn finish_case<A: Action>(
 /// Topology of one heartbeat-family scenario: which channels exist, who
 /// beats toward whom, who monitors whom, whether node 1 relays, and who
 /// a scripted crash hits.
-struct HbShape {
+pub(crate) struct HbShape {
     /// Faultable channels, as `(src, dst)` edges.
-    edges: Vec<(u32, u32)>,
+    pub(crate) edges: Vec<(u32, u32)>,
     /// Heartbeaters, as `(node, monitor)` pairs.
-    beaters: Vec<(u32, u32)>,
+    pub(crate) beaters: Vec<(u32, u32)>,
     /// Monitors, as `(node, target)` pairs.
-    monitors: Vec<(u32, u32)>,
+    pub(crate) monitors: Vec<(u32, u32)>,
     /// The deduplicating relay, as `(me, to)`.
-    relay: Option<(u32, u32)>,
+    pub(crate) relay: Option<(u32, u32)>,
     /// Which node a scripted crash (if the config has one) hits.
-    crash_node: u32,
+    pub(crate) crash_node: u32,
 }
 
-fn hb_shape(kind: ScenarioKind) -> HbShape {
+pub(crate) fn hb_shape(kind: ScenarioKind) -> HbShape {
     match kind {
         ScenarioKind::Heartbeat
         | ScenarioKind::HeartbeatCrash
@@ -774,7 +830,7 @@ fn hb_shape(kind: ScenarioKind) -> HbShape {
 /// a relay (each hop may drop `max_drops`), and the
 /// [`CanaryKind::FdTimeoutUnderbudget`] canary plants the classic bug of
 /// budgeting for jitter but not for drops.
-fn monitor_params(cfg: &ScenarioConfig, relayed: bool) -> FdParams {
+pub(crate) fn monitor_params(cfg: &ScenarioConfig, relayed: bool) -> FdParams {
     let period = ns(cfg.period_ns);
     let jitter = ns(cfg.d2_ns - cfg.d1_ns);
     let slack = Duration::from_millis(2);
@@ -944,6 +1000,19 @@ pub(crate) fn build_heartbeat(
     plan: &FaultPlan,
     seed: u64,
 ) -> BuiltCase<FdAction> {
+    build_heartbeat_with(cfg, plan, seed, None)
+}
+
+/// [`build_heartbeat`], optionally attaching an [`OnlineJudge`]'s
+/// observer so stream oracles see every event as it is recorded. The
+/// judge observer is read-only like every other observer: attaching it
+/// never changes the produced execution.
+pub(crate) fn build_heartbeat_with(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+    online: Option<&OnlineJudge<FdAction>>,
+) -> BuiltCase<FdAction> {
     let shape = hb_shape(cfg.kind);
     let declared = cfg.bounds();
     // The seeded bug widens the channel's *internal* bounds so the stretch
@@ -1003,9 +1072,13 @@ pub(crate) fn build_heartbeat(
             |_| false,
         ));
     }
-    let engine = builder
+    builder = builder
         .observer(hub.engine_observer().without_checkpoint_counters())
-        .observer(hub.channel_delay_observer())
+        .observer(hub.channel_delay_observer());
+    if let Some(judge) = online {
+        builder = builder.observer(judge.observer());
+    }
+    let engine = builder
         .scheduler(BiasedScheduler::new(plan, seed))
         .horizon(at_ns(cfg.horizon_ns))
         .max_events(CASE_MAX_EVENTS)
@@ -1023,11 +1096,8 @@ pub(crate) fn judge_heartbeat(
     cfg: &ScenarioConfig,
     plan: &FaultPlan,
     run: &Result<Run<FdAction>, String>,
-) -> Vec<(String, String)> {
-    match run {
-        Ok(run) => check_all(&heartbeat_oracles(cfg, plan), &run.execution),
-        Err(e) => vec![("engine".into(), e.clone())],
-    }
+) -> JudgeVerdicts {
+    judge_sharded(&heartbeat_oracles(cfg, plan), run)
 }
 
 /// Runs one heartbeat-family case: returns the raw engine run and the
@@ -1362,11 +1432,8 @@ pub(crate) fn build_clockfleet(
 pub(crate) fn judge_clockfleet(
     cfg: &ScenarioConfig,
     run: &Result<Run<BeepAction>, String>,
-) -> Vec<(String, String)> {
-    match run {
-        Ok(run) => check_all(&clockfleet_oracles(cfg), &run.execution),
-        Err(e) => vec![("engine".into(), e.clone())],
-    }
+) -> JudgeVerdicts {
+    judge_sharded(&clockfleet_oracles(cfg), run)
 }
 
 /// The clock-fleet scenario's oracle set.
@@ -1515,11 +1582,8 @@ pub(crate) fn build_mutex(
 pub(crate) fn judge_mutex(
     cfg: &ScenarioConfig,
     run: &Result<Run<MutexAction>, String>,
-) -> Vec<(String, String)> {
-    match run {
-        Ok(run) => check_all(&mutex_oracles(cfg), &run.execution),
-        Err(e) => vec![("engine".into(), e.clone())],
-    }
+) -> JudgeVerdicts {
+    judge_sharded(&mutex_oracles(cfg), run)
 }
 
 /// Interval-based mutual exclusion over real time: occupancies of
@@ -1743,7 +1807,8 @@ pub(crate) fn judge_register(
     cfg: &ScenarioConfig,
     seed: u64,
     run: &Result<Run<RegAction>, String>,
-) -> Vec<(String, String)> {
+) -> JudgeVerdicts {
+    let (oracle_violations, metrics) = judge_sharded(&register_oracles(cfg, seed), run);
     match run {
         Ok(run) => {
             let mut violations = Vec::new();
@@ -1753,10 +1818,10 @@ pub(crate) fn judge_register(
                     format!("workload did not finish by the horizon ({:?})", run.stop),
                 ));
             }
-            violations.extend(check_all(&register_oracles(cfg, seed), &run.execution));
-            violations
+            violations.extend(oracle_violations);
+            (violations, metrics)
         }
-        Err(e) => vec![("engine".into(), e.clone())],
+        Err(_) => (oracle_violations, metrics),
     }
 }
 
@@ -1861,7 +1926,8 @@ pub(crate) fn judge_counter(
     cfg: &ScenarioConfig,
     seed: u64,
     run: &Result<Run<ObjAction<Counter>>, String>,
-) -> Vec<(String, String)> {
+) -> JudgeVerdicts {
+    let (oracle_violations, metrics) = judge_sharded(&counter_oracles(cfg, seed), run);
     match run {
         Ok(run) => {
             let mut violations = Vec::new();
@@ -1871,10 +1937,10 @@ pub(crate) fn judge_counter(
                     format!("workload did not finish by the horizon ({:?})", run.stop),
                 ));
             }
-            violations.extend(check_all(&counter_oracles(cfg, seed), &run.execution));
-            violations
+            violations.extend(oracle_violations);
+            (violations, metrics)
         }
-        Err(e) => vec![("engine".into(), e.clone())],
+        Err(_) => (oracle_violations, metrics),
     }
 }
 
@@ -2004,11 +2070,8 @@ pub(crate) fn build_sync(
 pub(crate) fn judge_sync(
     cfg: &ScenarioConfig,
     run: &Result<Run<SyncAction>, String>,
-) -> Vec<(String, String)> {
-    match run {
-        Ok(run) => check_all(&sync_oracles(cfg), &run.execution),
-        Err(e) => vec![("engine".into(), e.clone())],
-    }
+) -> JudgeVerdicts {
+    judge_sharded(&sync_oracles(cfg), run)
 }
 
 /// The sync scenario's oracle set: the ε̂-parameterized `C_ε`

@@ -96,6 +96,7 @@ fn crash_scenario_reports_identical_across_jobs_and_probe_modes() {
                 seed: 0x0C1A_551C,
                 max_entries: 6,
                 checkpointed_shrink,
+                ..CampaignConfig::default()
             };
             let sequential = run_campaign_jobs(&campaign, &config, 1);
             assert_jobs_invariant(&campaign, &config);

@@ -11,6 +11,7 @@ fn campaign(checkpointed: bool) -> CampaignConfig {
         seed: 0x0C1A_551C,
         max_entries: 6,
         checkpointed_shrink: checkpointed,
+        online: false,
     }
 }
 

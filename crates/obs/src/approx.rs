@@ -1,0 +1,740 @@
+//! Bounded-memory *approximate* monitors for `=_{ε,κ}` and `≤_{δ,K}`.
+//!
+//! The exact streaming monitors in [`crate::monitor`] keep the whole
+//! reference trace resident — O(|reference|) memory — and chase a cursor
+//! into it per observed event. Following the approximate-monitoring line
+//! of Bonakdarpour et al. (*Approximate Distributed Monitoring under
+//! Partial Synchrony*), the monitors here trade a quantified amount of
+//! accuracy for a working set that is independent of the reference
+//! length: times are coarsened to a `grain`-sized lattice and each
+//! forced-matching lane is run-length compressed into *buckets* of
+//! consecutive reference events sharing a quantized time. Because
+//! reference times are monotone, a lane spanning `T` nanoseconds holds at
+//! most `T/grain + 1` buckets no matter how many events it contains.
+//!
+//! Within a bucket the (at most `grain`-apart) reference times are
+//! indistinguishable, so the per-bucket record is just the quantized time
+//! `q`, the event count, and a *commutative fingerprint* — the wrapping
+//! sum of a stable 64-bit hash of each action. An observed event checks
+//! its quantized time against the current bucket and folds its own hash
+//! into a running sum; when the bucket's count is exhausted the two sums
+//! must agree. Cardinalities stay exact, so every
+//! [`RelationError::CardinalityMismatch`] verdict is exact too.
+//!
+//! **The error contract.** Every verdict carries `err = grain`, and the
+//! guarantee is: *the approximate verdict is the exact verdict of some
+//! trace obtained by perturbing each observed time by less than `err`,
+//! judged against a bound within `err` of the requested one.* Concretely:
+//!
+//! - accept ⇒ the exact monitor's max deviation is `≤ ε + err`, and when
+//!   both sides accept the two witnesses' `max_deviation` differ by less
+//!   than `err`;
+//! - reject with [`RelationError::TimeBound`] ⇒ the exact deviation of
+//!   that pair exceeds `ε − err`;
+//! - action-order violations *within* one bucket (times closer than
+//!   `err`) may be missed — they are exactly the reorderings a
+//!   sub-`err` perturbation can repair.
+//!
+//! `tests/prop_monitors.rs` pins this contract differentially against the
+//! exact monitors on generated traces.
+
+use std::hash::{Hash, Hasher};
+
+use psync_automata::relations::{ClassMap, RelationError, Witness};
+use psync_automata::{Action, TimedTrace};
+use psync_time::{Duration, Time};
+
+/// A self-stable FNV-1a hasher: unlike `DefaultHasher`, its output is
+/// specified and will not change across toolchain releases, so bucket
+/// fingerprints can be compared in regression artifacts.
+#[derive(Debug, Clone)]
+pub struct StableFnv(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for StableFnv {
+    fn default() -> Self {
+        StableFnv(FNV_OFFSET)
+    }
+}
+
+impl Hasher for StableFnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// The stable 64-bit fingerprint of one action.
+fn fingerprint<A: Hash>(a: &A) -> u64 {
+    let mut h = StableFnv::default();
+    a.hash(&mut h);
+    // Finalize with one extra round so structurally-prefixed values do
+    // not alias under the commutative (wrapping-sum) bucket fold.
+    h.finish().wrapping_mul(FNV_PRIME) | 1
+}
+
+/// A run of consecutive reference events in one lane sharing the
+/// quantized time `q`.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    q: i64,
+    count: u32,
+    fp: u64,
+}
+
+/// One coarsened forced-matching lane: the run-length compressed bucket
+/// list plus consumption state.
+#[derive(Debug, Clone, Default)]
+struct CoarseLane {
+    buckets: Vec<Bucket>,
+    /// Index of the bucket currently being consumed.
+    bucket: usize,
+    /// Events consumed from the current bucket.
+    consumed: u32,
+    /// Wrapping sum of observed-action fingerprints in the current bucket.
+    fp_acc: u64,
+    /// Total reference events in this lane (exact cardinality).
+    total: usize,
+    /// Total observed events consumed by this lane.
+    used: usize,
+}
+
+impl CoarseLane {
+    fn push(&mut self, q: i64, fp: u64) {
+        match self.buckets.last_mut() {
+            Some(b) if b.q == q => {
+                b.count += 1;
+                b.fp = b.fp.wrapping_add(fp);
+            }
+            _ => self.buckets.push(Bucket { q, count: 1, fp }),
+        }
+        self.total += 1;
+    }
+
+    fn bytes(&self) -> usize {
+        self.buckets.len() * std::mem::size_of::<Bucket>() + std::mem::size_of::<CoarseLane>()
+    }
+}
+
+/// An accept verdict with its quantified error interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxWitness {
+    /// The coarsened witness; `max_deviation` is within `err` of the
+    /// exact monitor's on a joint accept.
+    pub witness: Witness,
+    /// Half-width of the error interval (the quantization grain).
+    pub err: Duration,
+}
+
+/// A reject verdict with its quantified error interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApproxViolation<A> {
+    /// The violation, with times coarsened to the grain lattice.
+    pub error: RelationError<A>,
+    /// Half-width of the error interval (the quantization grain).
+    pub err: Duration,
+}
+
+fn quantize(t: Time, grain: Duration) -> i64 {
+    (t - Time::ZERO).as_nanos().div_euclid(grain.as_nanos())
+}
+
+/// The representative [`Time`] of a quantized bucket (its lattice point).
+fn dequantize(q: i64, grain: Duration) -> Time {
+    Time::ZERO + Duration::from_nanos(q.saturating_mul(grain.as_nanos()))
+}
+
+/// Streaming *approximate* `reference =_{ε,κ} observed` monitor.
+///
+/// Construction makes one pass over the reference and keeps only the
+/// coarsened lanes — the reference itself is **not** borrowed, so the
+/// working set is O(time span / grain + lanes) instead of O(|reference|).
+/// Every verdict carries `err = grain`; see the module docs for the
+/// contract relating it to [`crate::monitor::StreamingEps`].
+#[derive(Debug)]
+pub struct ApproxEps<'a, A: Action> {
+    classes: &'a ClassMap<A>,
+    eps: Duration,
+    grain: Duration,
+    class_lanes: Vec<(usize, CoarseLane)>,
+    rest_lanes: Vec<(A, CoarseLane)>,
+    observed: usize,
+    max_dev: Duration,
+    matched: usize,
+    error: Option<RelationError<A>>,
+}
+
+impl<'a, A: Action> ApproxEps<'a, A> {
+    /// Creates a monitor for `reference =_{ε,κ} ⟨observed stream⟩` with
+    /// times coarsened to multiples of `grain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is negative or `grain` is not positive.
+    #[must_use]
+    pub fn new(
+        reference: &TimedTrace<A>,
+        eps: Duration,
+        grain: Duration,
+        classes: &'a ClassMap<A>,
+    ) -> Self {
+        assert!(!eps.is_negative(), "ε must be non-negative");
+        assert!(grain.is_positive(), "grain must be positive");
+        let mut class_lanes: Vec<(usize, CoarseLane)> = Vec::new();
+        let mut rest_lanes: Vec<(A, CoarseLane)> = Vec::new();
+        for (a, t) in reference.iter() {
+            let q = quantize(t, grain);
+            let fp = fingerprint(a);
+            match classes.class_of(a) {
+                Some(c) => {
+                    let lane = match class_lanes.iter_mut().find(|(k, _)| *k == c) {
+                        Some((_, lane)) => lane,
+                        None => {
+                            class_lanes.push((c, CoarseLane::default()));
+                            &mut class_lanes.last_mut().expect("just pushed").1
+                        }
+                    };
+                    lane.push(q, fp);
+                }
+                None => {
+                    let lane = match rest_lanes.iter_mut().find(|(v, _)| v == a) {
+                        Some((_, lane)) => lane,
+                        None => {
+                            rest_lanes.push((a.clone(), CoarseLane::default()));
+                            &mut rest_lanes.last_mut().expect("just pushed").1
+                        }
+                    };
+                    lane.push(q, fp);
+                }
+            }
+        }
+        class_lanes.sort_by_key(|(c, _)| *c);
+        ApproxEps {
+            classes,
+            eps,
+            grain,
+            class_lanes,
+            rest_lanes,
+            observed: 0,
+            max_dev: Duration::ZERO,
+            matched: 0,
+            error: None,
+        }
+    }
+
+    /// Half-width of the error interval attached to every verdict.
+    #[must_use]
+    pub fn err(&self) -> Duration {
+        self.grain
+    }
+
+    /// Bytes of monitor state resident right now (the bounded-memory
+    /// claim the bench pins; the reference is not part of it).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let lanes: usize = self
+            .class_lanes
+            .iter()
+            .map(|(_, l)| l.bytes())
+            .chain(self.rest_lanes.iter().map(|(_, l)| l.bytes()))
+            .sum();
+        lanes + std::mem::size_of::<Self>()
+    }
+
+    /// Feeds the next observed `(action, time)` pair; sticky on violation.
+    pub fn observe(&mut self, action: &A, time: Time) {
+        if self.error.is_some() {
+            return;
+        }
+        let position = self.observed;
+        self.observed += 1;
+        let class = self.classes.class_of(action);
+        let lane = match class {
+            Some(c) => self
+                .class_lanes
+                .iter_mut()
+                .find(|(k, _)| *k == c)
+                .map(|(_, l)| l),
+            None => self
+                .rest_lanes
+                .iter_mut()
+                .find(|(v, _)| v == action)
+                .map(|(_, l)| l),
+        };
+        let Some(lane) = lane else {
+            self.error = Some(match class {
+                Some(c) => RelationError::CardinalityMismatch {
+                    class: Some(c),
+                    left: 0,
+                    right: 1,
+                },
+                None => RelationError::ActionMismatch {
+                    class: None,
+                    position,
+                    left: action.clone(),
+                    right: action.clone(),
+                },
+            });
+            return;
+        };
+        let Some(&bucket) = lane.buckets.get(lane.bucket) else {
+            self.error = Some(RelationError::CardinalityMismatch {
+                class,
+                left: lane.total,
+                right: lane.total + 1,
+            });
+            return;
+        };
+        let pos = lane.used;
+        lane.used += 1;
+        let q = quantize(time, self.grain);
+        let dev_buckets = (q - bucket.q).unsigned_abs();
+        let dev = self
+            .grain
+            .checked_mul(i64::try_from(dev_buckets).unwrap_or(i64::MAX))
+            .unwrap_or(Duration::MAX);
+        if dev > self.eps {
+            self.error = Some(RelationError::TimeBound {
+                action: action.clone(),
+                left_time: dequantize(bucket.q, self.grain),
+                right_time: time,
+                bound: self.eps,
+            });
+            return;
+        }
+        lane.fp_acc = lane.fp_acc.wrapping_add(fingerprint(action));
+        lane.consumed += 1;
+        if lane.consumed == bucket.count {
+            if lane.fp_acc != bucket.fp {
+                self.error = Some(RelationError::ActionMismatch {
+                    class,
+                    position: pos,
+                    left: action.clone(),
+                    right: action.clone(),
+                });
+                return;
+            }
+            lane.bucket += 1;
+            lane.consumed = 0;
+            lane.fp_acc = 0;
+        }
+        self.max_dev = self.max_dev.max(dev);
+        self.matched += 1;
+    }
+
+    /// Closes the observed stream and delivers the verdict with its
+    /// error interval.
+    ///
+    /// # Errors
+    ///
+    /// The first (sticky) violation, or a
+    /// [`RelationError::CardinalityMismatch`] when reference events were
+    /// left unmatched; cardinality verdicts are exact.
+    pub fn finish(&self) -> Result<ApproxWitness, ApproxViolation<A>> {
+        if let Some(e) = &self.error {
+            return Err(ApproxViolation {
+                error: e.clone(),
+                err: self.grain,
+            });
+        }
+        for (c, lane) in &self.class_lanes {
+            if lane.used < lane.total {
+                return Err(ApproxViolation {
+                    error: RelationError::CardinalityMismatch {
+                        class: Some(*c),
+                        left: lane.total,
+                        right: lane.used,
+                    },
+                    err: self.grain,
+                });
+            }
+        }
+        for (_, lane) in &self.rest_lanes {
+            if lane.used < lane.total {
+                return Err(ApproxViolation {
+                    error: RelationError::CardinalityMismatch {
+                        class: None,
+                        left: lane.total,
+                        right: lane.used,
+                    },
+                    err: self.grain,
+                });
+            }
+        }
+        Ok(ApproxWitness {
+            witness: Witness {
+                max_deviation: self.max_dev,
+                matched: self.matched,
+            },
+            err: self.grain,
+        })
+    }
+}
+
+/// Streaming *approximate* `reference ≤_{δ,K} observed` monitor: class
+/// actions may slide up to `δ` into the future (checked on the grain
+/// lattice, so a backward slide smaller than `err` may pass), the
+/// unclassified remainder is one order-forced lane whose times must match
+/// on the lattice.
+#[derive(Debug)]
+pub struct ApproxDelta<'a, A: Action> {
+    classes: &'a ClassMap<A>,
+    delta: Duration,
+    grain: Duration,
+    class_lanes: Vec<(usize, CoarseLane)>,
+    rest: CoarseLane,
+    max_dev: Duration,
+    matched: usize,
+    error: Option<RelationError<A>>,
+}
+
+impl<'a, A: Action> ApproxDelta<'a, A> {
+    /// Creates a monitor for `reference ≤_{δ,K} ⟨observed stream⟩` with
+    /// times coarsened to multiples of `grain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is negative or `grain` is not positive.
+    #[must_use]
+    pub fn new(
+        reference: &TimedTrace<A>,
+        delta: Duration,
+        grain: Duration,
+        classes: &'a ClassMap<A>,
+    ) -> Self {
+        assert!(!delta.is_negative(), "δ must be non-negative");
+        assert!(grain.is_positive(), "grain must be positive");
+        let mut class_lanes: Vec<(usize, CoarseLane)> = Vec::new();
+        let mut rest = CoarseLane::default();
+        for (a, t) in reference.iter() {
+            let q = quantize(t, grain);
+            let fp = fingerprint(a);
+            match classes.class_of(a) {
+                Some(c) => {
+                    let lane = match class_lanes.iter_mut().find(|(k, _)| *k == c) {
+                        Some((_, lane)) => lane,
+                        None => {
+                            class_lanes.push((c, CoarseLane::default()));
+                            &mut class_lanes.last_mut().expect("just pushed").1
+                        }
+                    };
+                    lane.push(q, fp);
+                }
+                None => rest.push(q, fp),
+            }
+        }
+        class_lanes.sort_by_key(|(c, _)| *c);
+        ApproxDelta {
+            classes,
+            delta,
+            grain,
+            class_lanes,
+            rest,
+            max_dev: Duration::ZERO,
+            matched: 0,
+            error: None,
+        }
+    }
+
+    /// Half-width of the error interval attached to every verdict.
+    #[must_use]
+    pub fn err(&self) -> Duration {
+        self.grain
+    }
+
+    /// Bytes of monitor state resident right now.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let lanes: usize = self
+            .class_lanes
+            .iter()
+            .map(|(_, l)| l.bytes())
+            .sum::<usize>()
+            + self.rest.bytes();
+        lanes + std::mem::size_of::<Self>()
+    }
+
+    /// Feeds the next observed `(action, time)` pair; sticky on violation.
+    pub fn observe(&mut self, action: &A, time: Time) {
+        if self.error.is_some() {
+            return;
+        }
+        let class = self.classes.class_of(action);
+        let lane = match class {
+            Some(c) => match self.class_lanes.iter_mut().find(|(k, _)| *k == c) {
+                Some((_, l)) => l,
+                None => {
+                    self.error = Some(RelationError::CardinalityMismatch {
+                        class: Some(c),
+                        left: 0,
+                        right: 1,
+                    });
+                    return;
+                }
+            },
+            None => &mut self.rest,
+        };
+        let Some(&bucket) = lane.buckets.get(lane.bucket) else {
+            self.error = Some(RelationError::CardinalityMismatch {
+                class,
+                left: lane.total,
+                right: lane.total + 1,
+            });
+            return;
+        };
+        let pos = lane.used;
+        lane.used += 1;
+        let q = quantize(time, self.grain);
+        match class {
+            Some(_) => {
+                if q < bucket.q {
+                    self.error = Some(RelationError::IllegalShift {
+                        action: action.clone(),
+                        left_time: dequantize(bucket.q, self.grain),
+                        right_time: time,
+                    });
+                    return;
+                }
+                let dev = self
+                    .grain
+                    .checked_mul(q - bucket.q)
+                    .unwrap_or(Duration::MAX);
+                if dev > self.delta {
+                    self.error = Some(RelationError::TimeBound {
+                        action: action.clone(),
+                        left_time: dequantize(bucket.q, self.grain),
+                        right_time: time,
+                        bound: self.delta,
+                    });
+                    return;
+                }
+                self.max_dev = self.max_dev.max(dev);
+            }
+            None => {
+                if q != bucket.q {
+                    self.error = Some(RelationError::IllegalShift {
+                        action: action.clone(),
+                        left_time: dequantize(bucket.q, self.grain),
+                        right_time: time,
+                    });
+                    return;
+                }
+            }
+        }
+        lane.fp_acc = lane.fp_acc.wrapping_add(fingerprint(action));
+        lane.consumed += 1;
+        if lane.consumed == bucket.count {
+            if lane.fp_acc != bucket.fp {
+                self.error = Some(RelationError::ActionMismatch {
+                    class,
+                    position: pos,
+                    left: action.clone(),
+                    right: action.clone(),
+                });
+                return;
+            }
+            lane.bucket += 1;
+            lane.consumed = 0;
+            lane.fp_acc = 0;
+        }
+        self.matched += 1;
+    }
+
+    /// Closes the observed stream and delivers the verdict with its
+    /// error interval.
+    ///
+    /// # Errors
+    ///
+    /// The first (sticky) violation, or a
+    /// [`RelationError::CardinalityMismatch`] when reference events were
+    /// left unmatched; cardinality verdicts are exact.
+    pub fn finish(&self) -> Result<ApproxWitness, ApproxViolation<A>> {
+        if let Some(e) = &self.error {
+            return Err(ApproxViolation {
+                error: e.clone(),
+                err: self.grain,
+            });
+        }
+        for (c, lane) in &self.class_lanes {
+            if lane.used < lane.total {
+                return Err(ApproxViolation {
+                    error: RelationError::CardinalityMismatch {
+                        class: Some(*c),
+                        left: lane.total,
+                        right: lane.used,
+                    },
+                    err: self.grain,
+                });
+            }
+        }
+        if self.rest.used < self.rest.total {
+            return Err(ApproxViolation {
+                error: RelationError::CardinalityMismatch {
+                    class: None,
+                    left: self.rest.total,
+                    right: self.rest.used,
+                },
+                err: self.grain,
+            });
+        }
+        Ok(ApproxWitness {
+            witness: Witness {
+                max_deviation: self.max_dev,
+                matched: self.matched,
+            },
+            err: self.grain,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: i64) -> Time {
+        Time::ZERO + Duration::from_millis(n)
+    }
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn per_letter() -> ClassMap<&'static str> {
+        ClassMap::by(|a: &&str| match a.as_bytes().first() {
+            Some(b'a') => Some(0),
+            Some(b'b') => Some(1),
+            _ => None,
+        })
+    }
+
+    fn reference() -> TimedTrace<&'static str> {
+        TimedTrace::from_pairs(vec![
+            ("a1", t(0)),
+            ("b1", t(1)),
+            ("x", t(2)),
+            ("a2", t(10)),
+            ("b2", t(11)),
+        ])
+    }
+
+    #[test]
+    fn accepts_within_eps_and_reports_err() {
+        let reference = reference();
+        let classes = per_letter();
+        let mut m = ApproxEps::new(&reference, ms(3), ms(1), &classes);
+        for (a, time) in [
+            ("a1", t(1)),
+            ("b1", t(2)),
+            ("x", t(2)),
+            ("a2", t(12)),
+            ("b2", t(11)),
+        ] {
+            m.observe(&a, time);
+        }
+        let w = m.finish().unwrap();
+        assert_eq!(w.err, ms(1));
+        assert_eq!(w.witness.matched, 5);
+        assert!(w.witness.max_deviation <= ms(3));
+    }
+
+    #[test]
+    fn rejects_beyond_eps_plus_err() {
+        let reference = reference();
+        let classes = per_letter();
+        let mut m = ApproxEps::new(&reference, ms(3), ms(1), &classes);
+        m.observe(&"a1", t(8));
+        let v = m.finish().unwrap_err();
+        assert_eq!(v.err, ms(1));
+        assert!(matches!(v.error, RelationError::TimeBound { .. }));
+    }
+
+    #[test]
+    fn cardinality_verdicts_are_exact() {
+        let reference = reference();
+        let classes = per_letter();
+        let mut m = ApproxEps::new(&reference, ms(3), ms(1), &classes);
+        m.observe(&"a1", t(0));
+        let v = m.finish().unwrap_err();
+        match v.error {
+            RelationError::CardinalityMismatch { class, left, right } => {
+                assert_eq!(class, Some(0));
+                assert_eq!((left, right), (2, 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fingerprint_catches_wrong_action_multiset() {
+        let reference = TimedTrace::from_pairs(vec![("a1", t(0)), ("a2", t(0))]);
+        let classes = per_letter();
+        let mut m = ApproxEps::new(&reference, ms(3), ms(1), &classes);
+        m.observe(&"a1", t(0));
+        m.observe(&"a1", t(0));
+        let v = m.finish().unwrap_err();
+        assert!(matches!(v.error, RelationError::ActionMismatch { .. }));
+    }
+
+    #[test]
+    fn within_bucket_swap_is_tolerated() {
+        // Both class-0 events land in one bucket; swapping them is a
+        // sub-grain perturbation the approximation is allowed to accept.
+        let reference = TimedTrace::from_pairs(vec![("a1", t(0)), ("a2", t(0))]);
+        let classes = per_letter();
+        let mut m = ApproxEps::new(&reference, ms(3), ms(1), &classes);
+        m.observe(&"a2", t(0));
+        m.observe(&"a1", t(0));
+        assert!(m.finish().is_ok());
+    }
+
+    #[test]
+    fn memory_is_span_bound_not_length_bound() {
+        // 10_000 events in a 10-bucket span: far fewer buckets than events.
+        let entries: Vec<(&'static str, Time)> = (0..10_000)
+            .map(|i| ("x", Time::ZERO + Duration::from_nanos(i)))
+            .collect();
+        let reference = TimedTrace::from_pairs(entries);
+        let classes: ClassMap<&'static str> = ClassMap::by(|_| None);
+        let m = ApproxEps::new(&reference, ms(1), Duration::from_nanos(1_000), &classes);
+        assert!(m.memory_bytes() < 1_500);
+    }
+
+    #[test]
+    fn delta_quantized_backward_slide_within_err_passes() {
+        // Reference and observation share a lattice cell: the sub-grain
+        // backward slide (5.5ms -> 5.1ms) is invisible.
+        let reference =
+            TimedTrace::from_pairs(vec![("a1", Time::ZERO + Duration::from_micros(5_500))]);
+        let classes = per_letter();
+        let mut m = ApproxDelta::new(&reference, ms(3), ms(1), &classes);
+        m.observe(&"a1", Time::ZERO + Duration::from_micros(5_100));
+        assert!(m.finish().is_ok());
+        // A backward slide that crosses a cell boundary is caught.
+        let mut m = ApproxDelta::new(&reference, ms(3), ms(1), &classes);
+        m.observe(&"a1", t(3));
+        assert!(matches!(
+            m.finish().unwrap_err().error,
+            RelationError::IllegalShift { .. }
+        ));
+    }
+
+    #[test]
+    fn delta_rest_requires_lattice_equality() {
+        let reference = TimedTrace::from_pairs(vec![("x", t(2))]);
+        let classes = per_letter();
+        let mut m = ApproxDelta::new(&reference, ms(3), ms(1), &classes);
+        m.observe(&"x", t(4));
+        assert!(matches!(
+            m.finish().unwrap_err().error,
+            RelationError::IllegalShift { .. }
+        ));
+    }
+}

@@ -13,6 +13,19 @@
 //!   `=_{ε,κ}` and `≤_{δ,K}`, verdict-equivalent to the offline matchers
 //!   in [`psync_automata::relations`] but with memory bounded by the
 //!   reference trace, and [`psync_verify::Oracle`] adapters for both.
+//! - [`approx`] — bounded-memory *approximate* variants of the same
+//!   monitors: times coarsened to a grain-sized lattice, lanes run-length
+//!   compressed into buckets, every verdict carrying a quantified `±err`
+//!   interval.
+//! - [`shard`] — deterministic parallel judging: [`check_all_sharded`]
+//!   fans a slice of oracles across a scoped thread pool and
+//!   [`ShardedEps`] splits one `=_{ε,κ}` check by lane, both merging
+//!   results in a fixed order so verdicts and metrics are bit-identical
+//!   to the sequential path.
+//! - [`online`] — [`OnlineJudge`], an [`psync_executor::Observer`] that
+//!   feeds events to [`psync_verify::StreamOracle`]s *during* the run and
+//!   exposes a handle for short-circuiting the moment a violation is
+//!   certain.
 //!
 //! Everything here is an *observer* in the strict sense: attaching any of
 //! these to an [`Engine`](psync_executor::Engine) or
@@ -24,13 +37,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod approx;
 pub mod metrics;
 pub mod monitor;
 pub mod observe;
+pub mod online;
+pub mod shard;
 
+pub use approx::{ApproxDelta, ApproxEps, ApproxViolation, ApproxWitness, StableFnv};
 pub use metrics::{Histogram, MetricsSnapshot, Registry};
 pub use monitor::{DeltaTraceOracle, EpsTraceOracle, StreamingDelta, StreamingEps};
 pub use observe::{
     CEpsMonitor, CEpsOracle, ChannelDelayObserver, EngineMetrics, MetricsHub, ADVANCE_NS_BOUNDS,
     DELAY_NS_BOUNDS, DRIFT_NS_BOUNDS, QUEUE_DEPTH_BOUNDS,
 };
+pub use online::OnlineJudge;
+pub use shard::{check_all_sharded, monitor_snapshot, ShardedEps};

@@ -192,6 +192,35 @@ impl Registry {
         }
     }
 
+    /// Folds the contents of `snapshot` into the live registry with the
+    /// same algebra as [`MetricsSnapshot::absorb`]: counters add, gauges
+    /// keep the worst (largest) level, histograms merge bucket-wise.
+    /// Used to fold a judging pass's deterministic snapshot into a case's
+    /// hub without disturbing what the run itself recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram shared by name has different bucket bounds.
+    pub fn absorb(&mut self, snapshot: &MetricsSnapshot) {
+        for (name, v) in &snapshot.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &snapshot.gauges {
+            self.gauges
+                .entry(name.clone())
+                .and_modify(|g| *g = (*g).max(*v))
+                .or_insert(*v);
+        }
+        for (name, h) in &snapshot.histograms {
+            match self.histograms.entry(name.clone()) {
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(h),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(h.clone());
+                }
+            }
+        }
+    }
+
     /// Discards everything recorded and replaces it with the contents of
     /// `snapshot` — the inverse of [`Registry::snapshot`], so
     /// `restore(snap)` followed by `self.snapshot()` yields `snap` exactly.

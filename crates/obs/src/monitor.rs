@@ -393,7 +393,7 @@ impl<'a, A: Action> StreamingDelta<'a, A> {
 }
 
 /// A boxed trace extractor, defaulting to [`Execution::t_trace`].
-type ExtractFn<A> = Box<dyn Fn(&Execution<A>) -> TimedTrace<A>>;
+type ExtractFn<A> = Box<dyn Fn(&Execution<A>) -> TimedTrace<A> + Send + Sync>;
 
 /// An [`Oracle`] wrapping [`StreamingEps`]: an execution holds iff its
 /// extracted trace is `=_{ε,κ}` the stored reference trace. Conformance
@@ -428,14 +428,14 @@ impl<A: Action> EpsTraceOracle<A> {
     #[must_use]
     pub fn with_extractor(
         mut self,
-        extract: impl Fn(&Execution<A>) -> TimedTrace<A> + 'static,
+        extract: impl Fn(&Execution<A>) -> TimedTrace<A> + Send + Sync + 'static,
     ) -> Self {
         self.extract = Box::new(extract);
         self
     }
 }
 
-impl<A: Action> Oracle<A> for EpsTraceOracle<A> {
+impl<A: Action + Send + Sync> Oracle<A> for EpsTraceOracle<A> {
     fn name(&self) -> String {
         self.name.clone()
     }
@@ -485,14 +485,14 @@ impl<A: Action> DeltaTraceOracle<A> {
     #[must_use]
     pub fn with_extractor(
         mut self,
-        extract: impl Fn(&Execution<A>) -> TimedTrace<A> + 'static,
+        extract: impl Fn(&Execution<A>) -> TimedTrace<A> + Send + Sync + 'static,
     ) -> Self {
         self.extract = Box::new(extract);
         self
     }
 }
 
-impl<A: Action> Oracle<A> for DeltaTraceOracle<A> {
+impl<A: Action + Send + Sync> Oracle<A> for DeltaTraceOracle<A> {
     fn name(&self) -> String {
         self.name.clone()
     }

@@ -98,6 +98,18 @@ impl MetricsHub {
         self.registry.borrow().snapshot()
     }
 
+    /// Folds `snapshot` into the hub with the [`MetricsSnapshot::absorb`]
+    /// algebra (counters add, gauges max, histograms merge) — how the
+    /// explorer folds a sharded judging pass's deterministic snapshot
+    /// into a case's metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram shared by name has different bucket bounds.
+    pub fn absorb(&self, snapshot: &MetricsSnapshot) {
+        self.registry.borrow_mut().absorb(snapshot);
+    }
+
     /// Rewinds the hub to a previously taken [`snapshot`](MetricsHub::snapshot),
     /// discarding everything recorded since. Pairs with
     /// [`Engine::restore`](psync_executor::Engine::restore): snapshot the

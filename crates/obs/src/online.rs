@@ -1,0 +1,199 @@
+//! Online judging: run [`StreamOracle`]s against a live engine run
+//! through the [`Observer`] hooks, instead of sweeping the finished
+//! execution.
+//!
+//! [`OnlineJudge`] follows the [`MetricsHub`](crate::MetricsHub) handle
+//! idiom: the judge itself is a cheap clonable handle
+//! (`Rc<RefCell<..>>`), and [`OnlineJudge::observer`] hands out the
+//! [`Observer`] half to attach at engine build time. While the engine
+//! runs, every recorded event and clock reading is fed to each oracle in
+//! registration order; the moment any oracle declares a violation
+//! *certain*, [`OnlineJudge::certain`] reports it, and a chunked driver
+//! (`run_until_events` … resume) can stop the case right there —
+//! the short-circuit that makes judging scale with violations instead of
+//! horizons. [`OnlineJudge::finish`] closes the stream and collects the
+//! final verdicts in oracle order, deterministic for a fixed run.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use psync_automata::{Action, TimedEvent, Verdict};
+use psync_executor::{ClockRead, Observer};
+use psync_time::Time;
+use psync_verify::StreamOracle;
+
+struct Inner<A: Action> {
+    oracles: Vec<Box<dyn StreamOracle<A>>>,
+    /// First certain violation, in (event, oracle-registration) order.
+    certain: Option<(String, String)>,
+}
+
+impl<A: Action> Inner<A> {
+    fn poll(&mut self) {
+        if self.certain.is_some() {
+            return;
+        }
+        for oracle in &self.oracles {
+            if let Some(why) = oracle.violation() {
+                self.certain = Some((oracle.name(), why));
+                return;
+            }
+        }
+    }
+}
+
+/// A handle over a set of [`StreamOracle`]s judging one live run.
+pub struct OnlineJudge<A: Action> {
+    inner: Rc<RefCell<Inner<A>>>,
+}
+
+impl<A: Action> OnlineJudge<A> {
+    /// Wraps `oracles`; their registration order fixes the verdict order.
+    #[must_use]
+    pub fn new(oracles: Vec<Box<dyn StreamOracle<A>>>) -> Self {
+        OnlineJudge {
+            inner: Rc::new(RefCell::new(Inner {
+                oracles,
+                certain: None,
+            })),
+        }
+    }
+
+    /// The [`Observer`] half, to attach via
+    /// `EngineBuilder::observer(judge.observer())`.
+    #[must_use]
+    pub fn observer(&self) -> OnlineJudgeObserver<A> {
+        OnlineJudgeObserver {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+
+    /// The first violation any oracle declared certain, if one exists —
+    /// the driver's short-circuit signal.
+    #[must_use]
+    pub fn certain(&self) -> Option<(String, String)> {
+        self.inner.borrow().certain.clone()
+    }
+
+    /// Closes the stream at `end` (the real time the run reached) and
+    /// returns every violation as `(oracle name, reason)` in oracle
+    /// order — the same shape [`psync_verify::check_all`] produces.
+    #[must_use]
+    pub fn finish(&self, end: Time) -> Vec<(String, String)> {
+        let mut inner = self.inner.borrow_mut();
+        let mut violations = Vec::new();
+        for oracle in &mut inner.oracles {
+            match oracle.finish(end) {
+                Verdict::Holds => {}
+                Verdict::Violated(why) => violations.push((oracle.name(), why)),
+            }
+        }
+        violations
+    }
+}
+
+impl<A: Action> std::fmt::Debug for OnlineJudge<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("OnlineJudge")
+            .field("oracles", &inner.oracles.len())
+            .field("certain", &inner.certain)
+            .finish()
+    }
+}
+
+/// The [`Observer`] half of an [`OnlineJudge`] (see
+/// [`OnlineJudge::observer`]).
+pub struct OnlineJudgeObserver<A: Action> {
+    inner: Rc<RefCell<Inner<A>>>,
+}
+
+impl<A: Action> Observer<A> for OnlineJudgeObserver<A> {
+    fn on_clock_read(&mut self, read: ClockRead) {
+        let mut inner = self.inner.borrow_mut();
+        for oracle in &mut inner.oracles {
+            oracle.observe_clock(read.node, read.now, read.clock, read.eps);
+        }
+        inner.poll();
+    }
+
+    fn on_event(&mut self, index: usize, event: &TimedEvent<A>) {
+        let mut inner = self.inner.borrow_mut();
+        for oracle in &mut inner.oracles {
+            oracle.observe_event(index, event);
+        }
+        inner.poll();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_automata::toys::{BeepAction, Beeper};
+    use psync_executor::Engine;
+    use psync_time::Duration;
+
+    /// Flags the n-th beep as certain the moment it fires.
+    struct AtMostBeeps {
+        limit: usize,
+        seen: usize,
+    }
+
+    impl StreamOracle<BeepAction> for AtMostBeeps {
+        fn name(&self) -> String {
+            "at most beeps".to_string()
+        }
+
+        fn observe_event(&mut self, _index: usize, event: &TimedEvent<BeepAction>) {
+            if event.kind.is_visible() {
+                self.seen += 1;
+            }
+        }
+
+        fn violation(&self) -> Option<String> {
+            (self.seen > self.limit).then(|| format!("{} beeps > {}", self.seen, self.limit))
+        }
+
+        fn finish(&mut self, _end: Time) -> Verdict {
+            match self.violation() {
+                Some(why) => Verdict::Violated(why),
+                None => Verdict::Holds,
+            }
+        }
+    }
+
+    fn ms(n: i64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn judge_turns_certain_mid_run_and_reports_in_order() {
+        let judge = OnlineJudge::new(vec![Box::new(AtMostBeeps { limit: 2, seen: 0 })]);
+        let mut engine = Engine::builder()
+            .timed(Beeper::new(ms(5)))
+            .observer(judge.observer())
+            .horizon(Time::ZERO + ms(40))
+            .build();
+        let run = engine.run().unwrap();
+        assert!(run.execution.len() >= 3);
+        let (name, why) = judge.certain().expect("third beep is certain");
+        assert_eq!(name, "at most beeps");
+        assert!(why.contains("beeps > 2"));
+        let verdicts = judge.finish(Time::ZERO + ms(40));
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].0, "at most beeps");
+    }
+
+    #[test]
+    fn judge_holds_on_clean_run() {
+        let judge = OnlineJudge::new(vec![Box::new(AtMostBeeps { limit: 10, seen: 0 })]);
+        let mut engine = Engine::builder()
+            .timed(Beeper::new(ms(5)))
+            .observer(judge.observer())
+            .horizon(Time::ZERO + ms(20))
+            .build();
+        engine.run().unwrap();
+        assert!(judge.certain().is_none());
+        assert!(judge.finish(Time::ZERO + ms(20)).is_empty());
+    }
+}

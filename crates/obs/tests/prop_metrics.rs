@@ -1,0 +1,135 @@
+//! Property tests for the metrics merge algebra.
+//!
+//! Campaign aggregation folds per-case [`MetricsSnapshot`]s in whatever
+//! order the worker pool finishes them, and the sharded judge folds
+//! per-shard snapshots in shard order — both lean on `absorb` being a
+//! commutative monoid so the bracketing never shows in the report. The
+//! unit tests in `metrics.rs` pin hand-picked cases; these properties pin
+//! the laws on generated snapshots with partially overlapping names,
+//! covering all three metric families at once:
+//!
+//! - counters add,
+//! - gauges max-merge (the PR 8 addition: a merged gauge reads as "no
+//!   constituent certified worse than this"),
+//! - histograms merge bucket-wise.
+//!
+//! Note: the vendored proptest stub replays deterministically from the
+//! test name and performs no shrinking, so it persists no
+//! `*.proptest-regressions` files.
+
+use proptest::prelude::*;
+use psync_obs::{MetricsSnapshot, Registry};
+
+/// One random registry mutation: `(family, name index, value)`. Name
+/// indices are drawn from a small pool so generated snapshots overlap on
+/// some names and diverge on others — the interesting merge cases.
+type Op = (usize, usize, i64);
+
+fn apply(r: &mut Registry, (family, name, value): Op) {
+    match family % 3 {
+        0 => r.add(&format!("counter.{}", name % 4), value.unsigned_abs()),
+        // Gauges are levels and may be negative (e.g. a clock offset).
+        1 => r.set_gauge(&format!("gauge.{}", name % 4), value - 500),
+        _ => r.observe(&format!("histogram.{}", name % 3), &[10, 100, 1_000], value),
+    }
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
+    prop::collection::vec((0usize..3, 0usize..8, 0i64..1_000), 0..16).prop_map(|ops| {
+        let mut r = Registry::new();
+        for op in ops {
+            apply(&mut r, op);
+        }
+        r.snapshot()
+    })
+}
+
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.absorb(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `absorb` is commutative: shard finish order cannot matter.
+    #[test]
+    fn absorb_is_commutative(a in snapshot_strategy(), b in snapshot_strategy()) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    /// `absorb` is associative: any bracketing of the same snapshots —
+    /// per-worker partial merges folded at the end, or one running
+    /// accumulator — yields the same aggregate.
+    #[test]
+    fn absorb_is_associative(
+        a in snapshot_strategy(),
+        b in snapshot_strategy(),
+        c in snapshot_strategy(),
+    ) {
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    /// The empty snapshot is a two-sided identity.
+    #[test]
+    fn empty_snapshot_is_identity(a in snapshot_strategy()) {
+        let empty = MetricsSnapshot::default();
+        prop_assert_eq!(merged(&empty, &a), a.clone());
+        prop_assert_eq!(merged(&a, &empty), a);
+    }
+
+    /// Gauge max-merge is idempotent: folding a snapshot into itself
+    /// doubles every counter and histogram count but leaves every gauge
+    /// level untouched — gauges are measurements, not totals.
+    #[test]
+    fn gauge_merge_is_idempotent(a in snapshot_strategy()) {
+        let twice = merged(&a, &a);
+        prop_assert_eq!(&twice.gauges, &a.gauges);
+        for (name, v) in &a.counters {
+            prop_assert_eq!(twice.counter(name), 2 * v);
+        }
+        for (name, h) in &a.histograms {
+            prop_assert_eq!(
+                twice.histogram(name).expect("name survives merge").count(),
+                2 * h.count()
+            );
+        }
+    }
+
+    /// A merged gauge is the pointwise max over every constituent that
+    /// set it (and only those), regardless of merge order.
+    #[test]
+    fn merged_gauge_is_pointwise_max(snaps in prop::collection::vec(snapshot_strategy(), 1..5)) {
+        let mut total = MetricsSnapshot::default();
+        for s in &snaps {
+            total.absorb(s);
+        }
+        let mut names: Vec<&String> =
+            snaps.iter().flat_map(|s| s.gauges.iter().map(|(k, _)| k)).collect();
+        names.sort();
+        names.dedup();
+        prop_assert_eq!(total.gauges.len(), names.len());
+        for name in names {
+            let max = snaps.iter().filter_map(|s| s.gauge(name)).max();
+            prop_assert_eq!(total.gauge(name), max);
+        }
+    }
+
+    /// `Registry::absorb` (fold a snapshot into a live registry) agrees
+    /// with `MetricsSnapshot::absorb` — the judge path that folds judging
+    /// metrics into a case hub uses the same algebra as campaign merging.
+    #[test]
+    fn registry_absorb_agrees_with_snapshot_absorb(
+        ops in prop::collection::vec((0usize..3, 0usize..8, 0i64..1_000), 0..16),
+        b in snapshot_strategy(),
+    ) {
+        let mut r = Registry::new();
+        for op in ops {
+            apply(&mut r, op);
+        }
+        let via_snapshot = merged(&r.snapshot(), &b);
+        r.absorb(&b);
+        prop_assert_eq!(r.snapshot(), via_snapshot);
+    }
+}

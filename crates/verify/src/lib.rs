@@ -52,6 +52,7 @@ mod oracle;
 mod problems;
 pub mod replay;
 mod sequential;
+mod stream;
 
 pub use conformance::{Conformance, ConformanceReport, Counterexample};
 pub use linearizable::{check_linearizable, check_superlinearizable};
@@ -62,3 +63,4 @@ pub use object_linearizable::{
 pub use oracle::{check_all, check_fifo_per_edge, FnOracle, Oracle, ProblemOracle};
 pub use problems::{LinearizableRegister, SuperlinearizableRegister};
 pub use sequential::check_sequentially_consistent;
+pub use stream::StreamOracle;

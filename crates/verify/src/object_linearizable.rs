@@ -155,7 +155,7 @@ impl<O: ObjectSpec> ObjectLinearizableOracle<O> {
     }
 }
 
-impl<O: ObjectSpec> Oracle<ObjAction<O>> for ObjectLinearizableOracle<O>
+impl<O: ObjectSpec + Send + Sync> Oracle<ObjAction<O>> for ObjectLinearizableOracle<O>
 where
     ObjAction<O>: Action,
 {

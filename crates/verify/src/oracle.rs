@@ -22,7 +22,12 @@ use psync_net::SysAction;
 use crate::conformance::Conformance;
 
 /// A named pass/fail check over one recorded execution.
-pub trait Oracle<A: Action> {
+///
+/// Oracles are `Send + Sync` so a slice of boxed oracles can be checked
+/// from several shards of a scoped thread pool at once (see
+/// `psync-obs`'s `check_all_sharded`); an oracle only reads the shared
+/// execution, so thread-safety costs nothing beyond the bound.
+pub trait Oracle<A: Action>: Send + Sync {
     /// A short stable name, used in reports and replay artifacts.
     fn name(&self) -> String;
 
@@ -31,10 +36,10 @@ pub trait Oracle<A: Action> {
 }
 
 /// A boxed execution-judging closure (the payload of [`FnOracle`]).
-type CheckFn<A> = Box<dyn Fn(&Execution<A>) -> Verdict>;
+type CheckFn<A> = Box<dyn Fn(&Execution<A>) -> Verdict + Send + Sync>;
 
 /// A boxed trace extractor (the adapter half of [`ProblemOracle`]).
-type ExtractFn<A> = Box<dyn Fn(&Execution<A>) -> TimedTrace<A>>;
+type ExtractFn<A> = Box<dyn Fn(&Execution<A>) -> TimedTrace<A> + Send + Sync>;
 
 /// An [`Oracle`] built from a closure.
 pub struct FnOracle<A: Action> {
@@ -44,7 +49,10 @@ pub struct FnOracle<A: Action> {
 
 impl<A: Action> FnOracle<A> {
     /// Creates a named oracle from a check function.
-    pub fn new(name: impl Into<String>, f: impl Fn(&Execution<A>) -> Verdict + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&Execution<A>) -> Verdict + Send + Sync + 'static,
+    ) -> Self {
         FnOracle {
             name: name.into(),
             f: Box::new(f),
@@ -66,7 +74,7 @@ impl<A: Action> Oracle<A> for FnOracle<A> {
 /// same problem instance drives both a [`Conformance`] sweep and an
 /// explorer campaign.
 pub struct ProblemOracle<A: Action> {
-    problem: Box<dyn Problem<A>>,
+    problem: Box<dyn Problem<A> + Send + Sync>,
     extract: ExtractFn<A>,
 }
 
@@ -74,8 +82,8 @@ impl<A: Action> ProblemOracle<A> {
     /// Wraps `problem`, judging the trace produced by `extract` (typically
     /// `psync_core::app_trace` or `Execution::t_trace`).
     pub fn new(
-        problem: impl Problem<A> + 'static,
-        extract: impl Fn(&Execution<A>) -> TimedTrace<A> + 'static,
+        problem: impl Problem<A> + Send + Sync + 'static,
+        extract: impl Fn(&Execution<A>) -> TimedTrace<A> + Send + Sync + 'static,
     ) -> Self {
         ProblemOracle {
             problem: Box::new(problem),

@@ -1,0 +1,46 @@
+//! Online (streaming) oracles: checks that consume events *while the run
+//! executes* instead of sweeping the finished execution.
+//!
+//! A [`StreamOracle`] is the incremental counterpart of [`Oracle`]: it is
+//! fed each [`TimedEvent`] (and clock reading) in order, may declare a
+//! violation *certain* at any point — meaning no continuation of the run
+//! can make the check pass, so the driver may stop early — and delivers
+//! its final verdict in [`finish`](StreamOracle::finish), which also
+//! covers properties only decidable at the horizon (e.g. failure-detector
+//! completeness). `psync-obs`'s `OnlineJudge` adapts a set of stream
+//! oracles into an engine `Observer`.
+//!
+//! The parity contract explorer scenarios rely on: for a run driven to
+//! its horizon without short-circuiting, the stream oracle's violations
+//! (name and message) must equal the post-hoc oracle's on the recorded
+//! execution.
+
+use psync_automata::{Action, TimedEvent, Verdict};
+use psync_time::{Duration, Time};
+
+/// A named incremental check over a live run.
+pub trait StreamOracle<A: Action> {
+    /// A short stable name; for parity it should match the name of the
+    /// post-hoc [`Oracle`](crate::oracle::Oracle) checking the same
+    /// property.
+    fn name(&self) -> String;
+
+    /// Consumes the next recorded event (`index` is its position in the
+    /// execution). Implementations should be sticky: once a violation is
+    /// certain, further events must not change it.
+    fn observe_event(&mut self, index: usize, event: &TimedEvent<A>);
+
+    /// Consumes a node-clock reading (`eps` is the node's skew bound).
+    /// Default: ignored.
+    fn observe_clock(&mut self, node: usize, now: Time, clock: Time, eps: Duration) {
+        let _ = (node, now, clock, eps);
+    }
+
+    /// The violation, if one is already *certain* — i.e. would hold in
+    /// every continuation of the run. `None` means "no verdict yet".
+    fn violation(&self) -> Option<String>;
+
+    /// Closes the stream at time `end` (the horizon actually reached) and
+    /// delivers the final verdict.
+    fn finish(&mut self, end: Time) -> Verdict;
+}
