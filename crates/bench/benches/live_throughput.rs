@@ -1,0 +1,141 @@
+//! Live-backend load generation: register throughput and latency
+//! percentiles vs the synchronization bound ε, on real threads.
+//!
+//! Drives [`psync_live::LiveRegister`] — one OS thread per node,
+//! monotonic clocks at a measured ε̂, in-process wires with measured
+//! delays — through a closed-loop register workload over a sweep of ε
+//! floors. The paper prices Algorithm S's operations in ε (read
+//! `2ε + c + δ`, write `d₂ + 2ε − c`, Theorem 6.5), so raising ε must
+//! cost latency and therefore closed-loop throughput; this bench
+//! measures that on the wall clock. Reported in `EXPERIMENTS.md` §E19.
+//!
+//! Writes `BENCH_live.json` (override with `PSYNC_BENCH_OUT`): per-ε
+//! ops/sec, latency percentiles, the measured ε̂, the worst wire delay,
+//! and the monitor/oracle verdicts, all re-checked on the spot. With
+//! `PSYNC_BENCH_SMOKE=1` the sweep shrinks to one short point and the
+//! cleanliness assertions are skipped (CI machines do not owe us a quiet
+//! wall clock).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use psync_executor::{Driver, StopReason};
+use psync_live::{judge_live_register, LiveConfig, LiveRegister, LiveReport};
+use psync_time::{DelayBounds, Duration};
+
+fn smoke() -> bool {
+    std::env::var("PSYNC_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn eps_floors_ms() -> Vec<i64> {
+    if smoke() {
+        vec![1]
+    } else {
+        vec![1, 4, 16]
+    }
+}
+
+fn config(eps_floor_ms: i64) -> LiveConfig {
+    LiveConfig {
+        nodes: 3,
+        ops_per_node: if smoke() { 3 } else { 10 },
+        eps_floor: Duration::from_millis(eps_floor_ms),
+        think: DelayBounds::new(Duration::from_millis(1), Duration::from_millis(3))
+            .expect("static bounds are valid"),
+        quantum: std::time::Duration::from_micros(200),
+        budget: std::time::Duration::from_secs(30),
+        seed: 0xE19_11FE ^ (eps_floor_ms as u64),
+        ..LiveConfig::default()
+    }
+}
+
+struct Sample {
+    report: LiveReport,
+    posthoc_violations: usize,
+    completed: bool,
+}
+
+fn run_once(eps_floor_ms: i64) -> Sample {
+    let cfg = config(eps_floor_ms);
+    let bounds = cfg.bounds;
+    let nodes = cfg.nodes;
+    let mut live = LiveRegister::new(cfg);
+    let run = live.drive().expect("live run completes");
+    let completed = run.stop == StopReason::Quiescent;
+    let report = live.take_report().expect("report recorded");
+    let posthoc = judge_live_register(&run.execution, nodes, report.eps_hat, bounds);
+    Sample {
+        report,
+        posthoc_violations: posthoc.len(),
+        completed,
+    }
+}
+
+fn bench_live_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("live_throughput");
+    group.sample_size(10);
+    // Criterion measures the smallest-ε point only: each iteration is a
+    // full wall-clock run, so the sweep lives in the artifact instead.
+    group.bench_function("eps_floor_1ms", |b| {
+        b.iter(|| black_box(run_once(1).report.ops_completed));
+    });
+    group.finish();
+    write_artifact();
+}
+
+fn write_artifact() {
+    let mut entries = Vec::new();
+    let mut clean = true;
+    for eps_ms in eps_floors_ms() {
+        let s = run_once(eps_ms);
+        let r = &s.report;
+        clean &= s.completed && r.monitor.violations.is_empty() && s.posthoc_violations == 0;
+        entries.push(format!(
+            "    {{\"eps_floor_ms\": {eps_ms}, \"eps_hat_ns\": {}, \"ops\": {}, \
+             \"ops_per_sec\": {:.2}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+             \"max_latency_ns\": {}, \"read_bound_ns\": {}, \"write_bound_ns\": {}, \
+             \"deliveries\": {}, \"max_delivery_delay_ns\": {}, \
+             \"monitor_violations\": {}, \"posthoc_violations\": {}, \"completed\": {}}}",
+            r.eps_hat.as_nanos(),
+            r.ops_completed,
+            r.ops_per_sec,
+            r.latency.p50.as_nanos(),
+            r.latency.p95.as_nanos(),
+            r.latency.p99.as_nanos(),
+            r.latency.max.as_nanos(),
+            r.read_latency.as_nanos(),
+            r.write_latency.as_nanos(),
+            r.deliveries,
+            r.max_delivery_delay.as_nanos(),
+            r.monitor.violations.len(),
+            s.posthoc_violations,
+            s.completed,
+        ));
+    }
+    let cfg = config(1);
+    let json = format!(
+        "{{\n  \"bench\": \"live_throughput\",\n  \"backend\": \"live\",\n  \
+         \"nodes\": {},\n  \"ops_per_node\": {},\n  \"d1_ms\": {},\n  \"d2_ms\": {},\n  \
+         \"smoke\": {},\n  \"clean\": {clean},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        cfg.nodes,
+        cfg.ops_per_node,
+        cfg.bounds.min().as_nanos() / 1_000_000,
+        cfg.bounds.max().as_nanos() / 1_000_000,
+        smoke(),
+        entries.join(",\n")
+    );
+    let path = std::env::var("PSYNC_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_live.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("live_throughput: wrote {path}"),
+        Err(e) => eprintln!("live_throughput: could not write {path}: {e}"),
+    }
+    if !smoke() {
+        assert!(
+            clean,
+            "a live sweep point violated its monitors or oracles (see {path})"
+        );
+    }
+}
+
+criterion_group!(benches, bench_live_throughput);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! The backend-agnostic driver seam: one trait both execution backends
+//! implement.
+//!
+//! The paper's point (Simulations 1 and 2) is that the *same* algorithm
+//! text runs against a logical schedule and against real
+//! partially-synchronized clocks. This workspace mirrors that with two
+//! backends over identical `Component` code:
+//!
+//! * the simulator — [`Engine`], virtual time, a seeded scheduler, clock
+//!   strategies exploring the `C_ε` envelope; and
+//! * the live runtime (`psync-live`) — one OS thread per node, wall-clock
+//!   time, `Instant`-backed clocks bounded by a *measured* ε̂, channels
+//!   with real delays.
+//!
+//! [`Driver`] is the seam between them: "drive this system to completion
+//! and hand back the captured [`Run`]". Everything downstream of a `Run`
+//! — the post-hoc `psync_verify` oracles, metrics absorption, trace
+//! tooling — is backend-blind, which is what makes live-vs-sim
+//! conformance testable at all: run both drivers, judge both captured
+//! executions with the same oracle set.
+
+use psync_automata::Action;
+
+use crate::engine::Run;
+use crate::Engine;
+
+/// Drives a system of components to completion and captures the run.
+///
+/// Implementations differ in *where time comes from* (virtual vs. wall
+/// clock) and *who schedules* (seeded scheduler vs. the OS), but agree on
+/// the artifact: a [`Run`] whose execution the same oracles judge. Errors
+/// are strings because the two backends fail differently (model errors
+/// vs. I/O and thread failures); callers report them, they don't match on
+/// them.
+pub trait Driver<A: Action> {
+    /// Short identifier for reports and artifacts: `"sim"`, `"live"`.
+    fn backend(&self) -> &'static str;
+
+    /// Runs the system to its natural end (horizon, quiescence, or the
+    /// backend's wall-clock budget) and returns the captured run.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of why the run could not complete —
+    /// an [`EngineError`](crate::EngineError) rendering for the
+    /// simulator, a channel/thread/envelope failure for a live backend.
+    fn drive(&mut self) -> Result<Run<A>, String>;
+}
+
+impl<A: Action> Driver<A> for Engine<A> {
+    fn backend(&self) -> &'static str {
+        "sim"
+    }
+
+    fn drive(&mut self) -> Result<Run<A>, String> {
+        self.run().map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_automata::toys::Beeper;
+    use psync_time::{Duration, Time};
+
+    #[test]
+    fn engine_drives_through_the_trait() {
+        let mut engine = Engine::builder()
+            .timed(Beeper::new(Duration::from_millis(10)))
+            .horizon(Time::ZERO + Duration::from_millis(35))
+            .build();
+        let driver: &mut dyn Driver<_> = &mut engine;
+        assert_eq!(driver.backend(), "sim");
+        let run = driver.drive().expect("beeper run completes");
+        assert_eq!(run.execution.len(), 3);
+    }
+}

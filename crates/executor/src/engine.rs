@@ -655,6 +655,179 @@ impl<A: Action> Engine<A> {
         self.run_inner(Some(pause_at))
     }
 
+    /// Like [`Engine::run_until`], but guarantees `now == horizon` on a
+    /// clean return: if the run goes quiescent short of the horizon, time
+    /// is advanced through `ν` to the horizon anyway (possibly enabling
+    /// clock-deadline work, which is then run too).
+    ///
+    /// [`Engine::run_until`] deliberately leaves a quiescent engine's
+    /// clock where it stopped — the simulator has no use for idle time.
+    /// A live runtime does: wall time passes whether or not the node has
+    /// work, and an injection ([`Engine::inject`]) must be recorded at
+    /// the *current wall time*, not at whenever the node last had
+    /// something to do. Quiescence here is exactly the case where
+    /// arbitrary delay is legal (no deadline is pending), so pushing `ν`
+    /// to the horizon stays inside the model.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is earlier than the current time.
+    pub fn run_idle_until(&mut self, horizon: Time) -> Result<Run<A>, EngineError> {
+        loop {
+            let run = self.run_until(horizon)?;
+            if self.now >= horizon {
+                return Ok(run);
+            }
+            self.advance_to(horizon)?;
+        }
+    }
+
+    /// Applies an *environment-supplied* input action at the current time
+    /// and records it — exactly as if an external composition partner had
+    /// just fired it as its output.
+    ///
+    /// This is the seam a live runtime drives: an engine that holds only
+    /// one node of a distributed system receives that node's message
+    /// deliveries (with their *measured* wire delays) and workload
+    /// invocations through `inject`, while everything the node itself
+    /// controls still fires through the normal scheduling loop. Injection
+    /// is synchronous and ordered: the event is appended to the log at
+    /// [`Engine::now`], observers see it like any engine-fired event, and
+    /// the next [`Engine::run_until`] call resumes with the components
+    /// already stepped.
+    ///
+    /// Every interested component must classify the action as
+    /// [`ActionKind::Input`](psync_automata::ActionKind) — the environment
+    /// controls an injected action, so a locally-controlled claim is the
+    /// same incompatibility as two composed components both claiming an
+    /// output. The recorded event carries the clock of the unique node
+    /// that steps on it (the `c_i(α)` of Section 4.3), like any other.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::IncompatibleControllers`] if a component claims the
+    /// action as locally controlled; [`EngineError::InputNotEnabled`] if a
+    /// component has it in signature but refuses the step;
+    /// [`EngineError::UnclaimedInjection`] if no component has it in
+    /// signature at all (the injection would vanish without a trace, which
+    /// is always a plumbing bug in the caller).
+    pub fn inject(&mut self, action: A) -> Result<(), EngineError> {
+        self.dc_scratch_valid = false;
+        let interested: Rc<[usize]> = self
+            .route
+            .get(action.name())
+            .cloned()
+            .unwrap_or_else(|| Rc::clone(&self.wildcard));
+        let mut event_clock: Option<(usize, Time)> = None;
+        let mut stepped = false;
+        let now = self.now;
+        for &id in interested.iter() {
+            match self.flat_origin[id] {
+                Origin::Timed(i) => {
+                    let rt = &mut self.timed[i];
+                    let Some(k) = rt.comp.classify(&action) else {
+                        continue;
+                    };
+                    if k.is_locally_controlled() {
+                        return Err(EngineError::IncompatibleControllers {
+                            first: rt.comp.name().to_string(),
+                            second: String::from("<injected>"),
+                            action: format!("{action:?}"),
+                        });
+                    }
+                    match rt.comp.step(&rt.state, &action, now) {
+                        Some(next) => {
+                            rt.state = next;
+                            stepped = true;
+                            if !self.dirty[id] {
+                                self.dirty[id] = true;
+                                self.dirty_ids.push(id);
+                            }
+                        }
+                        None => {
+                            return Err(EngineError::InputNotEnabled {
+                                component: rt.comp.name().to_string(),
+                                action: format!("{action:?}"),
+                                now,
+                            })
+                        }
+                    }
+                }
+                Origin::Node(n, j) => {
+                    let node = &mut self.nodes[n];
+                    let clock = node.clock;
+                    let (comp, state) = &mut node.comps[j];
+                    let Some(k) = comp.classify(&action) else {
+                        continue;
+                    };
+                    if event_clock.is_none() {
+                        event_clock = Some((n, clock));
+                    }
+                    if k.is_locally_controlled() {
+                        return Err(EngineError::IncompatibleControllers {
+                            first: format!("{}/{}", node.name, comp.name()),
+                            second: String::from("<injected>"),
+                            action: format!("{action:?}"),
+                        });
+                    }
+                    match comp.step(state, &action, clock) {
+                        Some(next) => {
+                            *state = next;
+                            stepped = true;
+                            if !self.dirty[id] {
+                                self.dirty[id] = true;
+                                self.dirty_ids.push(id);
+                            }
+                        }
+                        None => {
+                            return Err(EngineError::InputNotEnabled {
+                                component: format!("{}/{}", node.name, comp.name()),
+                                action: format!("{action:?}"),
+                                now,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        if !stepped {
+            return Err(EngineError::UnclaimedInjection {
+                action: format!("{action:?}"),
+                now,
+            });
+        }
+        let event = TimedEvent {
+            node: event_clock.map(|(n, _)| Arc::clone(&self.nodes[n].name)),
+            action,
+            kind: psync_automata::ActionKind::Input,
+            now,
+            clock: event_clock.map(|(_, c)| c),
+        };
+        if !self.observers.is_empty() {
+            if let Some((n, clock)) = event_clock {
+                let eps = self.nodes[n].pred.eps();
+                for obs in &mut self.observers {
+                    obs.on_clock_read(ClockRead {
+                        node: n,
+                        now,
+                        clock,
+                        eps,
+                    });
+                }
+            }
+            let index = self.events.len();
+            for obs in &mut self.observers {
+                obs.on_event(index, &event);
+            }
+        }
+        Arc::make_mut(&mut self.events).push(event);
+        Ok(())
+    }
+
     /// Captures a detached snapshot of the current run state. See
     /// [`EngineCheckpoint`] for what is (and is not) captured. Observers
     /// are notified via [`Observer::on_checkpoint`]; like every hook this
@@ -1590,6 +1763,27 @@ mod tests {
         let run = engine.run().unwrap();
         assert_eq!(run.stop, StopReason::Quiescent);
         assert!(run.execution.is_empty());
+    }
+
+    #[test]
+    fn run_idle_until_advances_a_quiescent_engine_to_the_horizon() {
+        let mut engine = Engine::builder().timed(Echo::new(ms(3))).build();
+        let run = engine.run_idle_until(at(10)).unwrap();
+        assert_eq!(engine.now(), at(10));
+        assert!(run.execution.is_empty());
+        // An injection lands at the pushed-forward time, and the work it
+        // enables runs on the next call — the live-runtime loop shape.
+        engine.inject(EchoAction::Ping { id: 7 }).unwrap();
+        assert_eq!(engine.events()[0].now, at(10));
+        let run = engine.run_idle_until(at(20)).unwrap();
+        assert_eq!(engine.now(), at(20));
+        assert_eq!(
+            run.execution.t_trace().as_slice(),
+            &[
+                (EchoAction::Ping { id: 7 }, at(10)),
+                (EchoAction::Pong { id: 7 }, at(13)),
+            ]
+        );
     }
 
     #[test]

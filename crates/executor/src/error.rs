@@ -79,6 +79,16 @@ pub enum EngineError {
         /// Time at which it was hit.
         now: Time,
     },
+    /// An injected action ([`Engine::inject`](crate::Engine::inject))
+    /// matched no component's signature: it would be recorded without
+    /// anyone stepping on it, which is always a plumbing bug in the
+    /// driving runtime (wrong node, stale route, mistyped action).
+    UnclaimedInjection {
+        /// Debug rendering of the injected action.
+        action: String,
+        /// Time of the attempted injection.
+        now: Time,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -130,6 +140,10 @@ impl fmt::Display for EngineError {
             EngineError::EventLimitExceeded { limit, now } => write!(
                 f,
                 "event limit {limit} exceeded at {now}: composition is likely Zeno"
+            ),
+            EngineError::UnclaimedInjection { action, now } => write!(
+                f,
+                "injected action {action} at {now} matched no component signature"
             ),
         }
     }

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod clock_driver;
+mod driver;
 mod engine;
 mod error;
 mod fasthash;
@@ -55,6 +56,7 @@ pub use clock_driver::{
     AdvanceCtx, ClockCheckpoint, ClockStrategy, DriftClock, OffsetClock, PerfectClock,
     RandomWalkClock, ScriptedClock,
 };
+pub use driver::Driver;
 pub use engine::{ClockNode, Engine, EngineBuilder, EngineCheckpoint, Run, StopReason};
 pub use error::EngineError;
 pub use observer::{ClockRead, NoopObserver, Observer};

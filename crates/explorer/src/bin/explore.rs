@@ -17,10 +17,12 @@
 //! for every `N`; `--jobs 1` is the plain sequential loop.
 //!
 //! `--monitor-shards N` fans each case's oracle set across `N` judge
-//! threads (default: `PSYNC_MONITOR_SHARDS` or 1). Like `--jobs`, it is
-//! a pure performance knob: every verdict and metric is bit-identical
-//! for every `N`, which CI cross-checks by diffing stdout across shard
-//! counts.
+//! threads (default 1). Like `--jobs`, it is a pure performance knob:
+//! every verdict and metric is bit-identical for every `N`, which CI
+//! cross-checks by diffing stdout across shard counts. It only pays for
+//! itself when monitors run concurrently with the case, so it requires
+//! `--online`; passing it without `--online` is an error rather than a
+//! silent no-op.
 //!
 //! `--online` judges heartbeat-family cases *while they run*: stream
 //! oracles ride the engine's observer hooks and a case stops the moment
@@ -67,11 +69,12 @@ use std::time::Instant;
 
 use psync_explorer::json::Json;
 use psync_explorer::{
-    default_jobs, mutation_score, run_campaign_jobs, run_canary_suite, set_monitor_shards,
-    CampaignConfig, CampaignReport, CanaryKind, CanaryOutcome, ScenarioConfig, ScenarioKind,
+    default_jobs, mutation_score, run_campaign_jobs, run_canary_suite, CampaignConfig,
+    CampaignReport, CanaryKind, CanaryOutcome, ScenarioConfig, ScenarioKind,
 };
 use psync_obs::MetricsSnapshot;
 
+#[cfg_attr(test, derive(Debug))]
 struct Args {
     campaign: CampaignConfig,
     scenarios: Vec<ScenarioKind>,
@@ -99,6 +102,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut bug_extra_ns = 0i64;
     let mut metrics_out = None;
     let mut report_out = None;
+    let mut monitor_shards = None;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -154,7 +158,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 if shards == 0 {
                     return Err("--monitor-shards must be at least 1".to_string());
                 }
-                set_monitor_shards(shards);
+                monitor_shards = Some(shards);
             }
             "--online" => campaign.online = true,
             "--metrics-out" => metrics_out = Some(value("--metrics-out")?.clone()),
@@ -173,6 +177,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if campaign.max_entries == 0 {
         return Err("--max-entries must be at least 1".to_string());
+    }
+    // Checked after the loop so flag order doesn't matter. Sharded
+    // judging only exists to keep monitor lanes off the case's critical
+    // path, which only online judging has; without --online the knob
+    // would change nothing, and silently accepting it hides typos.
+    if let Some(shards) = monitor_shards {
+        if !campaign.online {
+            return Err(
+                "--monitor-shards requires --online (sharded judging only applies to                  online monitor lanes; without --online the flag would be a silent no-op)"
+                    .to_string(),
+            );
+        }
+        campaign.monitor_shards = shards;
     }
     Ok(Args {
         campaign,
@@ -260,6 +277,21 @@ fn canary_json(outcome: &CanaryOutcome) -> Json {
     ])
 }
 
+/// Wall-clock throughput, rounded to the nearest event/sec. Computed
+/// from fractional seconds: the old `as_millis()` division truncated
+/// sub-millisecond runs to a zero divisor (reported as 0 events/sec)
+/// and understated every short CI run by up to a full millisecond of
+/// rounding.
+#[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+#[allow(clippy::cast_sign_loss)]
+fn events_per_sec(total_events: u64, elapsed: std::time::Duration) -> u64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        return 0;
+    }
+    (total_events as f64 / secs).round() as u64
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -329,11 +361,7 @@ fn main() -> ExitCode {
     // pure functions of the seeds. It goes to stderr so stdout stays
     // bit-identical across runs (CI diffs it between job counts).
     let elapsed = started.elapsed();
-    let events_per_sec = if elapsed.as_millis() == 0 {
-        0u64
-    } else {
-        (u128::from(total_events) * 1000 / elapsed.as_millis()) as u64
-    };
+    let events_per_sec = events_per_sec(total_events, elapsed);
     eprintln!(
         "{total_events} events in {:.3}s ({events_per_sec} events/sec)",
         elapsed.as_secs_f64()
@@ -390,5 +418,56 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn monitor_shards_without_online_is_rejected() {
+        let err = parse_args(&argv(&["--monitor-shards", "4"]))
+            .expect_err("--monitor-shards alone must be rejected, not silently ignored");
+        assert!(
+            err.contains("--monitor-shards requires --online"),
+            "unhelpful error: {err}"
+        );
+        // Order must not matter: the check runs after the parse loop.
+        for order in [
+            &["--monitor-shards", "4", "--online"][..],
+            &["--online", "--monitor-shards", "4"][..],
+        ] {
+            let args = parse_args(&argv(order)).expect("--online makes the flag valid");
+            assert!(args.campaign.online);
+            assert_eq!(args.campaign.monitor_shards, 4);
+        }
+        // Absent flag: campaign default, no online requirement.
+        let args = parse_args(&argv(&[])).expect("empty argv parses");
+        assert_eq!(args.campaign.monitor_shards, 1);
+    }
+
+    #[test]
+    fn monitor_shards_zero_is_rejected() {
+        let err = parse_args(&argv(&["--online", "--monitor-shards", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn events_per_sec_is_honest_for_short_runs() {
+        // 100 events in 500µs is 200k events/sec; the old
+        // `as_millis()`-based division saw a zero divisor and reported 0.
+        assert_eq!(events_per_sec(100, Duration::from_micros(500)), 200_000);
+        // 1.5ms used to truncate to 1ms, overstating by 50%.
+        assert_eq!(events_per_sec(3000, Duration::from_micros(1500)), 2_000_000);
+        // Plain cases and the degenerate zero-duration case.
+        assert_eq!(events_per_sec(10_000, Duration::from_secs(2)), 5_000);
+        assert_eq!(events_per_sec(42, Duration::ZERO), 0);
+        assert_eq!(events_per_sec(0, Duration::from_secs(1)), 0);
     }
 }

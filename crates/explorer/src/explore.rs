@@ -69,6 +69,12 @@ pub struct CampaignConfig {
     /// reports are *not* comparable to offline reports — the mode is
     /// still bit-identical across `--jobs` and replays of itself.
     pub online: bool,
+    /// Judge-lane shard count for post-hoc oracle checking. A pure
+    /// performance knob threaded down to `check_all_sharded`: verdicts
+    /// and metrics are bit-identical for every value, so it lives here —
+    /// per campaign — rather than in the `(config, plan, seed)` replay
+    /// triple or (as it once did) a process-global setter.
+    pub monitor_shards: usize,
 }
 
 impl Default for CampaignConfig {
@@ -79,6 +85,7 @@ impl Default for CampaignConfig {
             max_entries: 6,
             checkpointed_shrink: true,
             online: false,
+            monitor_shards: 1,
         }
     }
 }
@@ -249,6 +256,7 @@ fn run_one_case(
         case_seed,
         campaign.checkpointed_shrink,
         campaign.online,
+        campaign.monitor_shards,
         &mut telemetry,
     );
     let mut record = CaseRecord {

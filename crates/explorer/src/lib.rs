@@ -59,9 +59,9 @@ pub use online::{heartbeat_stream_oracles, run_case_online, run_heartbeat_online
 pub use plan::{at_ns, ns, FaultEntry, FaultEnvelope, FaultPlan, Inadmissible};
 pub use resume::CampaignTelemetry;
 pub use scenario::{
-    clockfleet_oracles, counter_oracles, fingerprint, heartbeat_oracles, monitor_shards,
-    mutex_oracles, register_oracles, run_case, run_clockfleet, run_counter, run_heartbeat,
-    run_heartbeat_restart, run_mutex, run_register, run_sync, set_monitor_shards, sync_oracles,
-    CaseOutcome, HeartbeatRelay, Judged, ScenarioConfig, ScenarioKind,
+    clockfleet_oracles, counter_oracles, fingerprint, heartbeat_oracles, mutex_oracles,
+    register_oracles, run_case, run_case_sharded, run_clockfleet, run_counter, run_heartbeat,
+    run_heartbeat_restart, run_mutex, run_register, run_sync, sync_oracles, CaseOutcome,
+    HeartbeatRelay, Judged, ScenarioConfig, ScenarioKind,
 };
 pub use shrink::shrink_entries;

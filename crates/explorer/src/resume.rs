@@ -60,7 +60,7 @@ use crate::plan::{at_ns, FaultEntry, FaultPlan};
 use crate::scenario::{
     build_clockfleet, build_counter, build_heartbeat, build_mutex, build_register, finish_case,
     judge_clockfleet, judge_counter, judge_heartbeat, judge_mutex, judge_register, outcome_of,
-    run_case, BuiltCase, CaseOutcome, JudgeVerdicts, ScenarioConfig, ScenarioKind,
+    run_case_sharded, BuiltCase, CaseOutcome, JudgeVerdicts, ScenarioConfig, ScenarioKind,
 };
 use crate::shrink::shrink_entries;
 
@@ -437,8 +437,10 @@ pub(crate) fn run_shrinkable_case(
     seed: u64,
     checkpointed: bool,
     online: bool,
+    monitor_shards: usize,
     telemetry: &mut CampaignTelemetry,
 ) -> (CaseOutcome, Option<ShrinkResult>) {
+    let shards = monitor_shards.max(1);
     // Online judging short-circuits runs, so the checkpoint ladders a
     // resumed probe needs are never recorded — online cases (and their
     // probes) always run from scratch, with the same online judge so the
@@ -470,13 +472,13 @@ pub(crate) fn run_shrinkable_case(
     let from_scratch =
         !checkpointed || scenario.kind == ScenarioKind::HeartbeatRestart || scenario.kind.is_sync();
     if from_scratch {
-        let outcome = run_case(scenario, plan, seed);
+        let outcome = run_case_sharded(scenario, plan, seed, shards);
         if outcome.violations.is_empty() {
             return (outcome, None);
         }
         let mut shrink_events = 0u64;
         let (result, hits) = shrink_with_cache(plan, &outcome, &mut |candidate| {
-            let probe = run_case(scenario, candidate, seed);
+            let probe = run_case_sharded(scenario, candidate, seed, shards);
             shrink_events += probe.events as u64;
             probe
         });
@@ -498,35 +500,35 @@ pub(crate) fn run_shrinkable_case(
             plan,
             telemetry,
             &|p| build_heartbeat(scenario, p, seed),
-            &|p, run| judge_heartbeat(scenario, p, run),
+            &|p, run| judge_heartbeat(scenario, p, run, shards),
             &heartbeat_activation,
         ),
         ScenarioKind::ClockFleet | ScenarioKind::ClockFleetLarge => run_and_shrink(
             plan,
             telemetry,
             &|p| build_clockfleet(scenario, p, seed),
-            &|_p, run| judge_clockfleet(scenario, run),
+            &|_p, run| judge_clockfleet(scenario, run, shards),
             &clock_activation,
         ),
         ScenarioKind::Mutex | ScenarioKind::MutexContended => run_and_shrink(
             plan,
             telemetry,
             &|p| build_mutex(scenario, p, seed),
-            &|_p, run| judge_mutex(scenario, run),
+            &|_p, run| judge_mutex(scenario, run, shards),
             &clock_activation,
         ),
         ScenarioKind::Register | ScenarioKind::RegisterTriple => run_and_shrink(
             plan,
             telemetry,
             &|p| build_register(scenario, p, seed),
-            &|_p, run| judge_register(scenario, seed, run),
+            &|_p, run| judge_register(scenario, seed, run, shards),
             &clock_activation,
         ),
         ScenarioKind::Counter => run_and_shrink(
             plan,
             telemetry,
             &|p| build_counter(scenario, p, seed),
-            &|_p, run| judge_counter(scenario, seed, run),
+            &|_p, run| judge_counter(scenario, seed, run, shards),
             &clock_activation,
         ),
     }
@@ -536,6 +538,7 @@ pub(crate) fn run_shrinkable_case(
 mod tests {
     use super::*;
     use crate::plan::FaultPlan;
+    use crate::scenario::run_case;
 
     fn outcome(violations: Vec<(String, String)>, events: usize) -> CaseOutcome {
         CaseOutcome {
@@ -689,7 +692,7 @@ mod tests {
             &plan,
             0xD15C_0B01,
             &|p| build_heartbeat(&scenario, p, 0xD15C_0B01),
-            &|p, run| judge_heartbeat(&scenario, p, run),
+            &|p, run| judge_heartbeat(&scenario, p, run, 1),
             &heartbeat_activation,
         );
     }
@@ -721,7 +724,7 @@ mod tests {
             &plan,
             42,
             &|p| build_heartbeat(&scenario, p, 42),
-            &|p, run| judge_heartbeat(&scenario, p, run),
+            &|p, run| judge_heartbeat(&scenario, p, run, 1),
             &heartbeat_activation,
         );
     }
@@ -751,7 +754,7 @@ mod tests {
             &plan,
             13,
             &|p| build_clockfleet(&scenario, p, 13),
-            &|_p, run| judge_clockfleet(&scenario, run),
+            &|_p, run| judge_clockfleet(&scenario, run, 1),
             &clock_activation,
         );
     }
@@ -780,7 +783,7 @@ mod tests {
             &plan,
             7,
             &|p| build_register(&scenario, p, 7),
-            &|_p, run| judge_register(&scenario, 7, run),
+            &|_p, run| judge_register(&scenario, 7, run, 1),
             &clock_activation,
         );
     }

@@ -57,7 +57,6 @@
 
 use core::cell::Cell;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use psync_apps::heartbeat::{FdAction, FdOp, FdParams, Heartbeat, Heartbeater, Monitor};
 use psync_apps::mutex::{MutexAction, MutexOp, SlotUser};
@@ -654,52 +653,29 @@ pub fn fingerprint<A: Action>(exec: &Execution<A>) -> u64 {
 
 const CASE_MAX_EVENTS: usize = 250_000;
 
-/// The monitor-lane shard count every judge uses, as a process-wide knob
-/// (`0` = not yet initialized; resolved from `PSYNC_MONITOR_SHARDS` on
-/// first read, defaulting to 1). It is a pure performance knob: the
-/// sharded judge's verdicts *and* metrics are bit-identical for every
-/// value (see [`check_all_sharded`]), which is why it may live outside
-/// the `(config, plan, seed)` triple without breaking replay identity.
-static MONITOR_SHARDS: AtomicUsize = AtomicUsize::new(0);
-
-/// The shard count case judges fan their oracle sets across.
-#[must_use]
-pub fn monitor_shards() -> usize {
-    match MONITOR_SHARDS.load(Ordering::Relaxed) {
-        0 => {
-            let n = std::env::var("PSYNC_MONITOR_SHARDS")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .filter(|&n| n >= 1)
-                .unwrap_or(1);
-            MONITOR_SHARDS.store(n, Ordering::Relaxed);
-            n
-        }
-        n => n,
-    }
-}
-
-/// Overrides the monitor-lane shard count (the `--monitor-shards` CLI
-/// flag). Values below 1 clamp to 1 (the sequential judge).
-pub fn set_monitor_shards(shards: usize) {
-    MONITOR_SHARDS.store(shards.max(1), Ordering::Relaxed);
-}
-
 /// A judge's result: the oracle verdicts plus the deterministic judging
 /// metrics (`monitor.checks`, `monitor.violations`) that
 /// [`finish_case`] folds into the case's hub.
 pub(crate) type JudgeVerdicts = (Vec<(String, String)>, MetricsSnapshot);
 
-/// Judges a finished run against an oracle set on [`monitor_shards`]
-/// worker threads. Verdicts and metrics are bit-identical for every
-/// shard count; an engine error short-circuits to a single `engine`
-/// violation with empty metrics.
+/// Judges a finished run against an oracle set on `shards` worker
+/// threads. The shard count is threaded down from
+/// [`CampaignConfig::monitor_shards`](crate::CampaignConfig) — there is
+/// deliberately no process-global setter (a global breaks concurrent
+/// library users; two campaigns in one process must be able to judge at
+/// different widths). It is a pure performance knob: the sharded judge's
+/// verdicts *and* metrics are bit-identical for every value (see
+/// [`check_all_sharded`]), which is why it may live outside the
+/// `(config, plan, seed)` triple without breaking replay identity. An
+/// engine error short-circuits to a single `engine` violation with empty
+/// metrics.
 fn judge_sharded<A: Action + Send + Sync>(
     oracles: &[Box<dyn Oracle<A>>],
     run: &Result<Run<A>, String>,
+    shards: usize,
 ) -> JudgeVerdicts {
     match run {
-        Ok(run) => check_all_sharded(oracles, &run.execution, monitor_shards()),
+        Ok(run) => check_all_sharded(oracles, &run.execution, shards.max(1)),
         Err(e) => (
             vec![("engine".into(), e.clone())],
             MetricsSnapshot::default(),
@@ -1096,8 +1072,9 @@ pub(crate) fn judge_heartbeat(
     cfg: &ScenarioConfig,
     plan: &FaultPlan,
     run: &Result<Run<FdAction>, String>,
+    shards: usize,
 ) -> JudgeVerdicts {
-    judge_sharded(&heartbeat_oracles(cfg, plan), run)
+    judge_sharded(&heartbeat_oracles(cfg, plan), run, shards)
 }
 
 /// Runs one heartbeat-family case: returns the raw engine run and the
@@ -1109,10 +1086,19 @@ pub(crate) fn judge_heartbeat(
 /// Panics if the config is not a heartbeat-family config (the restart
 /// variant has its own runner, [`run_heartbeat_restart`]).
 pub fn run_heartbeat(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<FdAction> {
+    run_heartbeat_with(cfg, plan, seed, 1)
+}
+
+pub(crate) fn run_heartbeat_with(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+    shards: usize,
+) -> Judged<FdAction> {
     assert!(cfg.kind.is_heartbeat() && cfg.kind != ScenarioKind::HeartbeatRestart);
     let mut built = build_heartbeat(cfg, plan, seed);
     let run = built.engine.run().map_err(|e| e.to_string());
-    let violations = judge_heartbeat(cfg, plan, &run);
+    let violations = judge_heartbeat(cfg, plan, &run, shards);
     finish_case(&built, violations, run)
 }
 
@@ -1133,6 +1119,15 @@ pub fn run_heartbeat_restart(
     cfg: &ScenarioConfig,
     plan: &FaultPlan,
     seed: u64,
+) -> Judged<FdAction> {
+    run_heartbeat_restart_with(cfg, plan, seed, 1)
+}
+
+pub(crate) fn run_heartbeat_restart_with(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+    shards: usize,
 ) -> Judged<FdAction> {
     assert_eq!(cfg.kind, ScenarioKind::HeartbeatRestart);
     let seam = cfg
@@ -1163,13 +1158,13 @@ pub fn run_heartbeat_restart(
                 .engine
                 .run_until(at_ns(cfg.horizon_ns))
                 .map_err(|e| e.to_string());
-            let violations = judge_heartbeat(cfg, plan, &run);
+            let violations = judge_heartbeat(cfg, plan, &run, shards);
             finish_case(&second, violations, run)
         }
         run => {
             // Stopped before the seam (quiescent or capped): nothing to
             // restart; judge what was recorded.
-            let violations = judge_heartbeat(cfg, plan, &run);
+            let violations = judge_heartbeat(cfg, plan, &run, shards);
             finish_case(&first, violations, run)
         }
     }
@@ -1366,13 +1361,22 @@ fn fleet_period(cfg: &ScenarioConfig, node: u32) -> Duration {
 ///
 /// Panics if the config is not a clockfleet-family config.
 pub fn run_clockfleet(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<BeepAction> {
+    run_clockfleet_with(cfg, plan, seed, 1)
+}
+
+pub(crate) fn run_clockfleet_with(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+    shards: usize,
+) -> Judged<BeepAction> {
     assert!(matches!(
         cfg.kind,
         ScenarioKind::ClockFleet | ScenarioKind::ClockFleetLarge
     ));
     let mut built = build_clockfleet(cfg, plan, seed);
     let run = built.engine.run().map_err(|e| e.to_string());
-    let violations = judge_clockfleet(cfg, &run);
+    let violations = judge_clockfleet(cfg, &run, shards);
     finish_case(&built, violations, run)
 }
 
@@ -1432,8 +1436,9 @@ pub(crate) fn build_clockfleet(
 pub(crate) fn judge_clockfleet(
     cfg: &ScenarioConfig,
     run: &Result<Run<BeepAction>, String>,
+    shards: usize,
 ) -> JudgeVerdicts {
-    judge_sharded(&clockfleet_oracles(cfg), run)
+    judge_sharded(&clockfleet_oracles(cfg), run, shards)
 }
 
 /// The clock-fleet scenario's oracle set.
@@ -1525,13 +1530,22 @@ fn mutex_guard(cfg: &ScenarioConfig) -> Duration {
 ///
 /// Panics if the config is not a mutex-family config.
 pub fn run_mutex(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<MutexAction> {
+    run_mutex_with(cfg, plan, seed, 1)
+}
+
+pub(crate) fn run_mutex_with(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+    shards: usize,
+) -> Judged<MutexAction> {
     assert!(matches!(
         cfg.kind,
         ScenarioKind::Mutex | ScenarioKind::MutexContended
     ));
     let mut built = build_mutex(cfg, plan, seed);
     let run = built.engine.run().map_err(|e| e.to_string());
-    let violations = judge_mutex(cfg, &run);
+    let violations = judge_mutex(cfg, &run, shards);
     finish_case(&built, violations, run)
 }
 
@@ -1582,8 +1596,9 @@ pub(crate) fn build_mutex(
 pub(crate) fn judge_mutex(
     cfg: &ScenarioConfig,
     run: &Result<Run<MutexAction>, String>,
+    shards: usize,
 ) -> JudgeVerdicts {
-    judge_sharded(&mutex_oracles(cfg), run)
+    judge_sharded(&mutex_oracles(cfg), run, shards)
 }
 
 /// Interval-based mutual exclusion over real time: occupancies of
@@ -1703,13 +1718,22 @@ pub fn mutex_oracles(cfg: &ScenarioConfig) -> Vec<Box<dyn Oracle<MutexAction>>> 
 ///
 /// Panics if the config is not a register-family config.
 pub fn run_register(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<RegAction> {
+    run_register_with(cfg, plan, seed, 1)
+}
+
+pub(crate) fn run_register_with(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+    shards: usize,
+) -> Judged<RegAction> {
     assert!(matches!(
         cfg.kind,
         ScenarioKind::Register | ScenarioKind::RegisterTriple
     ));
     let mut built = build_register(cfg, plan, seed);
     let run = built.engine.run().map_err(|e| e.to_string());
-    let violations = judge_register(cfg, seed, &run);
+    let violations = judge_register(cfg, seed, &run, shards);
     finish_case(&built, violations, run)
 }
 
@@ -1807,8 +1831,9 @@ pub(crate) fn judge_register(
     cfg: &ScenarioConfig,
     seed: u64,
     run: &Result<Run<RegAction>, String>,
+    shards: usize,
 ) -> JudgeVerdicts {
-    let (oracle_violations, metrics) = judge_sharded(&register_oracles(cfg, seed), run);
+    let (oracle_violations, metrics) = judge_sharded(&register_oracles(cfg, seed), run, shards);
     match run {
         Ok(run) => {
             let mut violations = Vec::new();
@@ -1871,10 +1896,19 @@ pub fn run_counter(
     plan: &FaultPlan,
     seed: u64,
 ) -> Judged<ObjAction<Counter>> {
+    run_counter_with(cfg, plan, seed, 1)
+}
+
+pub(crate) fn run_counter_with(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+    shards: usize,
+) -> Judged<ObjAction<Counter>> {
     assert_eq!(cfg.kind, ScenarioKind::Counter);
     let mut built = build_counter(cfg, plan, seed);
     let run = built.engine.run().map_err(|e| e.to_string());
-    let violations = judge_counter(cfg, seed, &run);
+    let violations = judge_counter(cfg, seed, &run, shards);
     finish_case(&built, violations, run)
 }
 
@@ -1926,8 +1960,9 @@ pub(crate) fn judge_counter(
     cfg: &ScenarioConfig,
     seed: u64,
     run: &Result<Run<ObjAction<Counter>>, String>,
+    shards: usize,
 ) -> JudgeVerdicts {
-    let (oracle_violations, metrics) = judge_sharded(&counter_oracles(cfg, seed), run);
+    let (oracle_violations, metrics) = judge_sharded(&counter_oracles(cfg, seed), run, shards);
     match run {
         Ok(run) => {
             let mut violations = Vec::new();
@@ -2070,8 +2105,9 @@ pub(crate) fn build_sync(
 pub(crate) fn judge_sync(
     cfg: &ScenarioConfig,
     run: &Result<Run<SyncAction>, String>,
+    shards: usize,
 ) -> JudgeVerdicts {
-    judge_sharded(&sync_oracles(cfg), run)
+    judge_sharded(&sync_oracles(cfg), run, shards)
 }
 
 /// The sync scenario's oracle set: the ε̂-parameterized `C_ε`
@@ -2122,6 +2158,15 @@ pub fn sync_oracles(cfg: &ScenarioConfig) -> Vec<Box<dyn Oracle<SyncAction>>> {
 ///
 /// Panics if the config is not a sync-family config.
 pub fn run_sync(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<SyncAction> {
+    run_sync_with(cfg, plan, seed, 1)
+}
+
+pub(crate) fn run_sync_with(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+    shards: usize,
+) -> Judged<SyncAction> {
     assert!(cfg.kind.is_sync());
     let mut built = build_sync(cfg, plan, seed);
     let run = built.engine.run().map_err(|e| e.to_string());
@@ -2136,7 +2181,7 @@ pub fn run_sync(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> Judged<Syn
             }
         }
     }
-    let violations = judge_sync(cfg, &run);
+    let violations = judge_sync(cfg, &run, shards);
     finish_case(&built, violations, run)
 }
 
@@ -2156,29 +2201,51 @@ pub(crate) fn outcome_of<A: Action>(judged: Judged<A>) -> CaseOutcome {
     }
 }
 
-/// Runs one case of any scenario kind and judges it — the generic entry
-/// point the exploration loop and `replay_artifact` share.
+/// Runs one case of any scenario kind and judges it sequentially — the
+/// generic entry point `replay_artifact` and one-off callers share.
+/// Equivalent to [`run_case_sharded`] with one shard (every outcome is
+/// shard-count invariant, so replays need not know the campaign's
+/// monitor width).
 #[must_use]
 pub fn run_case(cfg: &ScenarioConfig, plan: &FaultPlan, seed: u64) -> CaseOutcome {
+    run_case_sharded(cfg, plan, seed, 1)
+}
+
+/// Runs one case of any scenario kind and judges it on `monitor_shards`
+/// judge threads. The shard count is a pure performance knob threaded
+/// down from [`CampaignConfig::monitor_shards`](crate::CampaignConfig);
+/// the outcome is bit-identical for every value.
+#[must_use]
+pub fn run_case_sharded(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    seed: u64,
+    monitor_shards: usize,
+) -> CaseOutcome {
+    let shards = monitor_shards.max(1);
     match cfg.kind {
-        ScenarioKind::HeartbeatRestart => outcome_of(run_heartbeat_restart(cfg, plan, seed)),
+        ScenarioKind::HeartbeatRestart => {
+            outcome_of(run_heartbeat_restart_with(cfg, plan, seed, shards))
+        }
         ScenarioKind::Heartbeat
         | ScenarioKind::HeartbeatCrash
         | ScenarioKind::HeartbeatGray
         | ScenarioKind::HeartbeatBidi
         | ScenarioKind::Relay
-        | ScenarioKind::Partition => outcome_of(run_heartbeat(cfg, plan, seed)),
+        | ScenarioKind::Partition => outcome_of(run_heartbeat_with(cfg, plan, seed, shards)),
         ScenarioKind::ClockFleet | ScenarioKind::ClockFleetLarge => {
-            outcome_of(run_clockfleet(cfg, plan, seed))
+            outcome_of(run_clockfleet_with(cfg, plan, seed, shards))
         }
         ScenarioKind::Mutex | ScenarioKind::MutexContended => {
-            outcome_of(run_mutex(cfg, plan, seed))
+            outcome_of(run_mutex_with(cfg, plan, seed, shards))
         }
         ScenarioKind::Register | ScenarioKind::RegisterTriple => {
-            outcome_of(run_register(cfg, plan, seed))
+            outcome_of(run_register_with(cfg, plan, seed, shards))
         }
-        ScenarioKind::Counter => outcome_of(run_counter(cfg, plan, seed)),
-        ScenarioKind::SyncProbe | ScenarioKind::SyncRounds => outcome_of(run_sync(cfg, plan, seed)),
+        ScenarioKind::Counter => outcome_of(run_counter_with(cfg, plan, seed, shards)),
+        ScenarioKind::SyncProbe | ScenarioKind::SyncRounds => {
+            outcome_of(run_sync_with(cfg, plan, seed, shards))
+        }
     }
 }
 

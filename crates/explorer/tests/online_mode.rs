@@ -9,12 +9,12 @@
 //! - online campaigns still catch planted bugs, blaming the same
 //!   streamable oracle the offline judge blames.
 //!
-//! This file runs in its own test process on purpose: the shard knob is
-//! process-global, and flipping it here must not interleave with other
-//! integration suites.
+//! The shard count is plain data threaded through `CampaignConfig` /
+//! `run_case_sharded` — there is no process-global knob, so these tests
+//! can interleave freely with other suites.
 
 use psync_explorer::{
-    run_campaign_jobs, run_case, set_monitor_shards, CampaignConfig, CanaryKind, FaultPlan,
+    run_campaign_jobs, run_case, run_case_sharded, CampaignConfig, CanaryKind, FaultPlan,
     ScenarioConfig, ScenarioKind,
 };
 
@@ -31,18 +31,15 @@ fn case_outcomes_are_monitor_shard_invariant() {
     ];
     let plan = FaultPlan::default();
     for cfg in &cases {
-        set_monitor_shards(1);
         let sequential = run_case(cfg, &plan, 9);
         for shards in [2, 4, 7] {
-            set_monitor_shards(shards);
-            let sharded = run_case(cfg, &plan, 9);
+            let sharded = run_case_sharded(cfg, &plan, 9, shards);
             assert_eq!(
                 sequential, sharded,
                 "outcome diverged at {shards} shards for {:?}",
                 cfg.kind
             );
         }
-        set_monitor_shards(1);
     }
 }
 

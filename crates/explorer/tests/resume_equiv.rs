@@ -12,6 +12,7 @@ fn campaign(checkpointed: bool) -> CampaignConfig {
         max_entries: 6,
         checkpointed_shrink: checkpointed,
         online: false,
+        monitor_shards: 1,
     }
 }
 

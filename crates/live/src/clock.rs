@@ -1,0 +1,133 @@
+//! Wall-clock-backed node clocks: [`WallClock`] readings from a shared
+//! [`Instant`] origin, and [`MonotonicClock`], the [`ClockStrategy`] that
+//! feeds them to an engine.
+//!
+//! The simulator's strategies *choose* clock behaviors inside the `C_ε`
+//! envelope; the live backend has no choice to make — the clock is
+//! whatever the OS monotonic clock reads when consulted, plus the node's
+//! configured offset (standing in for oscillator error). The engine still
+//! validates every reading against the envelope, and
+//! [`AdvanceCtx::fit`](psync_executor::AdvanceCtx) clamps readings the
+//! envelope forbids — exactly the discipline a real time service (NTP,
+//! DTS; paper Sections 1 and 7.2) applies to a free-running oscillator.
+
+use std::time::Instant;
+
+use psync_executor::{AdvanceCtx, ClockStrategy};
+use psync_time::{Duration, Time};
+
+/// A node's physical clock: a shared monotonic origin plus a fixed
+/// per-node offset.
+///
+/// All clocks of one live system share the `origin`, so `Time::ZERO` on
+/// the model timeline is the same wall instant everywhere; the offset is
+/// the node's deliberate skew (zero for an honest clock, nonzero to
+/// exercise the ε budget with real threads).
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    origin: Instant,
+    offset: Duration,
+}
+
+impl WallClock {
+    /// A clock reading `origin.elapsed() + offset`.
+    #[must_use]
+    pub fn new(origin: Instant, offset: Duration) -> WallClock {
+        WallClock { origin, offset }
+    }
+
+    /// The current reading, on the model timeline (`Time::ZERO` = origin).
+    #[must_use]
+    pub fn now(&self) -> Time {
+        wall_time(self.origin).saturating_add_duration(self.offset)
+    }
+
+    /// The configured offset from the shared origin.
+    #[must_use]
+    pub fn offset(&self) -> Duration {
+        self.offset
+    }
+
+    /// The shared origin instant.
+    #[must_use]
+    pub fn origin_instant(&self) -> Instant {
+        self.origin
+    }
+}
+
+/// The shared reference timeline: `origin.elapsed()` as a model [`Time`].
+///
+/// This is the live backend's *real time* — the `now` axis of the clock
+/// predicate `C_ε`, against which every [`WallClock`] is skewed by its
+/// offset (plus scheduling noise).
+#[must_use]
+pub fn wall_time(origin: Instant) -> Time {
+    let ns = origin.elapsed().as_nanos();
+    let ns = i64::try_from(ns).unwrap_or(i64::MAX);
+    Time::ZERO + Duration::from_nanos(ns)
+}
+
+/// The live [`ClockStrategy`]: every consultation reads the node's
+/// [`WallClock`] *at that moment* and clamps the reading into the legal
+/// window.
+///
+/// The clamp matters on two edges. When the engine catches up after the
+/// driving loop slept, the wall reading runs ahead of the advance target
+/// and `fit` pulls it back to `target + ε` — the same cap the envelope
+/// puts on any fast clock. When a `ν` precondition bounds the clock
+/// (`max_clock`), `fit` respects it. Readings inside the window pass
+/// through untouched, so under a tight driving loop the recorded clock
+/// *is* the monotonic clock.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    wall: WallClock,
+}
+
+impl MonotonicClock {
+    /// Drives a node clock from `wall`.
+    #[must_use]
+    pub fn new(wall: WallClock) -> MonotonicClock {
+        MonotonicClock { wall }
+    }
+}
+
+impl ClockStrategy for MonotonicClock {
+    fn next_clock(&mut self, ctx: AdvanceCtx) -> Time {
+        ctx.fit(self.wall.now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_applies_its_offset() {
+        let origin = Instant::now();
+        let honest = WallClock::new(origin, Duration::ZERO);
+        let fast = WallClock::new(origin, Duration::from_millis(5));
+        let (h, f) = (honest.now(), fast.now());
+        let gap = f.skew(h);
+        // The two reads are a few ns apart in real time, 5 ms in offset.
+        assert!(gap >= Duration::from_millis(4), "gap {gap}");
+        assert!(gap <= Duration::from_millis(6), "gap {gap}");
+    }
+
+    #[test]
+    fn monotonic_clock_readings_stay_in_the_window() {
+        let origin = Instant::now();
+        let mut strat = MonotonicClock::new(WallClock::new(origin, Duration::from_millis(2)));
+        // An advance whose target is far behind the wall reading: the
+        // strategy must clamp to target + ε rather than leak wall time.
+        let eps = Duration::from_millis(1);
+        let ctx = AdvanceCtx {
+            now: Time::ZERO,
+            clock: Time::ZERO,
+            target: Time::ZERO + Duration::from_nanos(10),
+            max_clock: None,
+            eps,
+        };
+        let reading = strat.next_clock(ctx);
+        assert_eq!(reading, ctx.target + eps);
+    }
+}

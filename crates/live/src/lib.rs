@@ -1,0 +1,57 @@
+//! The live execution backend: the paper's algorithms on real OS
+//! threads, real monotonic clocks, and real (in-process) wires.
+//!
+//! The simulator (`psync-executor`) explores the clock model
+//! adversarially: virtual time, seeded schedulers, clock strategies
+//! probing the corners of the `C_ε` envelope. This crate runs the *same*
+//! component code — [`psync_core::transform_node`]'s `A^c_{i,ε}`
+//! composition, verbatim — as a deployment would:
+//!
+//! * **one OS thread per node** ([`LiveRegister`]), each owning a
+//!   single-node engine driven to wall time and fed external inputs
+//!   through [`Engine::inject`](psync_executor::Engine::inject);
+//! * **monotonic clocks** ([`MonotonicClock`]): every clock consultation
+//!   reads [`std::time::Instant`] (plus the node's configured offset),
+//!   clamped into the envelope the engine enforces;
+//! * **a measured ε̂** ([`measure_eps_hat`]): RTT probes against the
+//!   actual node clocks bound the skew *before* the run, and every
+//!   downstream consumer — engine envelopes, register parameters, the
+//!   `C_ε` oracle — is priced off that measured bound, closing the loop
+//!   `psync-sync` opened;
+//! * **measured wire delays** ([`wire`]): per-edge FIFO channels whose
+//!   delivery delays are enforced at `d₁` (hold-back) and *checked*
+//!   against `d₂` by the envelope monitors;
+//! * **online judging** ([`LiveMonitor`]): a monitor thread owns an
+//!   [`OnlineJudge`](psync_obs::OnlineJudge) over stream oracles and
+//!   judges the merged event stream as it happens, stopping the run the
+//!   moment a violation is certain;
+//! * **capture** — the run ends as an ordinary
+//!   [`Execution`](psync_automata::Execution) inside a
+//!   [`Run`](psync_executor::Run), so `psync_verify`'s post-hoc oracles
+//!   ([`live_register_oracles`]) re-judge live runs exactly like
+//!   simulated ones. Both backends sit behind the
+//!   [`Driver`](psync_executor::Driver) seam.
+//!
+//! This is the workspace's answer to the paper's deployment story
+//! (Sections 1 and 7): the algorithms were *designed* against `[d₁, d₂]`
+//! and `C_ε`; here those are measured quantities of a running system,
+//! not simulation parameters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod monitor;
+pub mod oracles;
+pub mod probe;
+pub mod runtime;
+pub mod wire;
+
+pub use clock::{wall_time, MonotonicClock, WallClock};
+pub use monitor::{CEpsStream, EnvelopeStream, LiveMonitor, MonitorMsg, MonitorOutcome};
+pub use oracles::{
+    check_delivery_envelope, judge_live_register, live_register_monitors, live_register_oracles,
+};
+pub use probe::{measure_eps_hat, EpsHatMeasurement};
+pub use runtime::{LatencyStats, LiveConfig, LiveRegister, LiveReport};
+pub use wire::{Inbox, WireMsg};

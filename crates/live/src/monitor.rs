@@ -1,0 +1,459 @@
+//! Online judging of a live run: stream oracles fed from the node
+//! threads through a watermark-merged channel, owned by one monitor
+//! thread.
+//!
+//! [`OnlineJudge`] is deliberately single-threaded (an `Rc` handle, like
+//! the rest of the observer pipeline), so the live backend gives it a
+//! thread of its own: node threads send every recorded event plus a
+//! per-iteration watermark ("my engine has reached model time `t`"), and
+//! the monitor releases events to the judge only up to the minimum
+//! watermark, in `(time, node)` order — the same globally-ordered stream
+//! a simulator observer would see. A violation any oracle declares
+//! *certain* flips the shared stop flag, and the node threads wind the
+//! run down early: judging the live trace *as it happens*, not after.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use psync_automata::{Action, TimedEvent, Verdict};
+use psync_executor::ClockRead;
+use psync_net::{MsgId, SysAction};
+use psync_obs::{CEpsMonitor, OnlineJudge};
+use psync_time::{Duration, Time};
+use psync_verify::StreamOracle;
+
+/// What a node thread reports to the monitor.
+#[derive(Debug)]
+pub enum MonitorMsg<A: Action> {
+    /// One newly recorded event of `node`'s engine.
+    Event {
+        /// Reporting node index.
+        node: usize,
+        /// The recorded event, verbatim.
+        event: TimedEvent<A>,
+    },
+    /// `node`'s engine has reached model time `now`; every event it will
+    /// ever report from now on is later than this.
+    Watermark {
+        /// Reporting node index.
+        node: usize,
+        /// The engine's current model time.
+        now: Time,
+    },
+    /// `node` has finished: no further events will come from it.
+    Done {
+        /// Reporting node index.
+        node: usize,
+    },
+}
+
+/// The monitor thread's final word.
+#[derive(Debug)]
+pub struct MonitorOutcome {
+    /// Every violation, in oracle order — the shape
+    /// [`psync_verify::check_all`] produces.
+    pub violations: Vec<(String, String)>,
+    /// The first violation that became certain *during* the run, if any
+    /// (it is also in `violations`).
+    pub certain: Option<(String, String)>,
+    /// Events fed to the judge.
+    pub events_judged: u64,
+}
+
+/// Handle to a spawned monitor thread.
+#[derive(Debug)]
+pub struct LiveMonitor {
+    handle: JoinHandle<MonitorOutcome>,
+}
+
+impl LiveMonitor {
+    /// Spawns the monitor for an `n`-node run.
+    ///
+    /// `make_oracles` runs *on the monitor thread* (stream oracles, like
+    /// the judge, need not be `Send`); `eps` is attached to every clock
+    /// reading fed to the judge; `stop` is flipped the moment any oracle
+    /// is certain.
+    pub fn spawn<A, F>(
+        n: usize,
+        eps: Duration,
+        make_oracles: F,
+        stop: Arc<AtomicBool>,
+    ) -> (Sender<MonitorMsg<A>>, LiveMonitor)
+    where
+        A: Action + Send,
+        F: FnOnce() -> Vec<Box<dyn StreamOracle<A>>> + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        let handle = thread::Builder::new()
+            .name("psync-live-monitor".into())
+            .spawn(move || monitor_loop(n, eps, make_oracles(), &stop, &rx))
+            .expect("spawning the monitor thread");
+        (tx, LiveMonitor { handle })
+    }
+
+    /// Waits for the monitor to finish judging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor thread panicked.
+    #[must_use]
+    pub fn join(self) -> MonitorOutcome {
+        self.handle.join().expect("monitor thread panicked")
+    }
+}
+
+fn monitor_loop<A: Action>(
+    n: usize,
+    eps: Duration,
+    oracles: Vec<Box<dyn StreamOracle<A>>>,
+    stop: &AtomicBool,
+    rx: &Receiver<MonitorMsg<A>>,
+) -> MonitorOutcome {
+    let judge = OnlineJudge::new(oracles);
+    let mut observer = judge.observer();
+    let mut queues: Vec<VecDeque<TimedEvent<A>>> = (0..n).map(|_| VecDeque::new()).collect();
+    let mut marks = vec![Time::ZERO; n];
+    let mut done = vec![false; n];
+    let mut fed: u64 = 0;
+    let mut end = Time::ZERO;
+
+    // The channel closes when every node (and the runtime) dropped its
+    // sender; Done messages normally end the loop before that.
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            MonitorMsg::Event { node, event } => queues[node].push_back(event),
+            MonitorMsg::Watermark { node, now } => {
+                end = end.max(now);
+                marks[node] = marks[node].max(now);
+            }
+            MonitorMsg::Done { node } => {
+                done[node] = true;
+                marks[node] = Time::MAX;
+            }
+        }
+        release(&mut queues, &marks, eps, &mut observer, &mut fed);
+        if judge.certain().is_some() {
+            // Keep draining so node threads never block on a full
+            // channel; the flag tells them to wind down.
+            stop.store(true, Ordering::Relaxed);
+        }
+        if done.iter().all(|d| *d) && queues.iter().all(VecDeque::is_empty) {
+            break;
+        }
+    }
+    // Stragglers (senders dropped without Done, e.g. after an engine
+    // error): release everything that is left.
+    marks.fill(Time::MAX);
+    release(&mut queues, &marks, eps, &mut observer, &mut fed);
+
+    let certain = judge.certain();
+    MonitorOutcome {
+        violations: judge.finish(end),
+        certain,
+        events_judged: fed,
+    }
+}
+
+/// Feeds every queued event not later than the minimum watermark, merged
+/// in `(time, node)` order, to the judge's observer.
+fn release<A: Action>(
+    queues: &mut [VecDeque<TimedEvent<A>>],
+    marks: &[Time],
+    eps: Duration,
+    observer: &mut impl psync_executor::Observer<A>,
+    fed: &mut u64,
+) {
+    let frontier = marks.iter().copied().fold(Time::MAX, Time::min);
+    loop {
+        let mut pick: Option<(Time, usize)> = None;
+        for (node, q) in queues.iter().enumerate() {
+            if let Some(head) = q.front() {
+                if head.now <= frontier && pick.is_none_or(|(t, _)| head.now < t) {
+                    pick = Some((head.now, node));
+                }
+            }
+        }
+        let Some((_, node)) = pick else { break };
+        let event = queues[node].pop_front().expect("head checked");
+        if let Some(clock) = event.clock {
+            observer.on_clock_read(ClockRead {
+                node,
+                now: event.now,
+                clock,
+                eps,
+            });
+        }
+        let index = usize::try_from(*fed).unwrap_or(usize::MAX);
+        observer.on_event(index, &event);
+        *fed += 1;
+    }
+}
+
+/// Streaming `C_ε`: the live face of
+/// [`CEpsOracle`](psync_obs::CEpsOracle), name-compatible for parity.
+pub struct CEpsStream {
+    eps: Duration,
+    monitor: CEpsMonitor,
+}
+
+impl CEpsStream {
+    /// Checks every clock reading against the fixed bound `eps`.
+    #[must_use]
+    pub fn new(eps: Duration) -> CEpsStream {
+        CEpsStream {
+            eps,
+            monitor: CEpsMonitor::with_eps(eps),
+        }
+    }
+}
+
+impl<A: Action> StreamOracle<A> for CEpsStream {
+    fn name(&self) -> String {
+        format!("C_eps(ε={})", self.eps)
+    }
+
+    fn observe_event(&mut self, _index: usize, _event: &TimedEvent<A>) {}
+
+    fn observe_clock(&mut self, node: usize, now: Time, clock: Time, _eps: Duration) {
+        self.monitor.observe(ClockRead {
+            node,
+            now,
+            clock,
+            eps: self.eps,
+        });
+    }
+
+    fn violation(&self) -> Option<String> {
+        match self.monitor.verdict() {
+            Verdict::Holds => None,
+            Verdict::Violated(why) => Some(why),
+        }
+    }
+
+    fn finish(&mut self, _end: Time) -> Verdict {
+        self.monitor.verdict()
+    }
+}
+
+/// Streaming delivery-envelope check: every `ERECVMSG` must arrive
+/// between `d₁` and `d₂` (model time) after its `ESENDMSG`.
+///
+/// On the live backend the delay is *measured* — the actual time between
+/// the sender's engine recording the send and the receiver's engine
+/// recording the delivery — so a violation means the machine failed to
+/// honor the envelope the run declared, and everything priced off
+/// `[d₁, d₂]` (register latencies, ε̂ predictions) is suspect.
+pub struct EnvelopeStream {
+    d1: Duration,
+    d2: Duration,
+    sends: std::collections::HashMap<MsgId, Time>,
+    delivered: u64,
+    worst: Duration,
+    violation: Option<String>,
+}
+
+impl EnvelopeStream {
+    /// Checks deliveries against `[d1, d2]`.
+    #[must_use]
+    pub fn new(d1: Duration, d2: Duration) -> EnvelopeStream {
+        EnvelopeStream {
+            d1,
+            d2,
+            sends: std::collections::HashMap::new(),
+            delivered: 0,
+            worst: Duration::ZERO,
+            violation: None,
+        }
+    }
+
+    fn observe_sys<M, O>(&mut self, event: &TimedEvent<SysAction<M, O>>)
+    where
+        M: Clone + Eq + std::hash::Hash + core::fmt::Debug + 'static,
+        O: Action,
+    {
+        match &event.action {
+            SysAction::ESend(env, _) => {
+                self.sends.entry(env.id).or_insert(event.now);
+            }
+            SysAction::ERecv(env, _) => {
+                let Some(&sent) = self.sends.get(&env.id) else {
+                    self.fail(format!(
+                        "message {:?} delivered at {} without a recorded send",
+                        env.id, event.now
+                    ));
+                    return;
+                };
+                let delay = event.now.skew(sent);
+                self.delivered += 1;
+                self.worst = self.worst.max(delay);
+                if delay < self.d1 || delay > self.d2 {
+                    self.fail(format!(
+                        "message {:?} took {} on the wire: outside the declared [{}, {}]",
+                        env.id, delay, self.d1, self.d2
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn fail(&mut self, why: String) {
+        if self.violation.is_none() {
+            self.violation = Some(why);
+        }
+    }
+}
+
+/// The name both the stream and post-hoc envelope checks report under.
+#[must_use]
+pub fn envelope_oracle_name(d1: Duration, d2: Duration) -> String {
+    format!("delivery[{d1}, {d2}]")
+}
+
+impl<M, O> StreamOracle<SysAction<M, O>> for EnvelopeStream
+where
+    M: Clone + Eq + std::hash::Hash + core::fmt::Debug + 'static,
+    O: Action,
+{
+    fn name(&self) -> String {
+        envelope_oracle_name(self.d1, self.d2)
+    }
+
+    fn observe_event(&mut self, _index: usize, event: &TimedEvent<SysAction<M, O>>) {
+        self.observe_sys(event);
+    }
+
+    fn violation(&self) -> Option<String> {
+        self.violation.clone()
+    }
+
+    fn finish(&mut self, _end: Time) -> Verdict {
+        match &self.violation {
+            None => Verdict::Holds,
+            Some(why) => Verdict::Violated(why.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psync_automata::ActionKind;
+    use psync_net::{Envelope, NodeId};
+
+    type A = SysAction<u32, psync_automata::toys::EchoAction>;
+
+    fn ev(action: A, ms: i64, clock_ms: Option<i64>) -> TimedEvent<A> {
+        TimedEvent {
+            action,
+            kind: ActionKind::Output,
+            now: Time::ZERO + Duration::from_millis(ms),
+            clock: clock_ms.map(|c| Time::ZERO + Duration::from_millis(c)),
+            node: None,
+        }
+    }
+
+    fn wire(seq: u32) -> Envelope<u32> {
+        Envelope {
+            src: NodeId(0),
+            dst: NodeId(1),
+            id: MsgId::from_parts(NodeId(0), seq),
+            payload: seq,
+        }
+    }
+
+    #[test]
+    fn envelope_stream_flags_late_deliveries() {
+        let mut s = EnvelopeStream::new(Duration::from_millis(1), Duration::from_millis(5));
+        let stamp = Time::ZERO;
+        StreamOracle::<A>::observe_event(
+            &mut s,
+            0,
+            &ev(SysAction::ESend(wire(0), stamp), 10, None),
+        );
+        StreamOracle::<A>::observe_event(
+            &mut s,
+            1,
+            &ev(SysAction::ERecv(wire(0), stamp), 13, None),
+        );
+        assert!(StreamOracle::<A>::violation(&s).is_none());
+        StreamOracle::<A>::observe_event(
+            &mut s,
+            2,
+            &ev(SysAction::ESend(wire(1), stamp), 20, None),
+        );
+        StreamOracle::<A>::observe_event(
+            &mut s,
+            3,
+            &ev(SysAction::ERecv(wire(1), stamp), 26, None),
+        );
+        let why = StreamOracle::<A>::violation(&s).expect("6 ms exceeds d2 = 5 ms");
+        assert!(why.contains("outside the declared"), "{why}");
+    }
+
+    #[test]
+    fn ceps_stream_matches_the_posthoc_name_and_verdict() {
+        let eps = Duration::from_millis(2);
+        let mut s = CEpsStream::new(eps);
+        assert_eq!(
+            StreamOracle::<A>::name(&s),
+            psync_verify::Oracle::<A>::name(&psync_obs::CEpsOracle::new(eps))
+        );
+        StreamOracle::<A>::observe_clock(
+            &mut s,
+            0,
+            Time::ZERO + Duration::from_millis(10),
+            Time::ZERO + Duration::from_millis(11),
+            eps,
+        );
+        assert!(StreamOracle::<A>::violation(&s).is_none());
+        StreamOracle::<A>::observe_clock(
+            &mut s,
+            1,
+            Time::ZERO + Duration::from_millis(20),
+            Time::ZERO + Duration::from_millis(25),
+            eps,
+        );
+        assert!(StreamOracle::<A>::violation(&s).is_some());
+    }
+
+    #[test]
+    fn monitor_merges_by_watermark_and_flips_stop_on_certain() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let eps = Duration::from_millis(1);
+        let (tx, monitor) = LiveMonitor::spawn::<A, _>(
+            2,
+            eps,
+            move || vec![Box::new(CEpsStream::new(eps))],
+            Arc::clone(&stop),
+        );
+        // Node 1's event violates C_ε, but is only released once node 0's
+        // watermark passes it.
+        tx.send(MonitorMsg::Event {
+            node: 1,
+            event: ev(SysAction::Tau { node: NodeId(1) }, 10, Some(20)),
+        })
+        .unwrap();
+        tx.send(MonitorMsg::Watermark {
+            node: 1,
+            now: Time::ZERO + Duration::from_millis(10),
+        })
+        .unwrap();
+        tx.send(MonitorMsg::Watermark {
+            node: 0,
+            now: Time::ZERO + Duration::from_millis(12),
+        })
+        .unwrap();
+        tx.send(MonitorMsg::Done { node: 0 }).unwrap();
+        tx.send(MonitorMsg::Done { node: 1 }).unwrap();
+        drop(tx);
+        let outcome = monitor.join();
+        assert_eq!(outcome.events_judged, 1);
+        assert!(outcome.certain.is_some(), "C_ε breach should be certain");
+        assert_eq!(outcome.violations.len(), 1);
+        assert!(stop.load(Ordering::Relaxed), "stop flag should be set");
+    }
+}

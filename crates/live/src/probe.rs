@@ -1,0 +1,148 @@
+//! Measuring ε̂ before a live run: RTT probes against the actual node
+//! clocks, scheduled by the actual OS.
+//!
+//! `psync-sync` measures ε̂ *inside* the model, as clock components
+//! exchanging timestamped probes over `[d₁, d₂]` channels. The live
+//! backend needs the bound *before* the engines exist — it parameterizes
+//! them — so the measurement here is the systems-flavored equivalent: the
+//! harness thread (whose wall clock *is* the reference timeline, offset
+//! zero) pings one responder thread per node, each answering with its
+//! [`WallClock`] reading, and brackets the node's skew by the classic
+//! midpoint argument: `|offset_i| ≤ |c_i − mid(t₀,t₁)| + (t₁ − t₀)/2`.
+//!
+//! The best (smallest) bracket per node over `rounds` probes survives;
+//! ε̂ is the worst node's bracket plus the caller's floor, which covers
+//! what the probes cannot see — the driving loop's quantum and
+//! scheduling noise between consultations.
+
+use std::sync::mpsc;
+use std::thread;
+
+use psync_time::Duration;
+
+use crate::clock::WallClock;
+
+/// The result of an ε̂ probe sweep.
+#[derive(Debug, Clone)]
+pub struct EpsHatMeasurement {
+    /// The bound the run should use: `max(measured, 0) + floor`.
+    pub eps_hat: Duration,
+    /// The raw worst-node skew bracket, before the floor.
+    pub measured: Duration,
+    /// Best bracket per node, in node order.
+    pub per_node: Vec<Duration>,
+    /// Probe rounds taken per node.
+    pub rounds: usize,
+}
+
+/// Brackets every clock's skew from the reference timeline by RTT probing
+/// one responder thread per clock, and returns `max(bracket) + floor` as
+/// the ε̂ for the run.
+///
+/// The responders are real threads: the brackets include genuine
+/// scheduling and channel latency, which is the point — a loaded machine
+/// yields an honestly larger ε̂, and every consumer (engine envelopes,
+/// oracles, register parameters) is priced off the measured value.
+///
+/// # Panics
+///
+/// Panics if `clocks` is empty, `rounds` is zero, or `floor` is negative.
+#[must_use]
+pub fn measure_eps_hat(clocks: &[WallClock], rounds: usize, floor: Duration) -> EpsHatMeasurement {
+    assert!(!clocks.is_empty(), "at least one clock required");
+    assert!(rounds > 0, "at least one probe round required");
+    assert!(!floor.is_negative(), "floor must be non-negative");
+
+    // The reference clock: offset zero over the same origin, i.e. the
+    // `now` axis the engines will run on.
+    let reference = WallClock::new_reference_of(clocks[0]);
+
+    let mut per_node = Vec::with_capacity(clocks.len());
+    for &clock in clocks {
+        let (probe_tx, probe_rx) = mpsc::channel::<mpsc::Sender<psync_time::Time>>();
+        let responder = thread::spawn(move || {
+            while let Ok(reply) = probe_rx.recv() {
+                // A dropped prober just ends the round early.
+                let _ = reply.send(clock.now());
+            }
+        });
+        let mut best: Option<Duration> = None;
+        for _ in 0..rounds {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let t0 = reference.now();
+            if probe_tx.send(reply_tx).is_err() {
+                break;
+            }
+            let Ok(reading) = reply_rx.recv() else { break };
+            let t1 = reference.now();
+            let rtt = t1.skew(t0);
+            let mid = t0 + Duration::from_nanos(rtt.as_nanos() / 2);
+            let bracket = reading.skew(mid) + Duration::from_nanos(rtt.as_nanos() / 2);
+            best = Some(match best {
+                Some(b) => b.min(bracket),
+                None => bracket,
+            });
+        }
+        drop(probe_tx);
+        responder.join().expect("probe responder panicked");
+        per_node.push(best.expect("at least one probe round completed"));
+    }
+
+    let measured = per_node.iter().copied().fold(Duration::ZERO, Duration::max);
+    EpsHatMeasurement {
+        eps_hat: measured.max_zero() + floor,
+        measured,
+        per_node,
+        rounds,
+    }
+}
+
+impl WallClock {
+    /// The zero-offset clock over the same origin as `other` — the
+    /// reference timeline for probing.
+    fn new_reference_of(other: WallClock) -> WallClock {
+        WallClock::new(other.origin_instant(), Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn honest_clocks_measure_tight_and_floor_dominates() {
+        let origin = Instant::now();
+        let clocks: Vec<WallClock> = (0..3)
+            .map(|_| WallClock::new(origin, Duration::ZERO))
+            .collect();
+        let floor = Duration::from_micros(200);
+        let m = measure_eps_hat(&clocks, 8, floor);
+        assert_eq!(m.per_node.len(), 3);
+        assert!(m.eps_hat >= floor);
+        assert_eq!(m.eps_hat, m.measured.max_zero() + floor);
+    }
+
+    #[test]
+    fn a_skewed_clock_is_caught_by_the_probes() {
+        let origin = Instant::now();
+        let skew = Duration::from_millis(4);
+        let clocks = vec![
+            WallClock::new(origin, Duration::ZERO),
+            WallClock::new(origin, skew),
+        ];
+        let m = measure_eps_hat(&clocks, 8, Duration::ZERO);
+        // The bracket contains the true offset plus RTT noise; it can
+        // never undershoot the offset by more than the RTT it saw.
+        assert!(
+            m.measured >= Duration::from_millis(3),
+            "measured {} should expose the 4 ms offset",
+            m.measured
+        );
+        assert!(
+            m.measured <= Duration::from_millis(40),
+            "measured {} wildly above the 4 ms offset",
+            m.measured
+        );
+    }
+}

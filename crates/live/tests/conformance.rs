@@ -1,0 +1,182 @@
+//! Live-vs-sim conformance: the same register algorithm, run once on the
+//! simulator and once on real threads, both judged by the same oracle
+//! set through the same [`Driver`] seam.
+//!
+//! This is the payoff of the dual-backend design. `AlgorithmS` is
+//! *identical code* in both runs — only where time and scheduling come
+//! from differs — and both backends end in a captured
+//! [`psync_automata::Execution`], so `psync_verify` judges them with the
+//! same oracle constructors. The tolerances differ only by what each
+//! backend *measured*: the sim is judged at its configured ε and
+//! `[d₁, d₂]`; the live run at its probe-measured ε̂ and its declared
+//! envelope.
+
+use psync_core::{build_dc, NodeSpec};
+use psync_executor::{ClockStrategy, Driver, PerfectClock, StopReason};
+use psync_live::{judge_live_register, LiveConfig, LiveRegister};
+use psync_net::{MinDelay, SysAction, Topology};
+use psync_register::{AlgorithmS, ClosedLoopWorkload, RegAction, RegisterParams};
+use psync_time::{DelayBounds, Duration, Time};
+
+const NODES: usize = 3;
+const OPS_PER_NODE: u32 = 4;
+
+fn response_count(exec: &psync_automata::Execution<RegAction>) -> usize {
+    exec.events()
+        .iter()
+        .filter(|e| match &e.action {
+            SysAction::App(op) => op.is_response(),
+            _ => false,
+        })
+        .count()
+}
+
+/// The simulator half: a complete-topology register system with perfect
+/// clocks and minimum-delay channels, driven through the `Driver` trait.
+fn sim_run() -> (psync_executor::Run<RegAction>, Duration, DelayBounds) {
+    let topo = Topology::complete(NODES);
+    let physical =
+        DelayBounds::new(Duration::from_millis(2), Duration::from_millis(6)).expect("valid");
+    let eps = Duration::from_millis(1);
+    let params = RegisterParams::for_clock_model(
+        &topo,
+        physical,
+        eps,
+        Duration::from_millis(3),
+        Duration::from_micros(100),
+    );
+    let algorithms: Vec<NodeSpec<_, _>> = topo
+        .nodes()
+        .map(|i| NodeSpec::new(i, AlgorithmS::new(i, params.clone())))
+        .collect();
+    let strategies: Vec<Box<dyn ClockStrategy>> = (0..NODES)
+        .map(|_| Box::new(PerfectClock) as Box<dyn ClockStrategy>)
+        .collect();
+    let think =
+        DelayBounds::new(Duration::from_millis(1), Duration::from_millis(6)).expect("valid");
+    let workload = ClosedLoopWorkload::new(&topo, 0xC0FF_EE11, think, OPS_PER_NODE);
+    let mut engine = build_dc(&topo, physical, eps, algorithms, strategies, |_, _| {
+        Box::new(MinDelay)
+    })
+    .timed(workload)
+    .horizon(Time::ZERO + Duration::from_secs(2))
+    .max_events(250_000)
+    .build();
+
+    let driver: &mut dyn Driver<RegAction> = &mut engine;
+    assert_eq!(driver.backend(), "sim");
+    let run = driver.drive().expect("sim run completes");
+    (run, eps, physical)
+}
+
+#[test]
+fn live_and_sim_runs_pass_the_same_oracle_set() {
+    // --- Simulated backend -------------------------------------------
+    let (sim, sim_eps, sim_bounds) = sim_run();
+    assert_eq!(
+        sim.stop,
+        StopReason::Quiescent,
+        "sim workload should drain before the horizon"
+    );
+    assert_eq!(
+        response_count(&sim.execution),
+        NODES * OPS_PER_NODE as usize
+    );
+    let sim_violations = judge_live_register(&sim.execution, NODES, sim_eps, sim_bounds);
+    assert!(
+        sim_violations.is_empty(),
+        "sim run failed oracles: {sim_violations:?}"
+    );
+
+    // --- Live backend ------------------------------------------------
+    let cfg = LiveConfig {
+        nodes: NODES,
+        ops_per_node: OPS_PER_NODE,
+        ..LiveConfig::default()
+    };
+    let bounds = cfg.bounds;
+    let mut live = LiveRegister::new(cfg);
+    let driver: &mut dyn Driver<RegAction> = &mut live;
+    assert_eq!(driver.backend(), "live");
+    let run = driver.drive().expect("live run completes");
+    let report = live.report().expect("live report recorded");
+
+    assert_eq!(
+        run.stop,
+        StopReason::Quiescent,
+        "live workload should complete within budget ({} of {} ops)",
+        report.ops_completed,
+        report.ops_requested
+    );
+    assert_eq!(
+        response_count(&run.execution),
+        NODES * OPS_PER_NODE as usize
+    );
+
+    // The online monitor judged the run as it happened...
+    assert!(
+        report.monitor.violations.is_empty(),
+        "online monitors flagged: {:?}",
+        report.monitor.violations
+    );
+    // ...and the post-hoc oracles re-judge the captured execution at the
+    // measured ε̂ — the same checks that accepted the sim run, with
+    // tolerances widened only by what the probes measured.
+    let live_violations = judge_live_register(&run.execution, NODES, report.eps_hat, bounds);
+    assert!(
+        live_violations.is_empty(),
+        "live run failed oracles: {live_violations:?}"
+    );
+
+    // The live trace is a real concurrent history: every delivery stayed
+    // inside the declared envelope and the measured worst delay is sane.
+    assert!(report.deliveries > 0, "writes must have crossed the wire");
+    assert!(report.max_delivery_delay >= bounds.min());
+    assert!(report.max_delivery_delay <= bounds.max());
+    assert!(report.latency.count == u64::from(OPS_PER_NODE) * NODES as u64);
+    assert!(report.latency.p50 <= report.latency.max);
+}
+
+/// A live run with deliberately skewed clocks: the skew must show up in
+/// the measured ε̂ (that is what "measured" means), and the run must
+/// still pass every oracle at the measured bound.
+#[test]
+fn skewed_clocks_widen_the_measured_eps_and_still_conform() {
+    let skew = Duration::from_millis(2);
+    let cfg = LiveConfig {
+        nodes: 2,
+        ops_per_node: 2,
+        offsets: vec![Duration::ZERO, skew],
+        ..LiveConfig::default()
+    };
+    let bounds = cfg.bounds;
+    let mut live = LiveRegister::new(cfg);
+    let run = live.drive().expect("skewed live run completes");
+    let report = live.report().expect("report recorded");
+
+    assert!(
+        report.eps_measurement.measured >= Duration::from_millis(1),
+        "probes measured {} — the 2 ms offset should be visible",
+        report.eps_measurement.measured
+    );
+    let violations = judge_live_register(&run.execution, 2, report.eps_hat, bounds);
+    assert!(violations.is_empty(), "skewed run failed: {violations:?}");
+    assert!(report.monitor.violations.is_empty());
+
+    // The probe-measured bound should beat what in-band synchronization
+    // over the declared envelope could promise: RTT probes see actual
+    // scheduling latency (microseconds), not the full `d₂ − d₁` width a
+    // message-passing synchronizer must assume.
+    let predicted = psync_sync::predicted_eps_hat(
+        bounds.min(),
+        bounds.max(),
+        200,
+        Time::ZERO + Duration::from_secs(1),
+    );
+    assert!(
+        report.eps_hat < predicted,
+        "measured ε̂ {} should undercut the predicted in-band bound {}",
+        report.eps_hat,
+        predicted
+    );
+}
